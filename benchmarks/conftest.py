@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures or timing
+claims.  Two kinds of numbers appear:
+
+* **wall-clock** — measured by pytest-benchmark over our harness code
+  (how fast the reproduction itself runs);
+* **simulated seconds** — the cost-model durations that reproduce the
+  *paper's* reported scan times; these are printed in the tables and
+  asserted against the paper's ranges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Machine
+from repro.workloads import populate_machine
+
+
+def fresh_machine(name: str = "bench", files: int = 120,
+                  registry_scale: int = 400) -> Machine:
+    machine = Machine(name, disk_mb=512, max_records=8192)
+    populate_machine(machine, file_count=files,
+                     registry_scale=registry_scale, seed=42)
+    machine.boot()
+    return machine
+
+
+def bench_once(benchmark, setup, action, rounds: int = 3):
+    """Benchmark ``action(state)`` with a fresh ``setup()`` per round.
+
+    Returns the last round's action result so the caller can assert on
+    (and print) the reproduced table.
+    """
+    state = {}
+
+    def _setup():
+        state["subject"] = setup()
+        return (), {}
+
+    def _target():
+        state["result"] = action(state["subject"])
+
+    benchmark.pedantic(_target, setup=_setup, rounds=rounds, iterations=1)
+    return state["result"]
+
+
+def print_table(title: str, header, rows) -> None:
+    widths = [max(len(str(row[i])) for row in ([header] + rows))
+              for i in range(len(header))]
+    print(f"\n=== {title} ===")
+    line = "  ".join(str(header[i]).ljust(widths[i])
+                     for i in range(len(header)))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(row[i]).ljust(widths[i])
+                        for i in range(len(row))))

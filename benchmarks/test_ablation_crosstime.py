@@ -1,0 +1,66 @@
+"""A1 — ablation: cross-view diff vs cross-time diff (Tripwire style).
+
+Section 1's comparison, quantified on identical workloads: the
+cross-time diff catches the ghostware changes *and* a pile of legitimate
+churn (every log write, every temp file), while the cross-view diff
+reports only the hiding — because "legitimate programs rarely hide".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.core.crosstime import CrossTimeDiffer
+from repro.ghostware import HackerDefender
+from repro.workloads import attach_standard_services
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_crossview_vs_crosstime_false_positives(benchmark):
+    def run(__):
+        machine = fresh_machine("baseline-box")
+        attach_standard_services(machine)
+        differ = CrossTimeDiffer(machine)
+        checkpoint = differ.checkpoint()
+
+        # A week of ordinary life plus one infection.
+        for __day in range(7):
+            machine.run_background(3600)
+        HackerDefender().install(machine)
+
+        crosstime_findings = differ.diff(checkpoint, differ.checkpoint())
+        crossview_report = GhostBuster(machine).inside_scan(
+            resources=("files",))
+
+        ghost_paths = {"\\windows\\hxdef100.exe", "\\windows\\hxdefdrv.sys",
+                       "\\windows\\hxdef100.ini"}
+        crosstime_noise = [finding for finding in crosstime_findings
+                           if finding.path not in ghost_paths]
+        crossview_noise = [finding for finding in
+                           crossview_report.hidden_files()
+                           if finding.entry.path.casefold()
+                           not in ghost_paths]
+        return crosstime_findings, crosstime_noise, crossview_report, \
+            crossview_noise
+
+    (crosstime_findings, crosstime_noise, crossview_report,
+     crossview_noise) = bench_once(benchmark, setup=lambda: None,
+                                   action=run)
+    print_table("A1 — cross-view vs cross-time",
+                ("approach", "total findings", "ghostware", "noise"),
+                [("cross-time (Tripwire-style)", len(crosstime_findings),
+                  len(crosstime_findings) - len(crosstime_noise),
+                  len(crosstime_noise)),
+                 ("cross-view (GhostBuster)",
+                  len(crossview_report.hidden_files()),
+                  len(crossview_report.hidden_files())
+                  - len(crossview_noise),
+                  len(crossview_noise))])
+    # Both catch the malware...
+    assert len(crosstime_findings) - len(crosstime_noise) == 3
+    assert len(crossview_report.hidden_files()) - len(crossview_noise) == 3
+    # ...but only cross-time drowns it in legitimate churn.
+    assert len(crosstime_noise) >= 7
+    assert len(crossview_noise) == 0

@@ -1,0 +1,62 @@
+"""A4 — ablation: Gatekeeper (cross-time ASEP watch) × GhostBuster.
+
+Section 3 references the authors' Gatekeeper work: ASEP monitoring
+catches spyware at hook-planting time — but only *visible* hooks.  This
+ablation runs both tools over a mixed infection set and shows the
+complementary coverage the paper implies: the ASEP monitor owns the
+non-hiders, the cross-view diff owns the hiders, and their union covers
+everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GatekeeperMonitor, GhostBuster
+from repro.ghostware import (Aphex, Berbew, CmCallbackGhost,
+                             HackerDefender)
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+# (ghost factory, the hook name to track, does it hide the hook?)
+CASES = [
+    (lambda: Berbew(), "berbew_loader", False),
+    (lambda: HackerDefender(), "HackerDefender100", True),
+    (lambda: Aphex(), "backdoor", True),
+    (lambda: CmCallbackGhost(), "cmghost", True),
+]
+
+
+def test_gatekeeper_ghostbuster_coverage(benchmark):
+    def run(__):
+        rows = []
+        for make_ghost, hook_name, hides in CASES:
+            machine = fresh_machine()
+            monitor = GatekeeperMonitor(machine)
+            changes = monitor.watch(lambda: make_ghost().install(machine))
+            gatekeeper_hit = any(
+                change.name.casefold() == hook_name.casefold()
+                for change in changes)
+            report = GhostBuster(machine).inside_scan(
+                resources=("registry",))
+            ghostbuster_hit = any(
+                finding.entry.name.casefold() == hook_name.casefold()
+                for finding in report.hidden_hooks())
+            rows.append((make_ghost().name, hides, gatekeeper_hit,
+                         ghostbuster_hit))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run)
+    print_table("A4 — complementary coverage",
+                ("ghostware", "hides its hook", "Gatekeeper (cross-time)",
+                 "GhostBuster (cross-view)"), rows)
+    for name, hides, gatekeeper_hit, ghostbuster_hit in rows:
+        if hides:
+            assert not gatekeeper_hit, \
+                f"{name}: hidden hooks evade the ASEP monitor"
+            assert ghostbuster_hit, f"{name}: the diff must catch it"
+        else:
+            assert gatekeeper_hit, \
+                f"{name}: visible hook-planting must be monitored"
+        assert gatekeeper_hit or ghostbuster_hit, \
+            f"{name}: the union must cover every strain"

@@ -1,0 +1,44 @@
+"""A3 — ablation: interfering with the inside-the-box low-level scan.
+
+Section 2's caveat, made measurable: a strain that filters the kernel's
+raw-disk reads blanks itself out of the inside-the-box truth, so the
+inside diff is clean — and the outside-the-box scan (physical disk from
+a clean OS) remains the more fundamental answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.ghostware import HackerDefender, LowLevelInterferenceGhost
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_interference_matrix(benchmark):
+    def run(__):
+        rows = []
+        for label, make_ghost in (
+                ("Hacker Defender (API hooks only)",
+                 lambda: HackerDefender()),
+                ("DeepGhost (+ raw-read scrubbing)",
+                 lambda: LowLevelInterferenceGhost())):
+            machine = fresh_machine()
+            make_ghost().install(machine)
+            inside = GhostBuster(machine).inside_scan(
+                resources=("files", "registry"))
+            outside = GhostBuster(machine).outside_scan(
+                resources=("files", "registry"), reboot_after=False)
+            rows.append((label, not inside.is_clean,
+                         not outside.is_clean))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run)
+    print_table("A3 — low-level-scan interference",
+                ("strain", "inside-the-box detects",
+                 "outside-the-box detects"), rows)
+    hxdef_row, deep_row = rows
+    assert hxdef_row[1] and hxdef_row[2]
+    assert not deep_row[1], "interference defeats the inside scan"
+    assert deep_row[2], "the clean-boot scan is below the interference"

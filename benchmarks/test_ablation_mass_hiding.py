@@ -1,0 +1,46 @@
+"""A2 — ablation: hiding many innocent files is itself the signal.
+
+Section 5: "Another potential attack on GhostBuster is to hide a large
+number of innocent files, together with the ghostware files. ... the
+existence of a large number of hidden files is a serious anomaly."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster, check_mass_hiding
+from repro.ghostware import HackerDefender, HideFiles
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_mass_hiding_anomaly(benchmark):
+    def run(__):
+        rows = []
+        for innocents in (0, 10, 50, 200):
+            machine = fresh_machine(f"chaff-{innocents}")
+            HackerDefender().install(machine)
+            if innocents:
+                hider = HideFiles()
+                hider.install(machine)
+                machine.volume.create_directories("\\chaff")
+                for index in range(innocents):
+                    path = f"\\chaff\\innocent{index:04d}.txt"
+                    machine.volume.create_file(path, b"")
+                    hider.hide_path(machine, path)
+            report = GhostBuster(machine).inside_scan(resources=("files",))
+            alert = check_mass_hiding(report)
+            rows.append((innocents, len(report.hidden_files()),
+                         alert is not None, not report.is_clean))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run, rounds=1)
+    print_table("A2 — mass innocent-file hiding",
+                ("innocent files hidden", "total hidden findings",
+                 "anomaly alert", "infection detected"), rows)
+    for innocents, total, alerted, detected in rows:
+        assert detected, "the ghostware is always detected"
+        assert total >= innocents, "chaff never reduces the finding count"
+        if innocents >= 50:
+            assert alerted, "large hidden sets must raise the anomaly"

@@ -1,0 +1,108 @@
+"""E8 — Figures 2 & 5: the technique × detection-layer matrix.
+
+The figures diagram *where* each ghostware intercepts.  This bench
+builds one representative per technique and shows (a) which layer holds
+the hook — via the mechanism-scanner baselines — and (b) that the
+behaviour-based cross-view diff detects every one of them uniformly,
+including the two classes (filter driver, DKOM, naming exploits) that no
+hook scanner can see at all: the paper's coverage-gap argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.ghostware import (Aphex, Berbew, FuRootkit, HackerDefender,
+                             HideFoldersXP, Mersting, NamingExploitGhost,
+                             ProBotSE, Urbin, Vanquish)
+from repro.winapi.hooks import PatchKind, scan_for_hooks
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+FILE_TECHNIQUES = [
+    ("1: IAT modification", lambda: Urbin()),
+    ("2: in-memory code (call)", lambda: Vanquish()),
+    ("3: kernel32 jmp detour", lambda: Aphex()),
+    ("4: ntdll jmp detour", lambda: HackerDefender()),
+    ("5: SSDT entry replacement", lambda: ProBotSE()),
+    ("6: filter driver", lambda: HideFoldersXP(hidden_paths=["\\Secret"])),
+    ("0: naming exploit (no hook)", lambda: NamingExploitGhost()),
+]
+
+PROCESS_TECHNIQUES = [
+    ("IAT hook of NtQuerySystemInformation", lambda: Aphex()),
+    ("jmp inside NtQuerySystemInformation (hxdef)",
+     lambda: HackerDefender()),
+    ("jmp inside NtQuerySystemInformation (Berbew)", lambda: Berbew()),
+]
+
+
+def _mechanism_view(machine):
+    """What the hook-scanner baselines (ApiHookCheck/VICE) report."""
+    user_hooks = scan_for_hooks(machine.user_processes())
+    kinds = {report.kind for report in user_hooks}
+    if machine.kernel.ssdt.hooked_entries():
+        kinds.add(PatchKind.SSDT)
+    if machine.io_manager.filters:
+        kinds.add(PatchKind.FILTER_DRIVER)
+    return kinds
+
+
+def test_fig2_file_technique_matrix(benchmark):
+    def run(__):
+        rows = []
+        for label, make_ghost in FILE_TECHNIQUES:
+            machine = fresh_machine()
+            machine.volume.create_directories("\\Secret")
+            machine.volume.create_file("\\Secret\\x.txt", b"")
+            make_ghost().install(machine)
+            mechanisms = _mechanism_view(machine)
+            report = GhostBuster(machine).inside_scan(resources=("files",))
+            # Naming exploits need the raw outside/inside low-level view;
+            # the inside diff covers them because Win32 != raw-MFT.
+            rows.append((label,
+                         ", ".join(sorted(kind.value
+                                          for kind in mechanisms)) or
+                         "(none visible)",
+                         not report.is_clean))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run, rounds=1)
+    print_table("Figure 2 — file-hiding techniques",
+                ("technique", "mechanism scanner sees", "cross-view diff "
+                 "detects"), rows)
+    assert all(detected for __, __m, detected in rows), \
+        "the diff must detect every technique uniformly"
+    # The mechanism approach misses the hook-free ghost entirely:
+    naming_row = [row for row in rows if row[0].startswith("0:")][0]
+    assert naming_row[1] == "(none visible)"
+
+
+def test_fig5_process_technique_matrix(benchmark):
+    def run(__):
+        rows = []
+        for label, make_ghost in PROCESS_TECHNIQUES:
+            machine = fresh_machine()
+            make_ghost().install(machine)
+            report = GhostBuster(machine).inside_scan(
+                resources=("processes",))
+            rows.append((label, not report.is_clean))
+        # DKOM: no API hook anywhere, advanced mode required.
+        machine = fresh_machine()
+        fu = FuRootkit()
+        fu.install(machine)
+        victim = machine.start_process("\\Windows\\explorer.exe",
+                                       name="unlinked.exe")
+        fu.hide_process(machine, victim.pid)
+        assert _mechanism_view(machine) == set(), \
+            "DKOM is invisible to every hook scanner"
+        advanced = GhostBuster(machine, advanced=True).inside_scan(
+            resources=("processes",))
+        rows.append(("DKOM unlink (FU)", not advanced.is_clean))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run, rounds=1)
+    print_table("Figure 5 — process-hiding techniques",
+                ("technique", "cross-view diff detects"), rows)
+    assert all(detected for __, detected in rows)

@@ -1,0 +1,95 @@
+"""E1 — Figure 3: GhostBuster hidden-file detection, 10 ghostware programs.
+
+Regenerates the paper's table: for each file-hiding program, the set of
+hidden files the inside-the-box diff reveals, with the paper's expected
+counts ("1", "1", "3+", prefix-matched, "3+", "4", user-selected")
+asserted as lower/exact bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.ghostware import (AdvancedHideFolders, Aphex,
+                             FileFolderProtector, HackerDefender,
+                             HideFiles, HideFoldersXP, Mersting, ProBotSE,
+                             Urbin, Vanquish)
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+# (ghostware factory, paper row, expectation)
+CASES = [
+    (lambda: Urbin(), "Urbin",
+     dict(exact=1, must_contain=["msvsres.dll"])),
+    (lambda: Mersting(), "Mersting",
+     dict(exact=1, must_contain=["kbddfl.dll"])),
+    (lambda: Vanquish(), "Vanquish",
+     dict(minimum=3, must_contain=["vanquish.exe", "vanquish.dll",
+                                   "vanquish.log"])),
+    (lambda: Aphex(), "Aphex",
+     dict(minimum=1, must_contain=["~aphex.exe"])),
+    (lambda: HackerDefender(), "Hacker Defender 1.0",
+     dict(minimum=3, must_contain=["hxdef100.exe", "hxdefdrv.sys",
+                                   "hxdef100.ini"])),
+    (lambda: ProBotSE(), "ProBot SE",
+     dict(exact=4, must_contain=[".exe", ".dll", ".sys"])),
+    (lambda: HideFiles(hidden_paths=["\\Secret\\diary.txt"]),
+     "Hide Files 3.3", dict(minimum=1, must_contain=["diary.txt"])),
+    (lambda: HideFoldersXP(hidden_paths=["\\Secret"]),
+     "Hide Folders XP", dict(minimum=1, must_contain=["\\secret"])),
+    (lambda: AdvancedHideFolders(hidden_paths=["\\Secret\\diary.txt"]),
+     "Advanced Hide Folders", dict(minimum=1, must_contain=["diary.txt"])),
+    (lambda: FileFolderProtector(hidden_paths=["\\Secret\\diary.txt"]),
+     "File & Folder Protector",
+     dict(minimum=1, must_contain=["diary.txt"])),
+]
+
+
+def _run_one(make_ghost):
+    machine = fresh_machine()
+    machine.volume.create_directories("\\Secret")
+    machine.volume.create_file("\\Secret\\diary.txt", b"dear diary")
+    ghost = make_ghost()
+    ghost.install(machine)
+    report = GhostBuster(machine).inside_scan(resources=("files",))
+    # Exclude the user-selected sentinel tree for exact-count programs.
+    hidden = [finding.entry.path for finding in report.hidden_files()]
+    return ghost, hidden
+
+
+@pytest.mark.parametrize("make_ghost,label,expect",
+                         CASES, ids=[case[1] for case in CASES])
+def test_fig3_row(benchmark, make_ghost, label, expect):
+    ghost, hidden = bench_once(
+        benchmark, setup=lambda: make_ghost,
+        action=lambda factory: _run_one(factory))
+    own_hidden = [path for path in hidden
+                  if not path.casefold().startswith("\\secret")] \
+        if "exact" in expect else hidden
+    print_table(f"Figure 3 row — {label}",
+                ("hidden file",), [(path,) for path in hidden])
+    if "exact" in expect:
+        assert len(own_hidden) == expect["exact"], \
+            f"{label}: paper reports exactly {expect['exact']}"
+    if "minimum" in expect:
+        assert len(hidden) >= expect["minimum"]
+    joined = " ".join(path.casefold() for path in hidden)
+    for token in expect["must_contain"]:
+        assert token.casefold() in joined, f"{label} must hide {token}"
+
+
+def test_fig3_uniform_detection(benchmark):
+    """The figure's headline: one diff detects all six techniques."""
+    def run(__):
+        rows = []
+        for make_ghost, label, __expect in CASES:
+            ghost, hidden = _run_one(make_ghost)
+            rows.append((label, ghost.technique, len(hidden)))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run, rounds=1)
+    print_table("Figure 3 — detection across all interception techniques",
+                ("ghostware", "technique", "hidden files detected"), rows)
+    assert all(count >= 1 for __, __t, count in rows), \
+        "every program must be detected by the same cross-view diff"

@@ -1,0 +1,75 @@
+"""E4 — Figure 4: GhostBuster hidden ASEP hook detection, 6 programs.
+
+Regenerates the paper's table of hidden auto-start hooks per program:
+AppInit_DLLs for the two wild Trojans, two Services hooks for Hacker
+Defender, Services hooks for Vanquish and ProBot SE, Run hooks for
+ProBot SE and Aphex.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.ghostware import (Aphex, HackerDefender, Mersting, ProBotSE,
+                             Urbin, Vanquish)
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+CASES = [
+    (lambda: Urbin(), "Urbin",
+     [("appinit_dlls", "msvsres.dll")]),
+    (lambda: Mersting(), "Mersting",
+     [("appinit_dlls", "kbddfl.dll")]),
+    (lambda: HackerDefender(), "Hacker Defender 1.0",
+     [("services", "hackerdefender100"),
+      ("services", "hackerdefenderdrv100")]),
+    (lambda: Vanquish(), "Vanquish",
+     [("services", "vanquish")]),
+    (lambda: ProBotSE(), "ProBot SE",
+     [("services", ".sys"), ("services", ".sys"), ("run", ".exe")]),
+    (lambda: Aphex(), "Aphex",
+     [("run", ".exe")]),
+]
+
+
+def _hooks_for(make_ghost):
+    machine = fresh_machine()
+    make_ghost().install(machine)
+    report = GhostBuster(machine).inside_scan(resources=("registry",))
+    return [(finding.entry.location,
+             f"{finding.entry.name} → {finding.entry.data}".casefold())
+            for finding in report.hidden_hooks()]
+
+
+@pytest.mark.parametrize("make_ghost,label,expected",
+                         CASES, ids=[case[1] for case in CASES])
+def test_fig4_row(benchmark, make_ghost, label, expected):
+    hooks = bench_once(benchmark, setup=lambda: make_ghost,
+                       action=_hooks_for)
+    print_table(f"Figure 4 row — {label}",
+                ("ASEP", "hidden hook"), hooks)
+    assert len(hooks) >= len(expected), \
+        f"{label}: paper reports {len(expected)} hidden hooks"
+    for location, token in expected:
+        assert any(hook_location == location and token in description
+                   for hook_location, description in hooks), \
+            f"{label}: missing {location} hook matching {token!r}"
+
+
+def test_fig4_hook_counts(benchmark):
+    """The per-program hidden-hook counts of the paper's table."""
+    paper_counts = {"Urbin": 1, "Mersting": 1, "Hacker Defender 1.0": 2,
+                    "Vanquish": 1, "ProBot SE": 3, "Aphex": 1}
+
+    def run(__):
+        return [(label, len(_hooks_for(make_ghost)))
+                for make_ghost, label, __e in CASES]
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run, rounds=1)
+    print_table("Figure 4 — hidden ASEP hooks per program",
+                ("ghostware", "hidden hooks", "paper"),
+                [(label, count, paper_counts[label])
+                 for label, count in rows])
+    for label, count in rows:
+        assert count == paper_counts[label]

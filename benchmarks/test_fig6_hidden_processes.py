@@ -1,0 +1,90 @@
+"""E6 — Figure 6: hidden process/module detection, 5 programs.
+
+Paper rows: Aphex (configurable-prefix processes), Hacker Defender
+(hxdef100.exe + INI patterns), Berbew (<random>.exe), FU ("any process
+hidden by fu -ph <pid>" — detectable *only* in advanced mode), and
+Vanquish (vanquish.dll hidden inside many processes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.ghostware import (Aphex, Berbew, FuRootkit, HackerDefender,
+                             Vanquish)
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_fig6_api_interceptors(benchmark):
+    """Aphex, Hacker Defender, Berbew: Active Process List suffices."""
+    def run(__):
+        rows = []
+        for make_ghost, expected in ((lambda: Aphex(), "~aphex.exe"),
+                                     (lambda: HackerDefender(),
+                                      "hxdef100.exe"),
+                                     (lambda: Berbew(), None)):
+            machine = fresh_machine()
+            ghost = make_ghost()
+            ghost.install(machine)
+            report = GhostBuster(machine, advanced=False).inside_scan(
+                resources=("processes",))
+            names = {finding.entry.name
+                     for finding in report.hidden_processes()}
+            wanted = expected or ghost.exe_name
+            rows.append((ghost.name, wanted, wanted in names))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run)
+    print_table("Figure 6 — process hiding via API interception",
+                ("ghostware", "hidden process", "detected (standard mode)"),
+                rows)
+    assert all(detected for __, __n, detected in rows)
+
+
+def test_fig6_fu_requires_advanced_mode(benchmark):
+    def run(__):
+        machine = fresh_machine()
+        fu = FuRootkit()
+        fu.install(machine)
+        victim = machine.start_process("\\Windows\\explorer.exe",
+                                       name="fu_hidden.exe")
+        fu.hide_process(machine, victim.pid)
+        standard = GhostBuster(machine, advanced=False).inside_scan(
+            resources=("processes",))
+        advanced = GhostBuster(machine, advanced=True).inside_scan(
+            resources=("processes",))
+        return (
+            {finding.entry.name for finding in standard.hidden_processes()},
+            {finding.entry.name for finding in advanced.hidden_processes()})
+
+    standard_names, advanced_names = bench_once(benchmark,
+                                                setup=lambda: None,
+                                                action=run)
+    print_table("Figure 6 — FU (DKOM)",
+                ("mode", "fu_hidden.exe detected", "paper"),
+                [("standard (Active Process List)",
+                  "fu_hidden.exe" in standard_names, "missed"),
+                 ("advanced (thread-table truth)",
+                  "fu_hidden.exe" in advanced_names, "detected")])
+    assert "fu_hidden.exe" not in standard_names
+    assert "fu_hidden.exe" in advanced_names
+
+
+def test_fig6_vanquish_module_in_many_processes(benchmark):
+    """Paper: "the GhostBuster report contains many such entries"."""
+    def run(__):
+        machine = fresh_machine()
+        Vanquish().install(machine)
+        report = GhostBuster(machine).inside_scan(resources=("modules",))
+        return [finding.entry for finding in report.hidden_modules()
+                if "vanquish.dll" in finding.entry.module_path.casefold()]
+
+    entries = bench_once(benchmark, setup=lambda: None, action=run)
+    print_table("Figure 6 — Vanquish module hiding",
+                ("hidden module", "process"),
+                [(entry.module_path, f"pid {entry.pid} "
+                  f"({entry.process_name})") for entry in entries])
+    assert len(entries) >= 5, "vanquish.dll hidden inside many processes"
+    assert len({entry.pid for entry in entries}) == len(entries)

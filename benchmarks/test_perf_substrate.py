@@ -1,0 +1,66 @@
+"""P1 — performance of the reproduction's own substrate.
+
+Unlike the E/A/X benchmarks (which reproduce the *paper's* simulated
+timings), these measure the wall-clock cost of our hot paths — the raw
+MFT parse, the raw hive parse, and the cross-view diff — so regressions
+in the reproduction itself are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diff import cross_view_diff
+from repro.core.snapshot import FileEntry, ResourceType, ScanSnapshot
+from repro.disk import Disk, DiskGeometry
+from repro.ntfs import NtfsVolume, parse_volume
+from repro.registry.hive import Hive
+from repro.registry.hive_parser import parse_hive
+
+
+def _populated_disk(file_count: int):
+    disk = Disk(DiskGeometry.from_megabytes(256))
+    volume = NtfsVolume.format(disk, max_records=file_count * 2 + 64)
+    volume.create_directories("\\data")
+    for index in range(file_count):
+        volume.create_file(f"\\data\\file{index:05d}.bin", b"x" * 100)
+    return disk
+
+
+@pytest.mark.parametrize("file_count", [200, 1000])
+def test_raw_mft_parse(benchmark, file_count):
+    disk = _populated_disk(file_count)
+    entries = benchmark(lambda: parse_volume(disk))
+    assert len(entries) == file_count + 1   # files + \data
+
+
+def test_raw_hive_parse(benchmark):
+    hive = Hive("PERF")
+    for key_index in range(100):
+        key = hive.create_key(f"Vendor\\App{key_index:03d}")
+        for value_index in range(8):
+            key.set_value(f"setting{value_index}", "x" * 24)
+    blob = hive.serialize()
+    parsed = benchmark(lambda: parse_hive(blob))
+    assert len(parsed.root.subkey("Vendor").subkeys) == 100
+
+
+def test_cross_view_diff_10k(benchmark):
+    def snapshot(view, count, offset=0):
+        entries = [FileEntry(f"\\f{i + offset}", f"f{i + offset}",
+                             False, 0) for i in range(count)]
+        return ScanSnapshot(ResourceType.FILE, view=view, entries=entries)
+
+    lie = snapshot("lie", 10_000)
+    truth = snapshot("truth", 10_000, offset=5)   # 5 "hidden" files
+    findings = benchmark(lambda: cross_view_diff(lie, truth))
+    assert len(findings) == 5
+
+
+def test_hive_serialize_1k_values(benchmark):
+    hive = Hive("PERF")
+    key = hive.create_key("Big")
+    for index in range(1000):
+        key.set_value(f"value{index:04d}", "payload " * 3)
+    blob = benchmark(hive.serialize)
+    assert len(blob) > 50_000

@@ -1,0 +1,101 @@
+"""E3 — Section 2 false positives.
+
+Paper: inside-the-box scans showed **zero** false positives.  Outside-
+the-box scans picked up reboot-window churn: "On all but one machine,
+the number of false positives was two or less ... On the one machine
+that had 7 false positives, we disabled the CCM service, re-ran the
+scan, and saw the number of false positives reduced to 2."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.workloads import attach_standard_services
+from repro.workloads.background import CcmService
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_inside_scan_zero_false_positives(benchmark):
+    def run(__):
+        counts = []
+        for seed_name in ("fp-a", "fp-b", "fp-c"):
+            machine = fresh_machine(seed_name)
+            attach_standard_services(machine)
+            machine.run_background(300)   # plenty of churn *before*
+            report = GhostBuster(machine, advanced=True).inside_scan()
+            counts.append((seed_name, len(report.findings)))
+        return counts
+
+    counts = bench_once(benchmark, setup=lambda: None, action=run,
+                        rounds=1)
+    print_table("Section 2 — inside-the-box false positives",
+                ("machine", "false positives", "paper"),
+                [(name, count, 0) for name, count in counts])
+    assert all(count == 0 for __, count in counts)
+
+
+def test_outside_scan_typical_machine(benchmark):
+    def run(__):
+        machine = fresh_machine("typical")
+        attach_standard_services(machine)
+        report = GhostBuster(machine).outside_scan(resources=("files",),
+                                                   background_gap=120)
+        return report
+
+    report = bench_once(benchmark, setup=lambda: None, action=run,
+                        rounds=1)
+    false_positives = len(report.findings)
+    print_table("Section 2 — outside-the-box FPs (typical machine)",
+                ("false positives", "classified as noise", "paper"),
+                [(false_positives, len(report.noise()), "two or less")])
+    assert false_positives <= 2
+    assert report.is_clean   # all of them classified benign
+
+
+def test_outside_scan_ccm_machine_and_fix(benchmark):
+    def run(__):
+        machine = fresh_machine("ccm-managed")
+        services = attach_standard_services(machine, with_ccm=True)
+        report_before = GhostBuster(machine).outside_scan(
+            resources=("files",), background_gap=120)
+        # The paper's fix: disable CCM and re-run.
+        ccm = next(service for service in services
+                   if isinstance(service, CcmService))
+        ccm.enabled = False
+        report_after = GhostBuster(machine).outside_scan(
+            resources=("files",), background_gap=120)
+        return report_before, report_after
+
+    report_before, report_after = bench_once(benchmark, setup=lambda: None,
+                                             action=run, rounds=1)
+    before = len(report_before.findings)
+    after = len(report_after.findings)
+    print_table("Section 2 — the CCM machine",
+                ("configuration", "false positives", "paper"),
+                [("CCM enabled", before, 7),
+                 ("CCM disabled", after, 2)])
+    assert before == 7
+    assert after == 2
+
+
+def test_noise_reasons_match_paper_list(benchmark):
+    """The FP culprits are the ones the paper names."""
+    def run(__):
+        machine = fresh_machine("reasons")
+        attach_standard_services(machine, with_ccm=True)
+        report = GhostBuster(machine).outside_scan(resources=("files",),
+                                                   background_gap=120)
+        return sorted({finding.noise_reason
+                       for finding in report.noise()})
+
+    reasons = bench_once(benchmark, setup=lambda: None, action=run,
+                         rounds=1)
+    print_table("Section 2 — FP classification",
+                ("reason",), [(reason,) for reason in reasons])
+    joined = " ".join(reasons).casefold()
+    assert "anti-virus" in joined
+    assert "ccm" in joined
+    assert "system restore" in joined

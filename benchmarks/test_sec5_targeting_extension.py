@@ -1,0 +1,104 @@
+"""E9 — Section 5: targeting issues and the DLL-injection extension.
+
+Three results:
+
+* utility-targeted and GhostBuster-targeted strains evade the standalone
+  GhostBuster EXE (it "cannot experience the hiding behavior");
+* injecting the GhostBuster DLL into every running process restores
+  detection for both;
+* the eTrust demonstration: the signature scanner alone finds nothing on
+  a Hacker Defender machine, GhostBuster-inside-the-scanner finds the
+  hidden files, and the signatures then name the malware — the dilemma.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.core.injection_ext import injected_scan
+from repro.ghostware import (GhostBusterAwareGhost, HackerDefender,
+                             UtilityTargetedGhost)
+from repro.workloads.signatures import SignatureScanner
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_targeted_strains_vs_extension(benchmark):
+    def run(__):
+        rows = []
+        for make_ghost in (lambda: UtilityTargetedGhost(),
+                           lambda: GhostBusterAwareGhost()):
+            machine = fresh_machine()
+            # Give the targeted strain its preferred victims:
+            machine.start_process("\\Windows\\explorer.exe",
+                                  name="taskmgr.exe")
+            ghost = make_ghost()
+            ghost.install(machine)
+            standalone = GhostBuster(machine).inside_scan(
+                resources=("files", "processes"))
+            injected = injected_scan(machine)
+            rows.append((ghost.name, not standalone.is_clean,
+                         not injected.is_clean,
+                         len(injected.detecting_processes)))
+        return rows
+
+    rows = bench_once(benchmark, setup=lambda: None, action=run, rounds=1)
+    print_table("Section 5 — targeted ghostware",
+                ("strain", "standalone EXE detects",
+                 "injected DLL detects", "detecting processes"), rows)
+    for name, standalone_hit, injected_hit, detectors in rows:
+        assert not standalone_hit, f"{name} must evade the standalone scan"
+        assert injected_hit, f"{name} must be caught by the extension"
+        assert detectors >= 1
+
+
+def test_etrust_dilemma(benchmark):
+    def run(__):
+        machine = fresh_machine()
+        HackerDefender().install(machine)
+        scanner = SignatureScanner()
+
+        blind_hits = scanner.on_demand_scan(machine)
+
+        # "Inject the GhostBuster DLL into the scanner process": run the
+        # cross-view diff from inside InocIT.exe, then hand the revealed
+        # paths to the signature engine.
+        inoc = scanner.ensure_process(machine)
+        report = GhostBuster(machine,
+                             scanner_process=inoc).inside_scan(
+            resources=("files",))
+        revealed = [finding.entry.path
+                    for finding in report.hidden_files()]
+        combined_hits = scanner.scan_hidden_candidates(machine, revealed)
+        return blind_hits, revealed, combined_hits
+
+    blind_hits, revealed, combined_hits = bench_once(
+        benchmark, setup=lambda: None, action=run)
+    print_table("Section 5 — the eTrust demonstration",
+                ("configuration", "result"),
+                [("signatures alone (hooked enumeration)",
+                  f"{len(blind_hits)} detections"),
+                 ("GhostBuster diff inside InocIT.exe",
+                  f"{len(revealed)} hidden files revealed"),
+                 ("signatures over revealed files",
+                  ", ".join(sorted({hit.malware
+                                    for hit in combined_hits})))])
+    assert blind_hits == []
+    assert len(revealed) >= 3
+    assert any("HackerDefender" in hit.malware for hit in combined_hits)
+
+
+def test_dilemma_other_horn(benchmark):
+    """If the malware does NOT hide, the signatures catch it directly."""
+    def run(__):
+        machine = fresh_machine()
+        ghost = HackerDefender()
+        ghost._install_persistent(machine)   # dropped, never activated
+        return SignatureScanner().on_demand_scan(machine)
+
+    hits = bench_once(benchmark, setup=lambda: None, action=run)
+    print_table("Section 5 — not hiding: the signatures win",
+                ("path", "signature"),
+                [(hit.path, hit.malware) for hit in hits])
+    assert any("HackerDefender" in hit.malware for hit in hits)

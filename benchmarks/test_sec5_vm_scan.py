@@ -1,0 +1,70 @@
+"""E10 — Section 5: VM-based outside-the-box automation.
+
+Two demonstrations from the paper: scanning a powered-down VM's virtual
+disk from the host ("a diff of the two scans revealed all the hidden
+files and contained zero false positive because the two scans were
+performed on exactly the same drive image"), and the automated
+WinPE-CD + VM flow with the auto-start scan hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vmscan import automated_winpe_vm_scan, vm_outside_scan
+from repro.ghostware import HackerDefender
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_vm_host_scan_detects_all_hidden_files(benchmark):
+    def run(__):
+        machine = fresh_machine("infected-vm")
+        HackerDefender().install(machine)
+        return vm_outside_scan(machine, power_up_after=False)
+
+    report = bench_once(benchmark, setup=lambda: None, action=run)
+    files = sorted(finding.entry.path
+                   for finding in report.hidden_files())
+    print_table("Section 5 — VM host scan of the powered-down drive",
+                ("hidden file",), [(path,) for path in files])
+    assert {"\\Windows\\hxdef100.exe", "\\Windows\\hxdefdrv.sys",
+            "\\Windows\\hxdef100.ini"} <= set(files)
+    hooks = {finding.entry.name for finding in report.hidden_hooks()}
+    assert "HackerDefender100" in hooks
+
+
+def test_vm_scan_zero_false_positives(benchmark):
+    """Same drive image on both sides of the diff → zero FPs."""
+    def run(__):
+        machine = fresh_machine("clean-vm")
+        return vm_outside_scan(machine, power_up_after=False)
+
+    report = bench_once(benchmark, setup=lambda: None, action=run)
+    print_table("Section 5 — VM scan false positives",
+                ("machine", "false positives", "paper"),
+                [("clean VM", len(report.findings), 0)])
+    assert report.findings == []
+
+
+def test_automated_winpe_vm_flow(benchmark):
+    def run(__):
+        machine = fresh_machine("auto-vm")
+        HackerDefender().install(machine)
+        report = automated_winpe_vm_scan(machine)
+        # The flow removed its RunOnce hook (consumed at boot):
+        leftover = machine.registry.enum_values(
+            "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\RunOnce")
+        return report, leftover
+
+    report, leftover = bench_once(benchmark, setup=lambda: None, action=run)
+    files = {finding.entry.path for finding in report.hidden_files()}
+    print_table("Section 5 — automated WinPE+VM flow",
+                ("step", "result"),
+                [("hidden files found", len(files)),
+                 ("RunOnce hook consumed", leftover == []),
+                 ("own artifacts excluded",
+                  all("gb_scan" not in path.casefold()
+                      for path in files))])
+    assert "\\Windows\\hxdef100.exe" in files
+    assert leftover == []

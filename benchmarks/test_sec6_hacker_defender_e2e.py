@@ -1,0 +1,68 @@
+"""E12 — Section 6: the Hacker Defender end-to-end walkthrough.
+
+Paper: "we were able to deterministically detect its presence within 5
+seconds through hidden-process detection, locate its hidden auto-start
+Registry keys within one minute, remove the keys to disable the malware,
+and reboot the machine to delete the now-visible files."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster, disinfect
+from repro.ghostware import HackerDefender
+
+from benchmarks.conftest import bench_once, fresh_machine, print_table
+
+
+def test_hacker_defender_kill_chain(benchmark):
+    def run(__):
+        machine = fresh_machine("hxdef-victim")
+        HackerDefender().install(machine)
+        ghostbuster = GhostBuster(machine, advanced=True)
+
+        t0 = machine.clock.now()
+        process_report = ghostbuster.inside_scan(
+            resources=("processes", "modules"))
+        detect_seconds = machine.clock.now() - t0
+
+        t1 = machine.clock.now()
+        registry_report = ghostbuster.inside_scan(resources=("registry",))
+        locate_seconds = machine.clock.now() - t1
+
+        full_report = ghostbuster.inside_scan()
+        log = disinfect(machine, full_report)
+
+        still_running = machine.process_by_name("hxdef100.exe") is not None
+        files_gone = not machine.volume.exists("\\Windows\\hxdef100.exe")
+        return (detect_seconds, process_report, locate_seconds,
+                registry_report, log, still_running, files_gone)
+
+    (detect_seconds, process_report, locate_seconds, registry_report,
+     log, still_running, files_gone) = bench_once(
+        benchmark, setup=lambda: None, action=run)
+
+    detected = any(finding.entry.name == "hxdef100.exe"
+                   for finding in process_report.hidden_processes())
+    hooks = len(registry_report.hidden_hooks())
+    print_table("Section 6 — Hacker Defender kill chain",
+                ("stage", "measured", "paper"),
+                [("detect presence (hidden process)",
+                  f"{detect_seconds:.1f} s, found={detected}",
+                  "within 5 s"),
+                 ("locate hidden ASEP keys",
+                  f"{locate_seconds:.1f} s, {hooks} hooks",
+                  "within 1 min"),
+                 ("remove keys + reboot",
+                  f"keys deleted: {len(log.deleted_keys)}",
+                  "malware disabled"),
+                 ("delete now-visible files",
+                  f"{len(log.deleted_files)} deleted, "
+                  f"running={still_running}",
+                  "files removed")])
+
+    assert detected and detect_seconds <= 5.0
+    assert hooks == 2 and locate_seconds <= 60.0
+    assert log.rebooted and not still_running
+    assert files_gone and log.verified_clean

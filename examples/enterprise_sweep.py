@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Enterprise sweep: remotely scan a fleet of desktops.
+
+The paper's pitch for the inside-the-box solution is that "corporate IT
+organizations can remotely deploy the solution on a large number of
+desktops without requiring user cooperation".  This example builds the
+paper's 8 test-machine fleet, quietly infects three of them with
+different ghostware, sweeps the fleet with the inside-the-box scan, and
+prints a per-machine report with the simulated scan durations.
+
+Run:  python examples/enterprise_sweep.py
+"""
+
+from repro import GhostBuster
+from repro.core import check_mass_hiding
+from repro.ghostware import Aphex, HackerDefender, ProBotSE
+from repro.workloads import PAPER_MACHINES, build_machine
+
+
+def sweep() -> None:
+    infections = {
+        "corp-desktop-2": HackerDefender,
+        "home-1": Aphex,
+        "laptop-1": ProBotSE,
+    }
+
+    print(f"{'machine':<18} {'hardware':<34} {'verdict':<10} "
+          f"{'scan time':>10}  findings")
+    print("-" * 100)
+
+    compromised = []
+    for profile in PAPER_MACHINES:
+        machine = build_machine(profile, seed=11)
+        ghost_cls = infections.get(profile.ident)
+        if ghost_cls is not None:
+            ghost_cls().install(machine)
+
+        report = GhostBuster(machine, advanced=True).inside_scan()
+        verdict = "CLEAN" if report.is_clean else "INFECTED"
+        if not report.is_clean:
+            compromised.append((machine, report))
+        headline = ""
+        if report.hidden_files():
+            headline = report.hidden_files()[0].entry.path
+        hardware = (f"{profile.cpu_mhz / 1000:.1f}GHz "
+                    f"{profile.disk_used_gb}GB {profile.kind}")
+        print(f"{profile.ident:<18} {hardware:<34} {verdict:<10} "
+              f"{report.total_duration():>9.1f}s  {headline}")
+
+    print("\n=== incident details ===")
+    for machine, report in compromised:
+        print(f"\n--- {machine.name} ---")
+        print(report.summary())
+        alert = check_mass_hiding(report)
+        if alert:
+            print(alert.describe())
+
+    assert len(compromised) == 3, "exactly the three seeded infections"
+    print("\nSweep complete: "
+          f"{len(compromised)}/{len(PAPER_MACHINES)} machines compromised.")
+
+
+if __name__ == "__main__":
+    sweep()

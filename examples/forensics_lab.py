@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A forensics lab session: every tool against one messy machine.
+
+One machine, four different stealth postures at once:
+
+* a hidden-attribute file (the intro's "simplest" trick — fools a plain
+  ``dir`` but not the API);
+* Hacker Defender (API interception — fools everything user-side);
+* an ADS payload (the future-work class — no enumeration API exists);
+* a kernel registry-callback hook (Section 3's alternative mechanism).
+
+The session walks the admin toolbox — ``dir``, ``tasklist``, RegEdit,
+AskStrider, ApiHookCheck — showing what each can and cannot see, then
+lets GhostBuster's cross-view diffs and the ADS scanner settle it.
+
+Run:  python examples/forensics_lab.py
+"""
+
+from repro import GhostBuster, Machine
+from repro.core import executable_streams, scan_alternate_streams
+from repro.ghostware import AdsGhost, CmCallbackGhost, HackerDefender
+from repro.ntfs.constants import DOS_FLAG_HIDDEN, DOS_FLAG_SYSTEM
+from repro.tools import api_hook_check, ask_strider, dir_s_b, tasklist
+
+
+def main() -> None:
+    machine = Machine("lab-pc", disk_mb=512)
+    machine.boot()
+
+    # Posture 1: the attribute trick.
+    machine.volume.create_file("\\Windows\\stash.db", b"loot",
+                               dos_flags=DOS_FLAG_HIDDEN | DOS_FLAG_SYSTEM)
+    # Postures 2-4: real ghostware.
+    HackerDefender().install(machine)
+    AdsGhost().install(machine)
+    CmCallbackGhost().install(machine)
+
+    print("=== what a plain `dir /s /b` sees ===")
+    naive = dir_s_b(machine, "\\Windows", show_hidden=False)
+    print("stash.db listed:", any("stash.db" in line for line in naive))
+    thorough = dir_s_b(machine, "\\Windows", show_hidden=True)
+    print("stash.db with /a:", any("stash.db" in line
+                                   for line in thorough))
+    print("hxdef100.exe with /a:",
+          any("hxdef100" in line for line in thorough),
+          "(interception beats any dir flag)")
+
+    print("\n=== tasklist ===")
+    names = {name for __, name in tasklist(machine)}
+    print("hxdef100.exe listed:", "hxdef100.exe" in names)
+
+    print("\n=== AskStrider ===")
+    strider = ask_strider(machine)
+    print("suspicious drivers:",
+          strider.suspicious_drivers(known_good=["cmfilt.sys"]))
+
+    print("\n=== ApiHookCheck (mechanism view) ===")
+    hooks = api_hook_check(machine)
+    print(f"user-mode hooks: {len(hooks.user_hooks)}; "
+          f"SSDT hooks: {len(hooks.ssdt_hooks)}")
+    print("note: the ADS ghost and the CM callback installed nothing "
+          "this scanner can see")
+
+    print("\n=== GhostBuster cross-view diffs ===")
+    report = GhostBuster(machine, advanced=True).detect()
+    print(report.summary())
+    assert not report.is_clean
+
+    print("\n=== ADS scan (the future-work gap) ===")
+    streams = scan_alternate_streams(machine)
+    for entry in executable_streams(streams):
+        print("  executable stream:", entry.describe())
+    assert executable_streams(streams)
+
+    print("\nVerdict: four stealth postures, four different detectors — "
+          "one cross-view principle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Hunting a commercial key-logger and a file hider.
+
+Two of the paper's ghostware classes have "legitimate" commercial faces:
+key-loggers that hide their keystroke logs, and file hiders that hide
+whatever the user selects.  Both use kernel-level interception (SSDT
+hooks / filter drivers), so no per-process check will ever spot them —
+but the cross-view diff does.
+
+Run:  python examples/keylogger_hunt.py
+"""
+
+from repro import GhostBuster, Machine
+from repro.core import check_mass_hiding
+from repro.ghostware import FileFolderProtector, ProBotSE
+
+
+def main() -> None:
+    machine = Machine("family-pc", disk_mb=512)
+    machine.boot()
+
+    print("=== the key-logger ===")
+    probot = ProBotSE(seed=777)
+    probot.install(machine)
+    probot.log_keystrokes(machine, "user: mom  pass: hunter2\n")
+    probot.log_keystrokes(machine, "bank pin: 0000\n")
+    print(f"ProBot SE installed; logging keystrokes to {probot.log_path}")
+
+    report = GhostBuster(machine, advanced=True).inside_scan()
+    print(report.summary())
+
+    hidden_paths = {finding.entry.path for finding in report.hidden_files()}
+    assert probot.log_path in hidden_paths, "the hidden log is exposed"
+    log_content = machine.volume.read_file(probot.log_path).decode()
+    print(f"\nrecovered hidden keystroke log ({probot.log_path}):")
+    for line in log_content.splitlines():
+        print(f"   | {line}")
+
+    hooks = {finding.entry.name for finding in report.hidden_hooks()}
+    print(f"\nhidden auto-start hooks to remove: {sorted(hooks)}")
+
+    print("\n=== the file hider, turned against the user ===")
+    # An attacker uses a commercial hider to conceal a staging area.
+    machine.volume.create_directories("\\ProgramData\\staging")
+    for index in range(30):
+        machine.volume.create_file(
+            f"\\ProgramData\\staging\\exfil{index:03d}.bin", b"loot")
+    hider = FileFolderProtector(hidden_paths=["\\ProgramData\\staging"])
+    hider.install(machine)
+
+    report2 = GhostBuster(machine).inside_scan(resources=("files",))
+    alert = check_mass_hiding(report2)
+    assert alert is not None
+    print(alert.describe())
+    print("\nVerdict: both tools detected by the same cross-view diff, "
+          "despite using\nSSDT hooks and a filter driver respectively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: detect and remove Hacker Defender with GhostBuster.
+
+Builds a simulated Windows machine, infects it with the paper's
+flagship rootkit, shows what the (lied-to) Win32 view and the raw MFT
+view each report, runs the inside-the-box cross-view diff, and finally
+walks the Section-6 removal story: delete the hidden ASEP hooks, reboot,
+delete the now-visible files.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GhostBuster, Machine, disinfect
+from repro.ghostware import HackerDefender
+from repro.ntfs import parse_volume
+
+
+def win32_listing(machine, directory):
+    """What an infected process sees in one directory."""
+    probe = machine.process_by_name("probe.exe") or \
+        machine.start_process("\\Windows\\explorer.exe", name="probe.exe")
+    handle, entry = probe.call("kernel32", "FindFirstFile", directory)
+    names = []
+    while entry is not None:
+        names.append(entry.name)
+        entry = probe.call("kernel32", "FindNextFile", handle)
+    return names
+
+
+def main() -> None:
+    print("=== 1. Build and boot a machine ===")
+    machine = Machine("victim-pc", disk_mb=512)
+    machine.boot()
+    print(f"booted {machine.name}: "
+          f"{len(machine.user_processes())} processes running")
+
+    print("\n=== 2. Infect with Hacker Defender 1.0 ===")
+    HackerDefender().install(machine)
+    print("installed: hxdef100.exe + hxdefdrv.sys + hxdef100.ini,")
+    print("           two hidden service ASEP hooks, NtDll detours")
+
+    print("\n=== 3. The lie vs the truth ===")
+    print("Win32 view of \\Windows:", win32_listing(machine, "\\Windows"))
+    raw_names = [entry.name for entry in parse_volume(machine.disk)
+                 if entry.path.startswith("\\Windows\\") and
+                 not entry.is_directory and "\\" not in entry.path[9:]]
+    print("raw MFT view of \\Windows:", raw_names)
+
+    print("\n=== 4. GhostBuster inside-the-box scan ===")
+    ghostbuster = GhostBuster(machine, advanced=True)
+    report = ghostbuster.detect()
+    print(report.summary())
+
+    print("\n=== 5. Removal: delete hooks, reboot, delete files ===")
+    log = disinfect(machine, report)
+    print(log.summary())
+
+    print("\n=== 6. Verify ===")
+    final = GhostBuster(machine, advanced=True).detect()
+    print(final.summary())
+    assert final.is_clean, "machine should be clean after disinfection"
+    print("\nDone: the machine is clean.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so modern PEP-517 editable installs (which build an editable wheel) fail.
+Keeping a setup.py and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Strider GhostBuster reproduction.
+
+A faithful, laptop-scale reproduction of *Detecting Stealth Software with
+Strider GhostBuster* (Wang et al., DSN 2005) on a simulated Windows
+substrate: a byte-level NTFS volume, regf-style registry hives, a
+pointer-linked simulated kernel, the hookable Win32/Native API stack, the
+paper's twelve ghostware programs, and the GhostBuster cross-view diff
+detector with its inside- and outside-the-box workflows.
+
+Quickstart::
+
+    from repro import Machine, GhostBuster
+    from repro.ghostware import HackerDefender
+
+    machine = Machine("victim")
+    machine.boot()
+    HackerDefender().install(machine)
+
+    report = GhostBuster(machine, advanced=True).detect()
+    print(report.summary())
+"""
+
+from repro.clock import SimClock
+from repro.disk import Disk, DiskGeometry
+from repro.machine import Machine, PerfModel
+from repro.core import (DetectionReport, Finding, GhostBuster,
+                        ResourceType, ScanSnapshot, WinPEEnvironment,
+                        cross_view_diff, disinfect)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimClock", "Disk", "DiskGeometry",
+    "Machine", "PerfModel",
+    "GhostBuster", "WinPEEnvironment",
+    "DetectionReport", "Finding", "ResourceType", "ScanSnapshot",
+    "cross_view_diff", "disinfect",
+    "__version__",
+]

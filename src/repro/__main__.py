@@ -1,0 +1,107 @@
+"""Command-line demos:  ``python -m repro <command>``.
+
+Commands
+--------
+demo      infect a machine with Hacker Defender, detect, disinfect
+matrix    print the Figure-2/5 technique × detection matrix
+sweep     RIS network-boot sweep over a small fleet
+unix      the Section-5 Unix rootkit experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_demo() -> int:
+    from repro import GhostBuster, Machine, disinfect
+    from repro.ghostware import HackerDefender
+
+    machine = Machine("demo-pc", disk_mb=512)
+    machine.boot()
+    HackerDefender().install(machine)
+    print("infected demo-pc with Hacker Defender 1.0\n")
+    report = GhostBuster(machine, advanced=True).detect()
+    print(report.summary())
+    print()
+    log = disinfect(machine, report)
+    print(f"disinfection: {log.summary()}")
+    return 0 if log.verified_clean else 1
+
+
+def cmd_matrix() -> int:
+    from repro.core import GhostBuster
+    from repro.ghostware import (Aphex, HackerDefender, HideFoldersXP,
+                                 NamingExploitGhost, ProBotSE, Urbin,
+                                 Vanquish)
+    from repro.machine import Machine
+
+    techniques = (
+        ("IAT modification (Urbin)", Urbin),
+        ("in-memory code patch (Vanquish)", Vanquish),
+        ("kernel32 jmp detour (Aphex)", Aphex),
+        ("ntdll jmp detour (Hacker Defender)", HackerDefender),
+        ("SSDT replacement (ProBot SE)", ProBotSE),
+        ("filter driver (Hide Folders XP)",
+         lambda: HideFoldersXP(hidden_paths=["\\Temp"])),
+        ("naming exploit (no hooks)", NamingExploitGhost),
+    )
+    print(f"{'technique':<42} detected")
+    print("-" * 52)
+    for label, factory in techniques:
+        machine = Machine("matrix", disk_mb=256, max_records=8192)
+        machine.boot()
+        factory().install(machine)
+        report = GhostBuster(machine).inside_scan(resources=("files",))
+        print(f"{label:<42} {'yes' if not report.is_clean else 'NO'}")
+    return 0
+
+
+def cmd_sweep() -> int:
+    from repro.core import RisServer
+    from repro.ghostware import Aphex
+    from repro.machine import Machine
+
+    machines = []
+    for index in range(4):
+        machine = Machine(f"client-{index}", disk_mb=256, max_records=8192)
+        machine.boot()
+        machines.append(machine)
+    Aphex().install(machines[2])
+    result = RisServer().sweep(machines)
+    print(result.summary())
+    return 0
+
+
+def cmd_unix() -> int:
+    from repro.unixsim import (Darkside, Superkit, Synapsis, T0rnkit,
+                               UnixMachine, unix_cross_view_scan)
+
+    for kit_cls in (Darkside, Superkit, Synapsis, T0rnkit):
+        machine = UnixMachine(flavor=getattr(kit_cls, "flavor", "linux"))
+        machine.populate(120)
+        kit = kit_cls()
+        kit.install(machine)
+        report = unix_cross_view_scan(machine, daemon_churn_files=3)
+        print(f"{kit.name:<16} hidden={len(report.hidden)} "
+              f"FPs={report.false_positive_count}")
+    return 0
+
+
+COMMANDS = {"demo": cmd_demo, "matrix": cmd_matrix, "sweep": cmd_sweep,
+            "unix": cmd_unix}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Strider GhostBuster reproduction demos")
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="which demo to run")
+    arguments = parser.parse_args(argv)
+    return COMMANDS[arguments.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+r"""Alternate Data Stream scanning — a paper future-work item, built.
+
+Section 6: "Stealth software may hide their persistent state in a form
+for which current OS does not provide query/enumeration APIs ...
+Examples include hiding executable code inside ... Alternate Data
+Streams (ADS)".  Pre-Vista Windows offers *no* stream enumeration API,
+so a payload in ``win.ini:payload`` is invisible to every utility —
+no hooking required.
+
+The cross-view idea still applies, degenerately: the high-level view of
+streams is *empty by construction*, so the "diff" is simply a raw-MFT
+enumeration of every named $DATA attribute.  Executable-looking streams
+(MZ header) are flagged loudest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import costmodel
+from repro.machine import Machine
+from repro.ntfs.mft_parser import MftParser
+
+_MZ = b"MZ"
+_PREVIEW = 24
+
+
+@dataclass(frozen=True)
+class AdsEntry:
+    """One alternate data stream found in the raw MFT."""
+
+    path: str
+    stream: str
+    size: int
+    executable: bool
+    preview: bytes
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.path}:{self.stream}"
+
+    def describe(self) -> str:
+        tag = " [EXECUTABLE]" if self.executable else ""
+        return f"{self.qualified_name} ({self.size}B){tag}"
+
+
+def scan_alternate_streams(machine: Machine,
+                           outside: bool = False) -> List[AdsEntry]:
+    """Enumerate every named stream from the raw MFT.
+
+    ``outside=True`` reads the physical disk (clean OS); otherwise the
+    kernel's raw disk port is used, like the other inside-the-box
+    low-level scans (and like them, interferable by privileged
+    ghostware).
+    """
+    read_bytes = machine.disk.read_bytes if outside \
+        else machine.kernel.disk_port.read_bytes
+    parser = MftParser(read_bytes)
+    entries: List[AdsEntry] = []
+    for parsed in parser.parse():
+        for stream_name in parsed.stream_names:
+            content = parser.read_stream_content(parsed.path, stream_name)
+            entries.append(AdsEntry(
+                path=parsed.path,
+                stream=stream_name,
+                size=len(content),
+                executable=content.startswith(_MZ),
+                preview=content[:_PREVIEW]))
+    costmodel.charge_low_file_scan(machine, len(entries), 0)
+    return entries
+
+
+def executable_streams(entries: List[AdsEntry]) -> List[AdsEntry]:
+    """The high-priority subset: streams carrying executable images."""
+    return [entry for entry in entries if entry.executable]

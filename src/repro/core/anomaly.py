@@ -1,0 +1,52 @@
+r"""Mass-hiding anomaly detection (Section 5).
+
+A ghostware author might hide a large number of *innocent* files along
+with the malware, hoping the analyst cannot tell which hidden file is the
+payload.  The paper's answer: the existence of a large number of hidden
+files is itself a serious anomaly — detection does not require telling
+the files apart.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.diff import DetectionReport
+from repro.ntfs.naming import parent_and_name
+
+DEFAULT_THRESHOLD = 25
+
+
+@dataclass(frozen=True)
+class MassHidingAlert:
+    """Raised (as data) when hidden-file volume crosses the threshold."""
+
+    hidden_count: int
+    threshold: int
+    top_directories: List[str]
+
+    def describe(self) -> str:
+        hot = ", ".join(self.top_directories)
+        return (f"ANOMALY: {self.hidden_count} hidden files "
+                f"(threshold {self.threshold}); concentrated in: {hot}")
+
+
+def check_mass_hiding(report: DetectionReport,
+                      threshold: int = DEFAULT_THRESHOLD
+                      ) -> Optional[MassHidingAlert]:
+    """Flag reports whose hidden-file count is anomalous."""
+    hidden = report.hidden_files()
+    if len(hidden) < threshold:
+        return None
+    directories = Counter()
+    for finding in hidden:
+        try:
+            parent, __ = parent_and_name(finding.entry.path)
+        except ValueError:
+            parent = "\\"
+        directories[parent] += 1
+    top = [directory for directory, __ in directories.most_common(3)]
+    return MassHidingAlert(hidden_count=len(hidden), threshold=threshold,
+                           top_directories=top)

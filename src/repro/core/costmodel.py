@@ -1,0 +1,104 @@
+"""Simulated-clock cost model for scans.
+
+Scan durations in the paper depend on disk size/speed, CPU speed, and
+machine usage.  Every scanner charges time here; the machine's
+:class:`~repro.machine.PerfModel` supplies hardware scaling
+(``cpu_scale``, ``disk_mbps``) and ``entity_scale`` (how many real files /
+registry entries / processes each simulated one stands for).
+
+Constants are calibrated so the 8 machine profiles of
+:mod:`repro.workloads.machines` land inside the paper's reported ranges:
+file detection 30 s – 7 min (38 min for the 95 GB workstation), ASEP
+detection 18–63 s, process+module detection 1–5 s, WinPE boot 1.5–3 min,
+crash dump 15–45 s.
+"""
+
+from __future__ import annotations
+
+# Per-entity costs, in seconds, at cpu_scale == 1.0.
+HIGH_FILE_API_COST = 1.1e-3        # one FindFirst/NextFile round trip
+LOW_FILE_RECORD_COST = 0.6e-3      # parse one MFT record + path assembly
+FILE_DIFF_COST = 0.05e-3           # hash-set lookup per entry
+
+REGISTRY_ENTRY_COST = 0.18e-3      # one ASEP entry through either view
+HIVE_PARSE_BYTE_COST = 1.2e-6      # raw hive cell parsing per (virtual) byte
+
+PROCESS_ENTRY_COST = 8e-3          # one process row (either view)
+MODULE_ENTRY_COST = 0.5e-3         # one module row (either view)
+
+WINPE_BOOT_SECONDS = 110.0         # paper: adds 1.5–3 minutes
+CRASH_DUMP_BASE_SECONDS = 8.0      # paper: adds 15–45 seconds
+DUMP_WRITE_MBPS = 24.0             # dump write throughput at 50 MB/s disk
+
+
+def _scaled(machine, count: int) -> float:
+    return count * machine.perf.entity_scale
+
+
+def charge_high_file_scan(machine, entry_count: int) -> float:
+    """Charge one recursive Win32 file enumeration."""
+    seconds = _scaled(machine, entry_count) * HIGH_FILE_API_COST \
+        / machine.perf.cpu_scale
+    machine.charge(seconds)
+    return seconds
+
+
+def charge_low_file_scan(machine, record_count: int,
+                         mft_bytes: int) -> float:
+    """Charge one raw MFT parse: CPU per record + disk for the region."""
+    cpu = _scaled(machine, record_count) * LOW_FILE_RECORD_COST \
+        / machine.perf.cpu_scale
+    disk = (mft_bytes * machine.perf.entity_scale
+            / (machine.perf.disk_mbps * 1024 * 1024))
+    seconds = cpu + disk
+    machine.charge(seconds)
+    return seconds
+
+
+def charge_diff(machine, entry_count: int) -> float:
+    """Charge the hash-set comparison of two snapshots."""
+    seconds = _scaled(machine, entry_count) * FILE_DIFF_COST \
+        / machine.perf.cpu_scale
+    machine.charge(seconds)
+    return seconds
+
+
+def charge_asep_scan(machine, entry_count: int, hive_bytes: int = 0) -> float:
+    """Charge one ASEP sweep; raw scans add hive-parsing per byte."""
+    cpu = _scaled(machine, max(entry_count, 1)) * REGISTRY_ENTRY_COST \
+        / machine.perf.cpu_scale
+    parse = hive_bytes * machine.perf.entity_scale * HIVE_PARSE_BYTE_COST \
+        / machine.perf.cpu_scale
+    seconds = cpu + parse
+    machine.charge(seconds)
+    return seconds
+
+
+def charge_process_scan(machine, process_count: int) -> float:
+    """Processes are not entity-scaled: profiles carry realistic counts."""
+    seconds = process_count * PROCESS_ENTRY_COST / machine.perf.cpu_scale
+    machine.charge(seconds)
+    return seconds
+
+
+def charge_module_scan(machine, module_count: int) -> float:
+    """Charge one per-process module enumeration pass."""
+    seconds = module_count * MODULE_ENTRY_COST / machine.perf.cpu_scale
+    machine.charge(seconds)
+    return seconds
+
+
+def charge_winpe_boot(clock, cpu_scale: float = 1.0) -> float:
+    """CD boot is mostly I/O-bound: CPU helps, within the paper's band."""
+    seconds = min(180.0, max(90.0, WINPE_BOOT_SECONDS / cpu_scale))
+    clock.advance(seconds)
+    return seconds
+
+
+def charge_crash_dump(machine, dump_bytes: int) -> float:
+    """Dump time is dominated by writing physical RAM to disk."""
+    ram_mb = getattr(machine.perf, "ram_mb", 256)
+    rate = DUMP_WRITE_MBPS * machine.perf.disk_mbps / 50.0
+    seconds = CRASH_DUMP_BASE_SECONDS + ram_mb / rate
+    machine.charge(seconds)
+    return seconds

@@ -1,0 +1,73 @@
+r"""Cross-time diff baseline — the Tripwire / Strider-Troubleshooter style.
+
+Section 1 contrasts GhostBuster's cross-*view* diff with the more common
+cross-*time* diff: comparing snapshots from two different points in time
+captures a broader range of malware (hiding or not) but "typically
+includes a significant number of false positives stemming from legitimate
+changes".  This baseline implements exactly that, so ablation A1 can put
+numbers on the comparison over identical workloads.
+
+The checkpoints read the low-level truth (raw MFT), like Tripwire's
+trusted database.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.machine import Machine
+from repro.ntfs.mft_parser import MftParser
+
+
+class ChangeKind(enum.Enum):
+    """How a file differs between two checkpoints."""
+
+    ADDED = "added"
+    REMOVED = "removed"
+    MODIFIED = "modified"
+
+
+@dataclass(frozen=True)
+class ChangeFinding:
+    """One persistent-state change between checkpoints."""
+
+    kind: ChangeKind
+    path: str
+
+    def describe(self) -> str:
+        return f"{self.kind.value}: {self.path}"
+
+
+Checkpoint = Dict[str, Tuple[int, float]]   # path → (size, modified)
+
+
+class CrossTimeDiffer:
+    """Tripwire-style snapshot/compare over one machine's disk."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def checkpoint(self) -> Checkpoint:
+        """Record (size, mtime) of every file from the raw truth."""
+        parser = MftParser(self.machine.disk.read_bytes)
+        snapshot: Checkpoint = {}
+        for entry in parser.parse():
+            if entry.is_directory:
+                continue
+            snapshot[entry.path.casefold()] = (entry.size, entry.modified)
+        return snapshot
+
+    @staticmethod
+    def diff(before: Checkpoint, after: Checkpoint) -> List[ChangeFinding]:
+        """Everything that changed — legitimate or not."""
+        findings: List[ChangeFinding] = []
+        for path in sorted(set(before) | set(after)):
+            if path not in before:
+                findings.append(ChangeFinding(ChangeKind.ADDED, path))
+            elif path not in after:
+                findings.append(ChangeFinding(ChangeKind.REMOVED, path))
+            elif before[path] != after[path]:
+                findings.append(ChangeFinding(ChangeKind.MODIFIED, path))
+        return findings

@@ -1,0 +1,110 @@
+"""The cross-view diff engine.
+
+The whole detection principle in one function: given the same state seen
+through two views at (nearly) the same instant — "the lie" (through the
+potentially hooked API) and "the truth" (raw structures or a clean OS) —
+anything present in the truth but absent from the lie has been *hidden*.
+
+Section 1 contrasts this with the cross-time diff of Tripwire: cross-view
+compares *views*, not *times*, so legitimate activity produces almost no
+noise — legitimate programs rarely hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.snapshot import ResourceType, ScanSnapshot
+from repro.errors import ScanError
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One resource present in the truth view but missing from the lie."""
+
+    resource_type: ResourceType
+    entry: object           # the truth view's entry
+    lie_view: str
+    truth_view: str
+    noise_reason: Optional[str] = None   # set by the noise filter
+
+    @property
+    def is_noise(self) -> bool:
+        return self.noise_reason is not None
+
+    def describe(self) -> str:
+        tag = f" [noise: {self.noise_reason}]" if self.is_noise else ""
+        return (f"{self.resource_type.value}: {self.entry.describe()} — "
+                f"in {self.truth_view}, missing from {self.lie_view}{tag}")
+
+
+def cross_view_diff(lie: ScanSnapshot, truth: ScanSnapshot) -> List[Finding]:
+    """Truth-minus-lie over entry identities."""
+    if lie.resource_type != truth.resource_type:
+        raise ScanError(
+            f"cannot diff {lie.resource_type} against {truth.resource_type}")
+    lie_identities = lie.identities()
+    findings: List[Finding] = []
+    for identity, entry in truth.identities().items():
+        if identity not in lie_identities:
+            findings.append(Finding(truth.resource_type, entry,
+                                    lie.view, truth.view))
+    return findings
+
+
+@dataclass
+class DetectionReport:
+    """Everything one GhostBuster run produced."""
+
+    machine_name: str
+    mode: str                                   # "inside" / "outside" / ...
+    findings: List[Finding] = field(default_factory=list)
+    durations: Dict[str, float] = field(default_factory=dict)
+    snapshots: List[ScanSnapshot] = field(default_factory=list)
+
+    def _of(self, resource_type: ResourceType,
+            include_noise: bool = False) -> List[Finding]:
+        return [finding for finding in self.findings
+                if finding.resource_type == resource_type
+                and (include_noise or not finding.is_noise)]
+
+    def hidden_files(self, include_noise: bool = False) -> List[Finding]:
+        return self._of(ResourceType.FILE, include_noise)
+
+    def hidden_hooks(self, include_noise: bool = False) -> List[Finding]:
+        return self._of(ResourceType.REGISTRY, include_noise)
+
+    def hidden_processes(self, include_noise: bool = False) -> List[Finding]:
+        return self._of(ResourceType.PROCESS, include_noise)
+
+    def hidden_modules(self, include_noise: bool = False) -> List[Finding]:
+        return self._of(ResourceType.MODULE, include_noise)
+
+    def noise(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.is_noise]
+
+    @property
+    def is_clean(self) -> bool:
+        return not any(not finding.is_noise for finding in self.findings)
+
+    def total_duration(self) -> float:
+        return sum(self.durations.values())
+
+    def summary(self) -> str:
+        lines = [f"GhostBuster {self.mode} scan of {self.machine_name!r}: "
+                 f"{'CLEAN' if self.is_clean else 'INFECTED'} "
+                 f"({self.total_duration():.1f}s simulated)"]
+        for label, items in (("hidden files", self.hidden_files()),
+                             ("hidden ASEP hooks", self.hidden_hooks()),
+                             ("hidden processes", self.hidden_processes()),
+                             ("hidden modules", self.hidden_modules())):
+            if items:
+                lines.append(f"  {label} ({len(items)}):")
+                lines.extend(f"    {finding.entry.describe()}"
+                             for finding in items)
+        filtered = self.noise()
+        if filtered:
+            lines.append(f"  filtered as noise ({len(filtered)}):")
+            lines.extend(f"    {finding.describe()}" for finding in filtered)
+        return "\n".join(lines)

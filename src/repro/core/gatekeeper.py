@@ -1,0 +1,90 @@
+r"""Gatekeeper — the companion ASEP monitor ([WRV+04], Section 3).
+
+The paper builds on its authors' earlier Gatekeeper work: "the
+ASEP-based monitoring and scanning technique is effective for detecting
+spyware" — a *cross-time* watch over the auto-start points, catching any
+program (hiding or not) the moment it plants a hook.
+
+The two tools compose: Gatekeeper sees every *visible* new hook,
+including those of malware that never hides; GhostBuster sees every
+*hidden* hook, including those planted before monitoring began.  The
+combined-coverage ablation (`benchmarks/test_ablation_gatekeeper.py`)
+quantifies exactly that.
+
+Gatekeeper reads through the Win32 API like any resident agent would —
+so ghostware that hides its hook from the API hides from Gatekeeper too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scanners.registry import Win32ApiReader
+from repro.machine import Machine
+from repro.registry.asep import ASEP_CATALOG, enumerate_asep_hooks
+from repro.usermode.process import Process
+
+
+class HookChange(enum.Enum):
+    """Direction of an ASEP change between checkpoints."""
+
+    ADDED = "added"
+    REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class AsepChange:
+    """One auto-start hook appearing or disappearing over time."""
+
+    change: HookChange
+    location: str
+    key_path: str
+    name: str
+    data: str
+
+    def describe(self) -> str:
+        return (f"{self.change.value}: {self.key_path}\\{self.name}"
+                f"{' → ' + self.data if self.data else ''}")
+
+
+AsepCheckpoint = Dict[Tuple, Tuple[str, str, str, str]]
+
+
+class GatekeeperMonitor:
+    """Cross-time watcher over the ASEP catalog (Win32 view)."""
+
+    def __init__(self, machine: Machine,
+                 process: Optional[Process] = None):
+        self.machine = machine
+        self._process = process
+
+    def checkpoint(self) -> AsepCheckpoint:
+        """Record every currently visible ASEP hook."""
+        reader = Win32ApiReader(self.machine, self._process)
+        hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+        return {hook.identity: (hook.location, hook.key_path, hook.name,
+                                hook.data)
+                for hook in hooks}
+
+    @staticmethod
+    def diff(before: AsepCheckpoint,
+             after: AsepCheckpoint) -> List[AsepChange]:
+        """Hooks added or removed between two checkpoints."""
+        changes: List[AsepChange] = []
+        for identity in sorted(set(after) - set(before)):
+            location, key_path, name, data = after[identity]
+            changes.append(AsepChange(HookChange.ADDED, location,
+                                      key_path, name, data))
+        for identity in sorted(set(before) - set(after)):
+            location, key_path, name, data = before[identity]
+            changes.append(AsepChange(HookChange.REMOVED, location,
+                                      key_path, name, data))
+        return changes
+
+    def watch(self, action) -> List[AsepChange]:
+        """Checkpoint, run ``action()``, checkpoint again, diff."""
+        before = self.checkpoint()
+        action()
+        return self.diff(before, self.checkpoint())

@@ -1,0 +1,213 @@
+r"""The GhostBuster tool facade.
+
+Combines the per-resource scanners into the paper's two workflows:
+
+* :meth:`GhostBuster.inside_scan` — high-level vs low-level snapshots of
+  files, ASEP hooks, processes, and modules, diffed inside the running
+  (possibly compromised) OS.  Fast enough to run daily; defeated only by
+  ghostware that interferes with the raw scan paths themselves.
+* :meth:`GhostBuster.outside_scan` — the high-level snapshots are taken
+  inside, the machine reboots into a clean WinPE environment, the truth
+  is scanned from outside, and the diff (plus noise filtering for the
+  reboot-window churn) exposes anything hidden.  Volatile state crosses
+  the reboot via a forced kernel crash dump.
+
+``advanced=True`` turns on the thread-table traversal that recovers
+DKOM-hidden processes (FU), at both the inside and outside levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core import costmodel
+from repro.core.diff import DetectionReport, Finding, cross_view_diff
+from repro.core.noise import NoiseFilter
+from repro.core.scanners import files as file_scans
+from repro.core.scanners import modules as module_scans
+from repro.core.scanners import processes as process_scans
+from repro.core.scanners import registry as registry_scans
+from repro.core.snapshot import ScanSnapshot
+from repro.kernel.crashdump import write_dump
+from repro.machine import Machine
+from repro.usermode.process import Process
+
+ALL_RESOURCES = ("files", "registry", "processes", "modules")
+DUMP_PATH = "\\Windows\\MEMORY.DMP"
+
+
+class GhostBuster:
+    """One tool instance bound to one machine."""
+
+    def __init__(self, machine: Machine, advanced: bool = False,
+                 noise_filter: Optional[NoiseFilter] = None,
+                 scanner_process: Optional[Process] = None,
+                 interleave_gap: float = 0.0):
+        self.machine = machine
+        self.advanced = advanced
+        self.noise_filter = noise_filter or NoiseFilter()
+        self._scanner_process = scanner_process
+        # Section 2: "files may be created in the very small time window
+        # between when the high- and low-level scans are taken" — this
+        # widens that window (with background services running) so the
+        # rare inside-the-box race FPs can be studied.
+        self.interleave_gap = interleave_gap
+
+    # -- inside-the-box ---------------------------------------------------------
+
+    def inside_scan(self, resources: Iterable[str] = ALL_RESOURCES
+                    ) -> DetectionReport:
+        """High-level vs low-level cross-view diff, inside the box."""
+        report = DetectionReport(self.machine.name, mode="inside")
+        wanted = set(resources)
+        if "files" in wanted:
+            self._inside_files(report)
+        if "registry" in wanted:
+            self._inside_registry(report)
+        if "processes" in wanted:
+            self._inside_processes(report)
+        if "modules" in wanted:
+            self._inside_modules(report)
+        return report
+
+    def _diff_into(self, report: DetectionReport, label: str,
+                   lie: ScanSnapshot, truth: ScanSnapshot,
+                   filter_noise: bool = False) -> List[Finding]:
+        findings = cross_view_diff(lie, truth)
+        costmodel.charge_diff(self.machine, len(lie) + len(truth))
+        if filter_noise:
+            findings = self.noise_filter.apply(findings)
+        self._merge(report, findings)
+        report.durations[label] = report.durations.get(label, 0.0) \
+            + lie.duration + truth.duration
+        report.snapshots.extend([lie, truth])
+        return findings
+
+    @staticmethod
+    def _merge(report: DetectionReport, findings: List[Finding]) -> None:
+        known = {(f.resource_type, f.entry.identity) for f in report.findings}
+        for finding in findings:
+            key = (finding.resource_type, finding.entry.identity)
+            if key not in known:
+                report.findings.append(finding)
+                known.add(key)
+
+    def _inside_files(self, report: DetectionReport) -> None:
+        lie = file_scans.high_level_file_scan(self.machine,
+                                              self._scanner_process)
+        if self.interleave_gap > 0:
+            self.machine.run_background(self.interleave_gap)
+        truth = file_scans.low_level_file_scan(self.machine)
+        self._diff_into(report, "files", lie, truth,
+                        filter_noise=self.interleave_gap > 0)
+
+    def _inside_registry(self, report: DetectionReport) -> None:
+        lie = registry_scans.high_level_asep_scan(self.machine,
+                                                  self._scanner_process)
+        truth = registry_scans.low_level_asep_scan(self.machine)
+        self._diff_into(report, "registry", lie, truth)
+
+    def _inside_processes(self, report: DetectionReport) -> None:
+        lie = process_scans.high_level_process_scan(self.machine,
+                                                    self._scanner_process)
+        truth = process_scans.low_level_process_scan(self.machine)
+        self._diff_into(report, "processes", lie, truth)
+        if self.advanced:
+            deeper_truth = process_scans.advanced_process_scan(self.machine)
+            self._diff_into(report, "processes", lie, deeper_truth)
+
+    def _inside_modules(self, report: DetectionReport) -> None:
+        """Module diff, scoped to processes both views can enumerate.
+
+        A *hidden process* takes its whole module list with it; reporting
+        each of those modules would duplicate the process detector's
+        finding, so the module diff covers visible processes only — which
+        is exactly how Vanquish's blanked ``vanquish.dll`` shows up in
+        many otherwise-visible processes (Figure 6).
+        """
+        lie = module_scans.high_level_module_scan(self.machine,
+                                                  self._scanner_process)
+        truth = module_scans.low_level_module_scan(
+            self.machine, use_thread_table=self.advanced)
+        visible_pids = getattr(lie, "scanned_pids",
+                               {entry.pid for entry in lie.entries})
+        truth.entries = [entry for entry in truth.entries
+                         if entry.pid in visible_pids]
+        self._diff_into(report, "modules", lie, truth)
+
+    # -- outside-the-box ---------------------------------------------------------
+
+    def write_crash_dump(self, path: str = DUMP_PATH) -> str:
+        """Induce the blue screen: persist kernel memory to a dump file."""
+        blob = write_dump(self.machine.kernel)
+        volume = self.machine.volume
+        if volume.exists(path):
+            volume.write_file(path, blob)
+        else:
+            volume.create_file(path, blob)
+        costmodel.charge_crash_dump(self.machine, len(blob))
+        return path
+
+    def outside_scan(self, resources: Iterable[str] = ALL_RESOURCES,
+                     background_gap: float = 0.0,
+                     win32_naming: bool = True,
+                     reboot_after: bool = True) -> DetectionReport:
+        """Full outside-the-box workflow.
+
+        1. take the inside high-level snapshots (the lie);
+        2. if volatile resources are wanted, blue-screen for a dump;
+        3. let ``background_gap`` seconds of normal activity pass (the
+           churn that causes the paper's outside-the-box FPs);
+        4. shut down, boot WinPE, scan the truth from outside;
+        5. diff, classify noise, and optionally reboot back.
+        """
+        from repro.core.winpe import WinPEEnvironment
+
+        wanted = set(resources)
+        report = DetectionReport(self.machine.name, mode="outside")
+
+        lies: Dict[str, ScanSnapshot] = {}
+        if "files" in wanted:
+            lies["files"] = file_scans.high_level_file_scan(
+                self.machine, self._scanner_process)
+        if "registry" in wanted:
+            lies["registry"] = registry_scans.high_level_asep_scan(
+                self.machine, self._scanner_process)
+        if "processes" in wanted or "modules" in wanted:
+            lies["processes"] = process_scans.high_level_process_scan(
+                self.machine, self._scanner_process)
+            self.write_crash_dump()
+
+        if background_gap > 0:
+            self.machine.run_background(background_gap)
+
+        self.machine.shutdown()
+        winpe = WinPEEnvironment(self.machine)
+        winpe.boot()
+
+        if "files" in wanted:
+            truth = winpe.file_scan(win32_naming=win32_naming)
+            self._diff_into(report, "files", lies["files"], truth,
+                            filter_noise=True)
+        if "registry" in wanted:
+            truth = winpe.asep_scan(win32_semantics=win32_naming)
+            self._diff_into(report, "registry", lies["registry"], truth,
+                            filter_noise=True)
+        if "processes" in wanted:
+            truth = winpe.process_scan(advanced=False)
+            self._diff_into(report, "processes", lies["processes"], truth)
+            if self.advanced:
+                deeper = winpe.process_scan(advanced=True)
+                self._diff_into(report, "processes", lies["processes"],
+                                deeper)
+        report.durations["winpe-boot"] = winpe.boot_seconds
+
+        if reboot_after:
+            self.machine.boot()
+        return report
+
+    # -- convenience ---------------------------------------------------------------
+
+    def detect(self) -> DetectionReport:
+        """The default daily check: a full inside-the-box scan."""
+        return self.inside_scan()

@@ -1,0 +1,102 @@
+r"""The Section-5 DLL-injection extension: every process is a GhostBuster.
+
+A stand-alone GhostBuster EXE can itself be targeted: ghostware can hide
+from every process *except* the scanner, or hide only from specific OS
+utilities the scanner is not one of.  The countermeasure injects the
+GhostBuster DLL into every running process and runs the scan-and-diff
+*from inside each one* — Explorer, Task Manager, RegEdit, and notably any
+anti-virus scanner become GhostBusters.  Hiding from any of them now
+produces a diff; not hiding exposes the malware to that process's own
+function (e.g. the AV engine's signatures) — the paper's dilemma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.diff import Finding, cross_view_diff
+from repro.core.scanners import files as file_scans
+from repro.core.scanners import processes as process_scans
+from repro.machine import Machine
+from repro.usermode.injection import inject_into_all
+
+GB_DLL_PATH = "\\Program Files\\GhostBuster\\ghostbuster.dll"
+
+
+def install_gb_dll(machine: Machine) -> int:
+    """Drop the GhostBuster DLL and inject it everywhere; returns count."""
+    volume = machine.volume
+    if not volume.exists(GB_DLL_PATH):
+        volume.create_directories("\\Program Files\\GhostBuster")
+        volume.create_file(GB_DLL_PATH, b"MZghostbusterdll")
+    machine.register_program(GB_DLL_PATH, _mark_injected)
+    return inject_into_all(machine, GB_DLL_PATH)
+
+
+def _mark_injected(machine: Machine, process) -> None:
+    process.gb_injected = True
+
+
+def injected_process_names(machine: Machine) -> List[str]:
+    """Which processes currently host the GhostBuster DLL."""
+    return [process.name for process in machine.user_processes()
+            if getattr(process, "gb_injected", False)]
+
+
+@dataclass
+class InjectedScanResult:
+    """Findings per hosting process, plus the union."""
+
+    per_process: Dict[str, List[Finding]] = field(default_factory=dict)
+    combined: List[Finding] = field(default_factory=list)
+
+    @property
+    def detecting_processes(self) -> List[str]:
+        return sorted(name for name, findings in self.per_process.items()
+                      if findings)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.combined
+
+
+def injected_scan(machine: Machine,
+                  resources=("files", "processes")) -> InjectedScanResult:
+    """Run the cross-view diff from inside every injected process.
+
+    The low-level truth is gathered once; the high-level (lie) scan runs
+    separately *as each process*, so per-process-selective hiding is
+    experienced by at least one of the hosts.
+    """
+    install_gb_dll(machine)
+    result = InjectedScanResult()
+    wanted = set(resources)
+
+    truth_snapshots = {}
+    if "files" in wanted:
+        truth_snapshots["files"] = file_scans.low_level_file_scan(machine)
+    if "processes" in wanted:
+        truth_snapshots["processes"] = \
+            process_scans.advanced_process_scan(machine)
+
+    seen = set()
+    for process in list(machine.user_processes()):
+        if not getattr(process, "gb_injected", False):
+            continue
+        findings: List[Finding] = []
+        if "files" in wanted:
+            lie = file_scans.high_level_file_scan(machine, process=process)
+            findings.extend(cross_view_diff(lie, truth_snapshots["files"]))
+        if "processes" in wanted:
+            lie = process_scans.high_level_process_scan(machine,
+                                                        process=process)
+            findings.extend(
+                cross_view_diff(lie, truth_snapshots["processes"]))
+        result.per_process[process.name] = findings
+        for finding in findings:
+            key = (finding.resource_type, finding.entry.identity)
+            if key not in seen:
+                seen.add(key)
+                result.combined.append(finding)
+    return result

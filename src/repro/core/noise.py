@@ -1,0 +1,74 @@
+r"""False-positive classification for outside-the-box diffs.
+
+Inside-the-box scans take both views milliseconds apart and show
+essentially zero false positives.  The outside-the-box path has a
+minutes-long gap (background activity + reboot) between the inside
+high-level scan and the outside truth scan, so files created in the gap
+appear "hidden".  The paper reports the culprits: log files of
+always-running services (anti-virus real-time scanners, CCM), System
+Restore change logs, OS prefetch files, and browser temporary files —
+"easily filtered out"; this module is that filter.
+
+A finding is *classified*, never silently dropped: noise findings stay in
+the report with their reason attached, so a user can always inspect them.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.diff import Finding
+from repro.core.snapshot import ResourceType
+
+# (glob over the full path, reason) — order matters, first match wins.
+DEFAULT_NOISE_PATTERNS: Tuple[Tuple[str, str], ...] = (
+    ("*\\prefetch\\*.pf", "OS prefetch file"),
+    ("\\system volume information\\*", "System Restore change log"),
+    ("*\\temporary internet files\\*", "browser temporary file"),
+    ("*\\ccm\\logs\\*", "CCM service log"),
+    ("*\\ccm\\*", "CCM service state"),
+    ("*antivirus*\\*.log", "anti-virus real-time scanner log"),
+    ("*\\avlogs\\*", "anti-virus real-time scanner log"),
+    ("*.tmp", "temporary file"),
+)
+
+
+def classify_noise(finding: Finding,
+                   patterns: Sequence[Tuple[str, str]] =
+                   DEFAULT_NOISE_PATTERNS) -> Optional[str]:
+    """Return a benign-noise reason for a finding, or None if suspicious."""
+    if finding.resource_type is not ResourceType.FILE:
+        return None
+    path = finding.entry.path.casefold()
+    for pattern, reason in patterns:
+        if fnmatch.fnmatch(path, pattern.casefold()):
+            return reason
+    return None
+
+
+class NoiseFilter:
+    """Annotates findings with noise classifications."""
+
+    def __init__(self, patterns: Sequence[Tuple[str, str]] =
+                 DEFAULT_NOISE_PATTERNS,
+                 extra_patterns: Sequence[Tuple[str, str]] = ()):
+        self.patterns = tuple(patterns) + tuple(extra_patterns)
+
+    def apply(self, findings: List[Finding]) -> List[Finding]:
+        out = []
+        for finding in findings:
+            reason = classify_noise(finding, self.patterns)
+            if reason is not None:
+                finding = replace(finding, noise_reason=reason)
+            out.append(finding)
+        return out
+
+    def split(self, findings: List[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """(suspicious, noise) after classification."""
+        annotated = self.apply(findings)
+        suspicious = [f for f in annotated if not f.is_noise]
+        noise = [f for f in annotated if f.is_noise]
+        return suspicious, noise

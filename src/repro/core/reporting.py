@@ -1,0 +1,99 @@
+"""Report serialization: JSON and plain-text renderings.
+
+Enterprise deployments (the RIS sweep, scheduled daily scans) need
+reports that survive the scanning session — this module renders a
+:class:`~repro.core.diff.DetectionReport` to a stable JSON document and
+back-of-the-envelope text, and can write either onto a machine's own
+volume (the paper's flow saves scan results to files for later
+comparison).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.core.diff import DetectionReport, Finding
+from repro.core.snapshot import (FileEntry, ModuleEntry, ProcessEntry,
+                                 RegistryHookEntry, ResourceType)
+
+
+def _entry_to_dict(entry) -> Dict:
+    if isinstance(entry, FileEntry):
+        return {"path": entry.path, "name": entry.name,
+                "is_directory": entry.is_directory, "size": entry.size}
+    if isinstance(entry, RegistryHookEntry):
+        return {"location": entry.location, "key_path": entry.key_path,
+                "name": entry.name, "data": entry.data}
+    if isinstance(entry, ProcessEntry):
+        return {"pid": entry.pid, "name": entry.name}
+    if isinstance(entry, ModuleEntry):
+        return {"pid": entry.pid, "process_name": entry.process_name,
+                "module_path": entry.module_path}
+    return {"describe": entry.describe()}
+
+
+def finding_to_dict(finding: Finding) -> Dict:
+    """One finding as a JSON-ready dict."""
+    return {
+        "resource_type": finding.resource_type.value,
+        "lie_view": finding.lie_view,
+        "truth_view": finding.truth_view,
+        "noise_reason": finding.noise_reason,
+        "entry": _entry_to_dict(finding.entry),
+    }
+
+
+def report_to_dict(report: DetectionReport) -> Dict:
+    """The whole report as a JSON-ready dict (stable field set)."""
+    return {
+        "machine": report.machine_name,
+        "mode": report.mode,
+        "verdict": "clean" if report.is_clean else "infected",
+        "durations": dict(report.durations),
+        "total_duration": report.total_duration(),
+        "findings": [finding_to_dict(finding)
+                     for finding in report.findings],
+        "counts": {
+            "hidden_files": len(report.hidden_files()),
+            "hidden_hooks": len(report.hidden_hooks()),
+            "hidden_processes": len(report.hidden_processes()),
+            "hidden_modules": len(report.hidden_modules()),
+            "noise": len(report.noise()),
+        },
+    }
+
+
+def report_to_json(report: DetectionReport, indent: int = 2) -> str:
+    """Stable JSON rendering (NULs in registry names are escaped)."""
+    return json.dumps(report_to_dict(report), indent=indent,
+                      sort_keys=True)
+
+
+def load_report_dict(text: str) -> Dict:
+    """Parse a previously serialized report (schema-checked lightly)."""
+    document = json.loads(text)
+    for field in ("machine", "mode", "verdict", "findings", "counts"):
+        if field not in document:
+            raise ValueError(f"not a GhostBuster report: missing {field}")
+    return document
+
+
+def save_report_to_volume(machine, report: DetectionReport,
+                          path: str = "\\gb_report.json") -> str:
+    """Persist the report onto the machine's own volume."""
+    blob = report_to_json(report).encode("utf-8")
+    if machine.volume.exists(path):
+        machine.volume.write_file(path, blob)
+    else:
+        machine.volume.create_file(path, blob)
+    return path
+
+
+def summarize_findings(findings: List[Finding]) -> Dict[str, int]:
+    """Counts per resource type, noise excluded."""
+    counts = {resource.value: 0 for resource in ResourceType}
+    for finding in findings:
+        if not finding.is_noise:
+            counts[finding.resource_type.value] += 1
+    return counts

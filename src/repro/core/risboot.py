@@ -1,0 +1,104 @@
+r"""RIS network-boot automation (Section 5).
+
+"In an enterprise environment, the CD boot can be replaced by a network
+boot through the Remote Installation Service (RIS): upon a reboot, a
+client machine contacts the RIS server to obtain a network boot loader,
+which then performs the outside-the-box scan and diff."
+
+:class:`RisServer` models the server side: it sweeps whole fleets
+through the outside-the-box workflow with no CDs and no user at the
+console — the deployment story that makes clean-boot scanning viable at
+corporate scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.diff import DetectionReport
+from repro.core.ghostbuster import GhostBuster
+from repro.core.noise import NoiseFilter
+from repro.core.scanners import files as file_scans
+from repro.core.scanners import registry as registry_scans
+from repro.core.winpe import WinPEEnvironment
+from repro.machine import Machine
+
+NETWORK_BOOT_SECONDS = 75.0   # PXE + loader download: faster than a CD
+
+
+@dataclass
+class RisSweepResult:
+    """Outcome of one fleet sweep."""
+
+    reports: Dict[str, DetectionReport] = field(default_factory=dict)
+
+    @property
+    def infected_machines(self) -> List[str]:
+        return sorted(name for name, report in self.reports.items()
+                      if not report.is_clean)
+
+    def summary(self) -> str:
+        lines = [f"RIS sweep: {len(self.reports)} machines, "
+                 f"{len(self.infected_machines)} infected"]
+        for name in self.infected_machines:
+            report = self.reports[name]
+            lines.append(f"  {name}: {len(report.findings)} findings")
+        return "\n".join(lines)
+
+
+class RisServer:
+    """The Remote Installation Service scan orchestrator."""
+
+    def __init__(self, noise_filter: Optional[NoiseFilter] = None):
+        self.noise_filter = noise_filter or NoiseFilter()
+
+    def network_boot_scan(self, machine: Machine,
+                          resources=("files", "registry"),
+                          background_gap: float = 0.0,
+                          reboot_after: bool = True) -> DetectionReport:
+        """One client's outside-the-box scan via PXE network boot."""
+        wanted = set(resources)
+        report = DetectionReport(machine.name, mode="ris-netboot")
+        ghostbuster = GhostBuster(machine,
+                                  noise_filter=self.noise_filter)
+
+        lies = {}
+        if "files" in wanted:
+            lies["files"] = file_scans.high_level_file_scan(machine)
+        if "registry" in wanted:
+            lies["registry"] = registry_scans.high_level_asep_scan(machine)
+
+        if background_gap > 0:
+            machine.run_background(background_gap)
+        machine.shutdown()
+
+        # PXE boot into the RIS-served scan environment.
+        boot_seconds = NETWORK_BOOT_SECONDS / max(machine.perf.cpu_scale,
+                                                  0.8)
+        machine.clock.advance(boot_seconds)
+        report.durations["network-boot"] = boot_seconds
+
+        environment = WinPEEnvironment(machine)
+        environment.booted = True   # RIS delivered the clean environment
+        if "files" in wanted:
+            truth = environment.file_scan(win32_naming=True)
+            ghostbuster._diff_into(report, "files", lies["files"], truth,
+                                   filter_noise=True)
+        if "registry" in wanted:
+            truth = environment.asep_scan()
+            ghostbuster._diff_into(report, "registry", lies["registry"],
+                                   truth, filter_noise=True)
+
+        if reboot_after:
+            machine.boot()
+        return report
+
+    def sweep(self, machines: Iterable[Machine],
+              resources=("files", "registry")) -> RisSweepResult:
+        """Scan a whole fleet, one network boot per client."""
+        result = RisSweepResult()
+        for machine in machines:
+            result.reports[machine.name] = self.network_boot_scan(
+                machine, resources=resources)
+        return result

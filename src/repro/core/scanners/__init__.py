@@ -1,0 +1,10 @@
+"""Scanners: one module per resource type, each producing ScanSnapshots.
+
+Every resource type offers (at least) a *high-level* scan through the
+hookable API stack, a *low-level* scan of raw structures inside the box,
+and an *outside* scan usable from a clean OS.
+"""
+
+from repro.core.scanners import files, registry, processes, modules
+
+__all__ = ["files", "registry", "processes", "modules"]

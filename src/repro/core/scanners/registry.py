@@ -1,0 +1,214 @@
+r"""Registry (ASEP hook) scanners — Section 3.
+
+Three readers feed the same catalog-driven enumerator
+(:func:`repro.registry.asep.enumerate_asep_hooks`):
+
+* :class:`Win32ApiReader` — RegEnumKey/RegEnumValue/RegQueryValue calls
+  issued as a process, through every hookable layer, with Win32 string
+  semantics (the lie);
+* :class:`RawHiveReader` — reads each hive's backing *file* straight off
+  the MFT through the raw disk port and parses the bytes: no registry API
+  anywhere in the path, counted-string semantics (the inside truth
+  approximation);
+* :class:`OutsideHiveReader` — same parse against the physical disk from
+  the clean OS; Win32 semantics by default (the paper mounts the hives
+  and scans with Win32 tools), raw mode optionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import costmodel
+from repro.core.scanners.files import ensure_scanner_process
+from repro.core.snapshot import (RegistryHookEntry, ResourceType,
+                                 ScanSnapshot)
+from repro.machine import HIVE_FILES, Machine
+from repro.ntfs.mft_parser import MftParser
+from repro.registry.asep import (ASEP_CATALOG, AsepHook, ValueView,
+                                 enumerate_asep_hooks)
+from repro.registry.hive import decode_value
+from repro.registry.hive_parser import ParsedKey, parse_hive
+from repro.usermode.process import Process
+
+_MAX_WIN32_NAME = 255
+
+
+class Win32ApiReader:
+    """ASEP reader over the live Win32 API (through the hook stack)."""
+
+    def __init__(self, machine: Machine, process: Optional[Process] = None):
+        self.process = ensure_scanner_process(machine, process)
+
+    def key_exists(self, path: str) -> bool:
+        return self.process.call("advapi32", "RegKeyExists", path)
+
+    def enum_subkeys(self, path: str) -> List[str]:
+        return self.process.call("advapi32", "RegEnumKey", path)
+
+    def enum_values(self, path: str) -> List[ValueView]:
+        return self.process.call("advapi32", "RegEnumValue", path)
+
+    def get_value(self, path: str, name: str) -> Optional[ValueView]:
+        return self.process.call("advapi32", "RegQueryValue", path, name)
+
+
+class _ParsedHiveForest:
+    """Shared navigation over {mount root → ParsedKey} for raw readers."""
+
+    def __init__(self, roots: Dict[str, ParsedKey], win32_semantics: bool):
+        self._roots = {mount.casefold(): root
+                       for mount, root in roots.items()}
+        self.win32 = win32_semantics
+
+    def _find(self, path: str) -> Optional[ParsedKey]:
+        folded = path.casefold()
+        for mount, root in self._roots.items():
+            if folded == mount or folded.startswith(mount + "\\"):
+                relative = path[len(mount):].lstrip("\\")
+                key = root
+                if relative:
+                    for component in relative.split("\\"):
+                        try:
+                            key = key.subkey(component)
+                        except Exception:
+                            return None
+                return key
+        return None
+
+    def _name(self, name: str) -> Optional[str]:
+        if not self.win32:
+            return name
+        truncated = name.split("\x00")[0]
+        if len(truncated) > _MAX_WIN32_NAME:
+            return None
+        return truncated
+
+    def _view(self, value) -> Optional[ValueView]:
+        name = self._name(value.name)
+        if name is None:
+            return None
+        data = decode_value(value.reg_type, value.raw_data,
+                            win32=self.win32)
+        if isinstance(data, bytes):
+            shown = data.hex()
+        elif isinstance(data, list):
+            shown = ";".join(str(item) for item in data)
+        else:
+            shown = str(data)
+        return ValueView(name, value.reg_type, shown)
+
+    def key_exists(self, path: str) -> bool:
+        return self._find(path) is not None
+
+    def enum_subkeys(self, path: str) -> List[str]:
+        key = self._find(path)
+        if key is None:
+            return []
+        out = []
+        for child in key.subkeys:
+            name = self._name(child.name)
+            if name is not None:
+                out.append(name)
+        return out
+
+    def enum_values(self, path: str) -> List[ValueView]:
+        key = self._find(path)
+        if key is None:
+            return []
+        out = []
+        for value in key.values:
+            view = self._view(value)
+            if view is not None:
+                out.append(view)
+        return out
+
+    def get_value(self, path: str, name: str) -> Optional[ValueView]:
+        key = self._find(path)
+        if key is None:
+            return None
+        wanted = name.casefold()
+        for value in key.values:
+            shown = self._name(value.name)
+            if shown is not None and shown.casefold() == wanted:
+                return self._view(value)
+        return None
+
+
+def _parse_hives_via(read_bytes, hive_files: Dict[str, str]
+                     ) -> Dict[str, ParsedKey]:
+    parser = MftParser(read_bytes)
+    roots: Dict[str, ParsedKey] = {}
+    for mount, hive_file in hive_files.items():
+        try:
+            blob = parser.read_file_content(hive_file)
+            roots[mount] = parse_hive(blob).root
+        except Exception:
+            continue   # missing or shredded hive: scan what remains
+    return roots
+
+
+class RawHiveReader(_ParsedHiveForest):
+    """Inside-the-box truth approximation: raw hive files off the MFT."""
+
+    def __init__(self, machine: Machine):
+        self.hive_bytes = 0
+        roots = {}
+        parser = MftParser(machine.kernel.disk_port.read_bytes)
+        for mount, hive_file in HIVE_FILES.items():
+            try:
+                blob = parser.read_file_content(hive_file)
+                roots[mount] = parse_hive(blob).root
+                self.hive_bytes += len(blob)
+            except Exception:
+                continue   # missing or shredded hive: scan what remains
+        super().__init__(roots, win32_semantics=False)
+
+
+class OutsideHiveReader(_ParsedHiveForest):
+    """Outside-the-box: hive files parsed from the physical disk."""
+
+    def __init__(self, disk, win32_semantics: bool = True):
+        roots = _parse_hives_via(disk.read_bytes, HIVE_FILES)
+        super().__init__(roots, win32_semantics=win32_semantics)
+
+
+def _hooks_to_entries(hooks: List[AsepHook]) -> List[RegistryHookEntry]:
+    return [RegistryHookEntry(hook.location, hook.key_path, hook.name,
+                              hook.data) for hook in hooks]
+
+
+def high_level_asep_scan(machine: Machine,
+                         process: Optional[Process] = None) -> ScanSnapshot:
+    """All catalogued ASEP hooks through the Win32 API (the lie)."""
+    start = machine.clock.now()
+    reader = Win32ApiReader(machine, process)
+    hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+    duration = costmodel.charge_asep_scan(machine, len(hooks))
+    return ScanSnapshot(ResourceType.REGISTRY, view="win32-regapi",
+                        entries=_hooks_to_entries(hooks), taken_at=start,
+                        duration=duration)
+
+
+def low_level_asep_scan(machine: Machine) -> ScanSnapshot:
+    """All catalogued ASEP hooks from raw hive bytes (the truth approx)."""
+    start = machine.clock.now()
+    reader = RawHiveReader(machine)
+    hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+    duration = costmodel.charge_asep_scan(machine, len(hooks),
+                                          hive_bytes=reader.hive_bytes)
+    return ScanSnapshot(ResourceType.REGISTRY, view="raw-hive",
+                        entries=_hooks_to_entries(hooks), taken_at=start,
+                        duration=duration)
+
+
+def outside_asep_scan(disk, clock=None,
+                      win32_semantics: bool = True) -> ScanSnapshot:
+    """ASEP hooks from hives mounted under a clean OS."""
+    start = clock.now() if clock else 0.0
+    reader = OutsideHiveReader(disk, win32_semantics=win32_semantics)
+    hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+    view = "winpe-regedit" if win32_semantics else "winpe-rawhive"
+    return ScanSnapshot(ResourceType.REGISTRY, view=view,
+                        entries=_hooks_to_entries(hooks), taken_at=start,
+                        duration=0.0)

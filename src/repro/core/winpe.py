@@ -1,0 +1,92 @@
+r"""The WinPE outside-the-box environment.
+
+Booting the suspect machine from a clean WinPE CD means none of the
+suspect disk's ASEP hooks execute — the ghostware simply is not running —
+so every scan taken here is ground truth by construction.  The
+environment holds the *physical* :class:`~repro.disk.Disk`, below the
+(now halted) kernel and its interceptable raw-device port.
+
+Volatile state is reached through the crash-dump file the inside tool
+wrote before the reboot (:meth:`GhostBuster.write_crash_dump`): the same
+pointer-chasing walkers run against the dump blob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import costmodel
+from repro.core.scanners.files import outside_file_scan
+from repro.core.scanners.processes import dump_process_scan
+from repro.core.scanners.registry import outside_asep_scan
+from repro.core.snapshot import ScanSnapshot
+from repro.errors import MachineStateError, ScanError
+from repro.kernel.crashdump import CrashDump
+from repro.machine import Machine
+from repro.ntfs.mft_parser import MftParser
+
+DUMP_PATH = "\\Windows\\MEMORY.DMP"
+
+
+class WinPEEnvironment:
+    """A clean OS booted around the suspect machine's disk."""
+
+    def __init__(self, machine: Machine):
+        if machine.powered_on:
+            raise MachineStateError(
+                "power the suspect machine down before booting WinPE")
+        self.machine = machine
+        self.disk = machine.disk
+        self.clock = machine.clock
+        self.booted = False
+        self.boot_seconds = 0.0
+
+    def boot(self) -> None:
+        """Boot the WinPE CD (paper: adds 1.5–3 minutes)."""
+        self.boot_seconds = costmodel.charge_winpe_boot(
+            self.clock, self.machine.perf.cpu_scale)
+        self.booted = True
+
+    def _require_boot(self) -> None:
+        if not self.booted:
+            raise ScanError("WinPE environment not booted")
+
+    # -- persistent state -------------------------------------------------------
+
+    def file_scan(self, win32_naming: bool = True) -> ScanSnapshot:
+        """Scan the suspect drive's namespace from the clean OS."""
+        self._require_boot()
+        view = "winpe-win32" if win32_naming else "winpe-raw"
+        return outside_file_scan(self.disk, self.clock,
+                                 win32_naming=win32_naming, view=view)
+
+    def asep_scan(self, win32_semantics: bool = True) -> ScanSnapshot:
+        """Mount the suspect hives under the clean registry and scan."""
+        self._require_boot()
+        return outside_asep_scan(self.disk, self.clock,
+                                 win32_semantics=win32_semantics)
+
+    # -- volatile state ------------------------------------------------------------
+
+    def read_dump(self, path: str = DUMP_PATH) -> Optional[CrashDump]:
+        """Load the crash dump file straight off the raw disk."""
+        self._require_boot()
+        parser = MftParser(self.disk.read_bytes)
+        try:
+            blob = parser.read_file_content(path)
+        except Exception:
+            return None
+        if not blob:
+            return None
+        return CrashDump(blob)
+
+    def process_scan(self, advanced: bool = False,
+                     dump_path: str = DUMP_PATH) -> ScanSnapshot:
+        """Walk the dumped kernel structures from outside."""
+        dump = self.read_dump(dump_path)
+        if dump is None:
+            raise ScanError(
+                f"no crash dump at {dump_path}; run write_crash_dump() "
+                "inside the box before rebooting")
+        return dump_process_scan(dump, advanced=advanced,
+                                 taken_at=self.clock.now())

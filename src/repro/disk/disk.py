@@ -1,0 +1,107 @@
+"""Sparse virtual disk with byte- and sector-level access.
+
+Unwritten space reads back as zeros.  The disk keeps no notion of
+filesystems or partitions — that is the NTFS layer's job — and it has no
+hook points: code holding a :class:`Disk` reference reads ground truth.
+Interceptable *raw device* access inside a potentially infected OS is
+modelled one layer up, by :class:`repro.kernel.kernel.DiskPort`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.disk.geometry import DiskGeometry
+from repro.errors import DiskError
+
+
+class Disk:
+    """A sparse array of sectors.
+
+    Storage is a dict keyed by sector index; absent sectors are all-zero.
+    This lets experiments declare multi-gigabyte nominal geometries while
+    only paying for the sectors actually written.
+    """
+
+    def __init__(self, geometry: DiskGeometry):
+        self.geometry = geometry
+        self._sectors: Dict[int, bytes] = {}
+
+    # -- sector-level interface -------------------------------------------
+
+    def read_sector(self, index: int) -> bytes:
+        """Return one sector; zeros if never written."""
+        self._check_sector(index)
+        return self._sectors.get(index, b"\x00" * self.geometry.sector_size)
+
+    def write_sector(self, index: int, data: bytes) -> None:
+        """Write exactly one sector."""
+        self._check_sector(index)
+        if len(data) != self.geometry.sector_size:
+            raise DiskError(
+                f"sector write must be exactly {self.geometry.sector_size} "
+                f"bytes, got {len(data)}")
+        self._sectors[index] = bytes(data)
+
+    # -- byte-level interface ---------------------------------------------
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        """Read an arbitrary byte range, crossing sector boundaries."""
+        if length < 0:
+            raise DiskError("negative read length")
+        if offset < 0 or offset + length > self.geometry.size_bytes:
+            raise DiskError(
+                f"read [{offset}, {offset + length}) outside disk of "
+                f"{self.geometry.size_bytes} bytes")
+        if length == 0:
+            return b""
+        sector_size = self.geometry.sector_size
+        first = offset // sector_size
+        last = (offset + length - 1) // sector_size
+        chunks = [self.read_sector(i) for i in range(first, last + 1)]
+        blob = b"".join(chunks)
+        start = offset - first * sector_size
+        return blob[start:start + length]
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Write an arbitrary byte range with read-modify-write at the edges."""
+        length = len(data)
+        if offset < 0 or offset + length > self.geometry.size_bytes:
+            raise DiskError(
+                f"write [{offset}, {offset + length}) outside disk of "
+                f"{self.geometry.size_bytes} bytes")
+        if length == 0:
+            return
+        sector_size = self.geometry.sector_size
+        first = offset // sector_size
+        last = (offset + length - 1) // sector_size
+        blob = bytearray(b"".join(self.read_sector(i)
+                                  for i in range(first, last + 1)))
+        start = offset - first * sector_size
+        blob[start:start + length] = data
+        for pos, index in enumerate(range(first, last + 1)):
+            self._sectors[index] = bytes(
+                blob[pos * sector_size:(pos + 1) * sector_size])
+
+    # -- maintenance --------------------------------------------------------
+
+    def written_sectors(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate (index, data) over sectors that were ever written."""
+        for index in sorted(self._sectors):
+            yield index, self._sectors[index]
+
+    def used_bytes(self) -> int:
+        """Bytes of physically materialized storage (for cost accounting)."""
+        return len(self._sectors) * self.geometry.sector_size
+
+    def clone(self) -> "Disk":
+        """Deep-copy the disk (used to snapshot a VM's virtual drive)."""
+        copy = Disk(self.geometry)
+        copy._sectors = dict(self._sectors)
+        return copy
+
+    def _check_sector(self, index: int) -> None:
+        if index < 0 or index >= self.geometry.sector_count:
+            raise DiskError(
+                f"sector {index} outside disk of "
+                f"{self.geometry.sector_count} sectors")

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the GhostBuster reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish simulation faults from programming errors.  The
+Windows-flavoured subclasses mirror the NTSTATUS / Win32 error conditions
+that the real GhostBuster tool would encounter.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+
+class DiskError(ReproError):
+    """Raised for out-of-range or malformed disk accesses."""
+
+
+class VolumeError(ReproError):
+    """Raised for filesystem-level failures on the simulated NTFS volume."""
+
+
+class FileNotFound(VolumeError):
+    """The requested path does not exist on the volume."""
+
+
+class FileExists(VolumeError):
+    """A file or directory already exists at the requested path."""
+
+
+class NotADirectory(VolumeError):
+    """A path component that must be a directory is a regular file."""
+
+
+class DirectoryNotEmpty(VolumeError):
+    """Attempted to delete a directory that still has children."""
+
+
+class InvalidWin32Name(VolumeError):
+    """The name violates Win32 naming restrictions (but may be NT-legal)."""
+
+
+class CorruptRecord(ReproError):
+    """A low-level parser found a structurally invalid on-disk record."""
+
+
+class RegistryError(ReproError):
+    """Raised for registry-level failures."""
+
+
+class KeyNotFound(RegistryError):
+    """The requested registry key does not exist."""
+
+
+class ValueNotFound(RegistryError):
+    """The requested registry value does not exist."""
+
+
+class HiveFormatError(RegistryError, CorruptRecord):
+    """A raw hive parse encountered malformed cells."""
+
+
+class KernelError(ReproError):
+    """Raised for simulated-kernel failures."""
+
+
+class NoSuchProcess(KernelError):
+    """The referenced process does not exist (or is terminated)."""
+
+    def __init__(self, pid: int):
+        super().__init__(f"no such process: pid {pid}")
+        self.pid = pid
+
+
+class AccessDenied(ReproError):
+    """The caller lacks the privilege required for the operation."""
+
+
+class ApiError(ReproError):
+    """A simulated Win32/Native API call failed."""
+
+
+class ServiceError(ReproError):
+    """Service Control Manager failure (bad image path, duplicate name...)."""
+
+
+class MachineStateError(ReproError):
+    """Operation invalid for the machine's current power/boot state."""
+
+
+class ScanError(ReproError):
+    """A GhostBuster scan could not be completed."""
+
+
+class UnixError(ReproError):
+    """Raised by the Unix substrate (repro.unixsim)."""

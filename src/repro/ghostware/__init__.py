@@ -1,0 +1,52 @@
+"""The ghostware corpus.
+
+One module per real-world program from the paper's evaluation, each
+implemented with the interception technique its real counterpart used
+(Figures 2 and 5), hiding the resources the paper's result tables list
+(Figures 3, 4 and 6).
+
+Installation is two-phase, mirroring reality: :meth:`~Ghostware.install`
+drops files and ASEP hooks on a *running* machine; the hooks themselves
+re-activate the hiding code on every boot through the SCM / Run /
+AppInit_DLLs machinery — so removal (delete the hook, reboot) behaves the
+way Section 6's Hacker Defender walkthrough describes.
+"""
+
+from repro.ghostware.base import Ghostware, GhostwareReport
+from repro.ghostware.urbin import Urbin
+from repro.ghostware.mersting import Mersting
+from repro.ghostware.vanquish import Vanquish
+from repro.ghostware.aphex import Aphex
+from repro.ghostware.hacker_defender import HackerDefender
+from repro.ghostware.probot import ProBotSE
+from repro.ghostware.berbew import Berbew
+from repro.ghostware.fu import FuRootkit
+from repro.ghostware.file_hiders import (HideFiles, HideFoldersXP,
+                                         AdvancedHideFolders,
+                                         FileFolderProtector)
+from repro.ghostware.naming_exploits import NamingExploitGhost, RegistryNamingGhost
+from repro.ghostware.advanced import LowLevelInterferenceGhost
+from repro.ghostware.ads_ghost import AdsGhost
+from repro.ghostware.bho_spyware import BhoSpyware
+from repro.ghostware.cm_callback import CmCallbackGhost
+from repro.ghostware.targeted import UtilityTargetedGhost, GhostBusterAwareGhost
+
+ALL_FILE_HIDERS = (Urbin, Mersting, Vanquish, Aphex, HackerDefender,
+                   ProBotSE, HideFiles, HideFoldersXP, AdvancedHideFolders,
+                   FileFolderProtector)
+ALL_REGISTRY_HIDERS = (Urbin, Mersting, HackerDefender, Vanquish, ProBotSE,
+                       Aphex)
+ALL_PROCESS_HIDERS = (Aphex, HackerDefender, Berbew, FuRootkit)
+
+__all__ = [
+    "Ghostware", "GhostwareReport",
+    "Urbin", "Mersting", "Vanquish", "Aphex", "HackerDefender", "ProBotSE",
+    "Berbew", "FuRootkit",
+    "HideFiles", "HideFoldersXP", "AdvancedHideFolders",
+    "FileFolderProtector",
+    "NamingExploitGhost", "RegistryNamingGhost",
+    "LowLevelInterferenceGhost", "AdsGhost", "BhoSpyware",
+    "CmCallbackGhost",
+    "UtilityTargetedGhost", "GhostBusterAwareGhost",
+    "ALL_FILE_HIDERS", "ALL_REGISTRY_HIDERS", "ALL_PROCESS_HIDERS",
+]

@@ -1,0 +1,50 @@
+r"""ADS-based stealth (the paper's future-work hiding class, realized).
+
+Hides an executable payload in an alternate data stream of an innocent
+system file (``\Windows\win.ini:msupd.exe``) and auto-starts it from a
+``Run``-key value referencing the stream path — the classic real-world
+ADS persistence trick.  No API is hooked anywhere: the host file looks
+completely normal to every tool, and pre-Vista Windows has no stream
+enumeration API at all.
+
+Detection requires the ADS scanner (:mod:`repro.core.ads`), not the
+regular file diff — which is exactly why the paper lists ADS as beyond
+the original tool's scope.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.base import Ghostware
+from repro.machine import Machine, RUN_KEY
+
+HOST_FILE = "\\Windows\\win.ini"
+STREAM_NAME = "msupd.exe"
+
+
+class AdsGhost(Ghostware):
+    """Payload inside an alternate stream of an innocent file."""
+
+    name = "AdsGhost"
+    technique = "alternate data stream (no enumeration API exists)"
+
+    def __init__(self, host_file: str = HOST_FILE,
+                 stream_name: str = STREAM_NAME):
+        super().__init__()
+        self.host_file = host_file
+        self.stream_name = stream_name
+
+    @property
+    def stream_path(self) -> str:
+        return f"{self.host_file}:{self.stream_name}"
+
+    def _install_persistent(self, machine: Machine) -> None:
+        volume = machine.volume
+        if not volume.exists(self.host_file):
+            volume.create_file(self.host_file, b"[fonts]\n")
+        volume.write_stream(self.host_file, self.stream_name,
+                            b"MZads-payload")
+        machine.registry.set_value(RUN_KEY, "msupd", self.stream_path)
+        # Nothing in report.hidden_files: the regular file diff sees the
+        # (innocent) host file in both views.  The artifact lives in
+        # visible_files as the host + a stream only the ADS scan finds.
+        self.report.visible_files = [self.host_file]

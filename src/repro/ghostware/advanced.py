@@ -1,0 +1,126 @@
+r"""The Section-2 caveat made concrete: interfering with the low-level scan.
+
+"A ghostware program running with sufficient privilege can always try to
+defeat the [inside-the-box] solution by interfering with the low-level
+scan."  This strain does exactly that: besides Hacker-Defender-style NtDll
+detours, its driver filters the kernel's *raw disk port* — the path the
+inside-the-box MFT scan reads through — and zeroes any MFT record whose
+bytes mention its artifacts.  The inside-the-box diff then comes back
+clean, and only the outside-the-box scan (which reads the physical disk
+from a clean OS, below the compromised kernel) exposes it.
+
+This is ablation A3's subject.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.base import (Ghostware, patch_file_enum_ntdll,
+                                  patch_registry_enum_ntdll)
+from repro.machine import Machine
+from repro.ntfs.constants import MFT_RECORD_SIZE
+from repro.usermode.process import Process
+from repro.winapi.services import TYPE_SERVICE
+
+EXE_PATH = "\\Windows\\deepghost.exe"
+SERVICE_NAME = "DeepGhost"
+TOKEN = "deepghost"
+
+
+class LowLevelInterferenceGhost(Ghostware):
+    """Hides from the API *and* from inside-the-box raw disk reads."""
+
+    name = "DeepGhost"
+    technique = "NtDll detours + raw-disk-read interception"
+
+    def _hide(self, text: str) -> bool:
+        return TOKEN in text.casefold()
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(EXE_PATH, b"MZdeepghost")
+        key = f"HKLM\\SYSTEM\\CurrentControlSet\\Services\\{SERVICE_NAME}"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", EXE_PATH)
+        machine.registry.set_value(key, "Type", TYPE_SERVICE)
+        machine.registry.set_value(key, "Start", 2)
+        machine.register_program(EXE_PATH, self._main)
+        self.report.hidden_files = [EXE_PATH]
+        self.report.hidden_asep_hooks = [f"{key} → {EXE_PATH}"]
+
+    def activate(self, machine: Machine) -> None:
+        machine.start_process(EXE_PATH)
+
+    def _main(self, machine: Machine, process: Process) -> None:
+        self.infect_everywhere(machine)
+        self._intercept_raw_reads(machine)
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        patch_file_enum_ntdll(process, self._hide, self.name)
+        patch_registry_enum_ntdll(process, self._hide, self.name)
+
+    def _intercept_raw_reads(self, machine: Machine) -> None:
+        """Scrub our traces out of raw reads through the disk port.
+
+        Two filters: MFT records mentioning our artifacts are zeroed
+        (hiding the files from the inside raw file scan), and hive-file
+        reads are re-serialized without our Services key (hiding the ASEP
+        hook from the inside raw registry scan).  The physical disk —
+        what the outside-the-box scan reads — is untouched.
+        """
+        self._scrub_mft_reads(machine)
+        self._scrub_hive_reads(machine)
+
+    def _scrub_mft_reads(self, machine: Machine) -> None:
+        volume = machine.volume
+        mft_start = volume.mft_offset
+        mft_end = mft_start + volume.max_records * MFT_RECORD_SIZE
+        needle = TOKEN.encode("utf-16-le")
+        needle_upper = TOKEN.capitalize().encode("utf-16-le")
+
+        def scrub(offset: int, length: int, data: bytes) -> bytes:
+            if offset >= mft_end or offset + length <= mft_start:
+                return data
+            view = bytearray(data)
+            # Walk record-aligned slices overlapping the MFT region.
+            first_record = max(0, (offset - mft_start) // MFT_RECORD_SIZE)
+            last_record = (offset + length - 1 - mft_start) \
+                // MFT_RECORD_SIZE
+            for record_no in range(first_record, last_record + 1):
+                record_offset = mft_start + record_no * MFT_RECORD_SIZE
+                lo = max(record_offset, offset)
+                hi = min(record_offset + MFT_RECORD_SIZE, offset + length)
+                if lo >= hi:
+                    continue
+                chunk = bytes(view[lo - offset:hi - offset])
+                if needle in chunk.lower() or needle_upper in chunk:
+                    view[lo - offset:hi - offset] = b"\x00" * (hi - lo)
+            return bytes(view)
+
+        machine.kernel.disk_port.read_filters.append(scrub)
+
+    def _scrub_hive_reads(self, machine: Machine) -> None:
+        """Rewrite hive-file reads with our Services key edited out.
+
+        Works when the read delivers the hive from its first byte (the
+        common contiguous-file case); fragmented hives would partially
+        escape — interference is best-effort, exactly the paper's point
+        about the low-level scan being only a truth approximation.
+        """
+        from repro.registry.hive import Hive
+
+        def scrub(offset: int, length: int, data: bytes) -> bytes:
+            if data[:4] != b"regf":
+                return data
+            try:
+                hive = Hive.deserialize(data)
+                services = hive.open_key("CurrentControlSet\\Services")
+            except Exception:
+                return data
+            if not services.has_subkey(SERVICE_NAME):
+                return data
+            services.delete_subkey(SERVICE_NAME)
+            rebuilt = hive.serialize()
+            if len(rebuilt) > len(data):
+                return data
+            return rebuilt + b"\x00" * (len(data) - len(rebuilt))
+
+        machine.kernel.disk_port.read_filters.append(scrub)

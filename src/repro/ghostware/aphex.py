@@ -1,0 +1,63 @@
+r"""The Aphex / AFX Windows Rootkit 2003 [ZAF].
+
+Figure 2 technique 3: modifies the in-memory ``Kernel32!FindFirst(Next)File``
+code with a *jmp detour* into the trojan plus a jump back past the detour —
+stealthier than Vanquish because the trojan edits the return path and stays
+out of naive call-stack traces (``INLINE_DETOUR``).
+
+Hides (Figure 3) any file whose name matches a configurable prefix
+(default ``~``); hides its ``Run`` key hook (Figure 4) via a detour on the
+Advapi32 registry enumeration; and hides any similarly prefixed *process*
+by IAT-hooking ``NtDll!NtQuerySystemInformation`` (Figure 5 / Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.base import (Ghostware, hook_process_enum_iat,
+                                  patch_file_enum_kernel32,
+                                  patch_registry_enum_advapi)
+from repro.machine import Machine, RUN_KEY
+from repro.usermode.process import Process
+from repro.winapi.hooks import PatchKind
+
+
+class Aphex(Ghostware):
+    """Aphex: kernel32 jmp detours + NtQuerySystemInformation IAT hook."""
+
+    name = "Aphex"
+    technique = "inline jmp detour in Kernel32 + IAT hook in NtDll"
+
+    def __init__(self, prefix: str = "~", run_value_name: str = "backdoor"):
+        super().__init__()
+        self.prefix = prefix
+        self.run_value_name = run_value_name
+        self.exe_path = f"\\Windows\\System32\\{prefix}aphex.exe"
+
+    def _hide(self, text: str) -> bool:
+        name = text.rsplit("\\", 1)[-1]
+        return name.startswith(self.prefix) or \
+            name.casefold() == self.run_value_name.casefold()
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(self.exe_path, b"MZaphex")
+        machine.registry.set_value(RUN_KEY, self.run_value_name,
+                                   self.exe_path)
+        machine.register_program(self.exe_path, self._main)
+
+        self.report.hidden_files = [self.exe_path]
+        self.report.hidden_asep_hooks = [
+            f"{RUN_KEY}\\{self.run_value_name} → {self.exe_path}"]
+        self.report.hidden_processes = [f"{self.prefix}aphex.exe"]
+
+    def activate(self, machine: Machine) -> None:
+        machine.start_process(self.exe_path)
+
+    def _main(self, machine: Machine, process: Process) -> None:
+        self.infect_everywhere(machine)
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        patch_file_enum_kernel32(process, self._hide, self.name,
+                                 PatchKind.INLINE_DETOUR)
+        patch_registry_enum_advapi(process, self._hide, self.name,
+                                   PatchKind.INLINE_DETOUR)
+        hook_process_enum_iat(process, self._hide, self.name)

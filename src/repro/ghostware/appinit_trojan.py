@@ -1,0 +1,55 @@
+r"""Shared implementation for the two in-the-wild AppInit_DLLs Trojans.
+
+Urbin and Mersting (both captured from infected machines, per the paper)
+share a structure: a single DLL dropped into ``System32``, hooked into
+``AppInit_DLLs`` so every process that loads User32.dll loads the trojan,
+whose DllMain installs per-process IAT hooks hiding (a) the DLL file and
+(b) the AppInit_DLLs hook itself.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.base import (Ghostware, hook_file_enum_iat,
+                                  hook_registry_enum_iat)
+from repro.machine import APPINIT_KEY, Machine
+from repro.usermode.process import Process
+
+
+class AppInitTrojan(Ghostware):
+    """Base for Urbin / Mersting: IAT hooks delivered via AppInit_DLLs."""
+
+    dll_name = "trojan.dll"
+    technique = "IAT hook of file/registry enumeration (via AppInit_DLLs)"
+
+    @property
+    def dll_path(self) -> str:
+        return f"\\Windows\\System32\\{self.dll_name}"
+
+    def _hide(self, text: str) -> bool:
+        return self.dll_name.casefold() in text.casefold()
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(self.dll_path,
+                                   b"MZ" + self.dll_name.encode())
+        appinit = machine.registry.get_value(APPINIT_KEY, "AppInit_DLLs")
+        existing = str(appinit.win32_data())
+        hooked = f"{existing} {self.dll_name}".strip()
+        machine.registry.set_value(APPINIT_KEY, "AppInit_DLLs", hooked)
+        machine.register_program(self.dll_path, self._dll_main)
+
+        self.report.hidden_files = [self.dll_path]
+        self.report.hidden_asep_hooks = [
+            f"{APPINIT_KEY}\\AppInit_DLLs → {self.dll_name}"]
+
+    def activate(self, machine: Machine) -> None:
+        """Install-time activation: load the DLL everywhere immediately."""
+        from repro.usermode.injection import inject_into_all
+        inject_into_all(machine, self.dll_path)
+
+    def _dll_main(self, machine: Machine, process: Process) -> None:
+        """Runs inside every process the DLL is loaded into."""
+        self.infect_process(machine, process)
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        hook_file_enum_iat(process, self._hide, self.name)
+        hook_registry_enum_iat(process, self._hide, self.name)

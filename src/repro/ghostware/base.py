@@ -1,0 +1,459 @@
+"""Ghostware base class and layer-specific hooking helpers.
+
+The helpers encode the six file-hiding and four process-hiding techniques
+of Figures 2 and 5 as reusable operations, each installing at the same
+layer its real-world counterpart uses:
+
+========================  =============================================
+helper                     technique (paper example)
+========================  =============================================
+hook_file_enum_iat         IAT redirection of FindFirst(Next)File
+                           (Urbin, Mersting)
+patch_file_enum_kernel32   in-memory patch of Kernel32 code
+                           (Vanquish: call style; Aphex: jmp detour)
+patch_file_enum_ntdll      detour inside NtDll!NtQueryDirectoryFile
+                           (Hacker Defender)
+hook_ssdt_file_enum        Service Dispatch Table entry replacement
+                           (ProBot SE)
+FileHidingFilterDriver     file-system filter driver (commercial hiders)
+hook_registry_enum_*       the RegEnumValue / NtEnumerateKey analogues
+hook_process_enum_iat      IAT hook of NtQuerySystemInformation (Aphex)
+patch_process_enum_ntdll   jmp inside NtQuerySystemInformation
+                           (Hacker Defender, Berbew)
+========================  =============================================
+
+FU's DKOM lives in :mod:`repro.ghostware.fu` since it touches no API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.machine import Machine
+from repro.usermode.process import Process
+from repro.winapi.hooks import PatchKind
+from repro.winapi.iomanager import FilterDriver, Irp
+from repro.kernel.ssdt import Syscall
+
+NamePredicate = Callable[[str], bool]
+
+
+@dataclass
+class GhostwareReport:
+    """What one ghostware program planted (ground truth for experiments)."""
+
+    name: str
+    hidden_files: List[str] = field(default_factory=list)
+    hidden_asep_hooks: List[str] = field(default_factory=list)
+    hidden_processes: List[str] = field(default_factory=list)
+    hidden_modules: List[str] = field(default_factory=list)
+    visible_files: List[str] = field(default_factory=list)
+
+
+class Ghostware:
+    """Base class: install persistently, activate per boot."""
+
+    name = "ghostware"
+    technique = "unspecified"
+
+    def __init__(self) -> None:
+        self.report = GhostwareReport(self.name)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def install(self, machine: Machine) -> None:
+        """Drop files / ASEP hooks and activate on the running machine.
+
+        Subclasses implement :meth:`_install_persistent` (files + hooks +
+        program registration) — activation then happens through the same
+        program-entry machinery a boot would use, or immediately via
+        :meth:`activate` for install-time activation.
+        """
+        self._install_persistent(machine)
+        if machine.powered_on:
+            self.activate(machine)
+        if self not in machine.infections:
+            machine.infections.append(self)
+
+    def _install_persistent(self, machine: Machine) -> None:
+        raise NotImplementedError
+
+    def activate(self, machine: Machine) -> None:
+        """Install the hiding hooks on the live machine (default: none)."""
+
+    # -- per-process infection pattern ---------------------------------------------
+
+    def infect_everywhere(self, machine: Machine,
+                          skip: Optional[Callable[[Process], bool]] = None
+                          ) -> None:
+        """Apply :meth:`infect_process` to all current and future processes."""
+        def should_skip(process: Process) -> bool:
+            return bool(skip and skip(process))
+
+        for process in machine.user_processes():
+            if not should_skip(process):
+                self.infect_process(machine, process)
+
+        def on_start(mach: Machine, process: Process) -> None:
+            if not should_skip(process):
+                self.infect_process(mach, process)
+
+        machine.process_start_hooks.append(on_start)
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        """Per-process hook installation (default: none)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.technique})>"
+
+
+# --------------------------------------------------------------------------
+# file-enumeration interception helpers
+# --------------------------------------------------------------------------
+
+def _current_target(process: Process, module: str, function: str):
+    """The callable a new IAT hook should chain to.
+
+    A real IAT hook saves the table's *current* pointer — which may
+    already be another ghostware's trojan — so multiple IAT hookers
+    compose instead of clobbering each other.
+    """
+    entry = process.iat.get((module.casefold(), function))
+    if entry is not None:
+        target = entry.target
+        return lambda proc, *args: target(proc, *args)
+    site = process.code_site(module, function)
+    return lambda proc, *args: site.call(proc, *args)
+
+
+def _filtering_find_pair(process: Process, hide: NamePredicate,
+                         call_first, call_next):
+    """Build FindFirstFile/FindNextFile trojans over given originals."""
+
+    def skip_hidden(handle, entry):
+        while entry is not None and hide(entry.name):
+            entry = call_next(process, handle)
+        return entry
+
+    def trojan_first(proc, directory):
+        handle, entry = call_first(proc, directory)
+        return handle, skip_hidden(handle, entry)
+
+    def trojan_next(proc, handle):
+        return skip_hidden(handle, call_next(proc, handle))
+
+    return trojan_first, trojan_next
+
+
+def hook_file_enum_iat(process: Process, hide: NamePredicate,
+                       owner: str) -> None:
+    """Technique 1 (Urbin/Mersting): IAT entries point at trojan imports."""
+    call_first = _current_target(process, "kernel32", "FindFirstFile")
+    call_next = _current_target(process, "kernel32", "FindNextFile")
+    trojan_first, trojan_next = _filtering_find_pair(
+        process, hide, call_first, call_next)
+    process.hook_iat("kernel32", "FindFirstFile", trojan_first, owner)
+    process.hook_iat("kernel32", "FindNextFile", trojan_next, owner)
+
+
+def patch_file_enum_kernel32(process: Process, hide: NamePredicate,
+                             owner: str, kind: PatchKind) -> None:
+    """Techniques 2-3 (Vanquish call-style / Aphex detour) in Kernel32."""
+    next_site = process.code_site("kernel32", "FindNextFile")
+
+    def wrap_first(original):
+        def patched(proc, directory):
+            handle, entry = original(proc, directory)
+            while entry is not None and hide(entry.name):
+                entry = next_site.call(proc, handle)
+            return handle, entry
+        return patched
+
+    def wrap_next(original):
+        def patched(proc, handle):
+            entry = original(proc, handle)
+            while entry is not None and hide(entry.name):
+                entry = original(proc, handle)
+            return entry
+        return patched
+
+    process.code_site("kernel32", "FindFirstFile").patch_inline(
+        wrap_first, kind, owner)
+    next_site.patch_inline(wrap_next, kind, owner)
+
+
+def patch_file_enum_ntdll(process: Process, hide: NamePredicate,
+                          owner: str,
+                          kind: PatchKind = PatchKind.INLINE_DETOUR) -> None:
+    """Technique 4 (Hacker Defender): detour NtDll!NtQueryDirectoryFile."""
+    def wrap(original):
+        def patched(proc, path):
+            return [entry for entry in original(proc, path)
+                    if not hide(entry.name)]
+        return patched
+
+    process.code_site("ntdll", "NtQueryDirectoryFile").patch_inline(
+        wrap, kind, owner)
+
+
+def hook_ssdt_file_enum(machine: Machine, hide: NamePredicate,
+                        exempt_pids: Optional[List[int]] = None) -> None:
+    """Technique 5 (ProBot SE): replace the SSDT dispatch entry."""
+    exempt = set(exempt_pids or ())
+
+    def make_wrapper(original):
+        def hooked(requestor_pid, path):
+            entries = original(requestor_pid, path)
+            if requestor_pid in exempt:
+                return entries
+            return [entry for entry in entries if not hide(entry.name)]
+        return hooked
+
+    machine.kernel.ssdt.hook(Syscall.QUERY_DIRECTORY_FILE, make_wrapper)
+
+
+class FileHidingFilterDriver(FilterDriver):
+    """Technique 6 (commercial hiders): a file-system filter driver.
+
+    Hides any entry whose full path starts with a hidden prefix (so whole
+    folders disappear), can deny opens of hidden paths, and can exempt the
+    hider's own configuration process by inspecting the IRP's requestor.
+    """
+
+    def __init__(self, name: str, deny_open: bool = False):
+        self.name = name
+        self.hidden_prefixes: List[str] = []
+        self.exempt_pids: set = set()
+        self.deny_open = deny_open
+
+    def hide_path(self, path: str) -> None:
+        self.hidden_prefixes.append(path.casefold())
+
+    def _is_hidden(self, path: str) -> bool:
+        folded = path.casefold()
+        return any(folded == prefix or folded.startswith(prefix + "\\")
+                   for prefix in self.hidden_prefixes)
+
+    def filter_enumeration(self, irp: Irp, entries):
+        if irp.requestor_pid in self.exempt_pids:
+            return entries
+        return [entry for entry in entries if not self._is_hidden(entry.path)]
+
+    def pre_operation(self, irp: Irp) -> None:
+        from repro.errors import AccessDenied
+        from repro.winapi.iomanager import IrpOperation
+        if not self.deny_open:
+            return
+        if irp.requestor_pid in self.exempt_pids:
+            return
+        if irp.operation == IrpOperation.ENUMERATE_DIRECTORY:
+            return
+        if self._is_hidden(irp.path):
+            raise AccessDenied(f"{self.name}: {irp.path} is protected")
+
+
+# --------------------------------------------------------------------------
+# registry-enumeration interception helpers
+# --------------------------------------------------------------------------
+
+def hook_registry_enum_iat(process: Process, hide: NamePredicate,
+                           owner: str) -> None:
+    """IAT hook of Advapi32!RegEnumValue / RegEnumKey / RegQueryValue.
+
+    ``hide`` is applied to value names *and* to textual data, so hooks
+    whose data names a ghost binary (AppInit_DLLs → msvsres.dll) are
+    scrubbed from query results too.
+    """
+    call_enum_value = _current_target(process, "advapi32", "RegEnumValue")
+    call_enum_key = _current_target(process, "advapi32", "RegEnumKey")
+    call_query = _current_target(process, "advapi32", "RegQueryValue")
+
+    def trojan_enum_value(proc, key_path):
+        out = []
+        for view in call_enum_value(proc, key_path):
+            if hide(view.name):
+                continue
+            if hide(view.data):
+                view = _scrub_view(view, hide)
+            out.append(view)
+        return out
+
+    def trojan_enum_key(proc, key_path):
+        return [name for name in call_enum_key(proc, key_path)
+                if not hide(name)]
+
+    def trojan_query(proc, key_path, name):
+        view = call_query(proc, key_path, name)
+        if view is None or hide(view.name):
+            return None
+        if hide(view.data):
+            view = _scrub_view(view, hide)
+        return view
+
+    process.hook_iat("advapi32", "RegEnumValue", trojan_enum_value, owner)
+    process.hook_iat("advapi32", "RegEnumKey", trojan_enum_key, owner)
+    process.hook_iat("advapi32", "RegQueryValue", trojan_query, owner)
+
+
+def _scrub_view(view, hide: NamePredicate):
+    """Remove hidden tokens from list-like value data (DLL lists)."""
+    from repro.registry.asep import ValueView
+    kept = [token for token in view.data.replace(",", " ").split(" ")
+            if token and not hide(token)]
+    return ValueView(view.name, view.reg_type, " ".join(kept))
+
+
+def patch_registry_enum_advapi(process: Process, hide: NamePredicate,
+                               owner: str, kind: PatchKind) -> None:
+    """Inline patch of the Advapi32 registry enumeration code."""
+    def wrap_enum_value(original):
+        def patched(proc, key_path):
+            out = []
+            for view in original(proc, key_path):
+                if hide(view.name):
+                    continue
+                if hide(view.data):
+                    view = _scrub_view(view, hide)
+                out.append(view)
+            return out
+        return patched
+
+    def wrap_enum_key(original):
+        def patched(proc, key_path):
+            return [name for name in original(proc, key_path)
+                    if not hide(name)]
+        return patched
+
+    def wrap_query(original):
+        def patched(proc, key_path, name):
+            view = original(proc, key_path, name)
+            if view is None or hide(view.name):
+                return None
+            if hide(view.data):
+                view = _scrub_view(view, hide)
+            return view
+        return patched
+
+    process.code_site("advapi32", "RegEnumValue").patch_inline(
+        wrap_enum_value, kind, owner)
+    process.code_site("advapi32", "RegEnumKey").patch_inline(
+        wrap_enum_key, kind, owner)
+    process.code_site("advapi32", "RegQueryValue").patch_inline(
+        wrap_query, kind, owner)
+
+
+def patch_registry_enum_ntdll(process: Process, hide: NamePredicate,
+                              owner: str,
+                              kind: PatchKind = PatchKind.INLINE_DETOUR
+                              ) -> None:
+    """Detour NtDll!NtEnumerateKey / NtEnumerateValueKey / NtQueryValueKey."""
+    def wrap_enum_key(original):
+        def patched(proc, key_path):
+            return [name for name in original(proc, key_path)
+                    if not hide(name)]
+        return patched
+
+    def wrap_enum_value(original):
+        def patched(proc, key_path):
+            return [value for value in original(proc, key_path)
+                    if not hide(value.name)
+                    and not hide(str(value.win32_data()))]
+        return patched
+
+    def wrap_query(original):
+        def patched(proc, key_path, name):
+            value = original(proc, key_path, name)
+            if value is None or hide(value.name) \
+                    or hide(str(value.win32_data())):
+                return None
+            return value
+        return patched
+
+    process.code_site("ntdll", "NtEnumerateKey").patch_inline(
+        wrap_enum_key, kind, owner)
+    process.code_site("ntdll", "NtEnumerateValueKey").patch_inline(
+        wrap_enum_value, kind, owner)
+    process.code_site("ntdll", "NtQueryValueKey").patch_inline(
+        wrap_query, kind, owner)
+
+
+def hook_ssdt_registry_enum(machine: Machine, hide: NamePredicate,
+                            exempt_pids: Optional[List[int]] = None) -> None:
+    """Kernel-level registry interception via the dispatch table."""
+    exempt = set(exempt_pids or ())
+
+    def make_enum_key(original):
+        def hooked(requestor_pid, key_path):
+            names = original(requestor_pid, key_path)
+            if requestor_pid in exempt:
+                return names
+            return [name for name in names if not hide(name)]
+        return hooked
+
+    def make_enum_value(original):
+        def hooked(requestor_pid, key_path):
+            values = original(requestor_pid, key_path)
+            if requestor_pid in exempt:
+                return values
+            return [value for value in values if not hide(value.name)
+                    and not hide(str(value.win32_data()))]
+        return hooked
+
+    def make_query(original):
+        def hooked(requestor_pid, key_path, name):
+            value = original(requestor_pid, key_path, name)
+            if requestor_pid in exempt or value is None:
+                return value
+            if hide(value.name) or hide(str(value.win32_data())):
+                from repro.errors import ValueNotFound
+                raise ValueNotFound(name)
+            return value
+        return hooked
+
+    machine.kernel.ssdt.hook(Syscall.ENUMERATE_KEY, make_enum_key)
+    machine.kernel.ssdt.hook(Syscall.ENUMERATE_VALUE_KEY, make_enum_value)
+    machine.kernel.ssdt.hook(Syscall.QUERY_VALUE_KEY, make_query)
+
+
+def register_cm_callback(machine: Machine, hide: NamePredicate) -> None:
+    """Kernel registry-callback interception (the paper's alternative)."""
+    def callback(key_path: str, results):
+        out = []
+        for item in results:
+            name = item if isinstance(item, str) else item.name
+            if hide(name):
+                continue
+            out.append(item)
+        return out
+    machine.kernel.cm_callbacks.append(callback)
+
+
+# --------------------------------------------------------------------------
+# process-enumeration interception helpers
+# --------------------------------------------------------------------------
+
+def hook_process_enum_iat(process: Process, hide: NamePredicate,
+                          owner: str) -> None:
+    """Aphex: IAT hook of NtDll!NtQuerySystemInformation."""
+    call_query = _current_target(process, "ntdll",
+                                 "NtQuerySystemInformation")
+
+    def trojan(proc):
+        return [info for info in call_query(proc) if not hide(info.name)]
+
+    process.hook_iat("ntdll", "NtQuerySystemInformation", trojan, owner)
+
+
+def patch_process_enum_ntdll(process: Process, hide: NamePredicate,
+                             owner: str,
+                             kind: PatchKind = PatchKind.INLINE_DETOUR
+                             ) -> None:
+    """Hacker Defender / Berbew: jmp inside NtQuerySystemInformation."""
+    def wrap(original):
+        def patched(proc):
+            return [info for info in original(proc) if not hide(info.name)]
+        return patched
+
+    process.code_site("ntdll", "NtQuerySystemInformation").patch_inline(
+        wrap, kind, owner)

@@ -1,0 +1,51 @@
+r"""Backdoor.Berbew [ZB].
+
+Figure 5: hijacks process-list queries by putting a ``jmp`` instruction
+inside the in-memory ``NtDll!NtQuerySystemInformation`` code of every
+process — hiding its randomly named EXE's process (Figure 6).  Berbew is a
+process hider only: its file and its ``Run`` hook stay visible, which is
+what distinguishes a fig-6-only entry from the full-stealth rootkits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ghostware.base import Ghostware, patch_process_enum_ntdll
+from repro.machine import Machine, RUN_KEY
+from repro.usermode.process import Process
+
+_LETTERS = "bcdfghjklmnpqrstvw"
+
+
+class Berbew(Ghostware):
+    """Berbew: jmp inside NtQuerySystemInformation, process hiding only."""
+
+    name = "Berbew"
+    technique = "inline jmp detour in NtDll!NtQuerySystemInformation"
+
+    def __init__(self, seed: int = 20040719):
+        super().__init__()
+        rng = random.Random(seed)
+        base = "".join(rng.choice(_LETTERS) for __ in range(7))
+        self.exe_name = f"{base}.exe"
+        self.exe_path = f"\\Windows\\System32\\{self.exe_name}"
+
+    def _hide(self, text: str) -> bool:
+        return text.casefold() == self.exe_name.casefold()
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(self.exe_path, b"MZberbew")
+        machine.registry.set_value(RUN_KEY, "berbew_loader", self.exe_path)
+        machine.register_program(self.exe_path, self._main)
+        self.report.hidden_processes = [self.exe_name]
+        self.report.visible_files = [self.exe_path]
+
+    def activate(self, machine: Machine) -> None:
+        machine.start_process(self.exe_path)
+
+    def _main(self, machine: Machine, process: Process) -> None:
+        self.infect_everywhere(machine)
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        patch_process_enum_ntdll(process, self._hide, self.name)

@@ -1,0 +1,55 @@
+r"""Spyware persisting as a hidden Browser Helper Object.
+
+The paper's ASEP study ([WRV+04], summarized in Section 3) calls out
+``...\Explorer\Browser Helper Objects`` as a premier spyware ASEP: a BHO
+subkey auto-loads a DLL into Internet Explorer.  This strain plants one
+and hides both the CLSID subkey and its DLL with NtDll-level detours —
+exercising the SUBKEY_LIST ASEP kind end to end.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.base import (Ghostware, patch_file_enum_ntdll,
+                                  patch_registry_enum_ntdll)
+from repro.machine import Machine
+from repro.usermode.process import Process
+
+BHO_KEY = ("HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion"
+           "\\Explorer\\Browser Helper Objects")
+CLSID = "{F00DFACE-2005-4DSN-BH00-C0FFEE000001}"
+DLL_PATH = "\\Program Files\\Common\\searchhelper.dll"
+LOADER_PATH = "\\Program Files\\Common\\bhoload.exe"
+
+
+class BhoSpyware(Ghostware):
+    """Hidden Browser Helper Object + hidden DLL."""
+
+    name = "BhoSpyware"
+    technique = "NtDll detours hiding a Browser Helper Object hook"
+
+    def _hide(self, text: str) -> bool:
+        folded = text.casefold()
+        return "searchhelper" in folded or CLSID.casefold() in folded
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_directories("\\Program Files\\Common")
+        machine.volume.create_file(DLL_PATH, b"MZbho")
+        machine.volume.create_file(LOADER_PATH, b"MZbholoader")
+        key = f"{BHO_KEY}\\{CLSID}"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "DllName", DLL_PATH)
+        run_key = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+        machine.registry.set_value(run_key, "CommonLoader", LOADER_PATH)
+        machine.register_program(LOADER_PATH, self._main)
+        self.report.hidden_files = [DLL_PATH]
+        self.report.hidden_asep_hooks = [f"{BHO_KEY}\\{CLSID} → {DLL_PATH}"]
+
+    def activate(self, machine: Machine) -> None:
+        machine.start_process(LOADER_PATH)
+
+    def _main(self, machine: Machine, process: Process) -> None:
+        self.infect_everywhere(machine)
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        patch_file_enum_ntdll(process, self._hide, self.name)
+        patch_registry_enum_ntdll(process, self._hide, self.name)

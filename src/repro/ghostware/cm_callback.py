@@ -1,0 +1,51 @@
+r"""Registry hiding via kernel registry callbacks.
+
+Section 3's alternative mechanism: "ghostware programs can use the
+kernel-level Registry callback functionality to intercept and filter
+Registry query results."  Unlike per-process hooks, one callback
+registration lies to every process — but the raw-hive file parse never
+passes through the configuration manager, so the cross-view diff is
+untouched.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.base import Ghostware, register_cm_callback
+from repro.machine import Machine, RUN_KEY
+from repro.usermode.process import Process
+from repro.winapi.services import TYPE_DRIVER
+
+DRIVER_PATH = "\\Windows\\System32\\drivers\\cmfilt.sys"
+SERVICE_NAME = "cmfilt"
+RUN_VALUE = "cmghost"
+EXE_PATH = "\\Windows\\System32\\cmghost.exe"
+
+
+class CmCallbackGhost(Ghostware):
+    """Hides its Run hook through a CmRegisterCallback-style filter."""
+
+    name = "CmCallbackGhost"
+    technique = "kernel registry callback filtering"
+
+    def _hide(self, text: str) -> bool:
+        return "cmghost" in text.casefold()
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(EXE_PATH, b"MZcmghost")
+        machine.volume.create_file(DRIVER_PATH, b"MZcmfilt")
+        key = f"HKLM\\SYSTEM\\CurrentControlSet\\Services\\{SERVICE_NAME}"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", DRIVER_PATH)
+        machine.registry.set_value(key, "Type", TYPE_DRIVER)
+        machine.registry.set_value(key, "Start", 2)
+        machine.registry.set_value(RUN_KEY, RUN_VALUE, EXE_PATH)
+        machine.register_program(DRIVER_PATH, self._driver_entry)
+        self.report.hidden_asep_hooks = [
+            f"{RUN_KEY}\\{RUN_VALUE} → {EXE_PATH}"]
+        self.report.visible_files = [EXE_PATH, DRIVER_PATH]
+
+    def activate(self, machine: Machine) -> None:
+        machine.load_driver_image(SERVICE_NAME, DRIVER_PATH)
+
+    def _driver_entry(self, machine: Machine, process) -> None:
+        register_cm_callback(machine, self._hide)

@@ -1,0 +1,133 @@
+r"""The four commercial file hiders [ZHF, ZHO, ZAH, ZF].
+
+Figure 2 technique 6: all four use a *filter driver* inserted into the OS
+file-system stack, intercepting every file operation.  By examining the
+IRP's originating process they can scope the hiding — each product exempts
+its own configuration UI so the user can still manage the hidden set.
+
+The products differ in small, documented ways:
+
+* **Hide Files 3.3** — enumeration filtering only.
+* **Hide Folders XP** — also hides whole folder subtrees (prefix match is
+  inherent to our filter; the distinction here is its default target set).
+* **Advanced Hide Folders** — additionally denies opens of hidden paths.
+* **File & Folder Protector** — denies opens and scopes hiding per-process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ghostware.base import FileHidingFilterDriver, Ghostware
+from repro.machine import Machine
+from repro.usermode.process import Process
+from repro.winapi.services import TYPE_DRIVER
+
+
+class CommercialFileHider(Ghostware):
+    """Base: filter-driver product with a user-selected hidden set."""
+
+    product_dir = "hider"
+    driver_file = "hider.sys"
+    deny_open = False
+    technique = "file-system filter driver"
+
+    def __init__(self, hidden_paths: Optional[List[str]] = None):
+        super().__init__()
+        self.hidden_paths = list(hidden_paths or [])
+        self.filter: Optional[FileHidingFilterDriver] = None
+        self.exe_path = (f"\\Program Files\\{self.product_dir}"
+                         f"\\{self.product_dir}.exe")
+        self.driver_path = f"\\Windows\\System32\\drivers\\{self.driver_file}"
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_directories(
+            f"\\Program Files\\{self.product_dir}")
+        machine.volume.create_file(self.exe_path, b"MZhiderui")
+        machine.volume.create_file(self.driver_path, b"MZhiderdrv")
+        service = self.driver_file.rsplit(".", 1)[0]
+        key = f"HKLM\\SYSTEM\\CurrentControlSet\\Services\\{service}"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", self.driver_path)
+        machine.registry.set_value(key, "Type", TYPE_DRIVER)
+        machine.registry.set_value(key, "Start", 2)
+        machine.register_program(self.driver_path, self._driver_entry)
+        machine.register_program(self.exe_path, self._configuration_ui)
+        self.report.hidden_files = list(self.hidden_paths)
+
+    def activate(self, machine: Machine) -> None:
+        machine.load_driver_image(self.driver_file, self.driver_path)
+
+    def _driver_entry(self, machine: Machine, process) -> None:
+        self.filter = FileHidingFilterDriver(self.name,
+                                             deny_open=self.deny_open)
+        for path in self.hidden_paths:
+            self.filter.hide_path(path)
+        machine.io_manager.attach_filter(self.filter)
+
+    def _configuration_ui(self, machine: Machine,
+                          process: Process) -> None:
+        """The product's own UI is exempted via IRP inspection."""
+        if self.filter is not None:
+            self.filter.exempt_pids.add(process.pid)
+
+    def hide_path(self, machine: Machine, path: str) -> None:
+        """User action: add a file or folder to the hidden set."""
+        self.hidden_paths.append(path)
+        if self.filter is not None:
+            self.filter.hide_path(path)
+        if path not in self.report.hidden_files:
+            self.report.hidden_files.append(path)
+
+
+class HideFiles(CommercialFileHider):
+    """Hide Files 3.3 [ZHF]."""
+
+    name = "Hide Files 3.3"
+    product_dir = "HideFiles"
+    driver_file = "hidefiles.sys"
+
+
+class HideFoldersXP(CommercialFileHider):
+    """Hide Folders XP [ZHO]."""
+
+    name = "Hide Folders XP"
+    product_dir = "HideFoldersXP"
+    driver_file = "hfxp.sys"
+
+
+class AdvancedHideFolders(CommercialFileHider):
+    """Advanced Hide Folders [ZAH] — also blocks opens of hidden paths."""
+
+    name = "Advanced Hide Folders"
+    product_dir = "AdvHideFolders"
+    driver_file = "ahf.sys"
+    deny_open = True
+
+
+class FileFolderProtector(CommercialFileHider):
+    """File & Folder Protector [ZF] — open denial + per-process scoping."""
+
+    name = "File & Folder Protector"
+    product_dir = "FFProtector"
+    driver_file = "ffprot.sys"
+    deny_open = True
+
+    def scope_to_processes(self, pids: List[int]) -> None:
+        """Hide only from the given processes (exempt everyone else).
+
+        Implemented by exempting all current non-listed pids; the paper
+        notes the IRP lets the filter scope behaviour per process.
+        """
+        if self.filter is None:
+            return
+        self.filter.scoped_pids = set(pids)
+
+        original = self.filter.filter_enumeration
+
+        def scoped(irp, entries):
+            if irp.requestor_pid not in self.filter.scoped_pids:
+                return entries
+            return original(irp, entries)
+
+        self.filter.filter_enumeration = scoped

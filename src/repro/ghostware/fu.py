@@ -1,0 +1,80 @@
+r"""The FU rootkit [ZFU].
+
+Figure 5's unique entry: **Direct Kernel Object Manipulation**.  FU hides a
+process by unlinking its EPROCESS from the Active Process List — no API is
+hooked anywhere.  Because the list is only a truth *approximation* (a
+process can own schedulable threads while absent from it), the hidden
+process keeps running, and even GhostBuster's list-walking low-level scan
+misses it; only the advanced mode (thread-table traversal) recovers it
+(Figure 6).
+
+FU makes no attempt to hide its own files or its driver's ASEP hook — the
+``fu -ph <pid>`` command is a tool applied to *other* processes, including
+other ghostware ("one can even use FU to hide the other process-hiding
+ghostware programs to increase their stealth").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NoSuchProcess
+from repro.ghostware.base import Ghostware
+from repro.machine import Machine
+from repro.winapi.services import TYPE_DRIVER
+
+EXE_PATH = "\\Windows\\System32\\fu.exe"
+DRIVER_PATH = "\\Windows\\System32\\drivers\\msdirectx.sys"
+SERVICE_NAME = "msdirectx"
+
+
+class FuRootkit(Ghostware):
+    """FU: DKOM process hiding via the msdirectx.sys driver."""
+
+    name = "FU"
+    technique = "Direct Kernel Object Manipulation (process-list unlink)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hidden_pids: List[int] = []
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(EXE_PATH, b"MZfu")
+        machine.volume.create_file(DRIVER_PATH, b"MZmsdirectx")
+        key = f"HKLM\\SYSTEM\\CurrentControlSet\\Services\\{SERVICE_NAME}"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", DRIVER_PATH)
+        machine.registry.set_value(key, "Type", TYPE_DRIVER)
+        machine.registry.set_value(key, "Start", 2)
+        self.report.visible_files = [EXE_PATH, DRIVER_PATH]
+
+    def activate(self, machine: Machine) -> None:
+        machine.kernel.load_driver("msdirectx.sys")
+
+    def hide_process(self, machine: Machine, pid: int) -> None:
+        """``fu -ph <pid>``: unlink the process from the Active Process List."""
+        kernel = machine.kernel
+        try:
+            proc = kernel.process(pid)
+        except NoSuchProcess:
+            raise
+        kernel.process_list.unlink(proc.eprocess_address)
+        self.hidden_pids.append(pid)
+        name = proc.name
+        if name not in self.report.hidden_processes:
+            self.report.hidden_processes.append(name)
+
+    def hide_driver(self, machine: Machine, driver_name: str) -> bool:
+        """``fu -phd``: unlink a driver from the loaded-driver list."""
+        kernel = machine.kernel
+        head = kernel.driver_list_head
+        from repro.kernel.objects import DriverView
+        from repro.kernel.memory import read_u64
+        current = read_u64(kernel.memory, head + 4)
+        while current != head:
+            view = DriverView(kernel.memory, current)
+            if view.name.casefold() == driver_name.casefold():
+                kernel.unlink_driver(current)
+                return True
+            current = view.flink
+        return False

@@ -1,0 +1,132 @@
+r"""Hacker Defender 1.0 [ZH] — "the most popular Windows rootkit today"
+(per the paper's Product Support Service engineers).
+
+Figure 2 technique 4: jmp detours inside the *NtDll* layer
+(``NtQueryDirectoryFile`` for files, ``NtEnumerateKey`` /
+``NtEnumerateValueKey`` for the registry, ``NtQuerySystemInformation`` for
+processes) installed in every process.
+
+Hides (Figures 3, 4, 6):
+
+* files ``hxdef100.exe``, ``hxdefdrv.sys``, ``hxdef100.ini`` plus anything
+  matching the patterns in its INI's ``[Hidden Table]``;
+* both of its service ASEP hooks (``HackerDefender100`` and
+  ``HackerDefenderDrv100``);
+* its process and any process matching the INI patterns.
+
+It does *not* hide its driver from the loaded-driver list — which is why
+the paper notes AskStrider can spot an infection via the unhidden
+``hxdefdrv.sys`` today.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import List
+
+from repro.ghostware.base import (Ghostware, patch_file_enum_ntdll,
+                                  patch_process_enum_ntdll,
+                                  patch_registry_enum_ntdll)
+from repro.machine import Machine
+from repro.usermode.process import Process
+from repro.winapi.services import TYPE_DRIVER, TYPE_SERVICE
+
+EXE_PATH = "\\Windows\\hxdef100.exe"
+DRIVER_PATH = "\\Windows\\hxdefdrv.sys"
+INI_PATH = "\\Windows\\hxdef100.ini"
+
+DEFAULT_INI = """[Hidden Table]
+hxdef*
+[Hidden Processes]
+hxdef*
+[Hidden RegKeys]
+HackerDefender100
+HackerDefenderDrv100
+[Settings]
+ServiceName=HackerDefender100
+DriverName=HackerDefenderDrv100
+"""
+
+
+def parse_ini(text: str) -> dict:
+    """Parse the hxdef INI dialect: bare patterns under bracket headers."""
+    sections: dict = {}
+    current: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = sections.setdefault(line[1:-1], [])
+        else:
+            current.append(line)
+    return sections
+
+
+class HackerDefender(Ghostware):
+    """Hacker Defender: NtDll-level detours, INI-driven hiding patterns."""
+
+    name = "Hacker Defender 1.0"
+    technique = "inline jmp detour in NtDll (files, registry, processes)"
+
+    def __init__(self, extra_patterns: List[str] = ()):
+        super().__init__()
+        self.extra_patterns = list(extra_patterns)
+        self._patterns: List[str] = []
+        self._reg_patterns: List[str] = []
+
+    def _hide(self, text: str) -> bool:
+        name = text.rsplit("\\", 1)[-1].casefold()
+        return any(fnmatch.fnmatch(name, pattern.casefold())
+                   for pattern in self._patterns)
+
+    def _hide_reg(self, text: str) -> bool:
+        name = text.rsplit("\\", 1)[-1].casefold()
+        return self._hide(text) or any(
+            fnmatch.fnmatch(name, pattern.casefold())
+            for pattern in self._reg_patterns)
+
+    def _install_persistent(self, machine: Machine) -> None:
+        ini_text = DEFAULT_INI
+        for pattern in self.extra_patterns:
+            head, sep, tail = ini_text.partition("[Hidden Processes]")
+            ini_text = head + pattern + "\n" + sep + tail
+        machine.volume.create_file(EXE_PATH, b"MZhxdef")
+        machine.volume.create_file(DRIVER_PATH, b"MZhxdefdrv")
+        machine.volume.create_file(INI_PATH, ini_text.encode())
+
+        services = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+        for service, image, kind in (
+                ("HackerDefender100", EXE_PATH, TYPE_SERVICE),
+                ("HackerDefenderDrv100", DRIVER_PATH, TYPE_DRIVER)):
+            key = f"{services}\\{service}"
+            machine.registry.create_key(key)
+            machine.registry.set_value(key, "ImagePath", image)
+            machine.registry.set_value(key, "Type", kind)
+            machine.registry.set_value(key, "Start", 2)
+        machine.register_program(EXE_PATH, self._service_main)
+
+        self.report.hidden_files = [EXE_PATH, DRIVER_PATH, INI_PATH]
+        self.report.hidden_asep_hooks = [
+            f"{services}\\HackerDefender100 → hxdef100.exe",
+            f"{services}\\HackerDefenderDrv100 → hxdefdrv.sys"]
+        self.report.hidden_processes = ["hxdef100.exe"]
+        self.report.visible_files = [DRIVER_PATH]  # driver list stays honest
+
+    def activate(self, machine: Machine) -> None:
+        machine.kernel.load_driver("hxdefdrv.sys")
+        machine.start_process(EXE_PATH)
+
+    def _service_main(self, machine: Machine, process: Process) -> None:
+        """hxdef100.exe: load patterns from the INI, hook everything."""
+        ini = parse_ini(machine.volume.read_file(INI_PATH).decode())
+        self._patterns = (ini.get("Hidden Table", [])
+                          + ini.get("Hidden Processes", []))
+        self._reg_patterns = [line.split("=")[0] for line
+                              in ini.get("Hidden RegKeys", [])]
+        self.infect_everywhere(machine)
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        patch_file_enum_ntdll(process, self._hide, self.name)
+        patch_registry_enum_ntdll(process, self._hide_reg, self.name)
+        patch_process_enum_ntdll(process, self._hide, self.name)

@@ -1,0 +1,16 @@
+"""The Mersting Trojan — captured from an infected machine.
+
+Structurally Urbin's twin: hides ``kbddfl.dll`` (Figure 3) and its
+``AppInit_DLLs`` hook (Figure 4) through per-process IAT modification.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.appinit_trojan import AppInitTrojan
+
+
+class Mersting(AppInitTrojan):
+    """Mersting: AppInit_DLLs-delivered IAT hooker hiding kbddfl.dll."""
+
+    name = "Mersting"
+    dll_name = "kbddfl.dll"

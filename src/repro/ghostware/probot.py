@@ -1,0 +1,112 @@
+r"""ProBot SE [ZP] — a commercial key-logger.
+
+Figure 2 technique 5: hijacks kernel-mode file-query APIs by modifying
+their dispatch entries in the Service Dispatch Table — a centralized,
+kernel-mode interception that needs no per-process memory modification.
+
+Hides (Figure 3) its four randomly named binaries — an EXE and a DLL in
+``System32`` plus two ``.sys`` drivers — and (Figure 4) three ASEP hooks:
+two ``Services`` driver entries and one ``Run`` value, all via SSDT hooks
+on the registry-enumeration services.
+
+The random names are drawn from a seeded RNG so experiments reproduce
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.ghostware.base import (Ghostware, hook_ssdt_file_enum,
+                                  hook_ssdt_registry_enum)
+from repro.machine import Machine, RUN_KEY
+from repro.usermode.process import Process
+from repro.winapi.services import TYPE_DRIVER
+
+_CONSONANTS = "bcdfghjklmnpqrstvwxz"
+
+
+def _random_name(rng: random.Random, length: int = 6) -> str:
+    return "".join(rng.choice(_CONSONANTS) for __ in range(length))
+
+
+class ProBotSE(Ghostware):
+    """ProBot SE: SSDT-hooking key-logger with randomized artifact names."""
+
+    name = "ProBot SE"
+    technique = "Service Dispatch Table entry modification"
+
+    def __init__(self, seed: int = 20050621):
+        super().__init__()
+        rng = random.Random(seed)
+        base = _random_name(rng)
+        self.exe_path = f"\\Windows\\System32\\{base}.exe"
+        self.dll_path = f"\\Windows\\System32\\{_random_name(rng)}.dll"
+        self.driver_path = \
+            f"\\Windows\\System32\\drivers\\{_random_name(rng)}.sys"
+        self.kbd_driver_path = \
+            f"\\Windows\\System32\\drivers\\{_random_name(rng)}.sys"
+        self.run_value = base
+        self.log_path = f"\\Windows\\System32\\{base}.log"
+
+    def _artifacts(self) -> List[str]:
+        return [self.exe_path, self.dll_path, self.driver_path,
+                self.kbd_driver_path]
+
+    def _hide(self, text: str) -> bool:
+        folded = text.casefold()
+        names = [path.rsplit("\\", 1)[-1].casefold()
+                 for path in self._artifacts()]
+        names.append(self.run_value.casefold())
+        token = folded.rsplit("\\", 1)[-1]
+        return token in names or any(name in folded for name in names)
+
+    def _install_persistent(self, machine: Machine) -> None:
+        for path in self._artifacts():
+            machine.volume.create_file(path, b"MZprobot")
+
+        services = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+        for path in (self.driver_path, self.kbd_driver_path):
+            driver_name = path.rsplit("\\", 1)[-1].rsplit(".", 1)[0]
+            key = f"{services}\\{driver_name}"
+            machine.registry.create_key(key)
+            machine.registry.set_value(key, "ImagePath", path)
+            machine.registry.set_value(key, "Type", TYPE_DRIVER)
+            machine.registry.set_value(key, "Start", 2)
+        machine.registry.set_value(RUN_KEY, self.run_value, self.exe_path)
+        machine.register_program(self.driver_path, self._driver_entry)
+        machine.register_program(self.exe_path, self._logger_main)
+
+        self.report.hidden_files = list(self._artifacts())
+        self.report.hidden_asep_hooks = [
+            f"{services}\\{self.driver_path.rsplit(chr(92), 1)[-1][:-4]}"
+            f" → {self.driver_path}",
+            f"{services}\\{self.kbd_driver_path.rsplit(chr(92), 1)[-1][:-4]}"
+            f" → {self.kbd_driver_path}",
+            f"{RUN_KEY}\\{self.run_value} → {self.exe_path}"]
+
+    def activate(self, machine: Machine) -> None:
+        machine.load_driver_image("probot_fsdrv", self.driver_path)
+        machine.start_process(self.exe_path)
+
+    def _driver_entry(self, machine: Machine, process) -> None:
+        """The .sys driver installs the SSDT hooks, exempting nothing."""
+        hook_ssdt_file_enum(machine, self._hide)
+        hook_ssdt_registry_enum(machine, self._hide)
+
+    def _logger_main(self, machine: Machine, process: Process) -> None:
+        """The user-mode EXE arms the logger; keystrokes arrive later.
+
+        The log file is only created once :meth:`log_keystrokes` runs, so
+        a freshly infected machine shows exactly the four hidden binaries
+        of Figure 3; the key-logger examples then exercise the hidden log.
+        """
+
+    def log_keystrokes(self, machine: Machine, text: str) -> None:
+        """Append keystrokes through the normal file API path."""
+        if machine.volume.exists(self.log_path):
+            machine.volume.append_file(self.log_path, text.encode())
+        else:
+            machine.volume.create_file(self.log_path, text.encode())
+            self.report.hidden_files.append(self.log_path)

@@ -1,0 +1,92 @@
+r"""Section 5's targeting issues: ghostware that picks its victims.
+
+* :class:`UtilityTargetedGhost` hides only from named OS utilities (Task
+  Manager, tlist, Explorer).  A GhostBuster process that is *not* on the
+  target list experiences no hiding, so its high-level scan equals the
+  truth and the diff is empty — the tool "cannot experience the hiding
+  behavior".
+* :class:`GhostBusterAwareGhost` inverts the trick: it hides from every
+  process *except* one named like the GhostBuster scanner, feeding the
+  detector the truth while lying to everyone else.
+
+Both are defeated by the DLL-injection extension
+(:mod:`repro.core.injection_ext`): when every process — Task Manager,
+Explorer, the AV scanner — *is* a GhostBuster, there is no safe process
+left to lie to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.ghostware.base import (Ghostware, patch_file_enum_ntdll,
+                                  patch_process_enum_ntdll)
+from repro.machine import Machine, RUN_KEY
+from repro.usermode.process import Process
+
+DEFAULT_TARGETS = ("taskmgr.exe", "tlist.exe", "explorer.exe")
+
+
+class _SelectiveGhost(Ghostware):
+    """Shared machinery: NtDll detours installed in selected processes."""
+
+    exe_name = "selective.exe"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.exe_path = f"\\Windows\\System32\\{self.exe_name}"
+
+    def _hide(self, text: str) -> bool:
+        return self.exe_name.casefold() in text.casefold()
+
+    def _should_infect(self, process: Process) -> bool:
+        raise NotImplementedError
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(self.exe_path, b"MZselective")
+        machine.registry.set_value(RUN_KEY, self.exe_name.split(".")[0],
+                                   self.exe_path)
+        machine.register_program(self.exe_path, self._main)
+        self.report.hidden_files = [self.exe_path]
+        self.report.hidden_processes = [self.exe_name]
+
+    def activate(self, machine: Machine) -> None:
+        machine.start_process(self.exe_path)
+
+    def _main(self, machine: Machine, process: Process) -> None:
+        self.infect_everywhere(
+            machine, skip=lambda proc: not self._should_infect(proc))
+
+    def infect_process(self, machine: Machine, process: Process) -> None:
+        patch_file_enum_ntdll(process, self._hide, self.name)
+        patch_process_enum_ntdll(process, self._hide, self.name)
+
+
+class UtilityTargetedGhost(_SelectiveGhost):
+    """Hides only from specific OS utilities."""
+
+    name = "UtilityTargeted"
+    technique = "NtDll detours installed only in targeted utilities"
+    exe_name = "utghost.exe"
+
+    def __init__(self, targets: Iterable[str] = DEFAULT_TARGETS):
+        super().__init__()
+        self.targets: Set[str] = {name.casefold() for name in targets}
+
+    def _should_infect(self, process: Process) -> bool:
+        return process.name.casefold() in self.targets
+
+
+class GhostBusterAwareGhost(_SelectiveGhost):
+    """Hides from everything except the GhostBuster scanner process."""
+
+    name = "GhostBusterAware"
+    technique = "NtDll detours in every process except the scanner's"
+    exe_name = "gbaware.exe"
+
+    def __init__(self, scanner_names: Iterable[str] = ("ghostbuster.exe",)):
+        super().__init__()
+        self.scanner_names: Set[str] = {n.casefold() for n in scanner_names}
+
+    def _should_infect(self, process: Process) -> bool:
+        return process.name.casefold() not in self.scanner_names

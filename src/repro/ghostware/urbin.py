@@ -1,0 +1,17 @@
+"""The Urbin Trojan [ZU] — captured from an infected machine.
+
+Hides ``msvsres.dll`` (Figure 3) and its ``AppInit_DLLs`` hook (Figure 4)
+by altering per-process Import Address Table entries of the file- and
+registry-enumeration APIs — the highest-level interception in Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.appinit_trojan import AppInitTrojan
+
+
+class Urbin(AppInitTrojan):
+    """Urbin: AppInit_DLLs-delivered IAT hooker hiding msvsres.dll."""
+
+    name = "Urbin"
+    dll_name = "msvsres.dll"

@@ -1,0 +1,81 @@
+r"""The Vanquish rootkit [ZV].
+
+Figure 2 technique 2: directly modifies loaded in-memory API code so that
+its function is called and then calls the next OS function — the trojan
+frames therefore *do* appear in a debugger's call-stack trace
+(``INLINE_CALL`` in our patch taxonomy).
+
+Hides (Figure 3) ``vanquish.exe``, ``vanquish.dll``, ``vanquish.log`` and
+any other ``*vanquish*`` file; hides its service ASEP hook (Figure 4); and
+blanks the ``vanquish.dll`` pathname out of the PEB module list of every
+process it infects (Figure 6 — module hiding), while the kernel's own
+module table still shows the truth.
+"""
+
+from __future__ import annotations
+
+from repro.ghostware.base import (Ghostware, patch_file_enum_kernel32,
+                                  patch_registry_enum_advapi)
+from repro.machine import Machine
+from repro.usermode.process import Process
+from repro.winapi.hooks import PatchKind
+from repro.winapi.services import TYPE_SERVICE
+
+EXE_PATH = "\\Windows\\vanquish.exe"
+DLL_PATH = "\\Windows\\vanquish.dll"
+LOG_PATH = "\\vanquish.log"
+SERVICE_NAME = "Vanquish"
+
+
+class Vanquish(Ghostware):
+    """Vanquish: in-memory API code modification + PEB module blanking."""
+
+    name = "Vanquish"
+    technique = "in-memory API code modification (call-through)"
+
+    @staticmethod
+    def _hide(text: str) -> bool:
+        return "vanquish" in text.casefold()
+
+    def _install_persistent(self, machine: Machine) -> None:
+        machine.volume.create_file(EXE_PATH, b"MZvanquish")
+        machine.volume.create_file(DLL_PATH, b"MZvanquishdll")
+        machine.volume.create_file(LOG_PATH, b"captured passwords\n")
+        self._register_service_offline(machine)
+        machine.register_program(EXE_PATH, self._service_main)
+        machine.register_program(DLL_PATH, self._dll_main)
+
+        self.report.hidden_files = [EXE_PATH, DLL_PATH, LOG_PATH]
+        self.report.hidden_asep_hooks = [
+            f"HKLM\\SYSTEM\\CurrentControlSet\\Services\\{SERVICE_NAME}"
+            f" → {EXE_PATH}"]
+        self.report.hidden_modules = [DLL_PATH]
+
+    def _register_service_offline(self, machine: Machine) -> None:
+        key = f"HKLM\\SYSTEM\\CurrentControlSet\\Services\\{SERVICE_NAME}"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", EXE_PATH)
+        machine.registry.set_value(key, "Type", TYPE_SERVICE)
+        machine.registry.set_value(key, "Start", 2)
+
+    def activate(self, machine: Machine) -> None:
+        machine.start_process(EXE_PATH)
+
+    def _service_main(self, machine: Machine, process: Process) -> None:
+        """vanquish.exe: inject vanquish.dll into every process."""
+        from repro.usermode.injection import inject_into_all
+        inject_into_all(machine, DLL_PATH)
+
+        def on_start(mach: Machine, new_process: Process) -> None:
+            from repro.usermode.injection import inject_dll
+            inject_dll(mach, new_process, DLL_PATH)
+
+        machine.process_start_hooks.append(on_start)
+
+    def _dll_main(self, machine: Machine, process: Process) -> None:
+        """vanquish.dll inside one process: patch code, blank the PEB."""
+        patch_file_enum_kernel32(process, self._hide, self.name,
+                                 PatchKind.INLINE_CALL)
+        patch_registry_enum_advapi(process, self._hide, self.name,
+                                   PatchKind.INLINE_CALL)
+        machine.kernel.peb_view(process.pid).blank_module_path("vanquish.dll")

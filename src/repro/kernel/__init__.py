@@ -1,0 +1,30 @@
+"""Simulated Windows kernel.
+
+Kernel state lives in a flat, byte-addressed :class:`KernelMemory`:
+EPROCESS blocks linked into the Active Process List, ETHREAD entries in a
+scheduler thread table, PEB module lists, and a loaded-driver list.  Every
+GhostBuster low-level scan is a genuine pointer-chase through these bytes —
+over live memory for the inside-the-box driver scan, or over a serialized
+crash dump for the outside-the-box scan — so Direct Kernel Object
+Manipulation (the FU rootkit's unlink) has exactly the paper's semantics:
+the process disappears from the list yet its threads keep running.
+"""
+
+from repro.kernel.memory import KernelMemory, MemoryReader
+from repro.kernel.objects import (EprocessView, EthreadView, PebView,
+                                  ModuleTableView, DriverView)
+from repro.kernel.process_list import ActiveProcessList, walk_process_list
+from repro.kernel.scheduler import ThreadTable, walk_thread_table
+from repro.kernel.ssdt import ServiceDispatchTable, Syscall
+from repro.kernel.crashdump import CrashDump, write_dump
+from repro.kernel.kernel import Kernel, KernelProcess, DiskPort
+
+__all__ = [
+    "KernelMemory", "MemoryReader",
+    "EprocessView", "EthreadView", "PebView", "ModuleTableView", "DriverView",
+    "ActiveProcessList", "walk_process_list",
+    "ThreadTable", "walk_thread_table",
+    "ServiceDispatchTable", "Syscall",
+    "CrashDump", "write_dump",
+    "Kernel", "KernelProcess", "DiskPort",
+]

@@ -1,0 +1,98 @@
+"""Kernel crash dumps — persisting volatile truth for outside-the-box scans.
+
+The paper's outside-the-box process scan cannot use DMA hardware (Copilot's
+PCI card), so GhostBuster induces a blue screen, writes kernel memory to a
+dump file, and pointer-chases the dump from the clean OS.  We reproduce
+that: :func:`write_dump` serializes every allocated kernel-memory region
+plus the global anchor addresses; :class:`CrashDump` implements the
+:class:`~repro.kernel.memory.MemoryReader` protocol over the blob, so the
+*same* walkers used by the live driver scan run unchanged on the dump.
+
+The paper notes this is only a truth approximation — future ghostware
+could trap the blue screen and scrub itself; :meth:`Kernel.crash_filters`
+models exactly that attack for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.errors import CorruptRecord, KernelError
+
+DUMP_MAGIC = b"KDMP"
+_HEADER = struct.Struct("<4sIQQQ")   # magic, region_count, anchors x3
+_REGION = struct.Struct("<QI")       # address, length
+
+
+def serialize_regions(regions: List[Tuple[int, bytes]],
+                      active_process_head: int,
+                      thread_table: int,
+                      driver_list_head: int) -> bytes:
+    """Pack memory regions and global anchors into a dump blob."""
+    out = bytearray()
+    out += _HEADER.pack(DUMP_MAGIC, len(regions), active_process_head,
+                        thread_table, driver_list_head)
+    for address, contents in regions:
+        out += _REGION.pack(address, len(contents))
+        out += contents
+    return bytes(out)
+
+
+def write_dump(kernel) -> bytes:
+    """Blue-screen the kernel: serialize its memory image.
+
+    Any registered crash filters (a ghostware anti-forensics hook) get to
+    rewrite the region list before it is packed — modelling the paper's
+    caveat that a dump is a truth approximation.
+    """
+    regions = list(kernel.memory.regions())
+    for crash_filter in kernel.crash_filters:
+        regions = crash_filter(regions)
+    return serialize_regions(regions,
+                             kernel.process_list.head_address,
+                             kernel.thread_table.address,
+                             kernel.driver_list_head)
+
+
+class CrashDump:
+    """MemoryReader over a dump blob."""
+
+    def __init__(self, blob: bytes):
+        if len(blob) < _HEADER.size:
+            raise CorruptRecord("dump too short for its header")
+        magic, region_count, process_head, thread_table, driver_head = \
+            _HEADER.unpack_from(blob)
+        if magic != DUMP_MAGIC:
+            raise CorruptRecord("bad crash-dump magic")
+        self.active_process_head = process_head
+        self.thread_table_address = thread_table
+        self.driver_list_head = driver_head
+        self._regions: Dict[int, bytes] = {}
+        cursor = _HEADER.size
+        for __ in range(region_count):
+            if cursor + _REGION.size > len(blob):
+                raise CorruptRecord("dump truncated in region table")
+            address, length = _REGION.unpack_from(blob, cursor)
+            cursor += _REGION.size
+            contents = blob[cursor:cursor + length]
+            if len(contents) != length:
+                raise CorruptRecord("dump truncated in region contents")
+            self._regions[address] = contents
+            cursor += length
+        self._bases = sorted(self._regions)
+
+    def read(self, address: int, size: int) -> bytes:
+        """Service a pointer-chase read from the dumped regions."""
+        for base in self._bases:
+            contents = self._regions[base]
+            if base <= address < base + len(contents):
+                offset = address - base
+                if offset + size > len(contents):
+                    raise KernelError(
+                        f"dump read [{address:#x}, +{size}) crosses region")
+                return contents[offset:offset + size]
+        raise KernelError(f"address {address:#x} not present in dump")
+
+    def region_count(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,342 @@
+"""The kernel facade.
+
+Owns the simulated kernel memory and every structure GhostBuster's
+low-level scans traverse, plus the service layer that syscalls dispatch
+into.  The kernel itself never lies; ghostware lies by hooking the
+dispatch table, registering configuration-manager callbacks, filtering the
+I/O stack, mutating kernel objects (DKOM), or intercepting the raw disk
+port — all of which are modelled as explicit, inspectable hook points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.errors import KernelError, NoSuchProcess
+from repro.kernel.memory import KernelMemory, read_u64
+from repro.kernel.objects import (DriverView, ModuleTableView, PebView,
+                                  allocate_pointer_table, attach_module_table,
+                                  attach_peb, write_driver, write_eprocess,
+                                  write_ethread, write_module_entry,
+                                  EprocessView, MODTABLE_MAGIC, PEB_MAGIC)
+from repro.kernel.process_list import ActiveProcessList, walk_process_list
+from repro.kernel.scheduler import ThreadTable
+from repro.kernel.ssdt import ServiceDispatchTable, Syscall
+
+DRIVER_HEAD_MAGIC = b"DLst"
+_DRV_FLINK = 4
+_DRV_BLINK = 12
+
+RawReadFilter = Callable[[int, int, bytes], bytes]
+CrashFilter = Callable[[List[Tuple[int, bytes]]], List[Tuple[int, bytes]]]
+CmCallback = Callable[[str, List], List]
+
+
+@dataclass(frozen=True)
+class ProcessInfo:
+    """One row of a process enumeration."""
+
+    pid: int
+    name: str
+    image_path: str = ""
+
+
+@dataclass
+class KernelProcess:
+    """Bookkeeping handle for one process (not itself a scan source)."""
+
+    pid: int
+    name: str
+    image_path: str
+    eprocess_address: int
+    peb_address: int
+    module_table_address: int
+    threads: List[int] = field(default_factory=list)
+    alive: bool = True
+    allocations: List[int] = field(default_factory=list)
+
+
+class DiskPort:
+    """The kernel's raw-device read path.
+
+    Inside-the-box low-level file scans read the disk through this port;
+    a sufficiently privileged ghostware strain can interpose filters here
+    (the paper's caveat about interference with the low-level scan, tested
+    by ablation A3).  Outside-the-box scans hold the Disk itself and never
+    pass through the port.
+    """
+
+    def __init__(self, disk):
+        self._disk = disk
+        self.read_filters: List[RawReadFilter] = []
+
+    @property
+    def disk(self):
+        return self._disk
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        data = self._disk.read_bytes(offset, length)
+        for read_filter in self.read_filters:
+            data = read_filter(offset, length, data)
+        return data
+
+
+class Kernel:
+    """Simulated NT kernel: processes, threads, drivers, services."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self.memory = KernelMemory()
+        self.process_list = ActiveProcessList(self.memory)
+        self.thread_table = ThreadTable(self.memory)
+        self.driver_list_head = self._make_driver_head()
+        self.ssdt = ServiceDispatchTable()
+        self.cm_callbacks: List[CmCallback] = []
+        self.crash_filters: List[CrashFilter] = []
+        self.disk_port: Optional[DiskPort] = None
+        self.io_manager = None   # attached by the Machine
+        self.registry = None     # attached by the Machine
+        self._procs: Dict[int, KernelProcess] = {}
+        self._next_pid = 4       # System gets pid 4, as on Windows
+        self._next_tid = 4
+
+    # -- process lifecycle ------------------------------------------------------
+
+    def create_process(self, name: str,
+                       image_path: str = "") -> KernelProcess:
+        pid = self._next_pid
+        self._next_pid += 4
+        eprocess = write_eprocess(self.memory, pid, name, image_path)
+        peb = allocate_pointer_table(self.memory, PEB_MAGIC, 8)
+        attach_peb(self.memory, eprocess, peb)
+        module_table = allocate_pointer_table(self.memory, MODTABLE_MAGIC, 8)
+        attach_module_table(self.memory, eprocess, module_table)
+        self.process_list.insert_tail(eprocess)
+        proc = KernelProcess(pid=pid, name=name, image_path=image_path,
+                             eprocess_address=eprocess, peb_address=peb,
+                             module_table_address=module_table)
+        self._procs[pid] = proc
+        self.add_thread(pid)
+        return proc
+
+    def add_thread(self, pid: int) -> int:
+        proc = self._require(pid)
+        tid = self._next_tid
+        self._next_tid += 4
+        ethread = write_ethread(self.memory, tid, proc.eprocess_address)
+        self.thread_table.add(ethread)
+        proc.threads.append(ethread)
+        view = EprocessView(self.memory, proc.eprocess_address)
+        view.set_thread_count(len(proc.threads))
+        return tid
+
+    def terminate_process(self, pid: int) -> None:
+        """Normal termination: threads retired, EPROCESS delinked and freed."""
+        proc = self._require(pid)
+        for ethread in proc.threads:
+            self.thread_table.remove(ethread)
+            self.memory.free(ethread)
+        proc.threads.clear()
+        self.process_list.unlink(proc.eprocess_address)
+        EprocessView(self.memory, proc.eprocess_address).set_alive(False)
+        self.memory.free(proc.eprocess_address)
+        self.memory.free(proc.peb_address)
+        self.memory.free(proc.module_table_address)
+        for address in proc.allocations:
+            if self.memory.is_allocated(address):
+                self.memory.free(address)
+        proc.alive = False
+        del self._procs[pid]
+
+    def process(self, pid: int) -> KernelProcess:
+        return self._require(pid)
+
+    def find_process(self, name: str) -> Optional[KernelProcess]:
+        wanted = name.casefold()
+        for proc in self._procs.values():
+            if proc.name.casefold() == wanted:
+                return proc
+        return None
+
+    def processes(self) -> List[KernelProcess]:
+        """Bookkeeping enumeration (machine-internal; not a scan source)."""
+        return [self._procs[pid] for pid in sorted(self._procs)]
+
+    # -- modules ---------------------------------------------------------------
+
+    def load_module(self, pid: int, path: str) -> None:
+        """Record a module in both the kernel truth table and the PEB.
+
+        Two *separate* entry allocations back the two views: tampering with
+        the PEB copy (Vanquish) leaves the kernel truth intact.
+        """
+        proc = self._require(pid)
+        kernel_entry = write_module_entry(self.memory, path)
+        peb_entry = write_module_entry(self.memory, path)
+        proc.allocations.extend([kernel_entry, peb_entry])
+
+        table = ModuleTableView(self.memory, proc.module_table_address)
+        new_table = table.append(kernel_entry)
+        if new_table != proc.module_table_address:
+            proc.module_table_address = new_table
+            attach_module_table(self.memory, proc.eprocess_address, new_table)
+
+        peb = PebView(self.memory, proc.peb_address)
+        new_peb = peb.append(peb_entry)
+        if new_peb != proc.peb_address:
+            proc.peb_address = new_peb
+            attach_peb(self.memory, proc.eprocess_address, new_peb)
+
+    def peb_view(self, pid: int) -> PebView:
+        return PebView(self.memory, self._require(pid).peb_address)
+
+    def module_table_view(self, pid: int) -> ModuleTableView:
+        return ModuleTableView(self.memory,
+                               self._require(pid).module_table_address)
+
+    # -- drivers ------------------------------------------------------------------
+
+    def _make_driver_head(self) -> int:
+        head = self.memory.alloc(24)
+        self.memory.write(head, DRIVER_HEAD_MAGIC)
+        self.memory.write_u64(head + _DRV_FLINK, head)
+        self.memory.write_u64(head + _DRV_BLINK, head)
+        return head
+
+    def load_driver(self, name: str) -> int:
+        """Append a driver record to the loaded-driver list."""
+        address = write_driver(self.memory, name)
+        head = self.driver_list_head
+        tail = self.memory.read_u64(head + _DRV_BLINK)
+        self.memory.write_u64(address + _DRV_FLINK, head)
+        self.memory.write_u64(address + _DRV_BLINK, tail)
+        self.memory.write_u64(tail + _DRV_FLINK, address)
+        self.memory.write_u64(head + _DRV_BLINK, address)
+        return address
+
+    def unlink_driver(self, address: int) -> None:
+        """DKOM-style removal from the loaded-driver list."""
+        flink = self.memory.read_u64(address + _DRV_FLINK)
+        blink = self.memory.read_u64(address + _DRV_BLINK)
+        self.memory.write_u64(blink + _DRV_FLINK, flink)
+        self.memory.write_u64(flink + _DRV_BLINK, blink)
+        self.memory.write_u64(address + _DRV_FLINK, address)
+        self.memory.write_u64(address + _DRV_BLINK, blink)
+
+    def drivers(self, reader=None, head_address: Optional[int] = None
+                ) -> List[str]:
+        """Walk the loaded-driver list (live memory or a dump)."""
+        reader = reader or self.memory
+        head = head_address if head_address is not None \
+            else self.driver_list_head
+        names: List[str] = []
+        seen = set()
+        current = read_u64(reader, head + _DRV_FLINK)
+        while current != head:
+            if current in seen:
+                raise KernelError("cycle in the loaded-driver list")
+            seen.add(current)
+            names.append(DriverView(reader, current).name)
+            current = read_u64(reader, current + _DRV_FLINK)
+        return names
+
+    # -- kernel services (SSDT targets) ----------------------------------------------
+
+    def install_default_services(self) -> None:
+        """Populate the SSDT with the pristine NT services.
+
+        Called by the Machine once the I/O manager and registry are
+        attached.  These closures are the boot-time originals the SSDT
+        remembers for mechanism-detection baselines.
+        """
+        self.ssdt.install(Syscall.QUERY_DIRECTORY_FILE,
+                          self._svc_query_directory_file)
+        self.ssdt.install(Syscall.CREATE_FILE, self._svc_create_file)
+        self.ssdt.install(Syscall.READ_FILE, self._svc_read_file)
+        self.ssdt.install(Syscall.WRITE_FILE, self._svc_write_file)
+        self.ssdt.install(Syscall.DELETE_FILE, self._svc_delete_file)
+        self.ssdt.install(Syscall.ENUMERATE_KEY, self._svc_enumerate_key)
+        self.ssdt.install(Syscall.ENUMERATE_VALUE_KEY,
+                          self._svc_enumerate_value_key)
+        self.ssdt.install(Syscall.QUERY_VALUE_KEY, self._svc_query_value_key)
+        self.ssdt.install(Syscall.QUERY_SYSTEM_INFORMATION,
+                          self._svc_query_system_information)
+        self.ssdt.install(Syscall.QUERY_INFORMATION_PROCESS,
+                          self._svc_query_information_process)
+
+    def _svc_query_directory_file(self, requestor_pid: int, path: str):
+        return self.io_manager.enumerate_directory(requestor_pid, path)
+
+    def _svc_create_file(self, requestor_pid: int, path: str,
+                         content: bytes = b"", dos_flags: int = 0):
+        return self.io_manager.create_file(requestor_pid, path, content,
+                                           dos_flags)
+
+    def _svc_read_file(self, requestor_pid: int, path: str) -> bytes:
+        return self.io_manager.read_file(requestor_pid, path)
+
+    def _svc_write_file(self, requestor_pid: int, path: str,
+                        content: bytes) -> None:
+        return self.io_manager.write_file(requestor_pid, path, content)
+
+    def _svc_delete_file(self, requestor_pid: int, path: str) -> None:
+        return self.io_manager.delete_file(requestor_pid, path)
+
+    def _svc_enumerate_key(self, requestor_pid: int,
+                           key_path: str) -> List[str]:
+        names = self.registry.enum_subkeys(key_path)
+        for callback in self.cm_callbacks:
+            names = callback(key_path, names)
+        return names
+
+    def _svc_enumerate_value_key(self, requestor_pid: int, key_path: str):
+        values = self.registry.enum_values(key_path)
+        for callback in self.cm_callbacks:
+            values = callback(key_path, values)
+        return values
+
+    def _svc_query_value_key(self, requestor_pid: int, key_path: str,
+                             name: str):
+        value = self.registry.get_value(key_path, name)
+        filtered = [value]
+        for callback in self.cm_callbacks:
+            filtered = callback(key_path, filtered)
+        return filtered[0] if filtered else None
+
+    def _svc_query_system_information(self,
+                                      requestor_pid: int) -> List[ProcessInfo]:
+        """Walk the Active Process List — the truth approximation."""
+        out: List[ProcessInfo] = []
+        for address in walk_process_list(self.memory,
+                                         self.process_list.head_address):
+            view = EprocessView(self.memory, address)
+            if view.alive:
+                out.append(ProcessInfo(view.pid, view.name, view.image_path))
+        return out
+
+    def _svc_query_information_process(self, requestor_pid: int,
+                                       pid: int) -> List[str]:
+        """Module list as reported via the PEB (the user-mode approximation)."""
+        proc = self._require(pid)
+        peb = PebView(self.memory, proc.peb_address)
+        return [path for path in peb.module_paths() if path]
+
+    # -- syscall gateway -------------------------------------------------------------
+
+    def syscall(self, number: Syscall, requestor_pid: int, *args):
+        """Enter the kernel through the (hookable) dispatch table."""
+        return self.ssdt.dispatch(number)(requestor_pid, *args)
+
+    # -- misc --------------------------------------------------------------------------
+
+    def attach_disk(self, disk) -> DiskPort:
+        self.disk_port = DiskPort(disk)
+        return self.disk_port
+
+    def _require(self, pid: int) -> KernelProcess:
+        proc = self._procs.get(pid)
+        if proc is None:
+            raise NoSuchProcess(pid)
+        return proc

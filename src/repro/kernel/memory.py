@@ -1,0 +1,128 @@
+"""Flat simulated kernel memory.
+
+Allocations are byte blocks at monotonically increasing addresses.  All
+kernel objects (EPROCESS, ETHREAD, PEBs, module entries, driver records)
+are stored here as packed bytes and accessed through view classes, so that
+the same traversal code can run over live memory or over a crash-dump blob:
+both merely implement :class:`MemoryReader`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Dict, Iterator, List, Protocol, Tuple
+
+from repro.errors import KernelError
+
+KERNEL_BASE = 0x8000_0000
+_ALIGN = 16
+
+
+class MemoryReader(Protocol):
+    """Anything that can service kernel-address reads (live RAM or a dump)."""
+
+    def read(self, address: int, size: int) -> bytes: ...
+
+
+class KernelMemory:
+    """Sparse block allocator with live read/write access.
+
+    Reads and writes must stay inside one allocated block — exactly the
+    discipline real pointer-chasing code follows; crossing blocks would mean
+    dereferencing a wild pointer, and raises.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[int, bytearray] = {}
+        self._bases: List[int] = []   # sorted, for interior-pointer lookup
+        self._cursor = KERNEL_BASE
+
+    # -- allocation -------------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` zeroed bytes; returns the block's address."""
+        if size <= 0:
+            raise KernelError("allocation size must be positive")
+        address = self._cursor
+        self._blocks[address] = bytearray(size)
+        bisect.insort(self._bases, address)
+        self._cursor += (size + _ALIGN - 1) & ~(_ALIGN - 1)
+        return address
+
+    def free(self, address: int) -> None:
+        if address not in self._blocks:
+            raise KernelError(f"free of unallocated address {address:#x}")
+        del self._blocks[address]
+        index = bisect.bisect_left(self._bases, address)
+        del self._bases[index]
+
+    def is_allocated(self, address: int) -> bool:
+        return address in self._blocks
+
+    # -- access --------------------------------------------------------------------
+
+    def _locate(self, address: int, size: int) -> Tuple[int, int]:
+        """Find the block containing [address, address+size)."""
+        if address in self._blocks:
+            base = address
+        else:
+            # Interior pointer: binary-search the sorted base list.
+            index = bisect.bisect_right(self._bases, address) - 1
+            if index < 0:
+                raise KernelError(f"wild pointer read at {address:#x}")
+            candidate = self._bases[index]
+            if address >= candidate + len(self._blocks[candidate]):
+                raise KernelError(f"wild pointer read at {address:#x}")
+            base = candidate
+        block = self._blocks[base]
+        offset = address - base
+        if offset + size > len(block):
+            raise KernelError(
+                f"access [{address:#x}, +{size}) crosses block boundary")
+        return base, offset
+
+    def read(self, address: int, size: int) -> bytes:
+        base, offset = self._locate(address, size)
+        return bytes(self._blocks[base][offset:offset + size])
+
+    def write(self, address: int, data: bytes) -> None:
+        base, offset = self._locate(address, len(data))
+        self._blocks[base][offset:offset + len(data)] = data
+
+    def read_u32(self, address: int) -> int:
+        return struct.unpack("<I", self.read(address, 4))[0]
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write(address, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def read_u64(self, address: int) -> int:
+        return struct.unpack("<Q", self.read(address, 8))[0]
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write(address, struct.pack("<Q", value))
+
+    # -- dump support -----------------------------------------------------------------
+
+    def regions(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate (address, contents) over all allocated blocks."""
+        for address in sorted(self._blocks):
+            yield address, bytes(self._blocks[address])
+
+    def allocated_bytes(self) -> int:
+        return sum(len(block) for block in self._blocks.values())
+
+
+def read_u32(reader: MemoryReader, address: int) -> int:
+    """Little-endian u32 through any MemoryReader."""
+    return struct.unpack("<I", reader.read(address, 4))[0]
+
+
+def read_u64(reader: MemoryReader, address: int) -> int:
+    """Little-endian u64 through any MemoryReader."""
+    return struct.unpack("<Q", reader.read(address, 8))[0]
+
+
+def read_utf16(reader: MemoryReader, address: int, chars: int) -> str:
+    """Fixed-length UTF-16LE string through any MemoryReader."""
+    return reader.read(address, chars * 2).decode("utf-16-le")

@@ -1,0 +1,385 @@
+"""Byte layouts and view classes for kernel objects.
+
+Each view wraps (reader, address) and decodes fields at fixed offsets, so
+identical code inspects live kernel memory and crash dumps.  Mutating
+methods require a live :class:`~repro.kernel.memory.KernelMemory`.
+
+Layouts::
+
+    EPROCESS (128 bytes)                ETHREAD (32 bytes)
+      0  magic  'Proc'                    0  magic 'Thrd'
+      4  pid            u32               4  tid           u32
+      8  flink          u64               8  owner process u64
+      16 blink          u64               16 alive         u32
+      24 peb            u64
+      32 image path ptr u64             MODULE ENTRY ('Modl')
+      40 image path len u32               0 magic | 4 path_len u32 | 8 path
+      44 alive          u32
+      48 module table   u64             PEB ('Peb.') / module table ('Mods')
+      56 thread count   u32               0 magic | 4 capacity u32
+      60 reserved       u32               8 count u32 | 12.. u64 entry ptrs
+      64 name (UTF-16LE, 32 chars max)
+                                         DRIVER ('Drvr')
+                                           0 magic | 4 flink u64 | 12 blink u64
+                                           20 name_len u32 | 24 name UTF-16
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional
+
+from repro.errors import CorruptRecord, KernelError
+from repro.kernel.memory import KernelMemory, MemoryReader
+
+EPROCESS_MAGIC = b"Proc"
+ETHREAD_MAGIC = b"Thrd"
+MODULE_MAGIC = b"Modl"
+PEB_MAGIC = b"Peb."
+MODTABLE_MAGIC = b"Mods"
+DRIVER_MAGIC = b"Drvr"
+
+EPROCESS_SIZE = 128
+ETHREAD_SIZE = 32
+NAME_CHARS = 32
+
+_EP_PID = 4
+_EP_FLINK = 8
+_EP_BLINK = 16
+_EP_PEB = 24
+_EP_PATH_PTR = 32
+_EP_PATH_LEN = 40
+_EP_ALIVE = 44
+_EP_MODTABLE = 48
+_EP_THREADS = 56
+_EP_NAME = 64
+
+
+def _read_u32(reader: MemoryReader, address: int) -> int:
+    return struct.unpack("<I", reader.read(address, 4))[0]
+
+
+def _read_u64(reader: MemoryReader, address: int) -> int:
+    return struct.unpack("<Q", reader.read(address, 8))[0]
+
+
+class EprocessView:
+    """Decoded view of one EPROCESS block."""
+
+    def __init__(self, reader: MemoryReader, address: int):
+        self.reader = reader
+        self.address = address
+        if reader.read(address, 4) != EPROCESS_MAGIC:
+            raise CorruptRecord(f"no EPROCESS at {address:#x}")
+
+    # -- reads ------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return _read_u32(self.reader, self.address + _EP_PID)
+
+    @property
+    def flink(self) -> int:
+        return _read_u64(self.reader, self.address + _EP_FLINK)
+
+    @property
+    def blink(self) -> int:
+        return _read_u64(self.reader, self.address + _EP_BLINK)
+
+    @property
+    def peb_address(self) -> int:
+        return _read_u64(self.reader, self.address + _EP_PEB)
+
+    @property
+    def alive(self) -> bool:
+        return bool(_read_u32(self.reader, self.address + _EP_ALIVE))
+
+    @property
+    def module_table_address(self) -> int:
+        return _read_u64(self.reader, self.address + _EP_MODTABLE)
+
+    @property
+    def thread_count(self) -> int:
+        return _read_u32(self.reader, self.address + _EP_THREADS)
+
+    @property
+    def name(self) -> str:
+        raw = self.reader.read(self.address + _EP_NAME, NAME_CHARS * 2)
+        return raw.decode("utf-16-le").split("\x00")[0]
+
+    @property
+    def image_path(self) -> str:
+        pointer = _read_u64(self.reader, self.address + _EP_PATH_PTR)
+        length = _read_u32(self.reader, self.address + _EP_PATH_LEN)
+        if pointer == 0 or length == 0:
+            return ""
+        return self.reader.read(pointer, length * 2).decode("utf-16-le")
+
+    # -- writes (live memory only) -------------------------------------------
+
+    def _memory(self) -> KernelMemory:
+        if not isinstance(self.reader, KernelMemory):
+            raise KernelError("cannot mutate kernel objects through a dump")
+        return self.reader
+
+    def set_links(self, flink: int, blink: int) -> None:
+        memory = self._memory()
+        memory.write_u64(self.address + _EP_FLINK, flink)
+        memory.write_u64(self.address + _EP_BLINK, blink)
+
+    def set_alive(self, alive: bool) -> None:
+        self._memory().write_u32(self.address + _EP_ALIVE, 1 if alive else 0)
+
+    def set_thread_count(self, count: int) -> None:
+        self._memory().write_u32(self.address + _EP_THREADS, count)
+
+
+def write_eprocess(memory: KernelMemory, pid: int, name: str,
+                   image_path: str) -> int:
+    """Allocate and initialize an EPROCESS block; returns its address."""
+    address = memory.alloc(EPROCESS_SIZE)
+    memory.write(address, EPROCESS_MAGIC)
+    memory.write_u32(address + _EP_PID, pid)
+    memory.write_u32(address + _EP_ALIVE, 1)
+    path_encoded = image_path.encode("utf-16-le")
+    if path_encoded:
+        path_address = memory.alloc(len(path_encoded))
+        memory.write(path_address, path_encoded)
+        memory.write_u64(address + _EP_PATH_PTR, path_address)
+        memory.write_u32(address + _EP_PATH_LEN, len(image_path))
+    name_encoded = name[:NAME_CHARS].encode("utf-16-le")
+    memory.write(address + _EP_NAME,
+                 name_encoded + b"\x00" * (NAME_CHARS * 2 - len(name_encoded)))
+    return address
+
+
+def attach_peb(memory: KernelMemory, eprocess_address: int,
+               peb_address: int) -> None:
+    """Point an EPROCESS at its PEB."""
+    memory.write_u64(eprocess_address + _EP_PEB, peb_address)
+
+
+def attach_module_table(memory: KernelMemory, eprocess_address: int,
+                        table_address: int) -> None:
+    """Point an EPROCESS at its kernel-truth module table."""
+    memory.write_u64(eprocess_address + _EP_MODTABLE, table_address)
+
+
+class EthreadView:
+    """Decoded view of one ETHREAD block."""
+
+    def __init__(self, reader: MemoryReader, address: int):
+        self.reader = reader
+        self.address = address
+        if reader.read(address, 4) != ETHREAD_MAGIC:
+            raise CorruptRecord(f"no ETHREAD at {address:#x}")
+
+    @property
+    def tid(self) -> int:
+        return _read_u32(self.reader, self.address + 4)
+
+    @property
+    def owner_process(self) -> int:
+        return _read_u64(self.reader, self.address + 8)
+
+    @property
+    def alive(self) -> bool:
+        return bool(_read_u32(self.reader, self.address + 16))
+
+    def set_alive(self, alive: bool) -> None:
+        if not isinstance(self.reader, KernelMemory):
+            raise KernelError("cannot mutate kernel objects through a dump")
+        self.reader.write_u32(self.address + 16, 1 if alive else 0)
+
+
+def write_ethread(memory: KernelMemory, tid: int,
+                  owner_eprocess: int) -> int:
+    """Allocate and initialize one ETHREAD; returns its address."""
+    address = memory.alloc(ETHREAD_SIZE)
+    memory.write(address, ETHREAD_MAGIC)
+    memory.write_u32(address + 4, tid)
+    memory.write_u64(address + 8, owner_eprocess)
+    memory.write_u32(address + 16, 1)
+    return address
+
+
+class _PointerTable:
+    """Growable table of u64 entry pointers behind a magic header."""
+
+    HEADER = 12  # magic + capacity + count
+
+    def __init__(self, reader: MemoryReader, address: int, magic: bytes):
+        self.reader = reader
+        self.address = address
+        self.magic = magic
+        if reader.read(address, 4) != magic:
+            raise CorruptRecord(
+                f"no {magic!r} table at {address:#x}")
+
+    @property
+    def capacity(self) -> int:
+        return _read_u32(self.reader, self.address + 4)
+
+    @property
+    def count(self) -> int:
+        return _read_u32(self.reader, self.address + 8)
+
+    def entries(self) -> List[int]:
+        out = []
+        for slot in range(self.count):
+            out.append(_read_u64(self.reader,
+                                 self.address + self.HEADER + slot * 8))
+        return out
+
+    def _memory(self) -> KernelMemory:
+        if not isinstance(self.reader, KernelMemory):
+            raise KernelError("cannot mutate kernel objects through a dump")
+        return self.reader
+
+    def append(self, pointer: int) -> int:
+        """Append a pointer; returns the (possibly relocated) table address.
+
+        When full, the table is reallocated at double capacity and the old
+        block freed — callers must store the returned address back into the
+        owning structure.
+        """
+        memory = self._memory()
+        count = self.count
+        if count >= self.capacity:
+            new_address = allocate_pointer_table(memory, self.magic,
+                                                 max(4, self.capacity * 2))
+            new_table = _PointerTable(memory, new_address, self.magic)
+            for entry in self.entries():
+                new_table._raw_append(entry)
+            memory.free(self.address)
+            new_table._raw_append(pointer)
+            return new_address
+        self._raw_append(pointer)
+        return self.address
+
+    def _raw_append(self, pointer: int) -> None:
+        memory = self._memory()
+        count = self.count
+        memory.write_u64(self.address + self.HEADER + count * 8, pointer)
+        memory.write_u32(self.address + 8, count + 1)
+
+    def remove(self, pointer: int) -> None:
+        memory = self._memory()
+        entries = self.entries()
+        if pointer not in entries:
+            raise KernelError(f"pointer {pointer:#x} not in table")
+        entries.remove(pointer)
+        for slot, entry in enumerate(entries):
+            memory.write_u64(self.address + self.HEADER + slot * 8, entry)
+        memory.write_u32(self.address + 8, len(entries))
+
+
+def allocate_pointer_table(memory: KernelMemory, magic: bytes,
+                           capacity: int) -> int:
+    """Allocate an empty pointer table with the given magic/capacity."""
+    address = memory.alloc(_PointerTable.HEADER + capacity * 8)
+    memory.write(address, magic)
+    memory.write_u32(address + 4, capacity)
+    memory.write_u32(address + 8, 0)
+    return address
+
+
+class ModuleTableView(_PointerTable):
+    """Kernel-truth module table of one process (VAD-like)."""
+
+    def __init__(self, reader: MemoryReader, address: int):
+        super().__init__(reader, address, MODTABLE_MAGIC)
+
+    def module_paths(self) -> List[str]:
+        return [read_module_entry(self.reader, entry)
+                for entry in self.entries()]
+
+
+class PebView(_PointerTable):
+    """User-mode PEB module list — writable by code inside the process."""
+
+    def __init__(self, reader: MemoryReader, address: int):
+        super().__init__(reader, address, PEB_MAGIC)
+
+    def module_paths(self) -> List[str]:
+        return [read_module_entry(self.reader, entry)
+                for entry in self.entries()]
+
+    def blank_module_path(self, path_substring: str) -> int:
+        """Zero the pathname of matching entries (Vanquish's PEB trick).
+
+        Returns how many entries were blanked.
+        """
+        memory = self._memory()
+        blanked = 0
+        wanted = path_substring.casefold()
+        for entry in self.entries():
+            current = read_module_entry(self.reader, entry)
+            if wanted in current.casefold():
+                memory.write_u32(entry + 4, 0)
+                blanked += 1
+        return blanked
+
+
+def write_module_entry(memory: KernelMemory, path: str) -> int:
+    """Allocate one module-path entry; returns its address."""
+    encoded = path.encode("utf-16-le")
+    address = memory.alloc(8 + len(encoded))
+    memory.write(address, MODULE_MAGIC)
+    memory.write_u32(address + 4, len(path))
+    if encoded:
+        memory.write(address + 8, encoded)
+    return address
+
+
+def read_module_entry(reader: MemoryReader, address: int) -> str:
+    """Decode one module-path entry (empty string when blanked)."""
+    if reader.read(address, 4) != MODULE_MAGIC:
+        raise CorruptRecord(f"no module entry at {address:#x}")
+    length = _read_u32(reader, address + 4)
+    if length == 0:
+        return ""
+    return reader.read(address + 8, length * 2).decode("utf-16-le")
+
+
+class DriverView:
+    """One entry in the loaded-driver linked list."""
+
+    def __init__(self, reader: MemoryReader, address: int):
+        self.reader = reader
+        self.address = address
+        if reader.read(address, 4) != DRIVER_MAGIC:
+            raise CorruptRecord(f"no driver record at {address:#x}")
+
+    @property
+    def flink(self) -> int:
+        return _read_u64(self.reader, self.address + 4)
+
+    @property
+    def blink(self) -> int:
+        return _read_u64(self.reader, self.address + 12)
+
+    @property
+    def name(self) -> str:
+        length = _read_u32(self.reader, self.address + 20)
+        if length == 0:
+            return ""
+        return self.reader.read(self.address + 24,
+                                length * 2).decode("utf-16-le")
+
+    def set_links(self, flink: int, blink: int) -> None:
+        if not isinstance(self.reader, KernelMemory):
+            raise KernelError("cannot mutate kernel objects through a dump")
+        self.reader.write_u64(self.address + 4, flink)
+        self.reader.write_u64(self.address + 12, blink)
+
+
+def write_driver(memory: KernelMemory, name: str) -> int:
+    """Allocate one loaded-driver record; returns its address."""
+    encoded = name.encode("utf-16-le")
+    address = memory.alloc(24 + len(encoded))
+    memory.write(address, DRIVER_MAGIC)
+    memory.write_u32(address + 20, len(name))
+    if encoded:
+        memory.write(address + 24, encoded)
+    return address

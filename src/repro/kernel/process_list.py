@@ -1,0 +1,96 @@
+"""The Active Process List.
+
+A circular doubly-linked list of EPROCESS blocks, with the link fields at
+the same offsets in the head sentinel as in EPROCESS so one walker serves
+both.  This is the structure ``NtQuerySystemInformation`` consults — the
+paper calls it a *truth approximation*: the FU rootkit's DKOM attack
+unlinks a process from here while its threads stay schedulable, which is
+why the advanced-mode scan walks the thread table instead
+(:mod:`repro.kernel.scheduler`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CorruptRecord, KernelError
+from repro.kernel.memory import KernelMemory, MemoryReader, read_u64
+from repro.kernel.objects import EprocessView
+
+HEAD_MAGIC = b"PLst"
+_FLINK = 8
+_BLINK = 16
+_HEAD_SIZE = 32
+_MAX_WALK = 1_000_000
+
+
+class ActiveProcessList:
+    """Owner of the list head; provides insert and (DKOM-style) unlink."""
+
+    def __init__(self, memory: KernelMemory):
+        self.memory = memory
+        self.head_address = memory.alloc(_HEAD_SIZE)
+        memory.write(self.head_address, HEAD_MAGIC)
+        memory.write_u64(self.head_address + _FLINK, self.head_address)
+        memory.write_u64(self.head_address + _BLINK, self.head_address)
+
+    def insert_tail(self, eprocess_address: int) -> None:
+        memory = self.memory
+        head = self.head_address
+        tail = memory.read_u64(head + _BLINK)
+        memory.write_u64(eprocess_address + _FLINK, head)
+        memory.write_u64(eprocess_address + _BLINK, tail)
+        memory.write_u64(tail + _FLINK, eprocess_address)
+        memory.write_u64(head + _BLINK, eprocess_address)
+
+    def unlink(self, eprocess_address: int) -> None:
+        """Remove a node by rewiring its neighbours.
+
+        This is exactly the Direct Kernel Object Manipulation the FU
+        rootkit performs: afterwards the EPROCESS still exists (and its
+        threads still run) but no list walk will ever reach it.  The node's
+        own links are pointed at itself, as FU does, so the hidden process
+        does not dangle into the list.
+        """
+        memory = self.memory
+        flink = memory.read_u64(eprocess_address + _FLINK)
+        blink = memory.read_u64(eprocess_address + _BLINK)
+        if flink == 0 and blink == 0:
+            raise KernelError(
+                f"EPROCESS {eprocess_address:#x} is not linked")
+        memory.write_u64(blink + _FLINK, flink)
+        memory.write_u64(flink + _BLINK, blink)
+        memory.write_u64(eprocess_address + _FLINK, eprocess_address)
+        memory.write_u64(eprocess_address + _BLINK, eprocess_address)
+
+    def contains(self, eprocess_address: int) -> bool:
+        return any(addr == eprocess_address
+                   for addr in walk_process_list(self.memory,
+                                                 self.head_address))
+
+
+def walk_process_list(reader: MemoryReader,
+                      head_address: int) -> Iterator[int]:
+    """Yield EPROCESS addresses by chasing flinks from the head sentinel.
+
+    Works identically over live memory and crash dumps.  Guards against
+    cycles introduced by (buggy) DKOM.
+    """
+    if reader.read(head_address, 4) != HEAD_MAGIC:
+        raise CorruptRecord(f"no process-list head at {head_address:#x}")
+    seen = set()
+    current = read_u64(reader, head_address + _FLINK)
+    steps = 0
+    while current != head_address:
+        if current in seen or steps > _MAX_WALK:
+            raise KernelError("cycle detected in the Active Process List")
+        seen.add(current)
+        steps += 1
+        yield current
+        current = read_u64(reader, current + _FLINK)
+
+
+def list_processes(reader: MemoryReader, head_address: int):
+    """Decode every linked EPROCESS into views."""
+    return [EprocessView(reader, address)
+            for address in walk_process_list(reader, head_address)]

@@ -1,0 +1,66 @@
+"""The scheduler's thread table — the "advanced mode" truth.
+
+Windows keeps more than one structure tracking execution: a process absent
+from the Active Process List can still own schedulable threads (the paper
+cites KProcCheck [YK04]).  We model that second structure as a table of
+ETHREAD pointers the scheduler owns.  FU-style DKOM never touches it, so
+the advanced-mode GhostBuster scan — walk the threads, resolve each owner
+EPROCESS — recovers processes the list-based scan cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.kernel.memory import KernelMemory, MemoryReader
+from repro.kernel.objects import (EprocessView, EthreadView,
+                                  _PointerTable, allocate_pointer_table)
+
+THREAD_TABLE_MAGIC = b"Cid."
+_INITIAL_CAPACITY = 64
+
+
+class ThreadTable:
+    """Owner wrapper that tracks the table through reallocation-on-growth."""
+
+    def __init__(self, memory: KernelMemory):
+        self.memory = memory
+        self.address = allocate_pointer_table(memory, THREAD_TABLE_MAGIC,
+                                              _INITIAL_CAPACITY)
+
+    def _table(self) -> _PointerTable:
+        return _PointerTable(self.memory, self.address, THREAD_TABLE_MAGIC)
+
+    def add(self, ethread_address: int) -> None:
+        self.address = self._table().append(ethread_address)
+
+    def remove(self, ethread_address: int) -> None:
+        self._table().remove(ethread_address)
+
+    def thread_addresses(self) -> List[int]:
+        return self._table().entries()
+
+
+def walk_thread_table(reader: MemoryReader,
+                      table_address: int) -> Iterator[EthreadView]:
+    """Yield every ETHREAD registered with the scheduler."""
+    table = _PointerTable(reader, table_address, THREAD_TABLE_MAGIC)
+    for address in table.entries():
+        yield EthreadView(reader, address)
+
+
+def processes_from_threads(reader: MemoryReader,
+                           table_address: int) -> Dict[int, EprocessView]:
+    """Advanced-mode recovery: owner EPROCESS of every live thread.
+
+    Returns a map keyed by EPROCESS address (deduplicated), regardless of
+    whether the process is still linked into the Active Process List.
+    """
+    owners: Dict[int, EprocessView] = {}
+    for thread in walk_thread_table(reader, table_address):
+        if not thread.alive:
+            continue
+        owner = thread.owner_process
+        if owner not in owners:
+            owners[owner] = EprocessView(reader, owner)
+    return owners

@@ -1,0 +1,85 @@
+"""Service Dispatch Table (SSDT).
+
+The syscall gateway indexes into this table to reach kernel services.
+Ghostware like ProBot SE hides files by *replacing dispatch entries* with
+wrappers that filter the results — a system-wide, per-kernel interception
+that no per-process scan can bypass from user mode.
+
+The table records its boot-time entries so hook-scanner baselines (VICE,
+ApiHookCheck — the "detect the mechanism" approach the paper contrasts
+with) can diff current pointers against the originals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List
+
+from repro.errors import KernelError
+
+ServiceHandler = Callable[..., object]
+
+
+class Syscall(enum.IntEnum):
+    """Service indices (a small stable subset of the real table)."""
+
+    QUERY_DIRECTORY_FILE = 0x00
+    CREATE_FILE = 0x01
+    READ_FILE = 0x02
+    WRITE_FILE = 0x03
+    DELETE_FILE = 0x04
+    ENUMERATE_KEY = 0x10
+    ENUMERATE_VALUE_KEY = 0x11
+    QUERY_VALUE_KEY = 0x12
+    QUERY_SYSTEM_INFORMATION = 0x20
+    QUERY_INFORMATION_PROCESS = 0x21
+
+
+class ServiceDispatchTable:
+    """Mutable syscall-number → handler mapping with original-entry memory."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, ServiceHandler] = {}
+        self._originals: Dict[int, ServiceHandler] = {}
+
+    def install(self, syscall: Syscall, handler: ServiceHandler) -> None:
+        """Boot-time installation; records the pristine entry."""
+        self._entries[int(syscall)] = handler
+        self._originals[int(syscall)] = handler
+
+    def dispatch(self, syscall: Syscall) -> ServiceHandler:
+        handler = self._entries.get(int(syscall))
+        if handler is None:
+            raise KernelError(f"no service installed for {syscall!r}")
+        return handler
+
+    def hook(self, syscall: Syscall,
+             make_wrapper: Callable[[ServiceHandler], ServiceHandler]
+             ) -> ServiceHandler:
+        """Replace an entry with a wrapper around the current handler.
+
+        Returns the displaced handler so the hooker can restore it.
+        """
+        current = self.dispatch(syscall)
+        self._entries[int(syscall)] = make_wrapper(current)
+        return current
+
+    def restore(self, syscall: Syscall, handler: ServiceHandler) -> None:
+        self._entries[int(syscall)] = handler
+
+    def restore_original(self, syscall: Syscall) -> None:
+        """Direct Service Dispatch Table restoration ([YT04])."""
+        original = self._originals.get(int(syscall))
+        if original is None:
+            raise KernelError(f"{syscall!r} was never installed")
+        self._entries[int(syscall)] = original
+
+    def hooked_entries(self) -> List[Syscall]:
+        """Mechanism-detection view: entries differing from boot-time.
+
+        This is what VICE-style tools report — note it says nothing about
+        IAT or inline hooks, which is exactly the coverage gap the paper's
+        behaviour-based approach avoids.
+        """
+        return [Syscall(number) for number, handler in self._entries.items()
+                if self._originals.get(number) is not handler]

@@ -1,0 +1,327 @@
+r"""The simulated Windows machine.
+
+:class:`Machine` wires the substrates together and gives them boot
+semantics:
+
+* **format or attach** — a fresh machine formats its disk, lays down the
+  OS file tree and registry hives; a machine built around an existing disk
+  re-mounts the volume and re-loads the hives from their files;
+* **boot** — builds a *fresh* kernel (hooks and filters do not survive a
+  reboot), reloads the registry from disk, starts the system processes,
+  then executes the Auto-Start Extensibility Points: SCM services and
+  drivers, ``Run``/``RunOnce`` keys, and ``AppInit_DLLs`` injection into
+  each new process.  Ghostware persists exactly the way the paper
+  describes — through ASEP hooks — so deleting a hidden hook and rebooting
+  disables the malware even while its files remain;
+* **process model** — every started process gets the standard module set
+  (NtDll, Kernel32, Advapi32, User32) as private CodeSites plus kernel-side
+  EPROCESS/PEB state.
+
+"Programs" (what an EXE/DLL/driver *does* when started) are registered
+callables keyed by image path; an entry only runs while its backing file
+exists, so removing the file neuters the registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.clock import SimClock
+from repro.disk import Disk, DiskGeometry
+from repro.errors import FileNotFound, MachineStateError
+from repro.kernel import Kernel
+from repro.ntfs import NtfsVolume
+from repro.ntfs.naming import basename
+from repro.registry import Hive, Registry
+from repro.usermode.injection import inject_dll
+from repro.usermode.process import Process
+from repro.winapi import advapi32, kernel32, nt
+from repro.winapi.iomanager import IoManager
+from repro.winapi.services import ServiceControlManager
+
+ProgramEntry = Callable[["Machine", Optional[Process]], None]
+ProcessStartHook = Callable[["Machine", Process], None]
+
+APPINIT_KEY = "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
+RUN_KEY = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+RUNONCE_KEY = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\RunOnce"
+
+HIVE_FILES = {
+    "HKLM\\SOFTWARE": "\\Windows\\System32\\config\\SOFTWARE",
+    "HKLM\\SYSTEM": "\\Windows\\System32\\config\\SYSTEM",
+    "HKU\\.DEFAULT": "\\Documents and Settings\\Default User\\ntuser.dat",
+}
+
+SYSTEM_PROCESSES = ("System", "smss.exe", "csrss.exe", "winlogon.exe",
+                    "services.exe", "lsass.exe", "svchost.exe",
+                    "explorer.exe")
+_NO_APPINIT = {"system", "smss.exe", "csrss.exe"}
+
+STANDARD_DLLS = (
+    "\\Windows\\System32\\ntdll.dll",
+    "\\Windows\\System32\\kernel32.dll",
+    "\\Windows\\System32\\advapi32.dll",
+    "\\Windows\\System32\\user32.dll",
+)
+
+_USER32_EXPORTS: Dict[str, Callable] = {}
+
+BOOT_SECONDS = 45.0
+
+
+@dataclass
+class PerfModel:
+    """Hardware parameters for the simulated-clock cost model.
+
+    ``entity_scale`` lets a small populated machine stand in for a big
+    one: each simulated file/registry entry represents ``entity_scale``
+    real ones when scans charge time.
+    """
+
+    cpu_scale: float = 1.0       # 1.0 ≈ the paper's 2.2 GHz desktop
+    disk_mbps: float = 50.0
+    entity_scale: float = 1.0
+    ram_mb: int = 256            # drives crash-dump write time
+
+
+class Machine:
+    """One simulated Windows machine."""
+
+    def __init__(self, name: str = "machine",
+                 disk: Optional[Disk] = None,
+                 disk_mb: int = 1024,
+                 max_records: int = 65536,
+                 clock: Optional[SimClock] = None,
+                 perf: Optional[PerfModel] = None):
+        self.name = name
+        self.clock = clock or SimClock()
+        self.perf = perf or PerfModel()
+        self.disk = disk or Disk(DiskGeometry.from_megabytes(disk_mb))
+        attached = disk is not None and self._disk_is_formatted()
+        if attached:
+            self.volume = NtfsVolume.mount(self.disk, self.clock)
+        else:
+            self.volume = NtfsVolume.format(self.disk, max_records,
+                                            self.clock)
+        self.kernel: Kernel = None            # built at boot
+        self.io_manager: IoManager = None     # built at boot
+        self.registry: Registry = None        # built at boot / setup
+        self.scm: ServiceControlManager = None
+        self.processes: Dict[int, Process] = {}
+        self.programs: Dict[str, ProgramEntry] = {}
+        self.process_start_hooks: List[ProcessStartHook] = []
+        self.infections: List = []            # installed ghostware objects
+        self.background_services: List = []   # always-running FP sources
+        self.powered_on = False
+        if not attached:
+            self._init_system_layout()
+        self._mount_registry()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _disk_is_formatted(self) -> bool:
+        from repro.ntfs import constants as ntfs_constants
+        boot = self.disk.read_bytes(ntfs_constants.BOOT_MAGIC_OFFSET, 8)
+        return boot == ntfs_constants.BOOT_MAGIC
+
+    def _init_system_layout(self) -> None:
+        volume = self.volume
+        for directory in ("\\Windows", "\\Windows\\System32",
+                          "\\Windows\\System32\\config",
+                          "\\Windows\\System32\\drivers",
+                          "\\Windows\\Prefetch", "\\Windows\\Temp",
+                          "\\Temp",
+                          "\\Documents and Settings",
+                          "\\Documents and Settings\\Default User",
+                          "\\Program Files"):
+            volume.create_directories(directory)
+        for dll in STANDARD_DLLS:
+            volume.create_file(dll, b"MZ" + basename(dll).encode())
+        volume.create_file("\\Windows\\explorer.exe", b"MZexplorer")
+
+    def _mount_registry(self) -> None:
+        """Build the Registry from hive files (or create fresh hives)."""
+        self.registry = Registry(self.volume, self.clock)
+        for root_path, hive_file in HIVE_FILES.items():
+            if self.volume.exists(hive_file):
+                hive = Hive.deserialize(self.volume.read_file(hive_file))
+            else:
+                hive = Hive(root_path.split("\\")[-1])
+            self.registry.mount_hive(root_path, hive, hive_file)
+        # Standard keys every Windows install has.
+        self.registry.create_key(
+            "HKLM\\SYSTEM\\CurrentControlSet\\Services")
+        self.registry.create_key(RUN_KEY)
+        self.registry.create_key(RUNONCE_KEY)
+        appinit = self.registry.create_key(APPINIT_KEY)
+        if not appinit.has_value("AppInit_DLLs"):
+            self.registry.set_value(APPINIT_KEY, "AppInit_DLLs", "")
+
+    # -- power management ------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Power on: fresh kernel, reloaded registry, ASEP execution."""
+        if self.powered_on:
+            raise MachineStateError(f"{self.name} is already running")
+        self.clock.advance(BOOT_SECONDS / self.perf.cpu_scale)
+        self.kernel = Kernel(self.clock)
+        self.kernel.attach_disk(self.disk)
+        self.io_manager = IoManager(self.volume)
+        self.kernel.io_manager = self.io_manager
+        self._mount_registry()
+        self.kernel.registry = self.registry
+        self.kernel.install_default_services()
+        self.scm = ServiceControlManager(self)
+        self.processes = {}
+        self.process_start_hooks = []
+        self.powered_on = True
+
+        for name in SYSTEM_PROCESSES:
+            image = ("" if name == "System"
+                     else f"\\Windows\\System32\\{name}")
+            if name == "explorer.exe":
+                image = "\\Windows\\explorer.exe"
+            self.start_process(image or name, name=name)
+
+        self.scm.start_auto_services()
+        self._run_run_keys()
+
+    def run_background(self, seconds: float) -> None:
+        """Let time pass with the always-running services active.
+
+        This is where outside-the-box false positives come from: the gap
+        between the inside high-level scan and the clean-boot truth scan
+        is filled with exactly this kind of legitimate file churn.
+        """
+        self._require_power()
+        self.clock.advance(seconds)
+        for service in self.background_services:
+            service.tick(self, seconds)
+
+    def shutdown(self) -> None:
+        if not self.powered_on:
+            raise MachineStateError(f"{self.name} is not running")
+        for service in self.background_services:
+            service.on_shutdown(self)
+        self.registry.flush()
+        for pid in list(self.processes):
+            self._drop_process(pid)
+        self.powered_on = False
+        self.clock.advance(10.0 / self.perf.cpu_scale)
+
+    def reboot(self) -> None:
+        self.shutdown()
+        self.boot()
+
+    def _run_run_keys(self) -> None:
+        for key_path in (RUN_KEY, RUNONCE_KEY):
+            for value in list(self.registry.enum_values(key_path)):
+                command = str(value.win32_data())
+                if self.volume.exists(command):
+                    self.start_process(command)
+                if key_path == RUNONCE_KEY:
+                    self.registry.delete_value(key_path, value.name)
+
+    # -- processes -----------------------------------------------------------------------
+
+    def start_process(self, image_path: str,
+                      name: Optional[str] = None) -> Process:
+        """Create a process from an image path and run its program entry."""
+        self._require_power()
+        display = name or basename(image_path)
+        kernel_proc = self.kernel.create_process(display, image_path)
+        process = Process(kernel_proc.pid, display, image_path, self.kernel,
+                          machine=self)
+        self.processes[process.pid] = process
+
+        process.map_module("ntdll", nt.EXPORTS)
+        process.map_module("kernel32", kernel32.EXPORTS)
+        process.map_module("advapi32", advapi32.EXPORTS)
+        process.map_module("user32", _USER32_EXPORTS)
+        if display != "System":   # the System process has no user modules
+            for dll in STANDARD_DLLS:
+                self.kernel.load_module(process.pid, dll)
+            if image_path and image_path != "System":
+                self.kernel.load_module(process.pid, image_path)
+
+        if display.casefold() not in _NO_APPINIT:
+            self._apply_appinit_dlls(process)
+
+        # Injection-style hooks fire at process creation — before the
+        # image's own entry point runs, as real loader-time injection does.
+        for hook in list(self.process_start_hooks):
+            hook(self, process)
+
+        entry = self.program_entry(image_path)
+        if entry is not None and self.volume.exists(image_path):
+            entry(self, process)
+        self.clock.advance(0.05 / self.perf.cpu_scale)
+        return process
+
+    def _apply_appinit_dlls(self, process: Process) -> None:
+        """The OS-provided injection ASEP (loads with User32)."""
+        value = self.registry.get_value(APPINIT_KEY, "AppInit_DLLs")
+        dll_list = str(value.win32_data())
+        for chunk in dll_list.replace(",", " ").split(" "):
+            dll = chunk.strip()
+            if not dll:
+                continue
+            if not dll.startswith("\\"):
+                # Bare names resolve against System32, as the loader does.
+                dll = f"\\Windows\\System32\\{dll}"
+            inject_dll(self, process, dll)
+
+    def terminate_process(self, pid: int) -> None:
+        self._require_power()
+        self._drop_process(pid)
+
+    def _drop_process(self, pid: int) -> None:
+        process = self.processes.pop(pid, None)
+        if process is not None:
+            process.alive = False
+        try:
+            self.kernel.terminate_process(pid)
+        except Exception:
+            pass  # already DKOM-mangled or gone; bookkeeping wins
+
+    def user_processes(self) -> List[Process]:
+        return [self.processes[pid] for pid in sorted(self.processes)]
+
+    def process_by_name(self, name: str) -> Optional[Process]:
+        wanted = name.casefold()
+        for process in self.processes.values():
+            if process.name.casefold() == wanted:
+                return process
+        return None
+
+    # -- programs (binary behaviour registry) ------------------------------------------------
+
+    def register_program(self, image_path: str, entry: ProgramEntry) -> None:
+        """Associate behaviour with a binary's path."""
+        self.programs[image_path.casefold()] = entry
+
+    def program_entry(self, image_path: str) -> Optional[ProgramEntry]:
+        return self.programs.get(image_path.casefold())
+
+    def load_driver_image(self, service_name: str, image_path: str) -> None:
+        """SCM driver start: record in the kernel, run the driver entry."""
+        self._require_power()
+        self.kernel.load_driver(basename(image_path))
+        entry = self.program_entry(image_path)
+        if entry is not None and self.volume.exists(image_path):
+            entry(self, None)
+
+    # -- misc --------------------------------------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        """Advance the simulated clock (cost-model hook for scanners)."""
+        self.clock.advance(seconds)
+
+    def _require_power(self) -> None:
+        if not self.powered_on:
+            raise MachineStateError(f"{self.name} is powered off")
+
+    def __repr__(self) -> str:
+        state = "on" if self.powered_on else "off"
+        return f"<Machine {self.name!r} {state}>"

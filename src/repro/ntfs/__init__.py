@@ -1,0 +1,27 @@
+"""Simulated NTFS volume with a byte-level Master File Table.
+
+The volume stores real serialized FILE records on the virtual disk; the
+API-facing namespace (used by the hookable Win32/Native stack) and the raw
+on-disk MFT are therefore two genuinely independent views of the same state,
+which is the property GhostBuster's low-level file scan depends on.
+
+Public surface:
+
+* :class:`NtfsVolume` — format a disk, create/read/write/delete files.
+* :class:`MftParser` / :func:`parse_volume` — forensic-style raw parse of
+  the disk bytes, reconstructing every path from FILE records alone.
+* :mod:`repro.ntfs.naming` — Win32 vs native naming rules.
+"""
+
+from repro.ntfs.volume import NtfsVolume, FileStat
+from repro.ntfs.mft_parser import MftParser, ParsedFile, parse_volume
+from repro.ntfs import naming
+
+__all__ = [
+    "NtfsVolume",
+    "FileStat",
+    "MftParser",
+    "ParsedFile",
+    "parse_volume",
+    "naming",
+]

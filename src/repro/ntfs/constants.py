@@ -1,0 +1,98 @@
+"""On-disk constants for the simulated NTFS volume.
+
+The layout is a simplified-but-binary NTFS dialect: real 1024-byte FILE
+records with typed attributes and NTFS-style runlists, bootstrapped from a
+boot sector.  Field offsets below are the single source of truth shared by
+the writer (:mod:`repro.ntfs.records`) and the raw parser
+(:mod:`repro.ntfs.mft_parser`).
+"""
+
+from __future__ import annotations
+
+# --- boot sector (sector 0) -----------------------------------------------
+
+BOOT_MAGIC = b"NTFS    "          # at offset 3, as on real NTFS
+BOOT_MAGIC_OFFSET = 3
+BOOT_BYTES_PER_SECTOR_OFFSET = 11  # u16
+BOOT_SECTORS_PER_CLUSTER_OFFSET = 13  # u8
+BOOT_MFT_START_CLUSTER_OFFSET = 48  # u64
+BOOT_MFT_RECORD_COUNT_OFFSET = 56  # u32 (reserved MFT capacity)
+BOOT_SIGNATURE = b"\x55\xaa"       # last two bytes of the sector
+
+SECTORS_PER_CLUSTER = 8
+
+# --- FILE records -----------------------------------------------------------
+
+MFT_RECORD_SIZE = 1024
+RECORD_MAGIC = b"FILE"
+
+# Record header layout (offsets into the 1024-byte record).
+REC_MAGIC_OFFSET = 0               # 4 bytes
+REC_RECORD_NO_OFFSET = 4           # u32
+REC_SEQUENCE_OFFSET = 8            # u16
+REC_LINK_COUNT_OFFSET = 10         # u16
+REC_ATTRS_OFFSET_OFFSET = 12       # u16
+REC_FLAGS_OFFSET = 14              # u16
+REC_BYTES_IN_USE_OFFSET = 16       # u32
+REC_BYTES_ALLOCATED_OFFSET = 20    # u32
+REC_HEADER_SIZE = 48               # attributes start here
+
+FLAG_IN_USE = 0x0001
+FLAG_DIRECTORY = 0x0002
+
+# --- attributes --------------------------------------------------------------
+
+ATTR_STANDARD_INFORMATION = 0x10
+ATTR_FILE_NAME = 0x30
+ATTR_DATA = 0x80
+ATTR_END = 0xFFFFFFFF
+
+# Attribute header (16 bytes):
+#   u32 type | u32 total_length | u8 non_resident | u8 reserved | u16 reserved
+ATTR_HEADER_SIZE = 16
+
+# Resident attribute body prefix (8 bytes after the header):
+#   u32 content_length | u16 content_offset (from attribute start) | u16 pad
+RESIDENT_PREFIX_SIZE = 8
+
+# Non-resident $DATA body prefix (16 bytes after the header):
+#   u64 real_size | u16 runlist_offset (from attribute start) | 6 bytes pad
+NONRESIDENT_PREFIX_SIZE = 16
+
+# $STANDARD_INFORMATION body:
+#   u64 created_us | u64 modified_us | u64 accessed_us | u32 dos_flags
+STD_INFO_SIZE = 28
+
+DOS_FLAG_READONLY = 0x0001
+DOS_FLAG_HIDDEN = 0x0002
+DOS_FLAG_SYSTEM = 0x0004
+
+# $FILE_NAME body:
+#   u64 parent_ref | u8 namespace | u8 name_length_chars | UTF-16LE name
+FILE_NAME_FIXED_SIZE = 10
+
+NAMESPACE_POSIX = 0   # created through the Native API; Win32-illegal allowed
+NAMESPACE_WIN32 = 1
+
+# --- well-known record numbers ----------------------------------------------
+
+RECORD_MFT = 0        # $MFT itself (its $DATA runlist covers the MFT region)
+RECORD_ROOT = 5       # the root directory, as on real NTFS
+FIRST_USER_RECORD = 16
+
+# Data payloads at or below this size are stored resident in the record.
+RESIDENT_DATA_LIMIT = 512
+
+FILE_REFERENCE_SEQ_SHIFT = 48     # u64 file reference: seq << 48 | record_no
+FILE_REFERENCE_RECORD_MASK = (1 << 48) - 1
+
+
+def make_file_reference(record_no: int, sequence: int) -> int:
+    """Pack a record number and sequence into a 64-bit file reference."""
+    return (sequence << FILE_REFERENCE_SEQ_SHIFT) | record_no
+
+
+def split_file_reference(reference: int) -> "tuple[int, int]":
+    """Unpack a 64-bit file reference into (record_no, sequence)."""
+    return (reference & FILE_REFERENCE_RECORD_MASK,
+            reference >> FILE_REFERENCE_SEQ_SHIFT)

@@ -1,0 +1,48 @@
+"""Directory index.
+
+Maps child names to MFT record numbers for one directory, with NTFS-style
+case-insensitive, case-preserving collation.  This index backs the *API*
+view of the namespace; the raw MFT parser never consults it — it rebuilds
+parenthood from $FILE_NAME attributes alone, which is what makes the two
+views genuinely independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import FileExists
+from repro.ntfs.naming import normalize_key
+
+
+class DirectoryIndex:
+    """Sorted, case-insensitive name → record-number map for one directory."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, Tuple[str, int]] = {}
+
+    def add(self, name: str, record_no: int) -> None:
+        key = normalize_key(name)
+        if key in self._by_key:
+            raise FileExists(f"duplicate directory entry {name!r}")
+        self._by_key[key] = (name, record_no)
+
+    def remove(self, name: str) -> int:
+        key = normalize_key(name)
+        __, record_no = self._by_key.pop(key)
+        return record_no
+
+    def lookup(self, name: str) -> Optional[int]:
+        entry = self._by_key.get(normalize_key(name))
+        return entry[1] if entry else None
+
+    def __contains__(self, name: str) -> bool:
+        return normalize_key(name) in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def entries(self) -> Iterator[Tuple[str, int]]:
+        """Iterate (stored_name, record_no) in collation order."""
+        for key in sorted(self._by_key):
+            yield self._by_key[key]

@@ -1,0 +1,223 @@
+"""Forensic-style raw MFT parser — GhostBuster's low-level file view.
+
+The parser is handed nothing but a ``read_bytes(offset, length)`` callable.
+It bootstraps from the boot sector, locates the $MFT via its start cluster,
+walks record 0's runlist to bound the MFT region, parses every 1024-byte
+FILE record, and reconstructs full paths purely from $FILE_NAME parent
+references — never consulting the volume's in-memory namespace.
+
+Two access paths matter:
+
+* **outside-the-box** — called with ``disk.read_bytes`` (ground truth);
+* **inside-the-box** — called with the kernel's raw-device port, which an
+  *advanced* ghostware strain can intercept (ablation A3).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import CorruptRecord, FileNotFound
+from repro.ntfs import constants as c
+from repro.ntfs.naming import normalize_key
+from repro.ntfs.records import MftRecord
+
+ReadBytes = Callable[[int, int], bytes]
+
+_MAX_PATH_DEPTH = 4096
+
+
+@dataclass(frozen=True)
+class ParsedFile:
+    """One namespace entry reconstructed from raw FILE records."""
+
+    path: str
+    name: str
+    is_directory: bool
+    size: int
+    record_no: int
+    parent_record: int
+    namespace: int
+    dos_flags: int
+    created: float
+    modified: float
+    accessed: float
+    stream_names: tuple = ()   # named $DATA attributes (ADS)
+
+
+class MftParser:
+    """Parses the on-disk MFT through an arbitrary raw-read callable."""
+
+    def __init__(self, read_bytes: ReadBytes):
+        self._read = read_bytes
+        boot = self._read(0, 512)
+        if boot[c.BOOT_MAGIC_OFFSET:c.BOOT_MAGIC_OFFSET + 8] != c.BOOT_MAGIC:
+            raise CorruptRecord("not an NTFS boot sector")
+        self.sector_size = struct.unpack_from(
+            "<H", boot, c.BOOT_BYTES_PER_SECTOR_OFFSET)[0]
+        sectors_per_cluster = boot[c.BOOT_SECTORS_PER_CLUSTER_OFFSET]
+        self.cluster_size = self.sector_size * sectors_per_cluster
+        self.mft_start_cluster = struct.unpack_from(
+            "<Q", boot, c.BOOT_MFT_START_CLUSTER_OFFSET)[0]
+        self._boot_record_count = struct.unpack_from(
+            "<I", boot, c.BOOT_MFT_RECORD_COUNT_OFFSET)[0]
+        self._mft_offset = self.mft_start_cluster * self.cluster_size
+        self._capacity = self._bootstrap_capacity()
+
+    def _bootstrap_capacity(self) -> int:
+        """Derive MFT capacity from record 0's own $DATA size.
+
+        Falls back to the boot-sector count if record 0 is unreadable —
+        a real forensic tool would similarly degrade.
+        """
+        try:
+            record0 = MftRecord.from_bytes(
+                self._read(self._mft_offset, c.MFT_RECORD_SIZE))
+        except CorruptRecord:
+            return self._boot_record_count
+        if record0.data is None or record0.data.resident:
+            return self._boot_record_count
+        return record0.data.real_size // c.MFT_RECORD_SIZE
+
+    # -- record-level access ---------------------------------------------------
+
+    def mft_capacity(self) -> int:
+        """Number of record slots the MFT region reserves."""
+        return self._capacity
+
+    def read_record(self, record_no: int) -> Optional[MftRecord]:
+        """Parse one record slot; None when unallocated/corrupt/not-in-use."""
+        if record_no < 0 or record_no >= self._capacity:
+            return None
+        blob = self._read(self._mft_offset + record_no * c.MFT_RECORD_SIZE,
+                          c.MFT_RECORD_SIZE)
+        try:
+            record = MftRecord.from_bytes(blob)
+        except CorruptRecord:
+            return None
+        return record if record.in_use else None
+
+    def iter_records(self) -> Iterator[MftRecord]:
+        """Every in-use record in the MFT region, in slot order."""
+        for record_no in range(self._capacity):
+            record = self.read_record(record_no)
+            if record is not None:
+                yield record
+
+    # -- namespace reconstruction ------------------------------------------------
+
+    def parse(self) -> List[ParsedFile]:
+        """Rebuild the full namespace from raw records.
+
+        Entries whose parent chain cannot be resolved (orphans of deleted
+        directories) are rooted under ``\\$Orphan`` rather than dropped, so
+        nothing in-use escapes the low-level view.
+        """
+        records: Dict[int, MftRecord] = {
+            r.record_no: r for r in self.iter_records()}
+        paths: Dict[int, str] = {c.RECORD_ROOT: "\\"}
+
+        def path_of(record_no: int) -> str:
+            """Resolve by walking the parent chain iteratively.
+
+            Iterative on purpose: a malicious record claiming to be its
+            own ancestor must yield :class:`CorruptRecord`, not a
+            recursion blowup.
+            """
+            chain = []
+            current = record_no
+            seen = set()
+            while current not in paths:
+                if current in seen or len(chain) > _MAX_PATH_DEPTH:
+                    raise CorruptRecord("parent-reference cycle in MFT")
+                seen.add(current)
+                record = records.get(current)
+                if record is None or record.file_name is None:
+                    paths[current] = f"\\$Orphan\\#{current}"
+                    break
+                chain.append(current)
+                current, __ = c.split_file_reference(
+                    record.file_name.parent_reference)
+                if current == chain[-1]:
+                    raise CorruptRecord("parent-reference cycle in MFT")
+            for pending in reversed(chain):
+                if pending in paths:
+                    continue
+                record = records[pending]
+                parent_no, __ = c.split_file_reference(
+                    record.file_name.parent_reference)
+                parent_path = paths[parent_no]
+                base = "" if parent_path == "\\" else parent_path
+                paths[pending] = f"{base}\\{record.file_name.name}"
+            return paths[record_no]
+
+        out: List[ParsedFile] = []
+        for record_no, record in sorted(records.items()):
+            if record_no in (c.RECORD_MFT, c.RECORD_ROOT):
+                continue
+            if record.file_name is None:
+                continue
+            parent_no, __ = c.split_file_reference(
+                record.file_name.parent_reference)
+            info = record.std_info
+            out.append(ParsedFile(
+                path=path_of(record_no),
+                name=record.file_name.name,
+                is_directory=record.is_directory,
+                size=record.data.real_size if record.data else 0,
+                record_no=record_no,
+                parent_record=parent_no,
+                namespace=record.file_name.namespace,
+                dos_flags=info.dos_flags,
+                created=info.created_us / 1_000_000,
+                modified=info.modified_us / 1_000_000,
+                accessed=info.accessed_us / 1_000_000,
+                stream_names=tuple(sorted(record.streams)),
+            ))
+        return out
+
+    def find_by_path(self, path: str) -> ParsedFile:
+        """Locate one entry by full path (case-insensitive)."""
+        wanted = normalize_key(path)
+        for entry in self.parse():
+            if normalize_key(entry.path) == wanted:
+                return entry
+        raise FileNotFound(path)
+
+    # -- content access ------------------------------------------------------------
+
+    def read_file_content(self, path: str) -> bytes:
+        """Read file content raw: resident bytes or runlist clusters.
+
+        This is how the low-level registry scan obtains hive-file bytes
+        without touching any API layer.
+        """
+        entry = self.find_by_path(path)
+        record = self.read_record(entry.record_no)
+        if record is None or record.data is None:
+            return b""
+        return self._data_bytes(record.data)
+
+    def read_stream_content(self, path: str, stream_name: str) -> bytes:
+        """Read a named (alternate) data stream raw off the disk."""
+        entry = self.find_by_path(path)
+        record = self.read_record(entry.record_no)
+        if record is None or stream_name not in record.streams:
+            raise FileNotFound(f"{path}:{stream_name}")
+        return self._data_bytes(record.streams[stream_name])
+
+    def _data_bytes(self, data) -> bytes:
+        if data.resident:
+            return data.content
+        blob = bytearray()
+        for start, count in data.runs:
+            blob += self._read(start * self.cluster_size,
+                               count * self.cluster_size)
+        return bytes(blob[:data.real_size])
+
+
+def parse_volume(disk) -> List[ParsedFile]:
+    """Convenience: raw-parse a disk's namespace (outside-the-box view)."""
+    return MftParser(disk.read_bytes).parse()

@@ -1,0 +1,284 @@
+"""FILE record and attribute (de)serialization.
+
+Each file or directory on the volume is a 1024-byte FILE record holding a
+$STANDARD_INFORMATION attribute (timestamps, DOS flags), one $FILE_NAME
+attribute (parent reference + name + namespace), and for regular files a
+$DATA attribute that is either resident (content inline) or non-resident
+(an NTFS runlist of clusters).
+
+These records are the *low-level truth* of the filesystem: the volume
+serializes them to disk on every change, and the raw parser rebuilds the
+whole namespace from them without consulting any in-memory state.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CorruptRecord
+from repro.ntfs import constants as c
+from repro.ntfs import runlist as rl
+
+
+@dataclass
+class StandardInformation:
+    """Timestamps (microseconds since the simulated epoch) and DOS flags."""
+
+    created_us: int = 0
+    modified_us: int = 0
+    accessed_us: int = 0
+    dos_flags: int = 0
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("<QQQI", self.created_us, self.modified_us,
+                           self.accessed_us, self.dos_flags)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "StandardInformation":
+        if len(blob) < c.STD_INFO_SIZE:
+            raise CorruptRecord("truncated $STANDARD_INFORMATION")
+        created, modified, accessed, flags = struct.unpack_from("<QQQI", blob)
+        return cls(created, modified, accessed, flags)
+
+
+@dataclass
+class FileName:
+    """Name + parent directory reference + namespace."""
+
+    parent_reference: int
+    name: str
+    namespace: int = c.NAMESPACE_WIN32
+
+    def to_bytes(self) -> bytes:
+        encoded = self.name.encode("utf-16-le")
+        if len(self.name) > 255:
+            raise ValueError("component names cap at 255 characters")
+        return struct.pack("<QBB", self.parent_reference, self.namespace,
+                           len(self.name)) + encoded
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FileName":
+        if len(blob) < c.FILE_NAME_FIXED_SIZE:
+            raise CorruptRecord("truncated $FILE_NAME")
+        parent, namespace, name_chars = struct.unpack_from("<QBB", blob)
+        name_bytes = blob[c.FILE_NAME_FIXED_SIZE:
+                          c.FILE_NAME_FIXED_SIZE + name_chars * 2]
+        if len(name_bytes) != name_chars * 2:
+            raise CorruptRecord("$FILE_NAME name bytes truncated")
+        return cls(parent, name_bytes.decode("utf-16-le"), namespace)
+
+
+@dataclass
+class DataAttribute:
+    """$DATA: resident content, or a runlist covering ``real_size`` bytes."""
+
+    resident: bool = True
+    content: bytes = b""
+    runs: List[rl.Run] = field(default_factory=list)
+    real_size: int = 0
+
+    @classmethod
+    def make_resident(cls, content: bytes) -> "DataAttribute":
+        return cls(resident=True, content=bytes(content),
+                   real_size=len(content))
+
+    @classmethod
+    def make_nonresident(cls, runs: List[rl.Run], real_size: int) -> "DataAttribute":
+        return cls(resident=False, runs=list(runs), real_size=real_size)
+
+    def body_bytes(self) -> bytes:
+        if self.resident:
+            return self.content
+        return self.runs_bytes()
+
+    def runs_bytes(self) -> bytes:
+        return rl.encode_runlist(self.runs)
+
+
+@dataclass
+class MftRecord:
+    """An in-memory FILE record, serializable to its 1024-byte on-disk form."""
+
+    record_no: int
+    sequence: int = 1
+    flags: int = c.FLAG_IN_USE
+    std_info: StandardInformation = field(default_factory=StandardInformation)
+    file_name: Optional[FileName] = None
+    data: Optional[DataAttribute] = None
+    streams: Dict[str, DataAttribute] = field(default_factory=dict)
+
+    @property
+    def in_use(self) -> bool:
+        return bool(self.flags & c.FLAG_IN_USE)
+
+    @property
+    def is_directory(self) -> bool:
+        return bool(self.flags & c.FLAG_DIRECTORY)
+
+    @property
+    def reference(self) -> int:
+        return c.make_file_reference(self.record_no, self.sequence)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly :data:`~repro.ntfs.constants.MFT_RECORD_SIZE` bytes."""
+        body = bytearray()
+        body += _pack_attribute(c.ATTR_STANDARD_INFORMATION,
+                                self.std_info.to_bytes(), resident=True)
+        if self.file_name is not None:
+            body += _pack_attribute(c.ATTR_FILE_NAME,
+                                    self.file_name.to_bytes(), resident=True)
+        if self.data is not None:
+            body += _pack_data_attribute(self.data)
+        for stream_name in sorted(self.streams):
+            body += _pack_data_attribute(self.streams[stream_name],
+                                         name=stream_name)
+        body += struct.pack("<I", c.ATTR_END)
+
+        record = bytearray(c.MFT_RECORD_SIZE)
+        record[0:4] = c.RECORD_MAGIC
+        struct.pack_into("<I", record, c.REC_RECORD_NO_OFFSET, self.record_no)
+        struct.pack_into("<H", record, c.REC_SEQUENCE_OFFSET, self.sequence)
+        struct.pack_into("<H", record, c.REC_LINK_COUNT_OFFSET,
+                         1 if self.file_name else 0)
+        struct.pack_into("<H", record, c.REC_ATTRS_OFFSET_OFFSET,
+                         c.REC_HEADER_SIZE)
+        struct.pack_into("<H", record, c.REC_FLAGS_OFFSET, self.flags)
+        bytes_in_use = c.REC_HEADER_SIZE + len(body)
+        if bytes_in_use > c.MFT_RECORD_SIZE:
+            raise CorruptRecord(
+                f"record {self.record_no} overflows {c.MFT_RECORD_SIZE} bytes "
+                f"({bytes_in_use}); data should have been made non-resident")
+        struct.pack_into("<I", record, c.REC_BYTES_IN_USE_OFFSET, bytes_in_use)
+        struct.pack_into("<I", record, c.REC_BYTES_ALLOCATED_OFFSET,
+                         c.MFT_RECORD_SIZE)
+        record[c.REC_HEADER_SIZE:c.REC_HEADER_SIZE + len(body)] = body
+        return bytes(record)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MftRecord":
+        """Parse a 1024-byte on-disk FILE record.
+
+        Raises :class:`CorruptRecord` on bad magic or malformed attributes;
+        callers scanning a raw MFT region treat bad-magic records as
+        never-allocated slots.
+        """
+        if len(blob) < c.MFT_RECORD_SIZE:
+            raise CorruptRecord("short FILE record")
+        if blob[0:4] != c.RECORD_MAGIC:
+            raise CorruptRecord("bad FILE record magic")
+        record_no = struct.unpack_from("<I", blob, c.REC_RECORD_NO_OFFSET)[0]
+        sequence = struct.unpack_from("<H", blob, c.REC_SEQUENCE_OFFSET)[0]
+        attrs_offset = struct.unpack_from("<H", blob,
+                                          c.REC_ATTRS_OFFSET_OFFSET)[0]
+        flags = struct.unpack_from("<H", blob, c.REC_FLAGS_OFFSET)[0]
+
+        record = cls(record_no=record_no, sequence=sequence, flags=flags)
+        position = attrs_offset
+        while True:
+            if position + 4 > len(blob):
+                raise CorruptRecord("attribute list missing terminator")
+            attr_type = struct.unpack_from("<I", blob, position)[0]
+            if attr_type == c.ATTR_END:
+                break
+            if position + c.ATTR_HEADER_SIZE > len(blob):
+                raise CorruptRecord("attribute header truncated")
+            attr_type, total_length, non_resident = struct.unpack_from(
+                "<IIB", blob, position)
+            if total_length < c.ATTR_HEADER_SIZE or \
+                    position + total_length > len(blob):
+                raise CorruptRecord(f"attribute 0x{attr_type:x} bad length")
+            name_chars = blob[position + 9]
+            name_end = position + c.ATTR_HEADER_SIZE + name_chars * 2
+            if name_end > position + total_length:
+                raise CorruptRecord("attribute name truncated")
+            attr_name = blob[position + c.ATTR_HEADER_SIZE:
+                             name_end].decode("utf-16-le")
+            body = blob[name_end:position + total_length]
+            _attach_attribute(record, attr_type, bool(non_resident), body,
+                              attr_name, c.ATTR_HEADER_SIZE + name_chars * 2)
+            position += total_length
+        return record
+
+
+def _pack_attribute(attr_type: int, content: bytes, resident: bool,
+                    name: str = "") -> bytes:
+    """Resident attribute: header, [name], resident prefix, content."""
+    assert resident
+    encoded_name = name.encode("utf-16-le")
+    head_len = c.ATTR_HEADER_SIZE + len(encoded_name)
+    prefix = struct.pack("<IHH", len(content),
+                         head_len + c.RESIDENT_PREFIX_SIZE, 0)
+    total = head_len + len(prefix) + len(content)
+    padded_total = (total + 7) & ~7  # 8-byte alignment like real NTFS
+    header = struct.pack("<IIBBH4x", attr_type, padded_total, 0,
+                         len(name), 0)
+    return header + encoded_name + prefix + content + \
+        b"\x00" * (padded_total - total)
+
+
+def _pack_nonresident_data(data: DataAttribute, name: str = "") -> bytes:
+    encoded_name = name.encode("utf-16-le")
+    head_len = c.ATTR_HEADER_SIZE + len(encoded_name)
+    runs_blob = data.runs_bytes()
+    prefix = struct.pack("<QH6x", data.real_size,
+                         head_len + c.NONRESIDENT_PREFIX_SIZE)
+    total = head_len + len(prefix) + len(runs_blob)
+    padded_total = (total + 7) & ~7
+    header = struct.pack("<IIBBH4x", c.ATTR_DATA, padded_total, 1,
+                         len(name), 0)
+    return header + encoded_name + prefix + runs_blob + \
+        b"\x00" * (padded_total - total)
+
+
+def _pack_data_attribute(data: DataAttribute, name: str = "") -> bytes:
+    """$DATA, resident or not, unnamed (main) or named (ADS)."""
+    if data.resident:
+        return _pack_attribute(c.ATTR_DATA, data.content, resident=True,
+                               name=name)
+    return _pack_nonresident_data(data, name=name)
+
+
+def _attach_attribute(record: MftRecord, attr_type: int,
+                      non_resident: bool, body: bytes,
+                      name: str = "",
+                      head_len: int = c.ATTR_HEADER_SIZE) -> None:
+    if attr_type == c.ATTR_DATA and non_resident:
+        if len(body) < c.NONRESIDENT_PREFIX_SIZE:
+            raise CorruptRecord("truncated non-resident $DATA")
+        real_size, runlist_offset = struct.unpack_from("<QH", body)
+        runs_blob = body[runlist_offset - head_len:]
+        attribute = DataAttribute.make_nonresident(
+            rl.decode_runlist(runs_blob), real_size)
+        _store_data(record, attribute, name)
+        return
+
+    # Resident attributes share the resident prefix.
+    if len(body) < c.RESIDENT_PREFIX_SIZE:
+        raise CorruptRecord("truncated resident attribute")
+    content_length, content_offset = struct.unpack_from("<IH", body)
+    start = content_offset - head_len
+    content = body[start:start + content_length]
+    if len(content) != content_length:
+        raise CorruptRecord("resident content truncated")
+
+    if attr_type == c.ATTR_STANDARD_INFORMATION:
+        record.std_info = StandardInformation.from_bytes(content)
+    elif attr_type == c.ATTR_FILE_NAME:
+        record.file_name = FileName.from_bytes(content)
+    elif attr_type == c.ATTR_DATA:
+        _store_data(record, DataAttribute.make_resident(content), name)
+    else:
+        raise CorruptRecord(f"unknown attribute type 0x{attr_type:x}")
+
+
+def _store_data(record: MftRecord, attribute: DataAttribute,
+                name: str) -> None:
+    """Unnamed $DATA is the main stream; named ones are ADS."""
+    if name:
+        record.streams[name] = attribute
+    else:
+        record.data = attribute

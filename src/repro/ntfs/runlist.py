@@ -1,0 +1,106 @@
+"""NTFS data-run (runlist) encoding and decoding.
+
+Non-resident $DATA attributes describe their cluster extents with NTFS's
+variable-length run encoding: each run is a header byte whose low nibble is
+the byte-width of the run length and whose high nibble is the byte-width of
+the (signed, delta-encoded) starting cluster, followed by those two
+little-endian fields.  A zero header byte terminates the list.
+
+The raw MFT parser decodes these runs to read file *content* (e.g. registry
+hive files) straight off the disk, bypassing every API layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import CorruptRecord
+
+Run = Tuple[int, int]  # (start_cluster, cluster_count)
+
+
+def _encode_signed(value: int) -> bytes:
+    """Minimal-width little-endian two's-complement encoding."""
+    if value == 0:
+        return b"\x00"
+    length = 1
+    while True:
+        try:
+            return value.to_bytes(length, "little", signed=True)
+        except OverflowError:
+            length += 1
+
+
+def _encode_unsigned(value: int) -> bytes:
+    if value < 0:
+        raise ValueError("run length cannot be negative")
+    if value == 0:
+        return b"\x00"
+    return value.to_bytes((value.bit_length() + 7) // 8, "little", signed=False)
+
+
+def encode_runlist(runs: List[Run]) -> bytes:
+    """Encode (start_cluster, count) extents into NTFS run format."""
+    out = bytearray()
+    previous_start = 0
+    for start, count in runs:
+        if count <= 0:
+            raise ValueError(f"run length must be positive, got {count}")
+        if start < 0:
+            raise ValueError(f"cluster numbers are non-negative, got {start}")
+        length_bytes = _encode_unsigned(count)
+        delta_bytes = _encode_signed(start - previous_start)
+        header = (len(delta_bytes) << 4) | len(length_bytes)
+        out.append(header)
+        out += length_bytes
+        out += delta_bytes
+        previous_start = start
+    out.append(0)
+    return bytes(out)
+
+
+def decode_runlist(blob: bytes) -> List[Run]:
+    """Decode NTFS run format back into (start_cluster, count) extents."""
+    runs: List[Run] = []
+    position = 0
+    previous_start = 0
+    while True:
+        if position >= len(blob):
+            raise CorruptRecord("runlist missing terminator")
+        header = blob[position]
+        position += 1
+        if header == 0:
+            return runs
+        length_width = header & 0x0F
+        delta_width = header >> 4
+        if length_width == 0 or delta_width == 0:
+            raise CorruptRecord(f"malformed run header byte 0x{header:02x}")
+        end = position + length_width + delta_width
+        if end > len(blob):
+            raise CorruptRecord("runlist truncated inside a run")
+        count = int.from_bytes(blob[position:position + length_width],
+                               "little", signed=False)
+        delta = int.from_bytes(blob[position + length_width:end],
+                               "little", signed=True)
+        position = end
+        start = previous_start + delta
+        if count <= 0 or start < 0:
+            raise CorruptRecord(f"invalid decoded run ({start}, {count})")
+        runs.append((start, count))
+        previous_start = start
+
+
+def total_clusters(runs: List[Run]) -> int:
+    """Sum of cluster counts across all runs."""
+    return sum(count for _, count in runs)
+
+
+def coalesce(runs: List[Run]) -> List[Run]:
+    """Merge adjacent extents; keeps runlists short when files grow."""
+    merged: List[Run] = []
+    for start, count in runs:
+        if merged and merged[-1][0] + merged[-1][1] == start:
+            merged[-1] = (merged[-1][0], merged[-1][1] + count)
+        else:
+            merged.append((start, count))
+    return merged

@@ -1,0 +1,24 @@
+"""Simulated Windows Registry with regf-style binary hives.
+
+Each hive serializes to a binary blob (header + nk/vk/list cells) stored as
+a file on the NTFS volume — ``\\Windows\\System32\\config\\SOFTWARE`` and
+friends — so GhostBuster's low-level registry scan can read the hive *file*
+raw off the MFT and re-parse it, bypassing every registry API.
+
+Value names are counted Unicode strings, so names with embedded NULs (the
+Native-API hiding trick from Section 3 of the paper) round-trip through the
+hive while the Win32 view truncates them.
+"""
+
+from repro.registry.hive import Hive, HiveKey, RegistryValue, RegType
+from repro.registry.hive_parser import HiveParser, ParsedKey, ParsedValue, parse_hive
+from repro.registry.registry import Registry, MountedHive
+from repro.registry.asep import (AsepHook, AsepLocation, ASEP_CATALOG,
+                                 enumerate_asep_hooks)
+
+__all__ = [
+    "Hive", "HiveKey", "RegistryValue", "RegType",
+    "HiveParser", "ParsedKey", "ParsedValue", "parse_hive",
+    "Registry", "MountedHive",
+    "AsepHook", "AsepLocation", "ASEP_CATALOG", "enumerate_asep_hooks",
+]

@@ -1,0 +1,208 @@
+"""Binary cell layout for registry hives.
+
+The dialect follows the shape of real regf hives:
+
+* a 512-byte header — ``regf`` magic, root-cell offset, total length, and
+  the hive's display name;
+* a heap of *cells*, each prefixed by a signed 32-bit size (negative when
+  allocated, as on Windows), containing key nodes (``nk``), value records
+  (``vk``), subkey lists (``lf``), value lists (``vl``) and raw data cells
+  (``db``).
+
+Names are counted UTF-16LE — *not* NUL-terminated — which is precisely the
+mismatch the Native-API name-hiding trick exploits.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import HiveFormatError
+
+HEADER_SIZE = 512
+HIVE_MAGIC = b"regf"
+HEADER_ROOT_OFFSET = 36     # u32: offset of the root nk cell
+HEADER_LENGTH_OFFSET = 40   # u32: total hive length in bytes
+HEADER_NAME_OFFSET = 48     # 64 bytes of UTF-16LE, zero padded
+
+NK_MAGIC = b"nk"
+VK_MAGIC = b"vk"
+LF_MAGIC = b"lf"
+VL_MAGIC = b"vl"
+DB_MAGIC = b"db"
+
+# Value data at or below this size is stored inline in the vk cell.
+INLINE_DATA_LIMIT = 16
+
+
+def pack_header(root_offset: int, total_length: int, name: str) -> bytes:
+    """Build the 512-byte regf header."""
+    header = bytearray(HEADER_SIZE)
+    header[0:4] = HIVE_MAGIC
+    struct.pack_into("<I", header, HEADER_ROOT_OFFSET, root_offset)
+    struct.pack_into("<I", header, HEADER_LENGTH_OFFSET, total_length)
+    encoded = name.encode("utf-16-le")[:64]
+    header[HEADER_NAME_OFFSET:HEADER_NAME_OFFSET + len(encoded)] = encoded
+    return bytes(header)
+
+
+def unpack_header(blob: bytes) -> Tuple[int, int, str]:
+    """Return (root_offset, total_length, hive_name)."""
+    if len(blob) < HEADER_SIZE or blob[0:4] != HIVE_MAGIC:
+        raise HiveFormatError("not a registry hive (bad regf magic)")
+    root_offset = struct.unpack_from("<I", blob, HEADER_ROOT_OFFSET)[0]
+    total_length = struct.unpack_from("<I", blob, HEADER_LENGTH_OFFSET)[0]
+    raw_name = blob[HEADER_NAME_OFFSET:HEADER_NAME_OFFSET + 64]
+    name = raw_name.decode("utf-16-le").rstrip("\x00")
+    return root_offset, total_length, name
+
+
+class CellWriter:
+    """Single-pass cell allocator used when flushing a whole hive."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+        self._cursor = HEADER_SIZE
+
+    def append(self, payload: bytes) -> int:
+        """Append one cell; returns its offset from the start of the hive."""
+        size = 4 + len(payload)
+        padded = (size + 7) & ~7
+        cell = struct.pack("<i", -padded) + payload + b"\x00" * (padded - size)
+        offset = self._cursor
+        self._chunks.append(cell)
+        self._cursor += padded
+        return offset
+
+    def finish(self, root_offset: int, name: str) -> bytes:
+        body = b"".join(self._chunks)
+        return pack_header(root_offset, HEADER_SIZE + len(body), name) + body
+
+
+def read_cell(blob: bytes, offset: int) -> bytes:
+    """Return one cell's payload given its hive offset."""
+    if offset < HEADER_SIZE or offset + 4 > len(blob):
+        raise HiveFormatError(f"cell offset {offset} out of range")
+    size = struct.unpack_from("<i", blob, offset)[0]
+    if size >= 0:
+        raise HiveFormatError(f"cell at {offset} is not allocated")
+    length = -size
+    if offset + length > len(blob):
+        raise HiveFormatError(f"cell at {offset} overruns the hive")
+    return blob[offset + 4:offset + length]
+
+
+# -- nk: key node ---------------------------------------------------------------
+# magic(2) | flags u16 | timestamp_us u64 | parent u32 | subkey_count u32 |
+# subkey_list u32 | value_count u32 | value_list u32 |
+# name_chars u16 | name utf-16le
+
+def pack_nk(name: str, parent_offset: int, subkey_count: int,
+            subkey_list_offset: int, value_count: int,
+            value_list_offset: int, timestamp_us: int = 0,
+            flags: int = 0) -> bytes:
+    """Serialize one key-node (nk) cell payload."""
+    encoded = name.encode("utf-16-le")
+    return (NK_MAGIC +
+            struct.pack("<HQIIIIIH", flags, timestamp_us, parent_offset,
+                        subkey_count, subkey_list_offset, value_count,
+                        value_list_offset, len(name)) +
+            encoded)
+
+
+def unpack_nk(payload: bytes):
+    """Parse one nk cell payload into a field dict."""
+    if payload[0:2] != NK_MAGIC:
+        raise HiveFormatError("expected nk cell")
+    (flags, timestamp_us, parent, subkey_count, subkey_list, value_count,
+     value_list, name_chars) = struct.unpack_from("<HQIIIIIH", payload, 2)
+    fixed = 2 + struct.calcsize("<HQIIIIIH")
+    name_bytes = payload[fixed:fixed + name_chars * 2]
+    if len(name_bytes) != name_chars * 2:
+        raise HiveFormatError("nk name truncated")
+    return {
+        "flags": flags,
+        "timestamp_us": timestamp_us,
+        "parent": parent,
+        "subkey_count": subkey_count,
+        "subkey_list": subkey_list,
+        "value_count": value_count,
+        "value_list": value_list,
+        "name": name_bytes.decode("utf-16-le"),
+    }
+
+
+# -- vk: value record -------------------------------------------------------------
+# magic(2) | type u32 | data_length u32 | inline u8 | pad u8 | name_chars u16 |
+# name utf-16le | [inline data]  (else a u32 data-cell offset follows the name)
+
+def pack_vk(name: str, reg_type: int, data: bytes,
+            data_cell_offset: int = 0) -> bytes:
+    """Serialize one value (vk) cell; small data inlines."""
+    encoded = name.encode("utf-16-le")
+    inline = 1 if len(data) <= INLINE_DATA_LIMIT and data_cell_offset == 0 \
+        else 0
+    head = (VK_MAGIC +
+            struct.pack("<IIBBH", reg_type, len(data), inline, 0, len(name)) +
+            encoded)
+    if inline:
+        return head + data
+    return head + struct.pack("<I", data_cell_offset)
+
+
+def unpack_vk(payload: bytes):
+    """Parse one vk cell payload into a field dict."""
+    if payload[0:2] != VK_MAGIC:
+        raise HiveFormatError("expected vk cell")
+    reg_type, data_length, inline, __, name_chars = struct.unpack_from(
+        "<IIBBH", payload, 2)
+    fixed = 2 + struct.calcsize("<IIBBH")
+    name_bytes = payload[fixed:fixed + name_chars * 2]
+    if len(name_bytes) != name_chars * 2:
+        raise HiveFormatError("vk name truncated")
+    cursor = fixed + name_chars * 2
+    if inline:
+        data = payload[cursor:cursor + data_length]
+        if len(data) != data_length:
+            raise HiveFormatError("vk inline data truncated")
+        return {"name": name_bytes.decode("utf-16-le"), "type": reg_type,
+                "data": data, "data_cell": None}
+    data_cell = struct.unpack_from("<I", payload, cursor)[0]
+    return {"name": name_bytes.decode("utf-16-le"), "type": reg_type,
+            "data_length": data_length, "data": None, "data_cell": data_cell}
+
+
+# -- lf / vl: offset lists -----------------------------------------------------------
+
+def pack_offset_list(magic: bytes, offsets: List[int]) -> bytes:
+    """Serialize an lf/vl offset-list cell."""
+    return magic + struct.pack("<H", len(offsets)) + \
+        struct.pack(f"<{len(offsets)}I", *offsets)
+
+
+def unpack_offset_list(payload: bytes, magic: bytes) -> List[int]:
+    """Parse an lf/vl offset-list cell."""
+    if payload[0:2] != magic:
+        raise HiveFormatError(f"expected {magic!r} cell")
+    count = struct.unpack_from("<H", payload, 2)[0]
+    offsets = struct.unpack_from(f"<{count}I", payload, 4)
+    return list(offsets)
+
+
+# -- db: raw data cell ----------------------------------------------------------------
+
+def pack_db(data: bytes) -> bytes:
+    """Serialize a raw data (db) cell."""
+    return DB_MAGIC + struct.pack("<I", len(data)) + data
+
+
+def unpack_db(payload: bytes) -> bytes:
+    """Parse a raw data (db) cell."""
+    if payload[0:2] != DB_MAGIC:
+        raise HiveFormatError("expected db cell")
+    length = struct.unpack_from("<I", payload, 2)[0]
+    data = payload[6:6 + length]
+    if len(data) != length:
+        raise HiveFormatError("db data truncated")
+    return data

@@ -1,0 +1,290 @@
+"""In-memory registry hive tree with binary (de)serialization.
+
+A :class:`Hive` is the configuration manager's live view of one hive; its
+:meth:`~Hive.serialize` output is what gets written to the backing file on
+the NTFS volume.  The low-level GhostBuster scan never touches these
+objects — it re-parses the file bytes with
+:mod:`repro.registry.hive_parser`.
+
+Value data is typed.  For the Section 3 experiments two storage quirks are
+first-class:
+
+* **embedded NULs** — value *names* are counted strings; a name like
+  ``"Run\x00hidden"`` survives the hive round-trip but is truncated by the
+  Win32 view;
+* **raw overrides** — a value may carry ``raw_override`` bytes that differ
+  from its typed data's canonical encoding.  This models the corrupted
+  ``AppInit_DLLs`` data field the paper reports as the single registry
+  false positive.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import KeyNotFound, RegistryError, ValueNotFound
+from repro.registry import cells
+
+ValueData = Union[str, bytes, int, List[str]]
+
+
+class RegType(enum.IntEnum):
+    """Registry value types (subset of the Windows set)."""
+
+    SZ = 1
+    EXPAND_SZ = 2
+    BINARY = 3
+    DWORD = 4
+    MULTI_SZ = 7
+
+
+def encode_value(reg_type: RegType, data: ValueData) -> bytes:
+    """Canonical raw encoding for typed value data."""
+    if reg_type in (RegType.SZ, RegType.EXPAND_SZ):
+        if not isinstance(data, str):
+            raise RegistryError(f"REG_SZ data must be str, got {type(data)}")
+        return (data + "\x00").encode("utf-16-le")
+    if reg_type == RegType.BINARY:
+        if not isinstance(data, (bytes, bytearray)):
+            raise RegistryError("REG_BINARY data must be bytes")
+        return bytes(data)
+    if reg_type == RegType.DWORD:
+        if not isinstance(data, int):
+            raise RegistryError("REG_DWORD data must be int")
+        return struct.pack("<I", data & 0xFFFFFFFF)
+    if reg_type == RegType.MULTI_SZ:
+        if not isinstance(data, list):
+            raise RegistryError("REG_MULTI_SZ data must be a list of str")
+        return ("\x00".join(data) + "\x00\x00").encode("utf-16-le")
+    raise RegistryError(f"unsupported registry type {reg_type}")
+
+
+def decode_value(reg_type: int, raw: bytes, win32: bool) -> ValueData:
+    """Decode raw bytes back to typed data.
+
+    ``win32=True`` reproduces Win32 semantics: strings stop at the first
+    NUL.  ``win32=False`` is the counted-string Native view, returning
+    everything the raw bytes actually hold.
+    """
+    if reg_type in (RegType.SZ, RegType.EXPAND_SZ):
+        text = raw.decode("utf-16-le", errors="replace")
+        if win32:
+            return text.split("\x00")[0]
+        return text.rstrip("\x00") if text.endswith("\x00") else text
+    if reg_type == RegType.DWORD:
+        if len(raw) < 4:
+            return 0
+        return struct.unpack_from("<I", raw)[0]
+    if reg_type == RegType.MULTI_SZ:
+        text = raw.decode("utf-16-le", errors="replace")
+        parts = text.split("\x00")
+        out = []
+        for part in parts:
+            if part == "":
+                break
+            out.append(part)
+        return out
+    return raw
+
+
+@dataclass
+class RegistryValue:
+    """One name/type/data triple under a key."""
+
+    name: str
+    reg_type: RegType
+    data: ValueData
+    raw_override: Optional[bytes] = None
+
+    def raw_bytes(self) -> bytes:
+        """The bytes that actually land in the hive file."""
+        if self.raw_override is not None:
+            return self.raw_override
+        return encode_value(self.reg_type, self.data)
+
+    def win32_data(self) -> ValueData:
+        """The data as the Win32 API reports it."""
+        return decode_value(self.reg_type, self.raw_bytes(), win32=True)
+
+    def native_data(self) -> ValueData:
+        """The data as a counted-string Native read reports it."""
+        return decode_value(self.reg_type, self.raw_bytes(), win32=False)
+
+
+class HiveKey:
+    """A key node: named subkeys plus named values, case-insensitive."""
+
+    def __init__(self, name: str, timestamp_us: int = 0):
+        self.name = name
+        self.timestamp_us = timestamp_us
+        self._subkeys: Dict[str, HiveKey] = {}
+        self._values: Dict[str, RegistryValue] = {}
+
+    # -- subkeys ------------------------------------------------------------
+
+    def create_subkey(self, name: str, timestamp_us: int = 0) -> "HiveKey":
+        """Create (or return the existing) subkey."""
+        key = name.casefold()
+        existing = self._subkeys.get(key)
+        if existing is not None:
+            return existing
+        child = HiveKey(name, timestamp_us)
+        self._subkeys[key] = child
+        return child
+
+    def subkey(self, name: str) -> "HiveKey":
+        child = self._subkeys.get(name.casefold())
+        if child is None:
+            raise KeyNotFound(f"{self.name}\\{name}")
+        return child
+
+    def has_subkey(self, name: str) -> bool:
+        return name.casefold() in self._subkeys
+
+    def delete_subkey(self, name: str) -> None:
+        if name.casefold() not in self._subkeys:
+            raise KeyNotFound(f"{self.name}\\{name}")
+        del self._subkeys[name.casefold()]
+
+    def subkeys(self) -> Iterator["HiveKey"]:
+        for key in sorted(self._subkeys):
+            yield self._subkeys[key]
+
+    def subkey_count(self) -> int:
+        return len(self._subkeys)
+
+    # -- values --------------------------------------------------------------
+
+    def set_value(self, name: str, data: ValueData,
+                  reg_type: Optional[RegType] = None,
+                  raw_override: Optional[bytes] = None) -> RegistryValue:
+        """Create or replace a value; the type is inferred when omitted."""
+        if reg_type is None:
+            reg_type = _infer_type(data)
+        value = RegistryValue(name, reg_type, data, raw_override)
+        self._values[name.casefold()] = value
+        return value
+
+    def value(self, name: str) -> RegistryValue:
+        entry = self._values.get(name.casefold())
+        if entry is None:
+            raise ValueNotFound(f"{self.name}\\{name}")
+        return entry
+
+    def has_value(self, name: str) -> bool:
+        return name.casefold() in self._values
+
+    def delete_value(self, name: str) -> None:
+        if name.casefold() not in self._values:
+            raise ValueNotFound(f"{self.name}\\{name}")
+        del self._values[name.casefold()]
+
+    def values(self) -> Iterator[RegistryValue]:
+        for key in sorted(self._values):
+            yield self._values[key]
+
+    def value_count(self) -> int:
+        return len(self._values)
+
+
+def _infer_type(data: ValueData) -> RegType:
+    if isinstance(data, str):
+        return RegType.SZ
+    if isinstance(data, int):
+        return RegType.DWORD
+    if isinstance(data, (bytes, bytearray)):
+        return RegType.BINARY
+    if isinstance(data, list):
+        return RegType.MULTI_SZ
+    raise RegistryError(f"cannot infer registry type for {type(data)}")
+
+
+class Hive:
+    """A named hive: a root key plus binary round-tripping."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.root = HiveKey("")
+
+    # -- serialization ----------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Flush the whole tree to regf-style bytes (single-pass writer)."""
+        writer = cells.CellWriter()
+        root_offset = self._write_key(writer, self.root, parent_offset=0)
+        return writer.finish(root_offset, self.name)
+
+    def _write_key(self, writer: cells.CellWriter, key: HiveKey,
+                   parent_offset: int) -> int:
+        subkey_offsets = [self._write_key(writer, child, 0)
+                          for child in key.subkeys()]
+        value_offsets = [self._write_value(writer, value)
+                         for value in key.values()]
+        subkey_list = writer.append(
+            cells.pack_offset_list(cells.LF_MAGIC, subkey_offsets)) \
+            if subkey_offsets else 0
+        value_list = writer.append(
+            cells.pack_offset_list(cells.VL_MAGIC, value_offsets)) \
+            if value_offsets else 0
+        return writer.append(cells.pack_nk(
+            key.name, parent_offset, len(subkey_offsets), subkey_list,
+            len(value_offsets), value_list, key.timestamp_us))
+
+    def _write_value(self, writer: cells.CellWriter,
+                     value: RegistryValue) -> int:
+        raw = value.raw_bytes()
+        if len(raw) <= cells.INLINE_DATA_LIMIT:
+            return writer.append(cells.pack_vk(value.name,
+                                               int(value.reg_type), raw))
+        data_cell = writer.append(cells.pack_db(raw))
+        return writer.append(cells.pack_vk(value.name, int(value.reg_type),
+                                           raw, data_cell_offset=data_cell))
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "Hive":
+        """Rebuild a live hive from file bytes (WinPE hive mounting)."""
+        from repro.registry.hive_parser import parse_hive
+
+        parsed = parse_hive(blob)
+        hive = cls(parsed.hive_name)
+
+        def fill(source, target: HiveKey) -> None:
+            target.timestamp_us = source.timestamp_us
+            for value in source.values:
+                reg_type = RegType(value.reg_type) \
+                    if value.reg_type in RegType._value2member_map_ \
+                    else RegType.BINARY
+                decoded = decode_value(reg_type, value.raw_data, win32=False)
+                canonical = (decoded if isinstance(decoded, (str, bytes, int,
+                                                             list))
+                             else value.raw_data)
+                target.set_value(value.name, canonical, reg_type,
+                                 raw_override=value.raw_data)
+            for child in source.subkeys:
+                fill(child, target.create_subkey(child.name,
+                                                 child.timestamp_us))
+
+        fill(parsed.root, hive.root)
+        return hive
+
+    # -- navigation helpers -------------------------------------------------------
+
+    def open_key(self, path: str) -> HiveKey:
+        r"""Open ``a\b\c`` relative to the hive root."""
+        key = self.root
+        if not path:
+            return key
+        for component in path.split("\\"):
+            key = key.subkey(component)
+        return key
+
+    def create_key(self, path: str, timestamp_us: int = 0) -> HiveKey:
+        key = self.root
+        if not path:
+            return key
+        for component in path.split("\\"):
+            key = key.create_subkey(component, timestamp_us)
+        return key

@@ -1,0 +1,112 @@
+"""Raw hive parsing — GhostBuster's low-level registry view.
+
+Given nothing but hive-file bytes (obtained by reading the backing file
+straight off the MFT), rebuild the full key/value tree.  The parser reports
+*counted* names and raw data bytes, so entries hidden from the Win32 view by
+embedded NULs, over-long names, or API interception all appear here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import HiveFormatError
+from repro.registry import cells
+
+_MAX_DEPTH = 512
+
+
+@dataclass
+class ParsedValue:
+    """A value as the raw parse sees it: counted name + raw bytes."""
+
+    name: str
+    reg_type: int
+    raw_data: bytes
+
+
+@dataclass
+class ParsedKey:
+    """A key as the raw parse sees it."""
+
+    name: str
+    timestamp_us: int
+    subkeys: List["ParsedKey"] = field(default_factory=list)
+    values: List[ParsedValue] = field(default_factory=list)
+
+    def subkey(self, name: str) -> "ParsedKey":
+        wanted = name.casefold()
+        for child in self.subkeys:
+            if child.name.casefold() == wanted:
+                return child
+        raise HiveFormatError(f"parsed hive has no subkey {name!r}")
+
+    def walk(self, prefix: str = ""):
+        """Yield (path, ParsedKey) for this key and every descendant."""
+        path = f"{prefix}\\{self.name}" if self.name else prefix
+        yield path, self
+        for child in self.subkeys:
+            yield from child.walk(path)
+
+
+@dataclass
+class ParsedHive:
+    hive_name: str
+    root: ParsedKey
+
+
+class HiveParser:
+    """Parses one hive blob."""
+
+    def __init__(self, blob: bytes):
+        self._blob = blob
+        self.root_offset, self.total_length, self.hive_name = \
+            cells.unpack_header(blob)
+        if self.total_length > len(blob):
+            raise HiveFormatError(
+                f"hive header claims {self.total_length} bytes but the file "
+                f"has {len(blob)}")
+
+    def parse(self) -> ParsedHive:
+        root = self._parse_key(self.root_offset, depth=0)
+        return ParsedHive(self.hive_name, root)
+
+    def _parse_key(self, offset: int, depth: int) -> ParsedKey:
+        if depth > _MAX_DEPTH:
+            raise HiveFormatError("key tree deeper than the format allows")
+        nk = cells.unpack_nk(cells.read_cell(self._blob, offset))
+        key = ParsedKey(name=nk["name"], timestamp_us=nk["timestamp_us"])
+
+        if nk["value_count"]:
+            value_offsets = cells.unpack_offset_list(
+                cells.read_cell(self._blob, nk["value_list"]), cells.VL_MAGIC)
+            if len(value_offsets) != nk["value_count"]:
+                raise HiveFormatError("value list count mismatch")
+            for value_offset in value_offsets:
+                key.values.append(self._parse_value(value_offset))
+
+        if nk["subkey_count"]:
+            subkey_offsets = cells.unpack_offset_list(
+                cells.read_cell(self._blob, nk["subkey_list"]), cells.LF_MAGIC)
+            if len(subkey_offsets) != nk["subkey_count"]:
+                raise HiveFormatError("subkey list count mismatch")
+            for subkey_offset in subkey_offsets:
+                key.subkeys.append(self._parse_key(subkey_offset, depth + 1))
+        return key
+
+    def _parse_value(self, offset: int) -> ParsedValue:
+        vk = cells.unpack_vk(cells.read_cell(self._blob, offset))
+        if vk["data"] is not None:
+            raw = vk["data"]
+        else:
+            raw = cells.unpack_db(cells.read_cell(self._blob,
+                                                  vk["data_cell"]))
+            if len(raw) != vk["data_length"]:
+                raise HiveFormatError("vk data length mismatch")
+        return ParsedValue(name=vk["name"], reg_type=vk["type"], raw_data=raw)
+
+
+def parse_hive(blob: bytes) -> ParsedHive:
+    """Convenience wrapper: parse hive bytes into a tree."""
+    return HiveParser(blob).parse()

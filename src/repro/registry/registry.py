@@ -1,0 +1,182 @@
+r"""The configuration manager: mounted hives behind one path namespace.
+
+:class:`Registry` is the kernel-side truth of the registry.  Hives mount at
+root paths (``HKLM\SOFTWARE``, ``HKLM\SYSTEM``, ``HKU\.DEFAULT``) and are
+written through to their backing files on the NTFS volume after every
+mutation, mirroring how Windows' lazy writer keeps hive files current — so
+GhostBuster's low-level scan (raw MFT read of the backing file + raw hive
+parse) always sees the committed truth.
+
+API-level access, where ghostware intercepts, lives in
+:mod:`repro.winapi.advapi32` / :mod:`repro.winapi.nt`; this module never
+filters anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.errors import KeyNotFound, RegistryError
+from repro.ntfs.volume import NtfsVolume
+from repro.registry.hive import Hive, HiveKey, RegistryValue, RegType, ValueData
+
+
+@dataclass
+class MountedHive:
+    """One hive attached to the registry namespace."""
+
+    root_path: str           # e.g. "HKLM\\SOFTWARE"
+    hive: Hive
+    backing_file: Optional[str]  # volume path of the hive file, if persistent
+
+
+class Registry:
+    """Path-addressed facade over a set of mounted hives."""
+
+    def __init__(self, volume: Optional[NtfsVolume] = None,
+                 clock: Optional[SimClock] = None):
+        self._volume = volume
+        self._clock = clock or SimClock()
+        self._mounts: Dict[str, MountedHive] = {}
+        self._writeback_suspended = False
+
+    def batch(self) -> "_WritebackBatch":
+        """Suspend per-mutation hive flushes; flush once on exit.
+
+        Bulk setup (machine population) is O(hive) per write-back; the
+        batch turns that into a single flush without changing semantics —
+        the configuration manager's lazy writer coalesces the same way.
+        """
+        return _WritebackBatch(self)
+
+    # -- mounting ------------------------------------------------------------
+
+    def mount_hive(self, root_path: str, hive: Hive,
+                   backing_file: Optional[str] = None) -> MountedHive:
+        key = root_path.casefold()
+        if key in self._mounts:
+            raise RegistryError(f"hive already mounted at {root_path}")
+        mount = MountedHive(root_path, hive, backing_file)
+        self._mounts[key] = mount
+        if backing_file is not None:
+            self._write_back(mount)
+        return mount
+
+    def unmount_hive(self, root_path: str) -> None:
+        key = root_path.casefold()
+        if key not in self._mounts:
+            raise RegistryError(f"no hive mounted at {root_path}")
+        del self._mounts[key]
+
+    def hives(self) -> List[MountedHive]:
+        return [self._mounts[key] for key in sorted(self._mounts)]
+
+    def mount_for(self, path: str) -> Tuple[MountedHive, str]:
+        r"""Split a full path into (mount, hive-relative path).
+
+        ``HKLM\SOFTWARE\Microsoft\Windows`` →
+        (mount of ``HKLM\SOFTWARE``, ``Microsoft\Windows``).
+        """
+        folded = path.casefold()
+        best: Optional[MountedHive] = None
+        for key, mount in self._mounts.items():
+            if folded == key or folded.startswith(key + "\\"):
+                if best is None or len(key) > len(best.root_path):
+                    best = mount
+        if best is None:
+            raise KeyNotFound(f"no hive mounted for {path}")
+        relative = path[len(best.root_path):].lstrip("\\")
+        return best, relative
+
+    # -- key operations ----------------------------------------------------------
+
+    def open_key(self, path: str) -> HiveKey:
+        mount, relative = self.mount_for(path)
+        return mount.hive.open_key(relative)
+
+    def key_exists(self, path: str) -> bool:
+        try:
+            self.open_key(path)
+            return True
+        except KeyNotFound:
+            return False
+
+    def create_key(self, path: str) -> HiveKey:
+        mount, relative = self.mount_for(path)
+        key = mount.hive.create_key(relative,
+                                    timestamp_us=self._now_us())
+        self._write_back(mount)
+        return key
+
+    def delete_key(self, path: str) -> None:
+        """Delete one key (and its subtree)."""
+        mount, relative = self.mount_for(path)
+        if not relative:
+            raise RegistryError(f"cannot delete a hive root: {path}")
+        components = relative.split("\\")
+        parent = mount.hive.open_key("\\".join(components[:-1]))
+        parent.delete_subkey(components[-1])
+        self._write_back(mount)
+
+    def enum_subkeys(self, path: str) -> List[str]:
+        return [child.name for child in self.open_key(path).subkeys()]
+
+    # -- value operations ------------------------------------------------------------
+
+    def set_value(self, key_path: str, name: str, data: ValueData,
+                  reg_type: Optional[RegType] = None,
+                  raw_override: Optional[bytes] = None) -> RegistryValue:
+        mount, relative = self.mount_for(key_path)
+        key = mount.hive.create_key(relative, timestamp_us=self._now_us())
+        value = key.set_value(name, data, reg_type, raw_override)
+        self._write_back(mount)
+        return value
+
+    def get_value(self, key_path: str, name: str) -> RegistryValue:
+        return self.open_key(key_path).value(name)
+
+    def delete_value(self, key_path: str, name: str) -> None:
+        mount, relative = self.mount_for(key_path)
+        mount.hive.open_key(relative).delete_value(name)
+        self._write_back(mount)
+
+    def enum_values(self, path: str) -> List[RegistryValue]:
+        return list(self.open_key(path).values())
+
+    # -- persistence -------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Rewrite every persistent hive's backing file."""
+        for mount in self._mounts.values():
+            self._write_back(mount)
+
+    def _write_back(self, mount: MountedHive) -> None:
+        if self._writeback_suspended:
+            return
+        if mount.backing_file is None or self._volume is None:
+            return
+        blob = mount.hive.serialize()
+        if self._volume.exists(mount.backing_file):
+            self._volume.write_file(mount.backing_file, blob)
+        else:
+            self._volume.create_file(mount.backing_file, blob)
+
+    def _now_us(self) -> int:
+        return int(self._clock.now() * 1_000_000)
+
+
+class _WritebackBatch:
+    """Context manager suspending hive write-back until exit."""
+
+    def __init__(self, registry: Registry):
+        self._registry = registry
+
+    def __enter__(self) -> Registry:
+        self._registry._writeback_suspended = True
+        return self._registry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._registry._writeback_suspended = False
+        self._registry.flush()

@@ -1,0 +1,29 @@
+"""Simulated administrator utilities.
+
+The paper constantly refers to the tools a user or admin would actually
+run: the ``dir /s /b`` command (GhostBuster's own high-level scan), Task
+Manager / ``tlist``, RegEdit (including ``.reg`` export/import, the fix
+for the corrupted-AppInit false positive), AskStrider (whose
+driver-list view catches Hacker Defender's unhidden ``hxdefdrv.sys``),
+and hook checkers like ApiHookCheck / VICE.  This package implements
+them over the simulated machine — each one is an ordinary user-mode
+consumer of the API stack, and therefore lied to exactly like its
+real-world counterpart.
+"""
+
+from repro.tools.dir_command import dir_s_b
+from repro.tools.tasklist import tasklist
+from repro.tools.regedit import (RegEdit, export_key, import_reg_text,
+                                 reg_fixup_export_reimport)
+from repro.tools.askstrider import AskStriderReport, ask_strider
+from repro.tools.hookcheck import HookCheckReport, api_hook_check
+from repro.tools.sdtrestore import restore_service_dispatch_table
+
+__all__ = [
+    "dir_s_b", "tasklist",
+    "RegEdit", "export_key", "import_reg_text",
+    "reg_fixup_export_reimport",
+    "AskStriderReport", "ask_strider",
+    "HookCheckReport", "api_hook_check",
+    "restore_service_dispatch_table",
+]

@@ -1,0 +1,48 @@
+r"""The ``dir /s /b`` command.
+
+Section 2: "our GhostBuster tool performs the high-level scan using
+either the FindFirst(Next)File APIs or the 'dir /s /b' command".  This
+is that command: a recursive, bare-format listing issued as a process,
+through the full hookable chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine import Machine
+from repro.ntfs.constants import DOS_FLAG_HIDDEN, DOS_FLAG_SYSTEM
+from repro.usermode.process import Process
+
+
+def dir_s_b(machine: Machine, root: str = "\\",
+            process: Optional[Process] = None,
+            show_hidden: bool = True) -> List[str]:
+    """Recursive bare listing of full paths, as cmd.exe would print.
+
+    ``show_hidden=False`` models a plain ``dir /s /b`` *without* ``/a``:
+    entries carrying the hidden/system DOS attributes are skipped — the
+    paper's introduction calls this attribute trick the simplest stealth
+    technique, and it fools only tools that honor the attribute.
+    GhostBuster's own high-level scan always passes ``/a``
+    (``show_hidden=True``), so attribute-hidden files are *not* diff
+    findings; they were never hidden from the API, only from one
+    command's defaults.
+    """
+    shell = process or machine.process_by_name("cmd.exe") or \
+        machine.start_process("\\Windows\\explorer.exe", name="cmd.exe")
+    lines: List[str] = []
+    skip_mask = 0 if show_hidden else (DOS_FLAG_HIDDEN | DOS_FLAG_SYSTEM)
+
+    def walk(directory: str) -> None:
+        handle, entry = shell.call("kernel32", "FindFirstFile", directory)
+        while entry is not None:
+            if not (entry.dos_flags & skip_mask):
+                lines.append(entry.path)
+                if entry.is_directory:
+                    walk(entry.path)
+            entry = shell.call("kernel32", "FindNextFile", handle)
+        shell.call("kernel32", "FindClose", handle)
+
+    walk(root)
+    return lines

@@ -1,0 +1,48 @@
+"""ApiHookCheck / VICE: the mechanism-detection baseline as a tool.
+
+The paper's "first approach" — detect the *interception*, not the
+hiding.  It reports per-process IAT redirections and inline patches plus
+SSDT modifications, and (as the paper argues) has two structural
+problems the behaviour-based diff avoids:
+
+* coverage gaps — DKOM, filter drivers, and naming exploits install no
+  hook it can see;
+* false positives — legitimate interception (in-memory patching,
+  fault-tolerance wrappers) looks identical to malware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.machine import Machine
+from repro.winapi.hooks import HookReport, scan_for_hooks
+
+
+@dataclass
+class HookCheckReport:
+    """Everything the mechanism scanner can see."""
+
+    user_hooks: List[HookReport] = field(default_factory=list)
+    ssdt_hooks: List[str] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.user_hooks and not self.ssdt_hooks
+
+    def summary(self) -> str:
+        lines = [f"ApiHookCheck: {'clean' if self.is_clean else 'HOOKS'}"]
+        lines.extend(f"  {report.process}: {report.location} "
+                     f"[{report.kind.value}] by {report.owner}"
+                     for report in self.user_hooks)
+        lines.extend(f"  SSDT: {entry}" for entry in self.ssdt_hooks)
+        return "\n".join(lines)
+
+
+def api_hook_check(machine: Machine) -> HookCheckReport:
+    """Run the mechanism scan over every process plus the SSDT."""
+    return HookCheckReport(
+        user_hooks=scan_for_hooks(machine.user_processes()),
+        ssdt_hooks=[syscall.name for syscall in
+                    machine.kernel.ssdt.hooked_entries()])

@@ -1,0 +1,162 @@
+r"""RegEdit: Win32-semantics registry browsing plus .reg export/import.
+
+Two paper touchpoints:
+
+* RegEdit is the canonical *victim* of registry hiding: it browses via
+  the Win32 APIs, so NUL-embedded names, over-long names, and every
+  interception technique lie to it;
+* the corrupted-AppInit_DLLs false positive "was fixed by exporting the
+  parent key (to a text file without the corrupted data), by deleting
+  the parent key, and then by re-importing the exported key" —
+  :func:`reg_fixup_export_reimport` is exactly that procedure, built on
+  a faithful ``.reg`` text round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.machine import Machine
+from repro.registry.asep import ValueView
+from repro.usermode.process import Process
+
+
+class RegEdit:
+    """A Win32-API registry browser bound to one viewing process."""
+
+    def __init__(self, machine: Machine,
+                 process: Optional[Process] = None):
+        self.machine = machine
+        self.process = process or machine.process_by_name("regedit.exe") \
+            or machine.start_process("\\Windows\\explorer.exe",
+                                     name="regedit.exe")
+
+    def subkeys(self, key_path: str) -> List[str]:
+        return self.process.call("advapi32", "RegEnumKey", key_path)
+
+    def values(self, key_path: str) -> List[ValueView]:
+        return self.process.call("advapi32", "RegEnumValue", key_path)
+
+    def query(self, key_path: str, name: str) -> Optional[ValueView]:
+        return self.process.call("advapi32", "RegQueryValue", key_path,
+                                 name)
+
+    def tree(self, key_path: str, depth: int = 10) -> List[str]:
+        """Indented rendering of a subtree, as the UI would draw it."""
+        lines: List[str] = []
+
+        def render(path: str, indent: int) -> None:
+            if indent > depth:
+                return
+            lines.append("  " * indent + path.rsplit("\\", 1)[-1])
+            for view in self.values(path):
+                lines.append("  " * (indent + 1) +
+                             f"{view.name or '(Default)'} = {view.data}")
+            for child in self.subkeys(path):
+                render(f"{path}\\{child}", indent + 1)
+
+        render(key_path, 0)
+        return lines
+
+
+# -- .reg text format -----------------------------------------------------------
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _parse_quoted(text: str, start: int) -> Tuple[str, int]:
+    """Parse a double-quoted string with backslash escapes.
+
+    Returns (value, index just past the closing quote).
+    """
+    if start >= len(text) or text[start] != '"':
+        raise ValueError(f"expected quoted string at {start} in {text!r}")
+    out: List[str] = []
+    index = start + 1
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            out.append(text[index + 1])
+            index += 2
+            continue
+        if char == '"':
+            return "".join(out), index + 1
+        out.append(char)
+        index += 1
+    raise ValueError(f"unterminated string in {text!r}")
+
+
+def export_key(machine: Machine, key_path: str,
+               process: Optional[Process] = None) -> str:
+    """Export a subtree to .reg text *through the Win32 view*.
+
+    Like the real RegEdit, the export contains only what the Win32 APIs
+    can see — which is exactly why export/delete/re-import launders away
+    corrupted (or natively hidden) data.
+    """
+    regedit = RegEdit(machine, process)
+    chunks: List[str] = ["Windows Registry Editor Version 5.00", ""]
+
+    def dump(path: str) -> None:
+        chunks.append(f"[{path}]")
+        for view in regedit.values(path):
+            if view.reg_type == 4:
+                chunks.append(f'"{_escape(view.name)}"=dword:'
+                              f"{int(view.data) & 0xFFFFFFFF:08x}")
+            else:
+                chunks.append(f'"{_escape(view.name)}"='
+                              f'"{_escape(view.data)}"')
+        chunks.append("")
+        for child in regedit.subkeys(path):
+            dump(f"{path}\\{child}")
+
+    dump(key_path)
+    return "\n".join(chunks)
+
+
+def import_reg_text(machine: Machine, reg_text: str) -> int:
+    """Import .reg text into the live registry; returns values written."""
+    current_key: Optional[str] = None
+    written = 0
+    for raw_line in reg_text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(";") or \
+                line.startswith("Windows Registry Editor"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current_key = line[1:-1]
+            machine.registry.create_key(current_key)
+            continue
+        if current_key is None or not line.startswith('"'):
+            continue
+        try:
+            name, cursor = _parse_quoted(line, 0)
+        except ValueError:
+            continue
+        rest = line[cursor:].lstrip()
+        if not rest.startswith("="):
+            continue
+        rest = rest[1:].strip()
+        if rest.startswith("dword:"):
+            machine.registry.set_value(current_key, name,
+                                       int(rest[6:], 16))
+        elif rest.startswith('"'):
+            try:
+                data, __ = _parse_quoted(rest, 0)
+            except ValueError:
+                continue
+            machine.registry.set_value(current_key, name, data)
+        else:
+            continue
+        written += 1
+    return written
+
+
+def reg_fixup_export_reimport(machine: Machine, key_path: str,
+                              process: Optional[Process] = None) -> int:
+    """The paper's corrupted-value fix: export → delete → re-import."""
+    exported = export_key(machine, key_path, process)
+    machine.registry.delete_key(key_path)
+    return import_reg_text(machine, exported)

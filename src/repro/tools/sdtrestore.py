@@ -1,0 +1,29 @@
+"""Direct Service Dispatch Table restoration ([YT04]).
+
+The paper cites Tan's technique for "Defeating Kernel Native API Hookers
+by Direct Service Dispatch Table Restoration": overwrite every SSDT
+entry with its known-good original, un-hooking kernel-level interceptors
+like ProBot SE in one stroke.
+
+It is a *repair* tool with the usual mechanism-approach limits: it fixes
+only SSDT hooks (not IAT/inline/filter/DKOM hiding), and only because
+our table remembers its boot-time entries — the ground truth a real
+restorer must carry around.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kernel.ssdt import Syscall
+from repro.machine import Machine
+
+
+def restore_service_dispatch_table(machine: Machine) -> List[Syscall]:
+    """Restore every hooked SSDT entry; returns what was restored."""
+    table = machine.kernel.ssdt
+    restored = []
+    for syscall in table.hooked_entries():
+        table.restore_original(syscall)
+        restored.append(syscall)
+    return restored

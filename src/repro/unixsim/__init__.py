@@ -1,0 +1,29 @@
+"""Unix/Linux substrate for the Section-5 experiments.
+
+A small Unix machine — inode-backed filesystem, hookable syscall table,
+trojanizable userland binaries — plus the four rootkits the paper tested
+(Darkside for FreeBSD; Superkit and Synapsis for Linux; T0rnkit's
+trojanized utilities) and the cross-view detector: the inside ``ls -R``
+scan versus the clean-bootable-CD scan of the same partitions.
+"""
+
+from repro.unixsim.filesystem import UnixFilesystem, Inode
+from repro.unixsim.syscalls import SyscallTable, UnixSyscall
+from repro.unixsim.machine import UnixMachine
+from repro.unixsim.userland import ls_recursive, shell_glob
+from repro.unixsim.rootkits import (Darkside, Superkit, Synapsis, T0rnkit,
+                                    UnixRootkit)
+from repro.unixsim.detector import (unix_cross_view_scan, clean_cd_scan,
+                                    UnixScanReport)
+from repro.unixsim.baselines import (ChkrootkitReport, KstatReport,
+                                     chkrootkit_check, kstat_check)
+
+__all__ = [
+    "UnixFilesystem", "Inode",
+    "SyscallTable", "UnixSyscall",
+    "UnixMachine",
+    "ls_recursive", "shell_glob",
+    "UnixRootkit", "Darkside", "Superkit", "Synapsis", "T0rnkit",
+    "unix_cross_view_scan", "clean_cd_scan", "UnixScanReport",
+    "kstat_check", "KstatReport", "chkrootkit_check", "ChkrootkitReport",
+]

@@ -1,0 +1,70 @@
+"""Unix detection baselines the paper cites — and their blind spots.
+
+* :func:`kstat_check` — KSTAT-style ([YKS]) syscall-table integrity
+  check: reports entries whose handlers differ from boot time.  Catches
+  LKM hookers; blind to trojanized binaries (T0rnkit) because no kernel
+  state changed.
+* :func:`chkrootkit_check` — chkrootkit-style ([YC]) signature sweep:
+  looks for *known* rootkit paths through the normal (lied-to) view.
+  Blind to anything not in its list, and blind even to listed artifacts
+  when the rootkit hides them from ``ls``'s own syscalls.
+
+The cross-view diff (`repro.unixsim.detector`) needs neither a signature
+list nor kernel-integrity ground truth — which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.unixsim.machine import UnixMachine
+from repro.unixsim.syscalls import UnixSyscall
+from repro.unixsim.userland import ls_recursive
+
+# chkrootkit's idea of "known rootkit paths" — deliberately includes
+# the corpus members that existed when such lists were compiled.
+KNOWN_ROOTKIT_PATHS = (
+    "/usr/src/.puta",             # T0rnkit
+    "/usr/share/.superkit",       # Superkit
+    "/dev/ptyxx",                 # older kits, never present here
+    "/usr/lib/.fx",
+)
+
+
+@dataclass
+class KstatReport:
+    """Syscall-table integrity findings."""
+
+    hooked: List[UnixSyscall] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.hooked
+
+
+def kstat_check(machine: UnixMachine) -> KstatReport:
+    """Diff the syscall table against its boot-time entries."""
+    return KstatReport(hooked=machine.syscalls.hooked_entries())
+
+
+@dataclass
+class ChkrootkitReport:
+    """Known-path sweep findings."""
+
+    found: List[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.found
+
+
+def chkrootkit_check(machine: UnixMachine) -> ChkrootkitReport:
+    """Sweep the known-path list through the (possibly lying) ls view."""
+    visible = set(ls_recursive(machine, "/"))
+    report = ChkrootkitReport(checked=len(KNOWN_ROOTKIT_PATHS))
+    for path in KNOWN_ROOTKIT_PATHS:
+        if path in visible:
+            report.found.append(path)
+    return report

@@ -1,0 +1,73 @@
+"""Cross-view detection on the Unix substrate (Section 5).
+
+Inside scan: the machine's own ``ls`` over all mounted partitions —
+through trojanized binaries and hooked syscalls alike.  Outside scan: the
+same partitions listed from a clean, bootable CD distribution of the OS,
+i.e. the filesystem truth.  The diff exposes every rootkit class; daemons
+writing in the gap contribute the paper's "four or less" false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.unixsim.machine import UnixMachine
+from repro.unixsim.userland import ls_recursive
+
+# Benign-churn signatures: daemon transfer/temp logs.  Deliberately
+# narrow — a rootkit dropping under /var/run must still be reported.
+_NOISE_MARKERS = ("/var/spool/ftp/", "/var/log/daemon", "/tmp/daemon")
+
+
+@dataclass
+class UnixScanReport:
+    """Hidden paths plus classified noise."""
+
+    machine_name: str
+    hidden: List[str] = field(default_factory=list)
+    noise: List[str] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.hidden
+
+    @property
+    def false_positive_count(self) -> int:
+        return len(self.noise)
+
+    def summary(self) -> str:
+        state = "CLEAN" if self.is_clean else "INFECTED"
+        lines = [f"unix cross-view scan of {self.machine_name!r}: {state}"]
+        lines.extend(f"  hidden: {path}" for path in self.hidden)
+        lines.extend(f"  noise:  {path}" for path in self.noise)
+        return "\n".join(lines)
+
+
+def clean_cd_scan(machine: UnixMachine, path: str = "/") -> List[str]:
+    """The outside view: walk the filesystem truth from the clean CD."""
+    return [entry_path for entry_path, __ in machine.fs.walk(path)]
+
+
+def unix_cross_view_scan(machine: UnixMachine,
+                         daemon_churn_files: int = 0) -> UnixScanReport:
+    """Inside ``ls`` vs clean-CD listing of the same partitions.
+
+    ``daemon_churn_files`` simulates FTP/syslog daemons writing between
+    the two scans (the CD boot takes minutes), producing the benign
+    additions the paper reports as its only Unix false positives.
+    """
+    inside = set(ls_recursive(machine, "/"))
+    if daemon_churn_files:
+        machine.daemon_churn(daemon_churn_files)
+    outside = clean_cd_scan(machine, "/")
+
+    report = UnixScanReport(machine.name)
+    for path in outside:
+        if path in inside:
+            continue
+        if any(marker in path for marker in _NOISE_MARKERS):
+            report.noise.append(path)
+        else:
+            report.hidden.append(path)
+    return report

@@ -1,0 +1,150 @@
+"""Inode-backed Unix filesystem.
+
+Paths are ``/``-separated, case-sensitive.  Directories map names to
+inode numbers; the inode table is the ground truth a clean-CD boot reads
+directly, while running programs go through the (hookable) syscall table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import UnixError
+
+
+@dataclass
+class Inode:
+    """One filesystem object."""
+
+    number: int
+    is_directory: bool
+    content: bytes = b""
+    entries: Dict[str, int] = field(default_factory=dict)  # dirs only
+    mtime: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.content)
+
+
+class UnixFilesystem:
+    """Mountable single-volume Unix filesystem."""
+
+    def __init__(self) -> None:
+        self._inodes: Dict[int, Inode] = {}
+        self._next_inode = 2
+        self.root = self._allocate(is_directory=True)
+
+    def _allocate(self, is_directory: bool, content: bytes = b"") -> Inode:
+        inode = Inode(self._next_inode, is_directory, content)
+        self._inodes[inode.number] = inode
+        self._next_inode += 1
+        return inode
+
+    # -- path resolution -----------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise UnixError(f"paths must be absolute: {path!r}")
+        return [part for part in path.split("/") if part]
+
+    def _resolve(self, path: str) -> Optional[Inode]:
+        inode = self.root
+        for part in self._split(path):
+            if not inode.is_directory:
+                return None
+            child_number = inode.entries.get(part)
+            if child_number is None:
+                return None
+            inode = self._inodes[child_number]
+        return inode
+
+    def inode_at(self, path: str) -> Inode:
+        inode = self._resolve(path)
+        if inode is None:
+            raise UnixError(f"no such file or directory: {path}")
+        return inode
+
+    def exists(self, path: str) -> bool:
+        return self._resolve(path) is not None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def mkdir_p(self, path: str) -> Inode:
+        inode = self.root
+        for part in self._split(path):
+            child_number = inode.entries.get(part)
+            if child_number is None:
+                child = self._allocate(is_directory=True)
+                inode.entries[part] = child.number
+                inode = child
+            else:
+                inode = self._inodes[child_number]
+                if not inode.is_directory:
+                    raise UnixError(f"{part} is not a directory in {path}")
+        return inode
+
+    def write_file(self, path: str, content: bytes,
+                   mtime: float = 0.0) -> Inode:
+        parts = self._split(path)
+        parent = self.mkdir_p("/" + "/".join(parts[:-1])) if parts[:-1] \
+            else self.root
+        name = parts[-1]
+        existing = parent.entries.get(name)
+        if existing is not None:
+            inode = self._inodes[existing]
+            if inode.is_directory:
+                raise UnixError(f"{path} is a directory")
+            inode.content = content
+            inode.mtime = mtime
+            return inode
+        inode = self._allocate(is_directory=False, content=content)
+        inode.mtime = mtime
+        parent.entries[name] = inode.number
+        return inode
+
+    def append_file(self, path: str, content: bytes) -> None:
+        if self.exists(path):
+            inode = self.inode_at(path)
+            inode.content += content
+        else:
+            self.write_file(path, content)
+
+    def read_file(self, path: str) -> bytes:
+        inode = self.inode_at(path)
+        if inode.is_directory:
+            raise UnixError(f"{path} is a directory")
+        return inode.content
+
+    def unlink(self, path: str) -> None:
+        parts = self._split(path)
+        if not parts:
+            raise UnixError("cannot unlink /")
+        parent = self._resolve("/" + "/".join(parts[:-1]))
+        if parent is None or parts[-1] not in parent.entries:
+            raise UnixError(f"no such file: {path}")
+        number = parent.entries.pop(parts[-1])
+        del self._inodes[number]
+
+    # -- enumeration (truth) -----------------------------------------------------
+
+    def list_directory(self, path: str) -> List[Tuple[str, Inode]]:
+        inode = self.inode_at(path)
+        if not inode.is_directory:
+            raise UnixError(f"{path} is not a directory")
+        return [(name, self._inodes[number])
+                for name, number in sorted(inode.entries.items())]
+
+    def walk(self, start: str = "/") -> Iterator[Tuple[str, Inode]]:
+        """Ground-truth recursive traversal (what the clean CD sees)."""
+        base = start.rstrip("/")
+        for name, inode in self.list_directory(start or "/"):
+            path = f"{base}/{name}"
+            yield path, inode
+            if inode.is_directory:
+                yield from self.walk(path)
+
+    def file_count(self) -> int:
+        return sum(1 for __ in self.walk())

@@ -1,0 +1,125 @@
+"""The Unix machine: filesystem + syscall table + userland binaries.
+
+Binaries are callables keyed by path, so T0rnkit-style trojanization is a
+plain replacement of ``/bin/ls``'s behaviour — no kernel involvement —
+while LKM rootkits leave the binaries alone and hook the syscall table.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.clock import SimClock
+from repro.unixsim.filesystem import UnixFilesystem
+from repro.unixsim.syscalls import SyscallTable, UnixSyscall
+
+BASE_LAYOUT = ("/bin", "/sbin", "/etc", "/usr/bin", "/usr/sbin",
+               "/usr/share", "/usr/src", "/var/log", "/var/run",
+               "/var/spool/ftp", "/tmp", "/home/user", "/lib/modules")
+
+BASE_FILES = {
+    "/bin/ls": b"ELF ls",
+    "/bin/ps": b"ELF ps",
+    "/bin/sh": b"ELF sh",
+    "/bin/login": b"ELF login",
+    "/usr/bin/top": b"ELF top",
+    "/usr/sbin/sshd": b"ELF sshd",
+    "/etc/passwd": b"root:x:0:0::/root:/bin/sh\n",
+    "/etc/inetd.conf": b"ftp stream tcp nowait root in.ftpd\n",
+    "/var/log/messages": b"kernel: booted\n",
+}
+
+
+class UnixMachine:
+    """One simulated Linux/FreeBSD host."""
+
+    def __init__(self, name: str = "unixbox", flavor: str = "linux",
+                 clock: Optional[SimClock] = None):
+        self.name = name
+        self.flavor = flavor
+        self.clock = clock or SimClock()
+        self.fs = UnixFilesystem()
+        self.syscalls = SyscallTable()
+        self.binaries: Dict[str, Callable] = {}
+        self.loaded_modules: List[str] = []   # LKM names
+        self.rootkits: List = []
+        self._install_base_system()
+        self._install_syscalls()
+
+    # -- setup ------------------------------------------------------------------
+
+    def _install_base_system(self) -> None:
+        for directory in BASE_LAYOUT:
+            self.fs.mkdir_p(directory)
+        for path, content in BASE_FILES.items():
+            self.fs.write_file(path, content)
+
+    def _install_syscalls(self) -> None:
+        self.syscalls.install(UnixSyscall.GETDENTS, self._sys_getdents)
+        self.syscalls.install(UnixSyscall.OPEN, self._sys_open)
+        self.syscalls.install(UnixSyscall.READ, self._sys_read)
+        self.syscalls.install(UnixSyscall.WRITE, self._sys_write)
+        self.syscalls.install(UnixSyscall.UNLINK, self._sys_unlink)
+        self.syscalls.install(UnixSyscall.STAT, self._sys_stat)
+
+    # -- pristine syscall handlers ---------------------------------------------------
+
+    def _sys_getdents(self, path: str):
+        return [(name, inode.is_directory, inode.size)
+                for name, inode in self.fs.list_directory(path)]
+
+    def _sys_open(self, path: str) -> bool:
+        return self.fs.exists(path)
+
+    def _sys_read(self, path: str) -> bytes:
+        return self.fs.read_file(path)
+
+    def _sys_write(self, path: str, content: bytes) -> None:
+        self.fs.append_file(path, content)
+
+    def _sys_unlink(self, path: str) -> None:
+        self.fs.unlink(path)
+
+    def _sys_stat(self, path: str):
+        inode = self.fs.inode_at(path)
+        return {"inode": inode.number, "size": inode.size,
+                "is_directory": inode.is_directory, "mtime": inode.mtime}
+
+    # -- userland -----------------------------------------------------------------------
+
+    def run_binary(self, path: str, *args):
+        """Execute a binary: trojanized behaviour wins if registered."""
+        entry = self.binaries.get(path)
+        if entry is not None:
+            return entry(self, *args)
+        raise KeyError(f"no behaviour registered for {path}")
+
+    def load_module(self, name: str) -> None:
+        self.loaded_modules.append(name)
+
+    # -- workload -------------------------------------------------------------------------
+
+    def populate(self, file_count: int = 250, seed: int = 7) -> None:
+        """Deterministic population of user and system files."""
+        rng = random.Random(seed)
+        buckets = ("/home/user", "/usr/share", "/var/log", "/etc",
+                   "/usr/src", "/tmp")
+        for index in range(file_count):
+            bucket = rng.choice(buckets)
+            name = "".join(rng.choice("abcdefghijklmnopqrstuvwxyz")
+                           for __ in range(7))
+            self.fs.write_file(f"{bucket}/{name}{index:04d}",
+                               b"x" * rng.choice((0, 80, 700)))
+
+    def daemon_churn(self, count: int = 2) -> List[str]:
+        """FTP/syslog daemons writing files — the paper's Unix FP source."""
+        created = []
+        for index in range(count):
+            if index % 2 == 0:
+                path = f"/var/spool/ftp/xfer{index:03d}.tmp"
+            else:
+                path = f"/var/log/daemon{index:03d}.log"
+            self.fs.write_file(path, b"daemon activity\n")
+            created.append(path)
+        return created

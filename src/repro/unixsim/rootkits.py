@@ -1,0 +1,140 @@
+"""The Section-5 Unix rootkits.
+
+* **Darkside 0.2.3** (FreeBSD) — LKM hooking ``getdents``, hiding files
+  by configurable prefix;
+* **Superkit** (Linux) — syscall hooks for ``getdents`` and ``open``,
+  hiding its ``/usr/share/.superkit`` payload directory and backdoor;
+* **Synapsis** (Linux) — LKM hiding an explicit name list and its own
+  module;
+* **T0rnkit** — no kernel code at all: replaces ``/bin/ls`` (and
+  ``/bin/ps``) with trojanized versions that skip its ``/usr/src/.puta``
+  directory, exactly the class the classic ``ls`` vs ``echo *`` check
+  catches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.unixsim.machine import UnixMachine
+from repro.unixsim.syscalls import UnixSyscall
+from repro.unixsim.userland import pristine_ls
+
+
+class UnixRootkit:
+    """Base: install files, then hide them."""
+
+    name = "rootkit"
+    flavor = "linux"
+
+    def __init__(self) -> None:
+        self.hidden_paths: List[str] = []
+
+    def install(self, machine: UnixMachine) -> None:
+        self._drop_files(machine)
+        self._activate(machine)
+        machine.rootkits.append(self)
+
+    def _drop_files(self, machine: UnixMachine) -> None:
+        raise NotImplementedError
+
+    def _activate(self, machine: UnixMachine) -> None:
+        raise NotImplementedError
+
+
+def _hook_getdents(machine: UnixMachine,
+                   hide: Callable[[str], bool]) -> None:
+    def make_wrapper(original):
+        def hooked(path: str):
+            return [entry for entry in original(path)
+                    if not hide(entry[0])]
+        return hooked
+    machine.syscalls.hook(UnixSyscall.GETDENTS, make_wrapper)
+
+
+class Darkside(UnixRootkit):
+    """Darkside 0.2.3 [ZD] — FreeBSD LKM, prefix-based hiding."""
+
+    name = "Darkside 0.2.3"
+    flavor = "freebsd"
+    PREFIX = ".ds_"
+
+    def _drop_files(self, machine: UnixMachine) -> None:
+        self.hidden_paths = [f"/usr/share/{self.PREFIX}backdoor",
+                             f"/var/run/{self.PREFIX}pid"]
+        for path in self.hidden_paths:
+            machine.fs.write_file(path, b"darkside payload")
+
+    def _activate(self, machine: UnixMachine) -> None:
+        machine.load_module("darkside.ko")
+        _hook_getdents(machine,
+                       lambda name: name.startswith(self.PREFIX))
+
+
+class Superkit(UnixRootkit):
+    """Superkit [ZS] — Linux, getdents + open interception."""
+
+    name = "Superkit"
+    HIDDEN_DIR = "/usr/share/.superkit"
+
+    def _drop_files(self, machine: UnixMachine) -> None:
+        machine.fs.mkdir_p(self.HIDDEN_DIR)
+        self.hidden_paths = [self.HIDDEN_DIR,
+                             f"{self.HIDDEN_DIR}/sk",
+                             f"{self.HIDDEN_DIR}/backdoor.conf"]
+        machine.fs.write_file(f"{self.HIDDEN_DIR}/sk", b"superkit binary")
+        machine.fs.write_file(f"{self.HIDDEN_DIR}/backdoor.conf",
+                              b"port=666\n")
+
+    def _activate(self, machine: UnixMachine) -> None:
+        machine.load_module("superkit.o")
+        _hook_getdents(machine, lambda name: name == ".superkit")
+
+        def make_open(original):
+            def hooked(path: str):
+                if path.startswith(self.HIDDEN_DIR):
+                    return False
+                return original(path)
+            return hooked
+        machine.syscalls.hook(UnixSyscall.OPEN, make_open)
+
+
+class Synapsis(UnixRootkit):
+    """Synapsis — Linux LKM hiding an explicit name list."""
+
+    name = "Synapsis"
+    HIDDEN_NAMES = ("synapsisd", ".syn_log")
+
+    def _drop_files(self, machine: UnixMachine) -> None:
+        self.hidden_paths = ["/usr/sbin/synapsisd", "/var/log/.syn_log"]
+        machine.fs.write_file("/usr/sbin/synapsisd", b"synapsis daemon")
+        machine.fs.write_file("/var/log/.syn_log", b"captured\n")
+
+    def _activate(self, machine: UnixMachine) -> None:
+        machine.load_module("synapsis.o")
+        hidden = set(self.HIDDEN_NAMES)
+        _hook_getdents(machine, lambda name: name in hidden)
+
+
+class T0rnkit(UnixRootkit):
+    """T0rnkit [ZT] — trojanized OS utilities, no kernel hooks."""
+
+    name = "T0rnkit"
+    HIDDEN_DIR = "/usr/src/.puta"
+
+    def _drop_files(self, machine: UnixMachine) -> None:
+        machine.fs.mkdir_p(self.HIDDEN_DIR)
+        self.hidden_paths = [self.HIDDEN_DIR,
+                             f"{self.HIDDEN_DIR}/t0rns",
+                             f"{self.HIDDEN_DIR}/t0rnsb"]
+        machine.fs.write_file(f"{self.HIDDEN_DIR}/t0rns", b"sniffer")
+        machine.fs.write_file(f"{self.HIDDEN_DIR}/t0rnsb", b"log cleaner")
+        # Replace the ls binary on disk (its hash changes — Tripwire
+        # would see that; GhostBuster sees the behaviour instead).
+        machine.fs.write_file("/bin/ls", b"ELF t0rn-ls")
+
+    def _activate(self, machine: UnixMachine) -> None:
+        def trojan_ls(mach: UnixMachine, path: str = "/") -> List[str]:
+            return [entry for entry in pristine_ls(mach, path)
+                    if ".puta" not in entry]
+        machine.binaries["/bin/ls"] = trojan_ls

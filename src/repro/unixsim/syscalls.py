@@ -1,0 +1,62 @@
+"""The Unix syscall table — the LKM hook point.
+
+Linux/Unix ghostware commonly intercepts system calls via a Loadable
+Kernel Module: "some rootkits are known to hook read, write, close, and
+the getdents (get directory entries) system calls" (Section 5).  The
+table records its boot-time entries, so a KSTAT-style mechanism checker
+could diff them — but GhostBuster's behaviour-based diff needs no such
+knowledge.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List
+
+from repro.errors import UnixError
+
+Handler = Callable[..., object]
+
+
+class UnixSyscall(enum.IntEnum):
+    """Syscall numbers (a stable subset)."""
+
+    GETDENTS = 78
+    OPEN = 5
+    READ = 3
+    WRITE = 4
+    UNLINK = 10
+    STAT = 106
+
+
+class SyscallTable:
+    """Hookable syscall-number → handler mapping."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Handler] = {}
+        self._originals: Dict[int, Handler] = {}
+
+    def install(self, syscall: UnixSyscall, handler: Handler) -> None:
+        self._entries[int(syscall)] = handler
+        self._originals[int(syscall)] = handler
+
+    def invoke(self, syscall: UnixSyscall, *args):
+        handler = self._entries.get(int(syscall))
+        if handler is None:
+            raise UnixError(f"unimplemented syscall {syscall!r}")
+        return handler(*args)
+
+    def hook(self, syscall: UnixSyscall,
+             make_wrapper: Callable[[Handler], Handler]) -> Handler:
+        """LKM-style interception: wrap the current handler."""
+        current = self._entries.get(int(syscall))
+        if current is None:
+            raise UnixError(f"cannot hook uninstalled syscall {syscall!r}")
+        self._entries[int(syscall)] = make_wrapper(current)
+        return current
+
+    def hooked_entries(self) -> List[UnixSyscall]:
+        """KSTAT-style mechanism check: entries differing from boot."""
+        return [UnixSyscall(number) for number, handler
+                in self._entries.items()
+                if self._originals.get(number) is not handler]

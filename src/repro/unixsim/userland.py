@@ -1,0 +1,46 @@
+"""Unix userland: the ``ls`` walk and the shell-glob comparison.
+
+The paper's inside-the-box high-level Unix scan is literally "the ``ls``
+command over all mounted partitions".  ``ls`` may itself be trojanized
+(T0rnkit), in which case its *binary's* behaviour lies even though the
+syscalls underneath are honest — while a shell's builtin glob (``echo *``,
+Brumley's classic check [B99]) reaches ``getdents`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.unixsim.machine import UnixMachine
+from repro.unixsim.syscalls import UnixSyscall
+
+
+def _getdents_ls(machine: UnixMachine, path: str,
+                 out: List[str]) -> None:
+    for name, is_directory, __ in machine.syscalls.invoke(
+            UnixSyscall.GETDENTS, path):
+        child = f"{path.rstrip('/')}/{name}"
+        out.append(child)
+        if is_directory:
+            _getdents_ls(machine, child, out)
+
+
+def pristine_ls(machine: UnixMachine, path: str = "/") -> List[str]:
+    """A clean ls: recursive getdents through the (hookable) syscalls."""
+    out: List[str] = []
+    _getdents_ls(machine, path, out)
+    return out
+
+
+def ls_recursive(machine: UnixMachine, path: str = "/") -> List[str]:
+    """Run the machine's actual ``/bin/ls`` (possibly trojanized)."""
+    if "/bin/ls" in machine.binaries:
+        return machine.run_binary("/bin/ls", path)
+    return pristine_ls(machine, path)
+
+
+def shell_glob(machine: UnixMachine, path: str = "/") -> List[str]:
+    """``echo *``: the shell's own glob, immune to a trojaned ls binary
+    (but not to LKM syscall hooks, which sit below both)."""
+    return [f"{path.rstrip('/')}/{name}" for name, __, ___ in
+            machine.syscalls.invoke(UnixSyscall.GETDENTS, path)]

@@ -1,0 +1,6 @@
+"""User-mode process model: IAT, loaded module code, API call resolution."""
+
+from repro.usermode.process import Process, IatEntry
+from repro.usermode.injection import inject_dll, inject_into_all
+
+__all__ = ["Process", "IatEntry", "inject_dll", "inject_into_all"]

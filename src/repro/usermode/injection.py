@@ -1,0 +1,48 @@
+"""DLL injection.
+
+Used by three different actors in the paper:
+
+* the OS itself — ``AppInit_DLLs`` loads a DLL into every process that
+  loads User32.dll (Urbin's and Mersting's persistence vector);
+* ghostware — per-process hooks (IAT, inline patches) must be installed in
+  *every* process, so user-mode rootkits inject themselves everywhere;
+* GhostBuster's Section-5 extension — injecting the scanner DLL into every
+  running process turns each of them into a GhostBuster, defeating
+  utility-targeted and GhostBuster-targeted hiding.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.usermode.process import Process
+
+
+def inject_dll(machine, process: Process, dll_path: str) -> bool:
+    """Load a DLL image into one process and run its entry point.
+
+    Returns False when the DLL file does not exist on the volume (the
+    image to map is gone), which is what neuters ghostware whose files
+    were removed.
+    """
+    if process.pid == 4:
+        return False   # the System process has no user address space
+    if not machine.volume.exists(dll_path):
+        return False
+    machine.kernel.load_module(process.pid, dll_path)
+    entry = machine.program_entry(dll_path)
+    if entry is not None:
+        entry(machine, process)
+    return True
+
+
+def inject_into_all(machine, dll_path: str,
+                    skip_pids: List[int] = ()) -> int:
+    """Inject a DLL into every running user process; returns the count."""
+    injected = 0
+    for process in machine.user_processes():
+        if process.pid in skip_pids:
+            continue
+        if inject_dll(machine, process, dll_path):
+            injected += 1
+    return injected

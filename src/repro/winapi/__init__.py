@@ -1,0 +1,30 @@
+"""The hookable Win32 / Native API stack.
+
+Calls made "as a process" resolve through the same layered chain the paper
+diagrams in Figures 2 and 5::
+
+    user program
+      → per-process IAT                (Urbin, Mersting, Aphex hook here)
+      → in-process module code         (Vanquish, Aphex, Hacker Defender,
+        (Kernel32 / NtDll CodeSites)    Berbew patch here)
+      → syscall gateway → SSDT         (ProBot SE hooks here)
+      → kernel services
+      → I/O manager filter stack       (commercial file hiders sit here)
+      → NTFS volume / registry / kernel objects
+
+Every arrow is an explicit hook point, so each ghostware program installs
+at exactly the layer its real-world counterpart uses.
+"""
+
+from repro.winapi.hooks import CodeSite, ModuleCode, PatchKind, HookReport, scan_for_hooks
+from repro.winapi.iomanager import (DirEntry, FilterDriver, IoManager, Irp,
+                                    IrpOperation)
+from repro.winapi import nt, kernel32, advapi32
+from repro.winapi.services import ServiceControlManager, ServiceRecord
+
+__all__ = [
+    "CodeSite", "ModuleCode", "PatchKind", "HookReport", "scan_for_hooks",
+    "DirEntry", "FilterDriver", "IoManager", "Irp", "IrpOperation",
+    "nt", "kernel32", "advapi32",
+    "ServiceControlManager", "ServiceRecord",
+]

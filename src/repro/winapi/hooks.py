@@ -1,0 +1,146 @@
+"""Hook primitives: per-process API code sites and patch bookkeeping.
+
+A :class:`CodeSite` models the in-memory code of one exported API function
+inside one process's address space.  Ghostware patches it in one of the
+styles the paper distinguishes:
+
+* ``INLINE_CALL`` — Vanquish's style: overwrite the function to call the
+  trojan, which then calls the saved original.  The trojan frame shows up
+  in a debugger's call-stack trace.
+* ``INLINE_DETOUR`` — Aphex / Hacker Defender style: a ``jmp`` detour with
+  a trampoline back past the overwritten prologue; the trojan also edits
+  the return path, keeping it out of naive stack traces.
+* ``IAT`` — import-table redirection (per importing process), which never
+  touches the API's code bytes at all.
+
+The distinction matters to *mechanism*-detection baselines
+(:func:`scan_for_hooks`, our ApiHookCheck/VICE stand-in): an IAT hook is
+invisible to a code-byte checker, an inline patch is invisible to an IAT
+checker — the coverage-gap argument of the paper's Section 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ApiError
+
+ApiImpl = Callable[..., object]
+
+
+class PatchKind(enum.Enum):
+    """How an interception was installed."""
+
+    IAT = "iat"
+    INLINE_CALL = "inline_call"
+    INLINE_DETOUR = "inline_detour"
+    SSDT = "ssdt"
+    FILTER_DRIVER = "filter_driver"
+    CM_CALLBACK = "cm_callback"
+    DKOM = "dkom"
+
+
+@dataclass
+class PatchInfo:
+    """Bookkeeping attached to a patched code site."""
+
+    kind: PatchKind
+    owner: str                 # which ghostware installed it
+    visible_in_stack: bool     # INLINE_CALL shows the trojan frame
+
+
+class CodeSite:
+    """The in-memory code of one API function in one process."""
+
+    def __init__(self, module: str, function: str, pristine: ApiImpl):
+        self.module = module
+        self.function = function
+        self.pristine = pristine
+        self._implementation = pristine
+        self.patch: Optional[PatchInfo] = None
+
+    def call(self, process, *args):
+        return self._implementation(process, *args)
+
+    @property
+    def patched(self) -> bool:
+        return self.patch is not None
+
+    def patch_inline(self, make_wrapper: Callable[[ApiImpl], ApiImpl],
+                     kind: PatchKind, owner: str) -> None:
+        """Overwrite the code with a wrapper around the current bytes."""
+        if kind not in (PatchKind.INLINE_CALL, PatchKind.INLINE_DETOUR):
+            raise ApiError(f"{kind} is not an inline patch kind")
+        self._implementation = make_wrapper(self._implementation)
+        self.patch = PatchInfo(kind=kind, owner=owner,
+                               visible_in_stack=(kind == PatchKind.INLINE_CALL))
+
+    def restore(self) -> None:
+        """Restore the pristine code bytes (unpacking the detour)."""
+        self._implementation = self.pristine
+        self.patch = None
+
+
+class ModuleCode:
+    """One loaded module's exported functions, per process."""
+
+    def __init__(self, name: str, exports: Dict[str, ApiImpl]):
+        self.name = name
+        self._sites: Dict[str, CodeSite] = {
+            function: CodeSite(name, function, impl)
+            for function, impl in exports.items()}
+
+    def site(self, function: str) -> CodeSite:
+        site = self._sites.get(function)
+        if site is None:
+            raise ApiError(f"{self.name} exports no {function!r}")
+        return site
+
+    def functions(self) -> List[str]:
+        return sorted(self._sites)
+
+    def patched_sites(self) -> List[CodeSite]:
+        return [self._sites[name] for name in sorted(self._sites)
+                if self._sites[name].patched]
+
+
+@dataclass(frozen=True)
+class HookReport:
+    """One interception found by the mechanism-detection baseline."""
+
+    process: str
+    pid: int
+    kind: PatchKind
+    location: str   # "kernel32!FindFirstFile" or "IAT:ntdll!NtQuery..."
+    owner: str
+
+
+def scan_for_hooks(processes) -> List[HookReport]:
+    """ApiHookCheck/VICE-style *mechanism* scanner.
+
+    Reports IAT redirections and inline code patches in every process.
+    This is the paper's "first approach" — it catches the hook, not the
+    hiding, so it (a) misses DKOM/filter-driver/naming ghostware entirely
+    and (b) flags *legitimate* interception (in-memory patching,
+    fault-tolerance wrappers) as if it were malware.
+    """
+    reports: List[HookReport] = []
+    for process in processes:
+        for module_name in sorted(process.modules):
+            module = process.modules[module_name]
+            for site in module.patched_sites():
+                assert site.patch is not None
+                reports.append(HookReport(
+                    process=process.name, pid=process.pid,
+                    kind=site.patch.kind,
+                    location=f"{site.module}!{site.function}",
+                    owner=site.patch.owner))
+        for (module_name, function), entry in sorted(process.iat.items()):
+            reports.append(HookReport(
+                process=process.name, pid=process.pid,
+                kind=PatchKind.IAT,
+                location=f"IAT:{module_name}!{function}",
+                owner=entry.owner))
+    return reports

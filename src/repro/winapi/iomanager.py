@@ -1,0 +1,120 @@
+"""The I/O manager and its filter-driver stack.
+
+All file operations entering the kernel become IRPs (I/O Request Packets)
+carrying the originating process id, and pass through a stack of filter
+drivers before reaching the NTFS volume driver.  The four commercial file
+hiders in the paper's corpus sit here: they drop hidden entries from
+enumeration results and block opens of hidden paths — optionally scoped to
+specific requesting processes by inspecting the IRP, which is how a hider
+can lie to Explorer while telling its own configuration UI the truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import AccessDenied
+from repro.ntfs.volume import FileStat, NtfsVolume
+
+DirEntry = FileStat
+
+
+class IrpOperation(enum.Enum):
+    """The file operations a filter driver can observe."""
+
+    ENUMERATE_DIRECTORY = "enumerate_directory"
+    CREATE = "create"
+    READ = "read"
+    WRITE = "write"
+    DELETE = "delete"
+
+
+@dataclass
+class Irp:
+    """One I/O request packet."""
+
+    operation: IrpOperation
+    requestor_pid: int
+    path: str
+    payload: Optional[bytes] = None
+    dos_flags: int = 0
+
+
+class FilterDriver:
+    """Base class for file-system filter drivers.
+
+    Subclasses override :meth:`filter_enumeration` to edit result sets on
+    the way back up the stack, and :meth:`pre_operation` to deny or pass
+    requests on the way down.
+    """
+
+    name = "filter"
+
+    def filter_enumeration(self, irp: Irp,
+                           entries: List[DirEntry]) -> List[DirEntry]:
+        return entries
+
+    def pre_operation(self, irp: Irp) -> None:
+        """Raise :class:`AccessDenied` to fail the request."""
+
+
+class IoManager:
+    """Dispatches IRPs down the filter stack to the volume driver."""
+
+    def __init__(self, volume: NtfsVolume):
+        self.volume = volume
+        self.filters: List[FilterDriver] = []
+
+    # -- filter stack management ------------------------------------------------
+
+    def attach_filter(self, filter_driver: FilterDriver) -> None:
+        """Attach at the top of the stack (last attached filters first)."""
+        self.filters.insert(0, filter_driver)
+
+    def detach_filter(self, filter_driver: FilterDriver) -> None:
+        self.filters.remove(filter_driver)
+
+    # -- operations -----------------------------------------------------------------
+
+    def enumerate_directory(self, requestor_pid: int,
+                            path: str) -> List[DirEntry]:
+        irp = Irp(IrpOperation.ENUMERATE_DIRECTORY, requestor_pid, path)
+        self._pre(irp)
+        entries = self.volume.list_directory(path)
+        # Results travel back *up* the stack: bottom-most filter first.
+        for filter_driver in reversed(self.filters):
+            entries = filter_driver.filter_enumeration(irp, entries)
+        return entries
+
+    def create_file(self, requestor_pid: int, path: str,
+                    content: bytes = b"", dos_flags: int = 0) -> DirEntry:
+        irp = Irp(IrpOperation.CREATE, requestor_pid, path, content,
+                  dos_flags)
+        self._pre(irp)
+        return self.volume.create_file(path, content, native=True,
+                                       dos_flags=dos_flags)
+
+    def read_file(self, requestor_pid: int, path: str) -> bytes:
+        irp = Irp(IrpOperation.READ, requestor_pid, path)
+        self._pre(irp)
+        return self.volume.read_file(path)
+
+    def write_file(self, requestor_pid: int, path: str,
+                   content: bytes) -> None:
+        irp = Irp(IrpOperation.WRITE, requestor_pid, path, content)
+        self._pre(irp)
+        if self.volume.exists(path):
+            self.volume.write_file(path, content)
+        else:
+            self.volume.create_file(path, content, native=True)
+
+    def delete_file(self, requestor_pid: int, path: str) -> None:
+        irp = Irp(IrpOperation.DELETE, requestor_pid, path)
+        self._pre(irp)
+        self.volume.delete_file(path)
+
+    def _pre(self, irp: Irp) -> None:
+        for filter_driver in self.filters:
+            filter_driver.pre_operation(irp)

@@ -1,0 +1,136 @@
+"""NtDll — the Native API layer.
+
+Each export forwards into the kernel through the syscall gateway (and
+therefore through the hookable SSDT).  NtDll code lives per-process as
+CodeSites, which is where Hacker Defender and Berbew install their inline
+detours: below Kernel32, above the syscall.
+
+Unlike the Win32 layer, the Native API deals in *counted* strings and
+imposes no naming restrictions — registry value names with embedded NULs
+and Win32-illegal filenames pass through unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import KeyNotFound, RegistryError, ValueNotFound
+from repro.kernel.ssdt import Syscall
+from repro.winapi.hooks import ApiImpl
+
+
+def nt_query_directory_file(process, path: str):
+    """Enumerate one directory through the kernel (native entries)."""
+    return process.kernel.syscall(Syscall.QUERY_DIRECTORY_FILE,
+                                  process.pid, path)
+
+
+def nt_create_file(process, path: str, content: bytes = b"",
+                   dos_flags: int = 0):
+    """Create a file with native (unrestricted) naming."""
+    return process.kernel.syscall(Syscall.CREATE_FILE, process.pid, path,
+                                  content, dos_flags)
+
+
+def nt_read_file(process, path: str) -> bytes:
+    """Read a file's content through the kernel."""
+    return process.kernel.syscall(Syscall.READ_FILE, process.pid, path)
+
+
+def nt_write_file(process, path: str, content: bytes) -> None:
+    """Write (create-or-replace) a file through the kernel."""
+    return process.kernel.syscall(Syscall.WRITE_FILE, process.pid, path,
+                                  content)
+
+
+def nt_delete_file(process, path: str) -> None:
+    """Delete a file through the kernel."""
+    return process.kernel.syscall(Syscall.DELETE_FILE, process.pid, path)
+
+
+def nt_enumerate_key(process, key_path: str) -> List[str]:
+    """Subkey names with full counted strings."""
+    return process.kernel.syscall(Syscall.ENUMERATE_KEY, process.pid,
+                                  key_path)
+
+
+def nt_enumerate_value_key(process, key_path: str):
+    """Values (RegistryValue objects) with full counted names."""
+    return process.kernel.syscall(Syscall.ENUMERATE_VALUE_KEY, process.pid,
+                                  key_path)
+
+
+def nt_query_value_key(process, key_path: str, name: str):
+    """Query one value; None when absent (or filtered away)."""
+    try:
+        return process.kernel.syscall(Syscall.QUERY_VALUE_KEY, process.pid,
+                                      key_path, name)
+    except (KeyNotFound, ValueNotFound):
+        return None
+
+
+def nt_set_value_key(process, key_path: str, name: str, data,
+                     reg_type=None, raw_override: Optional[bytes] = None):
+    """Registry writes go straight to the configuration manager.
+
+    The hiding games all happen on the *query* side; creating a value with
+    an embedded-NUL counted name is precisely how the Native-API hiding
+    trick plants entries Win32 tools cannot display.
+    """
+    return process.kernel.registry.set_value(key_path, name, data, reg_type,
+                                             raw_override)
+
+
+def nt_delete_value_key(process, key_path: str, name: str) -> None:
+    """Delete one registry value (write path, unfiltered)."""
+    process.kernel.registry.delete_value(key_path, name)
+
+
+def nt_create_key(process, key_path: str):
+    """Create a registry key (write path, unfiltered)."""
+    return process.kernel.registry.create_key(key_path)
+
+
+def nt_delete_key(process, key_path: str) -> None:
+    """Delete a registry key (write path, unfiltered)."""
+    process.kernel.registry.delete_key(key_path)
+
+
+def nt_open_key(process, key_path: str) -> bool:
+    """Existence probe (opens are not filtered by the corpus's ghostware)."""
+    try:
+        process.kernel.registry.open_key(key_path)
+        return True
+    except (KeyNotFound, RegistryError):
+        return False
+
+
+def nt_query_system_information(process):
+    """Process enumeration — the API every task manager bottoms out in."""
+    return process.kernel.syscall(Syscall.QUERY_SYSTEM_INFORMATION,
+                                  process.pid)
+
+
+def nt_query_information_process(process, pid: int) -> List[str]:
+    """Loaded-module pathnames of one process, read from its PEB."""
+    return process.kernel.syscall(Syscall.QUERY_INFORMATION_PROCESS,
+                                  process.pid, pid)
+
+
+EXPORTS: Dict[str, ApiImpl] = {
+    "NtQueryDirectoryFile": nt_query_directory_file,
+    "NtCreateFile": nt_create_file,
+    "NtReadFile": nt_read_file,
+    "NtWriteFile": nt_write_file,
+    "NtDeleteFile": nt_delete_file,
+    "NtEnumerateKey": nt_enumerate_key,
+    "NtEnumerateValueKey": nt_enumerate_value_key,
+    "NtQueryValueKey": nt_query_value_key,
+    "NtSetValueKey": nt_set_value_key,
+    "NtDeleteValueKey": nt_delete_value_key,
+    "NtCreateKey": nt_create_key,
+    "NtDeleteKey": nt_delete_key,
+    "NtOpenKey": nt_open_key,
+    "NtQuerySystemInformation": nt_query_system_information,
+    "NtQueryInformationProcess": nt_query_information_process,
+}

@@ -1,0 +1,105 @@
+r"""Service Control Manager.
+
+At boot the SCM enumerates ``HKLM\SYSTEM\CurrentControlSet\Services`` and
+starts every auto-start entry: drivers are loaded into the kernel's
+driver list, services become processes.  This is the machinery that makes
+ASEP hooks *matter*: a ghostware service/driver hook re-activates the
+malware on every boot, and deleting the hook (GhostBuster's removal story,
+experiment E12) is enough to keep it from ever running again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import KeyNotFound, ServiceError, ValueNotFound
+
+SERVICES_KEY = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+
+TYPE_DRIVER = 1
+TYPE_SERVICE = 16
+START_AUTO = 2
+START_DISABLED = 4
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One service/driver registration."""
+
+    name: str
+    image_path: str
+    service_type: int
+    start: int
+
+    @property
+    def is_driver(self) -> bool:
+        return self.service_type == TYPE_DRIVER
+
+    @property
+    def auto_start(self) -> bool:
+        return self.start == START_AUTO
+
+
+class ServiceControlManager:
+    """Boot-time starter for registered services and drivers."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def register(self, name: str, image_path: str,
+                 service_type: int = TYPE_SERVICE,
+                 start: int = START_AUTO) -> None:
+        """Create the registry entries for a service (install-time API)."""
+        key = f"{SERVICES_KEY}\\{name}"
+        registry = self.machine.registry
+        registry.create_key(key)
+        registry.set_value(key, "ImagePath", image_path)
+        registry.set_value(key, "Type", service_type)
+        registry.set_value(key, "Start", start)
+
+    def enumerate_services(self) -> List[ServiceRecord]:
+        """Read service registrations from the registry truth.
+
+        The SCM is part of the OS and reads its hives directly, below the
+        API layers ghostware hooks — hiding a Services subkey from queries
+        does not stop the service from starting, which is exactly why
+        ghostware can hide its hooks and still run.
+        """
+        registry = self.machine.registry
+        records: List[ServiceRecord] = []
+        try:
+            names = registry.enum_subkeys(SERVICES_KEY)
+        except KeyNotFound:
+            return records
+        for name in names:
+            key = f"{SERVICES_KEY}\\{name}"
+            try:
+                image = str(registry.get_value(key, "ImagePath").win32_data())
+            except (KeyNotFound, ValueNotFound):
+                continue
+            try:
+                service_type = int(registry.get_value(key, "Type").win32_data())
+            except (KeyNotFound, ValueNotFound):
+                service_type = TYPE_SERVICE
+            try:
+                start = int(registry.get_value(key, "Start").win32_data())
+            except (KeyNotFound, ValueNotFound):
+                start = START_AUTO
+            records.append(ServiceRecord(name, image, service_type, start))
+        return records
+
+    def start_auto_services(self) -> List[str]:
+        """Start every auto-start service/driver; returns what started."""
+        started: List[str] = []
+        for record in self.enumerate_services():
+            if not record.auto_start:
+                continue
+            if not self.machine.volume.exists(record.image_path):
+                continue   # binary gone: registration is inert
+            if record.is_driver:
+                self.machine.load_driver_image(record.name, record.image_path)
+            else:
+                self.machine.start_process(record.image_path)
+            started.append(record.name)
+        return started

@@ -1,0 +1,115 @@
+"""The paper's 8 test machines.
+
+Section 2: "We tested GhostBuster on 8 machines including 4 corporate
+desktops, 3 home machines, and 1 laptop.  Seven machines had disk usage
+ranging from 5 to 34 GB and CPU speed ranging from 550 MHz to 2.2 GHz ...
+(On the 8th machine, which is a dual-proc 3 GHz workstation with 95 GB of
+the 111 GB hard drive utilized, the scan took 38 minutes.)"
+
+Each profile carries the *virtual* population (what the paper's machine
+held) and an ``entity_scale`` mapping it onto an affordable simulated
+population; the cost model multiplies back up so simulated scan times
+land in the paper's ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.machine import Machine, PerfModel
+
+_REFERENCE_MHZ = 2200.0   # cpu_scale 1.0
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """One of the paper's test machines."""
+
+    ident: str
+    kind: str                 # "corporate desktop" / "home" / ...
+    disk_used_gb: float
+    cpu_mhz: float
+    virtual_files: int        # population of the real machine
+    virtual_registry_kb: int  # ASEP-bearing hive footprint
+    ram_mb: int = 256
+    has_ccm: bool = False
+    actual_files: int = 900   # simulated population size
+    process_count: int = 42   # typical running processes
+
+    @property
+    def cpu_scale(self) -> float:
+        return self.cpu_mhz / _REFERENCE_MHZ
+
+    @property
+    def entity_scale(self) -> float:
+        return self.virtual_files / self.actual_files
+
+    def perf(self) -> PerfModel:
+        return PerfModel(cpu_scale=self.cpu_scale,
+                         disk_mbps=30.0 + self.cpu_mhz / 100.0,
+                         entity_scale=self.entity_scale,
+                         ram_mb=self.ram_mb)
+
+
+PAPER_MACHINES: Tuple[MachineProfile, ...] = (
+    MachineProfile("corp-desktop-1", "corporate desktop",
+                   disk_used_gb=20, cpu_mhz=2200, virtual_files=150_000,
+                   virtual_registry_kb=22_000, ram_mb=512),
+    MachineProfile("corp-desktop-2", "corporate desktop",
+                   disk_used_gb=34, cpu_mhz=2200, virtual_files=230_000,
+                   virtual_registry_kb=30_000, ram_mb=512),
+    MachineProfile("corp-desktop-3", "corporate desktop (CCM-managed)",
+                   disk_used_gb=12, cpu_mhz=1800, virtual_files=90_000,
+                   virtual_registry_kb=26_000, ram_mb=384, has_ccm=True),
+    MachineProfile("corp-desktop-4", "corporate desktop (lightly used)",
+                   disk_used_gb=5, cpu_mhz=2000, virtual_files=26_000,
+                   virtual_registry_kb=18_000, ram_mb=384),
+    MachineProfile("home-1", "home machine",
+                   disk_used_gb=5, cpu_mhz=550, virtual_files=34_000,
+                   virtual_registry_kb=9_000, ram_mb=128,
+                   process_count=28),
+    MachineProfile("home-2", "home machine",
+                   disk_used_gb=10, cpu_mhz=800, virtual_files=66_000,
+                   virtual_registry_kb=14_000, ram_mb=192,
+                   process_count=31),
+    MachineProfile("laptop-1", "laptop",
+                   disk_used_gb=6, cpu_mhz=1200, virtual_files=42_000,
+                   virtual_registry_kb=12_000, ram_mb=256,
+                   process_count=35),
+    MachineProfile("workstation-1", "dual-proc 3 GHz workstation",
+                   disk_used_gb=95, cpu_mhz=3000, virtual_files=1_700_000,
+                   virtual_registry_kb=60_000, ram_mb=1024,
+                   actual_files=2200, process_count=55),
+)
+
+SMALL_MACHINES = PAPER_MACHINES[:7]
+WORKSTATION = PAPER_MACHINES[7]
+
+
+def build_machine(profile: MachineProfile, seed: int = 1,
+                  populate: bool = True, boot: bool = True) -> Machine:
+    """Construct (and optionally populate and boot) one profiled machine."""
+    from repro.workloads.population import populate_machine
+
+    machine = Machine(profile.ident, disk_mb=1024,
+                      max_records=max(8192, profile.actual_files * 3),
+                      perf=profile.perf())
+    machine.profile = profile
+    if populate:
+        populate_machine(machine, file_count=profile.actual_files,
+                         registry_scale=profile.virtual_registry_kb,
+                         seed=seed)
+    if boot:
+        machine.boot()
+        _pad_processes(machine, profile.process_count)
+    return machine
+
+
+def _pad_processes(machine: Machine, target: int) -> None:
+    """Start innocuous processes until the profile's count is reached."""
+    index = 0
+    while len(machine.user_processes()) < target:
+        machine.start_process("\\Windows\\explorer.exe",
+                              name=f"app{index:02d}.exe")
+        index += 1

@@ -1,0 +1,127 @@
+"""Deterministic machine populations.
+
+Builds a believable file tree (system files, applications, user
+documents) and registry content (application keys, legitimate ASEP
+entries) so scans and diffs run over realistic namespaces.  Everything is
+seeded: the same (machine, seed) pair reproduces byte-identical disks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.machine import Machine, RUN_KEY
+from repro.winapi.services import TYPE_SERVICE
+
+_APP_NAMES = ("Office", "Photoshop", "WinZip", "RealPlayer", "Acrobat",
+              "QuickTime", "MSN Messenger", "Visual Studio", "SQL Client",
+              "Media Player")
+_EXTENSIONS = (".dll", ".exe", ".dat", ".txt", ".doc", ".ini", ".hlp",
+               ".bmp", ".wav", ".cfg")
+_LEGIT_SERVICES = ("Spooler", "Eventlog", "Dhcp", "Dnscache", "LanmanServer",
+                   "PlugPlay", "RpcSs", "W32Time", "Themes", "AudioSrv")
+_LEGIT_RUN = (("ctfmon", "\\Windows\\System32\\ctfmon.exe"),
+              ("SoundTray", "\\Program Files\\Sound\\tray.exe"))
+
+
+@dataclass
+class PopulationStats:
+    """What a population pass created."""
+
+    files_created: int
+    directories_created: int
+    registry_values: int
+    hive_bytes: int
+
+
+def populate_machine(machine: Machine, file_count: int = 900,
+                     registry_scale: int = 12_000,
+                     seed: int = 1) -> PopulationStats:
+    """Fill a machine's disk and registry deterministically.
+
+    ``registry_scale`` is the *virtual* hive footprint in KB; the actual
+    number of values created is chosen so the serialized hives, scaled by
+    the machine's ``entity_scale``, land near that footprint.
+    """
+    rng = random.Random(seed)
+    volume = machine.volume
+    files = 0
+    directories = 0
+
+    top_dirs = ["\\Program Files", "\\Documents and Settings\\user",
+                "\\Documents and Settings\\user\\My Documents",
+                "\\Windows\\System32\\spool", "\\Windows\\Help",
+                "\\Windows\\Fonts", "\\Temp\\work"]
+    for directory in top_dirs:
+        volume.create_directories(directory)
+
+    app_dirs = []
+    for app in _APP_NAMES:
+        path = f"\\Program Files\\{app}"
+        if not volume.exists(path):
+            volume.create_directory(path)
+            directories += 1
+        app_dirs.append(path)
+
+    buckets = app_dirs + top_dirs + ["\\Windows\\System32", "\\Windows"]
+    for index in range(file_count):
+        bucket = rng.choice(buckets)
+        extension = rng.choice(_EXTENSIONS)
+        name = f"{_word(rng)}{index:05d}{extension}"
+        size = rng.choice((0, 64, 512, 2048, 8192))
+        volume.create_file(f"{bucket}\\{name}", b"x" * size)
+        files += 1
+
+    # Registry: application keys + believable ASEP entries.
+    target_actual_bytes = int(registry_scale * 1024
+                              / max(machine.perf.entity_scale, 1.0))
+    with machine.registry.batch():
+        values = _populate_registry(machine, rng, target_actual_bytes)
+
+    hive_bytes = sum(len(mount.hive.serialize())
+                     for mount in machine.registry.hives())
+    return PopulationStats(files_created=files,
+                           directories_created=directories,
+                           registry_values=values, hive_bytes=hive_bytes)
+
+
+def _word(rng: random.Random, length: int = 6) -> str:
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz")
+                   for __ in range(length))
+
+
+def _populate_registry(machine: Machine, rng: random.Random,
+                       target_bytes: int) -> int:
+    registry = machine.registry
+    values = 0
+
+    for service in _LEGIT_SERVICES:
+        key = f"HKLM\\SYSTEM\\CurrentControlSet\\Services\\{service}"
+        registry.create_key(key)
+        registry.set_value(key, "ImagePath",
+                           f"\\Windows\\System32\\{service.lower()}.exe")
+        registry.set_value(key, "Type", TYPE_SERVICE)
+        registry.set_value(key, "Start", 2)
+        values += 3
+    for name, command in _LEGIT_RUN:
+        registry.set_value(RUN_KEY, name, command)
+        values += 1
+
+    # Generic application configuration noise until the hives are heavy
+    # enough to reproduce the paper's registry-scan durations.  Each
+    # value adds ~120 serialized bytes; re-measure only occasionally.
+    while _current_hive_bytes(machine) < target_bytes:
+        for __ in range(40):
+            app = rng.choice(_APP_NAMES).replace(" ", "")
+            key = f"HKLM\\SOFTWARE\\{app}\\{_word(rng)}"
+            registry.create_key(key)
+            for ___ in range(rng.randint(2, 6)):
+                registry.set_value(key, _word(rng), _word(rng, 12))
+                values += 1
+    return values
+
+
+def _current_hive_bytes(machine: Machine) -> int:
+    return sum(len(mount.hive.serialize())
+               for mount in machine.registry.hives())

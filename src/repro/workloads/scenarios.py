@@ -1,0 +1,96 @@
+"""Named end-to-end scenarios: composed machines for studies and demos.
+
+Examples, benchmarks, and downstream users keep rebuilding the same
+setups — a populated home PC with one rootkit, an enterprise client
+fleet with a compromised member, a machine with every stealth posture at
+once.  These builders make those one-liners, deterministic by seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.ghostware import (AdsGhost, Aphex, Berbew, CmCallbackGhost,
+                             FuRootkit, HackerDefender, Mersting,
+                             NamingExploitGhost, ProBotSE,
+                             RegistryNamingGhost, Urbin, Vanquish)
+from repro.ghostware.base import Ghostware
+from repro.machine import Machine
+from repro.workloads.background import attach_standard_services
+from repro.workloads.population import populate_machine
+
+
+@dataclass
+class Scenario:
+    """One built scenario: the machine plus what was planted on it."""
+
+    machine: Machine
+    infections: List[Ghostware] = field(default_factory=list)
+
+    @property
+    def ghost_names(self) -> List[str]:
+        return [ghost.name for ghost in self.infections]
+
+
+def build_home_pc(name: str = "home-pc", ghost: Optional[Ghostware] = None,
+                  files: int = 150, seed: int = 1,
+                  with_services: bool = True) -> Scenario:
+    """A lightly used home machine, optionally carrying one infection."""
+    machine = Machine(name, disk_mb=512, max_records=8192)
+    populate_machine(machine, file_count=files, registry_scale=400,
+                     seed=seed)
+    machine.boot()
+    if with_services:
+        attach_standard_services(machine)
+    scenario = Scenario(machine)
+    if ghost is not None:
+        ghost.install(machine)
+        scenario.infections.append(ghost)
+    return scenario
+
+
+def build_kitchen_sink(name: str = "kitchen-sink",
+                       seed: int = 2) -> Scenario:
+    """Every Windows corpus member on one machine — the stress subject."""
+    scenario = build_home_pc(name, files=120, seed=seed,
+                             with_services=False)
+    machine = scenario.machine
+    ghosts: List[Ghostware] = [HackerDefender(), Urbin(), Mersting(),
+                               Vanquish(), Aphex(), ProBotSE(), Berbew(),
+                               NamingExploitGhost(), RegistryNamingGhost(),
+                               CmCallbackGhost(), AdsGhost()]
+    for ghost in ghosts:
+        ghost.install(machine)
+    fu = FuRootkit()
+    fu.install(machine)
+    victim = machine.start_process("\\Windows\\explorer.exe",
+                                   name="dkom_victim.exe")
+    fu.hide_process(machine, victim.pid)
+    ghosts.append(fu)
+    scenario.infections.extend(ghosts)
+    return scenario
+
+
+def build_fleet(size: int = 5,
+                compromised: Optional[Dict[int, Type[Ghostware]]] = None,
+                seed: int = 3) -> List[Scenario]:
+    """An enterprise client fleet; ``compromised`` maps index → strain."""
+    compromised = compromised or {}
+    fleet: List[Scenario] = []
+    for index in range(size):
+        ghost_cls = compromised.get(index)
+        ghost = ghost_cls() if ghost_cls else None
+        fleet.append(build_home_pc(f"client-{index:02d}", ghost=ghost,
+                                   files=80, seed=seed + index,
+                                   with_services=False))
+    return fleet
+
+
+def infect(scenario: Scenario,
+           ghosts: Sequence[Ghostware]) -> Scenario:
+    """Plant additional strains onto an existing scenario."""
+    for ghost in ghosts:
+        ghost.install(scenario.machine)
+        scenario.infections.append(ghost)
+    return scenario

@@ -1,0 +1,75 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk import Disk, DiskGeometry
+from repro.machine import Machine
+from repro.ntfs import NtfsVolume
+
+
+@pytest.fixture
+def disk() -> Disk:
+    return Disk(DiskGeometry.from_megabytes(256))
+
+
+@pytest.fixture
+def volume(disk) -> NtfsVolume:
+    return NtfsVolume.format(disk, max_records=4096)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh, powered-off machine with the standard OS layout."""
+    return Machine("testbox", disk_mb=256, max_records=8192)
+
+
+@pytest.fixture
+def booted(machine) -> Machine:
+    machine.boot()
+    return machine
+
+
+def win32_ls(process, directory: str):
+    """Collect one directory's entries through FindFirst/NextFile."""
+    handle, entry = process.call("kernel32", "FindFirstFile", directory)
+    names = []
+    while entry is not None:
+        names.append(entry.name)
+        entry = process.call("kernel32", "FindNextFile", handle)
+    process.call("kernel32", "FindClose", handle)
+    return names
+
+
+def win32_walk(process, root: str = "\\"):
+    """Full recursive Win32 walk; returns paths."""
+    paths = []
+
+    def walk(directory: str) -> None:
+        handle, entry = process.call("kernel32", "FindFirstFile", directory)
+        while entry is not None:
+            paths.append(entry.path)
+            if entry.is_directory:
+                walk(entry.path)
+            entry = process.call("kernel32", "FindNextFile", handle)
+
+    walk(root)
+    return paths
+
+
+def task_list(process):
+    """Process names through the Toolhelp API."""
+    snapshot = process.call("kernel32", "CreateToolhelp32Snapshot")
+    names = []
+    info = process.call("kernel32", "Process32First", snapshot)
+    while info is not None:
+        names.append(info.name)
+        info = process.call("kernel32", "Process32Next", snapshot)
+    return names
+
+
+@pytest.fixture
+def probe(booted):
+    """An ordinary process to issue API calls from."""
+    return booted.start_process("\\Windows\\explorer.exe", name="probe.exe")

@@ -1,0 +1,122 @@
+"""Tests for alternate data streams and the ADS scanner extension."""
+
+import pytest
+
+from repro.core import (GhostBuster, executable_streams,
+                        scan_alternate_streams)
+from repro.errors import FileNotFound, VolumeError
+from repro.ghostware import AdsGhost
+from repro.machine import RUN_KEY
+from repro.ntfs.mft_parser import MftParser
+
+
+class TestVolumeStreams:
+    def test_write_read_roundtrip(self, volume):
+        volume.create_file("\\host.txt", b"main")
+        volume.write_stream("\\host.txt", "side", b"hidden bits")
+        assert volume.read_stream("\\host.txt", "side") == b"hidden bits"
+        assert volume.read_file("\\host.txt") == b"main"
+
+    def test_list_streams(self, volume):
+        volume.create_file("\\host.txt", b"")
+        volume.write_stream("\\host.txt", "b", b"2")
+        volume.write_stream("\\host.txt", "a", b"1")
+        assert volume.list_streams("\\host.txt") == ["a", "b"]
+
+    def test_replace_stream(self, volume):
+        volume.create_file("\\host.txt", b"")
+        volume.write_stream("\\host.txt", "s", b"old")
+        volume.write_stream("\\host.txt", "s", b"new")
+        assert volume.read_stream("\\host.txt", "s") == b"new"
+
+    def test_large_nonresident_stream(self, volume):
+        volume.create_file("\\host.txt", b"")
+        payload = b"S" * 20_000
+        volume.write_stream("\\host.txt", "big", payload)
+        assert volume.read_stream("\\host.txt", "big") == payload
+
+    def test_delete_stream(self, volume):
+        volume.create_file("\\host.txt", b"")
+        volume.write_stream("\\host.txt", "s", b"x")
+        volume.delete_stream("\\host.txt", "s")
+        assert volume.list_streams("\\host.txt") == []
+
+    def test_missing_stream_raises(self, volume):
+        volume.create_file("\\host.txt", b"")
+        with pytest.raises(FileNotFound):
+            volume.read_stream("\\host.txt", "absent")
+
+    def test_empty_stream_name_rejected(self, volume):
+        volume.create_file("\\host.txt", b"")
+        with pytest.raises(VolumeError):
+            volume.write_stream("\\host.txt", "", b"")
+
+    def test_streams_survive_remount(self, volume, disk):
+        from repro.ntfs import NtfsVolume
+        volume.create_file("\\host.txt", b"main")
+        volume.write_stream("\\host.txt", "ads", b"persisted")
+        remounted = NtfsVolume.mount(disk)
+        assert remounted.read_stream("\\host.txt", "ads") == b"persisted"
+
+
+class TestRawParserStreams:
+    def test_stream_names_in_parse(self, volume, disk):
+        volume.create_file("\\host.txt", b"")
+        volume.write_stream("\\host.txt", "payload", b"MZ...")
+        parser = MftParser(disk.read_bytes)
+        entry = parser.find_by_path("\\host.txt")
+        assert entry.stream_names == ("payload",)
+
+    def test_read_stream_content_raw(self, volume, disk):
+        volume.create_file("\\host.txt", b"")
+        volume.write_stream("\\host.txt", "s", b"raw bytes")
+        parser = MftParser(disk.read_bytes)
+        assert parser.read_stream_content("\\host.txt", "s") == b"raw bytes"
+
+    def test_missing_stream_raises(self, volume, disk):
+        volume.create_file("\\host.txt", b"")
+        with pytest.raises(FileNotFound):
+            MftParser(disk.read_bytes).read_stream_content("\\host.txt",
+                                                           "nope")
+
+    def test_main_content_unaffected_by_streams(self, volume, disk):
+        volume.create_file("\\host.txt", b"the main stream")
+        volume.write_stream("\\host.txt", "x", b"side")
+        parser = MftParser(disk.read_bytes)
+        assert parser.read_file_content("\\host.txt") == b"the main stream"
+
+
+class TestAdsGhost:
+    def test_invisible_to_the_regular_file_diff(self, booted):
+        AdsGhost().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        assert report.is_clean   # the host file matches in both views
+
+    def test_ads_scan_finds_the_payload(self, booted):
+        ghost = AdsGhost()
+        ghost.install(booted)
+        entries = scan_alternate_streams(booted)
+        names = {entry.qualified_name for entry in entries}
+        assert ghost.stream_path in names
+
+    def test_payload_flagged_executable(self, booted):
+        AdsGhost().install(booted)
+        executables = executable_streams(scan_alternate_streams(booted))
+        assert len(executables) == 1
+        assert executables[0].preview.startswith(b"MZ")
+
+    def test_run_hook_references_stream(self, booted):
+        ghost = AdsGhost()
+        ghost.install(booted)
+        value = booted.registry.get_value(RUN_KEY, "msupd")
+        assert str(value.native_data()) == ghost.stream_path
+
+    def test_outside_mode_reads_physical_disk(self, booted):
+        ghost = AdsGhost()
+        ghost.install(booted)
+        entries = scan_alternate_streams(booted, outside=True)
+        assert any(entry.qualified_name == ghost.stream_path
+                   for entry in entries)
+
+    def test_clean_machine_has_no_streams(self, booted):
+        assert scan_alternate_streams(booted) == []

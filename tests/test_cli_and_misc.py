@@ -1,0 +1,81 @@
+"""Tests for the CLI entry point, dir attribute handling, and the
+vmscan snapshot serialization."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core.snapshot import FileEntry, ResourceType, ScanSnapshot
+from repro.core.vmscan import _deserialize_snapshot, _serialize_snapshot
+from repro.ntfs.constants import DOS_FLAG_HIDDEN, DOS_FLAG_SYSTEM
+from repro.tools import dir_s_b
+
+
+class TestCli:
+    @pytest.mark.parametrize("command", ["demo", "matrix", "sweep",
+                                         "unix"])
+    def test_commands_run_clean(self, command, capsys):
+        assert cli_main([command]) == 0
+        assert capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["bogus"])
+
+
+class TestDirAttributeHandling:
+    def test_plain_dir_skips_hidden_attribute(self, booted):
+        booted.volume.create_file("\\Windows\\stash.db", b"",
+                                  dos_flags=DOS_FLAG_HIDDEN)
+        plain = dir_s_b(booted, "\\Windows", show_hidden=False)
+        full = dir_s_b(booted, "\\Windows", show_hidden=True)
+        assert not any("stash.db" in line for line in plain)
+        assert any("stash.db" in line for line in full)
+
+    def test_hidden_system_dir_subtree_skipped(self, booted):
+        booted.volume.create_directories("\\Covert")
+        # mark the directory itself hidden+system
+        record_no = booted.volume.record_for_path("\\Covert")
+        record = booted.volume._records[record_no]
+        record.std_info.dos_flags = DOS_FLAG_HIDDEN | DOS_FLAG_SYSTEM
+        booted.volume._flush(record)
+        booted.volume.create_file("\\Covert\\inside.txt", b"")
+        plain = dir_s_b(booted, "\\", show_hidden=False)
+        assert not any("inside.txt" in line for line in plain)
+
+    def test_attribute_files_are_not_diff_findings(self, booted):
+        """GhostBuster's high scan uses /a semantics: the attribute trick
+        never produces a cross-view finding (it isn't API hiding)."""
+        from repro.core import GhostBuster
+        booted.volume.create_file("\\Windows\\stash.db", b"",
+                                  dos_flags=DOS_FLAG_HIDDEN)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        assert report.is_clean
+
+
+class TestVmscanSerialization:
+    def _snapshot(self):
+        entries = [FileEntry("\\a\\b.txt", "b.txt", False, 12),
+                   FileEntry("\\a", "a", True, 0),
+                   FileEntry("\\weird name.txt", "weird name.txt",
+                             False, 0)]
+        return ScanSnapshot(ResourceType.FILE, view="test",
+                            entries=entries)
+
+    def test_roundtrip(self):
+        original = self._snapshot()
+        blob = _serialize_snapshot(original)
+        restored = _deserialize_snapshot(blob, view="restored")
+        assert set(restored.identities()) == set(original.identities())
+        restored_entry = restored.identities()["\\a\\b.txt"]
+        assert restored_entry.size == 12
+        assert restored_entry.is_directory is False
+
+    def test_empty_snapshot(self):
+        empty = ScanSnapshot(ResourceType.FILE, view="x")
+        blob = _serialize_snapshot(empty)
+        assert _deserialize_snapshot(blob, "y").entries == []
+
+    def test_directory_flag_preserved(self):
+        restored = _deserialize_snapshot(
+            _serialize_snapshot(self._snapshot()), "v")
+        assert restored.identities()["\\a"].is_directory is True

@@ -1,0 +1,52 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.clock import SimClock
+
+
+def test_starts_at_epoch():
+    assert SimClock().now() == 0.0
+
+
+def test_custom_start():
+    assert SimClock(100.0).now() == 100.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(2.5)
+    assert clock.now() == 4.0
+
+
+def test_advance_backwards_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_allowed():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now() == 0.0
+
+
+def test_stopwatch_measures_elapsed():
+    clock = SimClock()
+    watch = clock.stopwatch()
+    clock.advance(7.0)
+    assert watch.elapsed() == 7.0
+
+
+def test_stopwatch_anchors_at_creation():
+    clock = SimClock()
+    clock.advance(5.0)
+    watch = clock.stopwatch()
+    clock.advance(3.0)
+    assert watch.elapsed() == 3.0

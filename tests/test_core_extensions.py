@@ -1,0 +1,168 @@
+"""Tests for the Section-5 extensions: injection, targeting, VM scans,
+mass-hiding anomaly, and the cross-time baseline."""
+
+import pytest
+
+from repro.core import (GhostBuster, check_mass_hiding, injected_scan,
+                        injected_process_names)
+from repro.core.crosstime import ChangeKind, CrossTimeDiffer
+from repro.core.injection_ext import install_gb_dll
+from repro.core.vmscan import automated_winpe_vm_scan, vm_outside_scan
+from repro.ghostware import (GhostBusterAwareGhost, HackerDefender,
+                             HideFiles, UtilityTargetedGhost)
+from repro.workloads.signatures import SignatureScanner
+
+
+class TestTargetedGhostware:
+    def test_utility_targeted_evades_standard_scan(self, booted):
+        UtilityTargetedGhost().install(booted)
+        report = GhostBuster(booted).inside_scan(
+            resources=("files", "processes"))
+        assert report.is_clean   # the scanner never experiences the lie
+
+    def test_utility_targeted_lies_to_taskmgr(self, booted):
+        UtilityTargetedGhost().install(booted)
+        taskmgr = booted.start_process("\\Windows\\explorer.exe",
+                                       name="taskmgr.exe")
+        from tests.conftest import task_list
+        assert "utghost.exe" not in task_list(taskmgr)
+
+    def test_injection_extension_catches_utility_targeted(self, booted):
+        UtilityTargetedGhost().install(booted)
+        result = injected_scan(booted)
+        assert not result.is_clean
+        assert any(name in result.detecting_processes
+                   for name in ("taskmgr.exe", "explorer.exe"))
+
+    def test_gb_aware_evades_standard_scan(self, booted):
+        GhostBusterAwareGhost().install(booted)
+        report = GhostBuster(booted).inside_scan(
+            resources=("files", "processes"))
+        assert report.is_clean
+
+    def test_injection_extension_catches_gb_aware(self, booted):
+        GhostBusterAwareGhost().install(booted)
+        result = injected_scan(booted)
+        assert not result.is_clean
+        paths = {finding.entry.describe() for finding in result.combined}
+        assert any("gbaware" in item for item in paths)
+
+    def test_injected_scan_clean_machine(self, booted):
+        result = injected_scan(booted)
+        assert result.is_clean
+
+    def test_injection_reaches_all_processes(self, booted):
+        install_gb_dll(booted)
+        names = injected_process_names(booted)
+        assert "explorer.exe" in names
+        assert "winlogon.exe" in names
+
+
+class TestEtrustDilemma:
+    def test_signatures_blind_while_hidden(self, booted):
+        HackerDefender().install(booted)
+        scanner = SignatureScanner()
+        assert scanner.on_demand_scan(booted) == []
+
+    def test_signatures_fire_when_not_hiding(self, booted):
+        """Install the files and hooks but never activate the hiding."""
+        ghost = HackerDefender()
+        ghost._install_persistent(booted)   # files only, no hooks
+        scanner = SignatureScanner()
+        hits = scanner.on_demand_scan(booted)
+        assert any(hit.malware.startswith("Win32/HackerDefender")
+                   for hit in hits)
+
+    def test_combination_restores_detection(self, booted):
+        """GhostBuster diff locates hidden paths; signatures name them."""
+        HackerDefender().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        hidden_paths = [finding.entry.path
+                        for finding in report.hidden_files()]
+        scanner = SignatureScanner()
+        hits = scanner.scan_hidden_candidates(booted, hidden_paths)
+        assert any("HackerDefender" in hit.malware for hit in hits)
+
+
+class TestVmScans:
+    def test_vm_outside_scan_detects(self, booted):
+        HackerDefender().install(booted)
+        report = vm_outside_scan(booted)
+        files = {finding.entry.path for finding in report.hidden_files()}
+        assert "\\Windows\\hxdef100.exe" in files
+        assert booted.powered_on   # powered back up
+
+    def test_vm_outside_scan_zero_fp_on_clean(self, booted):
+        report = vm_outside_scan(booted)
+        assert report.findings == []
+
+    def test_automated_winpe_vm_flow(self, booted):
+        HackerDefender().install(booted)
+        report = automated_winpe_vm_scan(booted)
+        files = {finding.entry.path for finding in report.hidden_files()}
+        assert "\\Windows\\hxdef100.exe" in files
+
+    def test_automated_flow_excludes_own_artifacts(self, booted):
+        report = automated_winpe_vm_scan(booted)
+        paths = {finding.entry.path.casefold()
+                 for finding in report.findings}
+        assert "\\gb_scan_result.dat" not in paths
+
+
+class TestMassHidingAnomaly:
+    def test_mass_hiding_flagged(self, booted):
+        hider = HideFiles()
+        hider.install(booted)
+        booted.volume.create_directories("\\Innocent")
+        for index in range(40):
+            path = f"\\Innocent\\doc{index:03d}.txt"
+            booted.volume.create_file(path, b"")
+            hider.hide_path(booted, path)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        alert = check_mass_hiding(report)
+        assert alert is not None
+        assert alert.hidden_count >= 40
+        assert "\\Innocent" in alert.top_directories
+
+    def test_small_hiding_not_flagged(self, booted):
+        HackerDefender().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        assert check_mass_hiding(report) is None
+
+    def test_threshold_parameter(self, booted):
+        HackerDefender().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        assert check_mass_hiding(report, threshold=2) is not None
+
+
+class TestCrossTimeBaseline:
+    def test_captures_all_changes(self, booted):
+        differ = CrossTimeDiffer(booted)
+        before = differ.checkpoint()
+        booted.volume.create_file("\\Temp\\new.txt", b"x")
+        booted.volume.write_file("\\Windows\\explorer.exe", b"patched")
+        booted.volume.delete_file("\\Windows\\System32\\user32.dll")
+        after = differ.checkpoint()
+        findings = differ.diff(before, after)
+        kinds = {(finding.kind, finding.path) for finding in findings}
+        assert (ChangeKind.ADDED, "\\temp\\new.txt") in kinds
+        assert (ChangeKind.MODIFIED, "\\windows\\explorer.exe") in kinds
+        assert (ChangeKind.REMOVED,
+                "\\windows\\system32\\user32.dll") in kinds
+
+    def test_no_change_no_findings(self, booted):
+        differ = CrossTimeDiffer(booted)
+        checkpoint = differ.checkpoint()
+        assert differ.diff(checkpoint, checkpoint) == []
+
+    def test_legitimate_churn_is_noise_here(self, booted):
+        """The A1 point: cross-time flags legitimate activity that the
+        cross-view diff (by construction) does not."""
+        from repro.workloads import attach_standard_services
+        services = attach_standard_services(booted)
+        differ = CrossTimeDiffer(booted)
+        before = differ.checkpoint()
+        booted.run_background(60)
+        after = differ.checkpoint()
+        assert len(differ.diff(before, after)) >= 1
+        del services

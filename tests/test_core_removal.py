@@ -1,0 +1,117 @@
+"""Tests for the removal workflow (the Section-6 walkthrough)."""
+
+import pytest
+
+from repro.core import GhostBuster, disinfect
+from repro.core.removal import RemovalLog, remove_hidden_hooks
+from repro.ghostware import (Aphex, HackerDefender, ProBotSE, Urbin,
+                             Vanquish)
+from repro.machine import APPINIT_KEY
+
+SERVICES = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+
+
+class TestDisinfect:
+    def test_hacker_defender_end_to_end(self, booted):
+        HackerDefender().install(booted)
+        log = disinfect(booted)
+        assert log.rebooted
+        assert log.verified_clean
+        assert not booted.volume.exists("\\Windows\\hxdef100.exe")
+        assert "HackerDefender100" not in \
+            booted.registry.enum_subkeys(SERVICES)
+        assert booted.process_by_name("hxdef100.exe") is None
+
+    def test_urbin_appinit_scrubbed_not_deleted(self, booted):
+        booted.volume.create_file("\\Windows\\System32\\legit.dll", b"MZ")
+        booted.registry.set_value(APPINIT_KEY, "AppInit_DLLs", "legit.dll")
+        Urbin().install(booted)
+        log = disinfect(booted)
+        value = booted.registry.get_value(APPINIT_KEY, "AppInit_DLLs")
+        data = str(value.native_data())
+        assert "msvsres" not in data
+        assert "legit.dll" in data      # innocent DLL survives
+        assert log.scrubbed_values
+
+    def test_multi_infection_cleanup(self, booted):
+        for ghost_cls in (HackerDefender, Urbin, Vanquish, Aphex, ProBotSE):
+            ghost_cls().install(booted)
+        log = disinfect(booted)
+        assert log.verified_clean
+        final = GhostBuster(booted, advanced=True).inside_scan()
+        assert final.is_clean
+
+    def test_vanquish_files_deleted_after_reboot(self, booted):
+        Vanquish().install(booted)
+        disinfect(booted)
+        assert not booted.volume.exists("\\Windows\\vanquish.dll")
+        assert not booted.volume.exists("\\vanquish.log")
+
+    def test_clean_machine_noop(self, booted):
+        log = disinfect(booted)
+        assert log.deleted_keys == []
+        assert log.deleted_files == []
+        assert log.verified_clean
+
+    def test_log_summary_format(self, booted):
+        HackerDefender().install(booted)
+        log = disinfect(booted)
+        summary = log.summary()
+        assert "rebooted=True" in summary
+        assert "clean=True" in summary
+
+
+class TestHookRemovalOnly:
+    def test_reboot_without_file_deletion_disables_ghost(self, booted):
+        """The paper's key claim: deleting hooks + reboot disables the
+        malware even while its files remain."""
+        HackerDefender().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("registry",))
+        log = RemovalLog()
+        remove_hidden_hooks(booted, report, log)
+        booted.reboot()
+        assert booted.volume.exists("\\Windows\\hxdef100.exe")   # files kept
+        assert booted.process_by_name("hxdef100.exe") is None    # not running
+        # And the files are now visible through the API:
+        verification = GhostBuster(booted).inside_scan(resources=("files",))
+        assert verification.is_clean
+
+
+class TestOfflineDisinfect:
+    def test_offline_flow_cleans_everything(self, booted):
+        from repro.core import offline_disinfect
+        for ghost_cls in (HackerDefender, Urbin, Vanquish):
+            ghost_cls().install(booted)
+        log = offline_disinfect(booted)
+        assert log.rebooted
+        assert log.verified_clean
+        assert not booted.volume.exists("\\Windows\\hxdef100.exe")
+        assert not booted.volume.exists("\\Windows\\vanquish.dll")
+
+    def test_offline_flow_handles_interference_strain(self, booted):
+        """DeepGhost defeats the inside scan — but offline hive/file
+        edits happen while its code cannot run at all, so removing what
+        the outside view flags disables it permanently."""
+        from repro.core import GhostBuster, offline_disinfect
+        from repro.ghostware import LowLevelInterferenceGhost
+        LowLevelInterferenceGhost().install(booted)
+        # Locate it from outside first (the inside report is blind):
+        outside = GhostBuster(booted).outside_scan(
+            resources=("files", "registry"))
+        booted.shutdown()
+        log = RemovalLog()
+        remove_hidden_hooks(booted, outside, log)
+        from repro.core.removal import delete_revealed_files
+        delete_revealed_files(
+            booted, [finding.entry.path
+                     for finding in outside.hidden_files()], log)
+        booted.boot()
+        verification = GhostBuster(booted).outside_scan(
+            resources=("files", "registry"))
+        assert verification.is_clean
+
+    def test_offline_flow_on_clean_machine(self, booted):
+        from repro.core import offline_disinfect
+        log = offline_disinfect(booted)
+        assert log.verified_clean
+        assert log.deleted_keys == []

@@ -1,0 +1,140 @@
+"""Tests for the four resource scanners."""
+
+import pytest
+
+from repro.core.scanners import files as file_scans
+from repro.core.scanners import modules as module_scans
+from repro.core.scanners import processes as process_scans
+from repro.core.scanners import registry as registry_scans
+from repro.core.snapshot import ResourceType
+from repro.ghostware import HackerDefender, FuRootkit, Vanquish
+from repro.kernel.crashdump import CrashDump, write_dump
+from repro.machine import RUN_KEY
+
+
+class TestFileScanners:
+    def test_views_agree_on_clean_machine(self, booted):
+        high = file_scans.high_level_file_scan(booted)
+        low = file_scans.low_level_file_scan(booted)
+        assert set(high.identities()) == set(low.identities())
+
+    def test_snapshot_metadata(self, booted):
+        high = file_scans.high_level_file_scan(booted)
+        assert high.resource_type is ResourceType.FILE
+        assert high.view == "win32-api"
+        assert high.duration > 0
+
+    def test_scan_charges_simulated_time(self, booted):
+        before = booted.clock.now()
+        file_scans.high_level_file_scan(booted)
+        assert booted.clock.now() > before
+
+    def test_scanner_process_reused(self, booted):
+        file_scans.high_level_file_scan(booted)
+        count = len([p for p in booted.user_processes()
+                     if p.name == "ghostbuster.exe"])
+        file_scans.high_level_file_scan(booted)
+        assert len([p for p in booted.user_processes()
+                    if p.name == "ghostbuster.exe"]) == count
+
+    def test_outside_scan_reads_disk_directly(self, booted):
+        HackerDefender().install(booted)
+        outside = file_scans.outside_file_scan(booted.disk)
+        assert any("hxdef100.exe" in entry.path
+                   for entry in outside.entries)
+
+    def test_outside_raw_mode_sees_naming_ghosts(self, booted):
+        booted.volume.create_file("\\Temp\\dot.", b"", native=True)
+        win32 = file_scans.outside_file_scan(booted.disk, win32_naming=True)
+        raw = file_scans.outside_file_scan(booted.disk, win32_naming=False)
+        assert all(entry.name != "dot." for entry in win32.entries)
+        assert any(entry.name == "dot." for entry in raw.entries)
+
+
+class TestRegistryScanners:
+    def test_views_agree_on_clean_machine(self, booted):
+        high = registry_scans.high_level_asep_scan(booted)
+        low = registry_scans.low_level_asep_scan(booted)
+        assert set(high.identities()) == set(low.identities())
+
+    def test_low_level_reads_hive_files_raw(self, booted):
+        HackerDefender().install(booted)
+        low = registry_scans.low_level_asep_scan(booted)
+        names = {entry.name for entry in low.entries}
+        assert "HackerDefender100" in names
+
+    def test_outside_scan_matches_raw_truth(self, booted):
+        booted.registry.set_value(RUN_KEY, "legit", "\\x.exe")
+        booted.registry.flush()
+        outside = registry_scans.outside_asep_scan(booted.disk)
+        assert any(entry.name == "legit" for entry in outside.entries)
+
+    def test_win32_semantics_truncate_in_outside_view(self, booted):
+        booted.registry.set_value(RUN_KEY, "a\x00b", "\\x.exe")
+        booted.registry.flush()
+        win32 = registry_scans.outside_asep_scan(booted.disk,
+                                                 win32_semantics=True)
+        raw = registry_scans.outside_asep_scan(booted.disk,
+                                               win32_semantics=False)
+        win32_names = {entry.name for entry in win32.entries}
+        raw_names = {entry.name for entry in raw.entries}
+        assert "a" in win32_names
+        assert "a\x00b" in raw_names
+
+
+class TestProcessScanners:
+    def test_views_agree_on_clean_machine(self, booted):
+        high = process_scans.high_level_process_scan(booted)
+        low = process_scans.low_level_process_scan(booted)
+        assert set(high.identities()) == set(low.identities())
+
+    def test_advanced_matches_list_when_clean(self, booted):
+        low = process_scans.low_level_process_scan(booted)
+        advanced = process_scans.advanced_process_scan(booted)
+        assert set(low.identities()) == set(advanced.identities())
+
+    def test_dkom_visible_only_to_advanced(self, booted):
+        fu = FuRootkit()
+        fu.install(booted)
+        victim = booted.start_process("\\Windows\\explorer.exe",
+                                      name="victim.exe")
+        fu.hide_process(booted, victim.pid)
+        low = process_scans.low_level_process_scan(booted)
+        advanced = process_scans.advanced_process_scan(booted)
+        low_names = {entry.name for entry in low.entries}
+        advanced_names = {entry.name for entry in advanced.entries}
+        assert "victim.exe" not in low_names
+        assert "victim.exe" in advanced_names
+
+    def test_dump_scans_match_live(self, booted):
+        fu = FuRootkit()
+        fu.install(booted)
+        victim = booted.start_process("\\Windows\\explorer.exe",
+                                      name="victim.exe")
+        fu.hide_process(booted, victim.pid)
+        dump = CrashDump(write_dump(booted.kernel))
+        list_scan = process_scans.dump_process_scan(dump)
+        advanced_scan = process_scans.dump_process_scan(dump, advanced=True)
+        assert "victim.exe" not in {e.name for e in list_scan.entries}
+        assert "victim.exe" in {e.name for e in advanced_scan.entries}
+
+
+class TestModuleScanners:
+    def test_views_agree_on_clean_machine(self, booted):
+        high = module_scans.high_level_module_scan(booted)
+        low = module_scans.low_level_module_scan(booted)
+        high_ids = set(high.identities())
+        low_ids = {entry.identity for entry in low.entries
+                   if entry.pid in high.scanned_pids}
+        assert high_ids == low_ids
+
+    def test_vanquish_module_gap(self, booted):
+        Vanquish().install(booted)
+        high = module_scans.high_level_module_scan(booted)
+        low = module_scans.low_level_module_scan(booted)
+        gap = set(low.identities()) - set(high.identities())
+        assert any("vanquish.dll" in identity[1] for identity in gap)
+
+    def test_driver_scan(self, booted):
+        booted.kernel.load_driver("custom.sys")
+        assert "custom.sys" in module_scans.driver_scan(booted)

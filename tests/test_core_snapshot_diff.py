@@ -1,0 +1,121 @@
+"""Tests for scan snapshots and the cross-view diff engine."""
+
+import pytest
+
+from repro.core.diff import DetectionReport, Finding, cross_view_diff
+from repro.core.snapshot import (FileEntry, ModuleEntry, ProcessEntry,
+                                 RegistryHookEntry, ResourceType,
+                                 ScanSnapshot, snapshot_pair_stats)
+from repro.errors import ScanError
+
+
+def file_snapshot(view, paths):
+    entries = [FileEntry(path, path.rsplit("\\", 1)[-1], False, 0)
+               for path in paths]
+    return ScanSnapshot(ResourceType.FILE, view=view, entries=entries)
+
+
+class TestIdentities:
+    def test_file_identity_case_insensitive(self):
+        a = FileEntry("\\A\\B.TXT", "B.TXT", False, 1)
+        b = FileEntry("\\a\\b.txt", "b.txt", False, 2)
+        assert a.identity == b.identity
+
+    def test_process_identity_includes_pid(self):
+        assert ProcessEntry(4, "x").identity != ProcessEntry(8, "x").identity
+
+    def test_module_identity_pid_scoped(self):
+        a = ModuleEntry(4, "p", "\\m.dll")
+        b = ModuleEntry(8, "q", "\\m.dll")
+        assert a.identity != b.identity
+
+    def test_registry_identity_includes_data(self):
+        a = RegistryHookEntry("run", "HKLM\\Run", "x", "good.exe")
+        b = RegistryHookEntry("run", "HKLM\\Run", "x", "evil.exe")
+        assert a.identity != b.identity
+
+    def test_registry_describe_escapes_nul(self):
+        entry = RegistryHookEntry("run", "HKLM\\Run", "a\x00b", "x")
+        assert "\x00" not in entry.describe()
+        assert "\\0" in entry.describe()
+
+
+class TestDiff:
+    def test_truth_minus_lie(self):
+        lie = file_snapshot("api", ["\\a", "\\b"])
+        truth = file_snapshot("raw", ["\\a", "\\b", "\\ghost"])
+        findings = cross_view_diff(lie, truth)
+        assert len(findings) == 1
+        assert findings[0].entry.path == "\\ghost"
+        assert findings[0].lie_view == "api"
+        assert findings[0].truth_view == "raw"
+
+    def test_equal_views_clean(self):
+        lie = file_snapshot("api", ["\\a"])
+        truth = file_snapshot("raw", ["\\a"])
+        assert cross_view_diff(lie, truth) == []
+
+    def test_extra_in_lie_not_reported(self):
+        """Hiding removes entries; an entry only in the lie is not a
+        hidden resource (it would be a fabrication, not hiding)."""
+        lie = file_snapshot("api", ["\\a", "\\phantom"])
+        truth = file_snapshot("raw", ["\\a"])
+        assert cross_view_diff(lie, truth) == []
+
+    def test_case_difference_not_a_finding(self):
+        lie = file_snapshot("api", ["\\A\\FILE.TXT"])
+        truth = file_snapshot("raw", ["\\a\\file.txt"])
+        assert cross_view_diff(lie, truth) == []
+
+    def test_mismatched_resource_types_rejected(self):
+        files = file_snapshot("api", [])
+        procs = ScanSnapshot(ResourceType.PROCESS, view="x")
+        with pytest.raises(ScanError):
+            cross_view_diff(files, procs)
+
+    def test_empty_truth_clean(self):
+        assert cross_view_diff(file_snapshot("a", ["\\x"]),
+                               file_snapshot("b", [])) == []
+
+    def test_stats_helper(self):
+        lie = file_snapshot("a", ["\\1", "\\2"])
+        truth = file_snapshot("b", ["\\2", "\\3"])
+        assert snapshot_pair_stats(lie, truth) == (2, 2, 1)
+
+
+class TestDetectionReport:
+    def _finding(self, path="\\g", noise=None):
+        return Finding(ResourceType.FILE,
+                       FileEntry(path, path[1:], False, 0),
+                       "api", "raw", noise_reason=noise)
+
+    def test_clean_report(self):
+        report = DetectionReport("m", "inside")
+        assert report.is_clean
+        assert "CLEAN" in report.summary()
+
+    def test_findings_by_type(self):
+        report = DetectionReport("m", "inside",
+                                 findings=[self._finding()])
+        assert len(report.hidden_files()) == 1
+        assert report.hidden_processes() == []
+        assert not report.is_clean
+
+    def test_noise_excluded_by_default(self):
+        report = DetectionReport("m", "outside",
+                                 findings=[self._finding(noise="log churn")])
+        assert report.hidden_files() == []
+        assert len(report.hidden_files(include_noise=True)) == 1
+        assert report.is_clean
+        assert len(report.noise()) == 1
+
+    def test_summary_lists_findings(self):
+        report = DetectionReport("m", "inside",
+                                 findings=[self._finding("\\evil.exe")])
+        assert "evil.exe" in report.summary()
+        assert "INFECTED" in report.summary()
+
+    def test_total_duration(self):
+        report = DetectionReport("m", "inside",
+                                 durations={"files": 10.0, "registry": 5.0})
+        assert report.total_duration() == 15.0

@@ -1,0 +1,105 @@
+"""Tests for the virtual disk layer."""
+
+import pytest
+
+from repro.disk import Disk, DiskGeometry
+from repro.errors import DiskError
+
+
+@pytest.fixture
+def small_disk():
+    return Disk(DiskGeometry(sector_count=128))
+
+
+class TestGeometry:
+    def test_size_bytes(self):
+        geometry = DiskGeometry(sector_count=100, sector_size=512)
+        assert geometry.size_bytes == 51_200
+
+    def test_from_megabytes(self):
+        geometry = DiskGeometry.from_megabytes(1)
+        assert geometry.size_bytes == 1024 * 1024
+
+    def test_rejects_nonpositive_sectors(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(sector_count=0)
+
+    def test_rejects_bad_sector_size(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(sector_count=10, sector_size=100)
+
+    def test_rejects_nonpositive_megabytes(self):
+        with pytest.raises(ValueError):
+            DiskGeometry.from_megabytes(0)
+
+
+class TestSectorAccess:
+    def test_unwritten_reads_zero(self, small_disk):
+        assert small_disk.read_sector(5) == b"\x00" * 512
+
+    def test_write_read_roundtrip(self, small_disk):
+        payload = bytes(range(256)) * 2
+        small_disk.write_sector(3, payload)
+        assert small_disk.read_sector(3) == payload
+
+    def test_write_wrong_size_rejected(self, small_disk):
+        with pytest.raises(DiskError):
+            small_disk.write_sector(0, b"short")
+
+    def test_out_of_range_sector(self, small_disk):
+        with pytest.raises(DiskError):
+            small_disk.read_sector(128)
+        with pytest.raises(DiskError):
+            small_disk.read_sector(-1)
+
+
+class TestByteAccess:
+    def test_cross_sector_write_read(self, small_disk):
+        data = b"A" * 1000
+        small_disk.write_bytes(500, data)
+        assert small_disk.read_bytes(500, 1000) == data
+
+    def test_unaligned_write_preserves_neighbours(self, small_disk):
+        small_disk.write_sector(0, b"\xff" * 512)
+        small_disk.write_bytes(100, b"mid")
+        sector = small_disk.read_sector(0)
+        assert sector[99] == 0xFF
+        assert sector[100:103] == b"mid"
+        assert sector[103] == 0xFF
+
+    def test_zero_length_operations(self, small_disk):
+        small_disk.write_bytes(0, b"")
+        assert small_disk.read_bytes(0, 0) == b""
+
+    def test_read_past_end_rejected(self, small_disk):
+        with pytest.raises(DiskError):
+            small_disk.read_bytes(small_disk.geometry.size_bytes - 10, 20)
+
+    def test_write_past_end_rejected(self, small_disk):
+        with pytest.raises(DiskError):
+            small_disk.write_bytes(small_disk.geometry.size_bytes - 1,
+                                   b"xx")
+
+    def test_negative_read_length(self, small_disk):
+        with pytest.raises(DiskError):
+            small_disk.read_bytes(0, -5)
+
+
+class TestMaintenance:
+    def test_used_bytes_counts_written_sectors(self, small_disk):
+        assert small_disk.used_bytes() == 0
+        small_disk.write_bytes(0, b"x")
+        assert small_disk.used_bytes() == 512
+
+    def test_written_sectors_sorted(self, small_disk):
+        small_disk.write_bytes(10 * 512, b"b")
+        small_disk.write_bytes(2 * 512, b"a")
+        indices = [index for index, __ in small_disk.written_sectors()]
+        assert indices == [2, 10]
+
+    def test_clone_is_independent(self, small_disk):
+        small_disk.write_bytes(0, b"original")
+        copy = small_disk.clone()
+        copy.write_bytes(0, b"modified")
+        assert small_disk.read_bytes(0, 8) == b"original"
+        assert copy.read_bytes(0, 8) == b"modified"

@@ -1,0 +1,71 @@
+"""Documentation-quality enforcement.
+
+Deliverable (e) promises doc comments on every public item.  These tests
+walk the installed package and fail on any public module, class, or
+function without a docstring — so documentation debt shows up as a red
+test, not a review comment.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}   # CLI glue documents itself via argparse
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(set(names) - SKIP_MODULES)
+
+
+MODULES = _all_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), \
+        f"{module_name} lacks a module docstring"
+
+
+def _public_members(module):
+    exported = getattr(module, "__all__", None)
+    for name, member in inspect.getmembers(module):
+        if name.startswith("_"):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue   # re-exports are documented at their home
+        if exported is not None and name not in exported \
+                and not (inspect.isclass(member)
+                         or inspect.isfunction(member)):
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in _public_members(module):
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, \
+        f"{module_name}: missing docstrings on {undocumented}"
+
+
+def test_repo_docs_exist():
+    import pathlib
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    for document in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "docs/ghostware_catalog.md",
+                     "docs/scanning_internals.md"):
+        path = root / document
+        assert path.exists(), f"{document} is part of the deliverables"
+        assert path.stat().st_size > 500, f"{document} looks stubby"

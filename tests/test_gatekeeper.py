@@ -1,0 +1,71 @@
+"""Tests for the Gatekeeper ASEP monitor and its composition with
+GhostBuster."""
+
+import pytest
+
+from repro.core import GatekeeperMonitor, GhostBuster, HookChange
+from repro.ghostware import Berbew, HackerDefender
+from repro.machine import RUN_KEY
+
+
+class TestGatekeeper:
+    def test_quiet_machine_no_changes(self, booted):
+        monitor = GatekeeperMonitor(booted)
+        changes = monitor.watch(lambda: None)
+        assert changes == []
+
+    def test_new_visible_hook_caught(self, booted):
+        monitor = GatekeeperMonitor(booted)
+        changes = monitor.watch(
+            lambda: booted.registry.set_value(RUN_KEY, "newapp",
+                                              "\\app.exe"))
+        assert len(changes) == 1
+        assert changes[0].change is HookChange.ADDED
+        assert changes[0].name == "newapp"
+
+    def test_removed_hook_caught(self, booted):
+        booted.registry.set_value(RUN_KEY, "oldapp", "\\app.exe")
+        monitor = GatekeeperMonitor(booted)
+        changes = monitor.watch(
+            lambda: booted.registry.delete_value(RUN_KEY, "oldapp"))
+        assert changes[0].change is HookChange.REMOVED
+
+    def test_non_hiding_malware_caught_at_install(self, booted):
+        """Berbew does not hide its Run hook: Gatekeeper's cross-time
+        watch flags the installation immediately."""
+        monitor = GatekeeperMonitor(booted)
+        changes = monitor.watch(lambda: Berbew().install(booted))
+        assert any(change.name == "berbew_loader" for change in changes)
+
+    def test_hiding_malware_evades_gatekeeper(self, booted):
+        """Hacker Defender hides its hooks from the API — Gatekeeper's
+        after-checkpoint never sees them, so the watch stays silent."""
+        monitor = GatekeeperMonitor(booted)
+        changes = monitor.watch(lambda: HackerDefender().install(booted))
+        assert all("hackerdefender" not in change.name.casefold()
+                   for change in changes)
+
+    def test_composition_covers_both_classes(self, booted):
+        """Gatekeeper catches the non-hider; GhostBuster catches the
+        hider; together nothing escapes."""
+        monitor = GatekeeperMonitor(booted)
+
+        def infect():
+            Berbew().install(booted)
+            HackerDefender().install(booted)
+
+        gatekeeper_changes = monitor.watch(infect)
+        ghostbuster_report = GhostBuster(booted).inside_scan(
+            resources=("registry",))
+
+        gatekeeper_names = {change.name for change in gatekeeper_changes}
+        ghostbuster_names = {finding.entry.name for finding in
+                             ghostbuster_report.hidden_hooks()}
+        assert "berbew_loader" in gatekeeper_names
+        assert "HackerDefender100" in ghostbuster_names
+
+    def test_describe(self, booted):
+        monitor = GatekeeperMonitor(booted)
+        changes = monitor.watch(
+            lambda: booted.registry.set_value(RUN_KEY, "x", "\\x.exe"))
+        assert "added" in changes[0].describe()

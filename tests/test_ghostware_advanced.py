@@ -1,0 +1,63 @@
+"""Tests for the low-level-interference strain (ablation A3's subject)."""
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.ghostware import HackerDefender, LowLevelInterferenceGhost
+from repro.ntfs.mft_parser import MftParser
+
+
+class TestLowLevelInterference:
+    def test_hidden_from_api(self, booted):
+        LowLevelInterferenceGhost().install(booted)
+        from tests.conftest import win32_walk
+        probe = booted.start_process("\\Windows\\explorer.exe",
+                                     name="probe.exe")
+        assert all("deepghost" not in path.casefold()
+                   for path in win32_walk(probe))
+
+    def test_scrubs_inside_raw_reads(self, booted):
+        LowLevelInterferenceGhost().install(booted)
+        inside = MftParser(booted.kernel.disk_port.read_bytes).parse()
+        assert all("deepghost" not in entry.path.casefold()
+                   for entry in inside)
+
+    def test_physical_disk_still_truthful(self, booted):
+        LowLevelInterferenceGhost().install(booted)
+        outside = MftParser(booted.disk.read_bytes).parse()
+        assert any("deepghost" in entry.path.casefold()
+                   for entry in outside)
+
+    def test_inside_the_box_scan_defeated(self, booted):
+        LowLevelInterferenceGhost().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        assert report.is_clean   # the paper's stated limitation
+
+    def test_outside_the_box_scan_catches_it(self, booted):
+        LowLevelInterferenceGhost().install(booted)
+        report = GhostBuster(booted).outside_scan(resources=("files",))
+        files = {finding.entry.path for finding in report.hidden_files()}
+        assert "\\Windows\\deepghost.exe" in files
+
+    def test_ordinary_ghost_unaffected_by_scrubber(self, booted):
+        """The scrubber only hides its own records; Hacker Defender's
+        remain in the inside raw view."""
+        LowLevelInterferenceGhost().install(booted)
+        HackerDefender().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        files = {finding.entry.path for finding in report.hidden_files()}
+        assert "\\Windows\\hxdef100.exe" in files
+        assert "\\Windows\\deepghost.exe" not in files
+
+
+class TestRegistryInterference:
+    def test_inside_registry_scan_also_defeated(self, booted):
+        LowLevelInterferenceGhost().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("registry",))
+        assert report.is_clean
+
+    def test_outside_registry_scan_catches_hook(self, booted):
+        LowLevelInterferenceGhost().install(booted)
+        report = GhostBuster(booted).outside_scan(resources=("registry",))
+        names = {finding.entry.name for finding in report.hidden_hooks()}
+        assert "DeepGhost" in names

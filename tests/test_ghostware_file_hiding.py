@@ -1,0 +1,235 @@
+"""Per-program tests: file-hiding behaviour (Figure 2 / Figure 3)."""
+
+import pytest
+
+from repro.ghostware import (AdvancedHideFolders, Aphex, FileFolderProtector,
+                             HackerDefender, HideFiles, HideFoldersXP,
+                             Mersting, ProBotSE, Urbin, Vanquish)
+from repro.ntfs import parse_volume
+from repro.errors import AccessDenied
+
+from tests.conftest import win32_ls, win32_walk
+
+
+def raw_paths(machine):
+    return {entry.path.casefold() for entry in parse_volume(machine.disk)}
+
+
+def api_paths(machine, name="checker.exe"):
+    probe = machine.process_by_name(name) or \
+        machine.start_process("\\Windows\\explorer.exe", name=name)
+    return {path.casefold() for path in win32_walk(probe)}
+
+
+class TestUrbinMersting:
+    @pytest.mark.parametrize("ghost_cls,dll", [(Urbin, "msvsres.dll"),
+                                               (Mersting, "kbddfl.dll")])
+    def test_dll_hidden_from_api_present_on_disk(self, booted, ghost_cls,
+                                                 dll):
+        ghost_cls().install(booted)
+        dll_path = f"\\windows\\system32\\{dll}"
+        assert dll_path not in api_paths(booted)
+        assert dll_path in raw_paths(booted)
+
+    def test_iat_hook_is_the_mechanism(self, booted):
+        Urbin().install(booted)
+        probe = booted.start_process("\\Windows\\explorer.exe",
+                                     name="probe.exe")
+        assert ("kernel32", "FindFirstFile") in probe.iat
+
+    def test_survives_reboot_via_appinit(self, booted):
+        Urbin().install(booted)
+        booted.reboot()
+        assert "\\windows\\system32\\msvsres.dll" not in api_paths(booted)
+
+
+class TestVanquish:
+    def test_hides_all_vanquish_files(self, booted):
+        Vanquish().install(booted)
+        visible = api_paths(booted)
+        assert not any("vanquish" in path for path in visible)
+        assert "\\windows\\vanquish.exe" in raw_paths(booted)
+        assert "\\vanquish.log" in raw_paths(booted)
+
+    def test_patch_is_inline_call_kind(self, booted):
+        Vanquish().install(booted)
+        probe = booted.start_process("\\Windows\\explorer.exe",
+                                     name="probe.exe")
+        site = probe.code_site("kernel32", "FindFirstFile")
+        assert site.patched
+        assert site.patch.visible_in_stack   # call-style, shows in traces
+
+    def test_new_user_files_matching_pattern_hidden(self, booted):
+        Vanquish().install(booted)
+        booted.volume.create_file("\\Temp\\my_vanquish_notes.txt", b"")
+        assert "\\temp\\my_vanquish_notes.txt" not in api_paths(booted)
+
+
+class TestAphex:
+    def test_prefix_files_hidden(self, booted):
+        Aphex().install(booted)
+        booted.volume.create_file("\\Temp\\~secret.dat", b"")
+        booted.volume.create_file("\\Temp\\normal.dat", b"")
+        visible = api_paths(booted)
+        assert "\\temp\\normal.dat" in visible
+        assert "\\temp\\~secret.dat" not in visible
+
+    def test_custom_prefix(self, booted):
+        Aphex(prefix="$$").install(booted)
+        booted.volume.create_file("\\Temp\\$$x.txt", b"")
+        assert "\\temp\\$$x.txt" not in api_paths(booted)
+
+    def test_detour_kind(self, booted):
+        Aphex().install(booted)
+        probe = booted.start_process("\\Windows\\explorer.exe",
+                                     name="probe.exe")
+        site = probe.code_site("kernel32", "FindNextFile")
+        assert site.patched
+        assert not site.patch.visible_in_stack   # jmp detour
+
+
+class TestHackerDefender:
+    def test_ini_patterns_drive_hiding(self, booted):
+        HackerDefender().install(booted)
+        booted.volume.create_file("\\Temp\\hxdef_extra.dat", b"")
+        visible = api_paths(booted)
+        assert not any("hxdef" in path for path in visible)
+
+    def test_hides_at_ntdll_level(self, booted):
+        """Kernel32's code is pristine; the detour sits in NtDll."""
+        HackerDefender().install(booted)
+        probe = booted.start_process("\\Windows\\explorer.exe",
+                                     name="probe.exe")
+        assert not probe.code_site("kernel32", "FindFirstFile").patched
+        assert probe.code_site("ntdll", "NtQueryDirectoryFile").patched
+
+    def test_extra_patterns_parameter(self, booted):
+        HackerDefender(extra_patterns=["covert*"]).install(booted)
+        booted.volume.create_file("\\Temp\\covert_payload.bin", b"")
+        assert "\\temp\\covert_payload.bin" not in api_paths(booted)
+
+    def test_driver_not_hidden_from_driver_list(self, booted):
+        HackerDefender().install(booted)
+        assert "hxdefdrv.sys" in booted.kernel.drivers()
+
+
+class TestProBot:
+    def test_four_binaries_hidden(self, booted):
+        probot = ProBotSE()
+        probot.install(booted)
+        visible = api_paths(booted)
+        for path in (probot.exe_path, probot.dll_path, probot.driver_path,
+                     probot.kbd_driver_path):
+            assert path.casefold() not in visible
+            assert path.casefold() in raw_paths(booted)
+
+    def test_ssdt_hook_affects_every_process(self, booted):
+        """Kernel-level hook: even a process with pristine user code is
+        lied to."""
+        probot = ProBotSE()
+        probot.install(booted)
+        fresh = booted.start_processes = booted.start_process(
+            "\\Windows\\explorer.exe", name="pristine.exe")
+        assert not fresh.code_site("ntdll", "NtQueryDirectoryFile").patched
+        names = win32_ls(fresh, "\\Windows\\System32")
+        assert probot.exe_path.rsplit("\\", 1)[-1] not in names
+
+    def test_deterministic_names(self):
+        assert ProBotSE(seed=1).exe_path == ProBotSE(seed=1).exe_path
+        assert ProBotSE(seed=1).exe_path != ProBotSE(seed=2).exe_path
+
+    def test_hidden_keystroke_log(self, booted):
+        probot = ProBotSE()
+        probot.install(booted)
+        probot.log_keystrokes(booted, "password123\n")
+        assert probot.log_path.casefold() not in api_paths(booted)
+        assert probot.log_path.casefold() in raw_paths(booted)
+
+
+class TestCommercialFileHiders:
+    @pytest.mark.parametrize("hider_cls", [HideFiles, HideFoldersXP,
+                                           AdvancedHideFolders,
+                                           FileFolderProtector])
+    def test_user_selected_file_hidden(self, booted, hider_cls):
+        booted.volume.create_directories("\\Secret")
+        booted.volume.create_file("\\Secret\\diary.txt", b"")
+        hider = hider_cls(hidden_paths=["\\Secret"])
+        hider.install(booted)
+        visible = api_paths(booted)
+        assert "\\secret" not in visible
+        assert "\\secret\\diary.txt" not in visible
+        assert "\\secret\\diary.txt" in raw_paths(booted)
+
+    def test_folder_subtree_hidden(self, booted):
+        booted.volume.create_directories("\\Hidden\\deep")
+        booted.volume.create_file("\\Hidden\\deep\\f.txt", b"")
+        hider = HideFoldersXP(hidden_paths=["\\Hidden"])
+        hider.install(booted)
+        assert not any(path.startswith("\\hidden")
+                       for path in api_paths(booted))
+
+    def test_deny_open_variants_block_reads(self, booted):
+        booted.volume.create_file("\\Temp\\locked.txt", b"secret")
+        hider = AdvancedHideFolders(hidden_paths=["\\Temp\\locked.txt"])
+        hider.install(booted)
+        probe = booted.start_process("\\Windows\\explorer.exe",
+                                     name="probe.exe")
+        with pytest.raises(AccessDenied):
+            probe.call("kernel32", "ReadFile", "\\Temp\\locked.txt")
+
+    def test_configuration_ui_exempt(self, booted):
+        booted.volume.create_file("\\Temp\\mine.txt", b"")
+        hider = HideFiles(hidden_paths=["\\Temp\\mine.txt"])
+        hider.install(booted)
+        ui = booted.start_process(hider.exe_path)
+        assert "mine.txt" in win32_ls(ui, "\\Temp")
+        other = booted.start_process("\\Windows\\explorer.exe",
+                                     name="other.exe")
+        assert "mine.txt" not in win32_ls(other, "\\Temp")
+
+    def test_hide_path_at_runtime(self, booted):
+        hider = HideFiles()
+        hider.install(booted)
+        booted.volume.create_file("\\Temp\\later.txt", b"")
+        hider.hide_path(booted, "\\Temp\\later.txt")
+        assert "\\temp\\later.txt" not in api_paths(booted)
+
+
+class TestIatChaining:
+    def test_two_iat_hookers_compose(self, booted):
+        """Regression: Urbin and Mersting both IAT-hook the same imports;
+        the second must chain through the first, not clobber it."""
+        Urbin().install(booted)
+        Mersting().install(booted)
+        visible = api_paths(booted)
+        assert "\\windows\\system32\\msvsres.dll" not in visible
+        assert "\\windows\\system32\\kbddfl.dll" not in visible
+
+
+class TestPerProcessScoping:
+    def test_file_folder_protector_scopes_by_irp(self, booted):
+        """The paper: 'The filter driver can scope the file-hiding
+        behavior to specific processes by examining the IRP.'"""
+        booted.volume.create_file("\\Temp\\mine.txt", b"")
+        hider = FileFolderProtector(hidden_paths=["\\Temp\\mine.txt"])
+        hider.install(booted)
+        victim = booted.start_process("\\Windows\\explorer.exe",
+                                      name="victim.exe")
+        bystander = booted.start_process("\\Windows\\explorer.exe",
+                                         name="bystander.exe")
+        hider.scope_to_processes([victim.pid])
+        assert "mine.txt" not in win32_ls(victim, "\\Temp")
+        assert "mine.txt" in win32_ls(bystander, "\\Temp")
+
+    def test_scoped_hiding_still_caught_by_injected_scan(self, booted):
+        """Per-process scoping is just another targeting flavour: the
+        injected-DLL extension sees it from inside the scoped victim."""
+        from repro.core.injection_ext import injected_scan
+        booted.volume.create_file("\\Temp\\mine.txt", b"")
+        hider = FileFolderProtector(hidden_paths=["\\Temp\\mine.txt"])
+        hider.install(booted)
+        victim = booted.start_process("\\Windows\\explorer.exe",
+                                      name="victim.exe")
+        hider.scope_to_processes([victim.pid])
+        result = injected_scan(booted, resources=("files",))
+        assert "victim.exe" in result.detecting_processes

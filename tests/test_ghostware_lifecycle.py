@@ -1,0 +1,102 @@
+"""Lifecycle invariants every corpus member must satisfy."""
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.ghostware import (AdsGhost, Aphex, Berbew, BhoSpyware,
+                             CmCallbackGhost, FuRootkit, HackerDefender,
+                             HideFiles, LowLevelInterferenceGhost,
+                             Mersting, NamingExploitGhost, ProBotSE,
+                             RegistryNamingGhost, Urbin, Vanquish)
+from repro.machine import Machine
+
+CORPUS = [Urbin, Mersting, Vanquish, Aphex, HackerDefender, ProBotSE,
+          Berbew, FuRootkit, HideFiles, NamingExploitGhost,
+          RegistryNamingGhost, CmCallbackGhost, BhoSpyware, AdsGhost,
+          LowLevelInterferenceGhost]
+
+
+@pytest.mark.parametrize("ghost_cls", CORPUS,
+                         ids=[cls.__name__ for cls in CORPUS])
+class TestLifecycleInvariants:
+    def test_has_name_and_technique(self, ghost_cls):
+        ghost = ghost_cls()
+        assert ghost.name and ghost.name != "ghostware"
+        assert ghost.technique and ghost.technique != "unspecified"
+
+    def test_install_registers_infection(self, booted, ghost_cls):
+        ghost = ghost_cls()
+        ghost.install(booted)
+        assert ghost in booted.infections
+
+    def test_double_install_does_not_duplicate_registration(self, booted,
+                                                            ghost_cls):
+        ghost = ghost_cls()
+        ghost.install(booted)
+        try:
+            ghost.install(booted)
+        except Exception:
+            pytest.skip("double install illegal for this strain (files "
+                        "already exist) — acceptable")
+        assert booted.infections.count(ghost) == 1
+
+    def test_offline_install_activates_on_boot(self, machine, ghost_cls):
+        """Dropping the ghost onto a powered-off disk must arm it for
+        the next boot via its ASEP hooks — the paper's persistence
+        model."""
+        ghost = ghost_cls()
+        ghost._install_persistent(machine)
+        machine.boot()
+        # Whatever the strain hides, the machine must carry its files:
+        for path in (ghost.report.hidden_files
+                     + ghost.report.visible_files):
+            assert machine.volume.exists(path), \
+                f"{ghost_cls.__name__} artifact {path} missing"
+
+    def test_report_fields_are_lists(self, ghost_cls):
+        report = ghost_cls().report
+        assert isinstance(report.hidden_files, list)
+        assert isinstance(report.hidden_asep_hooks, list)
+        assert isinstance(report.hidden_processes, list)
+        assert isinstance(report.hidden_modules, list)
+
+
+HIDING_CORPUS = [Urbin, Mersting, Vanquish, Aphex, HackerDefender,
+                 ProBotSE, CmCallbackGhost, BhoSpyware]
+
+
+@pytest.mark.parametrize("ghost_cls", HIDING_CORPUS,
+                         ids=[cls.__name__ for cls in HIDING_CORPUS])
+class TestHidingInvariants:
+    def test_detected_by_some_inside_diff(self, booted, ghost_cls):
+        ghost_cls().install(booted)
+        report = GhostBuster(booted, advanced=True).inside_scan()
+        assert not report.is_clean
+
+    def test_truth_view_unpolluted(self, booted, ghost_cls):
+        """Hiding must *remove* from the lie, never add to the truth:
+        every raw-view entry corresponds to a real artifact."""
+        from repro.ntfs import parse_volume
+        ghost_cls().install(booted)
+        raw_paths = {entry.path for entry in parse_volume(booted.disk)}
+        for path in raw_paths:
+            assert booted.volume.exists(path), \
+                f"raw view invented {path}"
+
+
+class TestFreshMachinePerGhost:
+    """Each strain leaves the substrate consistent enough to disinfect
+    and then *re-infect* — machines are reusable lab equipment."""
+
+    def test_reinfection_after_removal(self, booted):
+        from repro.core import disinfect
+        HackerDefender().install(booted)
+        disinfect(booted)
+        HackerDefender().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        assert not report.is_clean
+
+
+@pytest.fixture
+def machine():
+    return Machine("lifecycle", disk_mb=256, max_records=8192)

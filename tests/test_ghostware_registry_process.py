@@ -1,0 +1,215 @@
+"""Per-program tests: registry- and process-hiding (Figures 4, 5, 6)."""
+
+import pytest
+
+from repro.ghostware import (Aphex, Berbew, FuRootkit, HackerDefender,
+                             Mersting, ProBotSE, Urbin, Vanquish,
+                             NamingExploitGhost, RegistryNamingGhost)
+from repro.machine import APPINIT_KEY, RUN_KEY
+
+from tests.conftest import task_list
+
+SERVICES = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+
+
+def probe_of(machine):
+    return machine.process_by_name("probe.exe") or \
+        machine.start_process("\\Windows\\explorer.exe", name="probe.exe")
+
+
+class TestRegistryHiding:
+    def test_urbin_hides_appinit_hook(self, booted):
+        Urbin().install(booted)
+        probe = probe_of(booted)
+        view = probe.call("advapi32", "RegQueryValue", APPINIT_KEY,
+                          "AppInit_DLLs")
+        assert "msvsres" not in (view.data if view else "")
+        truth = booted.registry.get_value(APPINIT_KEY, "AppInit_DLLs")
+        assert "msvsres.dll" in str(truth.native_data())
+
+    def test_mersting_scrubs_only_its_dll(self, booted):
+        """With two AppInit DLLs, Mersting removes only its own."""
+        booted.volume.create_file("\\Windows\\System32\\good.dll", b"MZ")
+        booted.registry.set_value(APPINIT_KEY, "AppInit_DLLs", "good.dll")
+        Mersting().install(booted)
+        probe = probe_of(booted)
+        view = probe.call("advapi32", "RegQueryValue", APPINIT_KEY,
+                          "AppInit_DLLs")
+        assert "good.dll" in view.data
+        assert "kbddfl" not in view.data
+
+    def test_hacker_defender_hides_service_keys(self, booted):
+        HackerDefender().install(booted)
+        probe = probe_of(booted)
+        names = probe.call("advapi32", "RegEnumKey", SERVICES)
+        assert "HackerDefender100" not in names
+        assert "HackerDefenderDrv100" not in names
+        assert "HackerDefender100" in booted.registry.enum_subkeys(SERVICES)
+
+    def test_vanquish_hides_service_key(self, booted):
+        Vanquish().install(booted)
+        probe = probe_of(booted)
+        assert "Vanquish" not in probe.call("advapi32", "RegEnumKey",
+                                            SERVICES)
+
+    def test_probot_hides_run_value_via_ssdt(self, booted):
+        probot = ProBotSE()
+        probot.install(booted)
+        probe = probe_of(booted)
+        views = probe.call("advapi32", "RegEnumValue", RUN_KEY)
+        assert all(probot.run_value != view.name for view in views)
+        truth = booted.registry.enum_values(RUN_KEY)
+        assert any(value.name == probot.run_value for value in truth)
+
+    def test_aphex_hides_run_hook(self, booted):
+        Aphex().install(booted)
+        probe = probe_of(booted)
+        views = probe.call("advapi32", "RegEnumValue", RUN_KEY)
+        assert all("backdoor" != view.name for view in views)
+
+
+class TestProcessHiding:
+    def test_aphex_hides_prefixed_processes(self, booted):
+        Aphex().install(booted)
+        booted.volume.create_file("\\Windows\\~payload.exe", b"MZ")
+        booted.start_process("\\Windows\\~payload.exe")
+        names = task_list(probe_of(booted))
+        assert "~aphex.exe" not in names
+        assert "~payload.exe" not in names
+        assert any(k.name == "~payload.exe"
+                   for k in booted.kernel.processes())
+
+    def test_hacker_defender_hides_its_process(self, booted):
+        HackerDefender().install(booted)
+        assert "hxdef100.exe" not in task_list(probe_of(booted))
+        assert booted.process_by_name("hxdef100.exe") is not None
+
+    def test_berbew_hides_random_exe(self, booted):
+        berbew = Berbew()
+        berbew.install(booted)
+        assert berbew.exe_name not in task_list(probe_of(booted))
+        assert booted.process_by_name(berbew.exe_name) is not None
+
+    def test_berbew_file_remains_visible(self, booted):
+        """Berbew only hides its process — file and Run hook stay."""
+        berbew = Berbew()
+        berbew.install(booted)
+        probe = probe_of(booted)
+        views = probe.call("advapi32", "RegEnumValue", RUN_KEY)
+        assert any(view.name == "berbew_loader" for view in views)
+
+
+class TestFuDkom:
+    def test_hidden_from_api_and_list(self, booted):
+        fu = FuRootkit()
+        fu.install(booted)
+        victim = booted.start_process("\\Windows\\explorer.exe",
+                                      name="victim.exe")
+        fu.hide_process(booted, victim.pid)
+        assert "victim.exe" not in task_list(probe_of(booted))
+        from repro.kernel.process_list import walk_process_list
+        walked = list(walk_process_list(booted.kernel.memory,
+                                        booted.kernel.process_list
+                                        .head_address))
+        kernel_victim = booted.kernel.process(victim.pid)
+        assert kernel_victim.eprocess_address not in walked
+
+    def test_hidden_process_keeps_threads(self, booted):
+        fu = FuRootkit()
+        fu.install(booted)
+        victim = booted.start_process("\\Windows\\explorer.exe",
+                                      name="victim.exe")
+        fu.hide_process(booted, victim.pid)
+        kernel_proc = booted.kernel.process(victim.pid)
+        table = booted.kernel.thread_table.thread_addresses()
+        assert all(thread in table for thread in kernel_proc.threads)
+
+    def test_fu_does_not_hide_files(self, booted):
+        fu = FuRootkit()
+        fu.install(booted)
+        from tests.conftest import win32_ls
+        names = win32_ls(probe_of(booted), "\\Windows\\System32")
+        assert "fu.exe" in names
+
+    def test_hide_unknown_pid_raises(self, booted):
+        from repro.errors import NoSuchProcess
+        fu = FuRootkit()
+        fu.install(booted)
+        with pytest.raises(NoSuchProcess):
+            fu.hide_process(booted, 99999)
+
+    def test_fu_hides_other_ghostware_process(self, booted):
+        """The paper: FU can hide the other process-hiding ghostware."""
+        HackerDefender().install(booted)
+        fu = FuRootkit()
+        fu.install(booted)
+        hxdef = booted.process_by_name("hxdef100.exe")
+        fu.hide_process(booted, hxdef.pid)
+        from repro.kernel.scheduler import processes_from_threads
+        owners = processes_from_threads(booted.kernel.memory,
+                                        booted.kernel.thread_table.address)
+        assert any(view.name == "hxdef100.exe" for view in owners.values())
+
+    def test_hide_driver(self, booted):
+        fu = FuRootkit()
+        fu.install(booted)
+        booted.kernel.load_driver("suspect.sys")
+        assert fu.hide_driver(booted, "suspect.sys")
+        assert "suspect.sys" not in booted.kernel.drivers()
+
+    def test_hide_missing_driver_returns_false(self, booted):
+        fu = FuRootkit()
+        fu.install(booted)
+        assert not fu.hide_driver(booted, "absent.sys")
+
+
+class TestVanquishModuleHiding:
+    def test_peb_blanked_kernel_truth_intact(self, booted):
+        Vanquish().install(booted)
+        explorer = booted.process_by_name("explorer.exe")
+        probe = probe_of(booted)
+        snapshot = probe.call("kernel32", "Module32Snapshot", explorer.pid)
+        api_modules = []
+        path = probe.call("kernel32", "Module32First", snapshot)
+        while path is not None:
+            api_modules.append(path)
+            path = probe.call("kernel32", "Module32Next", snapshot)
+        assert all("vanquish" not in path.casefold()
+                   for path in api_modules)
+        truth = booted.kernel.module_table_view(explorer.pid).module_paths()
+        assert any("vanquish.dll" in path for path in truth)
+
+
+class TestNamingExploits:
+    def test_files_invisible_to_win32(self, booted):
+        ghost = NamingExploitGhost()
+        ghost.install(booted)
+        from tests.conftest import win32_walk
+        visible = {p.casefold() for p in win32_walk(probe_of(booted))}
+        for path in ghost.report.hidden_files:
+            assert path.casefold() not in visible
+
+    def test_files_present_in_raw_view(self, booted):
+        from repro.ntfs import parse_volume
+        ghost = NamingExploitGhost()
+        ghost.install(booted)
+        raw = {entry.path.casefold() for entry in parse_volume(booted.disk)}
+        for path in ghost.report.hidden_files:
+            assert path.casefold() in raw
+
+    def test_registry_nul_name_invisible_to_win32(self, booted):
+        ghost = RegistryNamingGhost()
+        ghost.install(booted)
+        probe = probe_of(booted)
+        views = probe.call("advapi32", "RegEnumValue", RUN_KEY)
+        names = {view.name for view in views}
+        assert ghost.NUL_NAME not in names
+        assert ghost.LONG_NAME not in names
+
+    def test_registry_names_present_in_hive(self, booted):
+        ghost = RegistryNamingGhost()
+        ghost.install(booted)
+        truth = {value.name
+                 for value in booted.registry.enum_values(RUN_KEY)}
+        assert ghost.NUL_NAME in truth
+        assert ghost.LONG_NAME in truth

@@ -1,0 +1,153 @@
+"""Tests for the Kernel facade."""
+
+import pytest
+
+from repro.errors import NoSuchProcess
+from repro.kernel import Kernel
+from repro.kernel.objects import EprocessView
+from repro.kernel.process_list import walk_process_list
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def linked_names(kernel):
+    return [EprocessView(kernel.memory, address).name for address in
+            walk_process_list(kernel.memory,
+                              kernel.process_list.head_address)]
+
+
+class TestProcessLifecycle:
+    def test_create_assigns_multiple_of_four_pids(self, kernel):
+        first = kernel.create_process("a")
+        second = kernel.create_process("b")
+        assert first.pid == 4
+        assert second.pid == 8
+
+    def test_create_links_into_list(self, kernel):
+        kernel.create_process("System")
+        kernel.create_process("app.exe")
+        assert linked_names(kernel) == ["System", "app.exe"]
+
+    def test_create_registers_one_thread(self, kernel):
+        proc = kernel.create_process("a")
+        assert len(proc.threads) == 1
+        assert proc.threads[0] in kernel.thread_table.thread_addresses()
+
+    def test_add_thread(self, kernel):
+        proc = kernel.create_process("a")
+        kernel.add_thread(proc.pid)
+        assert len(proc.threads) == 2
+        view = EprocessView(kernel.memory, proc.eprocess_address)
+        assert view.thread_count == 2
+
+    def test_terminate_removes_everything(self, kernel):
+        proc = kernel.create_process("a")
+        kernel.terminate_process(proc.pid)
+        assert linked_names(kernel) == []
+        assert kernel.thread_table.thread_addresses() == []
+        with pytest.raises(NoSuchProcess):
+            kernel.process(proc.pid)
+
+    def test_terminate_unknown_pid(self, kernel):
+        with pytest.raises(NoSuchProcess):
+            kernel.terminate_process(999)
+
+    def test_terminate_dkom_hidden_process(self, kernel):
+        proc = kernel.create_process("ghost")
+        kernel.process_list.unlink(proc.eprocess_address)
+        kernel.terminate_process(proc.pid)   # must not corrupt the list
+        assert linked_names(kernel) == []
+
+    def test_find_process(self, kernel):
+        kernel.create_process("Explorer.EXE")
+        assert kernel.find_process("explorer.exe") is not None
+        assert kernel.find_process("absent") is None
+
+
+class TestModules:
+    def test_load_module_updates_both_views(self, kernel):
+        proc = kernel.create_process("a")
+        kernel.load_module(proc.pid, "C:\\x.dll")
+        assert kernel.module_table_view(proc.pid).module_paths() == \
+            ["C:\\x.dll"]
+        assert kernel.peb_view(proc.pid).module_paths() == ["C:\\x.dll"]
+
+    def test_peb_tamper_leaves_kernel_truth(self, kernel):
+        proc = kernel.create_process("a")
+        kernel.load_module(proc.pid, "C:\\vanquish.dll")
+        kernel.peb_view(proc.pid).blank_module_path("vanquish")
+        assert kernel.peb_view(proc.pid).module_paths() == [""]
+        assert kernel.module_table_view(proc.pid).module_paths() == \
+            ["C:\\vanquish.dll"]
+
+    def test_many_modules_grow_tables(self, kernel):
+        proc = kernel.create_process("a")
+        for index in range(30):
+            kernel.load_module(proc.pid, f"C:\\m{index}.dll")
+        assert len(kernel.module_table_view(proc.pid).module_paths()) == 30
+
+
+class TestDrivers:
+    def test_load_and_enumerate(self, kernel):
+        kernel.load_driver("one.sys")
+        kernel.load_driver("two.sys")
+        assert kernel.drivers() == ["one.sys", "two.sys"]
+
+    def test_unlink_driver(self, kernel):
+        address = kernel.load_driver("hide.sys")
+        kernel.load_driver("keep.sys")
+        kernel.unlink_driver(address)
+        assert kernel.drivers() == ["keep.sys"]
+
+
+class TestServices:
+    def test_query_system_information_walks_list(self, kernel):
+        kernel.io_manager = None
+        kernel.registry = None
+        kernel.install_default_services()
+        kernel.create_process("System")
+        kernel.create_process("app.exe")
+        from repro.kernel.ssdt import Syscall
+        infos = kernel.syscall(Syscall.QUERY_SYSTEM_INFORMATION, 4)
+        assert [info.name for info in infos] == ["System", "app.exe"]
+
+    def test_query_information_process_reads_peb(self, kernel):
+        kernel.io_manager = None
+        kernel.registry = None
+        kernel.install_default_services()
+        proc = kernel.create_process("a")
+        kernel.load_module(proc.pid, "C:\\m.dll")
+        from repro.kernel.ssdt import Syscall
+        paths = kernel.syscall(Syscall.QUERY_INFORMATION_PROCESS, 4,
+                               proc.pid)
+        assert paths == ["C:\\m.dll"]
+
+    def test_blanked_peb_entry_dropped_from_api_answer(self, kernel):
+        kernel.io_manager = None
+        kernel.registry = None
+        kernel.install_default_services()
+        proc = kernel.create_process("a")
+        kernel.load_module(proc.pid, "C:\\vanquish.dll")
+        kernel.peb_view(proc.pid).blank_module_path("vanquish")
+        from repro.kernel.ssdt import Syscall
+        paths = kernel.syscall(Syscall.QUERY_INFORMATION_PROCESS, 4,
+                               proc.pid)
+        assert paths == []
+
+
+class TestDiskPort:
+    def test_port_reads_disk(self, kernel, disk):
+        disk.write_bytes(0, b"BOOT")
+        port = kernel.attach_disk(disk)
+        assert port.read_bytes(0, 4) == b"BOOT"
+
+    def test_read_filter_interposes(self, kernel, disk):
+        disk.write_bytes(0, b"TRUTH")
+        port = kernel.attach_disk(disk)
+        port.read_filters.append(
+            lambda offset, length, data: data.replace(b"TRUTH", b"LIES!"))
+        assert port.read_bytes(0, 5) == b"LIES!"
+        assert disk.read_bytes(0, 5) == b"TRUTH"   # physical disk honest

@@ -1,0 +1,87 @@
+"""Tests for simulated kernel memory."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.memory import KernelMemory
+
+
+@pytest.fixture
+def memory():
+    return KernelMemory()
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_addresses(self, memory):
+        a = memory.alloc(32)
+        b = memory.alloc(32)
+        assert a != b
+
+    def test_alloc_zeroed(self, memory):
+        address = memory.alloc(16)
+        assert memory.read(address, 16) == b"\x00" * 16
+
+    def test_zero_size_rejected(self, memory):
+        with pytest.raises(KernelError):
+            memory.alloc(0)
+
+    def test_free_then_wild_read(self, memory):
+        address = memory.alloc(8)
+        memory.free(address)
+        with pytest.raises(KernelError):
+            memory.read(address, 8)
+
+    def test_double_free_rejected(self, memory):
+        address = memory.alloc(8)
+        memory.free(address)
+        with pytest.raises(KernelError):
+            memory.free(address)
+
+    def test_is_allocated(self, memory):
+        address = memory.alloc(8)
+        assert memory.is_allocated(address)
+        assert not memory.is_allocated(address + 1)
+
+
+class TestAccess:
+    def test_write_read_roundtrip(self, memory):
+        address = memory.alloc(64)
+        memory.write(address + 8, b"payload")
+        assert memory.read(address + 8, 7) == b"payload"
+
+    def test_interior_pointer_read(self, memory):
+        address = memory.alloc(64)
+        memory.write(address, bytes(range(64)))
+        assert memory.read(address + 10, 4) == bytes([10, 11, 12, 13])
+
+    def test_cross_block_access_rejected(self, memory):
+        address = memory.alloc(16)
+        memory.alloc(16)
+        with pytest.raises(KernelError):
+            memory.read(address, 32)
+
+    def test_wild_pointer_rejected(self, memory):
+        with pytest.raises(KernelError):
+            memory.read(0x1234, 4)
+
+    def test_u32_u64_helpers(self, memory):
+        address = memory.alloc(16)
+        memory.write_u32(address, 0xCAFEBABE)
+        memory.write_u64(address + 8, 0x1122334455667788)
+        assert memory.read_u32(address) == 0xCAFEBABE
+        assert memory.read_u64(address + 8) == 0x1122334455667788
+
+
+class TestRegions:
+    def test_regions_sorted_and_complete(self, memory):
+        a = memory.alloc(8)
+        b = memory.alloc(8)
+        memory.write(b, b"BBBBBBBB")
+        regions = list(memory.regions())
+        assert [address for address, __ in regions] == [a, b]
+        assert regions[1][1] == b"BBBBBBBB"
+
+    def test_allocated_bytes(self, memory):
+        memory.alloc(10)
+        memory.alloc(20)
+        assert memory.allocated_bytes() == 30

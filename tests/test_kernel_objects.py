@@ -1,0 +1,152 @@
+"""Tests for kernel object layouts and views."""
+
+import pytest
+
+from repro.errors import CorruptRecord, KernelError
+from repro.kernel.crashdump import CrashDump, serialize_regions
+from repro.kernel.memory import KernelMemory
+from repro.kernel.objects import (EprocessView, EthreadView, ModuleTableView,
+                                  PebView, allocate_pointer_table,
+                                  attach_module_table, attach_peb,
+                                  write_eprocess, write_ethread,
+                                  write_module_entry, read_module_entry,
+                                  write_driver, DriverView,
+                                  MODTABLE_MAGIC, PEB_MAGIC)
+
+
+@pytest.fixture
+def memory():
+    return KernelMemory()
+
+
+class TestEprocess:
+    def test_fields_roundtrip(self, memory):
+        address = write_eprocess(memory, 1234, "example.exe",
+                                 "C:\\example.exe")
+        view = EprocessView(memory, address)
+        assert view.pid == 1234
+        assert view.name == "example.exe"
+        assert view.image_path == "C:\\example.exe"
+        assert view.alive
+
+    def test_empty_image_path(self, memory):
+        view = EprocessView(memory, write_eprocess(memory, 4, "System", ""))
+        assert view.image_path == ""
+
+    def test_long_name_truncated_to_field(self, memory):
+        view = EprocessView(memory,
+                            write_eprocess(memory, 8, "n" * 60, ""))
+        assert view.name == "n" * 32
+
+    def test_bad_magic_rejected(self, memory):
+        address = memory.alloc(128)
+        with pytest.raises(CorruptRecord):
+            EprocessView(memory, address)
+
+    def test_set_alive(self, memory):
+        view = EprocessView(memory, write_eprocess(memory, 8, "p", ""))
+        view.set_alive(False)
+        assert not view.alive
+
+    def test_links_writable(self, memory):
+        view = EprocessView(memory, write_eprocess(memory, 8, "p", ""))
+        view.set_links(0xAAAA, 0xBBBB)
+        assert view.flink == 0xAAAA
+        assert view.blink == 0xBBBB
+
+
+class TestEthread:
+    def test_fields(self, memory):
+        owner = write_eprocess(memory, 8, "p", "")
+        view = EthreadView(memory, write_ethread(memory, 44, owner))
+        assert view.tid == 44
+        assert view.owner_process == owner
+        assert view.alive
+
+    def test_set_alive(self, memory):
+        owner = write_eprocess(memory, 8, "p", "")
+        view = EthreadView(memory, write_ethread(memory, 44, owner))
+        view.set_alive(False)
+        assert not view.alive
+
+
+class TestPointerTables:
+    def test_append_and_entries(self, memory):
+        address = allocate_pointer_table(memory, MODTABLE_MAGIC, 2)
+        table = ModuleTableView(memory, address)
+        entry = write_module_entry(memory, "C:\\a.dll")
+        new_address = table.append(entry)
+        assert new_address == address
+        assert ModuleTableView(memory, address).entries() == [entry]
+
+    def test_growth_relocates(self, memory):
+        address = allocate_pointer_table(memory, MODTABLE_MAGIC, 1)
+        table = ModuleTableView(memory, address)
+        first = write_module_entry(memory, "a")
+        second = write_module_entry(memory, "b")
+        address = table.append(first)
+        address = ModuleTableView(memory, address).append(second)
+        grown = ModuleTableView(memory, address)
+        assert grown.entries() == [first, second]
+        assert grown.capacity >= 2
+
+    def test_remove(self, memory):
+        address = allocate_pointer_table(memory, MODTABLE_MAGIC, 4)
+        table = ModuleTableView(memory, address)
+        entry = write_module_entry(memory, "x")
+        table.append(entry)
+        table.remove(entry)
+        assert table.entries() == []
+
+    def test_remove_missing_rejected(self, memory):
+        address = allocate_pointer_table(memory, MODTABLE_MAGIC, 4)
+        with pytest.raises(KernelError):
+            ModuleTableView(memory, address).remove(0xDEAD)
+
+    def test_magic_enforced(self, memory):
+        address = allocate_pointer_table(memory, PEB_MAGIC, 4)
+        with pytest.raises(CorruptRecord):
+            ModuleTableView(memory, address)
+
+
+class TestModuleEntries:
+    def test_roundtrip(self, memory):
+        entry = write_module_entry(memory, "C:\\Windows\\x.dll")
+        assert read_module_entry(memory, entry) == "C:\\Windows\\x.dll"
+
+    def test_peb_blanking(self, memory):
+        peb_address = allocate_pointer_table(memory, PEB_MAGIC, 4)
+        peb = PebView(memory, peb_address)
+        peb.append(write_module_entry(memory, "C:\\good.dll"))
+        peb.append(write_module_entry(memory, "C:\\vanquish.dll"))
+        blanked = peb.blank_module_path("vanquish")
+        assert blanked == 1
+        assert peb.module_paths() == ["C:\\good.dll", ""]
+
+    def test_blanking_no_match(self, memory):
+        peb = PebView(memory, allocate_pointer_table(memory, PEB_MAGIC, 4))
+        assert peb.blank_module_path("absent") == 0
+
+
+class TestDumpImmutability:
+    def test_views_over_dump_are_read_only(self, memory):
+        address = write_eprocess(memory, 8, "p", "")
+        blob = serialize_regions(list(memory.regions()), 0, 0, 0)
+        dump = CrashDump(blob)
+        view = EprocessView(dump, address)
+        assert view.pid == 8
+        with pytest.raises(KernelError):
+            view.set_alive(False)
+
+    def test_peb_blanking_rejected_on_dump(self, memory):
+        peb_address = allocate_pointer_table(memory, PEB_MAGIC, 4)
+        blob = serialize_regions(list(memory.regions()), 0, 0, 0)
+        dump = CrashDump(blob)
+        with pytest.raises(KernelError):
+            PebView(dump, peb_address).blank_module_path("x")
+
+
+class TestDrivers:
+    def test_driver_roundtrip(self, memory):
+        address = write_driver(memory, "hxdefdrv.sys")
+        assert DriverView(memory, address).name == "hxdefdrv.sys"

@@ -1,0 +1,142 @@
+"""Tests for the Active Process List, the scheduler table, and DKOM."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.memory import KernelMemory
+from repro.kernel.objects import EprocessView, write_eprocess, write_ethread
+from repro.kernel.process_list import (ActiveProcessList, list_processes,
+                                       walk_process_list)
+from repro.kernel.scheduler import (ThreadTable, processes_from_threads,
+                                    walk_thread_table)
+
+
+@pytest.fixture
+def memory():
+    return KernelMemory()
+
+
+@pytest.fixture
+def plist(memory):
+    return ActiveProcessList(memory)
+
+
+def spawn(memory, plist, pid, name):
+    address = write_eprocess(memory, pid, name, "")
+    plist.insert_tail(address)
+    return address
+
+
+class TestList:
+    def test_empty_walk(self, memory, plist):
+        assert list(walk_process_list(memory, plist.head_address)) == []
+
+    def test_insertion_order_preserved(self, memory, plist):
+        addresses = [spawn(memory, plist, pid, f"p{pid}")
+                     for pid in (4, 8, 12)]
+        assert list(walk_process_list(memory, plist.head_address)) == \
+            addresses
+
+    def test_contains(self, memory, plist):
+        address = spawn(memory, plist, 4, "a")
+        assert plist.contains(address)
+
+    def test_list_processes_decodes(self, memory, plist):
+        spawn(memory, plist, 4, "System")
+        views = list_processes(memory, plist.head_address)
+        assert views[0].name == "System"
+
+
+class TestDkomUnlink:
+    def test_unlink_middle(self, memory, plist):
+        a = spawn(memory, plist, 4, "a")
+        b = spawn(memory, plist, 8, "b")
+        c = spawn(memory, plist, 12, "c")
+        plist.unlink(b)
+        assert list(walk_process_list(memory, plist.head_address)) == [a, c]
+
+    def test_unlink_head_and_tail(self, memory, plist):
+        a = spawn(memory, plist, 4, "a")
+        b = spawn(memory, plist, 8, "b")
+        plist.unlink(a)
+        plist.unlink(b)
+        assert list(walk_process_list(memory, plist.head_address)) == []
+
+    def test_unlinked_process_still_exists(self, memory, plist):
+        address = spawn(memory, plist, 8, "ghost")
+        plist.unlink(address)
+        view = EprocessView(memory, address)
+        assert view.pid == 8         # the EPROCESS block is untouched
+        assert view.alive
+
+    def test_unlinked_node_self_linked(self, memory, plist):
+        address = spawn(memory, plist, 8, "ghost")
+        plist.unlink(address)
+        view = EprocessView(memory, address)
+        assert view.flink == address
+        assert view.blink == address
+
+    def test_unlink_never_inserted_rejected(self, memory, plist):
+        address = write_eprocess(memory, 8, "loose", "")
+        with pytest.raises(KernelError):
+            plist.unlink(address)
+
+
+class TestThreadTable:
+    def test_add_and_walk(self, memory):
+        table = ThreadTable(memory)
+        owner = write_eprocess(memory, 8, "p", "")
+        thread = write_ethread(memory, 100, owner)
+        table.add(thread)
+        tids = [view.tid for view in
+                walk_thread_table(memory, table.address)]
+        assert tids == [100]
+
+    def test_remove(self, memory):
+        table = ThreadTable(memory)
+        owner = write_eprocess(memory, 8, "p", "")
+        thread = write_ethread(memory, 100, owner)
+        table.add(thread)
+        table.remove(thread)
+        assert table.thread_addresses() == []
+
+    def test_growth_beyond_initial_capacity(self, memory):
+        table = ThreadTable(memory)
+        owner = write_eprocess(memory, 8, "p", "")
+        threads = [write_ethread(memory, tid, owner)
+                   for tid in range(4, 4 + 4 * 70, 4)]
+        for thread in threads:
+            table.add(thread)
+        assert table.thread_addresses() == threads
+
+    def test_owner_recovery_ignores_dead_threads(self, memory):
+        from repro.kernel.objects import EthreadView
+        table = ThreadTable(memory)
+        owner = write_eprocess(memory, 8, "p", "")
+        thread = write_ethread(memory, 100, owner)
+        table.add(thread)
+        EthreadView(memory, thread).set_alive(False)
+        assert processes_from_threads(memory, table.address) == {}
+
+    def test_owner_recovery_deduplicates(self, memory):
+        table = ThreadTable(memory)
+        owner = write_eprocess(memory, 8, "p", "")
+        for tid in (100, 104, 108):
+            table.add(write_ethread(memory, tid, owner))
+        owners = processes_from_threads(memory, table.address)
+        assert list(owners) == [owner]
+
+
+class TestAdvancedModeRecoversDkom:
+    def test_unlinked_process_found_via_threads(self, memory, plist):
+        table = ThreadTable(memory)
+        hidden = spawn(memory, plist, 8, "rootkit.exe")
+        table.add(write_ethread(memory, 100, hidden))
+        plist.unlink(hidden)
+
+        walked = list(walk_process_list(memory, plist.head_address))
+        assert hidden not in walked
+
+        owners = processes_from_threads(memory, table.address)
+        assert hidden in owners
+        assert owners[hidden].name == "rootkit.exe"

@@ -1,0 +1,120 @@
+"""Tests for the SSDT and crash dumps."""
+
+import pytest
+
+from repro.errors import CorruptRecord, KernelError
+from repro.kernel import Kernel
+from repro.kernel.crashdump import CrashDump, serialize_regions, write_dump
+from repro.kernel.ssdt import ServiceDispatchTable, Syscall
+
+
+class TestSsdt:
+    def test_install_and_dispatch(self):
+        table = ServiceDispatchTable()
+        table.install(Syscall.READ_FILE, lambda pid, path: b"data")
+        assert table.dispatch(Syscall.READ_FILE)(4, "\\x") == b"data"
+
+    def test_dispatch_missing(self):
+        with pytest.raises(KernelError):
+            ServiceDispatchTable().dispatch(Syscall.READ_FILE)
+
+    def test_hook_wraps_current(self):
+        table = ServiceDispatchTable()
+        table.install(Syscall.READ_FILE, lambda pid, path: b"truth")
+        table.hook(Syscall.READ_FILE,
+                   lambda original: lambda pid, path: b"lie")
+        assert table.dispatch(Syscall.READ_FILE)(4, "\\x") == b"lie"
+
+    def test_hook_returns_displaced_handler(self):
+        table = ServiceDispatchTable()
+        original = lambda pid: "o"                      # noqa: E731
+        table.install(Syscall.READ_FILE, original)
+        displaced = table.hook(Syscall.READ_FILE,
+                               lambda cur: lambda pid: "h")
+        assert displaced is original
+
+    def test_restore_original(self):
+        table = ServiceDispatchTable()
+        table.install(Syscall.READ_FILE, lambda pid: "o")
+        table.hook(Syscall.READ_FILE, lambda cur: lambda pid: "h")
+        table.restore_original(Syscall.READ_FILE)
+        assert table.dispatch(Syscall.READ_FILE)(4) == "o"
+
+    def test_hooked_entries_detection(self):
+        table = ServiceDispatchTable()
+        table.install(Syscall.READ_FILE, lambda pid: "o")
+        table.install(Syscall.WRITE_FILE, lambda pid: "w")
+        assert table.hooked_entries() == []
+        table.hook(Syscall.READ_FILE, lambda cur: lambda pid: "h")
+        assert table.hooked_entries() == [Syscall.READ_FILE]
+
+    def test_restore_never_installed_rejected(self):
+        with pytest.raises(KernelError):
+            ServiceDispatchTable().restore_original(Syscall.READ_FILE)
+
+    def test_double_hook_unwinds_in_order(self):
+        table = ServiceDispatchTable()
+        table.install(Syscall.READ_FILE, lambda pid: ["base"])
+        table.hook(Syscall.READ_FILE,
+                   lambda cur: lambda pid: cur(pid) + ["first"])
+        table.hook(Syscall.READ_FILE,
+                   lambda cur: lambda pid: cur(pid) + ["second"])
+        assert table.dispatch(Syscall.READ_FILE)(4) == \
+            ["base", "first", "second"]
+
+
+class TestCrashDump:
+    def test_roundtrip_regions(self):
+        blob = serialize_regions([(0x1000, b"AAAA"), (0x2000, b"BB")],
+                                 1, 2, 3)
+        dump = CrashDump(blob)
+        assert dump.read(0x1000, 4) == b"AAAA"
+        assert dump.read(0x2001, 1) == b"B"
+        assert dump.active_process_head == 1
+        assert dump.thread_table_address == 2
+        assert dump.driver_list_head == 3
+        assert dump.region_count() == 2
+
+    def test_unknown_address_rejected(self):
+        dump = CrashDump(serialize_regions([(0x1000, b"AAAA")], 0, 0, 0))
+        with pytest.raises(KernelError):
+            dump.read(0x9000, 4)
+
+    def test_cross_region_read_rejected(self):
+        dump = CrashDump(serialize_regions([(0x1000, b"AAAA")], 0, 0, 0))
+        with pytest.raises(KernelError):
+            dump.read(0x1002, 8)
+
+    def test_bad_magic(self):
+        with pytest.raises(CorruptRecord):
+            CrashDump(b"XXXX" + b"\x00" * 64)
+
+    def test_truncated_dump(self):
+        blob = serialize_regions([(0x1000, b"A" * 100)], 0, 0, 0)
+        with pytest.raises(CorruptRecord):
+            CrashDump(blob[:40])
+
+    def test_live_kernel_dump_contains_processes(self):
+        kernel = Kernel()
+        kernel.create_process("System")
+        kernel.create_process("app.exe", "\\app.exe")
+        dump = CrashDump(write_dump(kernel))
+        from repro.kernel.process_list import walk_process_list
+        from repro.kernel.objects import EprocessView
+        names = [EprocessView(dump, address).name for address in
+                 walk_process_list(dump, dump.active_process_head)]
+        assert names == ["System", "app.exe"]
+
+    def test_crash_filter_scrubs_dump(self):
+        kernel = Kernel()
+        kernel.create_process("System")
+        ghost = kernel.create_process("ghost.exe", "")
+
+        def scrub(regions):
+            return [(address, contents) for address, contents in regions
+                    if address != ghost.eprocess_address]
+
+        kernel.crash_filters.append(scrub)
+        dump = CrashDump(write_dump(kernel))
+        with pytest.raises(KernelError):
+            dump.read(ghost.eprocess_address, 4)

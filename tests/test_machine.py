@@ -1,0 +1,144 @@
+"""Tests for Machine boot semantics, ASEP execution, and power cycling."""
+
+import pytest
+
+from repro.errors import MachineStateError
+from repro.machine import APPINIT_KEY, Machine, RUN_KEY, RUNONCE_KEY
+from repro.winapi.services import TYPE_DRIVER, TYPE_SERVICE
+
+
+class TestPower:
+    def test_double_boot_rejected(self, booted):
+        with pytest.raises(MachineStateError):
+            booted.boot()
+
+    def test_shutdown_when_off_rejected(self, machine):
+        with pytest.raises(MachineStateError):
+            machine.shutdown()
+
+    def test_start_process_requires_power(self, machine):
+        with pytest.raises(MachineStateError):
+            machine.start_process("\\Windows\\explorer.exe")
+
+    def test_boot_starts_system_processes(self, booted):
+        names = {process.name for process in booted.user_processes()}
+        assert {"System", "winlogon.exe", "explorer.exe"} <= names
+
+    def test_reboot_resets_kernel(self, booted):
+        old_kernel = booted.kernel
+        booted.reboot()
+        assert booted.kernel is not old_kernel
+
+    def test_clock_advances_across_boot(self, machine):
+        machine.boot()
+        assert machine.clock.now() > 0
+
+
+class TestAsepExecution:
+    def test_service_starts_on_boot(self, machine):
+        machine.volume.create_file("\\svc.exe", b"MZ")
+        started = []
+        machine.register_program("\\svc.exe",
+                                 lambda mach, proc: started.append(proc.name))
+        key = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\TestSvc"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", "\\svc.exe")
+        machine.registry.set_value(key, "Type", TYPE_SERVICE)
+        machine.registry.set_value(key, "Start", 2)
+        machine.boot()
+        assert started == ["svc.exe"]
+
+    def test_driver_loads_on_boot(self, machine):
+        machine.volume.create_file("\\drv.sys", b"MZ")
+        key = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\TestDrv"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", "\\drv.sys")
+        machine.registry.set_value(key, "Type", TYPE_DRIVER)
+        machine.registry.set_value(key, "Start", 2)
+        machine.boot()
+        assert "drv.sys" in machine.kernel.drivers()
+
+    def test_missing_binary_is_inert(self, machine):
+        key = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\Ghost"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", "\\gone.exe")
+        machine.registry.set_value(key, "Type", TYPE_SERVICE)
+        machine.registry.set_value(key, "Start", 2)
+        machine.boot()   # must not raise
+        assert machine.process_by_name("gone.exe") is None
+
+    def test_disabled_service_not_started(self, machine):
+        machine.volume.create_file("\\svc.exe", b"MZ")
+        key = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\Off"
+        machine.registry.create_key(key)
+        machine.registry.set_value(key, "ImagePath", "\\svc.exe")
+        machine.registry.set_value(key, "Type", TYPE_SERVICE)
+        machine.registry.set_value(key, "Start", 4)
+        machine.boot()
+        assert machine.process_by_name("svc.exe") is None
+
+    def test_run_key_starts_processes(self, machine):
+        machine.volume.create_file("\\runme.exe", b"MZ")
+        machine.registry.set_value(RUN_KEY, "runner", "\\runme.exe")
+        machine.boot()
+        assert machine.process_by_name("runme.exe") is not None
+
+    def test_runonce_consumed(self, machine):
+        machine.volume.create_file("\\once.exe", b"MZ")
+        machine.registry.set_value(RUNONCE_KEY, "one", "\\once.exe")
+        machine.boot()
+        assert machine.registry.enum_values(RUNONCE_KEY) == []
+        machine.reboot()
+        assert machine.process_by_name("once.exe") is None
+
+    def test_appinit_injects_into_new_processes(self, booted):
+        booted.volume.create_file("\\Windows\\System32\\inj.dll", b"MZ")
+        loaded = []
+        booted.register_program("\\Windows\\System32\\inj.dll",
+                                lambda mach, proc: loaded.append(proc.name))
+        booted.registry.set_value(APPINIT_KEY, "AppInit_DLLs", "inj.dll")
+        booted.start_process("\\Windows\\explorer.exe", name="victim.exe")
+        assert loaded == ["victim.exe"]
+
+    def test_appinit_skips_early_system_processes(self, machine):
+        machine.volume.create_file("\\Windows\\System32\\inj.dll", b"MZ")
+        loaded = []
+        machine.register_program("\\Windows\\System32\\inj.dll",
+                                 lambda mach, proc: loaded.append(proc.name))
+        machine.registry.set_value(APPINIT_KEY, "AppInit_DLLs", "inj.dll")
+        machine.boot()
+        assert "smss.exe" not in loaded
+        assert "winlogon.exe" in loaded
+
+
+class TestRegistryPersistence:
+    def test_registry_edits_survive_reboot(self, booted):
+        booted.registry.set_value("HKLM\\SOFTWARE\\App", "k", "v")
+        booted.reboot()
+        value = booted.registry.get_value("HKLM\\SOFTWARE\\App", "k")
+        assert str(value.native_data()) == "v"
+
+    def test_offline_hive_edit_takes_effect(self, machine):
+        """Editing the hive file while powered off (the WinPE removal
+        path) must be what the next boot loads."""
+        machine.registry.set_value(RUN_KEY, "evil", "\\evil.exe")
+        # Offline edit: delete the value directly and flush.
+        machine.registry.delete_value(RUN_KEY, "evil")
+        machine.boot()
+        assert machine.registry.enum_values(RUN_KEY) == []
+
+
+class TestProcessManagement:
+    def test_terminate_process(self, booted):
+        proc = booted.start_process("\\Windows\\explorer.exe",
+                                    name="dying.exe")
+        booted.terminate_process(proc.pid)
+        assert booted.process_by_name("dying.exe") is None
+        assert all(k.name != "dying.exe"
+                   for k in booted.kernel.processes())
+
+    def test_attach_existing_disk(self, booted):
+        booted.volume.create_file("\\data.txt", b"persisted")
+        booted.shutdown()
+        rebuilt = Machine("rebuilt", disk=booted.disk)
+        assert rebuilt.volume.read_file("\\data.txt") == b"persisted"

@@ -1,0 +1,71 @@
+"""Tests for NTFS runlist encoding/decoding."""
+
+import pytest
+
+from repro.errors import CorruptRecord
+from repro.ntfs import runlist
+
+
+class TestRoundTrip:
+    def test_single_run(self):
+        runs = [(100, 5)]
+        assert runlist.decode_runlist(runlist.encode_runlist(runs)) == runs
+
+    def test_multiple_runs(self):
+        runs = [(100, 5), (50, 3), (10_000, 1)]
+        assert runlist.decode_runlist(runlist.encode_runlist(runs)) == runs
+
+    def test_empty_runlist(self):
+        assert runlist.decode_runlist(runlist.encode_runlist([])) == []
+
+    def test_large_cluster_numbers(self):
+        runs = [(2**40, 2**20)]
+        assert runlist.decode_runlist(runlist.encode_runlist(runs)) == runs
+
+    def test_backward_delta(self):
+        # Second run starts *before* the first: negative delta encoding.
+        runs = [(1000, 2), (10, 4)]
+        blob = runlist.encode_runlist(runs)
+        assert runlist.decode_runlist(blob) == runs
+
+
+class TestEncodingErrors:
+    def test_zero_length_run_rejected(self):
+        with pytest.raises(ValueError):
+            runlist.encode_runlist([(10, 0)])
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            runlist.encode_runlist([(-1, 5)])
+
+
+class TestDecodingErrors:
+    def test_missing_terminator(self):
+        with pytest.raises(CorruptRecord):
+            runlist.decode_runlist(b"")
+
+    def test_truncated_run(self):
+        blob = runlist.encode_runlist([(100, 5)])
+        with pytest.raises(CorruptRecord):
+            runlist.decode_runlist(blob[:2])
+
+    def test_garbage_header(self):
+        # header byte claims widths but the terminator is absent
+        with pytest.raises(CorruptRecord):
+            runlist.decode_runlist(b"\x11\x05")
+
+
+class TestHelpers:
+    def test_total_clusters(self):
+        assert runlist.total_clusters([(0, 3), (10, 7)]) == 10
+
+    def test_coalesce_adjacent(self):
+        assert runlist.coalesce([(0, 2), (2, 3), (10, 1)]) == [(0, 5),
+                                                               (10, 1)]
+
+    def test_coalesce_preserves_gaps(self):
+        runs = [(0, 1), (5, 1)]
+        assert runlist.coalesce(runs) == runs
+
+    def test_coalesce_empty(self):
+        assert runlist.coalesce([]) == []

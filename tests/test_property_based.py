@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on the binary codecs and the diff."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.diff import cross_view_diff
+from repro.core.snapshot import FileEntry, ResourceType, ScanSnapshot
+from repro.ntfs import constants as ntfs_constants
+from repro.ntfs import naming, runlist
+from repro.ntfs.records import (DataAttribute, FileName, MftRecord,
+                                StandardInformation)
+from repro.registry.hive import Hive, RegType, decode_value, encode_value
+
+# -- strategies ---------------------------------------------------------------
+
+runs_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2**40),
+              st.integers(min_value=1, max_value=2**20)),
+    max_size=20)
+
+name_alphabet = string.ascii_letters + string.digits + "._- ~$"
+component_names = st.text(alphabet=name_alphabet, min_size=1, max_size=40)
+
+value_names = st.text(
+    alphabet=string.ascii_letters + string.digits + "\x00_",
+    min_size=1, max_size=60)
+
+
+# -- runlist ------------------------------------------------------------------
+
+@given(runs_strategy)
+def test_runlist_roundtrip(runs):
+    assert runlist.decode_runlist(runlist.encode_runlist(runs)) == runs
+
+
+@given(runs_strategy)
+def test_runlist_total_preserved(runs):
+    decoded = runlist.decode_runlist(runlist.encode_runlist(runs))
+    assert runlist.total_clusters(decoded) == runlist.total_clusters(runs)
+
+
+small_runs_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500),
+              st.integers(min_value=1, max_value=50)),
+    max_size=12)
+
+
+@given(small_runs_strategy)
+def test_coalesce_preserves_coverage(runs):
+    covered = set()
+    for start, count in runs:
+        covered.update(range(start, start + count))
+    coalesced_cover = set()
+    for start, count in runlist.coalesce(runs):
+        coalesced_cover.update(range(start, start + count))
+    assert covered == coalesced_cover
+
+
+# -- FILE records ----------------------------------------------------------------
+
+@given(record_no=st.integers(min_value=0, max_value=2**31 - 1),
+       sequence=st.integers(min_value=0, max_value=2**16 - 1),
+       name=st.text(alphabet=name_alphabet, min_size=1, max_size=100),
+       content=st.binary(max_size=ntfs_constants.RESIDENT_DATA_LIMIT),
+       dos_flags=st.integers(min_value=0, max_value=7))
+@settings(max_examples=60)
+def test_mft_record_roundtrip(record_no, sequence, name, content, dos_flags):
+    record = MftRecord(
+        record_no=record_no, sequence=sequence,
+        flags=ntfs_constants.FLAG_IN_USE,
+        std_info=StandardInformation(1, 2, 3, dos_flags),
+        file_name=FileName(ntfs_constants.make_file_reference(5, 1), name),
+        data=DataAttribute.make_resident(content))
+    parsed = MftRecord.from_bytes(record.to_bytes())
+    assert parsed.record_no == record_no
+    assert parsed.sequence == sequence
+    assert parsed.file_name.name == name
+    assert parsed.data.content == content
+    assert parsed.std_info.dos_flags == dos_flags
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1),
+       st.integers(min_value=0, max_value=2**16 - 1))
+def test_file_reference_roundtrip(record_no, sequence):
+    reference = ntfs_constants.make_file_reference(record_no, sequence)
+    assert ntfs_constants.split_file_reference(reference) == (record_no,
+                                                              sequence)
+
+
+# -- naming -----------------------------------------------------------------------
+
+@given(component_names)
+def test_win32_valid_implies_native_valid(name):
+    if naming.is_valid_win32_component(name):
+        assert naming.is_valid_native_component(name)
+
+
+@given(st.lists(component_names, min_size=1, max_size=6))
+def test_split_join_inverse(components):
+    path = naming.join_path(components)
+    assert naming.split_path(path) == components
+
+
+# -- registry values ------------------------------------------------------------------
+
+@given(st.text(alphabet=name_alphabet, max_size=80))
+def test_sz_value_roundtrip(text):
+    raw = encode_value(RegType.SZ, text)
+    assert decode_value(RegType.SZ, raw, win32=False) == text
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_dword_roundtrip(number):
+    raw = encode_value(RegType.DWORD, number)
+    assert decode_value(RegType.DWORD, raw, win32=False) == number
+
+
+@given(st.binary(max_size=200))
+def test_binary_roundtrip(blob):
+    raw = encode_value(RegType.BINARY, blob)
+    assert decode_value(RegType.BINARY, raw, win32=False) == blob
+
+
+@given(st.lists(st.text(alphabet=string.ascii_letters, min_size=1,
+                        max_size=10), max_size=8))
+def test_multi_sz_roundtrip(strings):
+    raw = encode_value(RegType.MULTI_SZ, strings)
+    assert decode_value(RegType.MULTI_SZ, raw, win32=False) == strings
+
+
+@given(value_names, st.text(alphabet=string.ascii_letters, max_size=30))
+@settings(max_examples=60)
+def test_hive_serialization_roundtrip(name, data):
+    hive = Hive("T")
+    hive.root.set_value(name, data)
+    parsed = Hive.deserialize(hive.serialize())
+    assert parsed.root.has_value(name)
+    assert decode_value(RegType.SZ,
+                        parsed.root.value(name).raw_bytes(),
+                        win32=False) == data
+
+
+@given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1,
+                        max_size=8), min_size=1, max_size=6, unique=True))
+@settings(max_examples=40)
+def test_hive_key_tree_roundtrip(segments):
+    hive = Hive("T")
+    hive.create_key("\\".join(segments))
+    parsed = Hive.deserialize(hive.serialize())
+    key = parsed.root
+    for segment in segments:
+        key = key.subkey(segment)
+    assert key.name == segments[-1]
+
+
+# -- cross-view diff invariants ----------------------------------------------------------
+
+paths = st.text(alphabet=string.ascii_lowercase + "\\",
+                min_size=1, max_size=20).map(lambda s: "\\" + s)
+path_sets = st.sets(paths, max_size=30)
+
+
+def _snapshot(view, path_set):
+    entries = [FileEntry(path, path.rsplit("\\", 1)[-1], False, 0)
+               for path in path_set]
+    return ScanSnapshot(ResourceType.FILE, view=view, entries=entries)
+
+
+@given(path_sets)
+def test_diff_identical_views_empty(path_set):
+    assert cross_view_diff(_snapshot("a", path_set),
+                           _snapshot("b", path_set)) == []
+
+
+@given(path_sets, path_sets)
+def test_diff_finds_exactly_truth_minus_lie(lie_set, truth_set):
+    findings = cross_view_diff(_snapshot("lie", lie_set),
+                               _snapshot("truth", truth_set))
+    found = {finding.entry.path for finding in findings}
+    expected = {path for path in truth_set
+                if path.casefold() not in {p.casefold() for p in lie_set}}
+    assert found == expected
+
+
+@given(path_sets, path_sets)
+def test_diff_monotone_in_hiding(lie_set, truth_set):
+    """Hiding more entries can only grow the finding set."""
+    full = cross_view_diff(_snapshot("lie", lie_set),
+                           _snapshot("truth", truth_set))
+    smaller_lie = set(list(lie_set)[: len(lie_set) // 2])
+    more_hidden = cross_view_diff(_snapshot("lie", smaller_lie),
+                                  _snapshot("truth", truth_set))
+    assert {finding.entry.path for finding in full} <= \
+        {finding.entry.path for finding in more_hidden}

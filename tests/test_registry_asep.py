@@ -1,0 +1,128 @@
+"""Tests for the ASEP catalog and hook enumeration."""
+
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.registry.asep import (ASEP_CATALOG, AsepHook, AsepKind,
+                                 ValueView, enumerate_asep_hooks)
+
+
+class FakeReader:
+    """In-memory reader implementing the protocol."""
+
+    def __init__(self):
+        self.subkeys: Dict[str, List[str]] = {}
+        self.values: Dict[str, List[ValueView]] = {}
+
+    def _k(self, path: str) -> str:
+        return path.casefold()
+
+    def key_exists(self, path: str) -> bool:
+        return self._k(path) in self.subkeys or self._k(path) in self.values
+
+    def enum_subkeys(self, path: str) -> List[str]:
+        return self.subkeys.get(self._k(path), [])
+
+    def enum_values(self, path: str) -> List[ValueView]:
+        return self.values.get(self._k(path), [])
+
+    def get_value(self, path: str, name: str) -> Optional[ValueView]:
+        for view in self.values.get(self._k(path), []):
+            if view.name.casefold() == name.casefold():
+                return view
+        return None
+
+    def add_key(self, path: str, *subkeys: str):
+        self.subkeys.setdefault(self._k(path), []).extend(subkeys)
+
+    def add_value(self, path: str, name: str, data: str, reg_type: int = 1):
+        self.subkeys.setdefault(self._k(path), [])
+        self.values.setdefault(self._k(path), []).append(
+            ValueView(name, reg_type, data))
+
+
+SERVICES = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+RUN = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+WINDOWS_NT = "HKLM\\SOFTWARE\\Microsoft\\Windows NT\\CurrentVersion\\Windows"
+BHO = ("HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Explorer"
+       "\\Browser Helper Objects")
+
+
+class TestCatalog:
+    def test_catalog_idents_unique(self):
+        idents = [location.ident for location in ASEP_CATALOG]
+        assert len(idents) == len(set(idents))
+
+    def test_catalog_covers_paper_aseps(self):
+        paths = {location.key_path for location in ASEP_CATALOG}
+        assert SERVICES in paths
+        assert RUN in paths
+        assert any("AppInit" in (location.value_name or "")
+                   for location in ASEP_CATALOG)
+
+
+class TestEnumeration:
+    def test_service_hooks(self):
+        reader = FakeReader()
+        reader.add_key(SERVICES, "Spooler")
+        reader.add_value(f"{SERVICES}\\Spooler", "ImagePath", "spool.exe")
+        hooks = enumerate_asep_hooks(reader)
+        assert AsepHook("services", SERVICES, "Spooler",
+                        "spool.exe") in hooks
+
+    def test_service_without_imagepath(self):
+        reader = FakeReader()
+        reader.add_key(SERVICES, "Broken")
+        hooks = enumerate_asep_hooks(reader)
+        assert any(hook.name == "Broken" and hook.data == ""
+                   for hook in hooks)
+
+    def test_run_values_each_a_hook(self):
+        reader = FakeReader()
+        reader.add_value(RUN, "a", "a.exe")
+        reader.add_value(RUN, "b", "b.exe")
+        hooks = [hook for hook in enumerate_asep_hooks(reader)
+                 if hook.location == "run"]
+        assert {hook.name for hook in hooks} == {"a", "b"}
+
+    def test_appinit_splits_dll_list(self):
+        reader = FakeReader()
+        reader.add_value(WINDOWS_NT, "AppInit_DLLs", "one.dll, two.dll")
+        hooks = [hook for hook in enumerate_asep_hooks(reader)
+                 if hook.location == "appinit_dlls"]
+        assert {hook.data for hook in hooks} == {"one.dll", "two.dll"}
+
+    def test_appinit_empty_produces_no_hooks(self):
+        reader = FakeReader()
+        reader.add_value(WINDOWS_NT, "AppInit_DLLs", "")
+        hooks = [hook for hook in enumerate_asep_hooks(reader)
+                 if hook.location == "appinit_dlls"]
+        assert hooks == []
+
+    def test_bho_subkeys(self):
+        reader = FakeReader()
+        reader.add_key(BHO, "{CLSID-1}")
+        hooks = [hook for hook in enumerate_asep_hooks(reader)
+                 if hook.location == "browser_helper_objects"]
+        assert hooks[0].name == "{CLSID-1}"
+
+    def test_absent_locations_skipped(self):
+        assert enumerate_asep_hooks(FakeReader()) == []
+
+
+class TestHookIdentity:
+    def test_identity_case_insensitive(self):
+        a = AsepHook("run", RUN, "Loader", "X.EXE")
+        b = AsepHook("run", RUN.upper(), "loader", "x.exe")
+        assert a.identity == b.identity
+
+    def test_identity_distinguishes_data(self):
+        a = AsepHook("run", RUN, "loader", "good.exe")
+        b = AsepHook("run", RUN, "loader", "evil.exe")
+        assert a.identity != b.identity
+
+    def test_describe_includes_target(self):
+        hook = AsepHook("run", RUN, "loader", "x.exe")
+        assert "loader" in hook.describe()
+        assert "x.exe" in hook.describe()

@@ -1,0 +1,128 @@
+"""Tests for registry cell binary layouts."""
+
+import pytest
+
+from repro.errors import HiveFormatError
+from repro.registry import cells
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        blob = cells.pack_header(512, 4096, "SOFTWARE")
+        root, length, name = cells.unpack_header(blob)
+        assert (root, length, name) == (512, 4096, "SOFTWARE")
+
+    def test_bad_magic(self):
+        with pytest.raises(HiveFormatError):
+            cells.unpack_header(b"NOPE" + b"\x00" * 508)
+
+    def test_short_header(self):
+        with pytest.raises(HiveFormatError):
+            cells.unpack_header(b"regf")
+
+
+class TestCellWriter:
+    def test_offsets_start_after_header(self):
+        writer = cells.CellWriter()
+        first = writer.append(b"payload")
+        assert first == cells.HEADER_SIZE
+
+    def test_cells_are_8_aligned(self):
+        writer = cells.CellWriter()
+        writer.append(b"odd")
+        second = writer.append(b"next")
+        assert second % 8 == 0
+
+    def test_read_back(self):
+        writer = cells.CellWriter()
+        offset = writer.append(b"hello cell")
+        blob = writer.finish(offset, "TEST")
+        assert cells.read_cell(blob, offset)[:10] == b"hello cell"
+
+    def test_read_unallocated_offset(self):
+        writer = cells.CellWriter()
+        offset = writer.append(b"x")
+        blob = writer.finish(offset, "T")
+        with pytest.raises(HiveFormatError):
+            cells.read_cell(blob, len(blob) + 64)
+
+    def test_read_inside_header_rejected(self):
+        writer = cells.CellWriter()
+        offset = writer.append(b"x")
+        blob = writer.finish(offset, "T")
+        with pytest.raises(HiveFormatError):
+            cells.read_cell(blob, 0)
+
+
+class TestNk:
+    def test_roundtrip(self):
+        payload = cells.pack_nk("MyKey", 100, 2, 200, 3, 300,
+                                timestamp_us=777, flags=1)
+        nk = cells.unpack_nk(payload)
+        assert nk["name"] == "MyKey"
+        assert nk["parent"] == 100
+        assert nk["subkey_count"] == 2
+        assert nk["subkey_list"] == 200
+        assert nk["value_count"] == 3
+        assert nk["value_list"] == 300
+        assert nk["timestamp_us"] == 777
+        assert nk["flags"] == 1
+
+    def test_empty_name(self):
+        nk = cells.unpack_nk(cells.pack_nk("", 0, 0, 0, 0, 0))
+        assert nk["name"] == ""
+
+    def test_wrong_magic(self):
+        with pytest.raises(HiveFormatError):
+            cells.unpack_nk(b"vk" + b"\x00" * 40)
+
+
+class TestVk:
+    def test_inline_data(self):
+        payload = cells.pack_vk("Val", 1, b"tiny")
+        vk = cells.unpack_vk(payload)
+        assert vk["name"] == "Val"
+        assert vk["data"] == b"tiny"
+        assert vk["data_cell"] is None
+
+    def test_external_data_reference(self):
+        big = b"z" * 100
+        payload = cells.pack_vk("Big", 3, big, data_cell_offset=4096)
+        vk = cells.unpack_vk(payload)
+        assert vk["data"] is None
+        assert vk["data_cell"] == 4096
+        assert vk["data_length"] == 100
+
+    def test_name_with_embedded_nul(self):
+        payload = cells.pack_vk("see\x00hidden", 1, b"")
+        assert cells.unpack_vk(payload)["name"] == "see\x00hidden"
+
+    def test_wrong_magic(self):
+        with pytest.raises(HiveFormatError):
+            cells.unpack_vk(b"nk" + b"\x00" * 20)
+
+
+class TestLists:
+    def test_offset_list_roundtrip(self):
+        payload = cells.pack_offset_list(cells.LF_MAGIC, [10, 20, 30])
+        assert cells.unpack_offset_list(payload, cells.LF_MAGIC) == \
+            [10, 20, 30]
+
+    def test_empty_list(self):
+        payload = cells.pack_offset_list(cells.VL_MAGIC, [])
+        assert cells.unpack_offset_list(payload, cells.VL_MAGIC) == []
+
+    def test_magic_mismatch(self):
+        payload = cells.pack_offset_list(cells.LF_MAGIC, [1])
+        with pytest.raises(HiveFormatError):
+            cells.unpack_offset_list(payload, cells.VL_MAGIC)
+
+
+class TestDb:
+    def test_roundtrip(self):
+        assert cells.unpack_db(cells.pack_db(b"raw data")) == b"raw data"
+
+    def test_truncated(self):
+        payload = cells.pack_db(b"raw data")
+        with pytest.raises(HiveFormatError):
+            cells.unpack_db(payload[:-3])

@@ -1,0 +1,141 @@
+"""Tests for the in-memory hive tree and serialization."""
+
+import pytest
+
+from repro.errors import KeyNotFound, RegistryError, ValueNotFound
+from repro.registry.hive import (Hive, RegType, decode_value, encode_value)
+
+
+@pytest.fixture
+def hive():
+    return Hive("SOFTWARE")
+
+
+class TestValueEncoding:
+    def test_sz_roundtrip(self):
+        raw = encode_value(RegType.SZ, "hello")
+        assert decode_value(RegType.SZ, raw, win32=True) == "hello"
+
+    def test_sz_win32_truncates_at_nul(self):
+        raw = "visible\x00secret".encode("utf-16-le")
+        assert decode_value(RegType.SZ, raw, win32=True) == "visible"
+        assert "secret" in decode_value(RegType.SZ, raw, win32=False)
+
+    def test_dword(self):
+        raw = encode_value(RegType.DWORD, 0xDEADBEEF)
+        assert decode_value(RegType.DWORD, raw, win32=True) == 0xDEADBEEF
+
+    def test_short_dword_reads_zero(self):
+        assert decode_value(RegType.DWORD, b"\x01", win32=True) == 0
+
+    def test_binary(self):
+        raw = encode_value(RegType.BINARY, b"\x00\x01\x02")
+        assert decode_value(RegType.BINARY, raw, win32=True) == \
+            b"\x00\x01\x02"
+
+    def test_multi_sz(self):
+        raw = encode_value(RegType.MULTI_SZ, ["a", "b", "c"])
+        assert decode_value(RegType.MULTI_SZ, raw, win32=True) == \
+            ["a", "b", "c"]
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(RegistryError):
+            encode_value(RegType.SZ, 42)
+        with pytest.raises(RegistryError):
+            encode_value(RegType.DWORD, "nope")
+
+
+class TestKeyTree:
+    def test_create_and_open(self, hive):
+        hive.create_key("A\\B\\C")
+        assert hive.open_key("a\\b\\c").name == "C"
+
+    def test_open_missing_raises(self, hive):
+        with pytest.raises(KeyNotFound):
+            hive.open_key("Nope")
+
+    def test_create_subkey_idempotent(self, hive):
+        first = hive.root.create_subkey("K")
+        second = hive.root.create_subkey("k")
+        assert first is second
+
+    def test_delete_subkey(self, hive):
+        hive.create_key("Gone")
+        hive.root.delete_subkey("gone")
+        assert not hive.root.has_subkey("Gone")
+
+    def test_delete_missing_subkey(self, hive):
+        with pytest.raises(KeyNotFound):
+            hive.root.delete_subkey("absent")
+
+    def test_subkeys_sorted(self, hive):
+        for name in ("zz", "aa", "MM"):
+            hive.root.create_subkey(name)
+        assert [k.name for k in hive.root.subkeys()] == ["aa", "MM", "zz"]
+
+
+class TestValues:
+    def test_set_get(self, hive):
+        hive.root.set_value("Name", "data")
+        assert hive.root.value("name").data == "data"
+
+    def test_type_inference(self, hive):
+        assert hive.root.set_value("s", "x").reg_type == RegType.SZ
+        assert hive.root.set_value("d", 5).reg_type == RegType.DWORD
+        assert hive.root.set_value("b", b"x").reg_type == RegType.BINARY
+        assert hive.root.set_value("m", ["x"]).reg_type == RegType.MULTI_SZ
+
+    def test_missing_value(self, hive):
+        with pytest.raises(ValueNotFound):
+            hive.root.value("absent")
+
+    def test_delete_value(self, hive):
+        hive.root.set_value("v", "x")
+        hive.root.delete_value("V")
+        assert not hive.root.has_value("v")
+
+    def test_raw_override_diverges_views(self, hive):
+        corrupted = "clean.dll\x00GARBAGE".encode("utf-16-le")
+        value = hive.root.set_value("AppInit_DLLs", "clean.dll",
+                                    RegType.SZ, raw_override=corrupted)
+        assert value.win32_data() == "clean.dll"
+        assert "GARBAGE" in str(value.native_data())
+
+
+class TestSerialization:
+    def test_roundtrip_structure(self, hive):
+        key = hive.create_key("Microsoft\\Windows\\Run")
+        key.set_value("loader", "c:\\x.exe")
+        hive.create_key("Classes").set_value("count", 3)
+        parsed = Hive.deserialize(hive.serialize())
+        run = parsed.open_key("Microsoft\\Windows\\Run")
+        assert str(run.value("loader").native_data()) == "c:\\x.exe"
+        assert parsed.open_key("Classes").value("count").native_data() == 3
+
+    def test_roundtrip_nul_names(self, hive):
+        hive.root.set_value("run\x00hidden", "evil.exe")
+        parsed = Hive.deserialize(hive.serialize())
+        assert parsed.root.has_value("run\x00hidden")
+
+    def test_roundtrip_long_names(self, hive):
+        long_name = "L" * 300
+        hive.root.set_value(long_name, "x")
+        parsed = Hive.deserialize(hive.serialize())
+        assert parsed.root.has_value(long_name)
+
+    def test_roundtrip_empty_hive(self, hive):
+        parsed = Hive.deserialize(hive.serialize())
+        assert parsed.root.subkey_count() == 0
+
+    def test_hive_name_preserved(self, hive):
+        assert Hive.deserialize(hive.serialize()).name == "SOFTWARE"
+
+    def test_large_value_external_cell(self, hive):
+        hive.root.set_value("big", b"\xab" * 5000)
+        parsed = Hive.deserialize(hive.serialize())
+        assert parsed.root.value("big").raw_bytes() == b"\xab" * 5000
+
+    def test_timestamp_preserved(self, hive):
+        hive.create_key("Stamped").timestamp_us = 123456
+        parsed = Hive.deserialize(hive.serialize())
+        assert parsed.open_key("Stamped").timestamp_us == 123456

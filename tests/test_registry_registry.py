@@ -1,0 +1,96 @@
+"""Tests for the Registry facade (mounted hives, write-through)."""
+
+import pytest
+
+from repro.errors import KeyNotFound, RegistryError
+from repro.registry import Hive, Registry, parse_hive
+
+
+@pytest.fixture
+def registry(volume):
+    volume.create_directories("\\config")
+    reg = Registry(volume)
+    reg.mount_hive("HKLM\\SOFTWARE", Hive("SOFTWARE"), "\\config\\SOFTWARE")
+    reg.mount_hive("HKLM\\SYSTEM", Hive("SYSTEM"), "\\config\\SYSTEM")
+    return reg
+
+
+class TestMounting:
+    def test_duplicate_mount_rejected(self, registry):
+        with pytest.raises(RegistryError):
+            registry.mount_hive("hklm\\software", Hive("dup"))
+
+    def test_mount_for_longest_prefix(self, registry):
+        registry.mount_hive("HKLM\\SOFTWARE\\Sub", Hive("SUB"))
+        mount, relative = registry.mount_for("HKLM\\SOFTWARE\\Sub\\Key")
+        assert mount.root_path == "HKLM\\SOFTWARE\\Sub"
+        assert relative == "Key"
+
+    def test_unmounted_path_raises(self, registry):
+        with pytest.raises(KeyNotFound):
+            registry.open_key("HKCU\\Anything")
+
+    def test_unmount(self, registry):
+        registry.unmount_hive("HKLM\\SYSTEM")
+        with pytest.raises(KeyNotFound):
+            registry.open_key("HKLM\\SYSTEM")
+
+    def test_hives_listed(self, registry):
+        roots = [mount.root_path for mount in registry.hives()]
+        assert roots == ["HKLM\\SOFTWARE", "HKLM\\SYSTEM"]
+
+
+class TestKeyValueOps:
+    def test_create_and_enum(self, registry):
+        registry.create_key("HKLM\\SOFTWARE\\A\\B")
+        assert registry.enum_subkeys("HKLM\\SOFTWARE\\A") == ["B"]
+
+    def test_set_creates_intermediate_keys(self, registry):
+        registry.set_value("HKLM\\SOFTWARE\\Deep\\Key", "v", "data")
+        assert str(registry.get_value("HKLM\\SOFTWARE\\Deep\\Key",
+                                      "v").native_data()) == "data"
+
+    def test_delete_key(self, registry):
+        registry.create_key("HKLM\\SOFTWARE\\Temp")
+        registry.delete_key("HKLM\\SOFTWARE\\Temp")
+        assert not registry.key_exists("HKLM\\SOFTWARE\\Temp")
+
+    def test_delete_hive_root_rejected(self, registry):
+        with pytest.raises(RegistryError):
+            registry.delete_key("HKLM\\SOFTWARE")
+
+    def test_delete_value(self, registry):
+        registry.set_value("HKLM\\SOFTWARE\\K", "v", "x")
+        registry.delete_value("HKLM\\SOFTWARE\\K", "v")
+        assert registry.enum_values("HKLM\\SOFTWARE\\K") == []
+
+    def test_key_exists(self, registry):
+        assert registry.key_exists("HKLM\\SOFTWARE")
+        assert not registry.key_exists("HKLM\\SOFTWARE\\Ghost")
+
+
+class TestWriteThrough:
+    def test_mutation_lands_in_backing_file(self, registry, volume):
+        registry.set_value("HKLM\\SOFTWARE\\App", "setting", "live")
+        parsed = parse_hive(volume.read_file("\\config\\SOFTWARE"))
+        app = parsed.root.subkey("App")
+        assert app.values[0].name == "setting"
+
+    def test_batch_defers_then_flushes(self, registry, volume):
+        before = volume.read_file("\\config\\SOFTWARE")
+        with registry.batch():
+            registry.set_value("HKLM\\SOFTWARE\\Bulk", "v", "x")
+            assert volume.read_file("\\config\\SOFTWARE") == before
+        parsed = parse_hive(volume.read_file("\\config\\SOFTWARE"))
+        assert parsed.root.subkey("Bulk").values[0].name == "v"
+
+    def test_flush_idempotent(self, registry, volume):
+        registry.flush()
+        registry.flush()
+        assert volume.exists("\\config\\SYSTEM")
+
+    def test_memory_only_hive_never_touches_volume(self, volume):
+        reg = Registry(volume)
+        reg.mount_hive("HKLM\\VOLATILE", Hive("VOLATILE"))
+        reg.set_value("HKLM\\VOLATILE\\K", "v", "x")   # must not raise
+        assert not volume.exists("\\VOLATILE")

@@ -1,0 +1,63 @@
+"""Tests for report serialization."""
+
+import json
+
+import pytest
+
+from repro.core import (GhostBuster, load_report_dict, report_to_dict,
+                        report_to_json, save_report_to_volume)
+from repro.core.reporting import summarize_findings
+from repro.ghostware import HackerDefender, RegistryNamingGhost
+
+
+class TestJsonReports:
+    def test_clean_report_roundtrip(self, booted):
+        report = GhostBuster(booted).inside_scan(resources=("processes",))
+        document = load_report_dict(report_to_json(report))
+        assert document["verdict"] == "clean"
+        assert document["machine"] == booted.name
+        assert document["findings"] == []
+
+    def test_infected_report_content(self, booted):
+        HackerDefender().install(booted)
+        report = GhostBuster(booted, advanced=True).inside_scan()
+        document = report_to_dict(report)
+        assert document["verdict"] == "infected"
+        assert document["counts"]["hidden_files"] == 3
+        assert document["counts"]["hidden_hooks"] == 2
+        paths = {finding["entry"].get("path")
+                 for finding in document["findings"]}
+        assert "\\Windows\\hxdef100.exe" in paths
+
+    def test_nul_names_survive_json(self, booted):
+        RegistryNamingGhost().install(booted)
+        report = GhostBuster(booted).inside_scan(resources=("registry",))
+        text = report_to_json(report)
+        document = json.loads(text)   # must be valid JSON despite NULs
+        names = [finding["entry"]["name"]
+                 for finding in document["findings"]]
+        assert any("\x00" in name for name in names)
+
+    def test_save_to_volume(self, booted):
+        report = GhostBuster(booted).inside_scan(resources=("processes",))
+        path = save_report_to_volume(booted, report)
+        blob = booted.volume.read_file(path)
+        assert load_report_dict(blob.decode())["machine"] == booted.name
+
+    def test_save_overwrites(self, booted):
+        report = GhostBuster(booted).inside_scan(resources=("processes",))
+        save_report_to_volume(booted, report)
+        path = save_report_to_volume(booted, report)
+        assert booted.volume.exists(path)
+
+    def test_load_rejects_non_reports(self):
+        with pytest.raises(ValueError):
+            load_report_dict('{"hello": "world"}')
+
+    def test_summarize_excludes_noise(self, booted):
+        from repro.workloads import attach_standard_services
+        attach_standard_services(booted)
+        report = GhostBuster(booted).outside_scan(resources=("files",),
+                                                  background_gap=60)
+        counts = summarize_findings(report.findings)
+        assert counts["file"] == 0   # all classified as noise

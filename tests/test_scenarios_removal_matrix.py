@@ -1,0 +1,89 @@
+"""Scenario builders + the full per-ghost removal matrix."""
+
+import pytest
+
+from repro.core import GhostBuster, disinfect
+from repro.ghostware import (Aphex, Berbew, BhoSpyware, CmCallbackGhost,
+                             HackerDefender, HideFiles, Mersting,
+                             ProBotSE, Urbin, Vanquish)
+from repro.workloads import (Scenario, build_fleet, build_home_pc,
+                             build_kitchen_sink, infect)
+
+
+class TestScenarioBuilders:
+    def test_home_pc_clean_by_default(self):
+        scenario = build_home_pc(seed=7)
+        assert scenario.infections == []
+        report = GhostBuster(scenario.machine,
+                             advanced=True).inside_scan()
+        assert report.is_clean
+
+    def test_home_pc_with_ghost(self):
+        scenario = build_home_pc(ghost=HackerDefender(), seed=7)
+        assert scenario.ghost_names == ["Hacker Defender 1.0"]
+        report = GhostBuster(scenario.machine).inside_scan(
+            resources=("files",))
+        assert not report.is_clean
+
+    def test_kitchen_sink_all_infections_active(self):
+        scenario = build_kitchen_sink(seed=9)
+        assert len(scenario.infections) == 12
+        report = GhostBuster(scenario.machine,
+                             advanced=True).inside_scan()
+        assert len(report.hidden_files()) >= 9
+        assert len(report.hidden_hooks()) >= 7
+        assert len(report.hidden_processes()) >= 2
+
+    def test_fleet_compromise_map(self):
+        fleet = build_fleet(size=4, compromised={2: Aphex})
+        verdicts = [GhostBuster(s.machine).inside_scan(
+            resources=("files",)).is_clean for s in fleet]
+        assert verdicts == [True, True, False, True]
+
+    def test_infect_extends_scenario(self):
+        scenario = build_home_pc(seed=11)
+        infect(scenario, [Urbin(), Berbew()])
+        assert len(scenario.infections) == 2
+
+    def test_deterministic_by_seed(self):
+        first = build_home_pc(seed=5, with_services=False)
+        second = build_home_pc(seed=5, with_services=False)
+        paths_a = {s.path for s in first.machine.volume.walk()}
+        paths_b = {s.path for s in second.machine.volume.walk()}
+        assert paths_a == paths_b
+
+
+class TestRemovalMatrix:
+    """disinfect() must fully clean every removable corpus member."""
+
+    @pytest.mark.parametrize("ghost_cls", [
+        Urbin, Mersting, Vanquish, Aphex, HackerDefender, ProBotSE,
+        CmCallbackGhost, BhoSpyware, Berbew,
+    ], ids=lambda cls: cls.__name__)
+    def test_single_infection_removal(self, ghost_cls):
+        scenario = build_home_pc(ghost=ghost_cls(), seed=13,
+                                 with_services=False)
+        log = disinfect(scenario.machine)
+        assert log.verified_clean, f"{ghost_cls.__name__} survived removal"
+
+    def test_file_hider_removal(self):
+        scenario = build_home_pc(seed=13, with_services=False)
+        machine = scenario.machine
+        machine.volume.create_directories("\\Secret")
+        machine.volume.create_file("\\Secret\\s.txt", b"")
+        HideFiles(hidden_paths=["\\Secret"]).install(machine)
+        log = disinfect(machine)
+        assert log.verified_clean
+
+    def test_kitchen_sink_removal(self):
+        """Even the twelve-strain machine comes out clean in one pass
+        (plus one extra pass for strains revealed only after the first
+        reboot strips the interceptors)."""
+        scenario = build_kitchen_sink(seed=17)
+        disinfect(scenario.machine)
+        final = GhostBuster(scenario.machine, advanced=True).inside_scan()
+        if not final.is_clean:       # second pass for layered stealth
+            disinfect(scenario.machine)
+            final = GhostBuster(scenario.machine,
+                                advanced=True).inside_scan()
+        assert final.is_clean

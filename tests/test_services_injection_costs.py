@@ -1,0 +1,144 @@
+"""Unit tests for the SCM, DLL injection, and the cost model."""
+
+import pytest
+
+from repro.core import costmodel
+from repro.machine import Machine, PerfModel
+from repro.usermode.injection import inject_dll, inject_into_all
+from repro.winapi.services import (START_AUTO, START_DISABLED,
+                                   ServiceControlManager, TYPE_DRIVER,
+                                   TYPE_SERVICE)
+
+
+class TestScm:
+    def test_register_creates_expected_values(self, booted):
+        booted.scm.register("MySvc", "\\svc.exe", TYPE_SERVICE, START_AUTO)
+        key = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\MySvc"
+        assert str(booted.registry.get_value(key,
+                                             "ImagePath").win32_data()) == \
+            "\\svc.exe"
+        assert booted.registry.get_value(key, "Type").win32_data() == \
+            TYPE_SERVICE
+
+    def test_enumerate_reflects_registrations(self, booted):
+        booted.scm.register("A", "\\a.exe")
+        booted.scm.register("B", "\\b.sys", TYPE_DRIVER)
+        records = {record.name: record
+                   for record in booted.scm.enumerate_services()}
+        assert records["A"].is_driver is False
+        assert records["B"].is_driver is True
+
+    def test_enumeration_ignores_keys_without_imagepath(self, booted):
+        booted.registry.create_key(
+            "HKLM\\SYSTEM\\CurrentControlSet\\Services\\Incomplete")
+        names = [record.name for record in booted.scm.enumerate_services()]
+        assert "Incomplete" not in names
+
+    def test_defaults_for_missing_type_and_start(self, booted):
+        key = "HKLM\\SYSTEM\\CurrentControlSet\\Services\\Bare"
+        booted.registry.create_key(key)
+        booted.registry.set_value(key, "ImagePath", "\\bare.exe")
+        record = next(record for record in booted.scm.enumerate_services()
+                      if record.name == "Bare")
+        assert record.service_type == TYPE_SERVICE
+        assert record.auto_start
+
+    def test_start_auto_services_returns_started(self, booted):
+        booted.volume.create_file("\\go.exe", b"MZ")
+        booted.scm.register("Go", "\\go.exe")
+        booted.scm.register("Stay", "\\gone.exe")   # binary missing
+        booted.scm.register("Off", "\\go.exe", TYPE_SERVICE,
+                            START_DISABLED)
+        started = booted.scm.start_auto_services()
+        assert "Go" in started
+        assert "Stay" not in started
+        assert "Off" not in started
+
+    def test_hidden_service_still_starts(self, booted):
+        """Hiding the Services key from queries does not stop the SCM —
+        it reads the hive truth directly (the paper's point about why
+        ghostware can hide its hooks and keep running)."""
+        from repro.ghostware import HackerDefender
+        HackerDefender().install(booted)
+        booted.reboot()
+        assert booted.process_by_name("hxdef100.exe") is not None
+
+
+class TestInjection:
+    def test_inject_runs_registered_entry(self, booted):
+        booted.volume.create_file("\\lib.dll", b"MZ")
+        hits = []
+        booted.register_program("\\lib.dll",
+                                lambda mach, proc: hits.append(proc.pid))
+        target = booted.start_process("\\Windows\\explorer.exe",
+                                      name="target.exe")
+        assert inject_dll(booted, target, "\\lib.dll")
+        assert hits == [target.pid]
+        modules = booted.kernel.module_table_view(
+            target.pid).module_paths()
+        assert "\\lib.dll" in modules
+
+    def test_missing_dll_returns_false(self, booted):
+        target = booted.start_process("\\Windows\\explorer.exe",
+                                      name="target.exe")
+        assert not inject_dll(booted, target, "\\nonexistent.dll")
+
+    def test_system_process_refused(self, booted):
+        booted.volume.create_file("\\lib.dll", b"MZ")
+        system = booted.process_by_name("System")
+        assert not inject_dll(booted, system, "\\lib.dll")
+
+    def test_inject_into_all_skips_listed_pids(self, booted):
+        booted.volume.create_file("\\lib.dll", b"MZ")
+        explorer = booted.process_by_name("explorer.exe")
+        count = inject_into_all(booted, "\\lib.dll",
+                                skip_pids=[explorer.pid])
+        alive_non_system = len([p for p in booted.user_processes()
+                                if p.pid != 4])
+        assert count == alive_non_system - 1
+
+
+class TestCostModel:
+    def _machine(self, **perf_kwargs):
+        return Machine("cost", disk_mb=64, max_records=1024,
+                       perf=PerfModel(**perf_kwargs))
+
+    def test_cpu_scale_divides_time(self):
+        fast = self._machine(cpu_scale=2.0)
+        slow = self._machine(cpu_scale=0.5)
+        fast_cost = costmodel.charge_high_file_scan(fast, 10_000)
+        slow_cost = costmodel.charge_high_file_scan(slow, 10_000)
+        assert slow_cost == pytest.approx(fast_cost * 4)
+
+    def test_entity_scale_multiplies_file_costs(self):
+        small = self._machine(entity_scale=1.0)
+        big = self._machine(entity_scale=100.0)
+        assert costmodel.charge_high_file_scan(big, 100) == \
+            pytest.approx(costmodel.charge_high_file_scan(small,
+                                                          10_000))
+
+    def test_process_costs_not_entity_scaled(self):
+        scaled = self._machine(entity_scale=500.0)
+        plain = self._machine(entity_scale=1.0)
+        assert costmodel.charge_process_scan(scaled, 40) == \
+            pytest.approx(costmodel.charge_process_scan(plain, 40))
+
+    def test_charges_advance_the_clock(self):
+        machine = self._machine()
+        before = machine.clock.now()
+        seconds = costmodel.charge_asep_scan(machine, 50,
+                                             hive_bytes=100_000)
+        assert machine.clock.now() == pytest.approx(before + seconds)
+
+    def test_winpe_boot_within_paper_band(self):
+        from repro.clock import SimClock
+        for cpu_scale in (0.25, 0.5, 1.0, 1.36, 3.0):
+            clock = SimClock()
+            seconds = costmodel.charge_winpe_boot(clock, cpu_scale)
+            assert 90 <= seconds <= 180
+
+    def test_dump_cost_tracks_ram(self):
+        small = self._machine(ram_mb=128)
+        large = self._machine(ram_mb=1024)
+        assert costmodel.charge_crash_dump(large, 0) > \
+            costmodel.charge_crash_dump(small, 0)

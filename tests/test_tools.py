@@ -1,0 +1,189 @@
+"""Tests for the simulated administrator utilities."""
+
+import pytest
+
+from repro.ghostware import (Aphex, HackerDefender, ProBotSE, Urbin,
+                             Vanquish)
+from repro.machine import APPINIT_KEY, RUN_KEY
+from repro.registry.hive import RegType
+from repro.tools import (RegEdit, api_hook_check, ask_strider, dir_s_b,
+                         export_key, import_reg_text,
+                         reg_fixup_export_reimport, tasklist)
+
+
+class TestDirCommand:
+    def test_lists_everything_on_clean_machine(self, booted):
+        listing = dir_s_b(booted)
+        assert "\\Windows\\System32\\ntdll.dll" in listing
+
+    def test_lied_to_by_ghostware(self, booted):
+        HackerDefender().install(booted)
+        listing = dir_s_b(booted)
+        assert all("hxdef" not in path.casefold() for path in listing)
+
+    def test_scoped_root(self, booted):
+        listing = dir_s_b(booted, root="\\Windows\\System32")
+        assert all(path.startswith("\\Windows\\System32")
+                   for path in listing)
+
+
+class TestTasklist:
+    def test_shows_system_processes(self, booted):
+        names = {name for __, name in tasklist(booted)}
+        assert {"System", "explorer.exe"} <= names
+
+    def test_lied_to_by_process_hiders(self, booted):
+        HackerDefender().install(booted)
+        names = {name for __, name in tasklist(booted)}
+        assert "hxdef100.exe" not in names
+
+
+class TestRegEdit:
+    def test_browse(self, booted):
+        booted.registry.set_value(RUN_KEY, "app", "\\x.exe")
+        regedit = RegEdit(booted)
+        views = regedit.values(RUN_KEY)
+        assert any(view.name == "app" for view in views)
+
+    def test_tree_rendering(self, booted):
+        booted.registry.set_value("HKLM\\SOFTWARE\\Vendor\\App", "v", "1")
+        lines = RegEdit(booted).tree("HKLM\\SOFTWARE\\Vendor")
+        assert any("App" in line for line in lines)
+        assert any("v = 1" in line for line in lines)
+
+    def test_cannot_see_nul_names(self, booted):
+        booted.registry.set_value(RUN_KEY, "x\x00hidden", "evil")
+        views = RegEdit(booted).values(RUN_KEY)
+        assert all("\x00" not in view.name for view in views)
+
+    def test_lied_to_by_registry_hiders(self, booted):
+        Urbin().install(booted)
+        view = RegEdit(booted).query(APPINIT_KEY, "AppInit_DLLs")
+        assert "msvsres" not in view.data
+
+
+class TestRegExportImport:
+    def test_roundtrip(self, booted):
+        key = "HKLM\\SOFTWARE\\RoundTrip"
+        booted.registry.set_value(key, "text", "hello")
+        booted.registry.set_value(key, "number", 42)
+        booted.registry.create_key(f"{key}\\Child")
+        booted.registry.set_value(f"{key}\\Child", "nested", "deep")
+        exported = export_key(booted, key)
+        booted.registry.delete_key(key)
+        written = import_reg_text(booted, exported)
+        assert written == 3
+        assert str(booted.registry.get_value(key,
+                                             "text").native_data()) == \
+            "hello"
+        assert booted.registry.get_value(key, "number").native_data() == 42
+        assert str(booted.registry.get_value(f"{key}\\Child",
+                                             "nested").native_data()) == \
+            "deep"
+
+    def test_escaping_of_backslashes_and_quotes(self, booted):
+        key = "HKLM\\SOFTWARE\\Esc"
+        booted.registry.set_value(key, 'path "quoted"',
+                                  "C:\\dir\\file.exe")
+        exported = export_key(booted, key)
+        booted.registry.delete_key(key)
+        import_reg_text(booted, exported)
+        value = booted.registry.get_value(key, 'path "quoted"')
+        assert str(value.native_data()) == "C:\\dir\\file.exe"
+
+    def test_fixup_launders_corrupted_data(self, booted):
+        """The paper's export/delete/re-import remediation."""
+        corrupted = "legit.dll\x00JUNK".encode("utf-16-le")
+        booted.registry.set_value(APPINIT_KEY, "AppInit_DLLs", "legit.dll",
+                                  RegType.SZ, raw_override=corrupted)
+        reg_fixup_export_reimport(booted, APPINIT_KEY)
+        value = booted.registry.get_value(APPINIT_KEY, "AppInit_DLLs")
+        assert "JUNK" not in str(value.native_data())
+        assert str(value.win32_data()) == "legit.dll"
+
+
+class TestAskStrider:
+    def test_unhidden_driver_betrays_hxdef(self, booted):
+        """The paper's quick check: hxdefdrv.sys is not hidden from the
+        driver list."""
+        HackerDefender().install(booted)
+        report = ask_strider(booted)
+        assert "hxdefdrv.sys" in report.drivers
+        suspicious = report.suspicious_drivers(known_good=[])
+        assert "hxdefdrv.sys" in suspicious
+
+    def test_module_view_misses_vanquish_dll(self, booted):
+        """Figure 6: the *DLL* is blanked from every PEB.  The
+        vanquish.exe process itself stays visible (Vanquish is not a
+        process hider), so its main image legitimately shows."""
+        Vanquish().install(booted)
+        report = ask_strider(booted)
+        all_modules = [path for modules in
+                       report.modules_by_process.values()
+                       for path in modules]
+        assert all("vanquish.dll" not in path.casefold()
+                   for path in all_modules)
+        assert any("vanquish.exe" in path.casefold()
+                   for path in all_modules)
+
+
+class TestApiHookCheck:
+    def test_clean_machine(self, booted):
+        assert api_hook_check(booted).is_clean
+
+    def test_sees_user_mode_hooks(self, booted):
+        Aphex().install(booted)
+        report = api_hook_check(booted)
+        assert not report.is_clean
+        assert any("FindFirstFile" in hook.location or
+                   "NtQuerySystemInformation" in hook.location
+                   for hook in report.user_hooks)
+
+    def test_sees_ssdt_hooks(self, booted):
+        ProBotSE().install(booted)
+        report = api_hook_check(booted)
+        assert "QUERY_DIRECTORY_FILE" in report.ssdt_hooks
+
+    def test_coverage_gap_naming_exploit(self, booted):
+        from repro.ghostware import NamingExploitGhost
+        NamingExploitGhost().install(booted)
+        assert api_hook_check(booted).is_clean   # nothing to see
+
+    def test_false_positive_on_legitimate_patching(self, booted):
+        """A fault-tolerance wrapper looks exactly like malware here."""
+        from repro.winapi.hooks import PatchKind
+        probe = booted.start_process("\\Windows\\explorer.exe",
+                                     name="patched_app.exe")
+        probe.code_site("kernel32", "ReadFile").patch_inline(
+            lambda original: original, PatchKind.INLINE_CALL,
+            owner="ft-wrapper")
+        report = api_hook_check(booted)
+        assert not report.is_clean   # flagged despite being benign
+
+
+class TestSdtRestore:
+    def test_restores_probot_hooks(self, booted):
+        from repro.tools import restore_service_dispatch_table
+        probot = ProBotSE()
+        probot.install(booted)
+        restored = restore_service_dispatch_table(booted)
+        assert restored   # something was hooked and fixed
+        fresh = booted.start_process("\\Windows\\explorer.exe",
+                                     name="checker2.exe")
+        from tests.conftest import win32_ls
+        names = win32_ls(fresh, "\\Windows\\System32")
+        assert probot.exe_path.rsplit("\\", 1)[-1] in names
+
+    def test_noop_on_clean_machine(self, booted):
+        from repro.tools import restore_service_dispatch_table
+        assert restore_service_dispatch_table(booted) == []
+
+    def test_does_not_fix_user_mode_hooks(self, booted):
+        """The mechanism-repair limit: restoring the SSDT does nothing
+        about NtDll detours."""
+        from repro.tools import restore_service_dispatch_table
+        HackerDefender().install(booted)
+        restore_service_dispatch_table(booted)
+        from repro.core import GhostBuster
+        report = GhostBuster(booted).inside_scan(resources=("files",))
+        assert not report.is_clean   # hxdef still hiding

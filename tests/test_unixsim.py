@@ -1,0 +1,192 @@
+"""Tests for the Unix substrate and the Section-5 Unix experiments."""
+
+import pytest
+
+from repro.errors import UnixError
+from repro.unixsim import (Darkside, Superkit, Synapsis, T0rnkit,
+                           UnixMachine, clean_cd_scan, ls_recursive,
+                           shell_glob, unix_cross_view_scan)
+from repro.unixsim.syscalls import UnixSyscall
+
+
+@pytest.fixture
+def unix():
+    machine = UnixMachine("testnix")
+    machine.populate(80, seed=3)
+    return machine
+
+
+class TestFilesystem:
+    def test_base_layout_present(self, unix):
+        assert unix.fs.exists("/bin/ls")
+        assert unix.fs.exists("/etc/passwd")
+
+    def test_write_read_roundtrip(self, unix):
+        unix.fs.write_file("/home/user/note", b"hi")
+        assert unix.fs.read_file("/home/user/note") == b"hi"
+
+    def test_mkdir_p(self, unix):
+        unix.fs.mkdir_p("/a/b/c")
+        assert unix.fs.inode_at("/a/b/c").is_directory
+
+    def test_unlink(self, unix):
+        unix.fs.write_file("/tmp/x", b"")
+        unix.fs.unlink("/tmp/x")
+        assert not unix.fs.exists("/tmp/x")
+
+    def test_unlink_missing(self, unix):
+        with pytest.raises(UnixError):
+            unix.fs.unlink("/absent")
+
+    def test_relative_paths_rejected(self, unix):
+        with pytest.raises(UnixError):
+            unix.fs.write_file("relative", b"")
+
+    def test_walk_covers_everything(self, unix):
+        paths = {path for path, __ in unix.fs.walk()}
+        assert "/bin/ls" in paths
+        assert "/etc" in paths
+
+    def test_case_sensitive(self, unix):
+        unix.fs.write_file("/tmp/File", b"")
+        assert not unix.fs.exists("/tmp/file")
+
+
+class TestSyscalls:
+    def test_getdents(self, unix):
+        names = [name for name, __, ___ in
+                 unix.syscalls.invoke(UnixSyscall.GETDENTS, "/bin")]
+        assert "ls" in names
+
+    def test_hook_and_mechanism_detection(self, unix):
+        assert unix.syscalls.hooked_entries() == []
+        unix.syscalls.hook(UnixSyscall.GETDENTS,
+                           lambda original: lambda path: original(path))
+        assert unix.syscalls.hooked_entries() == [UnixSyscall.GETDENTS]
+
+    def test_hook_uninstalled_rejected(self, unix):
+        from repro.unixsim.syscalls import SyscallTable
+        empty = SyscallTable()
+        with pytest.raises(UnixError):
+            empty.hook(UnixSyscall.GETDENTS, lambda original: original)
+
+    def test_invoke_unimplemented(self, unix):
+        table = type(unix.syscalls)()
+        with pytest.raises(UnixError):
+            table.invoke(UnixSyscall.OPEN, "/x")
+
+
+class TestRootkitBehaviour:
+    def test_darkside_prefix_hiding(self, unix):
+        Darkside().install(unix)
+        listing = ls_recursive(unix)
+        assert all(".ds_" not in path for path in listing)
+        assert unix.fs.exists("/usr/share/.ds_backdoor")
+
+    def test_superkit_hides_dir_and_denies_open(self, unix):
+        Superkit().install(unix)
+        assert all(".superkit" not in path for path in ls_recursive(unix))
+        assert not unix.syscalls.invoke(UnixSyscall.OPEN,
+                                        "/usr/share/.superkit/sk")
+
+    def test_synapsis_name_list(self, unix):
+        Synapsis().install(unix)
+        listing = ls_recursive(unix)
+        assert all("synapsisd" not in path for path in listing)
+        assert all(".syn_log" not in path for path in listing)
+
+    def test_t0rnkit_trojans_ls_only(self, unix):
+        T0rnkit().install(unix)
+        assert all(".puta" not in path for path in ls_recursive(unix))
+        # the kernel is honest: a shell glob still sees it
+        assert any(".puta" in path for path in shell_glob(unix, "/usr/src"))
+        assert unix.syscalls.hooked_entries() == []
+
+    def test_lkm_registered(self, unix):
+        Darkside().install(unix)
+        assert "darkside.ko" in unix.loaded_modules
+
+
+class TestCrossViewDetection:
+    @pytest.mark.parametrize("kit_cls", [Darkside, Superkit, Synapsis,
+                                         T0rnkit])
+    def test_all_kits_detected(self, kit_cls):
+        machine = UnixMachine(flavor=getattr(kit_cls, "flavor", "linux"))
+        machine.populate(60)
+        kit = kit_cls()
+        kit.install(machine)
+        report = unix_cross_view_scan(machine)
+        hidden = set(report.hidden)
+        assert set(kit.hidden_paths) <= hidden
+
+    def test_clean_machine_clean_report(self, unix):
+        report = unix_cross_view_scan(unix)
+        assert report.is_clean
+        assert report.false_positive_count == 0
+
+    def test_daemon_churn_bounded_noise(self, unix):
+        Superkit().install(unix)
+        report = unix_cross_view_scan(unix, daemon_churn_files=4)
+        assert report.false_positive_count <= 4
+        assert not report.is_clean
+
+    def test_clean_cd_scan_is_truth(self, unix):
+        Darkside().install(unix)
+        outside = clean_cd_scan(unix)
+        assert "/usr/share/.ds_backdoor" in outside
+
+    def test_report_summary(self, unix):
+        Synapsis().install(unix)
+        summary = unix_cross_view_scan(unix).summary()
+        assert "INFECTED" in summary
+        assert "synapsisd" in summary
+
+
+class TestUnixBaselines:
+    def test_kstat_clean_machine(self, unix):
+        from repro.unixsim import kstat_check
+        assert kstat_check(unix).is_clean
+
+    def test_kstat_catches_lkm_hookers(self, unix):
+        from repro.unixsim import kstat_check
+        from repro.unixsim.syscalls import UnixSyscall
+        Darkside().install(unix)
+        report = kstat_check(unix)
+        assert UnixSyscall.GETDENTS in report.hooked
+
+    def test_kstat_blind_to_t0rnkit(self, unix):
+        from repro.unixsim import kstat_check
+        T0rnkit().install(unix)
+        assert kstat_check(unix).is_clean   # no kernel state touched
+
+    def test_chkrootkit_blind_when_paths_hidden(self, unix):
+        """Superkit is on chkrootkit's list — and hides itself from the
+        very syscalls chkrootkit sweeps with."""
+        from repro.unixsim import chkrootkit_check
+        Superkit().install(unix)
+        assert chkrootkit_check(unix).is_clean
+
+    def test_chkrootkit_blind_to_unknown_kits(self, unix):
+        from repro.unixsim import chkrootkit_check
+        Synapsis().install(unix)   # not on the known-path list
+        assert chkrootkit_check(unix).is_clean
+
+    def test_chkrootkit_finds_t0rnkit_dir(self, unix):
+        """T0rnkit's trojaned ls hides .puta — but chkrootkit's sweep
+        here runs the same trojaned view, so it also misses it; only
+        after restoring a clean ls does the known-path check fire."""
+        from repro.unixsim import chkrootkit_check
+        T0rnkit().install(unix)
+        assert chkrootkit_check(unix).is_clean
+        del unix.binaries["/bin/ls"]   # restore a clean ls binary
+        report = chkrootkit_check(unix)
+        assert "/usr/src/.puta" in report.found
+
+    def test_cross_view_needs_no_list_and_no_integrity_truth(self, unix):
+        """The diff catches the kit the baselines both miss."""
+        from repro.unixsim import chkrootkit_check, kstat_check
+        T0rnkit().install(unix)
+        assert kstat_check(unix).is_clean
+        assert chkrootkit_check(unix).is_clean
+        report = unix_cross_view_scan(unix)
+        assert not report.is_clean

@@ -1,0 +1,216 @@
+"""Tests for the layered API stack: resolution, hooks, Win32 semantics."""
+
+import pytest
+
+from repro.errors import AccessDenied, ApiError, InvalidWin32Name
+from repro.winapi.hooks import PatchKind, scan_for_hooks
+from repro.winapi.iomanager import FilterDriver, Irp, IrpOperation
+
+from tests.conftest import win32_ls, task_list
+
+
+class TestCallResolution:
+    def test_unknown_module(self, probe):
+        with pytest.raises(ApiError):
+            probe.call("shlwapi", "PathCombine")
+
+    def test_unknown_function(self, probe):
+        with pytest.raises(ApiError):
+            probe.call("kernel32", "NoSuchExport")
+
+    def test_iat_hook_takes_priority(self, probe):
+        probe.hook_iat("kernel32", "ReadFile",
+                       lambda proc, path: b"iat says hi", owner="test")
+        assert probe.call("kernel32", "ReadFile", "\\x") == b"iat says hi"
+
+    def test_iat_unhook_restores(self, booted, probe):
+        booted.volume.create_file("\\real.txt", b"real")
+        probe.hook_iat("kernel32", "ReadFile",
+                       lambda proc, path: b"fake", owner="test")
+        probe.unhook_iat("kernel32", "ReadFile")
+        assert probe.call("kernel32", "ReadFile", "\\real.txt") == b"real"
+
+    def test_inline_patch_wraps(self, booted, probe):
+        booted.volume.create_file("\\f.txt", b"abc")
+        site = probe.code_site("kernel32", "ReadFile")
+        site.patch_inline(lambda orig:
+                          lambda proc, path: orig(proc, path) + b"!",
+                          PatchKind.INLINE_DETOUR, "test")
+        assert probe.call("kernel32", "ReadFile", "\\f.txt") == b"abc!"
+
+    def test_inline_restore(self, booted, probe):
+        booted.volume.create_file("\\f.txt", b"abc")
+        site = probe.code_site("kernel32", "ReadFile")
+        site.patch_inline(lambda orig: lambda proc, path: b"lie",
+                          PatchKind.INLINE_CALL, "test")
+        site.restore()
+        assert probe.call("kernel32", "ReadFile", "\\f.txt") == b"abc"
+        assert not site.patched
+
+    def test_hooks_are_per_process(self, booted, probe):
+        other = booted.start_process("\\Windows\\explorer.exe",
+                                     name="other.exe")
+        probe.hook_iat("kernel32", "ReadFile",
+                       lambda proc, path: b"hooked", owner="test")
+        booted.volume.create_file("\\f.txt", b"clean")
+        assert other.call("kernel32", "ReadFile", "\\f.txt") == b"clean"
+
+    def test_invalid_inline_kind_rejected(self, probe):
+        site = probe.code_site("kernel32", "ReadFile")
+        with pytest.raises(ApiError):
+            site.patch_inline(lambda orig: orig, PatchKind.IAT, "test")
+
+
+class TestWin32FileSemantics:
+    def test_find_skips_native_only_names(self, booted, probe):
+        booted.volume.create_file("\\Temp\\ok.txt", b"")
+        booted.volume.create_file("\\Temp\\bad. ", b"", native=True)
+        assert win32_ls(probe, "\\Temp") == ["ok.txt"]
+
+    def test_create_rejects_reserved_names(self, probe):
+        with pytest.raises(InvalidWin32Name):
+            probe.call("kernel32", "CreateFile", "\\Temp\\CON")
+
+    def test_create_read_delete_through_stack(self, booted, probe):
+        probe.call("kernel32", "CreateFile", "\\Temp\\t.txt", b"hello")
+        assert probe.call("kernel32", "ReadFile", "\\Temp\\t.txt") == \
+            b"hello"
+        probe.call("kernel32", "DeleteFile", "\\Temp\\t.txt")
+        assert not booted.volume.exists("\\Temp\\t.txt")
+
+    def test_write_creates_or_replaces(self, booted, probe):
+        probe.call("kernel32", "WriteFile", "\\Temp\\w.txt", b"one")
+        probe.call("kernel32", "WriteFile", "\\Temp\\w.txt", b"two")
+        assert booted.volume.read_file("\\Temp\\w.txt") == b"two"
+
+    def test_max_path_rejected(self, probe):
+        deep = "\\Temp\\" + "a" * 300
+        with pytest.raises(InvalidWin32Name):
+            probe.call("kernel32", "ReadFile", deep)
+
+
+class TestNativeSemantics:
+    def test_native_sees_win32_illegal(self, booted, probe):
+        booted.volume.create_file("\\Temp\\ghost.", b"", native=True)
+        entries = probe.call("ntdll", "NtQueryDirectoryFile", "\\Temp")
+        assert "ghost." in [entry.name for entry in entries]
+
+    def test_native_create_allows_trailing_dot(self, booted, probe):
+        probe.call("ntdll", "NtCreateFile", "\\Temp\\dot.", b"x")
+        assert booted.volume.exists("\\Temp\\dot.")
+
+
+class TestRegistryWin32Semantics:
+    def test_nul_name_truncated(self, booted, probe):
+        run = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+        booted.registry.set_value(run, "shown\x00hidden", "evil.exe")
+        views = probe.call("advapi32", "RegEnumValue", run)
+        names = [view.name for view in views]
+        assert "shown" in names
+        assert all("\x00" not in name for name in names)
+
+    def test_overlong_name_skipped(self, booted, probe):
+        run = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+        booted.registry.set_value(run, "L" * 300, "x")
+        views = probe.call("advapi32", "RegEnumValue", run)
+        assert views == []
+
+    def test_native_enum_sees_full_names(self, booted, probe):
+        run = "HKLM\\SOFTWARE\\Microsoft\\Windows\\CurrentVersion\\Run"
+        booted.registry.set_value(run, "a\x00b", "x")
+        values = probe.call("ntdll", "NtEnumerateValueKey", run)
+        assert any(value.name == "a\x00b" for value in values)
+
+    def test_query_missing_value(self, probe):
+        view = probe.call("advapi32", "RegQueryValue",
+                          "HKLM\\SOFTWARE", "absent")
+        assert view is None
+
+    def test_set_and_delete_via_api(self, booted, probe):
+        key = "HKLM\\SOFTWARE\\TestApp"
+        probe.call("advapi32", "RegSetValue", key, "v", "data")
+        assert str(booted.registry.get_value(key, "v").native_data()) == \
+            "data"
+        probe.call("advapi32", "RegDeleteValue", key, "v")
+        assert booted.registry.enum_values(key) == []
+
+
+class TestProcessApis:
+    def test_toolhelp_lists_system_processes(self, probe):
+        names = task_list(probe)
+        assert "System" in names
+        assert "explorer.exe" in names
+
+    def test_module_snapshot(self, booted, probe):
+        explorer = booted.process_by_name("explorer.exe")
+        snapshot = probe.call("kernel32", "Module32Snapshot", explorer.pid)
+        first = probe.call("kernel32", "Module32First", snapshot)
+        assert first.endswith("ntdll.dll")
+
+
+class TestFilterDrivers:
+    def test_enumeration_filter(self, booted, probe):
+        booted.volume.create_file("\\Temp\\visible.txt", b"")
+        booted.volume.create_file("\\Temp\\secret.txt", b"")
+
+        class Hider(FilterDriver):
+            def filter_enumeration(self, irp, entries):
+                return [entry for entry in entries
+                        if "secret" not in entry.name]
+
+        booted.io_manager.attach_filter(Hider())
+        assert win32_ls(probe, "\\Temp") == ["visible.txt"]
+
+    def test_pre_operation_denial(self, booted, probe):
+        booted.volume.create_file("\\Temp\\locked.txt", b"")
+
+        class Denier(FilterDriver):
+            def pre_operation(self, irp):
+                if irp.operation == IrpOperation.READ and \
+                        "locked" in irp.path:
+                    raise AccessDenied(irp.path)
+
+        booted.io_manager.attach_filter(Denier())
+        with pytest.raises(AccessDenied):
+            probe.call("kernel32", "ReadFile", "\\Temp\\locked.txt")
+
+    def test_irp_carries_requestor(self, booted, probe):
+        seen = []
+
+        class Spy(FilterDriver):
+            def filter_enumeration(self, irp, entries):
+                seen.append(irp.requestor_pid)
+                return entries
+
+        booted.io_manager.attach_filter(Spy())
+        win32_ls(probe, "\\Temp")
+        assert seen == [probe.pid]
+
+    def test_detach_filter(self, booted, probe):
+        booted.volume.create_file("\\Temp\\s.txt", b"")
+
+        class HideAll(FilterDriver):
+            def filter_enumeration(self, irp, entries):
+                return []
+
+        hide_all = HideAll()
+        booted.io_manager.attach_filter(hide_all)
+        assert win32_ls(probe, "\\Temp") == []
+        booted.io_manager.detach_filter(hide_all)
+        assert win32_ls(probe, "\\Temp") == ["s.txt"]
+
+
+class TestHookScanner:
+    def test_clean_machine_reports_nothing(self, booted, probe):
+        assert scan_for_hooks([probe]) == []
+
+    def test_reports_iat_and_inline(self, booted, probe):
+        probe.hook_iat("kernel32", "FindFirstFile",
+                       lambda proc, d: (0, None), owner="evil")
+        probe.code_site("ntdll", "NtQueryDirectoryFile").patch_inline(
+            lambda orig: orig, PatchKind.INLINE_DETOUR, "evil2")
+        reports = scan_for_hooks([probe])
+        kinds = {report.kind for report in reports}
+        assert kinds == {PatchKind.IAT, PatchKind.INLINE_DETOUR}
+        owners = {report.owner for report in reports}
+        assert owners == {"evil", "evil2"}

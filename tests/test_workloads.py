@@ -1,0 +1,115 @@
+"""Tests for machine profiles, populations, background services,
+and the signature scanner."""
+
+import pytest
+
+from repro.core import GhostBuster
+from repro.workloads import (PAPER_MACHINES, SignatureScanner,
+                             attach_standard_services, build_machine,
+                             populate_machine)
+from repro.workloads.background import CcmService
+from repro.workloads.machines import SMALL_MACHINES, WORKSTATION
+
+
+class TestProfiles:
+    def test_eight_machines(self):
+        assert len(PAPER_MACHINES) == 8
+        assert len(SMALL_MACHINES) == 7
+
+    def test_paper_hardware_spread(self):
+        small_cpus = [profile.cpu_mhz for profile in SMALL_MACHINES]
+        assert min(small_cpus) == 550
+        assert max(small_cpus) == 2200
+        small_disks = [profile.disk_used_gb for profile in SMALL_MACHINES]
+        assert min(small_disks) == 5
+        assert max(small_disks) == 34
+        assert WORKSTATION.disk_used_gb == 95
+        assert WORKSTATION.cpu_mhz == 3000
+
+    def test_entity_scale_consistency(self):
+        profile = PAPER_MACHINES[0]
+        assert profile.entity_scale * profile.actual_files == \
+            pytest.approx(profile.virtual_files)
+
+    def test_build_machine_boots_and_populates(self):
+        machine = build_machine(PAPER_MACHINES[3], seed=5)
+        assert machine.powered_on
+        assert machine.volume.file_count() >= PAPER_MACHINES[3].actual_files
+        assert len(machine.user_processes()) >= \
+            PAPER_MACHINES[3].process_count
+
+    def test_population_deterministic(self):
+        first = build_machine(PAPER_MACHINES[3], seed=9, boot=False)
+        second = build_machine(PAPER_MACHINES[3], seed=9, boot=False)
+        paths_a = {stat.path for stat in first.volume.walk()}
+        paths_b = {stat.path for stat in second.volume.walk()}
+        assert paths_a == paths_b
+
+    def test_population_seed_changes_layout(self):
+        first = build_machine(PAPER_MACHINES[3], seed=1, boot=False)
+        second = build_machine(PAPER_MACHINES[3], seed=2, boot=False)
+        paths_a = {stat.path for stat in first.volume.walk()}
+        paths_b = {stat.path for stat in second.volume.walk()}
+        assert paths_a != paths_b
+
+
+class TestPopulation:
+    def test_stats_reported(self, machine):
+        stats = populate_machine(machine, file_count=120,
+                                 registry_scale=500)
+        assert stats.files_created == 120
+        assert stats.registry_values > 10
+        assert stats.hive_bytes > 0
+
+    def test_populated_machine_scans_clean(self, machine):
+        populate_machine(machine, file_count=150, registry_scale=500)
+        machine.boot()
+        report = GhostBuster(machine, advanced=True).inside_scan()
+        assert report.is_clean
+
+
+class TestBackgroundServices:
+    def test_default_pair_two_files_per_window(self, booted):
+        attach_standard_services(booted)
+        before = booted.volume.file_count()
+        booted.run_background(60)
+        booted.shutdown()
+        assert booted.volume.file_count() - before == 2
+
+    def test_ccm_machine_seven_files(self, booted):
+        attach_standard_services(booted, with_ccm=True)
+        before = booted.volume.file_count()
+        booted.run_background(60)
+        booted.shutdown()
+        assert booted.volume.file_count() - before == 7
+
+    def test_disabling_ccm_restores_baseline(self, booted):
+        services = attach_standard_services(booted, with_ccm=True)
+        ccm = next(service for service in services
+                   if isinstance(service, CcmService))
+        ccm.enabled = False
+        before = booted.volume.file_count()
+        booted.run_background(60)
+        booted.shutdown()
+        assert booted.volume.file_count() - before == 2
+
+    def test_run_background_requires_power(self, machine):
+        from repro.errors import MachineStateError
+        with pytest.raises(MachineStateError):
+            machine.run_background(10)
+
+
+class TestSignatureScanner:
+    def test_finds_planted_malware_file(self, booted):
+        booted.volume.create_file("\\Temp\\dropper.exe", b"MZberbew junk")
+        hits = SignatureScanner().on_demand_scan(booted)
+        assert any(hit.malware == "Backdoor/Berbew" for hit in hits)
+
+    def test_clean_machine_no_hits(self, booted):
+        assert SignatureScanner().on_demand_scan(booted) == []
+
+    def test_scanner_process_created_once(self, booted):
+        scanner = SignatureScanner()
+        first = scanner.ensure_process(booted)
+        second = scanner.ensure_process(booted)
+        assert first is second
