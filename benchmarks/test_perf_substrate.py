@@ -13,9 +13,9 @@ import pytest
 from repro.core.diff import cross_view_diff
 from repro.core.snapshot import FileEntry, ResourceType, ScanSnapshot
 from repro.disk import Disk, DiskGeometry
-from repro.ntfs import NtfsVolume, parse_volume
+from repro.ntfs import MftParser, NtfsVolume, parse_volume
 from repro.registry.hive import Hive
-from repro.registry.hive_parser import parse_hive
+from repro.registry.hive_parser import clear_hive_cache, parse_hive
 
 
 def _populated_disk(file_count: int):
@@ -28,20 +28,46 @@ def _populated_disk(file_count: int):
 
 
 @pytest.mark.parametrize("file_count", [200, 1000])
-def test_raw_mft_parse(benchmark, file_count):
+def test_raw_mft_parse_cold(benchmark, file_count):
     disk = _populated_disk(file_count)
-    entries = benchmark(lambda: parse_volume(disk))
+
+    def cold_parse():
+        disk.raw_cache.clear()   # measure the parse, not the cache hit
+        return parse_volume(disk)
+
+    entries = benchmark(cold_parse)
     assert len(entries) == file_count + 1   # files + \data
 
 
-def test_raw_hive_parse(benchmark):
+def test_raw_mft_parse_cached(benchmark):
+    disk = _populated_disk(1000)
+    parse_volume(disk)   # warm the per-(disk, generation) cache
+    entries = benchmark(lambda: parse_volume(disk))
+    assert len(entries) == 1001
+
+
+def test_read_file_content_indexed(benchmark):
+    disk = _populated_disk(1000)
+    parser = MftParser(disk.read_bytes)
+    parser.parse()   # build the namespace index once
+    content = benchmark(
+        lambda: parser.read_file_content("\\data\\file00500.bin"))
+    assert content == b"x" * 100
+
+
+def test_raw_hive_parse_cold(benchmark):
     hive = Hive("PERF")
     for key_index in range(100):
         key = hive.create_key(f"Vendor\\App{key_index:03d}")
         for value_index in range(8):
             key.set_value(f"setting{value_index}", "x" * 24)
     blob = hive.serialize()
-    parsed = benchmark(lambda: parse_hive(blob))
+
+    def cold_parse():
+        clear_hive_cache()   # measure the parse, not the memo hit
+        return parse_hive(blob)
+
+    parsed = benchmark(cold_parse)
     assert len(parsed.root.subkey("Vendor").subkeys) == 100
 
 

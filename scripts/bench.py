@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Substrate hot-path benchmark: the trajectory future PRs must beat.
+
+Measures five hot paths and writes the timings to ``BENCH_PR1.json``:
+
+1. **raw MFT parse (cold)** — one full namespace parse of a 1000-file
+   disk with every cache cleared;
+2. **repeated ``read_file_content``** — N content reads through one
+   parser, against a faithful emulation of the pre-caching code (a full
+   MFT re-parse per lookup);
+3. **raw ASEP scan (multi-hive)** — repeated low-level registry scans,
+   against the pre-caching behaviour (full MFT re-parse per hive file
+   plus an unmemoized hive parse per scan);
+4. **RIS fleet sweep** — 50 clients cloned from one golden image, serial
+   vs 8 workers, with a per-client wait modelling the PXE/TFTP transfer
+   and client-side I/O the server spends its time on in a real
+   deployment (the simulated scan itself is in-process compute, which
+   the GIL serializes; the latency-dominated regime is where a real RIS
+   server lives and where parallel sweeps pay off);
+5. **10k-entry cross-view diff** — the detection engine's inner loop.
+
+Run:  PYTHONPATH=src python scripts/bench.py [--smoke] [--out FILE]
+
+``--smoke`` shrinks every profile for CI (no speedup gates, no default
+output file); the full run enforces the PR-1 acceptance floors and
+fails loudly if a regression drops below them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import RisServer                            # noqa: E402
+from repro.core.diff import DetectionReport, cross_view_diff  # noqa: E402
+from repro.core.scanners.registry import low_level_asep_scan  # noqa: E402
+from repro.core.snapshot import (FileEntry, ResourceType,     # noqa: E402
+                                 ScanSnapshot)
+from repro.disk import Disk, DiskGeometry                   # noqa: E402
+from repro.ghostware import HackerDefender                  # noqa: E402
+from repro.machine import HIVE_FILES, Machine               # noqa: E402
+from repro.ntfs import MftParser, NtfsVolume                # noqa: E402
+from repro.registry import hive_parser                      # noqa: E402
+from repro.workloads import populate_machine                # noqa: E402
+
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+def clear_caches(*disks) -> None:
+    hive_parser.clear_hive_cache()
+    for disk in disks:
+        disk.raw_cache.clear()
+
+
+def timed(action, repeat: int = 3) -> float:
+    """Best-of-N wall-clock seconds for ``action()``."""
+    samples = []
+    for __ in range(repeat):
+        start = time.perf_counter()
+        action()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+# -- profiles -----------------------------------------------------------------
+
+
+def populated_disk(file_count: int) -> Disk:
+    disk = Disk(DiskGeometry.from_megabytes(256))
+    volume = NtfsVolume.format(disk, max_records=file_count * 2 + 64)
+    volume.create_directories("\\data")
+    for index in range(file_count):
+        volume.create_file(f"\\data\\file{index:05d}.bin", b"x" * 100)
+    return disk
+
+
+def golden_machine(file_count: int) -> Machine:
+    machine = Machine("golden", disk_mb=512, max_records=8192)
+    populate_machine(machine, file_count=file_count, registry_scale=200,
+                     seed=7)
+    return machine
+
+
+def cloned_fleet(golden: Machine, count: int, infected=()):
+    fleet = []
+    for index in range(count):
+        machine = Machine(f"fleet-{index:02d}", disk=golden.disk.clone(),
+                          max_records=8192)
+        machine.boot()
+        if index in infected:
+            HackerDefender().install(machine)
+        fleet.append(machine)
+    return fleet
+
+
+# -- hot paths ----------------------------------------------------------------
+
+
+def bench_raw_mft_parse(file_count: int) -> float:
+    disk = populated_disk(file_count)
+
+    def cold_parse():
+        clear_caches(disk)
+        entries = MftParser(disk.read_bytes).parse()
+        assert len(entries) == file_count + 1
+
+    return timed(cold_parse)
+
+
+def bench_read_file_content(file_count: int, reads: int) -> dict:
+    disk = populated_disk(file_count)
+    paths = [f"\\data\\file{i:05d}.bin" for i in range(reads)]
+
+    def legacy():
+        # Pre-caching behaviour: find_by_path fully re-parsed the MFT on
+        # every call; emulated with a cache-cleared fresh parser per read.
+        for path in paths:
+            clear_caches(disk)
+            assert MftParser(disk.read_bytes).read_file_content(path)
+
+    def cached():
+        clear_caches(disk)
+        parser = MftParser(disk.read_bytes)
+        for path in paths:
+            assert parser.read_file_content(path)
+
+    legacy_s = timed(legacy, repeat=1)
+    cached_s = timed(cached)
+    return {"legacy_s": legacy_s, "cached_s": cached_s,
+            "speedup": legacy_s / cached_s}
+
+
+def bench_raw_asep_scan(file_count: int, scans: int) -> dict:
+    machine = golden_machine(file_count)
+    machine.boot()
+    port = machine.kernel.disk_port
+
+    def legacy_once():
+        # Pre-caching RawHiveReader: one full MFT parse per hive file
+        # (find_by_path scanned the whole namespace) and an unmemoized
+        # hive parse per scan.
+        for hive_file in HIVE_FILES.values():
+            clear_caches(machine.disk)
+            blob = MftParser(port.read_bytes).read_file_content(hive_file)
+            hive_parser.HiveParser(blob).parse()
+
+    def legacy():
+        for __ in range(scans):
+            legacy_once()
+
+    def cached():
+        clear_caches(machine.disk)
+        for __ in range(scans):
+            low_level_asep_scan(machine)
+
+    legacy_s = timed(legacy, repeat=1)
+    cached_s = timed(cached)
+    return {"legacy_s": legacy_s, "cached_s": cached_s,
+            "speedup": legacy_s / cached_s}
+
+
+def bench_ris_sweep(fleet_size: int, workers: int, client_wait: float,
+                    file_count: int) -> dict:
+    golden = golden_machine(file_count)
+    infected = tuple(range(0, fleet_size, max(1, fleet_size // 3)))[:3]
+    server = RisServer(client_wait_seconds=client_wait)
+
+    def finding_key(result):
+        return sorted(
+            (name, sorted((f.resource_type.value, str(f.entry.identity))
+                          for f in report.findings if not f.is_noise))
+            for name, report in result.reports.items())
+
+    serial_fleet = cloned_fleet(golden, fleet_size, infected)
+    serial = server.sweep(serial_fleet, max_workers=1)
+    parallel_fleet = cloned_fleet(golden, fleet_size, infected)
+    parallel = server.sweep(parallel_fleet, max_workers=workers)
+
+    identical = finding_key(serial) == finding_key(parallel)
+    return {
+        "fleet_size": fleet_size,
+        "workers": workers,
+        "client_wait_s": client_wait,
+        "serial_s": serial.wall_seconds,
+        "parallel_s": parallel.wall_seconds,
+        "speedup": serial.wall_seconds / parallel.wall_seconds,
+        "findings_identical": identical,
+        "infected_machines": parallel.infected_machines,
+        "simulated_seconds": parallel.simulated_seconds,
+    }
+
+
+def bench_diff_10k(entry_count: int) -> float:
+    def snapshot(view, count, offset=0):
+        entries = [FileEntry(f"\\f{i + offset}", f"f{i + offset}", False, 0)
+                   for i in range(count)]
+        return ScanSnapshot(ResourceType.FILE, view=view, entries=entries)
+
+    lie = snapshot("lie", entry_count)
+    truth = snapshot("truth", entry_count, offset=5)
+
+    def diff_and_merge():
+        report = DetectionReport("bench", mode="inside")
+        for __ in range(5):
+            report.add_findings(cross_view_diff(lie, truth))
+        assert len(report.findings) == 5
+
+    return timed(diff_and_merge)
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny profiles, no perf gates (CI)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default: BENCH_PR1.json "
+                             "for full runs, none for --smoke)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        profile = dict(files=120, reads=10, scans=3, fleet=6, workers=2,
+                       client_wait=0.02, diff_entries=2_000)
+    else:
+        profile = dict(files=1000, reads=40, scans=5, fleet=50, workers=8,
+                       client_wait=0.25, diff_entries=10_000)
+
+    print(f"profile: {profile}")
+    results = {"pr": 1, "mode": "smoke" if args.smoke else "full",
+               "profile": profile, "timings": {}}
+    timings = results["timings"]
+
+    timings["raw_mft_parse_cold_s"] = bench_raw_mft_parse(profile["files"])
+    print(f"raw MFT parse (cold, {profile['files']} files): "
+          f"{timings['raw_mft_parse_cold_s'] * 1000:.1f} ms")
+
+    timings["read_file_content"] = bench_read_file_content(
+        profile["files"], profile["reads"])
+    print(f"repeated read_file_content ({profile['reads']} reads): "
+          f"{timings['read_file_content']['speedup']:.1f}x vs seed")
+
+    timings["raw_asep_scan"] = bench_raw_asep_scan(
+        profile["files"], profile["scans"])
+    print(f"raw ASEP scan ({profile['scans']} scans x "
+          f"{len(HIVE_FILES)} hives): "
+          f"{timings['raw_asep_scan']['speedup']:.1f}x vs seed")
+
+    timings["ris_sweep"] = bench_ris_sweep(
+        profile["fleet"], profile["workers"], profile["client_wait"],
+        file_count=min(profile["files"], 120))
+    sweep = timings["ris_sweep"]
+    print(f"RIS sweep ({sweep['fleet_size']} machines): "
+          f"serial {sweep['serial_s']:.2f}s, "
+          f"{sweep['workers']} workers {sweep['parallel_s']:.2f}s "
+          f"({sweep['speedup']:.1f}x), findings identical: "
+          f"{sweep['findings_identical']}")
+
+    timings["diff_10k_s"] = bench_diff_10k(profile["diff_entries"])
+    print(f"cross-view diff + merge ({profile['diff_entries']} entries "
+          f"x5): {timings['diff_10k_s'] * 1000:.1f} ms")
+
+    failures = []
+    if not args.smoke:
+        gates = (
+            ("read_file_content speedup >= 5x",
+             timings["read_file_content"]["speedup"] >= 5),
+            ("raw ASEP scan speedup >= 5x",
+             timings["raw_asep_scan"]["speedup"] >= 5),
+            ("RIS sweep speedup >= 3x", sweep["speedup"] >= 3),
+            ("RIS sweep findings identical", sweep["findings_identical"]),
+        )
+        for label, passed in gates:
+            print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+            if not passed:
+                failures.append(label)
+    elif not sweep["findings_identical"]:
+        failures.append("RIS sweep findings identical")
+
+    out = args.out or (None if args.smoke else OUT_DEFAULT)
+    if out is not None:
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if failures:
+        print(f"FAILED gates: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,9 +13,15 @@ seconds as floats.
 
 from __future__ import annotations
 
+import threading
+
 
 class SimClock:
     """A monotonically advancing simulated clock.
+
+    Thread-safe: parallel RIS sweeps may scan several machines that share
+    one clock, and ``advance`` is a read-modify-write that would lose
+    charges if two scan threads raced it.
 
     >>> clock = SimClock()
     >>> clock.now()
@@ -29,6 +35,7 @@ class SimClock:
         if start < 0:
             raise ValueError("clock cannot start before the epoch")
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         """Return the current simulated time in seconds since the epoch."""
@@ -38,7 +45,8 @@ class SimClock:
         """Move the clock forward.  Negative advances are rejected."""
         if seconds < 0:
             raise ValueError(f"cannot move the clock backwards ({seconds})")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     def stopwatch(self) -> "Stopwatch":
         """Return a stopwatch anchored at the current instant."""

@@ -63,6 +63,30 @@ class DetectionReport:
     durations: Dict[str, float] = field(default_factory=dict)
     snapshots: List[ScanSnapshot] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._sync_seen()
+
+    def _sync_seen(self) -> None:
+        self._seen = {(finding.resource_type, finding.entry.identity)
+                      for finding in self.findings}
+        self._seen_length = len(self.findings)
+
+    def add_findings(self, findings: List[Finding]) -> None:
+        """Append findings, deduplicating on (resource type, identity).
+
+        The dedup set is kept incrementally across calls instead of being
+        rebuilt from the full findings list each time; code that appends
+        to ``findings`` directly is reconciled on the next call.
+        """
+        if len(self.findings) != self._seen_length:
+            self._sync_seen()
+        for finding in findings:
+            key = (finding.resource_type, finding.entry.identity)
+            if key not in self._seen:
+                self.findings.append(finding)
+                self._seen.add(key)
+        self._seen_length = len(self.findings)
+
     def _of(self, resource_type: ResourceType,
             include_noise: bool = False) -> List[Finding]:
         return [finding for finding in self.findings

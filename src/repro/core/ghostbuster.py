@@ -85,12 +85,7 @@ class GhostBuster:
 
     @staticmethod
     def _merge(report: DetectionReport, findings: List[Finding]) -> None:
-        known = {(f.resource_type, f.entry.identity) for f in report.findings}
-        for finding in findings:
-            key = (finding.resource_type, finding.entry.identity)
-            if key not in known:
-                report.findings.append(finding)
-                known.add(key)
+        report.add_findings(findings)
 
     def _inside_files(self, report: DetectionReport) -> None:
         lie = file_scans.high_level_file_scan(self.machine,

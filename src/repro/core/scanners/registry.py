@@ -17,7 +17,7 @@ Three readers feed the same catalog-driven enumerator
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import costmodel
 from repro.core.scanners.files import ensure_scanner_process
@@ -136,32 +136,33 @@ class _ParsedHiveForest:
 
 
 def _parse_hives_via(read_bytes, hive_files: Dict[str, str]
-                     ) -> Dict[str, ParsedKey]:
+                     ) -> Tuple[Dict[str, ParsedKey], int]:
+    """Parse every hive's backing file off one raw parse of the MFT.
+
+    One :class:`MftParser` serves all hive files — its parse-once
+    namespace index means the MFT is walked a single time, not once per
+    hive — and :func:`parse_hive` is memoized on the blob digest.
+    Returns ``(mount → root, total hive bytes read)`` for cost charging.
+    """
     parser = MftParser(read_bytes)
     roots: Dict[str, ParsedKey] = {}
+    hive_bytes = 0
     for mount, hive_file in hive_files.items():
         try:
             blob = parser.read_file_content(hive_file)
             roots[mount] = parse_hive(blob).root
+            hive_bytes += len(blob)
         except Exception:
             continue   # missing or shredded hive: scan what remains
-    return roots
+    return roots, hive_bytes
 
 
 class RawHiveReader(_ParsedHiveForest):
     """Inside-the-box truth approximation: raw hive files off the MFT."""
 
     def __init__(self, machine: Machine):
-        self.hive_bytes = 0
-        roots = {}
-        parser = MftParser(machine.kernel.disk_port.read_bytes)
-        for mount, hive_file in HIVE_FILES.items():
-            try:
-                blob = parser.read_file_content(hive_file)
-                roots[mount] = parse_hive(blob).root
-                self.hive_bytes += len(blob)
-            except Exception:
-                continue   # missing or shredded hive: scan what remains
+        roots, self.hive_bytes = _parse_hives_via(
+            machine.kernel.disk_port.read_bytes, HIVE_FILES)
         super().__init__(roots, win32_semantics=False)
 
 
@@ -169,7 +170,7 @@ class OutsideHiveReader(_ParsedHiveForest):
     """Outside-the-box: hive files parsed from the physical disk."""
 
     def __init__(self, disk, win32_semantics: bool = True):
-        roots = _parse_hives_via(disk.read_bytes, HIVE_FILES)
+        roots, __ = _parse_hives_via(disk.read_bytes, HIVE_FILES)
         super().__init__(roots, win32_semantics=win32_semantics)
 
 

@@ -103,7 +103,21 @@ class ScanSnapshot:
     duration: float = 0.0
 
     def identities(self) -> Dict[Hashable, object]:
-        return {entry.identity: entry for entry in self.entries}
+        """``identity → entry`` for this view, built once per entry set.
+
+        The index is cached against a ``(list identity, length)``
+        fingerprint so replacing or growing ``entries`` invalidates it;
+        treat the returned mapping as read-only.  Same-length in-place
+        element swaps are not detected — replace the list instead (as
+        the scanners do).
+        """
+        fingerprint = (id(self.entries), len(self.entries))
+        cached = getattr(self, "_identity_cache", None)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        index = {entry.identity: entry for entry in self.entries}
+        self._identity_cache = (fingerprint, index)
+        return index
 
     def __len__(self) -> int:
         return len(self.entries)

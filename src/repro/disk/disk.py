@@ -21,11 +21,20 @@ class Disk:
     Storage is a dict keyed by sector index; absent sectors are all-zero.
     This lets experiments declare multi-gigabyte nominal geometries while
     only paying for the sectors actually written.
+
+    ``generation`` is a monotonic write counter: every mutation bumps it,
+    so any derived view of the disk (a parsed MFT namespace, for example)
+    can be cached keyed on the generation and dropped the instant the
+    underlying bytes change.  ``raw_cache`` is the host for such derived
+    views; consumers store ``(generation, payload)`` entries under their
+    own key and must revalidate the generation on every lookup.
     """
 
     def __init__(self, geometry: DiskGeometry):
         self.geometry = geometry
         self._sectors: Dict[int, bytes] = {}
+        self.generation: int = 0
+        self.raw_cache: Dict[str, tuple] = {}
 
     # -- sector-level interface -------------------------------------------
 
@@ -42,6 +51,7 @@ class Disk:
                 f"sector write must be exactly {self.geometry.sector_size} "
                 f"bytes, got {len(data)}")
         self._sectors[index] = bytes(data)
+        self.generation += 1
 
     # -- byte-level interface ---------------------------------------------
 
@@ -82,6 +92,7 @@ class Disk:
         for pos, index in enumerate(range(first, last + 1)):
             self._sectors[index] = bytes(
                 blob[pos * sector_size:(pos + 1) * sector_size])
+        self.generation += 1
 
     # -- maintenance --------------------------------------------------------
 
@@ -95,9 +106,17 @@ class Disk:
         return len(self._sectors) * self.geometry.sector_size
 
     def clone(self) -> "Disk":
-        """Deep-copy the disk (used to snapshot a VM's virtual drive)."""
+        """Deep-copy the disk (used to snapshot a VM's virtual drive).
+
+        The clone inherits the generation counter and the current cache
+        entries: a fleet of machines imaged from one golden disk shares
+        the golden parse until any clone diverges (its own writes bump
+        its own generation, which invalidates its inherited entries).
+        """
         copy = Disk(self.geometry)
         copy._sectors = dict(self._sectors)
+        copy.generation = self.generation
+        copy.raw_cache = dict(self.raw_cache)
         return copy
 
     def _check_sector(self, index: int) -> None:

@@ -76,6 +76,16 @@ class DiskPort:
     def disk(self):
         return self._disk
 
+    @property
+    def generation(self) -> int:
+        """The backing disk's write generation (cache-invalidation key).
+
+        Raw-parse caches key on this plus the identity of the installed
+        read filters: a filtered port never shares cache entries with the
+        unfiltered view (A3 interference must stay observable).
+        """
+        return getattr(self._disk, "generation", 0)
+
     def read_bytes(self, offset: int, length: int) -> bytes:
         data = self._disk.read_bytes(offset, length)
         for read_filter in self.read_filters:

@@ -11,13 +11,31 @@ Two access paths matter:
 * **outside-the-box** — called with ``disk.read_bytes`` (ground truth);
 * **inside-the-box** — called with the kernel's raw-device port, which an
   *advanced* ghostware strain can intercept (ablation A3).
+
+Performance: the parser parses the MFT region **once** into an indexed
+namespace (``normalize_key(path) → ParsedFile`` plus ``record_no →
+MftRecord``), so ``find_by_path`` / ``read_file_content`` /
+``read_stream_content`` are O(1) lookups after the first parse instead
+of a full re-parse per call.  When the ``read_bytes`` callable is bound
+to a :class:`~repro.disk.Disk` (or to an unfiltered kernel disk port),
+the parsed namespace is additionally cached *on the disk* keyed by its
+write-generation counter, so repeated scans of an unchanged disk — e.g.
+one raw ASEP scan per hive file, or a whole RIS sweep over cloned fleet
+images — skip the parse entirely.  Any disk write bumps the generation
+and forces a fresh raw parse.
+
+A3 interference semantics are preserved: every byte still flows through
+the supplied ``read_bytes`` callable, and a port with *any* read filter
+installed never consults or populates the shared disk cache (its
+filtered view is memoized only within the parser instance, keyed on the
+filter set, so installing/removing a filter also forces a re-parse).
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import CorruptRecord, FileNotFound
 from repro.ntfs import constants as c
@@ -27,6 +45,16 @@ from repro.ntfs.records import MftRecord
 ReadBytes = Callable[[int, int], bytes]
 
 _MAX_PATH_DEPTH = 4096
+_NAMESPACE_CACHE_KEY = "mft-namespace"
+
+
+@dataclass
+class _ParsedNamespace:
+    """One full raw parse, indexed for O(1) lookups."""
+
+    records: Dict[int, MftRecord]
+    entries: List["ParsedFile"]
+    by_key: Dict[str, "ParsedFile"]      # normalize_key(path) → entry
 
 
 @dataclass(frozen=True)
@@ -52,6 +80,10 @@ class MftParser:
 
     def __init__(self, read_bytes: ReadBytes):
         self._read = read_bytes
+        self._disk_source, self._port_source = self._resolve_source(
+            read_bytes)
+        self._namespace: Optional[_ParsedNamespace] = None
+        self._namespace_token: Optional[Tuple] = None
         boot = self._read(0, 512)
         if boot[c.BOOT_MAGIC_OFFSET:c.BOOT_MAGIC_OFFSET + 8] != c.BOOT_MAGIC:
             raise CorruptRecord("not an NTFS boot sector")
@@ -106,6 +138,65 @@ class MftParser:
             if record is not None:
                 yield record
 
+    # -- caching ------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_source(read_bytes: ReadBytes):
+        """Identify what the read callable is bound to, by duck typing.
+
+        Returns ``(disk_like, port_like)``: a disk exposes ``generation``
+        and ``raw_cache``; a kernel disk port exposes ``disk`` and
+        ``read_filters``.  A bare callable (test double, custom wrapper)
+        resolves to ``(None, None)`` and gets instance-local memoization
+        only.
+        """
+        owner = getattr(read_bytes, "__self__", None)
+        if owner is None:
+            return None, None
+        if hasattr(owner, "read_filters") and hasattr(owner, "disk"):
+            disk = owner.disk
+            if hasattr(disk, "generation") and hasattr(disk, "raw_cache"):
+                return disk, owner
+            return None, owner
+        if hasattr(owner, "generation") and hasattr(owner, "raw_cache"):
+            return owner, None
+        return None, None
+
+    def _cache_token(self) -> Optional[Tuple]:
+        """Current validity token, or None when no signal is available.
+
+        The token pairs the disk's write generation with the identity of
+        every read filter on the port: a write *or* a filter change
+        invalidates the memoized namespace.
+        """
+        filters = ()
+        if self._port_source is not None:
+            filters = tuple(id(f) for f in self._port_source.read_filters)
+        if self._disk_source is None:
+            return None if self._port_source is None else (None, filters)
+        return (self._disk_source.generation, filters)
+
+    def _ensure_namespace(self) -> _ParsedNamespace:
+        """Parse once; revalidate against the source on every access."""
+        token = self._cache_token()
+        if self._namespace is not None and (token is None
+                                            or token == self._namespace_token):
+            return self._namespace
+        # The shared per-disk cache only ever holds the unfiltered view.
+        shareable = (self._disk_source is not None and token is not None
+                     and token[1] == ())
+        if shareable:
+            entry = self._disk_source.raw_cache.get(_NAMESPACE_CACHE_KEY)
+            if entry is not None and entry[0] == token[0]:
+                self._namespace, self._namespace_token = entry[1], token
+                return entry[1]
+        namespace = self._build_namespace()
+        self._namespace, self._namespace_token = namespace, token
+        if shareable:
+            self._disk_source.raw_cache[_NAMESPACE_CACHE_KEY] = (
+                token[0], namespace)
+        return namespace
+
     # -- namespace reconstruction ------------------------------------------------
 
     def parse(self) -> List[ParsedFile]:
@@ -114,7 +205,13 @@ class MftParser:
         Entries whose parent chain cannot be resolved (orphans of deleted
         directories) are rooted under ``\\$Orphan`` rather than dropped, so
         nothing in-use escapes the low-level view.
+
+        Returns a fresh list per call; the indexed parse behind it is
+        memoized (see the module docstring for the invalidation rules).
         """
+        return list(self._ensure_namespace().entries)
+
+    def _build_namespace(self) -> _ParsedNamespace:
         records: Dict[int, MftRecord] = {
             r.record_no: r for r in self.iter_records()}
         paths: Dict[int, str] = {c.RECORD_ROOT: "\\"}
@@ -154,6 +251,7 @@ class MftParser:
             return paths[record_no]
 
         out: List[ParsedFile] = []
+        by_key: Dict[str, ParsedFile] = {}
         for record_no, record in sorted(records.items()):
             if record_no in (c.RECORD_MFT, c.RECORD_ROOT):
                 continue
@@ -162,7 +260,7 @@ class MftParser:
             parent_no, __ = c.split_file_reference(
                 record.file_name.parent_reference)
             info = record.std_info
-            out.append(ParsedFile(
+            entry = ParsedFile(
                 path=path_of(record_no),
                 name=record.file_name.name,
                 is_directory=record.is_directory,
@@ -175,16 +273,18 @@ class MftParser:
                 modified=info.modified_us / 1_000_000,
                 accessed=info.accessed_us / 1_000_000,
                 stream_names=tuple(sorted(record.streams)),
-            ))
-        return out
+            )
+            out.append(entry)
+            # First record in slot order wins, like the linear scan did.
+            by_key.setdefault(normalize_key(entry.path), entry)
+        return _ParsedNamespace(records=records, entries=out, by_key=by_key)
 
     def find_by_path(self, path: str) -> ParsedFile:
-        """Locate one entry by full path (case-insensitive)."""
-        wanted = normalize_key(path)
-        for entry in self.parse():
-            if normalize_key(entry.path) == wanted:
-                return entry
-        raise FileNotFound(path)
+        """Locate one entry by full path (case-insensitive, O(1))."""
+        entry = self._ensure_namespace().by_key.get(normalize_key(path))
+        if entry is None:
+            raise FileNotFound(path)
+        return entry
 
     # -- content access ------------------------------------------------------------
 
@@ -194,16 +294,22 @@ class MftParser:
         This is how the low-level registry scan obtains hive-file bytes
         without touching any API layer.
         """
-        entry = self.find_by_path(path)
-        record = self.read_record(entry.record_no)
+        namespace = self._ensure_namespace()
+        entry = namespace.by_key.get(normalize_key(path))
+        if entry is None:
+            raise FileNotFound(path)
+        record = namespace.records.get(entry.record_no)
         if record is None or record.data is None:
             return b""
         return self._data_bytes(record.data)
 
     def read_stream_content(self, path: str, stream_name: str) -> bytes:
         """Read a named (alternate) data stream raw off the disk."""
-        entry = self.find_by_path(path)
-        record = self.read_record(entry.record_no)
+        namespace = self._ensure_namespace()
+        entry = namespace.by_key.get(normalize_key(path))
+        if entry is None:
+            raise FileNotFound(path)
+        record = namespace.records.get(entry.record_no)
         if record is None or stream_name not in record.streams:
             raise FileNotFound(f"{path}:{stream_name}")
         return self._data_bytes(record.streams[stream_name])

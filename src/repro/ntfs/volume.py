@@ -147,6 +147,16 @@ class NtfsVolume:
 
     # -- public filesystem operations ----------------------------------------
 
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter for this volume's backing bytes.
+
+        Every volume mutation is serialized to the disk immediately, so
+        the disk's write generation is the single source of truth; cached
+        derived views (the raw-parsed namespace, for example) key on it.
+        """
+        return self.disk.generation
+
     def exists(self, path: str) -> bool:
         return self._resolve(path) is not None
 

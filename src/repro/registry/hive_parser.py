@@ -8,6 +8,9 @@ embedded NULs, over-long names, or API interception all appear here.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List
 
@@ -15,6 +18,22 @@ from repro.errors import HiveFormatError
 from repro.registry import cells
 
 _MAX_DEPTH = 512
+
+# parse_hive memo: blob digest → ParsedHive.  Hive files are re-read and
+# re-parsed constantly (once per scan per hive, across every machine of a
+# fleet), and identical bytes parse to an identical tree, so a small
+# content-addressed LRU removes the dominant cost.  Guarded by a lock:
+# parallel RIS sweep workers share this table.  Consumers treat the
+# parsed tree as read-only.
+_HIVE_CACHE_MAX = 64
+_hive_cache: "OrderedDict[bytes, ParsedHive]" = OrderedDict()
+_hive_cache_lock = threading.Lock()
+
+
+def clear_hive_cache() -> None:
+    """Drop every memoized hive parse (benchmarks measure cold paths)."""
+    with _hive_cache_lock:
+        _hive_cache.clear()
 
 
 @dataclass
@@ -108,5 +127,20 @@ class HiveParser:
 
 
 def parse_hive(blob: bytes) -> ParsedHive:
-    """Convenience wrapper: parse hive bytes into a tree."""
-    return HiveParser(blob).parse()
+    """Parse hive bytes into a tree, memoized on the blob's digest.
+
+    Malformed blobs are never cached (the parser raises before any entry
+    is stored), so error behaviour is identical to an uncached parse.
+    """
+    digest = hashlib.sha256(blob).digest()
+    with _hive_cache_lock:
+        cached = _hive_cache.get(digest)
+        if cached is not None:
+            _hive_cache.move_to_end(digest)
+            return cached
+    parsed = HiveParser(blob).parse()
+    with _hive_cache_lock:
+        _hive_cache[digest] = parsed
+        while len(_hive_cache) > _HIVE_CACHE_MAX:
+            _hive_cache.popitem(last=False)
+    return parsed

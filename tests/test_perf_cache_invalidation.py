@@ -1,0 +1,177 @@
+"""Cache invalidation for the raw-parse performance layer.
+
+The parse-once namespace index, the per-(disk, generation) shared cache,
+and the hive-parse memo must never trade correctness for speed: every
+disk write invalidates the cached namespace, and A3-style raw-read
+interception through the kernel disk port is honoured after caching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scanners.files import low_level_file_scan
+from repro.core.scanners.registry import low_level_asep_scan
+from repro.errors import FileNotFound
+from repro.ghostware import LowLevelInterferenceGhost
+from repro.machine import RUN_KEY
+from repro.ntfs import MftParser, parse_volume
+from repro.ntfs.mft_parser import _NAMESPACE_CACHE_KEY
+from repro.registry.hive_parser import parse_hive
+
+
+class TestGenerationCounter:
+    def test_volume_mutations_bump_generation(self, volume):
+        start = volume.generation
+        volume.create_file("\\a.txt", b"one")
+        after_create = volume.generation
+        assert after_create > start
+        volume.write_file("\\a.txt", b"two")
+        after_write = volume.generation
+        assert after_write > after_create
+        volume.delete_file("\\a.txt")
+        assert volume.generation > after_write
+
+    def test_reads_do_not_bump_generation(self, volume, disk):
+        volume.create_file("\\a.txt", b"one")
+        before = disk.generation
+        volume.read_file("\\a.txt")
+        parse_volume(disk)
+        assert disk.generation == before
+
+    def test_clone_inherits_cache_then_diverges(self, volume, disk):
+        volume.create_file("\\golden.txt", b"image")
+        parse_volume(disk)   # warm the golden image's cache
+        shared = disk.raw_cache[_NAMESPACE_CACHE_KEY][1]
+
+        clone = disk.clone()
+        assert clone.raw_cache[_NAMESPACE_CACHE_KEY][1] is shared
+        # The clone serves the inherited parse while unchanged...
+        parser = MftParser(clone.read_bytes)
+        assert parser._ensure_namespace() is shared
+        # ...and re-parses its own bytes once it diverges.
+        clone.write_bytes(0, clone.read_bytes(0, 1))
+        assert MftParser(clone.read_bytes)._ensure_namespace() is not shared
+        # The original's entry is still valid.
+        assert disk.raw_cache[_NAMESPACE_CACHE_KEY][1] is shared
+
+
+class TestNamespaceInvalidation:
+    def test_scan_sees_file_created_between_scans(self, booted):
+        first = {e.path for e in low_level_file_scan(booted).entries}
+        assert "\\Windows\\fresh.bin" not in first
+        booted.volume.create_file("\\Windows\\fresh.bin", b"new")
+        second = {e.path for e in low_level_file_scan(booted).entries}
+        assert "\\Windows\\fresh.bin" in second
+
+    def test_scan_sees_delete_and_rename_between_scans(self, booted):
+        volume = booted.volume
+        volume.create_file("\\Temp\\doomed.txt", b"x")
+        volume.create_file("\\Temp\\old-name.txt", b"y")
+        first = {e.path for e in low_level_file_scan(booted).entries}
+        assert {"\\Temp\\doomed.txt", "\\Temp\\old-name.txt"} <= first
+
+        volume.delete_file("\\Temp\\doomed.txt")
+        # The volume has no in-place rename; model it as move-by-recreate.
+        content = volume.read_file("\\Temp\\old-name.txt")
+        volume.delete_file("\\Temp\\old-name.txt")
+        volume.create_file("\\Temp\\new-name.txt", content)
+
+        second = {e.path for e in low_level_file_scan(booted).entries}
+        assert "\\Temp\\doomed.txt" not in second
+        assert "\\Temp\\old-name.txt" not in second
+        assert "\\Temp\\new-name.txt" in second
+
+    def test_same_parser_instance_revalidates(self, volume, disk):
+        parser = MftParser(disk.read_bytes)
+        assert "\\later.txt" not in {e.path for e in parser.parse()}
+        volume.create_file("\\later.txt", b"now you see me")
+        assert "\\later.txt" in {e.path for e in parser.parse()}
+        assert parser.read_file_content("\\later.txt") == b"now you see me"
+        volume.delete_file("\\later.txt")
+        with pytest.raises(FileNotFound):
+            parser.find_by_path("\\later.txt")
+
+    def test_stream_rewrite_visible_through_cache(self, volume, disk):
+        volume.create_file("\\host.txt", b"host")
+        volume.write_stream("\\host.txt", "ads", b"v1")
+        parser = MftParser(disk.read_bytes)
+        assert parser.read_stream_content("\\host.txt", "ads") == b"v1"
+        volume.write_stream("\\host.txt", "ads", b"v2")
+        assert parser.read_stream_content("\\host.txt", "ads") == b"v2"
+
+    def test_hive_rewrite_between_raw_asep_scans(self, booted):
+        first = {e.name for e in low_level_asep_scan(booted).entries}
+        assert "CacheProbe" not in first
+        booted.registry.set_value(RUN_KEY, "CacheProbe",
+                                  "\\Windows\\probe.exe")
+        second = {e.name for e in low_level_asep_scan(booted).entries}
+        assert "CacheProbe" in second
+
+
+class TestHiveParseMemo:
+    def test_identical_blobs_share_one_parse(self, booted):
+        blob = booted.volume.read_file(
+            "\\Windows\\System32\\config\\SOFTWARE")
+        assert parse_hive(blob) is parse_hive(bytes(blob))
+
+    def test_different_blobs_parse_independently(self, booted):
+        before = booted.volume.read_file(
+            "\\Windows\\System32\\config\\SOFTWARE")
+        booted.registry.set_value(RUN_KEY, "Mutator", "\\x.exe")
+        after = booted.volume.read_file(
+            "\\Windows\\System32\\config\\SOFTWARE")
+        assert before != after
+        parsed_before = parse_hive(before)
+        parsed_after = parse_hive(after)
+        assert parsed_before is not parsed_after
+
+
+class TestA3InterferenceAfterCaching:
+    """Raw-port reads stay interceptable; caches never launder a lie."""
+
+    def test_filter_installed_at_same_generation_defeats_cache(self, booted):
+        booted.volume.create_file("\\Temp\\target.txt", b"hello")
+        port = booted.kernel.disk_port
+
+        inside = MftParser(port.read_bytes).parse()
+        assert "\\Temp\\target.txt" in {e.path for e in inside}
+
+        needle = "target.txt".encode("utf-16-le")
+
+        def scrub(offset, length, data):
+            return b"\x00" * len(data) if needle in data else data
+
+        # No disk write happens here: the generation is unchanged, so a
+        # stale-cache bug would keep serving the pre-filter namespace.
+        port.read_filters.append(scrub)
+        filtered = MftParser(port.read_bytes).parse()
+        assert "\\Temp\\target.txt" not in {e.path for e in filtered}
+
+        # Outside-the-box reads bypass the port and stay truthful.
+        outside = parse_volume(booted.disk)
+        assert "\\Temp\\target.txt" in {e.path for e in outside}
+
+        # Removing the filter restores the clean view (the shared cache
+        # was never poisoned by the filtered parse).
+        port.read_filters.clear()
+        restored = MftParser(port.read_bytes).parse()
+        assert "\\Temp\\target.txt" in {e.path for e in restored}
+
+    def test_interference_ghost_still_blinds_inside_scan(self, booted):
+        # Warm every cache with clean scans first.
+        low_level_file_scan(booted)
+        low_level_asep_scan(booted)
+
+        LowLevelInterferenceGhost().install(booted)
+        inside_files = {e.path for e in low_level_file_scan(booted).entries}
+        assert "\\Windows\\deepghost.exe" not in inside_files
+
+        outside_files = {e.path for e in parse_volume(booted.disk)}
+        assert "\\Windows\\deepghost.exe" in outside_files
+
+    def test_unfiltered_port_shares_the_disk_cache(self, booted):
+        outside = MftParser(booted.disk.read_bytes)
+        namespace = outside._ensure_namespace()
+        through_port = MftParser(booted.kernel.disk_port.read_bytes)
+        assert through_port._ensure_namespace() is namespace

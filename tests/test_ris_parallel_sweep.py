@@ -1,0 +1,93 @@
+"""Parallel RIS fleet sweeps: determinism, fault isolation, stats.
+
+Section 5's enterprise deployment at scale: the sweep must produce the
+same findings whether clients are scanned one at a time or eight at a
+time, one broken client must not take the fleet sweep down with it, and
+the result carries enough stats to reason about sweep cost.
+"""
+
+from __future__ import annotations
+
+from repro.core import RisServer
+from repro.ghostware import HackerDefender
+from repro.machine import Machine
+
+INFECTED = (2, 7, 11)
+
+
+def _fleet(count, infected=(), prefix="client"):
+    machines = []
+    for index in range(count):
+        machine = Machine(f"{prefix}-{index:02d}", disk_mb=256,
+                          max_records=8192)
+        machine.boot()
+        if index in infected:
+            HackerDefender().install(machine)
+        machines.append(machine)
+    return machines
+
+
+def _finding_identities(report):
+    return sorted((f.resource_type.value, str(f.entry.identity))
+                  for f in report.findings if not f.is_noise)
+
+
+class TestParallelDeterminism:
+    def test_serial_and_parallel_sweeps_agree(self):
+        fleet = _fleet(16, infected=INFECTED)
+        expected = sorted(f"client-{i:02d}" for i in INFECTED)
+
+        serial = RisServer().sweep(fleet, max_workers=1)
+        parallel = RisServer().sweep(fleet, max_workers=8)
+
+        assert serial.infected_machines == expected
+        assert parallel.infected_machines == expected
+        for name in serial.reports:
+            assert _finding_identities(serial.reports[name]) == \
+                _finding_identities(parallel.reports[name])
+
+    def test_report_order_matches_input_order(self):
+        fleet = _fleet(6)
+        result = RisServer().sweep(fleet, max_workers=4)
+        assert list(result.reports) == [m.name for m in fleet]
+
+    def test_worker_count_clamped_to_fleet_size(self):
+        fleet = _fleet(2)
+        result = RisServer().sweep(fleet, max_workers=16)
+        assert result.worker_count == 2
+
+
+class TestFaultIsolation:
+    def test_failing_client_records_error_not_abort(self):
+        fleet = _fleet(4, infected=(1,))
+        # Never booted: its scan raises MachineStateError mid-sweep.
+        broken = Machine("client-broken", disk_mb=256, max_records=8192)
+        fleet.insert(2, broken)
+
+        result = RisServer().sweep(fleet, max_workers=4)
+
+        assert "client-broken" in result.errors
+        assert "MachineStateError" in result.errors["client-broken"]
+        assert result.reports["client-broken"].mode == "ris-error"
+        assert result.reports["client-broken"].is_clean
+        assert result.infected_machines == ["client-01"]
+        assert len(result.reports) == 5
+        assert "ERROR" in result.summary()
+
+
+class TestSweepStats:
+    def test_stats_populated(self):
+        fleet = _fleet(3)
+        result = RisServer().sweep(fleet, max_workers=2)
+        assert result.worker_count == 2
+        assert result.wall_seconds > 0
+        assert result.simulated_seconds > 0
+        assert f"{result.worker_count} worker(s)" in result.summary()
+
+    def test_parallel_overlaps_client_latency(self):
+        fleet = _fleet(8)
+        server = RisServer(client_wait_seconds=0.05)
+        serial = server.sweep(fleet, max_workers=1)
+        parallel = server.sweep(fleet, max_workers=8)
+        # 8 × 50 ms of per-client wait collapses to ~one wait slice.
+        assert parallel.wall_seconds < serial.wall_seconds * 0.75
