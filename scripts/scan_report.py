@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Render a fleet sweep's telemetry JSONL as an operator report.
+
+Usage::
+
+    PYTHONPATH=src python scripts/scan_report.py SWEEP.jsonl
+    PYTHONPATH=src python scripts/scan_report.py --demo [--out SWEEP.jsonl]
+
+``--demo`` runs a small telemetry-collecting sweep (one infected client)
+to produce a JSONL file and then renders it — useful for seeing the
+format without a real fleet.
+
+The JSONL format is written by
+:meth:`repro.telemetry.health.FleetHealth.write_jsonl`: one record per
+line, ``type`` in {``sweep``, ``machine``, ``span``, ``audit``,
+``metrics``}.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.telemetry.health import load_jsonl   # noqa: E402
+
+
+def render(records: dict) -> str:
+    lines = []
+    sweeps = records.get("sweep", [])
+    if sweeps:
+        sweep = sweeps[0]
+        lines.append(f"sweep: {sweep['machines']} machines, "
+                     f"{sweep['workers']} worker(s), "
+                     f"{sweep['wall_s']:.2f}s wall")
+    machines = records.get("machine", [])
+    if machines:
+        header = (f"{'machine':<14} {'status':<9} {'wall(s)':>8} "
+                  f"{'sim(s)':>8} {'findings':>8} {'audit':>6}")
+        lines += [header, "-" * len(header)]
+        for machine in machines:
+            lines.append(
+                f"{machine['machine']:<14} {machine['status']:<9} "
+                f"{machine['wall_s']:>8.3f} {machine['sim_s']:>8.1f} "
+                f"{machine['findings']:>8d} "
+                f"{machine['audit_event_count']:>6d}")
+        errors = Counter(machine["error_kind"] for machine in machines
+                         if machine.get("error_kind"))
+        if errors:
+            lines.append("errors: " + ", ".join(
+                f"{kind} x{count}" for kind, count in sorted(
+                    errors.items())))
+        interposed = sorted({api for machine in machines
+                             for api in machine.get("interposed_apis", [])})
+        if interposed:
+            lines.append("interposed APIs observed fleet-wide:")
+            lines += [f"  {api}" for api in interposed]
+    spans = records.get("span", [])
+    if spans:
+        slowest = sorted((span for span in spans
+                          if span.get("parent_id") is not None),
+                         key=lambda span: -span.get("wall_s", 0.0))[:5]
+        lines.append("slowest spans:")
+        for span in slowest:
+            lines.append(f"  {span['machine']:<14} {span['name']:<28} "
+                         f"{span['wall_s'] * 1000:8.2f}ms")
+    audits = records.get("audit", [])
+    if audits:
+        counted = Counter((event["layer"], event["api"], event["owner"])
+                          for event in audits)
+        lines.append("interceptions:")
+        for (layer, api, owner), count in counted.most_common(10):
+            lines.append(f"  {layer:<14} {api:<34} by {owner} x{count}")
+    metrics = records.get("metrics", [])
+    if metrics:
+        counters = metrics[0].get("counters", {})
+        if counters:
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name} = {counters[name]:g}")
+    return "\n".join(lines)
+
+
+def run_demo(out_path: Path) -> Path:
+    from repro.core.risboot import RisServer
+    from repro.ghostware import HackerDefender
+    from repro.machine import Machine
+    from repro.telemetry.metrics import reset_global_metrics
+
+    reset_global_metrics()
+    machines = []
+    for index in range(3):
+        machine = Machine(f"client-{index}", disk_mb=256, max_records=8192)
+        machine.boot()
+        machines.append(machine)
+    HackerDefender().install(machines[1])
+    result = RisServer().sweep(machines, max_workers=3,
+                               collect_telemetry=True)
+    result.health.write_jsonl(out_path)
+    return out_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render fleet-sweep telemetry JSONL")
+    parser.add_argument("jsonl", nargs="?", help="telemetry JSONL file")
+    parser.add_argument("--demo", action="store_true",
+                        help="generate a demo sweep first")
+    parser.add_argument("--out", default="SWEEP_DEMO.jsonl",
+                        help="where --demo writes its JSONL")
+    options = parser.parse_args(argv)
+
+    if options.demo:
+        path = run_demo(Path(options.out))
+        print(f"wrote {path}\n")
+    elif options.jsonl:
+        path = Path(options.jsonl)
+    else:
+        parser.error("give a JSONL file or --demo")
+    print(render(load_jsonl(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,8 @@ from repro.machine import Machine, PerfModel
 from repro.core import (DetectionReport, Finding, GhostBuster,
                         ResourceType, ScanSnapshot, WinPEEnvironment,
                         cross_view_diff, disinfect)
+from repro.telemetry import (AuditLog, MetricsRegistry, Telemetry,
+                             Tracer, global_metrics)
 
 __version__ = "1.0.0"
 
@@ -35,5 +37,6 @@ __all__ = [
     "GhostBuster", "WinPEEnvironment",
     "DetectionReport", "Finding", "ResourceType", "ScanSnapshot",
     "cross_view_diff", "disinfect",
+    "Telemetry", "Tracer", "AuditLog", "MetricsRegistry", "global_metrics",
     "__version__",
 ]

@@ -6,37 +6,97 @@ demo      infect a machine with Hacker Defender, detect, disinfect
 matrix    print the Figure-2/5 technique × detection matrix
 sweep     RIS network-boot sweep over a small fleet
 unix      the Section-5 Unix rootkit experiments
+
+Output goes through :mod:`logging` (logger ``repro.cli``) so embedders
+can redirect or silence it; ``--json`` switches ``demo`` and ``sweep``
+to machine-readable output on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 
+LOGGER_NAME = "repro.cli"
 
-def cmd_demo() -> int:
+
+def _configure_logging(verbose: bool, to_stderr: bool = False
+                       ) -> logging.Logger:
+    """Bind the CLI logger to the *current* stdout, replacing handlers.
+
+    A fresh handler per invocation matters: test harnesses swap
+    ``sys.stdout`` between calls, and a handler captured at import time
+    would keep writing to the old stream.  ``--json`` routes the log to
+    stderr so stdout carries nothing but the JSON document.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr if to_stderr
+                                    else sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)
+    logger.propagate = False
+    return logger
+
+
+def _emit_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def cmd_demo(options) -> int:
     from repro import GhostBuster, Machine, disinfect
+    from repro.core.reporting import report_to_dict
+    from repro.telemetry import Telemetry
+
     from repro.ghostware import HackerDefender
 
+    log = logging.getLogger(LOGGER_NAME)
     machine = Machine("demo-pc", disk_mb=512)
     machine.boot()
     HackerDefender().install(machine)
-    print("infected demo-pc with Hacker Defender 1.0\n")
-    report = GhostBuster(machine, advanced=True).detect()
-    print(report.summary())
-    print()
-    log = disinfect(machine, report)
-    print(f"disinfection: {log.summary()}")
-    return 0 if log.verified_clean else 1
+
+    telemetry = Telemetry.enabled(clock=machine.clock) if options.trace \
+        else Telemetry.disabled()
+    log.info("infected demo-pc with Hacker Defender 1.0\n")
+    report = GhostBuster(machine, advanced=True,
+                         telemetry=telemetry).detect()
+    cleanup = disinfect(machine, report)
+
+    if options.json:
+        payload = {"report": report_to_dict(report),
+                   "disinfection": {"summary": cleanup.summary(),
+                                    "verified_clean": cleanup.verified_clean}}
+        if telemetry.is_enabled:
+            payload["spans"] = [span.to_dict()
+                                for span in telemetry.tracer.spans()]
+            payload["audit"] = telemetry.audit.to_dicts()
+            payload["attributions"] = [
+                {"finding": attribution.finding.describe(),
+                 "apis": attribution.apis}
+                for attribution in telemetry.attribute(report)]
+        _emit_json(payload)
+    else:
+        log.info(report.summary())
+        log.info("")
+        if telemetry.is_enabled:
+            log.info("span tree:\n%s", telemetry.tracer.render())
+            log.info("audit log:\n%s", telemetry.audit.summary())
+        log.info("disinfection: %s", cleanup.summary())
+    return 0 if cleanup.verified_clean else 1
 
 
-def cmd_matrix() -> int:
+def cmd_matrix(options) -> int:
     from repro.core import GhostBuster
     from repro.ghostware import (Aphex, HackerDefender, HideFoldersXP,
                                  NamingExploitGhost, ProBotSE, Urbin,
                                  Vanquish)
     from repro.machine import Machine
 
+    log = logging.getLogger(LOGGER_NAME)
     techniques = (
         ("IAT modification (Urbin)", Urbin),
         ("in-memory code patch (Vanquish)", Vanquish),
@@ -47,45 +107,77 @@ def cmd_matrix() -> int:
          lambda: HideFoldersXP(hidden_paths=["\\Temp"])),
         ("naming exploit (no hooks)", NamingExploitGhost),
     )
-    print(f"{'technique':<42} detected")
-    print("-" * 52)
+    rows = []
     for label, factory in techniques:
         machine = Machine("matrix", disk_mb=256, max_records=8192)
         machine.boot()
         factory().install(machine)
         report = GhostBuster(machine).inside_scan(resources=("files",))
-        print(f"{label:<42} {'yes' if not report.is_clean else 'NO'}")
+        rows.append((label, not report.is_clean))
+    if options.json:
+        _emit_json({"matrix": [{"technique": label, "detected": hit}
+                               for label, hit in rows]})
+        return 0
+    log.info(f"{'technique':<42} detected")
+    log.info("-" * 52)
+    for label, hit in rows:
+        log.info(f"{label:<42} {'yes' if hit else 'NO'}")
     return 0
 
 
-def cmd_sweep() -> int:
+def cmd_sweep(options) -> int:
     from repro.core import RisServer
     from repro.ghostware import Aphex
     from repro.machine import Machine
 
+    log = logging.getLogger(LOGGER_NAME)
     machines = []
     for index in range(4):
         machine = Machine(f"client-{index}", disk_mb=256, max_records=8192)
         machine.boot()
         machines.append(machine)
     Aphex().install(machines[2])
-    result = RisServer().sweep(machines)
-    print(result.summary())
+    result = RisServer().sweep(machines, collect_telemetry=options.trace)
+    if options.json:
+        payload = {
+            "machines": {name: {"findings": len(report.findings),
+                                "clean": report.is_clean}
+                         for name, report in result.reports.items()},
+            "errors": result.errors,
+            "infected": result.infected_machines,
+            "wall_seconds": result.wall_seconds,
+        }
+        if result.health is not None:
+            payload["health"] = [health.to_dict()
+                                 for health in result.health.machines]
+        _emit_json(payload)
+        return 0
+    log.info(result.summary())
+    if result.health is not None:
+        log.info(result.health.summary())
     return 0
 
 
-def cmd_unix() -> int:
+def cmd_unix(options) -> int:
     from repro.unixsim import (Darkside, Superkit, Synapsis, T0rnkit,
                                UnixMachine, unix_cross_view_scan)
 
+    log = logging.getLogger(LOGGER_NAME)
+    rows = []
     for kit_cls in (Darkside, Superkit, Synapsis, T0rnkit):
         machine = UnixMachine(flavor=getattr(kit_cls, "flavor", "linux"))
         machine.populate(120)
         kit = kit_cls()
         kit.install(machine)
         report = unix_cross_view_scan(machine, daemon_churn_files=3)
-        print(f"{kit.name:<16} hidden={len(report.hidden)} "
-              f"FPs={report.false_positive_count}")
+        rows.append((kit.name, len(report.hidden),
+                     report.false_positive_count))
+    if options.json:
+        _emit_json({"unix": [{"rootkit": name, "hidden": hidden, "fps": fps}
+                             for name, hidden, fps in rows]})
+        return 0
+    for name, hidden, fps in rows:
+        log.info(f"{name:<16} hidden={hidden} FPs={fps}")
     return 0
 
 
@@ -99,8 +191,16 @@ def main(argv=None) -> int:
         description="Strider GhostBuster reproduction demos")
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="which demo to run")
-    arguments = parser.parse_args(argv)
-    return COMMANDS[arguments.command]()
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable scan tracing + interception audit "
+                             "(demo and sweep)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level logging")
+    options = parser.parse_args(argv)
+    _configure_logging(options.verbose, to_stderr=options.json)
+    return COMMANDS[options.command](options)
 
 
 if __name__ == "__main__":

@@ -30,6 +30,9 @@ from repro.core.scanners import registry as registry_scans
 from repro.core.snapshot import ScanSnapshot
 from repro.kernel.crashdump import write_dump
 from repro.machine import Machine
+from repro.telemetry import Telemetry
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
 from repro.usermode.process import Process
 
 ALL_RESOURCES = ("files", "registry", "processes", "modules")
@@ -42,11 +45,13 @@ class GhostBuster:
     def __init__(self, machine: Machine, advanced: bool = False,
                  noise_filter: Optional[NoiseFilter] = None,
                  scanner_process: Optional[Process] = None,
-                 interleave_gap: float = 0.0):
+                 interleave_gap: float = 0.0,
+                 telemetry: Optional[Telemetry] = None):
         self.machine = machine
         self.advanced = advanced
         self.noise_filter = noise_filter or NoiseFilter()
         self._scanner_process = scanner_process
+        self.telemetry = telemetry or Telemetry.disabled()
         # Section 2: "files may be created in the very small time window
         # between when the high- and low-level scans are taken" — this
         # widens that window (with background services running) so the
@@ -60,23 +65,40 @@ class GhostBuster:
         """High-level vs low-level cross-view diff, inside the box."""
         report = DetectionReport(self.machine.name, mode="inside")
         wanted = set(resources)
-        if "files" in wanted:
-            self._inside_files(report)
-        if "registry" in wanted:
-            self._inside_registry(report)
-        if "processes" in wanted:
-            self._inside_processes(report)
-        if "modules" in wanted:
-            self._inside_modules(report)
+        with self.telemetry.activate():
+            with self.telemetry.tracer.span(
+                    "ghostbuster.inside_scan", clock=self.machine.clock,
+                    machine=self.machine.name,
+                    resources=",".join(sorted(wanted))):
+                if "files" in wanted:
+                    self._inside_files(report)
+                if "registry" in wanted:
+                    self._inside_registry(report)
+                if "processes" in wanted:
+                    self._inside_processes(report)
+                if "modules" in wanted:
+                    self._inside_modules(report)
         return report
 
     def _diff_into(self, report: DetectionReport, label: str,
                    lie: ScanSnapshot, truth: ScanSnapshot,
                    filter_noise: bool = False) -> List[Finding]:
-        findings = cross_view_diff(lie, truth)
-        costmodel.charge_diff(self.machine, len(lie) + len(truth))
-        if filter_noise:
-            findings = self.noise_filter.apply(findings)
+        with telemetry_context.current_tracer().span(
+                f"diff.{label}", clock=self.machine.clock,
+                lie_view=lie.view, truth_view=truth.view) as span:
+            findings = cross_view_diff(lie, truth)
+            costmodel.charge_diff(self.machine, len(lie) + len(truth))
+            raw_count = len(findings)
+            if filter_noise:
+                findings = self.noise_filter.apply(findings)
+            span.set(findings=len(findings),
+                     noise_filtered=raw_count - len(findings))
+        hidden = sum(1 for f in findings if not f.is_noise)
+        metrics = global_metrics()
+        if hidden:
+            metrics.incr("diff.hidden.found", hidden)
+        if raw_count - hidden:
+            metrics.incr("diff.noise.filtered", raw_count - hidden)
         self._merge(report, findings)
         report.durations[label] = report.durations.get(label, 0.0) \
             + lie.duration + truth.duration
@@ -134,7 +156,10 @@ class GhostBuster:
 
     def write_crash_dump(self, path: str = DUMP_PATH) -> str:
         """Induce the blue screen: persist kernel memory to a dump file."""
-        blob = write_dump(self.machine.kernel)
+        with telemetry_context.current_tracer().span(
+                "ghostbuster.crash_dump", clock=self.machine.clock) as span:
+            blob = write_dump(self.machine.kernel)
+            span.set(dump_bytes=len(blob))
         volume = self.machine.volume
         if volume.exists(path):
             volume.write_file(path, blob)
@@ -160,6 +185,19 @@ class GhostBuster:
 
         wanted = set(resources)
         report = DetectionReport(self.machine.name, mode="outside")
+
+        with self.telemetry.activate():
+            with self.telemetry.tracer.span(
+                    "ghostbuster.outside_scan", clock=self.machine.clock,
+                    machine=self.machine.name,
+                    resources=",".join(sorted(wanted))):
+                self._outside_scan_body(wanted, report, background_gap,
+                                        win32_naming, reboot_after)
+        return report
+
+    def _outside_scan_body(self, wanted, report, background_gap,
+                           win32_naming, reboot_after) -> None:
+        from repro.core.winpe import WinPEEnvironment
 
         lies: Dict[str, ScanSnapshot] = {}
         if "files" in wanted:
@@ -199,7 +237,6 @@ class GhostBuster:
 
         if reboot_after:
             self.machine.boot()
-        return report
 
     # -- convenience ---------------------------------------------------------------
 

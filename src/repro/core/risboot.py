@@ -41,6 +41,9 @@ from repro.core.scanners import files as file_scans
 from repro.core.scanners import registry as registry_scans
 from repro.core.winpe import WinPEEnvironment
 from repro.machine import Machine
+from repro.telemetry import Telemetry
+from repro.telemetry.health import FleetHealth, MachineHealth
+from repro.telemetry.metrics import MetricsRegistry, global_metrics
 
 NETWORK_BOOT_SECONDS = 75.0   # PXE + loader download: faster than a CD
 
@@ -61,6 +64,7 @@ class RisSweepResult:
     wall_seconds: float = 0.0
     simulated_seconds: float = 0.0
     worker_count: int = 1
+    health: Optional[FleetHealth] = None
 
     @property
     def infected_machines(self) -> List[str]:
@@ -102,9 +106,26 @@ class RisServer:
     def network_boot_scan(self, machine: Machine,
                           resources=("files", "registry"),
                           background_gap: float = 0.0,
-                          reboot_after: bool = True) -> DetectionReport:
-        """One client's outside-the-box scan via PXE network boot."""
-        wanted = set(resources)
+                          reboot_after: bool = True,
+                          telemetry: Optional[Telemetry] = None
+                          ) -> DetectionReport:
+        """One client's outside-the-box scan via PXE network boot.
+
+        ``telemetry`` (optional) activates tracing/auditing for this one
+        client: the scan runs under a ``ris.netboot_scan`` root span and
+        every interposition the ghostware fires lands in its audit log.
+        """
+        telemetry = telemetry or Telemetry.disabled()
+        with telemetry.activate():
+            with telemetry.tracer.span("ris.netboot_scan",
+                                       clock=machine.clock,
+                                       machine=machine.name):
+                return self._netboot_body(machine, set(resources),
+                                          background_gap, reboot_after)
+
+    def _netboot_body(self, machine: Machine, wanted,
+                      background_gap: float,
+                      reboot_after: bool) -> DetectionReport:
         report = DetectionReport(machine.name, mode="ris-netboot")
         ghostbuster = GhostBuster(machine,
                                   noise_filter=self.noise_filter)
@@ -144,7 +165,8 @@ class RisServer:
 
     def sweep(self, machines: Iterable[Machine],
               resources=("files", "registry"),
-              max_workers: int = 1) -> RisSweepResult:
+              max_workers: int = 1,
+              collect_telemetry: bool = False) -> RisSweepResult:
         """Scan a whole fleet, one network boot per client.
 
         With ``max_workers > 1`` the clients are scanned concurrently on
@@ -152,14 +174,30 @@ class RisServer:
         raises is recorded under ``result.errors`` (with an empty error
         report in ``result.reports``) without aborting the rest, and the
         findings are identical to a serial sweep's.
+
+        ``collect_telemetry=True`` gives every client its own tracer and
+        audit log (thread-confined, so parallel workers never mix spans)
+        and populates ``result.health`` with per-machine span trees,
+        wall-clock attribution, interposed-API lists, and an error
+        taxonomy — the fleet health report ``scripts/scan_report.py``
+        renders.
         """
         fleet = list(machines)
         workers = max(1, min(max_workers, len(fleet) or 1))
         result = RisSweepResult(worker_count=workers)
         started = time.perf_counter()
 
-        def scan_one(machine: Machine) -> DetectionReport:
-            return self.network_boot_scan(machine, resources=resources)
+        def scan_one(machine: Machine):
+            if not collect_telemetry:
+                report = self.network_boot_scan(machine,
+                                                resources=resources)
+                return report, None
+            telemetry = Telemetry.enabled(clock=machine.clock)
+            machine_started = time.perf_counter()
+            report = self.network_boot_scan(machine, resources=resources,
+                                            telemetry=telemetry)
+            machine_wall = time.perf_counter() - machine_started
+            return report, (telemetry, machine_wall)
 
         if workers == 1:
             outcomes = [self._guarded(scan_one, machine)
@@ -170,19 +208,57 @@ class RisServer:
                            for machine in fleet]
                 outcomes = [future.result() for future in futures]
 
-        for machine, (report, error) in zip(fleet, outcomes):
+        health = FleetHealth(worker_count=workers) \
+            if collect_telemetry else None
+        for machine, (outcome, error) in zip(fleet, outcomes):
+            report, extra = outcome if outcome else (None, None)
             if error is not None:
                 result.errors[machine.name] = error
                 report = DetectionReport(machine.name, mode="ris-error")
             result.reports[machine.name] = report
+            if health is not None:
+                health.add(self._machine_health(machine.name, report,
+                                                error, extra))
         result.wall_seconds = time.perf_counter() - started
         result.simulated_seconds = sum(
             report.total_duration() for report in result.reports.values())
+        if health is not None:
+            health.wall_seconds = result.wall_seconds
+            health.metrics_snapshot = global_metrics().snapshot()
+            result.health = health
         return result
 
     @staticmethod
+    def _machine_health(name: str, report: DetectionReport,
+                        error: Optional[str], extra) -> MachineHealth:
+        telemetry, machine_wall = extra if extra else (None, 0.0)
+        spans = []
+        span_tree = ""
+        audit_events = []
+        interposed = []
+        simulated = report.total_duration() if report else 0.0
+        if telemetry is not None:
+            spans = [span.to_dict() for span in telemetry.tracer.spans()]
+            span_tree = telemetry.tracer.render()
+            if telemetry.audit is not None:
+                audit_events = telemetry.audit.to_dicts()
+                interposed = telemetry.audit.interposed_apis()
+            global_metrics().observe("ris.sweep.machine_seconds",
+                                     machine_wall)
+        findings = len(report.findings) if report else 0
+        noise = sum(1 for f in report.findings if f.is_noise) \
+            if report else 0
+        return MachineHealth(machine=name, wall_seconds=machine_wall,
+                             simulated_seconds=simulated,
+                             findings=findings, noise=noise,
+                             error=error, spans=spans,
+                             span_tree=span_tree,
+                             audit_events=audit_events,
+                             interposed_apis=interposed)
+
+    @staticmethod
     def _guarded(scan, machine):
-        """Per-machine fault isolation: (report, None) or (None, error)."""
+        """Per-machine fault isolation: (outcome, None) or (None, error)."""
         try:
             return scan(machine), None
         except Exception as exc:   # noqa: BLE001 — isolate any client fault

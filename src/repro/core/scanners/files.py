@@ -20,6 +20,8 @@ from repro.machine import Machine
 from repro.ntfs import naming
 from repro.ntfs.constants import MFT_RECORD_SIZE
 from repro.ntfs.mft_parser import MftParser, ParsedFile
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
 from repro.usermode.process import Process
 
 SCANNER_PROCESS_NAME = "ghostbuster.exe"
@@ -55,8 +57,13 @@ def high_level_file_scan(machine: Machine,
         scanner.call("kernel32", "FindClose", handle)
 
     start = machine.clock.now()
-    walk(root)
-    duration = costmodel.charge_high_file_scan(machine, len(entries))
+    with telemetry_context.current_tracer().span(
+            "scan.files.high-level", clock=machine.clock,
+            machine=machine.name, view="win32-api") as span:
+        walk(root)
+        duration = costmodel.charge_high_file_scan(machine, len(entries))
+        span.set(entries=len(entries))
+    global_metrics().incr("scan.files.enumerated", len(entries))
     return ScanSnapshot(ResourceType.FILE, view="win32-api",
                         entries=entries, taken_at=start, duration=duration)
 
@@ -81,12 +88,18 @@ def low_level_file_scan(machine: Machine) -> ScanSnapshot:
     — the paper's stated limit of the inside-the-box approach.
     """
     start = machine.clock.now()
-    parser = MftParser(machine.kernel.disk_port.read_bytes)
-    parsed = parser.parse()
-    # Disk cost follows the in-use MFT footprint (free record slots on a
-    # real volume are proportionally rare; our reserved region is not).
-    duration = costmodel.charge_low_file_scan(
-        machine, len(parsed), len(parsed) * MFT_RECORD_SIZE)
+    with telemetry_context.current_tracer().span(
+            "scan.files.low-level", clock=machine.clock,
+            machine=machine.name, view="raw-mft") as span:
+        parser = MftParser(machine.kernel.disk_port.read_bytes)
+        parsed = parser.parse()
+        # Disk cost follows the in-use MFT footprint (free record slots
+        # on a real volume are proportionally rare; our reserved region
+        # is not).
+        duration = costmodel.charge_low_file_scan(
+            machine, len(parsed), len(parsed) * MFT_RECORD_SIZE)
+        span.set(entries=len(parsed))
+    global_metrics().incr("scan.files.enumerated", len(parsed))
     return ScanSnapshot(ResourceType.FILE, view="raw-mft",
                         entries=_entries_from_parsed(parsed),
                         taken_at=start, duration=duration)
@@ -102,7 +115,11 @@ def outside_file_scan(disk, clock=None, win32_naming: bool = True,
     naming-exploit ghosts.
     """
     start = clock.now() if clock else 0.0
-    parsed = MftParser(disk.read_bytes).parse()
-    entries = _entries_from_parsed(parsed, win32_naming=win32_naming)
+    with telemetry_context.current_tracer().span(
+            "scan.files.outside", clock=clock, view=view) as span:
+        parsed = MftParser(disk.read_bytes).parse()
+        entries = _entries_from_parsed(parsed, win32_naming=win32_naming)
+        span.set(entries=len(entries))
+    global_metrics().incr("scan.files.enumerated", len(entries))
     return ScanSnapshot(ResourceType.FILE, view=view, entries=entries,
                         taken_at=start, duration=0.0)

@@ -24,6 +24,8 @@ from repro.kernel.objects import EprocessView, ModuleTableView
 from repro.kernel.process_list import walk_process_list
 from repro.kernel.scheduler import processes_from_threads
 from repro.machine import Machine
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
 from repro.usermode.process import Process
 
 
@@ -35,20 +37,27 @@ def high_level_module_scan(machine: Machine,
     start = machine.clock.now()
     entries: List[ModuleEntry] = []
     scanned_pids = set()
-    toolhelp = scanner.call("kernel32", "CreateToolhelp32Snapshot")
-    info = scanner.call("kernel32", "Process32First", toolhelp)
-    while info is not None:
-        scanned_pids.add(info.pid)
-        if info.pid != 4:   # System has no user modules
-            module_snapshot = scanner.call("kernel32", "Module32Snapshot",
-                                           info.pid)
-            path = scanner.call("kernel32", "Module32First", module_snapshot)
-            while path is not None:
-                entries.append(ModuleEntry(info.pid, info.name, path))
-                path = scanner.call("kernel32", "Module32Next",
+    with telemetry_context.current_tracer().span(
+            "scan.modules.high-level", clock=machine.clock,
+            machine=machine.name, view="peb-api") as span:
+        toolhelp = scanner.call("kernel32", "CreateToolhelp32Snapshot")
+        info = scanner.call("kernel32", "Process32First", toolhelp)
+        while info is not None:
+            scanned_pids.add(info.pid)
+            if info.pid != 4:   # System has no user modules
+                module_snapshot = scanner.call("kernel32",
+                                               "Module32Snapshot",
+                                               info.pid)
+                path = scanner.call("kernel32", "Module32First",
                                     module_snapshot)
-        info = scanner.call("kernel32", "Process32Next", toolhelp)
-    duration = costmodel.charge_module_scan(machine, len(entries))
+                while path is not None:
+                    entries.append(ModuleEntry(info.pid, info.name, path))
+                    path = scanner.call("kernel32", "Module32Next",
+                                        module_snapshot)
+            info = scanner.call("kernel32", "Process32Next", toolhelp)
+        duration = costmodel.charge_module_scan(machine, len(entries))
+        span.set(entries=len(entries))
+    global_metrics().incr("scan.modules.enumerated", len(entries))
     result = ScanSnapshot(ResourceType.MODULE, view="peb-api",
                           entries=entries, taken_at=start, duration=duration)
     # Which processes the API view could enumerate at all — consumers use
@@ -68,22 +77,27 @@ def low_level_module_scan(machine: Machine,
     """
     kernel = machine.kernel
     start = machine.clock.now()
-    if use_thread_table:
-        views = list(processes_from_threads(
-            kernel.memory, kernel.thread_table.address).values())
-    else:
-        views = [EprocessView(kernel.memory, address) for address in
-                 walk_process_list(kernel.memory,
-                                   kernel.process_list.head_address)]
     entries: List[ModuleEntry] = []
-    for view in views:
-        if not view.alive or view.module_table_address == 0:
-            continue
-        table = ModuleTableView(kernel.memory, view.module_table_address)
-        for path in table.module_paths():
-            if path:
-                entries.append(ModuleEntry(view.pid, view.name, path))
-    duration = costmodel.charge_module_scan(machine, len(entries))
+    with telemetry_context.current_tracer().span(
+            "scan.modules.low-level", clock=machine.clock,
+            machine=machine.name, view="kernel-module-table") as span:
+        if use_thread_table:
+            views = list(processes_from_threads(
+                kernel.memory, kernel.thread_table.address).values())
+        else:
+            views = [EprocessView(kernel.memory, address) for address in
+                     walk_process_list(kernel.memory,
+                                       kernel.process_list.head_address)]
+        for view in views:
+            if not view.alive or view.module_table_address == 0:
+                continue
+            table = ModuleTableView(kernel.memory, view.module_table_address)
+            for path in table.module_paths():
+                if path:
+                    entries.append(ModuleEntry(view.pid, view.name, path))
+        duration = costmodel.charge_module_scan(machine, len(entries))
+        span.set(entries=len(entries))
+    global_metrics().incr("scan.modules.enumerated", len(entries))
     return ScanSnapshot(ResourceType.MODULE, view="kernel-module-table",
                         entries=entries, taken_at=start, duration=duration)
 

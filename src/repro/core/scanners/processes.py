@@ -26,6 +26,8 @@ from repro.kernel.objects import EprocessView
 from repro.kernel.process_list import walk_process_list
 from repro.kernel.scheduler import processes_from_threads
 from repro.machine import Machine
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
 from repro.usermode.process import Process
 
 
@@ -35,13 +37,18 @@ def high_level_process_scan(machine: Machine,
     """Enumerate processes through the full API chain (the lie)."""
     scanner = ensure_scanner_process(machine, process)
     start = machine.clock.now()
-    snapshot = scanner.call("kernel32", "CreateToolhelp32Snapshot")
     entries: List[ProcessEntry] = []
-    info = scanner.call("kernel32", "Process32First", snapshot)
-    while info is not None:
-        entries.append(ProcessEntry(info.pid, info.name))
-        info = scanner.call("kernel32", "Process32Next", snapshot)
-    duration = costmodel.charge_process_scan(machine, len(entries))
+    with telemetry_context.current_tracer().span(
+            "scan.processes.high-level", clock=machine.clock,
+            machine=machine.name, view="toolhelp-api") as span:
+        snapshot = scanner.call("kernel32", "CreateToolhelp32Snapshot")
+        info = scanner.call("kernel32", "Process32First", snapshot)
+        while info is not None:
+            entries.append(ProcessEntry(info.pid, info.name))
+            info = scanner.call("kernel32", "Process32Next", snapshot)
+        duration = costmodel.charge_process_scan(machine, len(entries))
+        span.set(entries=len(entries))
+    global_metrics().incr("scan.processes.enumerated", len(entries))
     return ScanSnapshot(ResourceType.PROCESS, view="toolhelp-api",
                         entries=entries, taken_at=start, duration=duration)
 
@@ -69,9 +76,15 @@ def _entries_from_threads(reader: MemoryReader,
 def low_level_process_scan(machine: Machine) -> ScanSnapshot:
     """Driver-level Active Process List walk (truth approximation)."""
     start = machine.clock.now()
-    entries = _entries_from_list(machine.kernel.memory,
-                                 machine.kernel.process_list.head_address)
-    duration = costmodel.charge_process_scan(machine, len(entries))
+    with telemetry_context.current_tracer().span(
+            "scan.processes.low-level", clock=machine.clock,
+            machine=machine.name, view="active-process-list") as span:
+        entries = _entries_from_list(
+            machine.kernel.memory,
+            machine.kernel.process_list.head_address)
+        duration = costmodel.charge_process_scan(machine, len(entries))
+        span.set(entries=len(entries))
+    global_metrics().incr("scan.processes.enumerated", len(entries))
     return ScanSnapshot(ResourceType.PROCESS, view="active-process-list",
                         entries=entries, taken_at=start, duration=duration)
 
@@ -79,9 +92,14 @@ def low_level_process_scan(machine: Machine) -> ScanSnapshot:
 def advanced_process_scan(machine: Machine) -> ScanSnapshot:
     """Advanced mode: scheduler thread table → owner processes."""
     start = machine.clock.now()
-    entries = _entries_from_threads(machine.kernel.memory,
-                                    machine.kernel.thread_table.address)
-    duration = costmodel.charge_process_scan(machine, len(entries))
+    with telemetry_context.current_tracer().span(
+            "scan.processes.advanced", clock=machine.clock,
+            machine=machine.name, view="thread-table") as span:
+        entries = _entries_from_threads(machine.kernel.memory,
+                                        machine.kernel.thread_table.address)
+        duration = costmodel.charge_process_scan(machine, len(entries))
+        span.set(entries=len(entries))
+    global_metrics().incr("scan.processes.enumerated", len(entries))
     return ScanSnapshot(ResourceType.PROCESS, view="thread-table",
                         entries=entries, taken_at=start, duration=duration)
 

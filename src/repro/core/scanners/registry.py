@@ -29,6 +29,8 @@ from repro.registry.asep import (ASEP_CATALOG, AsepHook, ValueView,
                                  enumerate_asep_hooks)
 from repro.registry.hive import decode_value
 from repro.registry.hive_parser import ParsedKey, parse_hive
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
 from repro.usermode.process import Process
 
 _MAX_WIN32_NAME = 255
@@ -183,9 +185,14 @@ def high_level_asep_scan(machine: Machine,
                          process: Optional[Process] = None) -> ScanSnapshot:
     """All catalogued ASEP hooks through the Win32 API (the lie)."""
     start = machine.clock.now()
-    reader = Win32ApiReader(machine, process)
-    hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
-    duration = costmodel.charge_asep_scan(machine, len(hooks))
+    with telemetry_context.current_tracer().span(
+            "scan.registry.high-level", clock=machine.clock,
+            machine=machine.name, view="win32-regapi") as span:
+        reader = Win32ApiReader(machine, process)
+        hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+        duration = costmodel.charge_asep_scan(machine, len(hooks))
+        span.set(hooks=len(hooks))
+    global_metrics().incr("scan.asep.enumerated", len(hooks))
     return ScanSnapshot(ResourceType.REGISTRY, view="win32-regapi",
                         entries=_hooks_to_entries(hooks), taken_at=start,
                         duration=duration)
@@ -194,10 +201,15 @@ def high_level_asep_scan(machine: Machine,
 def low_level_asep_scan(machine: Machine) -> ScanSnapshot:
     """All catalogued ASEP hooks from raw hive bytes (the truth approx)."""
     start = machine.clock.now()
-    reader = RawHiveReader(machine)
-    hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
-    duration = costmodel.charge_asep_scan(machine, len(hooks),
-                                          hive_bytes=reader.hive_bytes)
+    with telemetry_context.current_tracer().span(
+            "scan.registry.low-level", clock=machine.clock,
+            machine=machine.name, view="raw-hive") as span:
+        reader = RawHiveReader(machine)
+        hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+        duration = costmodel.charge_asep_scan(machine, len(hooks),
+                                              hive_bytes=reader.hive_bytes)
+        span.set(hooks=len(hooks), hive_bytes=reader.hive_bytes)
+    global_metrics().incr("scan.asep.enumerated", len(hooks))
     return ScanSnapshot(ResourceType.REGISTRY, view="raw-hive",
                         entries=_hooks_to_entries(hooks), taken_at=start,
                         duration=duration)
@@ -207,9 +219,13 @@ def outside_asep_scan(disk, clock=None,
                       win32_semantics: bool = True) -> ScanSnapshot:
     """ASEP hooks from hives mounted under a clean OS."""
     start = clock.now() if clock else 0.0
-    reader = OutsideHiveReader(disk, win32_semantics=win32_semantics)
-    hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
     view = "winpe-regedit" if win32_semantics else "winpe-rawhive"
+    with telemetry_context.current_tracer().span(
+            "scan.registry.outside", clock=clock, view=view) as span:
+        reader = OutsideHiveReader(disk, win32_semantics=win32_semantics)
+        hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+        span.set(hooks=len(hooks))
+    global_metrics().incr("scan.asep.enumerated", len(hooks))
     return ScanSnapshot(ResourceType.REGISTRY, view=view,
                         entries=_hooks_to_entries(hooks), taken_at=start,
                         duration=0.0)

@@ -95,6 +95,7 @@ class LowLevelInterferenceGhost(Ghostware):
                     view[lo - offset:hi - offset] = b"\x00" * (hi - lo)
             return bytes(view)
 
+        scrub.audit_owner = self.name
         machine.kernel.disk_port.read_filters.append(scrub)
 
     def _scrub_hive_reads(self, machine: Machine) -> None:
@@ -123,4 +124,5 @@ class LowLevelInterferenceGhost(Ghostware):
                 return data
             return rebuilt + b"\x00" * (len(data) - len(rebuilt))
 
+        scrub.audit_owner = self.name
         machine.kernel.disk_port.read_filters.append(scrub)

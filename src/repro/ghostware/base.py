@@ -198,7 +198,8 @@ def patch_file_enum_ntdll(process: Process, hide: NamePredicate,
 
 
 def hook_ssdt_file_enum(machine: Machine, hide: NamePredicate,
-                        exempt_pids: Optional[List[int]] = None) -> None:
+                        exempt_pids: Optional[List[int]] = None,
+                        owner: str = "?") -> None:
     """Technique 5 (ProBot SE): replace the SSDT dispatch entry."""
     exempt = set(exempt_pids or ())
 
@@ -210,7 +211,8 @@ def hook_ssdt_file_enum(machine: Machine, hide: NamePredicate,
             return [entry for entry in entries if not hide(entry.name)]
         return hooked
 
-    machine.kernel.ssdt.hook(Syscall.QUERY_DIRECTORY_FILE, make_wrapper)
+    machine.kernel.ssdt.hook(Syscall.QUERY_DIRECTORY_FILE, make_wrapper,
+                             owner=owner)
 
 
 class FileHidingFilterDriver(FilterDriver):
@@ -379,7 +381,8 @@ def patch_registry_enum_ntdll(process: Process, hide: NamePredicate,
 
 
 def hook_ssdt_registry_enum(machine: Machine, hide: NamePredicate,
-                            exempt_pids: Optional[List[int]] = None) -> None:
+                            exempt_pids: Optional[List[int]] = None,
+                            owner: str = "?") -> None:
     """Kernel-level registry interception via the dispatch table."""
     exempt = set(exempt_pids or ())
 
@@ -411,12 +414,16 @@ def hook_ssdt_registry_enum(machine: Machine, hide: NamePredicate,
             return value
         return hooked
 
-    machine.kernel.ssdt.hook(Syscall.ENUMERATE_KEY, make_enum_key)
-    machine.kernel.ssdt.hook(Syscall.ENUMERATE_VALUE_KEY, make_enum_value)
-    machine.kernel.ssdt.hook(Syscall.QUERY_VALUE_KEY, make_query)
+    machine.kernel.ssdt.hook(Syscall.ENUMERATE_KEY, make_enum_key,
+                             owner=owner)
+    machine.kernel.ssdt.hook(Syscall.ENUMERATE_VALUE_KEY, make_enum_value,
+                             owner=owner)
+    machine.kernel.ssdt.hook(Syscall.QUERY_VALUE_KEY, make_query,
+                             owner=owner)
 
 
-def register_cm_callback(machine: Machine, hide: NamePredicate) -> None:
+def register_cm_callback(machine: Machine, hide: NamePredicate,
+                         owner: str = "?") -> None:
     """Kernel registry-callback interception (the paper's alternative)."""
     def callback(key_path: str, results):
         out = []
@@ -426,6 +433,7 @@ def register_cm_callback(machine: Machine, hide: NamePredicate) -> None:
                 continue
             out.append(item)
         return out
+    callback.audit_owner = owner
     machine.kernel.cm_callbacks.append(callback)
 
 

@@ -48,4 +48,4 @@ class CmCallbackGhost(Ghostware):
         machine.load_driver_image(SERVICE_NAME, DRIVER_PATH)
 
     def _driver_entry(self, machine: Machine, process) -> None:
-        register_cm_callback(machine, self._hide)
+        register_cm_callback(machine, self._hide, owner=self.name)

@@ -92,8 +92,8 @@ class ProBotSE(Ghostware):
 
     def _driver_entry(self, machine: Machine, process) -> None:
         """The .sys driver installs the SSDT hooks, exempting nothing."""
-        hook_ssdt_file_enum(machine, self._hide)
-        hook_ssdt_registry_enum(machine, self._hide)
+        hook_ssdt_file_enum(machine, self._hide, owner=self.name)
+        hook_ssdt_registry_enum(machine, self._hide, owner=self.name)
 
     def _logger_main(self, machine: Machine, process: Process) -> None:
         """The user-mode EXE arms the logger; keystrokes arrive later.

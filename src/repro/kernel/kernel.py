@@ -24,6 +24,9 @@ from repro.kernel.objects import (DriverView, ModuleTableView, PebView,
 from repro.kernel.process_list import ActiveProcessList, walk_process_list
 from repro.kernel.scheduler import ThreadTable
 from repro.kernel.ssdt import ServiceDispatchTable, Syscall
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.audit import (LAYER_CM_CALLBACK, LAYER_RAW_PORT,
+                                   LAYER_SSDT)
 
 DRIVER_HEAD_MAGIC = b"DLst"
 _DRV_FLINK = 4
@@ -88,8 +91,17 @@ class DiskPort:
 
     def read_bytes(self, offset: int, length: int) -> bytes:
         data = self._disk.read_bytes(offset, length)
-        for read_filter in self.read_filters:
-            data = read_filter(offset, length, data)
+        if self.read_filters:
+            audit = telemetry_context.current_audit()
+            for read_filter in self.read_filters:
+                if audit is not None:
+                    # Once per filter per scan: a raw parse issues
+                    # thousands of reads through the same interposition.
+                    audit.record_once(
+                        LAYER_RAW_PORT, "raw-port:read_bytes",
+                        kind="raw_read_filter",
+                        owner=getattr(read_filter, "audit_owner", "?"))
+                data = read_filter(offset, length, data)
         return data
 
 
@@ -294,25 +306,45 @@ class Kernel:
     def _svc_delete_file(self, requestor_pid: int, path: str) -> None:
         return self.io_manager.delete_file(requestor_pid, path)
 
+    def _audit_cm_callbacks(self, api: str, requestor_pid: int,
+                            key_path: str) -> None:
+        """Record registered CM callbacks firing on a registry query."""
+        audit = telemetry_context.current_audit()
+        if audit is None:
+            return
+        for callback in self.cm_callbacks:
+            audit.record(LAYER_CM_CALLBACK, api, kind="cm_callback",
+                         owner=getattr(callback, "audit_owner", "?"),
+                         pid=requestor_pid, detail=key_path)
+
     def _svc_enumerate_key(self, requestor_pid: int,
                            key_path: str) -> List[str]:
         names = self.registry.enum_subkeys(key_path)
-        for callback in self.cm_callbacks:
-            names = callback(key_path, names)
+        if self.cm_callbacks:
+            self._audit_cm_callbacks("CM:enumerate_key", requestor_pid,
+                                     key_path)
+            for callback in self.cm_callbacks:
+                names = callback(key_path, names)
         return names
 
     def _svc_enumerate_value_key(self, requestor_pid: int, key_path: str):
         values = self.registry.enum_values(key_path)
-        for callback in self.cm_callbacks:
-            values = callback(key_path, values)
+        if self.cm_callbacks:
+            self._audit_cm_callbacks("CM:enumerate_value_key",
+                                     requestor_pid, key_path)
+            for callback in self.cm_callbacks:
+                values = callback(key_path, values)
         return values
 
     def _svc_query_value_key(self, requestor_pid: int, key_path: str,
                              name: str):
         value = self.registry.get_value(key_path, name)
         filtered = [value]
-        for callback in self.cm_callbacks:
-            filtered = callback(key_path, filtered)
+        if self.cm_callbacks:
+            self._audit_cm_callbacks("CM:query_value_key", requestor_pid,
+                                     key_path)
+            for callback in self.cm_callbacks:
+                filtered = callback(key_path, filtered)
         return filtered[0] if filtered else None
 
     def _svc_query_system_information(self,
@@ -337,6 +369,12 @@ class Kernel:
 
     def syscall(self, number: Syscall, requestor_pid: int, *args):
         """Enter the kernel through the (hookable) dispatch table."""
+        if self.ssdt.is_hooked(number):
+            audit = telemetry_context.current_audit()
+            if audit is not None:
+                audit.record(LAYER_SSDT, f"SSDT:{number.name}",
+                             kind="ssdt", owner=self.ssdt.hook_owner(number),
+                             pid=requestor_pid)
         return self.ssdt.dispatch(number)(requestor_pid, *args)
 
     # -- misc --------------------------------------------------------------------------

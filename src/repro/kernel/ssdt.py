@@ -41,11 +41,13 @@ class ServiceDispatchTable:
     def __init__(self) -> None:
         self._entries: Dict[int, ServiceHandler] = {}
         self._originals: Dict[int, ServiceHandler] = {}
+        self._owners: Dict[int, str] = {}
 
     def install(self, syscall: Syscall, handler: ServiceHandler) -> None:
         """Boot-time installation; records the pristine entry."""
         self._entries[int(syscall)] = handler
         self._originals[int(syscall)] = handler
+        self._owners.pop(int(syscall), None)
 
     def dispatch(self, syscall: Syscall) -> ServiceHandler:
         handler = self._entries.get(int(syscall))
@@ -54,18 +56,22 @@ class ServiceDispatchTable:
         return handler
 
     def hook(self, syscall: Syscall,
-             make_wrapper: Callable[[ServiceHandler], ServiceHandler]
-             ) -> ServiceHandler:
+             make_wrapper: Callable[[ServiceHandler], ServiceHandler],
+             owner: str = "?") -> ServiceHandler:
         """Replace an entry with a wrapper around the current handler.
 
         Returns the displaced handler so the hooker can restore it.
+        ``owner`` attributes the hook in the interception audit log.
         """
         current = self.dispatch(syscall)
         self._entries[int(syscall)] = make_wrapper(current)
+        self._owners[int(syscall)] = owner
         return current
 
     def restore(self, syscall: Syscall, handler: ServiceHandler) -> None:
         self._entries[int(syscall)] = handler
+        if handler is self._originals.get(int(syscall)):
+            self._owners.pop(int(syscall), None)
 
     def restore_original(self, syscall: Syscall) -> None:
         """Direct Service Dispatch Table restoration ([YT04])."""
@@ -73,6 +79,16 @@ class ServiceDispatchTable:
         if original is None:
             raise KernelError(f"{syscall!r} was never installed")
         self._entries[int(syscall)] = original
+        self._owners.pop(int(syscall), None)
+
+    def is_hooked(self, syscall: Syscall) -> bool:
+        """True when the live entry differs from the boot-time original."""
+        number = int(syscall)
+        return self._entries.get(number) is not self._originals.get(number)
+
+    def hook_owner(self, syscall: Syscall) -> str:
+        """Audit attribution for a hooked entry."""
+        return self._owners.get(int(syscall), "?")
 
     def hooked_entries(self) -> List[Syscall]:
         """Mechanism-detection view: entries differing from boot-time.

@@ -41,6 +41,8 @@ from repro.errors import CorruptRecord, FileNotFound
 from repro.ntfs import constants as c
 from repro.ntfs.naming import normalize_key
 from repro.ntfs.records import MftRecord
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
 
 ReadBytes = Callable[[int, int], bytes]
 
@@ -84,6 +86,11 @@ class MftParser:
             read_bytes)
         self._namespace: Optional[_ParsedNamespace] = None
         self._namespace_token: Optional[Tuple] = None
+        # Pre-resolved counter handles: the revalidation path runs per
+        # read_file_content call, so it must not pay a registry lookup.
+        registry = global_metrics()
+        self._hits = registry.counter_handle("mft.parse.cache_hit")
+        self._misses = registry.counter_handle("mft.parse.cache_miss")
         boot = self._read(0, 512)
         if boot[c.BOOT_MAGIC_OFFSET:c.BOOT_MAGIC_OFFSET + 8] != c.BOOT_MAGIC:
             raise CorruptRecord("not an NTFS boot sector")
@@ -181,6 +188,7 @@ class MftParser:
         token = self._cache_token()
         if self._namespace is not None and (token is None
                                             or token == self._namespace_token):
+            self._hits.add()
             return self._namespace
         # The shared per-disk cache only ever holds the unfiltered view.
         shareable = (self._disk_source is not None and token is not None
@@ -189,8 +197,13 @@ class MftParser:
             entry = self._disk_source.raw_cache.get(_NAMESPACE_CACHE_KEY)
             if entry is not None and entry[0] == token[0]:
                 self._namespace, self._namespace_token = entry[1], token
+                self._hits.add()
                 return entry[1]
-        namespace = self._build_namespace()
+        self._misses.add()
+        with telemetry_context.current_tracer().span(
+                "mft.parse", records=self._capacity,
+                filtered=bool(token and token[1])):
+            namespace = self._build_namespace()
         self._namespace, self._namespace_token = namespace, token
         if shareable:
             self._disk_source.raw_cache[_NAMESPACE_CACHE_KEY] = (

@@ -16,6 +16,8 @@ from typing import List
 
 from repro.errors import HiveFormatError
 from repro.registry import cells
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
 
 _MAX_DEPTH = 512
 
@@ -137,8 +139,12 @@ def parse_hive(blob: bytes) -> ParsedHive:
         cached = _hive_cache.get(digest)
         if cached is not None:
             _hive_cache.move_to_end(digest)
+            global_metrics().incr("hive.parse.memo_hit")
             return cached
-    parsed = HiveParser(blob).parse()
+    global_metrics().incr("hive.parse.memo_miss")
+    with telemetry_context.current_tracer().span("hive.parse",
+                                                 bytes=len(blob)):
+        parsed = HiveParser(blob).parse()
     with _hive_cache_lock:
         _hive_cache[digest] = parsed
         while len(_hive_cache) > _HIVE_CACHE_MAX:

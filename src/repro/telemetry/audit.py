@@ -1,0 +1,204 @@
+"""The interception audit log.
+
+The cross-view diff says *that* the views differ; the audit log says
+*why*: every SSDT hook, filter driver, configuration-manager callback,
+IAT redirection, inline code patch, and raw-port filter that fires while
+a scan is active gets recorded as an :class:`InterpositionEvent` with
+layer, API, owner, and calling process.  "The views differ" becomes "the
+views differ because ``ntdll!NtQueryDirectoryFile`` was detoured by
+Hacker Defender 1.0 in pid 40".
+
+Events are recorded by the substrate itself (:class:`CodeSite`,
+:class:`Process.call`, the syscall gateway, the I/O manager, the raw
+disk port) whenever an audit log is active on the current thread — see
+:mod:`repro.telemetry.context`.  With no active log the instrumented
+sites pay a single ``None`` check.
+
+:func:`attribute_findings` joins a :class:`DetectionReport` against the
+log: each hidden file/key/process is mapped to the interposed API(s) on
+its resource's enumeration path, and a hidden resource with *no*
+recorded interposition is attributed to non-API hiding (DKOM or a
+naming exploit) — itself a diagnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# Layers, in the order a call traverses them.
+LAYER_IAT = "iat"
+LAYER_INLINE = "inline"
+LAYER_SSDT = "ssdt"
+LAYER_CM_CALLBACK = "cm-callback"
+LAYER_FILTER_DRIVER = "filter-driver"
+LAYER_RAW_PORT = "raw-port"
+
+NO_INTERPOSITION = "(no interposition observed: DKOM or naming/raw-level)"
+
+# function/operation name → the resource class whose enumeration it serves
+_RESOURCE_OF_FUNCTION = {
+    "findfirstfile": "file", "findnextfile": "file", "findclose": "file",
+    "ntquerydirectoryfile": "file", "query_directory_file": "file",
+    "enumerate_directory": "file", "read_bytes": "file",
+    "create": "file", "read": "file", "write": "file", "delete": "file",
+    "regenumvalue": "registry", "regenumkey": "registry",
+    "regqueryvalue": "registry", "regkeyexists": "registry",
+    "ntenumeratekey": "registry", "ntenumeratevaluekey": "registry",
+    "ntqueryvaluekey": "registry", "enumerate_key": "registry",
+    "enumerate_value_key": "registry", "query_value_key": "registry",
+    "createtoolhelp32snapshot": "process", "process32first": "process",
+    "process32next": "process", "ntquerysysteminformation": "process",
+    "query_system_information": "process",
+    "module32snapshot": "module", "module32first": "module",
+    "module32next": "module", "ntqueryinformationprocess": "module",
+    "query_information_process": "module",
+}
+
+
+def resource_of(api: str) -> str:
+    """Map an API label to ``file``/``registry``/``process``/``module``."""
+    tail = api
+    for separator in ("!", ":"):
+        if separator in tail:
+            tail = tail.rsplit(separator, 1)[-1]
+    return _RESOURCE_OF_FUNCTION.get(tail.casefold(), "")
+
+
+@dataclass(frozen=True)
+class InterpositionEvent:
+    """One interception observed firing on a scan path."""
+
+    layer: str       # iat / inline / ssdt / cm-callback / filter-driver / raw-port
+    api: str         # "ntdll!NtQueryDirectoryFile", "SSDT:ENUMERATE_KEY", ...
+    kind: str        # PatchKind value or layer-specific mechanism label
+    owner: str       # which ghostware (or filter driver) installed it
+    pid: int = -1
+    process: str = ""
+    resource: str = ""
+    detail: str = ""
+
+    def describe(self) -> str:
+        where = f" in pid {self.pid} ({self.process})" if self.pid >= 0 else ""
+        extra = f" [{self.detail}]" if self.detail else ""
+        return (f"{self.layer}: {self.api} interposed by {self.owner}"
+                f" ({self.kind}){where}{extra}")
+
+
+class AuditLog:
+    """Thread-safe append-only log of interposition events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[InterpositionEvent] = []
+        self._once: set = set()
+
+    def record(self, layer: str, api: str, kind: str = "", owner: str = "?",
+               pid: int = -1, process: str = "", detail: str = "") -> None:
+        event = InterpositionEvent(layer=layer, api=api, kind=kind,
+                                   owner=owner, pid=pid, process=process,
+                                   resource=resource_of(api), detail=detail)
+        with self._lock:
+            self._events.append(event)
+
+    def record_once(self, layer: str, api: str, kind: str = "",
+                    owner: str = "?", pid: int = -1, process: str = "",
+                    detail: str = "") -> None:
+        """Record, deduplicated on (layer, api, owner, pid).
+
+        Used by per-byte-range interceptions (the raw disk port) where
+        one scan would otherwise log thousands of identical events.
+        """
+        key = (layer, api, owner, pid)
+        with self._lock:
+            if key in self._once:
+                return
+            self._once.add(key)
+        self.record(layer, api, kind=kind, owner=owner, pid=pid,
+                    process=process, detail=detail)
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def events(self) -> List[InterpositionEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def interposed_apis(self, resource: Optional[str] = None) -> List[str]:
+        """Sorted distinct APIs seen interposed (optionally per resource)."""
+        return sorted({event.api for event in self.events
+                       if resource is None or event.resource == resource})
+
+    def owners(self) -> List[str]:
+        return sorted({event.owner for event in self.events})
+
+    def aggregate(self) -> Dict[Tuple[str, str, str, str], int]:
+        """(layer, api, owner, kind) → firing count."""
+        counts: Counter = Counter()
+        for event in self.events:
+            counts[(event.layer, event.api, event.owner, event.kind)] += 1
+        return dict(counts)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        return [{"layer": e.layer, "api": e.api, "kind": e.kind,
+                 "owner": e.owner, "pid": e.pid, "process": e.process,
+                 "resource": e.resource, "detail": e.detail}
+                for e in self.events]
+
+    def summary(self) -> str:
+        aggregated = self.aggregate()
+        if not aggregated:
+            return "audit: no interpositions observed"
+        lines = [f"audit: {len(self)} interposition firing(s), "
+                 f"{len(aggregated)} distinct"]
+        for (layer, api, owner, kind), count in sorted(
+                aggregated.items(), key=lambda item: (-item[1], item[0])):
+            lines.append(f"  {layer:<13} {api:<34} by {owner} "
+                         f"({kind}) x{count}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FindingAttribution:
+    """Why one finding's resource was missing from the high-level view."""
+
+    finding: object                      # the Finding
+    apis: List[str] = field(default_factory=list)
+    owners: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        cause = ", ".join(self.apis) if self.apis else NO_INTERPOSITION
+        via = f" via {', '.join(self.owners)}" if self.owners else ""
+        return f"{self.finding.entry.describe()} <- {cause}{via}"
+
+
+def attribute_findings(report, audit: AuditLog) -> List[FindingAttribution]:
+    """Join a DetectionReport's findings against the audit log.
+
+    Every non-noise finding is attributed to the interposed API(s)
+    observed on its resource class's enumeration path during the scan.
+    An empty API list means the hiding happened below/off the API stack
+    (DKOM, naming exploit) — exactly the cases the paper's advanced and
+    naming-aware modes exist for.
+    """
+    by_resource: Dict[str, List] = {}
+    for event in audit.events:
+        by_resource.setdefault(event.resource, []).append(event)
+    out: List[FindingAttribution] = []
+    for finding in report.findings:
+        if finding.is_noise:
+            continue
+        events = by_resource.get(finding.resource_type.value, [])
+        out.append(FindingAttribution(
+            finding=finding,
+            apis=sorted({event.api for event in events}),
+            owners=sorted({event.owner for event in events})))
+    return out

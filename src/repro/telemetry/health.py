@@ -1,0 +1,192 @@
+"""Fleet health reporting for RIS sweeps.
+
+The paper reports per-machine scan times and diff outcomes across its
+12-ghostware evaluation; a fleet operator running GhostBuster nightly
+over thousands of clients needs the same thing continuously: which
+machines are slow, which errored (and *how* — the error taxonomy), which
+are infected, and what each machine's scan actually did (its span tree
+and audit log).
+
+:class:`FleetHealth` aggregates one :class:`MachineHealth` per client
+and renders/exports the sweep:
+
+* :meth:`FleetHealth.summary` — the operator's table;
+* :meth:`FleetHealth.slowest` — slowest-machine attribution, with the
+  span that dominated each slow machine's wall time;
+* :meth:`FleetHealth.error_taxonomy` — exception class → count;
+* :meth:`FleetHealth.to_jsonl` / :meth:`write_jsonl` — machine records,
+  span records, audit records, and a metrics snapshot, one JSON object
+  per line (the format ``scripts/scan_report.py`` renders).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class MachineHealth:
+    """One client's scan, as the fleet operator sees it."""
+
+    machine: str
+    wall_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+    findings: int = 0
+    noise: int = 0
+    error: Optional[str] = None
+    spans: List[dict] = field(default_factory=list)       # Span.to_dict()s
+    span_tree: str = ""                                   # rendered tree
+    audit_events: List[dict] = field(default_factory=list)
+    interposed_apis: List[str] = field(default_factory=list)
+
+    @property
+    def error_kind(self) -> Optional[str]:
+        """The taxonomy bucket: the exception class name."""
+        if self.error is None:
+            return None
+        return self.error.split(":", 1)[0].strip() or "Error"
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return "ERROR"
+        return "INFECTED" if self.findings else "clean"
+
+    def dominant_span(self) -> Optional[dict]:
+        """The non-root span that consumed the most wall time."""
+        children = [span for span in self.spans
+                    if span.get("parent_id") is not None]
+        if not children:
+            return None
+        return max(children, key=lambda span: span.get("wall_s", 0.0))
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "status": self.status,
+            "wall_s": round(self.wall_seconds, 6),
+            "sim_s": round(self.simulated_seconds, 3),
+            "findings": self.findings,
+            "noise": self.noise,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "interposed_apis": list(self.interposed_apis),
+            "audit_event_count": len(self.audit_events),
+        }
+
+
+@dataclass
+class FleetHealth:
+    """Per-machine health for one whole sweep, plus sweep-level stats."""
+
+    machines: List[MachineHealth] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    worker_count: int = 1
+    metrics_snapshot: dict = field(default_factory=dict)
+
+    def add(self, health: MachineHealth) -> None:
+        self.machines.append(health)
+
+    def machine(self, name: str) -> Optional[MachineHealth]:
+        for health in self.machines:
+            if health.machine == name:
+                return health
+        return None
+
+    # -- analysis ----------------------------------------------------------------
+
+    def slowest(self, count: int = 3) -> List[Tuple[str, float, str]]:
+        """(machine, wall seconds, dominant span name), slowest first."""
+        ranked = sorted(self.machines, key=lambda h: -h.wall_seconds)
+        out = []
+        for health in ranked[:count]:
+            dominant = health.dominant_span()
+            out.append((health.machine, health.wall_seconds,
+                        dominant["name"] if dominant else ""))
+        return out
+
+    def error_taxonomy(self) -> Dict[str, int]:
+        """Exception class → how many clients died of it."""
+        return dict(Counter(health.error_kind for health in self.machines
+                            if health.error_kind is not None))
+
+    def infected(self) -> List[str]:
+        return sorted(health.machine for health in self.machines
+                      if health.status == "INFECTED")
+
+    # -- rendering ---------------------------------------------------------------
+
+    def summary(self) -> str:
+        header = (f"{'machine':<14} {'status':<9} {'wall(s)':>8} "
+                  f"{'sim(s)':>8} {'findings':>8} {'interposed APIs'}")
+        lines = [f"fleet health: {len(self.machines)} machines, "
+                 f"{len(self.infected())} infected, "
+                 f"{sum(self.error_taxonomy().values())} errored "
+                 f"({self.worker_count} worker(s), "
+                 f"{self.wall_seconds:.2f}s wall)",
+                 header, "-" * len(header)]
+        for health in self.machines:
+            apis = ", ".join(health.interposed_apis) or "-"
+            lines.append(f"{health.machine:<14} {health.status:<9} "
+                         f"{health.wall_seconds:>8.3f} "
+                         f"{health.simulated_seconds:>8.1f} "
+                         f"{health.findings:>8d} {apis}")
+        taxonomy = self.error_taxonomy()
+        if taxonomy:
+            lines.append("errors: " + ", ".join(
+                f"{kind} x{count}" for kind, count in sorted(
+                    taxonomy.items())))
+        slow = self.slowest()
+        if slow:
+            lines.append("slowest: " + "; ".join(
+                f"{name} {seconds:.3f}s"
+                + (f" (mostly {span})" if span else "")
+                for name, seconds, span in slow))
+        return "\n".join(lines)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The sweep's full telemetry, one JSON record per line."""
+        lines = [json.dumps({"type": "sweep",
+                             "machines": len(self.machines),
+                             "wall_s": round(self.wall_seconds, 6),
+                             "workers": self.worker_count},
+                            sort_keys=True)]
+        for health in self.machines:
+            lines.append(json.dumps(
+                {"type": "machine", **health.to_dict()}, sort_keys=True))
+            for span in health.spans:
+                lines.append(json.dumps(
+                    {"type": "span", "machine": health.machine, **span},
+                    sort_keys=True))
+            for event in health.audit_events:
+                lines.append(json.dumps(
+                    {"type": "audit", "machine": health.machine, **event},
+                    sort_keys=True))
+        if self.metrics_snapshot:
+            lines.append(json.dumps(
+                {"type": "metrics", **self.metrics_snapshot},
+                sort_keys=True))
+        return "\n".join(lines)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl() + "\n")
+
+
+def load_jsonl(path) -> Dict[str, List[dict]]:
+    """Parse a telemetry JSONL file back into records grouped by type."""
+    grouped: Dict[str, List[dict]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            grouped.setdefault(record.get("type", "unknown"),
+                               []).append(record)
+    return grouped

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ApiError
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.audit import LAYER_IAT
 from repro.winapi.hooks import ApiImpl, CodeSite, ModuleCode
 
 
@@ -73,6 +75,11 @@ class Process:
         """
         entry = self.iat.get((module.casefold(), function))
         if entry is not None:
+            audit = telemetry_context.current_audit()
+            if audit is not None:
+                audit.record(LAYER_IAT, f"{module}!{function}",
+                             kind="iat", owner=entry.owner,
+                             pid=self.pid, process=self.name)
             return entry.target(self, *args)
         return self.code_site(module, function).call(self, *args)
 

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ApiError
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.audit import LAYER_INLINE
 
 ApiImpl = Callable[..., object]
 
@@ -62,6 +64,14 @@ class CodeSite:
         self.patch: Optional[PatchInfo] = None
 
     def call(self, process, *args):
+        if self.patch is not None:
+            audit = telemetry_context.current_audit()
+            if audit is not None:
+                audit.record(LAYER_INLINE,
+                             f"{self.module}!{self.function}",
+                             kind=self.patch.kind.value,
+                             owner=self.patch.owner,
+                             pid=process.pid, process=process.name)
         return self._implementation(process, *args)
 
     @property

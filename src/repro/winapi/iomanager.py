@@ -17,6 +17,8 @@ from typing import List, Optional
 
 from repro.errors import AccessDenied
 from repro.ntfs.volume import FileStat, NtfsVolume
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.audit import LAYER_FILTER_DRIVER
 
 DirEntry = FileStat
 
@@ -84,8 +86,16 @@ class IoManager:
         self._pre(irp)
         entries = self.volume.list_directory(path)
         # Results travel back *up* the stack: bottom-most filter first.
+        audit = telemetry_context.current_audit() if self.filters else None
         for filter_driver in reversed(self.filters):
+            before = len(entries)
             entries = filter_driver.filter_enumeration(irp, entries)
+            if audit is not None and len(entries) != before:
+                audit.record(
+                    LAYER_FILTER_DRIVER, "IRP:enumerate_directory",
+                    kind="filter_driver", owner=filter_driver.name,
+                    pid=requestor_pid,
+                    detail=f"{path} (-{before - len(entries)} entries)")
         return entries
 
     def create_file(self, requestor_pid: int, path: str,
@@ -117,4 +127,14 @@ class IoManager:
 
     def _pre(self, irp: Irp) -> None:
         for filter_driver in self.filters:
-            filter_driver.pre_operation(irp)
+            try:
+                filter_driver.pre_operation(irp)
+            except AccessDenied:
+                audit = telemetry_context.current_audit()
+                if audit is not None:
+                    audit.record(
+                        LAYER_FILTER_DRIVER,
+                        f"IRP:{irp.operation.value}",
+                        kind="filter_driver_deny", owner=filter_driver.name,
+                        pid=irp.requestor_pid, detail=irp.path)
+                raise

@@ -1,0 +1,287 @@
+"""Telemetry core: tracer spans, metrics registry, audit log, context."""
+
+import json
+import threading
+
+import pytest
+
+from repro.clock import SimClock
+from repro.telemetry import Telemetry
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.audit import (AuditLog, LAYER_IAT, LAYER_INLINE,
+                                   LAYER_SSDT, resource_of)
+from repro.telemetry.metrics import (DEFAULT_BUCKETS, MetricsRegistry,
+                                     NullMetrics)
+from repro.telemetry.tracer import NULL_SPAN, NULL_TRACER, Tracer
+
+
+# -- tracer -------------------------------------------------------------------
+
+
+class TestTracer:
+
+    def test_spans_nest_and_record_both_clocks(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(10.0)
+            with tracer.span("inner", detail="x") as inner:
+                clock.advance(2.5)
+            outer.set(entries=7)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.sim_seconds == pytest.approx(2.5)
+        assert outer.sim_seconds == pytest.approx(12.5)
+        assert outer.wall_seconds >= inner.wall_seconds >= 0.0
+        assert outer.attrs["entries"] == 7
+        assert inner.attrs["detail"] == "x"
+
+    def test_sibling_ordering_preserved(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for index in range(3):
+                with tracer.span(f"child-{index}"):
+                    pass
+        (root,) = tracer.roots()
+        assert [child.name for child in root.children] == \
+            ["child-0", "child-1", "child-2"]
+
+    def test_exception_unwinds_span_stack(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        with tracer.span("after"):
+            pass
+        names = [span.name for span in tracer.roots()]
+        assert names == ["outer", "after"]
+        # both spans were closed despite the exception
+        assert all(span.wall_end is not None for span in tracer.spans())
+
+    def test_jsonl_export_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        records = [json.loads(line) for line in
+                   tracer.to_jsonl().splitlines()]
+        by_name = {record["name"]: record for record in records}
+        assert by_name["b"]["parent_id"] == by_name["a"]["span_id"]
+        assert by_name["a"]["parent_id"] is None
+
+    def test_render_shows_tree(self):
+        tracer = Tracer()
+        with tracer.span("scan", machine="pc"):
+            with tracer.span("parse"):
+                pass
+        rendered = tracer.render()
+        assert "scan" in rendered
+        assert "\n  parse" in rendered
+        assert "machine=pc" in rendered
+
+    def test_null_tracer_is_inert_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", attr=1)
+        with span as inner:
+            assert inner is NULL_SPAN
+        inner.set(foo=1)   # never raises, never stores
+
+    def test_per_thread_stacks_do_not_interleave(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker(name):
+            try:
+                barrier.wait()
+                for index in range(20):
+                    with tracer.span(f"{name}-outer-{index}"):
+                        with tracer.span(f"{name}-inner-{index}"):
+                            pass
+            except Exception as exc:   # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        roots = tracer.roots()
+        assert len(roots) == 80   # 4 threads x 20 outers, all roots
+        for root in roots:
+            prefix = root.name.rsplit("-outer-", 1)
+            assert len(root.children) == 1
+            child = root.children[0]
+            # the inner span belongs to the same thread's same iteration
+            assert child.name == f"{prefix[0]}-inner-{prefix[1]}"
+            assert child.thread == root.thread
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+class TestMetrics:
+
+    def test_counters_gauges(self):
+        registry = MetricsRegistry()
+        registry.incr("a")
+        registry.incr("a", 2.5)
+        registry.gauge("g", 7.0)
+        assert registry.counter("a") == pytest.approx(3.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["a"] == pytest.approx(3.5)
+        assert snap["gauges"]["g"] == 7.0
+
+    def test_counter_handles_fold_into_reads(self):
+        registry = MetricsRegistry()
+        handle = registry.counter_handle("hot")
+        handle.add()
+        handle.add(2.0)
+        registry.incr("hot", 10.0)
+        assert registry.counter("hot") == pytest.approx(13.0)
+        assert registry.snapshot()["counters"]["hot"] == pytest.approx(13.0)
+        assert registry.counter_handle("hot") is handle
+
+    def test_reset_zeroes_handles_in_place(self):
+        registry = MetricsRegistry()
+        handle = registry.counter_handle("hot")
+        handle.add(5.0)
+        registry.reset()
+        assert registry.counter("hot") == 0.0
+        handle.add()   # old reference still live and counted
+        assert registry.counter("hot") == 1.0
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.005)
+        registry.observe("h", 5.0)
+        registry.observe("h", 10_000.0)   # beyond the largest bound
+        hist = registry.snapshot()["histograms"]["h"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(10_005.005)
+        assert hist["counts"][DEFAULT_BUCKETS.index(0.01)] == 1
+        assert hist["counts"][DEFAULT_BUCKETS.index(10.0)] == 1
+        assert hist["counts"][-1] == 1   # +Inf overflow
+
+    def test_dump_text_prometheus_flavour(self):
+        registry = MetricsRegistry()
+        registry.incr("c", 2)
+        registry.observe("h", 0.5)
+        text = registry.dump_text()
+        assert "c 2" in text
+        assert 'h{le="+Inf"}' in text
+        assert "h_count 1" in text
+
+    def test_null_metrics_records_nothing(self):
+        registry = NullMetrics()
+        registry.incr("a")
+        registry.observe("h", 1.0)
+        registry.counter_handle("a").add(100)
+        assert registry.snapshot()["counters"] == {}
+
+    def test_parallel_incr_is_exact(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for __ in range(500):
+                registry.incr("shared")
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("shared") == 4000
+
+
+# -- audit --------------------------------------------------------------------
+
+
+class TestAudit:
+
+    def test_record_and_aggregate(self):
+        audit = AuditLog()
+        audit.record(LAYER_INLINE, "ntdll!NtQueryDirectoryFile",
+                     kind="inline_detour", owner="hxdef", pid=7)
+        audit.record(LAYER_INLINE, "ntdll!NtQueryDirectoryFile",
+                     kind="inline_detour", owner="hxdef", pid=7)
+        audit.record(LAYER_IAT, "kernel32!FindFirstFile",
+                     kind="iat", owner="urbin", pid=7)
+        assert len(audit) == 3
+        aggregated = audit.aggregate()
+        assert aggregated[(LAYER_INLINE, "ntdll!NtQueryDirectoryFile",
+                           "hxdef", "inline_detour")] == 2
+        assert audit.owners() == ["hxdef", "urbin"]
+
+    def test_record_once_dedupes(self):
+        audit = AuditLog()
+        for __ in range(100):
+            audit.record_once("raw-port", "raw-port:read_bytes",
+                              owner="scrubber")
+        assert len(audit) == 1
+
+    def test_interposed_apis_by_resource(self):
+        audit = AuditLog()
+        audit.record(LAYER_INLINE, "ntdll!NtQueryDirectoryFile",
+                     owner="g")
+        audit.record(LAYER_SSDT, "SSDT:enumerate_key", owner="g")
+        assert audit.interposed_apis(resource="file") == \
+            ["ntdll!NtQueryDirectoryFile"]
+        assert audit.interposed_apis(resource="registry") == \
+            ["SSDT:enumerate_key"]
+        assert len(audit.interposed_apis()) == 2
+
+    def test_resource_of_classification(self):
+        assert resource_of("ntdll!NtQueryDirectoryFile") == "file"
+        assert resource_of("advapi32!RegEnumValue") == "registry"
+        assert resource_of("kernel32!CreateToolhelp32Snapshot") == "process"
+        assert resource_of("SSDT:enumerate_key") == "registry"
+        assert resource_of("something!Unknown") == ""
+
+
+# -- context ------------------------------------------------------------------
+
+
+class TestContext:
+
+    def test_defaults_when_inactive(self):
+        assert telemetry_context.current_tracer() is NULL_TRACER
+        assert telemetry_context.current_audit() is None
+
+    def test_activation_and_restore(self):
+        telemetry = Telemetry.enabled()
+        with telemetry.activate():
+            assert telemetry_context.current_tracer() is telemetry.tracer
+            assert telemetry_context.current_audit() is telemetry.audit
+        assert telemetry_context.current_tracer() is NULL_TRACER
+        assert telemetry_context.current_audit() is None
+
+    def test_activation_is_reentrant(self):
+        outer = Telemetry.enabled()
+        inner = Telemetry.enabled()
+        with outer.activate():
+            with inner.activate():
+                assert telemetry_context.current_tracer() is inner.tracer
+            assert telemetry_context.current_tracer() is outer.tracer
+
+    def test_activation_is_thread_local(self):
+        telemetry = Telemetry.enabled()
+        seen = {}
+
+        def other_thread():
+            seen["tracer"] = telemetry_context.current_tracer()
+
+        with telemetry.activate():
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert seen["tracer"] is NULL_TRACER
+
+    def test_disabled_telemetry_is_noop(self):
+        telemetry = Telemetry.disabled()
+        assert not telemetry.is_enabled
+        with telemetry.activate():
+            assert telemetry_context.current_tracer() is NULL_TRACER

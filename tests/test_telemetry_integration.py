@@ -1,0 +1,315 @@
+"""Telemetry through the scan stack: spans, audit attribution, health.
+
+The acceptance scenario from the issue: a Hacker Defender detection run
+with tracing enabled must produce a span tree and an audit log that
+names the specific interposed API(s) responsible for each hidden file,
+key, and process — and the metrics snapshot must show nonzero cache hit
+counters after a warm scan.
+"""
+
+import json
+
+import pytest
+
+from repro.core.ghostbuster import GhostBuster
+from repro.core.risboot import RisServer
+from repro.machine import Machine
+from repro.ghostware import (FuRootkit, HackerDefender, HideFoldersXP,
+                             Vanquish)
+from repro.registry.hive_parser import clear_hive_cache
+from repro.telemetry import Telemetry
+from repro.telemetry.audit import NO_INTERPOSITION
+from repro.telemetry.health import load_jsonl
+from repro.telemetry.metrics import global_metrics, reset_global_metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    reset_global_metrics()
+    yield
+    reset_global_metrics()
+
+
+def booted_machine(name, **kwargs):
+    machine = Machine(name, disk_mb=256, max_records=8192, **kwargs)
+    machine.boot()
+    return machine
+
+
+def traced_scan(machine, advanced=True):
+    telemetry = Telemetry.enabled(clock=machine.clock)
+    ghostbuster = GhostBuster(machine, advanced=advanced,
+                              telemetry=telemetry)
+    report = ghostbuster.inside_scan()
+    return report, telemetry
+
+
+# -- acceptance: Hacker Defender with tracing ---------------------------------
+
+
+class TestHackerDefenderAcceptance:
+
+    def test_span_tree_and_audit_name_responsible_apis(self):
+        machine = booted_machine("hxdef-victim")
+        HackerDefender().install(machine)
+        report, telemetry = traced_scan(machine)
+        assert not report.is_clean
+
+        # A full span tree: root → per-layer scans → parse children.
+        rendered = telemetry.tracer.render()
+        assert "ghostbuster.inside_scan" in rendered
+        for name in ("scan.files.high-level", "scan.files.low-level",
+                     "mft.parse", "scan.registry.low-level",
+                     "diff.files", "diff.registry", "diff.processes"):
+            assert name in rendered, f"span {name} missing from tree"
+        (root,) = telemetry.tracer.roots()
+        assert root.name == "ghostbuster.inside_scan"
+        assert all(span.wall_end is not None
+                   for span in telemetry.tracer.spans())
+
+        # Every hidden file, key, and process is attributed to the
+        # specific ntdll detours Hacker Defender installed.
+        attributions = telemetry.attribute(report)
+        by_resource = {}
+        for attribution in attributions:
+            key = attribution.finding.resource_type.value
+            by_resource.setdefault(key, []).append(attribution)
+        assert set(by_resource) >= {"file", "registry", "process"}
+        for attribution in by_resource["file"]:
+            assert "ntdll!NtQueryDirectoryFile" in attribution.apis
+        for attribution in by_resource["registry"]:
+            assert set(attribution.apis) & {"ntdll!NtEnumerateKey",
+                                            "ntdll!NtEnumerateValueKey",
+                                            "ntdll!NtQueryValueKey"}
+        for attribution in by_resource["process"]:
+            assert "ntdll!NtQuerySystemInformation" in attribution.apis
+        owners = telemetry.audit.owners()
+        assert any("Hacker Defender" in owner for owner in owners)
+
+    def test_warm_scan_shows_cache_hits(self):
+        machine = booted_machine("warm-victim")
+        HackerDefender().install(machine)
+        clear_hive_cache()
+        machine.disk.raw_cache.clear()
+        ghostbuster = GhostBuster(machine)
+        ghostbuster.inside_scan()     # cold: builds the caches
+        reset_global_metrics()
+        ghostbuster.inside_scan()     # warm: every parse memoized
+        counters = global_metrics().snapshot()["counters"]
+        assert counters.get("mft.parse.cache_hit", 0) > 0
+        assert counters.get("hive.parse.memo_hit", 0) > 0
+        assert counters.get("mft.parse.cache_miss", 0) == 0
+        assert counters.get("hive.parse.memo_miss", 0) == 0
+
+    def test_cold_scan_counts_misses_exactly(self):
+        machine = booted_machine("cold-victim")
+        clear_hive_cache()
+        machine.disk.raw_cache.clear()
+        reset_global_metrics()
+        GhostBuster(machine).inside_scan(resources=("registry",))
+        counters = global_metrics().snapshot()["counters"]
+        # One raw reader: one namespace build, one parse per hive file.
+        assert counters["mft.parse.cache_miss"] == 1
+        assert counters["hive.parse.memo_miss"] == 3
+        assert counters["scan.asep.enumerated"] >= 0
+
+
+# -- audit completeness across interception families --------------------------
+
+
+class TestAuditCompleteness:
+
+    def test_vanquish_inline_layer_and_module_dkom_contrast(self):
+        machine = booted_machine("vanquish-victim")
+        Vanquish().install(machine)
+        report, telemetry = traced_scan(machine)
+        apis = telemetry.audit.interposed_apis()
+        assert "kernel32!FindFirstFile" in apis
+        assert "advapi32!RegEnumValue" in apis
+        events = telemetry.audit.events
+        # Vanquish overwrites in-memory API code (INLINE_CALL), so the
+        # audit places every firing at the inline layer.
+        assert events
+        assert all(event.layer == "inline" for event in events)
+        assert all(event.kind == "inline_call" for event in events)
+        # Vanquish blanks PEB module paths in memory — no API interposed
+        # on the module path, so module findings carry the DKOM label.
+        module_attributions = [
+            attribution for attribution in telemetry.attribute(report)
+            if attribution.finding.resource_type.value == "module"]
+        assert module_attributions
+        for attribution in module_attributions:
+            assert attribution.apis == []
+            assert NO_INTERPOSITION in attribution.describe()
+
+    def test_urbin_iat_layer_recorded(self):
+        from repro.ghostware import Urbin
+
+        machine = booted_machine("urbin-victim")
+        Urbin().install(machine)
+        report, telemetry = traced_scan(machine, advanced=False)
+        assert not report.is_clean
+        iat_events = [event for event in telemetry.audit.events
+                      if event.layer == "iat"]
+        assert iat_events
+        assert all(event.owner == "Urbin" for event in iat_events)
+        assert "kernel32!FindFirstFile" in \
+            telemetry.audit.interposed_apis(resource="file")
+
+    def test_fu_dkom_yields_no_interposition_events(self):
+        machine = booted_machine("fu-victim")
+        fu = FuRootkit()
+        fu.install(machine)
+        victim = machine.start_process("\\Windows\\explorer.exe",
+                                       name="victim.exe")
+        fu.hide_process(machine, victim.pid)
+        report, telemetry = traced_scan(machine, advanced=True)
+        hidden_processes = [
+            finding for finding in report.findings
+            if finding.resource_type.value == "process"
+            and not finding.is_noise]
+        assert hidden_processes   # the thread-table walk recovers it
+        # DKOM interposes nothing: the audit records no process-resource
+        # interception, and the attribution says exactly that.
+        assert telemetry.audit.interposed_apis(resource="process") == []
+        for attribution in telemetry.attribute(report):
+            if attribution.finding in hidden_processes:
+                assert attribution.apis == []
+
+    def test_filter_driver_layer_recorded(self):
+        machine = booted_machine("hfxp-victim")
+        machine.volume.create_directories("\\Temp")
+        machine.volume.create_file("\\Temp\\secret.txt", b"s")
+        HideFoldersXP(hidden_paths=["\\Temp"]).install(machine)
+        report, telemetry = traced_scan(machine, advanced=False)
+        assert not report.is_clean
+        events = telemetry.audit.events
+        filtered = [event for event in events
+                    if event.layer == "filter-driver"]
+        assert filtered
+        assert any("entries" in event.detail for event in filtered)
+        assert telemetry.audit.interposed_apis(resource="file") == \
+            ["IRP:enumerate_directory"]
+
+
+# -- fleet health over the parallel sweep -------------------------------------
+
+
+class TestFleetHealth:
+
+    def make_fleet(self, size=4, infected=(1,)):
+        fleet = []
+        for index in range(size):
+            machine = booted_machine(f"client-{index}")
+            if index in infected:
+                HackerDefender().install(machine)
+            fleet.append(machine)
+        return fleet
+
+    def test_parallel_sweep_confines_spans_per_machine(self):
+        fleet = self.make_fleet(size=4)
+        result = RisServer().sweep(fleet, max_workers=4,
+                                   collect_telemetry=True)
+        health = result.health
+        assert health is not None
+        assert len(health.machines) == 4
+        for machine_health in health.machines:
+            spans = machine_health.spans
+            assert spans, machine_health.machine
+            roots = [span for span in spans
+                     if span["parent_id"] is None]
+            assert len(roots) == 1
+            assert roots[0]["name"] == "ris.netboot_scan"
+            # every span in this machine's tree names this machine or
+            # is a child of its root — no cross-thread contamination
+            assert roots[0]["attrs"]["machine"] == machine_health.machine
+            ids = {span["span_id"] for span in spans}
+            for span in spans:
+                if span["parent_id"] is not None:
+                    assert span["parent_id"] in ids
+
+    def test_findings_match_serial_and_health_flags_infected(self):
+        serial_fleet = self.make_fleet(size=4)
+        parallel_fleet = self.make_fleet(size=4)
+        server = RisServer()
+        serial = server.sweep(serial_fleet, max_workers=1)
+        parallel = server.sweep(parallel_fleet, max_workers=4,
+                                collect_telemetry=True)
+        assert serial.infected_machines == parallel.infected_machines
+        assert parallel.health.infected() == parallel.infected_machines
+        infected = parallel.health.machine("client-1")
+        assert infected.status == "INFECTED"
+        assert infected.interposed_apis
+        clean = parallel.health.machine("client-0")
+        assert clean.status == "clean"
+        assert clean.audit_events == []
+
+    def test_error_taxonomy_and_slowest(self):
+        fleet = self.make_fleet(size=3, infected=())
+
+        class Exploding:
+            name = "boom-client"
+            clock = fleet[0].clock
+
+        server = RisServer()
+
+        original = server.network_boot_scan
+
+        def failing(machine, **kwargs):
+            if machine.name == "client-2":
+                raise RuntimeError("PXE timeout")
+            return original(machine, **kwargs)
+
+        server.network_boot_scan = failing
+        result = server.sweep(fleet, max_workers=2,
+                              collect_telemetry=True)
+        assert result.errors == {"client-2": "RuntimeError: PXE timeout"}
+        taxonomy = result.health.error_taxonomy()
+        assert taxonomy == {"RuntimeError": 1}
+        assert result.health.machine("client-2").status == "ERROR"
+        slowest = result.health.slowest(count=2)
+        assert len(slowest) == 2
+        assert slowest[0][1] >= slowest[1][1]
+
+    def test_machine_seconds_histogram_observed(self):
+        fleet = self.make_fleet(size=2, infected=())
+        RisServer().sweep(fleet, max_workers=2, collect_telemetry=True)
+        histograms = global_metrics().snapshot()["histograms"]
+        assert histograms["ris.sweep.machine_seconds"]["count"] == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        fleet = self.make_fleet(size=2)
+        result = RisServer().sweep(fleet, max_workers=2,
+                                   collect_telemetry=True)
+        path = tmp_path / "sweep.jsonl"
+        result.health.write_jsonl(path)
+        records = load_jsonl(path)
+        assert len(records["machine"]) == 2
+        assert records["sweep"][0]["machines"] == 2
+        assert records["span"]
+        assert records["audit"]   # client-1 is infected
+        assert "counters" in records["metrics"][0]
+        for line in path.read_text().splitlines():
+            json.loads(line)   # every line is standalone JSON
+
+    def test_sweep_without_telemetry_has_no_health(self):
+        fleet = self.make_fleet(size=2, infected=())
+        result = RisServer().sweep(fleet, max_workers=2)
+        assert result.health is None
+
+
+# -- scan-level counters ------------------------------------------------------
+
+
+class TestScanCounters:
+
+    def test_enumeration_and_diff_counters(self):
+        machine = booted_machine("counter-victim")
+        HackerDefender().install(machine)
+        reset_global_metrics()
+        GhostBuster(machine).inside_scan()
+        counters = global_metrics().snapshot()["counters"]
+        assert counters["scan.files.enumerated"] > 0
+        assert counters["scan.processes.enumerated"] > 0
+        assert counters["scan.modules.enumerated"] > 0
+        assert counters["diff.hidden.found"] >= 6   # 3 files, 2 keys, 1 proc
