@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Substrate hot-path benchmark: the trajectory future PRs must beat.
 
-Measures six hot paths and writes the timings to ``BENCH_PR2.json``:
+Measures seven hot paths and writes the timings to ``BENCH_PR3.json``:
 
 1. **raw MFT parse (cold)** — one full namespace parse of a 1000-file
    disk with every cache cleared;
@@ -20,7 +20,11 @@ Measures six hot paths and writes the timings to ``BENCH_PR2.json``:
 5. **10k-entry cross-view diff** — the detection engine's inner loop;
 6. **telemetry overhead** — the repeated-read loop with the default
    no-op telemetry vs a fully nulled-out registry, gating the cost of
-   the (inactive) instrumentation at <= 5%.
+   the (inactive) instrumentation at <= 5%;
+7. **chaos sweep** — the same fleet swept fault-free and then under a
+   5% deterministic fault plan, gating that recall is unchanged (same
+   infected machines, same finding identities), nothing errors or
+   quarantines, and the plan actually fired faults.
 
 Every cached benchmark also reports the cache hit/miss counters the
 telemetry registry recorded while it ran, so the JSON shows *why* the
@@ -66,7 +70,7 @@ from repro.telemetry.metrics import (NullMetrics,           # noqa: E402
                                      set_global_metrics)
 from repro.workloads import populate_machine                # noqa: E402
 
-OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 
 
 def clear_caches(*disks) -> None:
@@ -331,6 +335,55 @@ def bench_telemetry_overhead(file_count: int, reads: int) -> dict:
             "warm_read_overhead_ns": round(warm_delta_ns, 1)}
 
 
+def bench_chaos_sweep(fleet_size: int, workers: int, file_count: int,
+                      rate: float = 0.05, seed: int = 2026) -> dict:
+    """Recall under chaos: the PR-3 acceptance sweep.
+
+    The same cloned fleet is swept twice — fault-free, then with a
+    deterministic :class:`FaultPlan` firing at ``rate`` across every
+    instrumented site — and the two sweeps must convict exactly the
+    same machines on exactly the same evidence, with zero unhandled
+    errors and zero quarantines.
+    """
+    from repro.faults.plan import FaultPlan
+
+    golden = golden_machine(file_count)
+    infected = tuple(range(0, fleet_size, max(1, fleet_size // 3)))[:3]
+
+    def identities(result):
+        return sorted(
+            (name, sorted((f.resource_type.value, str(f.entry.identity))
+                          for f in report.findings if not f.is_noise))
+            for name, report in result.reports.items())
+
+    baseline_fleet = cloned_fleet(golden, fleet_size, infected)
+    baseline = RisServer().sweep(baseline_fleet, max_workers=workers)
+
+    plan = FaultPlan.default(seed=seed, rate=rate)
+    chaos_fleet = cloned_fleet(golden, fleet_size, infected)
+    started = time.perf_counter()
+    chaotic = RisServer(fault_plan=plan).sweep(chaos_fleet,
+                                               max_workers=workers)
+    chaos_wall = time.perf_counter() - started
+
+    return {
+        "fleet_size": fleet_size,
+        "fault_rate": rate,
+        "seed": seed,
+        "faults_fired": plan.fired_count(),
+        "fault_sites": sorted({f.site for f in plan.fired()}),
+        "sequence_digest": plan.sequence_digest(),
+        "baseline_infected": baseline.infected_machines,
+        "chaos_infected": chaotic.infected_machines,
+        "recall_unchanged": identities(baseline) == identities(chaotic),
+        "errors": dict(chaotic.errors),
+        "quarantined": dict(chaotic.quarantined),
+        "retries": dict(chaotic.retry_counts),
+        "baseline_wall_s": baseline.wall_seconds,
+        "chaos_wall_s": chaos_wall,
+    }
+
+
 def write_telemetry_artifacts(directory: Path) -> None:
     """A tiny telemetry-collecting sweep for the CI artifact upload."""
     from repro.core.risboot import RisServer as _RisServer
@@ -372,7 +425,7 @@ def main() -> int:
                        overhead_reads=10_000)
 
     print(f"profile: {profile}")
-    results = {"pr": 2, "mode": "smoke" if args.smoke else "full",
+    results = {"pr": 3, "mode": "smoke" if args.smoke else "full",
                "profile": profile, "timings": {}}
     timings = results["timings"]
 
@@ -413,7 +466,28 @@ def main() -> int:
           f"nulled {overhead['nulled_s'] * 1000:.1f} ms "
           f"({overhead['overhead_pct']:+.1f}%)")
 
+    results["chaos"] = bench_chaos_sweep(
+        min(profile["fleet"], 12), profile["workers"],
+        file_count=min(profile["files"], 120))
+    chaos = results["chaos"]
+    print(f"chaos sweep ({chaos['fleet_size']} machines @ "
+          f"{chaos['fault_rate']:.0%} faults): "
+          f"{chaos['faults_fired']} faults fired, "
+          f"recall unchanged: {chaos['recall_unchanged']}, "
+          f"errors: {len(chaos['errors'])}, "
+          f"quarantined: {len(chaos['quarantined'])}")
+
     failures = []
+    chaos_gates = (
+        ("chaos sweep recall unchanged", chaos["recall_unchanged"]),
+        ("chaos sweep zero errors", not chaos["errors"]),
+        ("chaos sweep zero quarantines", not chaos["quarantined"]),
+        ("chaos sweep faults actually fired", chaos["faults_fired"] > 0),
+    )
+    for label, passed in chaos_gates:
+        print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+        if not passed:
+            failures.append(label)
     overhead_ok = overhead["overhead_pct"] <= 5.0
     print(f"  [{'PASS' if overhead_ok else 'FAIL'}] "
           f"telemetry overhead <= 5%")

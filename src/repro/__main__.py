@@ -47,6 +47,14 @@ def _emit_json(payload: dict) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _chaos_plan(options):
+    """Build the FaultPlan the ``--chaos-seed`` flag asks for (or None)."""
+    if options.chaos_seed is None:
+        return None
+    from repro.faults.plan import FaultPlan
+    return FaultPlan.default(options.chaos_seed, rate=options.chaos_rate)
+
+
 def cmd_demo(options) -> int:
     from repro import GhostBuster, Machine, disinfect
     from repro.core.reporting import report_to_dict
@@ -63,7 +71,10 @@ def cmd_demo(options) -> int:
         else Telemetry.disabled()
     log.info("infected demo-pc with Hacker Defender 1.0\n")
     report = GhostBuster(machine, advanced=True,
-                         telemetry=telemetry).detect()
+                         telemetry=telemetry,
+                         fault_plan=_chaos_plan(options),
+                         max_retries=options.max_retries,
+                         stabilize_rounds=options.stabilize_rounds).detect()
     cleanup = disinfect(machine, report)
 
     if options.json:
@@ -137,13 +148,17 @@ def cmd_sweep(options) -> int:
         machine.boot()
         machines.append(machine)
     Aphex().install(machines[2])
-    result = RisServer().sweep(machines, collect_telemetry=options.trace)
+    server = RisServer(fault_plan=_chaos_plan(options),
+                       max_retries=options.max_retries)
+    result = server.sweep(machines, collect_telemetry=options.trace)
     if options.json:
         payload = {
             "machines": {name: {"findings": len(report.findings),
                                 "clean": report.is_clean}
                          for name, report in result.reports.items()},
             "errors": result.errors,
+            "quarantined": result.quarantined,
+            "retries": result.retry_counts,
             "infected": result.infected_machines,
             "wall_seconds": result.wall_seconds,
         }
@@ -198,6 +213,22 @@ def main(argv=None) -> int:
                              "(demo and sweep)")
     parser.add_argument("--verbose", action="store_true",
                         help="debug-level logging")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        metavar="N",
+                        help="run under deterministic fault injection "
+                             "seeded with N (demo and sweep)")
+    parser.add_argument("--chaos-rate", type=float, default=0.05,
+                        metavar="R",
+                        help="per-site fault probability for --chaos-seed "
+                             "(default 0.05)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="per-layer / per-client retry budget "
+                             "(default 2)")
+    parser.add_argument("--stabilize-rounds", type=int, default=1,
+                        metavar="N",
+                        help="scan-until-stable rounds for demo "
+                             "(default 1 = single scan)")
     options = parser.parse_args(argv)
     _configure_logging(options.verbose, to_stderr=options.json)
     return COMMANDS[options.command](options)

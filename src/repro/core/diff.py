@@ -12,11 +12,27 @@ noise — legitimate programs rarely hide.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.snapshot import ResourceType, ScanSnapshot
 from repro.errors import ScanError
+
+
+class ScanConfidence(str, enum.Enum):
+    """How much of a layer's evidence actually made it into the report.
+
+    ``FULL``: both views enumerated completely.  ``DEGRADED``: the layer
+    produced findings but lost some evidence on the way (a hive skipped
+    after exhausting retries, or one stabilization round failed).
+    ``FAILED``: the layer produced nothing; its absence of findings is
+    *not* evidence of cleanliness.
+    """
+
+    FULL = "full"
+    DEGRADED = "degraded"
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -62,6 +78,11 @@ class DetectionReport:
     findings: List[Finding] = field(default_factory=list)
     durations: Dict[str, float] = field(default_factory=dict)
     snapshots: List[ScanSnapshot] = field(default_factory=list)
+    # Graceful degradation: per-layer confidence ("files" → FULL/...)
+    # and, for non-FULL layers, the error that cost the evidence.
+    confidence: Dict[str, ScanConfidence] = field(default_factory=dict)
+    layer_errors: Dict[str, str] = field(default_factory=dict)
+    rounds: int = 1
 
     def __post_init__(self) -> None:
         self._sync_seen()
@@ -112,6 +133,17 @@ class DetectionReport:
     def is_clean(self) -> bool:
         return not any(not finding.is_noise for finding in self.findings)
 
+    @property
+    def is_complete(self) -> bool:
+        """True when every scanned layer reported FULL confidence."""
+        return all(value is ScanConfidence.FULL
+                   for value in self.confidence.values())
+
+    def degraded_layers(self) -> Dict[str, ScanConfidence]:
+        """The non-FULL layers (empty for a fully healthy scan)."""
+        return {layer: value for layer, value in self.confidence.items()
+                if value is not ScanConfidence.FULL}
+
     def total_duration(self) -> float:
         return sum(self.durations.values())
 
@@ -131,4 +163,11 @@ class DetectionReport:
         if filtered:
             lines.append(f"  filtered as noise ({len(filtered)}):")
             lines.extend(f"    {finding.describe()}" for finding in filtered)
+        degraded = self.degraded_layers()
+        if degraded:
+            lines.append("  partial evidence:")
+            for layer, value in sorted(degraded.items()):
+                cause = self.layer_errors.get(layer, "")
+                suffix = f" — {cause}" if cause else ""
+                lines.append(f"    {layer}: {value.value}{suffix}")
         return "\n".join(lines)

@@ -18,16 +18,21 @@ DKOM-hidden processes (FU), at both the inside and outside levels.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core import costmodel
-from repro.core.diff import DetectionReport, Finding, cross_view_diff
+from repro.core.diff import (DetectionReport, Finding, ScanConfidence,
+                             cross_view_diff)
 from repro.core.noise import NoiseFilter
 from repro.core.scanners import files as file_scans
 from repro.core.scanners import modules as module_scans
 from repro.core.scanners import processes as process_scans
 from repro.core.scanners import registry as registry_scans
-from repro.core.snapshot import ScanSnapshot
+from repro.core.snapshot import ResourceType, ScanSnapshot
+from repro.errors import (MachineStateError, MachineUnavailable, ReproError)
+from repro.faults import context as faults_context
+from repro.faults.plan import FaultPlan
 from repro.kernel.crashdump import write_dump
 from repro.machine import Machine
 from repro.telemetry import Telemetry
@@ -38,6 +43,15 @@ from repro.usermode.process import Process
 ALL_RESOURCES = ("files", "registry", "processes", "modules")
 DUMP_PATH = "\\Windows\\MEMORY.DMP"
 
+# Which resource class a scan layer's findings belong to (used by the
+# scan-until-stable merge to intersect per-layer findings).
+_LAYER_RESOURCE = {
+    "files": ResourceType.FILE,
+    "registry": ResourceType.REGISTRY,
+    "processes": ResourceType.PROCESS,
+    "modules": ResourceType.MODULE,
+}
+
 
 class GhostBuster:
     """One tool instance bound to one machine."""
@@ -46,7 +60,10 @@ class GhostBuster:
                  noise_filter: Optional[NoiseFilter] = None,
                  scanner_process: Optional[Process] = None,
                  interleave_gap: float = 0.0,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_retries: int = 2,
+                 stabilize_rounds: int = 1):
         self.machine = machine
         self.advanced = advanced
         self.noise_filter = noise_filter or NoiseFilter()
@@ -57,28 +74,158 @@ class GhostBuster:
         # widens that window (with background services running) so the
         # rare inside-the-box race FPs can be studied.
         self.interleave_gap = interleave_gap
+        # Robustness knobs: an explicit fault plan scoped to this
+        # machine's scans, the per-layer retry budget, and how many
+        # inside-scan rounds to run and intersect (scan-until-stable).
+        self.fault_plan = fault_plan
+        self.max_retries = max(0, int(max_retries))
+        self.stabilize_rounds = max(1, int(stabilize_rounds))
+
+    # -- resilience plumbing ------------------------------------------------------
+
+    @contextmanager
+    def _fault_scope(self):
+        """Activate this tool's fault plan around a scan, if one is set.
+
+        The plan is scoped to the machine's name (its own deterministic
+        draw streams) with backoff charged to the machine's clock, and a
+        disk-read injector is attached for the duration.
+        """
+        if self.fault_plan is None:
+            yield
+            return
+        self.fault_plan.attach(self.machine)
+        try:
+            with faults_context.scoped(self.fault_plan,
+                                       scope=self.machine.name,
+                                       clock=self.machine.clock):
+                yield
+        finally:
+            FaultPlan.detach(self.machine)
+
+    def _run_layer(self, report: DetectionReport, layer: str,
+                   fn: Callable[[DetectionReport], None]) -> None:
+        """Run one scan layer; degrade instead of aborting the whole scan.
+
+        The layer gets ``max_retries`` fresh attempts on top of whatever
+        recovery already happened below it (parser re-reads, enumeration
+        re-walks).  A layer that still fails is marked FAILED on the
+        report — its findings are absent but every other layer's stand —
+        rather than raising out of the scan.  Machine-state errors (the
+        caller scanned a powered-off box) and machine death (the whole
+        box is gone, nothing layer-local about it) still propagate.
+        """
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                fn(report)
+                report.confidence.setdefault(layer, ScanConfidence.FULL)
+                return
+            except (MachineStateError, MachineUnavailable):
+                raise
+            except ReproError as exc:
+                last = exc
+                if attempt < self.max_retries:
+                    global_metrics().incr("faults.retries")
+        report.confidence[layer] = ScanConfidence.FAILED
+        report.layer_errors[layer] = f"{type(last).__name__}: {last}"
+        metrics = global_metrics()
+        metrics.incr("scan.layer.failed")
+        metrics.incr(f"scan.layer.failed.{layer}")
 
     # -- inside-the-box ---------------------------------------------------------
 
     def inside_scan(self, resources: Iterable[str] = ALL_RESOURCES
                     ) -> DetectionReport:
-        """High-level vs low-level cross-view diff, inside the box."""
-        report = DetectionReport(self.machine.name, mode="inside")
+        """High-level vs low-level cross-view diff, inside the box.
+
+        With ``stabilize_rounds > 1`` the whole scan repeats and each
+        layer's findings are intersected across the rounds in which that
+        layer succeeded — a phantom produced by one racy round does not
+        survive, and a layer that failed in some rounds still reports
+        the findings of its good rounds (as DEGRADED).  Rounds stop
+        early once two consecutive rounds agree.
+        """
         wanted = set(resources)
+        rounds: List[DetectionReport] = []
         with self.telemetry.activate():
             with self.telemetry.tracer.span(
                     "ghostbuster.inside_scan", clock=self.machine.clock,
                     machine=self.machine.name,
                     resources=",".join(sorted(wanted))):
-                if "files" in wanted:
-                    self._inside_files(report)
-                if "registry" in wanted:
-                    self._inside_registry(report)
-                if "processes" in wanted:
-                    self._inside_processes(report)
-                if "modules" in wanted:
-                    self._inside_modules(report)
+                with self._fault_scope():
+                    previous = None
+                    for __ in range(self.stabilize_rounds):
+                        round_report = self._scan_round(wanted)
+                        rounds.append(round_report)
+                        identities = {
+                            (f.resource_type, f.entry.identity)
+                            for f in round_report.findings if not f.is_noise}
+                        if previous is not None and identities == previous:
+                            break   # stable: two consecutive rounds agree
+                        previous = identities
+        if len(rounds) == 1:
+            return rounds[0]
+        global_metrics().incr("scan.stabilize.rounds", len(rounds))
+        return self._merge_rounds(rounds, wanted)
+
+    def _scan_round(self, wanted) -> DetectionReport:
+        """One full pass over the wanted layers, each degrading alone."""
+        report = DetectionReport(self.machine.name, mode="inside")
+        if "files" in wanted:
+            self._run_layer(report, "files", self._inside_files)
+        if "registry" in wanted:
+            self._run_layer(report, "registry", self._inside_registry)
+        if "processes" in wanted:
+            self._run_layer(report, "processes", self._inside_processes)
+        if "modules" in wanted:
+            self._run_layer(report, "modules", self._inside_modules)
         return report
+
+    def _merge_rounds(self, rounds: List[DetectionReport],
+                      wanted) -> DetectionReport:
+        """Intersect per-layer findings across the rounds that succeeded."""
+        merged = DetectionReport(self.machine.name, mode="inside")
+        merged.rounds = len(rounds)
+        dropped = 0
+        for layer in (l for l in ALL_RESOURCES if l in wanted):
+            resource = _LAYER_RESOURCE[layer]
+            good = [r for r in rounds
+                    if r.confidence.get(layer) is not ScanConfidence.FAILED]
+            if not good:
+                merged.confidence[layer] = ScanConfidence.FAILED
+                merged.layer_errors[layer] = rounds[-1].layer_errors.get(
+                    layer, "failed in every round")
+                continue
+            common = None
+            for r in good:
+                identities = {f.entry.identity for f in r.findings
+                              if f.resource_type is resource
+                              and not f.is_noise}
+                common = identities if common is None \
+                    else common & identities
+            base = good[-1]
+            keep = [f for f in base.findings if f.resource_type is resource
+                    and (f.is_noise or f.entry.identity in common)]
+            total = sum(1 for f in base.findings
+                        if f.resource_type is resource and not f.is_noise)
+            dropped += total - sum(1 for f in keep if not f.is_noise)
+            merged.add_findings(keep)
+            if (len(good) < len(rounds)
+                    or any(r.confidence.get(layer) is ScanConfidence.DEGRADED
+                           for r in good)):
+                merged.confidence[layer] = ScanConfidence.DEGRADED
+                merged.layer_errors.setdefault(
+                    layer, f"stable across {len(good)}/{len(rounds)} rounds")
+            else:
+                merged.confidence[layer] = ScanConfidence.FULL
+        for r in rounds:
+            for key, value in r.durations.items():
+                merged.durations[key] = merged.durations.get(key, 0.0) + value
+            merged.snapshots.extend(r.snapshots)
+        if dropped:
+            global_metrics().incr("scan.stabilize.dropped", dropped)
+        return merged
 
     def _diff_into(self, report: DetectionReport, label: str,
                    lie: ScanSnapshot, truth: ScanSnapshot,
@@ -103,6 +250,12 @@ class GhostBuster:
         report.durations[label] = report.durations.get(label, 0.0) \
             + lie.duration + truth.duration
         report.snapshots.extend([lie, truth])
+        lost = (tuple(getattr(lie, "degraded", ()))
+                + tuple(getattr(truth, "degraded", ())))
+        if lost:
+            report.confidence[label] = ScanConfidence.DEGRADED
+            report.layer_errors.setdefault(
+                label, f"evidence skipped: {', '.join(lost)}")
         return findings
 
     @staticmethod
@@ -191,9 +344,24 @@ class GhostBuster:
                     "ghostbuster.outside_scan", clock=self.machine.clock,
                     machine=self.machine.name,
                     resources=",".join(sorted(wanted))):
-                self._outside_scan_body(wanted, report, background_gap,
-                                        win32_naming, reboot_after)
+                with self._fault_scope():
+                    self._outside_scan_body(wanted, report, background_gap,
+                                            win32_naming, reboot_after)
         return report
+
+    def _capture_lie(self, report: DetectionReport, lies: Dict,
+                     layer: str, fn: Callable[[], ScanSnapshot]) -> None:
+        """Take one inside (lie) snapshot; a failure fails just its layer."""
+        try:
+            lies[layer] = fn()
+        except (MachineStateError, MachineUnavailable):
+            raise
+        except ReproError as exc:
+            report.confidence[layer] = ScanConfidence.FAILED
+            report.layer_errors[layer] = f"{type(exc).__name__}: {exc}"
+            metrics = global_metrics()
+            metrics.incr("scan.layer.failed")
+            metrics.incr(f"scan.layer.failed.{layer}")
 
     def _outside_scan_body(self, wanted, report, background_gap,
                            win32_naming, reboot_after) -> None:
@@ -201,15 +369,29 @@ class GhostBuster:
 
         lies: Dict[str, ScanSnapshot] = {}
         if "files" in wanted:
-            lies["files"] = file_scans.high_level_file_scan(
-                self.machine, self._scanner_process)
+            self._capture_lie(report, lies, "files",
+                              lambda: file_scans.high_level_file_scan(
+                                  self.machine, self._scanner_process))
         if "registry" in wanted:
-            lies["registry"] = registry_scans.high_level_asep_scan(
-                self.machine, self._scanner_process)
+            self._capture_lie(report, lies, "registry",
+                              lambda: registry_scans.high_level_asep_scan(
+                                  self.machine, self._scanner_process))
         if "processes" in wanted or "modules" in wanted:
-            lies["processes"] = process_scans.high_level_process_scan(
-                self.machine, self._scanner_process)
-            self.write_crash_dump()
+            self._capture_lie(
+                report, lies, "processes",
+                lambda: process_scans.high_level_process_scan(
+                    self.machine, self._scanner_process))
+            if "processes" in lies:
+                try:
+                    self.write_crash_dump()
+                except (MachineStateError, MachineUnavailable):
+                    raise
+                except ReproError as exc:
+                    lies.pop("processes", None)
+                    report.confidence["processes"] = ScanConfidence.FAILED
+                    report.layer_errors["processes"] = \
+                        f"{type(exc).__name__}: {exc}"
+                    global_metrics().incr("scan.layer.failed")
 
         if background_gap > 0:
             self.machine.run_background(background_gap)
@@ -218,21 +400,24 @@ class GhostBuster:
         winpe = WinPEEnvironment(self.machine)
         winpe.boot()
 
-        if "files" in wanted:
-            truth = winpe.file_scan(win32_naming=win32_naming)
-            self._diff_into(report, "files", lies["files"], truth,
-                            filter_noise=True)
-        if "registry" in wanted:
-            truth = winpe.asep_scan(win32_semantics=win32_naming)
-            self._diff_into(report, "registry", lies["registry"], truth,
-                            filter_noise=True)
-        if "processes" in wanted:
-            truth = winpe.process_scan(advanced=False)
-            self._diff_into(report, "processes", lies["processes"], truth)
-            if self.advanced:
-                deeper = winpe.process_scan(advanced=True)
-                self._diff_into(report, "processes", lies["processes"],
-                                deeper)
+        if "files" in lies:
+            self._run_layer(report, "files", lambda rep: self._diff_into(
+                rep, "files", lies["files"],
+                winpe.file_scan(win32_naming=win32_naming),
+                filter_noise=True))
+        if "registry" in lies:
+            self._run_layer(report, "registry", lambda rep: self._diff_into(
+                rep, "registry", lies["registry"],
+                winpe.asep_scan(win32_semantics=win32_naming),
+                filter_noise=True))
+        if "processes" in wanted and "processes" in lies:
+            def diff_processes(rep: DetectionReport) -> None:
+                self._diff_into(rep, "processes", lies["processes"],
+                                winpe.process_scan(advanced=False))
+                if self.advanced:
+                    self._diff_into(rep, "processes", lies["processes"],
+                                    winpe.process_scan(advanced=True))
+            self._run_layer(report, "processes", diff_processes)
         report.durations["winpe-boot"] = winpe.boot_seconds
 
         if reboot_after:

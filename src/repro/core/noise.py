@@ -35,13 +35,29 @@ DEFAULT_NOISE_PATTERNS: Tuple[Tuple[str, str], ...] = (
 )
 
 
+def _strip_ads(path: str) -> str:
+    r"""Drop an alternate-data-stream suffix from the final component.
+
+    ``\tmp\report.tmp:hidden`` names a stream *of* ``report.tmp``: noise
+    patterns classify the host file, so the ``:stream`` qualifier must
+    not hide a match (``*.tmp`` failed against the qualified name).
+    Drive-letter colons (``c:\...``) are untouched — only a colon in the
+    last path component is an ADS separator.
+    """
+    head, _, last = path.rpartition("\\")
+    if ":" in last:
+        last = last.split(":", 1)[0]
+        return f"{head}\\{last}" if head else last
+    return path
+
+
 def classify_noise(finding: Finding,
                    patterns: Sequence[Tuple[str, str]] =
                    DEFAULT_NOISE_PATTERNS) -> Optional[str]:
     """Return a benign-noise reason for a finding, or None if suspicious."""
     if finding.resource_type is not ResourceType.FILE:
         return None
-    path = finding.entry.path.casefold()
+    path = _strip_ads(finding.entry.path.casefold())
     for pattern, reason in patterns:
         if fnmatch.fnmatch(path, pattern.casefold()):
             return reason

@@ -54,6 +54,10 @@ def report_to_dict(report: DetectionReport) -> Dict:
         "total_duration": report.total_duration(),
         "findings": [finding_to_dict(finding)
                      for finding in report.findings],
+        "confidence": {layer: value.value
+                       for layer, value in report.confidence.items()},
+        "layer_errors": dict(report.layer_errors),
+        "rounds": report.rounds,
         "counts": {
             "hidden_files": len(report.hidden_files()),
             "hidden_hooks": len(report.hidden_hooks()),

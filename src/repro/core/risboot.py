@@ -40,12 +40,22 @@ from repro.core.noise import NoiseFilter
 from repro.core.scanners import files as file_scans
 from repro.core.scanners import registry as registry_scans
 from repro.core.winpe import WinPEEnvironment
+from repro.errors import CircuitOpen, MachineUnavailable
+from repro.faults import context as faults_context
+from repro.faults.plan import SITE_RIS_TRANSPORT, FaultPlan
+from repro.faults.retry import CircuitBreaker
 from repro.machine import Machine
 from repro.telemetry import Telemetry
 from repro.telemetry.health import FleetHealth, MachineHealth
 from repro.telemetry.metrics import MetricsRegistry, global_metrics
 
 NETWORK_BOOT_SECONDS = 75.0   # PXE + loader download: faster than a CD
+
+# Error kinds worth a sweep-level re-dispatch (fresh boot, fresh scan).
+# Anything else — MachineStateError, a parser bug — is a genuine failure
+# a reboot won't fix, and fails fast exactly as before.
+_RETRYABLE_KINDS = frozenset({"TransientIoError", "RetryExhausted",
+                              "MachineUnavailable"})
 
 
 @dataclass
@@ -56,11 +66,17 @@ class RisSweepResult:
     ``wall_seconds`` (host time the sweep took), ``simulated_seconds``
     (total simulated scan time across clients — what a serial sweep
     costs the fleet's clocks), ``worker_count``, and ``errors`` mapping
-    failed clients to their exception text.
+    failed clients to their exception text.  ``quarantined`` maps a
+    failed client to its error *kind* (the exception class — the
+    taxonomy bucket the operator triages by), and ``retry_counts``
+    records how many re-dispatches each flaky-but-recovered client
+    needed.
     """
 
     reports: Dict[str, DetectionReport] = field(default_factory=dict)
     errors: Dict[str, str] = field(default_factory=dict)
+    quarantined: Dict[str, str] = field(default_factory=dict)
+    retry_counts: Dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
     simulated_seconds: float = 0.0
     worker_count: int = 1
@@ -79,6 +95,9 @@ class RisSweepResult:
             lines.append(f"  {name}: {len(report.findings)} findings")
         for name in sorted(self.errors):
             lines.append(f"  {name}: ERROR — {self.errors[name]}")
+        for name in sorted(self.quarantined):
+            lines.append(f"  {name}: QUARANTINED — "
+                         f"{self.quarantined[name]}")
         if self.wall_seconds:
             lines.append(
                 f"  ({self.worker_count} worker(s), "
@@ -96,12 +115,27 @@ class RisServer:
     without it a sweep is pure local compute.  It defaults to zero; the
     enterprise-scale benchmarks set it to show the latency-dominated
     regime where parallel sweeps pay off.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) makes the
+    sweep run under chaos: each client's scan executes inside a fault
+    scope keyed by machine name, with ``ris.transport`` draws around the
+    PXE exchange.  ``max_retries`` re-dispatches a failed client that
+    many times (rebooting it first if its last failure left it powered
+    off); ``breaker_threshold`` consecutive failures on one machine trip
+    a per-machine circuit breaker that quarantines it for the rest of
+    the sweep instead of wasting further boots on it.
     """
 
     def __init__(self, noise_filter: Optional[NoiseFilter] = None,
-                 client_wait_seconds: float = 0.0):
+                 client_wait_seconds: float = 0.0,
+                 max_retries: int = 2,
+                 breaker_threshold: int = 3,
+                 fault_plan: Optional[FaultPlan] = None):
         self.noise_filter = noise_filter or NoiseFilter()
         self.client_wait_seconds = client_wait_seconds
+        self.max_retries = max(0, max_retries)
+        self.breaker_threshold = max(1, breaker_threshold)
+        self.fault_plan = fault_plan
 
     def network_boot_scan(self, machine: Machine,
                           resources=("files", "registry"),
@@ -120,8 +154,37 @@ class RisServer:
             with telemetry.tracer.span("ris.netboot_scan",
                                        clock=machine.clock,
                                        machine=machine.name):
-                return self._netboot_body(machine, set(resources),
-                                          background_gap, reboot_after)
+                if self.fault_plan is None:
+                    return self._netboot_body(machine, set(resources),
+                                              background_gap, reboot_after)
+                self.fault_plan.attach(machine)
+                try:
+                    with faults_context.scoped(self.fault_plan,
+                                               scope=machine.name,
+                                               clock=machine.clock):
+                        return self._netboot_body(machine, set(resources),
+                                                  background_gap,
+                                                  reboot_after)
+                finally:
+                    self.fault_plan.detach(machine)
+
+    @staticmethod
+    def _transport(machine: Machine) -> None:
+        """One RIS transport exchange; a fatal fault powers the client off.
+
+        A ``machine_death`` draw means the client dropped off the network
+        mid-scan: we mark it powered down (so a sweep-level retry has to
+        boot it again) and let :class:`~repro.errors.MachineUnavailable`
+        propagate to the sweep's retry/quarantine logic.
+        """
+        try:
+            faults_context.maybe_inject(SITE_RIS_TRANSPORT,
+                                        clock=machine.clock,
+                                        scope=machine.name)
+        except MachineUnavailable:
+            if machine.powered_on:
+                machine.shutdown()
+            raise
 
     def _netboot_body(self, machine: Machine, wanted,
                       background_gap: float,
@@ -130,6 +193,8 @@ class RisServer:
         ghostbuster = GhostBuster(machine,
                                   noise_filter=self.noise_filter)
 
+        # The client contacts the RIS server before anything else.
+        self._transport(machine)
         lies = {}
         if "files" in wanted:
             lies["files"] = file_scans.high_level_file_scan(machine)
@@ -140,7 +205,9 @@ class RisServer:
             machine.run_background(background_gap)
         machine.shutdown()
 
-        # PXE boot into the RIS-served scan environment.
+        # PXE boot into the RIS-served scan environment — the transfer
+        # itself is a transport exchange that can drop or time out.
+        self._transport(machine)
         boot_seconds = NETWORK_BOOT_SECONDS / max(machine.perf.cpu_scale,
                                                   0.8)
         machine.clock.advance(boot_seconds)
@@ -181,11 +248,20 @@ class RisServer:
         wall-clock attribution, interposed-API lists, and an error
         taxonomy — the fleet health report ``scripts/scan_report.py``
         renders.
+
+        A client that raises is retried up to ``max_retries`` times
+        (``ris.retries`` metric; the machine is rebooted first if its
+        failure left it powered down).  A client whose consecutive
+        failures trip the per-machine circuit breaker — or that is still
+        failing after the last retry — lands in ``result.errors`` *and*
+        ``result.quarantined`` (keyed by error kind) with an empty error
+        report, without aborting the rest of the fleet.
         """
         fleet = list(machines)
         workers = max(1, min(max_workers, len(fleet) or 1))
         result = RisSweepResult(worker_count=workers)
         started = time.perf_counter()
+        breaker = CircuitBreaker(failure_threshold=self.breaker_threshold)
 
         def scan_one(machine: Machine):
             if not collect_telemetry:
@@ -199,26 +275,52 @@ class RisServer:
             machine_wall = time.perf_counter() - machine_started
             return report, (telemetry, machine_wall)
 
+        def dispatch(machine: Machine):
+            """Retry loop around one client: (outcome, error, retries)."""
+            error = None
+            for attempt in range(self.max_retries + 1):
+                try:
+                    breaker.allow(machine.name)
+                except CircuitOpen as exc:
+                    return None, f"{type(exc).__name__}: {exc}", attempt
+                if attempt:
+                    global_metrics().incr("ris.retries")
+                    if not machine.powered_on:
+                        machine.boot()
+                outcome, error = self._guarded(scan_one, machine)
+                if error is None:
+                    breaker.record_success(machine.name)
+                    return outcome, None, attempt
+                breaker.record_failure(machine.name)
+                kind = error.split(":", 1)[0].strip()
+                if kind not in _RETRYABLE_KINDS:
+                    return None, error, attempt
+            return None, error, self.max_retries
+
         if workers == 1:
-            outcomes = [self._guarded(scan_one, machine)
-                        for machine in fleet]
+            outcomes = [dispatch(machine) for machine in fleet]
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(self._guarded, scan_one, machine)
+                futures = [pool.submit(dispatch, machine)
                            for machine in fleet]
                 outcomes = [future.result() for future in futures]
 
         health = FleetHealth(worker_count=workers) \
             if collect_telemetry else None
-        for machine, (outcome, error) in zip(fleet, outcomes):
+        for machine, (outcome, error, retries) in zip(fleet, outcomes):
             report, extra = outcome if outcome else (None, None)
+            if retries:
+                result.retry_counts[machine.name] = retries
             if error is not None:
                 result.errors[machine.name] = error
+                result.quarantined[machine.name] = \
+                    error.split(":", 1)[0].strip() or "Error"
                 report = DetectionReport(machine.name, mode="ris-error")
             result.reports[machine.name] = report
             if health is not None:
                 health.add(self._machine_health(machine.name, report,
-                                                error, extra))
+                                                error, extra,
+                                                retries=retries))
         result.wall_seconds = time.perf_counter() - started
         result.simulated_seconds = sum(
             report.total_duration() for report in result.reports.values())
@@ -230,7 +332,8 @@ class RisServer:
 
     @staticmethod
     def _machine_health(name: str, report: DetectionReport,
-                        error: Optional[str], extra) -> MachineHealth:
+                        error: Optional[str], extra,
+                        retries: int = 0) -> MachineHealth:
         telemetry, machine_wall = extra if extra else (None, 0.0)
         spans = []
         span_tree = ""
@@ -251,7 +354,7 @@ class RisServer:
         return MachineHealth(machine=name, wall_seconds=machine_wall,
                              simulated_seconds=simulated,
                              findings=findings, noise=noise,
-                             error=error, spans=spans,
+                             error=error, retries=retries, spans=spans,
                              span_tree=span_tree,
                              audit_events=audit_events,
                              interposed_apis=interposed)

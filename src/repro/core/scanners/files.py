@@ -16,6 +16,10 @@ from typing import List, Optional
 
 from repro.core import costmodel
 from repro.core.snapshot import FileEntry, ResourceType, ScanSnapshot
+from repro.errors import ApiError, RetryExhausted, TransientIoError
+from repro.faults import context as faults_context
+from repro.faults.plan import SITE_WINAPI_ENUM
+from repro.faults.retry import construct_with_retry
 from repro.machine import Machine
 from repro.ntfs import naming
 from repro.ntfs.constants import MFT_RECORD_SIZE
@@ -25,6 +29,30 @@ from repro.telemetry.metrics import global_metrics
 from repro.usermode.process import Process
 
 SCANNER_PROCESS_NAME = "ghostbuster.exe"
+
+_ENUM_ATTEMPTS = 3
+
+
+def _retry_enumeration(operation: str, run, attempts: int = _ENUM_ATTEMPTS):
+    """Re-run an idempotent enumeration walk when chaos interrupts it.
+
+    Transient I/O faults always retry; an :class:`ApiError` (a spurious
+    ``STATUS_*`` from the ``winapi.enum`` site) retries only while a
+    fault plan is active, so genuine API failures keep their original
+    fail-fast contract.
+    """
+    last = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return run()
+        except TransientIoError as exc:
+            last = exc
+        except ApiError as exc:
+            if faults_context.active_plan() is None:
+                raise
+            last = exc
+        global_metrics().incr("faults.retries")
+    raise RetryExhausted(operation, attempts, last)
 
 
 def ensure_scanner_process(machine: Machine,
@@ -47,6 +75,8 @@ def high_level_file_scan(machine: Machine,
     entries: List[FileEntry] = []
 
     def walk(directory: str) -> None:
+        faults_context.maybe_inject(SITE_WINAPI_ENUM, clock=machine.clock,
+                                    scope=machine.name)
         handle, stat = scanner.call("kernel32", "FindFirstFile", directory)
         while stat is not None:
             entries.append(FileEntry(stat.path, stat.name,
@@ -56,11 +86,17 @@ def high_level_file_scan(machine: Machine,
             stat = scanner.call("kernel32", "FindNextFile", handle)
         scanner.call("kernel32", "FindClose", handle)
 
+    def run() -> None:
+        # The walk is idempotent, so recovery re-runs it whole rather
+        # than resuming a half-enumerated tree mid-interruption.
+        entries.clear()
+        walk(root)
+
     start = machine.clock.now()
     with telemetry_context.current_tracer().span(
             "scan.files.high-level", clock=machine.clock,
             machine=machine.name, view="win32-api") as span:
-        walk(root)
+        _retry_enumeration("scan.files.high-level", run)
         duration = costmodel.charge_high_file_scan(machine, len(entries))
         span.set(entries=len(entries))
     global_metrics().incr("scan.files.enumerated", len(entries))
@@ -91,7 +127,10 @@ def low_level_file_scan(machine: Machine) -> ScanSnapshot:
     with telemetry_context.current_tracer().span(
             "scan.files.low-level", clock=machine.clock,
             machine=machine.name, view="raw-mft") as span:
-        parser = MftParser(machine.kernel.disk_port.read_bytes)
+        parser = construct_with_retry(
+            "mft.bootstrap", lambda: MftParser(
+                machine.kernel.disk_port.read_bytes),
+            clock=machine.clock)
         parsed = parser.parse()
         # Disk cost follows the in-use MFT footprint (free record slots
         # on a real volume are proportionally rare; our reserved region
@@ -117,7 +156,9 @@ def outside_file_scan(disk, clock=None, win32_naming: bool = True,
     start = clock.now() if clock else 0.0
     with telemetry_context.current_tracer().span(
             "scan.files.outside", clock=clock, view=view) as span:
-        parsed = MftParser(disk.read_bytes).parse()
+        parser = construct_with_retry(
+            "mft.bootstrap", lambda: MftParser(disk.read_bytes), clock=clock)
+        parsed = parser.parse()
         entries = _entries_from_parsed(parsed, win32_naming=win32_naming)
         span.set(entries=len(entries))
     global_metrics().incr("scan.files.enumerated", len(entries))

@@ -18,8 +18,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core import costmodel
-from repro.core.scanners.files import ensure_scanner_process
+from repro.core.scanners.files import (_retry_enumeration,
+                                       ensure_scanner_process)
 from repro.core.snapshot import ModuleEntry, ResourceType, ScanSnapshot
+from repro.faults import context as faults_context
+from repro.faults.plan import SITE_WINAPI_ENUM
 from repro.kernel.objects import EprocessView, ModuleTableView
 from repro.kernel.process_list import walk_process_list
 from repro.kernel.scheduler import processes_from_threads
@@ -37,13 +40,16 @@ def high_level_module_scan(machine: Machine,
     start = machine.clock.now()
     entries: List[ModuleEntry] = []
     scanned_pids = set()
-    with telemetry_context.current_tracer().span(
-            "scan.modules.high-level", clock=machine.clock,
-            machine=machine.name, view="peb-api") as span:
+    def run() -> None:
+        entries.clear()
+        scanned_pids.clear()
         toolhelp = scanner.call("kernel32", "CreateToolhelp32Snapshot")
         info = scanner.call("kernel32", "Process32First", toolhelp)
         while info is not None:
             scanned_pids.add(info.pid)
+            faults_context.maybe_inject(SITE_WINAPI_ENUM,
+                                        clock=machine.clock,
+                                        scope=machine.name)
             if info.pid != 4:   # System has no user modules
                 module_snapshot = scanner.call("kernel32",
                                                "Module32Snapshot",
@@ -55,6 +61,11 @@ def high_level_module_scan(machine: Machine,
                     path = scanner.call("kernel32", "Module32Next",
                                         module_snapshot)
             info = scanner.call("kernel32", "Process32Next", toolhelp)
+
+    with telemetry_context.current_tracer().span(
+            "scan.modules.high-level", clock=machine.clock,
+            machine=machine.name, view="peb-api") as span:
+        _retry_enumeration("scan.modules.high-level", run)
         duration = costmodel.charge_module_scan(machine, len(entries))
         span.set(entries=len(entries))
     global_metrics().incr("scan.modules.enumerated", len(entries))

@@ -18,8 +18,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core import costmodel
-from repro.core.scanners.files import ensure_scanner_process
+from repro.core.scanners.files import (_retry_enumeration,
+                                       ensure_scanner_process)
 from repro.core.snapshot import ProcessEntry, ResourceType, ScanSnapshot
+from repro.faults import context as faults_context
+from repro.faults.plan import SITE_WINAPI_ENUM
 from repro.kernel.crashdump import CrashDump
 from repro.kernel.memory import MemoryReader
 from repro.kernel.objects import EprocessView
@@ -38,14 +41,20 @@ def high_level_process_scan(machine: Machine,
     scanner = ensure_scanner_process(machine, process)
     start = machine.clock.now()
     entries: List[ProcessEntry] = []
-    with telemetry_context.current_tracer().span(
-            "scan.processes.high-level", clock=machine.clock,
-            machine=machine.name, view="toolhelp-api") as span:
+    def run() -> None:
+        entries.clear()
+        faults_context.maybe_inject(SITE_WINAPI_ENUM, clock=machine.clock,
+                                    scope=machine.name)
         snapshot = scanner.call("kernel32", "CreateToolhelp32Snapshot")
         info = scanner.call("kernel32", "Process32First", snapshot)
         while info is not None:
             entries.append(ProcessEntry(info.pid, info.name))
             info = scanner.call("kernel32", "Process32Next", snapshot)
+
+    with telemetry_context.current_tracer().span(
+            "scan.processes.high-level", clock=machine.clock,
+            machine=machine.name, view="toolhelp-api") as span:
+        _retry_enumeration("scan.processes.high-level", run)
         duration = costmodel.charge_process_scan(machine, len(entries))
         span.set(entries=len(entries))
     global_metrics().incr("scan.processes.enumerated", len(entries))

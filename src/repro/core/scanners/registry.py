@@ -20,9 +20,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import costmodel
-from repro.core.scanners.files import ensure_scanner_process
+from repro.core.scanners.files import (_retry_enumeration,
+                                       ensure_scanner_process)
 from repro.core.snapshot import (RegistryHookEntry, ResourceType,
                                  ScanSnapshot)
+from repro.errors import HiveFormatError, TransientIoError
+from repro.faults import context as faults_context
+from repro.faults.plan import SITE_HIVE_READ, SITE_WINAPI_ENUM
+from repro.faults.retry import construct_with_retry
 from repro.machine import HIVE_FILES, Machine
 from repro.ntfs.mft_parser import MftParser
 from repro.registry.asep import (ASEP_CATALOG, AsepHook, ValueView,
@@ -34,6 +39,7 @@ from repro.telemetry.metrics import global_metrics
 from repro.usermode.process import Process
 
 _MAX_WIN32_NAME = 255
+_HIVE_ATTEMPTS = 3
 
 
 class Win32ApiReader:
@@ -41,17 +47,27 @@ class Win32ApiReader:
 
     def __init__(self, machine: Machine, process: Optional[Process] = None):
         self.process = ensure_scanner_process(machine, process)
+        self._machine = machine
+
+    def _inject(self) -> None:
+        faults_context.maybe_inject(SITE_WINAPI_ENUM,
+                                    clock=self._machine.clock,
+                                    scope=self._machine.name)
 
     def key_exists(self, path: str) -> bool:
+        self._inject()
         return self.process.call("advapi32", "RegKeyExists", path)
 
     def enum_subkeys(self, path: str) -> List[str]:
+        self._inject()
         return self.process.call("advapi32", "RegEnumKey", path)
 
     def enum_values(self, path: str) -> List[ValueView]:
+        self._inject()
         return self.process.call("advapi32", "RegEnumValue", path)
 
     def get_value(self, path: str, name: str) -> Optional[ValueView]:
+        self._inject()
         return self.process.call("advapi32", "RegQueryValue", path, name)
 
 
@@ -137,42 +153,66 @@ class _ParsedHiveForest:
         return None
 
 
-def _parse_hives_via(read_bytes, hive_files: Dict[str, str]
-                     ) -> Tuple[Dict[str, ParsedKey], int]:
+def _parse_hives_via(read_bytes, hive_files: Dict[str, str], clock=None,
+                     scope: Optional[str] = None
+                     ) -> Tuple[Dict[str, ParsedKey], int, Tuple[str, ...]]:
     """Parse every hive's backing file off one raw parse of the MFT.
 
     One :class:`MftParser` serves all hive files — its parse-once
     namespace index means the MFT is walked a single time, not once per
     hive — and :func:`parse_hive` is memoized on the blob digest.
-    Returns ``(mount → root, total hive bytes read)`` for cost charging.
+
+    Per-hive recovery: the ``hive.read`` fault site may damage the blob
+    in flight (truncation, zeroed windows), which the validating parser
+    rejects; the hive is then re-read clean and re-parsed, up to a
+    bounded attempt budget.  A hive that stays unreadable is *skipped*,
+    never fatal — its mount lands in the returned ``degraded`` tuple so
+    the scan can report partial confidence instead of raising.
+
+    Returns ``(mount → root, total hive bytes read, degraded mounts)``.
     """
-    parser = MftParser(read_bytes)
+    parser = construct_with_retry("mft.bootstrap",
+                                  lambda: MftParser(read_bytes), clock=clock)
     roots: Dict[str, ParsedKey] = {}
     hive_bytes = 0
+    degraded: List[str] = []
     for mount, hive_file in hive_files.items():
-        try:
-            blob = parser.read_file_content(hive_file)
-            roots[mount] = parse_hive(blob).root
-            hive_bytes += len(blob)
-        except Exception:
-            continue   # missing or shredded hive: scan what remains
-    return roots, hive_bytes
+        for attempt in range(1, _HIVE_ATTEMPTS + 1):
+            try:
+                blob = parser.read_file_content(hive_file)
+                blob = faults_context.filter_blob(SITE_HIVE_READ, blob,
+                                                  scope=scope)
+                roots[mount] = parse_hive(blob).root
+                hive_bytes += len(blob)
+            except (TransientIoError, HiveFormatError):
+                if attempt == _HIVE_ATTEMPTS:
+                    degraded.append(mount)
+                    global_metrics().incr("scan.hive.degraded")
+                else:
+                    global_metrics().incr("faults.retries")
+                continue
+            except Exception:
+                pass   # missing hive: scan what remains
+            break
+    return roots, hive_bytes, tuple(degraded)
 
 
 class RawHiveReader(_ParsedHiveForest):
     """Inside-the-box truth approximation: raw hive files off the MFT."""
 
     def __init__(self, machine: Machine):
-        roots, self.hive_bytes = _parse_hives_via(
-            machine.kernel.disk_port.read_bytes, HIVE_FILES)
+        roots, self.hive_bytes, self.degraded = _parse_hives_via(
+            machine.kernel.disk_port.read_bytes, HIVE_FILES,
+            clock=machine.clock, scope=machine.name)
         super().__init__(roots, win32_semantics=False)
 
 
 class OutsideHiveReader(_ParsedHiveForest):
     """Outside-the-box: hive files parsed from the physical disk."""
 
-    def __init__(self, disk, win32_semantics: bool = True):
-        roots, __ = _parse_hives_via(disk.read_bytes, HIVE_FILES)
+    def __init__(self, disk, win32_semantics: bool = True, clock=None):
+        roots, __, self.degraded = _parse_hives_via(disk.read_bytes,
+                                                    HIVE_FILES, clock=clock)
         super().__init__(roots, win32_semantics=win32_semantics)
 
 
@@ -189,7 +229,9 @@ def high_level_asep_scan(machine: Machine,
             "scan.registry.high-level", clock=machine.clock,
             machine=machine.name, view="win32-regapi") as span:
         reader = Win32ApiReader(machine, process)
-        hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
+        hooks = _retry_enumeration(
+            "scan.registry.high-level",
+            lambda: enumerate_asep_hooks(reader, ASEP_CATALOG))
         duration = costmodel.charge_asep_scan(machine, len(hooks))
         span.set(hooks=len(hooks))
     global_metrics().incr("scan.asep.enumerated", len(hooks))
@@ -210,9 +252,12 @@ def low_level_asep_scan(machine: Machine) -> ScanSnapshot:
                                               hive_bytes=reader.hive_bytes)
         span.set(hooks=len(hooks), hive_bytes=reader.hive_bytes)
     global_metrics().incr("scan.asep.enumerated", len(hooks))
-    return ScanSnapshot(ResourceType.REGISTRY, view="raw-hive",
-                        entries=_hooks_to_entries(hooks), taken_at=start,
-                        duration=duration)
+    snapshot = ScanSnapshot(ResourceType.REGISTRY, view="raw-hive",
+                            entries=_hooks_to_entries(hooks), taken_at=start,
+                            duration=duration)
+    if reader.degraded:
+        snapshot.degraded = reader.degraded
+    return snapshot
 
 
 def outside_asep_scan(disk, clock=None,
@@ -222,10 +267,14 @@ def outside_asep_scan(disk, clock=None,
     view = "winpe-regedit" if win32_semantics else "winpe-rawhive"
     with telemetry_context.current_tracer().span(
             "scan.registry.outside", clock=clock, view=view) as span:
-        reader = OutsideHiveReader(disk, win32_semantics=win32_semantics)
+        reader = OutsideHiveReader(disk, win32_semantics=win32_semantics,
+                                   clock=clock)
         hooks = enumerate_asep_hooks(reader, ASEP_CATALOG)
         span.set(hooks=len(hooks))
     global_metrics().incr("scan.asep.enumerated", len(hooks))
-    return ScanSnapshot(ResourceType.REGISTRY, view=view,
-                        entries=_hooks_to_entries(hooks), taken_at=start,
-                        duration=0.0)
+    snapshot = ScanSnapshot(ResourceType.REGISTRY, view=view,
+                            entries=_hooks_to_entries(hooks), taken_at=start,
+                            duration=0.0)
+    if reader.degraded:
+        snapshot.degraded = reader.degraded
+    return snapshot

@@ -35,6 +35,10 @@ class Disk:
         self._sectors: Dict[int, bytes] = {}
         self.generation: int = 0
         self.raw_cache: Dict[str, tuple] = {}
+        # Chaos hook: when a fault plan attaches an injector here, every
+        # byte-level read flows through it (transient errors, torn
+        # sectors, slow reads).  None — the default — costs one check.
+        self.fault_injector = None
 
     # -- sector-level interface -------------------------------------------
 
@@ -71,7 +75,10 @@ class Disk:
         chunks = [self.read_sector(i) for i in range(first, last + 1)]
         blob = b"".join(chunks)
         start = offset - first * sector_size
-        return blob[start:start + length]
+        data = blob[start:start + length]
+        if self.fault_injector is not None:
+            return self.fault_injector.filter_read(offset, length, data)
+        return data
 
     def write_bytes(self, offset: int, data: bytes) -> None:
         """Write an arbitrary byte range with read-modify-write at the edges."""
@@ -117,6 +124,9 @@ class Disk:
         copy._sectors = dict(self._sectors)
         copy.generation = self.generation
         copy.raw_cache = dict(self.raw_cache)
+        # A fault injector is bound to one machine's scope; clones get
+        # their own (or none) via FaultPlan.attach.
+        copy.fault_injector = None
         return copy
 
     def _check_sector(self, index: int) -> None:

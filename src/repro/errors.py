@@ -41,8 +41,46 @@ class InvalidWin32Name(VolumeError):
     """The name violates Win32 naming restrictions (but may be NT-legal)."""
 
 
+class TransientIoError(ReproError):
+    """A read failed in a way that may succeed if simply retried.
+
+    The transient/permanent split is the heart of the recovery policy:
+    :class:`TransientIoError` is the *retryable* branch (media glitches,
+    injected chaos, timeouts), while :class:`CorruptRecord` and its
+    subclasses are *permanent* — the bytes themselves are wrong, and
+    re-reading them yields the same garbage.
+    """
+
+
+class RetryExhausted(TransientIoError):
+    """A retry budget ran out while the underlying fault stayed transient.
+
+    Subclasses :class:`TransientIoError` on purpose: a caller one level
+    up (say, the sweep scheduler re-dispatching a whole machine) may
+    legitimately retry the operation with a fresh budget.
+    """
+
+    def __init__(self, operation: str, attempts: int, last_error: Exception):
+        super().__init__(
+            f"{operation} still failing after {attempts} attempts: "
+            f"{type(last_error).__name__}: {last_error}")
+        self.operation = operation
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class CorruptRecord(ReproError):
     """A low-level parser found a structurally invalid on-disk record."""
+
+
+class PermanentCorruption(CorruptRecord):
+    """Structurally hopeless input: retrying can never help.
+
+    Raised where a parser has positively established that the bytes are
+    garbage (as opposed to the read having failed) — typically wrapping
+    a leaked ``struct.error`` / ``IndexError`` / ``UnicodeDecodeError``
+    from hostile input.
+    """
 
 
 class RegistryError(ReproError):
@@ -57,7 +95,7 @@ class ValueNotFound(RegistryError):
     """The requested registry value does not exist."""
 
 
-class HiveFormatError(RegistryError, CorruptRecord):
+class HiveFormatError(RegistryError, PermanentCorruption):
     """A raw hive parse encountered malformed cells."""
 
 
@@ -91,6 +129,25 @@ class MachineStateError(ReproError):
 
 class ScanError(ReproError):
     """A GhostBuster scan could not be completed."""
+
+
+class CircuitOpen(ReproError):
+    """A circuit breaker refused the call without attempting it."""
+
+    def __init__(self, scope: str, failures: int):
+        super().__init__(
+            f"circuit open for {scope!r} after {failures} consecutive "
+            f"failures")
+        self.scope = scope
+        self.failures = failures
+
+
+class MachineUnavailable(ReproError):
+    """The target machine died or dropped off the network mid-scan.
+
+    Retryable at the sweep level: the scheduler may power the machine
+    back on and re-dispatch, subject to the circuit breaker.
+    """
 
 
 class UnixError(ReproError):

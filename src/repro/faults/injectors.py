@@ -1,0 +1,116 @@
+"""Fault injectors that damage data in flight.
+
+The corruption helpers derive their RNG from the *fired fault's*
+identity (site, scope, stream sequence), not from the plan's live
+streams — so what gets corrupted is a pure function of which fault
+fired, independent of call interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TransientIoError
+from repro.faults.plan import FaultPlan, InjectedFault, SITE_DISK_READ
+from repro.telemetry.metrics import global_metrics
+
+# How many times the simulated disk driver re-issues a faulted read
+# before surfacing the error.  Real controllers retry sector reads at
+# this layer too; without it a 5% per-read fault rate makes any
+# thousands-of-reads namespace parse statistically certain to die.
+_READ_ATTEMPTS = 4
+
+
+def _fault_rng(fault: InjectedFault) -> random.Random:
+    return random.Random(
+        f"{fault.site}:{fault.scope}:{fault.stream_seq}:{fault.kind}")
+
+
+def corrupt_blob(blob: bytes, fault: InjectedFault) -> bytes:
+    """Damage a whole just-read blob (hive file bytes).
+
+    ``truncate`` chops a tail; ``corrupt`` zeroes a window; ``bit_flip``
+    flips one bit.  All are *detectable* damage for the validating hive
+    parser — header-length checks and cell magics reject the blob, so
+    the caller re-reads and retries.
+    """
+    if not blob:
+        return blob
+    rng = _fault_rng(fault)
+    if fault.kind == "truncate":
+        return blob[:rng.randrange(len(blob))]
+    out = bytearray(blob)
+    if fault.kind == "corrupt":
+        start = rng.randrange(len(out))
+        end = min(len(out), start + max(16, len(out) // 64))
+        out[start:end] = b"\x00" * (end - start)
+    elif fault.kind == "bit_flip":
+        index = rng.randrange(len(out))
+        out[index] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def corrupt_read(data: bytes, fault: InjectedFault) -> bytes:
+    """Damage one read's result, preserving its length.
+
+    ``Disk.read_bytes`` must return exactly the requested length, so
+    ``torn_read`` zeroes the tail half (the write that never made it to
+    the platter) instead of truncating.
+    """
+    if not data:
+        return data
+    out = bytearray(data)
+    rng = _fault_rng(fault)
+    if fault.kind == "torn_read":
+        cut = len(out) // 2
+        out[cut:] = b"\x00" * (len(out) - cut)
+    elif fault.kind == "bit_flip":
+        index = rng.randrange(len(out))
+        out[index] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+class DiskFaultInjector:
+    """The ``disk.read`` site: wraps every ``Disk.read_bytes`` result.
+
+    Kinds: ``io_error`` raises :class:`TransientIoError` after the
+    driver-level retries (``_READ_ATTEMPTS``) are also all faulted;
+    ``slow_read`` charges a simulated delay;
+    ``torn_read`` / ``bit_flip`` return damaged bytes *and bump the
+    disk's write generation*, so any namespace parsed from the damaged
+    read is dropped from the generation-keyed caches on its next
+    revalidation instead of serving the corruption forever.
+    """
+
+    def __init__(self, plan: FaultPlan, disk, clock=None,
+                 scope: str = "global"):
+        self.plan = plan
+        self.disk = disk
+        self.clock = clock
+        self.scope = scope
+
+    def filter_read(self, offset: int, length: int, data: bytes) -> bytes:
+        fault = self.plan.draw(SITE_DISK_READ, self.scope)
+        if fault is None:
+            return data
+        if fault.kind == "io_error":
+            # Driver-level retry: re-issue the read (a fresh draw each
+            # time); only a run of consecutive faults surfaces.
+            for _ in range(_READ_ATTEMPTS - 1):
+                global_metrics().incr("faults.retries")
+                fault = self.plan.draw(SITE_DISK_READ, self.scope)
+                if fault is None or fault.kind != "io_error":
+                    break
+            if fault is not None and fault.kind == "io_error":
+                raise TransientIoError(
+                    f"injected disk I/O error reading "
+                    f"[{offset}, {offset + length}) ({fault.detail})")
+            if fault is None:
+                return data
+        if fault.kind == "slow_read":
+            if self.clock is not None and fault.delay_s:
+                self.clock.advance(fault.delay_s)
+            return data
+        damaged = corrupt_read(data, fault)
+        self.disk.generation += 1
+        return damaged

@@ -1,0 +1,158 @@
+"""Recovery policies: retry with deterministic backoff, circuit breaking.
+
+All waiting happens on the :class:`~repro.clock.SimClock` axis — a
+retrying scan *charges* its backoff to the machine's simulated clock
+exactly like any other scan cost, and never sleeps host time.  Jitter
+is derived from a seeded hash of the attempt number, so identical runs
+back off identically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import (CircuitOpen, CorruptRecord, RetryExhausted,
+                          TransientIoError)
+from repro.telemetry.metrics import global_metrics
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``run`` retries ``fn`` on the ``retryable`` exception tuple up to
+    ``max_attempts`` total attempts, charging each backoff delay to the
+    supplied clock (no clock → no delay, just the attempts).
+    ``deadline_s`` bounds the *simulated* time budget: once the clock
+    has advanced past it, no further attempts are made.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay_s: float = 0.05,
+                 max_delay_s: float = 2.0,
+                 deadline_s: Optional[float] = None,
+                 retryable: Tuple[Type[BaseException], ...] =
+                 (TransientIoError,),
+                 jitter_seed: int = 0):
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.deadline_s = deadline_s
+        self.retryable = retryable
+        self.jitter_seed = jitter_seed
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (attempts are 1-based)."""
+        delay = min(self.base_delay_s * (2 ** (attempt - 1)),
+                    self.max_delay_s)
+        jitter = random.Random(
+            f"{self.jitter_seed}:{attempt}").random() * 0.25 * delay
+        return delay + jitter
+
+    def run(self, operation: str, fn: Callable, clock=None):
+        start = clock.now() if clock is not None else 0.0
+        last: Optional[BaseException] = None
+        attempt = 0
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except self.retryable as exc:   # noqa: PERF203 — the policy
+                last = exc
+                global_metrics().incr("faults.retries")
+                if attempt == self.max_attempts:
+                    break
+                if (self.deadline_s is not None and clock is not None
+                        and clock.now() - start >= self.deadline_s):
+                    break
+                if clock is not None:
+                    clock.advance(self.delay_for(attempt))
+        raise RetryExhausted(operation, attempt, last)
+
+
+class CircuitBreaker:
+    """Per-scope consecutive-failure breaker.
+
+    After ``failure_threshold`` consecutive failures for a scope,
+    :meth:`allow` raises :class:`CircuitOpen` — the caller quarantines
+    the scope instead of retrying forever.  With ``recovery_after_s``
+    and a clock, an open circuit half-opens after that much simulated
+    time: one probe attempt is allowed through; success closes the
+    circuit, failure re-opens it.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_after_s: Optional[float] = None, clock=None):
+        if failure_threshold < 1:
+            raise ValueError("threshold must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_after_s = recovery_after_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._failures: Dict[str, int] = {}
+        self._opened_at: Dict[str, float] = {}
+
+    def allow(self, scope: str) -> None:
+        with self._lock:
+            failures = self._failures.get(scope, 0)
+            if failures < self.failure_threshold:
+                return
+            if (self.recovery_after_s is not None and self.clock is not None
+                    and self.clock.now() - self._opened_at.get(scope, 0.0)
+                    >= self.recovery_after_s):
+                # Half-open: admit one probe; a failure re-opens.
+                self._failures[scope] = self.failure_threshold - 1
+                return
+        raise CircuitOpen(scope, failures)
+
+    def record_success(self, scope: str) -> None:
+        with self._lock:
+            self._failures.pop(scope, None)
+            self._opened_at.pop(scope, None)
+
+    def record_failure(self, scope: str) -> None:
+        with self._lock:
+            count = self._failures.get(scope, 0) + 1
+            self._failures[scope] = count
+            if count == self.failure_threshold:
+                self._opened_at[scope] = (self.clock.now()
+                                          if self.clock is not None else 0.0)
+
+    def state(self, scope: str) -> str:
+        with self._lock:
+            open_ = self._failures.get(scope, 0) >= self.failure_threshold
+        return "open" if open_ else "closed"
+
+    def open_scopes(self) -> List[str]:
+        with self._lock:
+            return sorted(scope for scope, count in self._failures.items()
+                          if count >= self.failure_threshold)
+
+
+def construct_with_retry(operation: str, factory: Callable,
+                         attempts: int = 3, clock=None):
+    """Build a parser whose constructor reads (possibly faulty) media.
+
+    Transient I/O faults always retry.  :class:`CorruptRecord` retries
+    *only while a fault plan is active* — an injected torn read can
+    garble the boot sector into structural garbage, and the re-read is
+    clean; with no chaos active, corruption is genuine and propagates
+    immediately, preserving the parser's error contract.
+    """
+    from repro.faults import context as faults_context
+
+    last: Optional[BaseException] = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return factory()
+        except TransientIoError as exc:
+            last = exc
+        except CorruptRecord as exc:
+            if faults_context.active_plan() is None:
+                raise
+            last = exc
+        global_metrics().incr("faults.retries")
+        if attempt < attempts and clock is not None:
+            clock.advance(0.01 * attempt)
+    raise last

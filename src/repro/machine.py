@@ -142,10 +142,16 @@ class Machine:
 
     def _mount_registry(self) -> None:
         """Build the Registry from hive files (or create fresh hives)."""
+        from repro.faults.retry import construct_with_retry
+
         self.registry = Registry(self.volume, self.clock)
         for root_path, hive_file in HIVE_FILES.items():
             if self.volume.exists(hive_file):
-                hive = Hive.deserialize(self.volume.read_file(hive_file))
+                hive = construct_with_retry(
+                    f"hive.mount:{hive_file}",
+                    lambda path=hive_file: Hive.deserialize(
+                        self.volume.read_file(path)),
+                    clock=self.clock)
             else:
                 hive = Hive(root_path.split("\\")[-1])
             self.registry.mount_hive(root_path, hive, hive_file)

@@ -17,7 +17,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import CorruptRecord
+from repro.errors import CorruptRecord, PermanentCorruption
 from repro.ntfs import constants as c
 from repro.ntfs import runlist as rl
 
@@ -164,8 +164,23 @@ class MftRecord:
 
         Raises :class:`CorruptRecord` on bad magic or malformed attributes;
         callers scanning a raw MFT region treat bad-magic records as
-        never-allocated slots.
+        never-allocated slots.  Exceptions leaked by the stdlib on hostile
+        input (``struct.error``, decode errors, slicing) are wrapped in
+        :class:`PermanentCorruption` so no bare stdlib exception escapes
+        the parser.
         """
+        try:
+            return cls._from_bytes(blob)
+        except CorruptRecord:
+            raise
+        except (struct.error, IndexError, UnicodeDecodeError,
+                ValueError) as exc:
+            raise PermanentCorruption(
+                f"malformed FILE record: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    @classmethod
+    def _from_bytes(cls, blob: bytes) -> "MftRecord":
         if len(blob) < c.MFT_RECORD_SIZE:
             raise CorruptRecord("short FILE record")
         if blob[0:4] != c.RECORD_MAGIC:

@@ -15,10 +15,33 @@ mismatch the Native-API name-hiding trick exploits.
 
 from __future__ import annotations
 
+import functools
 import struct
 from typing import List, Tuple
 
 from repro.errors import HiveFormatError
+
+
+def _guarded(fn):
+    """Convert stdlib exceptions leaked on hostile bytes to HiveFormatError.
+
+    The unpack helpers slice and ``struct.unpack_from`` attacker-shaped
+    input; a short or garbled cell must surface as the parser's own
+    :class:`HiveFormatError` (a :class:`~repro.errors.PermanentCorruption`),
+    never as a bare ``struct.error`` / decode error.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except HiveFormatError:
+            raise
+        except (struct.error, IndexError, UnicodeDecodeError,
+                ValueError) as exc:
+            raise HiveFormatError(
+                f"malformed cell in {fn.__name__}: "
+                f"{type(exc).__name__}: {exc}") from exc
+    return wrapper
 
 HEADER_SIZE = 512
 HIVE_MAGIC = b"regf"
@@ -47,6 +70,7 @@ def pack_header(root_offset: int, total_length: int, name: str) -> bytes:
     return bytes(header)
 
 
+@_guarded
 def unpack_header(blob: bytes) -> Tuple[int, int, str]:
     """Return (root_offset, total_length, hive_name)."""
     if len(blob) < HEADER_SIZE or blob[0:4] != HIVE_MAGIC:
@@ -80,6 +104,7 @@ class CellWriter:
         return pack_header(root_offset, HEADER_SIZE + len(body), name) + body
 
 
+@_guarded
 def read_cell(blob: bytes, offset: int) -> bytes:
     """Return one cell's payload given its hive offset."""
     if offset < HEADER_SIZE or offset + 4 > len(blob):
@@ -111,6 +136,7 @@ def pack_nk(name: str, parent_offset: int, subkey_count: int,
             encoded)
 
 
+@_guarded
 def unpack_nk(payload: bytes):
     """Parse one nk cell payload into a field dict."""
     if payload[0:2] != NK_MAGIC:
@@ -151,6 +177,7 @@ def pack_vk(name: str, reg_type: int, data: bytes,
     return head + struct.pack("<I", data_cell_offset)
 
 
+@_guarded
 def unpack_vk(payload: bytes):
     """Parse one vk cell payload into a field dict."""
     if payload[0:2] != VK_MAGIC:
@@ -181,6 +208,7 @@ def pack_offset_list(magic: bytes, offsets: List[int]) -> bytes:
         struct.pack(f"<{len(offsets)}I", *offsets)
 
 
+@_guarded
 def unpack_offset_list(payload: bytes, magic: bytes) -> List[int]:
     """Parse an lf/vl offset-list cell."""
     if payload[0:2] != magic:
@@ -197,6 +225,7 @@ def pack_db(data: bytes) -> bytes:
     return DB_MAGIC + struct.pack("<I", len(data)) + data
 
 
+@_guarded
 def unpack_db(payload: bytes) -> bytes:
     """Parse a raw data (db) cell."""
     if payload[0:2] != DB_MAGIC:

@@ -14,12 +14,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.errors import HiveFormatError
+from repro.errors import HiveFormatError, RetryExhausted, TransientIoError
+from repro.faults import context as faults_context
+from repro.faults.plan import SITE_HIVE_PARSE
 from repro.registry import cells
 from repro.telemetry import context as telemetry_context
 from repro.telemetry.metrics import global_metrics
 
 _MAX_DEPTH = 512
+_PARSE_ATTEMPTS = 3
 
 # parse_hive memo: blob digest → ParsedHive.  Hive files are re-read and
 # re-parsed constantly (once per scan per hive, across every machine of a
@@ -142,9 +145,22 @@ def parse_hive(blob: bytes) -> ParsedHive:
             global_metrics().incr("hive.parse.memo_hit")
             return cached
     global_metrics().incr("hive.parse.memo_miss")
-    with telemetry_context.current_tracer().span("hive.parse",
-                                                 bytes=len(blob)):
-        parsed = HiveParser(blob).parse()
+    # Self-healing: the ``hive.parse`` site may inject a transient fault
+    # (CI chaos profile); the retry re-parses the same bytes.  The miss
+    # above was counted once, so retries leave the memo counters exact.
+    last = None
+    for attempt in range(1, _PARSE_ATTEMPTS + 1):
+        try:
+            faults_context.maybe_inject(SITE_HIVE_PARSE)
+            with telemetry_context.current_tracer().span(
+                    "hive.parse", bytes=len(blob)):
+                parsed = HiveParser(blob).parse()
+            break
+        except TransientIoError as exc:
+            last = exc
+            global_metrics().incr("faults.retries")
+    else:
+        raise RetryExhausted("hive.parse", _PARSE_ATTEMPTS, last)
     with _hive_cache_lock:
         _hive_cache[digest] = parsed
         while len(_hive_cache) > _HIVE_CACHE_MAX:

@@ -35,6 +35,9 @@ LAYER_SSDT = "ssdt"
 LAYER_CM_CALLBACK = "cm-callback"
 LAYER_FILTER_DRIVER = "filter-driver"
 LAYER_RAW_PORT = "raw-port"
+# Not an interposition layer: chaos faults fired by an active FaultPlan
+# are recorded here too, so one log tells the whole story of a scan.
+LAYER_FAULT = "fault-injection"
 
 NO_INTERPOSITION = "(no interposition observed: DKOM or naming/raw-level)"
 

@@ -22,6 +22,7 @@ and renders/exports the sweep:
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -37,6 +38,7 @@ class MachineHealth:
     findings: int = 0
     noise: int = 0
     error: Optional[str] = None
+    retries: int = 0                  # sweep-level re-dispatches this client needed
     spans: List[dict] = field(default_factory=list)       # Span.to_dict()s
     span_tree: str = ""                                   # rendered tree
     audit_events: List[dict] = field(default_factory=list)
@@ -73,6 +75,7 @@ class MachineHealth:
             "noise": self.noise,
             "error": self.error,
             "error_kind": self.error_kind,
+            "retries": self.retries,
             "interposed_apis": list(self.interposed_apis),
             "audit_event_count": len(self.audit_events),
         }
@@ -179,14 +182,25 @@ class FleetHealth:
 
 
 def load_jsonl(path) -> Dict[str, List[dict]]:
-    """Parse a telemetry JSONL file back into records grouped by type."""
+    """Parse a telemetry JSONL file back into records grouped by type.
+
+    A malformed line — typically the torn tail of a file whose writer
+    died mid-record — is skipped with a warning rather than aborting the
+    whole report: the operator still sees every intact record.
+    """
     grouped: Dict[str, List[dict]] = {}
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                warnings.warn(
+                    f"{path}:{number}: skipping malformed telemetry "
+                    f"record ({exc})", stacklevel=2)
+                continue
             grouped.setdefault(record.get("type", "unknown"),
                                []).append(record)
     return grouped

@@ -1,12 +1,45 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Setting ``REPRO_CHAOS_SEED=<int>`` runs the whole suite under a
+low-rate global :class:`~repro.faults.plan.FaultPlan` (the CI chaos
+job): parser-level transient faults fire throughout, every test must
+still pass, and the fired-fault audit is written to
+``fault-audit.jsonl`` (or ``$REPRO_CHAOS_AUDIT``) for artifact upload.
+"""
 
 from __future__ import annotations
+
+import json
+import os
 
 import pytest
 
 from repro.disk import Disk, DiskGeometry
 from repro.machine import Machine
 from repro.ntfs import NtfsVolume
+
+
+@pytest.fixture(autouse=True, scope="session")
+def chaos_plan():
+    """Install the suite-wide chaos plan when REPRO_CHAOS_SEED is set."""
+    seed = os.environ.get("REPRO_CHAOS_SEED")
+    if not seed:
+        yield None
+        return
+    from repro.faults import context as faults_context
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.tier1(int(seed))
+    faults_context.install_global_plan(plan)
+    try:
+        yield plan
+    finally:
+        faults_context.install_global_plan(None)
+        audit_path = os.environ.get("REPRO_CHAOS_AUDIT",
+                                    "fault-audit.jsonl")
+        with open(audit_path, "w", encoding="utf-8") as handle:
+            for record in plan.log_dicts():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 @pytest.fixture

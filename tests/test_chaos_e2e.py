@@ -1,0 +1,188 @@
+"""End-to-end chaos acceptance: detection survives injected faults.
+
+The robustness contract in one sweep: five ghostware families plus a
+clean control machine scanned through the RIS network-boot path while a
+5% fault plan fires transient I/O errors, torn reads, corrupt hive
+blobs, spurious ``STATUS_*`` failures, and transport drops — and the
+pipeline must (a) raise nothing to the caller, (b) detect every
+infected machine exactly as a fault-free sweep does, and (c) account
+for anything it *couldn't* recover via quarantine + taxonomy instead of
+silence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GhostBuster, RisServer
+from repro.core.diff import ScanConfidence
+from repro.errors import ReproError
+from repro.faults.plan import (FaultPlan, FaultSpec, SITE_RIS_TRANSPORT)
+from repro.ghostware import (Aphex, HackerDefender, ProBotSE, Urbin,
+                             Vanquish)
+from repro.machine import Machine
+
+FAMILIES = (HackerDefender, Aphex, Urbin, Vanquish, ProBotSE)
+
+
+def _fleet():
+    machines = []
+    for index, family in enumerate(FAMILIES):
+        machine = Machine(f"victim-{index:02d}", disk_mb=256,
+                          max_records=8192)
+        machine.boot()
+        family().install(machine)
+        machines.append(machine)
+    control = Machine("control-clean", disk_mb=256, max_records=8192)
+    control.boot()
+    machines.append(control)
+    return machines
+
+
+def _identities(report):
+    return sorted((f.resource_type.value, str(f.entry.identity))
+                  for f in report.findings if not f.is_noise)
+
+
+class TestChaosSweep:
+    def test_sweep_under_5pct_faults_matches_fault_free(self):
+        baseline = RisServer().sweep(_fleet(), max_workers=2)
+        assert not baseline.errors
+
+        plan = FaultPlan.default(seed=2026, rate=0.05)
+        chaotic = RisServer(fault_plan=plan).sweep(_fleet(), max_workers=2)
+
+        # (a) nothing leaked, nothing quarantined at this rate
+        assert not chaotic.errors
+        assert not chaotic.quarantined
+        # (b) recall unchanged: same infected set, same finding identities
+        assert chaotic.infected_machines == baseline.infected_machines
+        assert len(chaotic.infected_machines) == len(FAMILIES)
+        for name in baseline.reports:
+            assert _identities(chaotic.reports[name]) == \
+                _identities(baseline.reports[name])
+        # (c) the chaos was real, and the log proves it
+        assert plan.fired_count() > 0
+        assert plan.sequence_digest() != FaultPlan.default(
+            seed=2026, rate=0.05).sequence_digest()
+
+    def test_machine_death_quarantined_with_taxonomy(self):
+        plan = FaultPlan(seed=9, specs=(
+            FaultSpec(SITE_RIS_TRANSPORT, mode="always",
+                      kinds=("machine_death",), mean_delay_s=0.0,
+                      scopes=("victim-01",)),))
+        result = RisServer(fault_plan=plan, max_retries=1).sweep(
+            _fleet(), max_workers=2)
+
+        assert "victim-01" in result.quarantined
+        assert result.quarantined["victim-01"] == "MachineUnavailable"
+        assert result.reports["victim-01"].mode == "ris-error"
+        assert "QUARANTINED" in result.summary()
+        # The dead machine burned its retry budget...
+        assert result.retry_counts.get("victim-01", 0) >= 1
+        # ...without costing the rest of the fleet anything.
+        assert sorted(result.errors) == ["victim-01"]
+        assert len(result.infected_machines) == len(FAMILIES) - 1
+
+    def test_transient_death_recovers_on_retry(self):
+        plan = FaultPlan(seed=9, specs=(
+            FaultSpec(SITE_RIS_TRANSPORT, mode="one_shot",
+                      kinds=("machine_death",), mean_delay_s=0.0,
+                      scopes=("victim-00",)),))
+        result = RisServer(fault_plan=plan).sweep(_fleet())
+
+        # One death, then the re-dispatch (with a fresh boot) succeeds.
+        assert not result.errors
+        assert result.retry_counts.get("victim-00") == 1
+        assert "victim-00" in result.infected_machines
+
+
+class TestGracefulDegradation:
+    def test_failed_layer_yields_partial_report(self, monkeypatch):
+        from repro.core.scanners import files as file_scans
+
+        def broken(machine, **kwargs):
+            raise ReproError("scanner hardware gave out")
+
+        monkeypatch.setattr(file_scans, "low_level_file_scan", broken)
+        machine = Machine("degraded-pc", disk_mb=256, max_records=8192)
+        machine.boot()
+        HackerDefender().install(machine)
+
+        report = GhostBuster(machine).inside_scan()
+
+        assert report.confidence["files"] is ScanConfidence.FAILED
+        assert "scanner hardware gave out" in report.layer_errors["files"]
+        assert report.confidence["registry"] is ScanConfidence.FULL
+        assert not report.is_complete
+        assert "files" in report.degraded_layers()
+        assert "partial evidence" in report.summary()
+        # The surviving layers still convict the machine.
+        assert not report.is_clean
+
+    def test_clean_scan_is_complete_and_full(self):
+        machine = Machine("healthy-pc", disk_mb=256, max_records=8192)
+        machine.boot()
+        report = GhostBuster(machine).inside_scan()
+        assert report.is_complete
+        assert report.rounds == 1
+        assert all(value is ScanConfidence.FULL
+                   for value in report.confidence.values())
+        assert not report.layer_errors
+
+
+class TestScanUntilStable:
+    def test_phantom_finding_dropped_by_intersection(self, monkeypatch):
+        from repro.core import ghostbuster as gb_module
+        from repro.core.scanners import files as file_scans
+        from repro.core.snapshot import FileEntry
+
+        real_scan = file_scans.low_level_file_scan
+        calls = {"n": 0}
+
+        def glitchy(machine, **kwargs):
+            snapshot = real_scan(machine, **kwargs)
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # A file that "appeared hidden" only in round one — the
+                # kind of one-round artifact a mid-scan write produces.
+                snapshot.entries.append(FileEntry(
+                    "\\Temp\\phantom-9f3.dat", "phantom-9f3.dat",
+                    False, 64))
+            return snapshot
+
+        monkeypatch.setattr(gb_module.file_scans,
+                            "low_level_file_scan", glitchy)
+        machine = Machine("jittery-pc", disk_mb=256, max_records=8192)
+        machine.boot()
+        HackerDefender().install(machine)
+
+        report = GhostBuster(machine, stabilize_rounds=3).inside_scan(
+            resources=("files",))
+
+        paths = [f.entry.path for f in report.findings]
+        assert not any("phantom" in path for path in paths)
+        assert report.rounds >= 2
+        # The genuine infection survives the intersection.
+        assert not report.is_clean
+
+    def test_stable_scan_exits_early(self):
+        machine = Machine("stable-pc", disk_mb=256, max_records=8192)
+        machine.boot()
+        HackerDefender().install(machine)
+
+        single = GhostBuster(machine).inside_scan(resources=("files",))
+        stabilized = GhostBuster(machine, stabilize_rounds=5).inside_scan(
+            resources=("files",))
+
+        assert _identities(stabilized) == _identities(single)
+        # Two agreeing rounds end the loop; five were never needed.
+        assert stabilized.rounds == 2
+
+    def test_single_round_report_is_unchanged(self):
+        machine = Machine("classic-pc", disk_mb=256, max_records=8192)
+        machine.boot()
+        HackerDefender().install(machine)
+        report = GhostBuster(machine, stabilize_rounds=1).inside_scan()
+        assert report.rounds == 1
+        assert not report.is_clean

@@ -92,6 +92,29 @@ class TestNoiseFilter:
         assert classify_noise(_file_finding("\\Windows\\hxdef100.exe")) \
             is None
 
+    @pytest.mark.parametrize("path", [
+        "\\Temp\\scratch.tmp:stream",
+        "\\Temp\\scratch.tmp:Zone.Identifier",
+        "\\Windows\\Prefetch\\APP-123.pf:meta",
+    ])
+    def test_ads_qualified_noise_still_classified(self, path):
+        """``file.tmp:stream`` is a stream *of* a noise file — same verdict."""
+        host = path.rsplit(":", 1)[0]
+        assert classify_noise(_file_finding(path)) == \
+            classify_noise(_file_finding(host))
+        assert classify_noise(_file_finding(path)) is not None
+
+    def test_ads_on_suspicious_host_not_noise(self):
+        assert classify_noise(
+            _file_finding("\\Windows\\hxdef100.exe:cfg")) is None
+
+    def test_drive_letter_colon_is_not_an_ads(self):
+        # The colon sits in a non-final component (the drive letter) —
+        # only a colon in the last component is an ADS separator.
+        assert classify_noise(_file_finding("c:\\temp\\evil.exe")) is None
+        assert classify_noise(_file_finding("c:\\temp\\junk.tmp")) \
+            is not None
+
     def test_non_file_findings_never_noise(self):
         finding = Finding(ResourceType.PROCESS, ProcessEntry(4, "x"),
                           "api", "raw")

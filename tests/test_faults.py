@@ -1,0 +1,434 @@
+"""The fault-injection substrate itself: plans, retries, breakers.
+
+These tests pin the substrate's two contracts — determinism (same seed
+⇒ byte-identical fault sequence, independent of thread interleaving)
+and observability (every fired fault lands in the log, the metrics
+registry, and the active audit trail).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.clock import SimClock
+from repro.disk import Disk, DiskGeometry
+from repro.errors import (ApiError, CircuitOpen, MachineUnavailable,
+                          RetryExhausted, TransientIoError)
+from repro.faults import context as faults_context
+from repro.faults.injectors import corrupt_blob, corrupt_read
+from repro.faults.plan import (FaultPlan, FaultSpec, SITE_DISK_READ,
+                               SITE_HIVE_READ, SITE_RIS_TRANSPORT,
+                               SITE_WINAPI_ENUM)
+from repro.faults.retry import (CircuitBreaker, RetryPolicy,
+                                construct_with_retry)
+from repro.telemetry.metrics import (MetricsRegistry, set_global_metrics)
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_sequence(self):
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan.default(seed=1234, rate=0.3)
+            for index in range(200):
+                plan.draw(SITE_DISK_READ, "machine-a")
+                if index % 3 == 0:
+                    plan.draw(SITE_RIS_TRANSPORT, "machine-a")
+            runs.append((plan.sequence_digest(), plan.log_dicts()))
+        assert runs[0] == runs[1]
+        assert runs[0][1]   # something actually fired at rate 0.3
+
+    def test_different_seeds_differ(self):
+        digests = set()
+        for seed in (1, 2, 3):
+            plan = FaultPlan.default(seed=seed, rate=0.3)
+            for _ in range(200):
+                plan.draw(SITE_DISK_READ)
+            digests.add(plan.sequence_digest())
+        assert len(digests) == 3
+
+    def test_streams_independent_of_interleaving(self):
+        """Per-(site, scope) streams make the digest thread-schedule-proof."""
+        def run(workers_first: bool) -> str:
+            plan = FaultPlan.default(seed=99, rate=0.4)
+            scopes = ["m1", "m2", "m3"]
+            if workers_first:
+                scopes = list(reversed(scopes))
+            threads = [threading.Thread(
+                target=lambda s=scope: [plan.draw(SITE_DISK_READ, s)
+                                        for _ in range(100)])
+                for scope in scopes]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return plan.sequence_digest()
+
+        assert run(True) == run(False)
+
+    def test_scoped_spec_only_fires_for_named_machines(self):
+        plan = FaultPlan(5, (FaultSpec(SITE_DISK_READ, mode="always",
+                                       scopes=("victim",)),))
+        assert plan.draw(SITE_DISK_READ, "bystander") is None
+        assert plan.draw(SITE_DISK_READ, "victim") is not None
+
+
+class TestFaultModes:
+    def test_always_fires_every_draw(self):
+        plan = FaultPlan(7, (FaultSpec(SITE_WINAPI_ENUM, mode="always",
+                                       kinds=("status_failure",)),))
+        faults = [plan.draw(SITE_WINAPI_ENUM) for _ in range(5)]
+        assert all(faults)
+        assert [fault.stream_seq for fault in faults] == [1, 2, 3, 4, 5]
+
+    def test_one_shot_fires_once(self):
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="one_shot"),))
+        assert plan.draw(SITE_DISK_READ) is not None
+        assert all(plan.draw(SITE_DISK_READ) is None for _ in range(20))
+
+    def test_one_shot_is_per_stream(self):
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="one_shot"),))
+        assert plan.draw(SITE_DISK_READ, "m1") is not None
+        assert plan.draw(SITE_DISK_READ, "m2") is not None
+        assert plan.draw(SITE_DISK_READ, "m1") is None
+
+    def test_burst_fires_consecutively(self):
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="burst",
+                                       rate=1.0, burst_length=3,
+                                       max_fires=3),))
+        faults = [plan.draw(SITE_DISK_READ) for _ in range(6)]
+        assert [bool(fault) for fault in faults] == \
+            [True, True, True, False, False, False]
+
+    def test_max_fires_caps_a_stream(self):
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="always",
+                                       max_fires=2),))
+        fired = [plan.draw(SITE_DISK_READ) for _ in range(10)]
+        assert sum(1 for fault in fired if fault) == 2
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(SITE_DISK_READ, mode="sometimes")
+        with pytest.raises(ValueError):
+            FaultSpec(SITE_DISK_READ, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(SITE_DISK_READ, kinds=())
+
+
+class TestObservability:
+    def test_fired_faults_counted_in_metrics(self):
+        metrics = MetricsRegistry()
+        previous = set_global_metrics(metrics)
+        try:
+            plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="always"),))
+            plan.draw(SITE_DISK_READ)
+            plan.draw(SITE_DISK_READ)
+            snapshot = metrics.snapshot()
+        finally:
+            set_global_metrics(previous)
+        assert snapshot["counters"]["faults.injected"] == 2
+        assert snapshot["counters"]["faults.injected.disk.read"] == 2
+
+    def test_fired_filters_by_site_and_scope(self):
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="always"),
+                             FaultSpec(SITE_HIVE_READ, mode="always",
+                                       kinds=("truncate",)),))
+        plan.draw(SITE_DISK_READ, "m1")
+        plan.draw(SITE_DISK_READ, "m2")
+        plan.draw(SITE_HIVE_READ, "m1")
+        assert plan.fired_count() == 3
+        assert plan.fired_count(site=SITE_DISK_READ) == 2
+        assert plan.fired_count(scope="m1") == 2
+        assert plan.fired_count(site=SITE_HIVE_READ, scope="m2") == 0
+
+
+class TestMaybeInject:
+    def test_no_active_plan_is_a_noop(self):
+        assert faults_context.maybe_inject(SITE_DISK_READ) is None
+
+    def test_kind_dispatch(self):
+        cases = (("transient", TransientIoError),
+                 ("io_error", TransientIoError),
+                 ("timeout", TransientIoError),
+                 ("status_failure", ApiError),
+                 ("drop", MachineUnavailable),
+                 ("machine_death", MachineUnavailable))
+        for kind, expected in cases:
+            plan = FaultPlan(7, (FaultSpec(SITE_WINAPI_ENUM, mode="always",
+                                           kinds=(kind,),
+                                           mean_delay_s=0.0),))
+            with faults_context.scoped(plan, scope="m1"):
+                with pytest.raises(expected):
+                    faults_context.maybe_inject(SITE_WINAPI_ENUM)
+
+    def test_machine_death_carries_the_fault(self):
+        plan = FaultPlan(7, (FaultSpec(SITE_RIS_TRANSPORT, mode="always",
+                                       kinds=("machine_death",),
+                                       mean_delay_s=0.0),))
+        with faults_context.scoped(plan, scope="m1"):
+            with pytest.raises(MachineUnavailable) as excinfo:
+                faults_context.maybe_inject(SITE_RIS_TRANSPORT)
+        assert excinfo.value.fault.kind == "machine_death"
+
+    def test_hang_charges_the_clock_and_proceeds(self):
+        clock = SimClock()
+        plan = FaultPlan(7, (FaultSpec(SITE_WINAPI_ENUM, mode="always",
+                                       kinds=("hang",),
+                                       mean_delay_s=1.0),))
+        with faults_context.scoped(plan, scope="m1", clock=clock):
+            fault = faults_context.maybe_inject(SITE_WINAPI_ENUM)
+        assert fault is not None and fault.kind == "hang"
+        assert clock.now() == pytest.approx(fault.delay_s)
+        assert fault.delay_s > 0
+
+    def test_thread_scope_beats_global_plan(self):
+        global_ = FaultPlan(1, (FaultSpec(SITE_DISK_READ, mode="always"),))
+        local = FaultPlan(2, (FaultSpec(SITE_HIVE_READ, mode="always",
+                                        kinds=("truncate",)),))
+        faults_context.install_global_plan(global_)
+        try:
+            with faults_context.scoped(local, scope="m1"):
+                assert faults_context.active_plan() is local
+            assert faults_context.active_plan() is global_
+        finally:
+            faults_context.install_global_plan(None)
+        assert faults_context.active_plan() is None
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transients(self):
+        clock = SimClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(clock.now())
+            if len(attempts) < 3:
+                raise TransientIoError("try again")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                             jitter_seed=9)
+        assert policy.run("op", flaky, clock=clock) == "done"
+        assert len(attempts) == 3
+        # Backoff doubled between attempts, charged to the sim clock.
+        assert attempts[0] == 0.0
+        assert attempts[1] == pytest.approx(policy.delay_for(1))
+        assert attempts[2] == pytest.approx(policy.delay_for(1)
+                                            + policy.delay_for(2))
+
+    def test_exhaustion_raises_with_cause(self):
+        policy = RetryPolicy(max_attempts=2)
+
+        def always_fails():
+            raise TransientIoError("nope")
+
+        with pytest.raises(RetryExhausted) as excinfo:
+            policy.run("op", always_fails)
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.last_error, TransientIoError)
+
+    def test_deterministic_backoff(self):
+        one = RetryPolicy(jitter_seed=5)
+        two = RetryPolicy(jitter_seed=5)
+        other = RetryPolicy(jitter_seed=6)
+        delays_one = [one.delay_for(n) for n in (1, 2, 3)]
+        assert delays_one == [two.delay_for(n) for n in (1, 2, 3)]
+        assert delays_one != [other.delay_for(n) for n in (1, 2, 3)]
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=2.0)
+        assert policy.delay_for(10) <= 2.0 * 1.25
+
+    def test_deadline_stops_retrying(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=50, base_delay_s=1.0,
+                             max_delay_s=1.0, deadline_s=2.5)
+        calls = []
+
+        def always_fails():
+            calls.append(clock.now())
+            raise TransientIoError("nope")
+
+        with pytest.raises(RetryExhausted):
+            policy.run("op", always_fails, clock=clock)
+        assert len(calls) < 10   # nowhere near the 50-attempt budget
+
+    def test_non_retryable_passes_through(self):
+        policy = RetryPolicy(max_attempts=5)
+
+        def bug():
+            raise ValueError("logic error")
+
+        with pytest.raises(ValueError):
+            policy.run("op", bug)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(3):
+            breaker.allow("m1")
+            breaker.record_failure("m1")
+        with pytest.raises(CircuitOpen):
+            breaker.allow("m1")
+        assert breaker.state("m1") == "open"
+        assert breaker.open_scopes() == ["m1"]
+        # Other scopes unaffected.
+        breaker.allow("m2")
+        assert breaker.state("m2") == "closed"
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure("m1")
+        breaker.record_success("m1")
+        breaker.record_failure("m1")
+        breaker.allow("m1")   # still closed: failures never hit 2 in a row
+
+    def test_half_open_probe(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_after_s=10.0,
+                                 clock=clock)
+        breaker.record_failure("m1")
+        breaker.record_failure("m1")
+        with pytest.raises(CircuitOpen):
+            breaker.allow("m1")
+        clock.advance(11.0)
+        breaker.allow("m1")          # half-open: one probe admitted
+        breaker.record_success("m1")
+        breaker.allow("m1")          # success closed it for good
+        assert breaker.state("m1") == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_after_s=10.0,
+                                 clock=clock)
+        breaker.record_failure("m1")
+        breaker.record_failure("m1")
+        clock.advance(11.0)
+        breaker.allow("m1")
+        breaker.record_failure("m1")
+        with pytest.raises(CircuitOpen):
+            breaker.allow("m1")
+
+
+class TestConstructWithRetry:
+    def test_transient_construction_retried(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransientIoError("flaky")
+            return "built"
+
+        assert construct_with_retry("thing", factory) == "built"
+        assert len(calls) == 2
+
+    def test_exhaustion_reraises_last_error(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            raise TransientIoError("never")
+
+        with pytest.raises(TransientIoError):
+            construct_with_retry("thing", factory, attempts=2)
+        assert len(calls) == 2
+
+
+class TestDiskFaultInjector:
+    def _disk(self) -> Disk:
+        disk = Disk(DiskGeometry.from_megabytes(1))
+        disk.write_bytes(0, bytes(range(256)) * 4)
+        return disk
+
+    def test_io_error_surfaces_after_driver_retries(self):
+        disk = self._disk()
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="always",
+                                       kinds=("io_error",)),))
+        from repro.faults.injectors import DiskFaultInjector
+        disk.fault_injector = DiskFaultInjector(plan, disk, scope="m1")
+        with pytest.raises(TransientIoError):
+            disk.read_bytes(0, 64)
+        # always-mode: every driver-level re-read faulted too.
+        assert plan.fired_count() >= 2
+
+    def test_driver_retry_recovers_from_one_shot(self):
+        disk = self._disk()
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="one_shot",
+                                       kinds=("io_error",)),))
+        from repro.faults.injectors import DiskFaultInjector
+        disk.fault_injector = DiskFaultInjector(plan, disk, scope="m1")
+        # The single fault is absorbed by the driver-level re-read.
+        assert disk.read_bytes(0, 64) == bytes(range(64))
+        assert plan.fired_count() == 1
+
+    def test_torn_read_bumps_generation(self):
+        disk = self._disk()
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="one_shot",
+                                       kinds=("torn_read",)),))
+        from repro.faults.injectors import DiskFaultInjector
+        disk.fault_injector = DiskFaultInjector(plan, disk, scope="m1")
+        generation = disk.generation
+        damaged = disk.read_bytes(0, 64)
+        assert len(damaged) == 64
+        assert damaged[:32] == bytes(range(32))      # head intact
+        assert damaged[32:] == b"\x00" * 32          # torn tail
+        assert disk.generation == generation + 1     # caches invalidated
+
+    def test_slow_read_charges_clock_returns_clean(self):
+        disk = self._disk()
+        clock = SimClock()
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="one_shot",
+                                       kinds=("slow_read",),
+                                       mean_delay_s=0.5),))
+        from repro.faults.injectors import DiskFaultInjector
+        disk.fault_injector = DiskFaultInjector(plan, disk, clock=clock,
+                                                scope="m1")
+        assert disk.read_bytes(0, 64) == bytes(range(64))
+        assert clock.now() > 0
+
+    def test_detached_disk_reads_clean(self):
+        disk = self._disk()
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="always",
+                                       kinds=("io_error",)),))
+        from repro.faults.injectors import DiskFaultInjector
+        disk.fault_injector = DiskFaultInjector(plan, disk, scope="m1")
+        disk.fault_injector = None
+        assert disk.read_bytes(0, 16) == bytes(range(16))
+
+    def test_clone_does_not_inherit_injector(self):
+        disk = self._disk()
+        plan = FaultPlan(7, (FaultSpec(SITE_DISK_READ, mode="always",
+                                       kinds=("io_error",)),))
+        from repro.faults.injectors import DiskFaultInjector
+        disk.fault_injector = DiskFaultInjector(plan, disk, scope="m1")
+        assert disk.clone().fault_injector is None
+
+
+class TestCorruptionHelpers:
+    def _fault(self, kind: str, seq: int = 1):
+        from repro.faults.plan import InjectedFault
+        return InjectedFault(site=SITE_HIVE_READ, kind=kind, scope="m1",
+                             stream_seq=seq)
+
+    def test_corruption_is_a_function_of_fault_identity(self):
+        blob = bytes(range(256))
+        first = corrupt_blob(blob, self._fault("corrupt"))
+        second = corrupt_blob(blob, self._fault("corrupt"))
+        different = corrupt_blob(blob, self._fault("corrupt", seq=2))
+        assert first == second
+        assert first != blob
+        assert different != first
+
+    def test_truncate_shrinks(self):
+        blob = bytes(range(256))
+        assert len(corrupt_blob(blob, self._fault("truncate"))) < len(blob)
+
+    def test_read_corruption_preserves_length(self):
+        data = bytes(range(128))
+        for kind in ("torn_read", "bit_flip"):
+            damaged = corrupt_read(data, self._fault(kind))
+            assert len(damaged) == len(data)
+            assert damaged != data

@@ -193,3 +193,46 @@ def test_diff_monotone_in_hiding(lie_set, truth_set):
                                   _snapshot("truth", truth_set))
     assert {finding.entry.path for finding in full} <= \
         {finding.entry.path for finding in more_hidden}
+
+
+# -- fault-plan determinism ---------------------------------------------------
+
+@given(seed=st.integers(min_value=0, max_value=2**63),
+       rate=st.floats(min_value=0.01, max_value=0.9),
+       draws=st.integers(min_value=1, max_value=300))
+@settings(max_examples=30, deadline=None)
+def test_fault_plan_same_seed_same_sequence(seed, rate, draws):
+    """Identical seeds produce byte-identical fault sequences."""
+    from repro.faults.plan import (FaultPlan, SITE_DISK_READ,
+                                  SITE_WINAPI_ENUM)
+
+    logs = []
+    for _ in range(2):
+        plan = FaultPlan.default(seed=seed, rate=rate)
+        for index in range(draws):
+            plan.draw(SITE_DISK_READ, "m1")
+            if index % 2 == 0:
+                plan.draw(SITE_WINAPI_ENUM, "m2")
+        logs.append((plan.sequence_digest(), plan.log_dicts()))
+    assert logs[0] == logs[1]
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=5, deadline=None)
+def test_chaos_scan_is_reproducible(seed):
+    """Same chaos seed ⇒ identical DetectionReport, fault for fault."""
+    from repro.core import GhostBuster
+    from repro.core.reporting import report_to_dict
+    from repro.faults.plan import FaultPlan
+    from repro.ghostware import HackerDefender
+    from repro.machine import Machine
+
+    outcomes = []
+    for _ in range(2):
+        machine = Machine("prop-pc", disk_mb=256, max_records=8192)
+        machine.boot()
+        HackerDefender().install(machine)
+        plan = FaultPlan.default(seed=seed, rate=0.08)
+        report = GhostBuster(machine, fault_plan=plan).inside_scan()
+        outcomes.append((report_to_dict(report), plan.sequence_digest()))
+    assert outcomes[0] == outcomes[1]

@@ -292,6 +292,25 @@ class TestFleetHealth:
         for line in path.read_text().splitlines():
             json.loads(line)   # every line is standalone JSON
 
+    def test_truncated_jsonl_line_skipped_with_warning(self, tmp_path):
+        # A writer that died mid-record leaves a torn final line; the
+        # loader must keep every intact record and warn, not crash.
+        fleet = self.make_fleet(size=2)
+        result = RisServer().sweep(fleet, max_workers=1,
+                                   collect_telemetry=True)
+        path = tmp_path / "sweep.jsonl"
+        result.health.write_jsonl(path)
+        intact = load_jsonl(path)
+
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"type": "machine", "mach')   # torn record
+        path.write_text("\n".join(lines) + "\n")
+
+        with pytest.warns(UserWarning, match="malformed telemetry"):
+            torn = load_jsonl(path)
+        assert len(torn["machine"]) == len(intact["machine"])
+        assert torn["sweep"] == intact["sweep"]
+
     def test_sweep_without_telemetry_has_no_health(self):
         fleet = self.make_fleet(size=2, infected=())
         result = RisServer().sweep(fleet, max_workers=2)
