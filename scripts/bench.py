@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Substrate hot-path benchmark: the trajectory future PRs must beat.
 
-Measures seven hot paths and writes the timings to ``BENCH_PR3.json``:
+Measures nine hot paths and writes the timings to ``BENCH_PR4.json``:
 
 1. **raw MFT parse (cold)** — one full namespace parse of a 1000-file
    disk with every cache cleared;
@@ -24,7 +24,16 @@ Measures seven hot paths and writes the timings to ``BENCH_PR3.json``:
 7. **chaos sweep** — the same fleet swept fault-free and then under a
    5% deterministic fault plan, gating that recall is unchanged (same
    infected machines, same finding identities), nothing errors or
-   quarantines, and the plan actually fired faults.
+   quarantines, and the plan actually fired faults;
+8. **delta rescan** — the low-level truth re-derivation (full MFT
+   namespace plus every raw hive parse) on a 1000-file machine, cold vs
+   warm after K small mutations, where the warm arm repairs its caches
+   through the change journal instead of re-walking the volume — gated
+   at >= 10x with byte-identical findings;
+9. **delta fleet sweep** — the 50-machine fleet swept ``mode="delta"``
+   against a seeded :class:`BaselineStore` with 3 machines changed,
+   vs a full re-sweep — gated at >= 5x with identical
+   ``infected_machines``.
 
 Every cached benchmark also reports the cache hit/miss counters the
 telemetry registry recorded while it ran, so the JSON shows *why* the
@@ -49,12 +58,13 @@ import gc
 import json
 import statistics
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core import RisServer                            # noqa: E402
+from repro.core import BaselineStore, GhostBuster, RisServer  # noqa: E402
 from repro.core.diff import DetectionReport, cross_view_diff  # noqa: E402
 from repro.core.scanners.registry import low_level_asep_scan  # noqa: E402
 from repro.core.snapshot import (FileEntry, ResourceType,     # noqa: E402
@@ -70,7 +80,7 @@ from repro.telemetry.metrics import (NullMetrics,           # noqa: E402
                                      set_global_metrics)
 from repro.workloads import populate_machine                # noqa: E402
 
-OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
 
 
 def clear_caches(*disks) -> None:
@@ -94,6 +104,20 @@ def cache_counters() -> dict:
     counters = global_metrics().snapshot()["counters"]
     return {name: counters[name] for name in sorted(counters)
             if "cache" in name or "memo" in name}
+
+
+def delta_counters() -> dict:
+    """The journal / bin-delta repair counters, for bench attribution."""
+    counters = global_metrics().snapshot()["counters"]
+    return {name: counters[name] for name in sorted(counters)
+            if name.startswith(("journal.", "hive.delta.", "ris.delta."))}
+
+
+def finding_identities(report) -> str:
+    """Canonical JSON of a report's non-noise findings, for byte equality."""
+    return json.dumps(sorted(
+        (f.resource_type.value, str(f.entry.identity))
+        for f in report.findings if not f.is_noise))
 
 
 # -- profiles -----------------------------------------------------------------
@@ -384,6 +408,128 @@ def bench_chaos_sweep(fleet_size: int, workers: int, file_count: int,
     }
 
 
+def bench_delta_rescan(file_count: int, mutations: int) -> dict:
+    """Warm journal-patched rescan vs cold full scan after K mutations.
+
+    The cold arm is what every rescan paid before the change journal: a
+    full MFT namespace parse plus a cold parse of every registry hive.
+    The warm arm applies ``mutations`` small changes per round (file
+    create, content rewrite, ADS add, one registry value edit, filler
+    creates) and re-derives the same truth through the journal-patch /
+    bin-delta path.  Both arms then run a full inside detection at the
+    same disk state and their findings must serialize identically.
+    """
+    machine = golden_machine(file_count)
+    machine.boot()
+    HackerDefender().install(machine)
+    machine.registry.create_key("HKLM\\SOFTWARE\\BenchDelta")
+    disk = machine.disk
+    port = machine.kernel.disk_port
+
+    def derive_truth():
+        # The low-level truth re-derivation a scan's cache miss pays:
+        # the full MFT namespace plus every raw hive parse off it.
+        parser = MftParser(port.read_bytes)
+        entries = parser.parse()
+        for hive_file in HIVE_FILES.values():
+            hive_parser.parse_hive(parser.read_file_content(hive_file))
+        return entries
+
+    def mutate(round_no: int) -> None:
+        volume = machine.volume
+        base = f"\\Temp\\delta{round_no:02d}"
+        volume.create_file(f"{base}-new.bin", b"fresh")
+        volume.write_file(f"{base}-new.bin", b"rewritten")
+        volume.write_stream(f"{base}-new.bin", "marker", b"ads")
+        machine.registry.set_value("HKLM\\SOFTWARE\\BenchDelta",
+                                   "round", str(round_no))
+        for extra in range(max(0, mutations - 4)):
+            volume.create_file(f"{base}-extra{extra}.bin", b"x")
+
+    def cold():
+        clear_caches(disk)
+        derive_truth()
+
+    cold_s = timed(cold)
+
+    reset_global_metrics()
+    derive_truth()              # warm the caches at the current generation
+    warm_samples = []
+    for round_no in range(3):
+        mutate(round_no)
+        warm_samples.append(timed(derive_truth, repeat=1))
+    warm_s = min(warm_samples)
+
+    warm_report = GhostBuster(machine).detect()
+    clear_caches(disk)
+    cold_report = GhostBuster(machine).detect()
+    identical = (finding_identities(warm_report)
+                 == finding_identities(cold_report))
+    return {
+        "file_count": file_count,
+        "mutations_per_round": mutations,
+        "cold_s": cold_s,
+        "warm_delta_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "findings_identical": identical,
+        "delta_counters": delta_counters(),
+    }
+
+
+def bench_delta_sweep(fleet_size: int, workers: int, client_wait: float,
+                      file_count: int, changed: int) -> dict:
+    """Delta sweep against seeded baselines vs a full re-sweep.
+
+    A golden-image fleet is swept once in full with a
+    :class:`BaselineStore` attached (seeding one baseline per machine),
+    ``changed`` machines then receive one small write each, and the
+    fleet is swept again in ``mode="delta"`` — which must skip every
+    unchanged machine — and once more in full for the reference wall
+    clock and verdict.
+    """
+    golden = golden_machine(file_count)
+    infected = tuple(range(0, fleet_size, max(1, fleet_size // 3)))[:3]
+    fleet = cloned_fleet(golden, fleet_size, infected)
+    server = RisServer(client_wait_seconds=client_wait)
+
+    def identities(result):
+        return sorted((name, finding_identities(report))
+                      for name, report in result.reports.items())
+
+    with tempfile.TemporaryDirectory(prefix="gb-bench-baselines-") as tmp:
+        store = BaselineStore(tmp)
+        seed = server.sweep(fleet, max_workers=workers, mode="full",
+                            baseline_store=store)
+        step = max(1, fleet_size // max(1, changed))
+        changed_names = []
+        for index in range(changed):
+            machine = fleet[(index * step + 1) % fleet_size]
+            machine.volume.create_file(
+                f"\\Temp\\delta-{machine.name}.bin", b"delta payload")
+            changed_names.append(machine.name)
+        delta = server.sweep(fleet, max_workers=workers, mode="delta",
+                             baseline_store=store)
+        full = server.sweep(fleet, max_workers=workers)
+
+    return {
+        "fleet_size": fleet_size,
+        "workers": workers,
+        "client_wait_s": client_wait,
+        "changed_machines": changed_names,
+        "seed_full_s": seed.wall_seconds,
+        "delta_s": delta.wall_seconds,
+        "full_s": full.wall_seconds,
+        "speedup": full.wall_seconds / delta.wall_seconds,
+        "skipped": len(delta.delta_skipped),
+        "rescanned": fleet_size - len(delta.delta_skipped),
+        "infected_identical":
+            delta.infected_machines == full.infected_machines,
+        "findings_identical": identities(delta) == identities(full),
+        "infected_machines": delta.infected_machines,
+        "delta_stats": delta.delta_stats,
+    }
+
+
 def write_telemetry_artifacts(directory: Path) -> None:
     """A tiny telemetry-collecting sweep for the CI artifact upload."""
     from repro.core.risboot import RisServer as _RisServer
@@ -408,7 +554,7 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny profiles, no perf gates (CI)")
     parser.add_argument("--out", type=Path, default=None,
-                        help="output JSON path (default: BENCH_PR2.json "
+                        help="output JSON path (default: BENCH_PR4.json "
                              "for full runs, none for --smoke)")
     parser.add_argument("--telemetry-out", type=Path, default=None,
                         help="directory for sweep telemetry JSONL + "
@@ -418,14 +564,16 @@ def main() -> int:
     if args.smoke:
         profile = dict(files=120, reads=10, scans=3, fleet=6, workers=2,
                        client_wait=0.02, diff_entries=2_000,
-                       overhead_reads=500)
+                       overhead_reads=500, delta_mutations=4,
+                       delta_changed=3)
     else:
         profile = dict(files=1000, reads=40, scans=5, fleet=50, workers=8,
                        client_wait=0.25, diff_entries=10_000,
-                       overhead_reads=10_000)
+                       overhead_reads=10_000, delta_mutations=10,
+                       delta_changed=3)
 
     print(f"profile: {profile}")
-    results = {"pr": 3, "mode": "smoke" if args.smoke else "full",
+    results = {"pr": 4, "mode": "smoke" if args.smoke else "full",
                "profile": profile, "timings": {}}
     timings = results["timings"]
 
@@ -466,6 +614,27 @@ def main() -> int:
           f"nulled {overhead['nulled_s'] * 1000:.1f} ms "
           f"({overhead['overhead_pct']:+.1f}%)")
 
+    timings["delta_rescan"] = bench_delta_rescan(
+        profile["files"], profile["delta_mutations"])
+    rescan = timings["delta_rescan"]
+    print(f"delta rescan ({profile['files']} files, "
+          f"{rescan['mutations_per_round']} mutations/round): "
+          f"cold {rescan['cold_s'] * 1000:.1f} ms, "
+          f"warm {rescan['warm_delta_s'] * 1000:.2f} ms "
+          f"({rescan['speedup']:.1f}x), findings identical: "
+          f"{rescan['findings_identical']}")
+
+    timings["delta_sweep"] = bench_delta_sweep(
+        profile["fleet"], profile["workers"], profile["client_wait"],
+        file_count=min(profile["files"], 120),
+        changed=profile["delta_changed"])
+    dsweep = timings["delta_sweep"]
+    print(f"delta sweep ({dsweep['fleet_size']} machines, "
+          f"{len(dsweep['changed_machines'])} changed): "
+          f"full {dsweep['full_s']:.2f}s, delta {dsweep['delta_s']:.2f}s "
+          f"({dsweep['speedup']:.1f}x), {dsweep['skipped']} skipped, "
+          f"infected identical: {dsweep['infected_identical']}")
+
     results["chaos"] = bench_chaos_sweep(
         min(profile["fleet"], 12), profile["workers"],
         file_count=min(profile["files"], 120))
@@ -483,6 +652,12 @@ def main() -> int:
         ("chaos sweep zero errors", not chaos["errors"]),
         ("chaos sweep zero quarantines", not chaos["quarantined"]),
         ("chaos sweep faults actually fired", chaos["faults_fired"] > 0),
+        ("delta rescan findings identical", rescan["findings_identical"]),
+        ("delta sweep infected identical", dsweep["infected_identical"]),
+        ("delta sweep findings identical", dsweep["findings_identical"]),
+        ("delta sweep skipped every unchanged machine",
+         dsweep["skipped"] == dsweep["fleet_size"]
+         - len(dsweep["changed_machines"])),
     )
     for label, passed in chaos_gates:
         print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
@@ -501,6 +676,8 @@ def main() -> int:
              timings["raw_asep_scan"]["speedup"] >= 5),
             ("RIS sweep speedup >= 3x", sweep["speedup"] >= 3),
             ("RIS sweep findings identical", sweep["findings_identical"]),
+            ("delta rescan speedup >= 10x", rescan["speedup"] >= 10),
+            ("delta sweep speedup >= 5x", dsweep["speedup"] >= 5),
         )
         for label, passed in gates:
             print(f"  [{'PASS' if passed else 'FAIL'}] {label}")

@@ -13,7 +13,9 @@ format without a real fleet.
 The JSONL format is written by
 :meth:`repro.telemetry.health.FleetHealth.write_jsonl`: one record per
 line, ``type`` in {``sweep``, ``machine``, ``span``, ``audit``,
-``metrics``}.
+``delta``, ``metrics``}.  Delta sweeps add one ``delta`` record with
+the incremental provenance (baseline ids, skipped machines, repair
+counters); ``--demo --delta`` produces one.
 """
 
 from __future__ import annotations
@@ -75,6 +77,32 @@ def render(records: dict) -> str:
         lines.append("interceptions:")
         for (layer, api, owner), count in counted.most_common(10):
             lines.append(f"  {layer:<14} {api:<34} by {owner} x{count}")
+    deltas = records.get("delta", [])
+    if deltas:
+        delta = deltas[0]
+        skipped = delta.get("skipped", [])
+        stats = delta.get("stats", {})
+        baseline_ids = delta.get("baseline_ids", {})
+        patched = int(stats.get("journal.records_patched", 0))
+        reparsed = int(stats.get("hive.delta.bins_reparsed", 0))
+        fallbacks = int(stats.get("journal.patch_fallback", 0)
+                        + stats.get("journal.overflow", 0)
+                        + stats.get("hive.delta.fallback", 0))
+        lines.append(f"delta sweep: {len(skipped)} machine(s) served "
+                     f"from baseline, {patched} MFT record(s) patched, "
+                     f"{reparsed} hive bin(s) reparsed, "
+                     f"{fallbacks} full-reparse fallback(s)")
+        if skipped:
+            lines.append("  skipped (verdict from baseline):")
+            for name in skipped:
+                lines.append(f"    {name:<14} "
+                             f"{baseline_ids.get(name, '?')}")
+        rescanned = sorted(set(baseline_ids) - set(skipped))
+        if rescanned:
+            lines.append("  re-scanned (baseline advanced):")
+            for name in rescanned:
+                lines.append(f"    {name:<14} "
+                             f"{baseline_ids.get(name, '?')}")
     metrics = records.get("metrics", [])
     if metrics:
         counters = metrics[0].get("counters", {})
@@ -85,7 +113,10 @@ def render(records: dict) -> str:
     return "\n".join(lines)
 
 
-def run_demo(out_path: Path) -> Path:
+def run_demo(out_path: Path, delta: bool = False) -> Path:
+    import tempfile
+
+    from repro.core.baseline import BaselineStore
     from repro.core.risboot import RisServer
     from repro.ghostware import HackerDefender
     from repro.machine import Machine
@@ -98,8 +129,17 @@ def run_demo(out_path: Path) -> Path:
         machine.boot()
         machines.append(machine)
     HackerDefender().install(machines[1])
-    result = RisServer().sweep(machines, max_workers=3,
-                               collect_telemetry=True)
+    server = RisServer()
+    if delta:
+        store = BaselineStore(tempfile.mkdtemp(prefix="gb-baselines-"))
+        server.sweep(machines, mode="full", baseline_store=store)
+        machines[2].volume.create_file("\\Temp\\dropped.txt", b"payload")
+        result = server.sweep(machines, max_workers=3,
+                              collect_telemetry=True, mode="delta",
+                              baseline_store=store)
+    else:
+        result = server.sweep(machines, max_workers=3,
+                              collect_telemetry=True)
     result.health.write_jsonl(out_path)
     return out_path
 
@@ -110,12 +150,15 @@ def main(argv=None) -> int:
     parser.add_argument("jsonl", nargs="?", help="telemetry JSONL file")
     parser.add_argument("--demo", action="store_true",
                         help="generate a demo sweep first")
+    parser.add_argument("--delta", action="store_true",
+                        help="make --demo run a baseline-seeded delta "
+                             "sweep (adds the delta provenance record)")
     parser.add_argument("--out", default="SWEEP_DEMO.jsonl",
                         help="where --demo writes its JSONL")
     options = parser.parse_args(argv)
 
     if options.demo:
-        path = run_demo(Path(options.out))
+        path = run_demo(Path(options.out), delta=options.delta)
         print(f"wrote {path}\n")
     elif options.jsonl:
         path = Path(options.jsonl)

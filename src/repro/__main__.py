@@ -18,6 +18,7 @@ import argparse
 import json
 import logging
 import sys
+import tempfile
 
 LOGGER_NAME = "repro.cli"
 
@@ -148,9 +149,24 @@ def cmd_sweep(options) -> int:
         machine.boot()
         machines.append(machine)
     Aphex().install(machines[2])
+    store = None
+    if options.baseline_dir or options.delta:
+        from repro.core.baseline import BaselineStore
+        directory = options.baseline_dir or tempfile.mkdtemp(
+            prefix="gb-baselines-")
+        store = BaselineStore(directory)
     server = RisServer(fault_plan=_chaos_plan(options),
                        max_retries=options.max_retries)
-    result = server.sweep(machines, collect_telemetry=options.trace)
+    if options.delta:
+        # Two sweeps in one sitting: a full pass seeds the baselines,
+        # then one client changes, and the delta pass skips the rest.
+        server.sweep(machines, mode="full", baseline_store=store)
+        machines[1].volume.create_file("\\Temp\\dropped.txt", b"payload")
+        log.info("seeded baselines in %s; client-1 changed on disk\n",
+                 store.directory)
+    result = server.sweep(machines, collect_telemetry=options.trace,
+                          mode="delta" if options.delta else "full",
+                          baseline_store=store)
     if options.json:
         payload = {
             "machines": {name: {"findings": len(report.findings),
@@ -161,7 +177,12 @@ def cmd_sweep(options) -> int:
             "retries": result.retry_counts,
             "infected": result.infected_machines,
             "wall_seconds": result.wall_seconds,
+            "mode": result.mode,
         }
+        if result.mode == "delta":
+            payload["delta"] = {"skipped": result.delta_skipped,
+                                "baseline_ids": result.baseline_ids,
+                                "stats": result.delta_stats}
         if result.health is not None:
             payload["health"] = [health.to_dict()
                                  for health in result.health.machines]
@@ -229,6 +250,13 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="scan-until-stable rounds for demo "
                              "(default 1 = single scan)")
+    parser.add_argument("--baseline-dir", default=None, metavar="DIR",
+                        help="persist per-machine scan baselines in DIR "
+                             "(sweep; seeds later --delta sweeps)")
+    parser.add_argument("--delta", action="store_true",
+                        help="demo a delta sweep: seed baselines with a "
+                             "full pass, change one client, then re-sweep "
+                             "skipping the unchanged ones")
     options = parser.parse_args(argv)
     _configure_logging(options.verbose, to_stderr=options.json)
     return COMMANDS[options.command](options)

@@ -31,9 +31,11 @@ from repro.core.vmscan import vm_outside_scan, automated_winpe_vm_scan
 from repro.core.anomaly import MassHidingAlert, check_mass_hiding
 from repro.core.ads import AdsEntry, executable_streams, scan_alternate_streams
 from repro.core.risboot import RisServer, RisSweepResult
+from repro.core.baseline import BaselineStore, MachineBaseline
 from repro.core.gatekeeper import AsepChange, GatekeeperMonitor, HookChange
 from repro.core.reporting import (report_to_dict, report_to_json,
-                                  save_report_to_volume, load_report_dict)
+                                  report_from_dict, save_report_to_volume,
+                                  load_report_dict)
 
 __all__ = [
     "FileEntry", "ModuleEntry", "ProcessEntry", "RegistryHookEntry",
@@ -48,7 +50,8 @@ __all__ = [
     "MassHidingAlert", "check_mass_hiding",
     "AdsEntry", "scan_alternate_streams", "executable_streams",
     "RisServer", "RisSweepResult",
+    "BaselineStore", "MachineBaseline",
     "GatekeeperMonitor", "AsepChange", "HookChange",
-    "report_to_dict", "report_to_json", "save_report_to_volume",
-    "load_report_dict",
+    "report_to_dict", "report_to_json", "report_from_dict",
+    "save_report_to_volume", "load_report_dict",
 ]

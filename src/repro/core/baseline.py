@@ -1,0 +1,137 @@
+"""Persistent per-machine scan baselines for delta fleet sweeps.
+
+The paper's deployment story is *periodic* scanning: the same fleet,
+swept again and again, with almost every machine unchanged between
+sweeps.  A :class:`BaselineStore` keeps, per machine, the last verdict
+and the disk generation it was computed at, persisted as JSONL on the
+operator's side (never on the suspect machines).  The delta sweep then:
+
+* skips machines whose disk generation still matches the stored
+  baseline, rehydrating the stored report instead of re-scanning;
+* re-scans the rest (incrementally, via the change-journal cache
+  repair) and advances their baselines;
+* uses the stored per-machine scan timings to dispatch the historically
+  slowest machines first (longest-processing-time-first keeps the
+  parallel sweep's makespan near optimal).
+
+Storage is append-only JSONL — one record per baseline update, latest
+record per machine wins — so a torn write can lose at most the final
+line, and that loss degrades to one extra full scan, never to a wrong
+verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.diff import DetectionReport
+from repro.core.reporting import report_from_dict, report_to_dict
+
+logger = logging.getLogger(__name__)
+
+BASELINE_FILE = "baselines.jsonl"
+
+
+@dataclass(frozen=True)
+class MachineBaseline:
+    """One machine's stored verdict and the state it was computed at."""
+
+    machine: str
+    baseline_id: str
+    disk_generation: int
+    scan_seconds: float
+    report: Dict                    # report_to_dict() document
+
+    def rehydrate(self, mode: Optional[str] = None) -> DetectionReport:
+        """Rebuild the stored report; ``mode`` overrides provenance."""
+        document = dict(self.report)
+        if mode is not None:
+            document = dict(document, mode=mode)
+        return report_from_dict(document)
+
+
+def _baseline_id(machine: str, disk_generation: int, report: Dict) -> str:
+    """Deterministic id: same machine, generation and verdict → same id."""
+    digest = hashlib.sha256(
+        json.dumps(report, sort_keys=True).encode("utf-8")).hexdigest()
+    return f"{machine}@g{disk_generation}-{digest[:12]}"
+
+
+class BaselineStore:
+    """JSONL-backed map of machine name → latest :class:`MachineBaseline`."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.path = os.path.join(directory, BASELINE_FILE)
+        self._lock = threading.Lock()
+        self._baselines: Dict[str, MachineBaseline] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    baseline = MachineBaseline(
+                        machine=record["machine"],
+                        baseline_id=record["baseline_id"],
+                        disk_generation=record["disk_generation"],
+                        scan_seconds=record.get("scan_seconds", 0.0),
+                        report=record["report"],
+                    )
+                except (ValueError, KeyError, TypeError) as exc:
+                    # A torn tail line loses one update, not the store.
+                    logger.warning("skipping torn baseline line %d in %s: %s",
+                                   line_no, self.path, exc)
+                    continue
+                self._baselines[baseline.machine] = baseline
+
+    def get(self, machine: str) -> Optional[MachineBaseline]:
+        with self._lock:
+            return self._baselines.get(machine)
+
+    def machines(self) -> List[str]:
+        with self._lock:
+            return sorted(self._baselines)
+
+    def scan_seconds(self, machine: str) -> Optional[float]:
+        """Historical scan cost, for longest-first dispatch ordering."""
+        baseline = self.get(machine)
+        return baseline.scan_seconds if baseline is not None else None
+
+    def put(self, machine: str, report: DetectionReport,
+            disk_generation: int,
+            scan_seconds: float = 0.0) -> MachineBaseline:
+        """Record a fresh verdict; appends one JSONL line and returns it."""
+        document = report_to_dict(report)
+        baseline = MachineBaseline(
+            machine=machine,
+            baseline_id=_baseline_id(machine, disk_generation, document),
+            disk_generation=disk_generation,
+            scan_seconds=scan_seconds,
+            report=document,
+        )
+        line = json.dumps({
+            "machine": baseline.machine,
+            "baseline_id": baseline.baseline_id,
+            "disk_generation": baseline.disk_generation,
+            "scan_seconds": baseline.scan_seconds,
+            "report": baseline.report,
+        }, sort_keys=True)
+        with self._lock:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+            self._baselines[machine] = baseline
+        return baseline

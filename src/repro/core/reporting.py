@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
-from repro.core.diff import DetectionReport, Finding
+from repro.core.diff import DetectionReport, Finding, ScanConfidence
 from repro.core.snapshot import (FileEntry, ModuleEntry, ProcessEntry,
                                  RegistryHookEntry, ResourceType)
 
@@ -72,6 +72,55 @@ def report_to_json(report: DetectionReport, indent: int = 2) -> str:
     """Stable JSON rendering (NULs in registry names are escaped)."""
     return json.dumps(report_to_dict(report), indent=indent,
                       sort_keys=True)
+
+
+def entry_from_dict(resource_type: ResourceType, payload: Dict):
+    """Inverse of :func:`_entry_to_dict` for the four typed entries."""
+    if resource_type is ResourceType.FILE:
+        return FileEntry(path=payload["path"], name=payload["name"],
+                         is_directory=payload["is_directory"],
+                         size=payload["size"])
+    if resource_type is ResourceType.REGISTRY:
+        return RegistryHookEntry(location=payload["location"],
+                                 key_path=payload["key_path"],
+                                 name=payload["name"], data=payload["data"])
+    if resource_type is ResourceType.PROCESS:
+        return ProcessEntry(pid=payload["pid"], name=payload["name"])
+    if resource_type is ResourceType.MODULE:
+        return ModuleEntry(pid=payload["pid"],
+                           process_name=payload["process_name"],
+                           module_path=payload["module_path"])
+    raise ValueError(f"cannot rebuild entry for {resource_type}")
+
+
+def finding_from_dict(payload: Dict) -> Finding:
+    """Inverse of :func:`finding_to_dict`."""
+    resource_type = ResourceType(payload["resource_type"])
+    return Finding(resource_type=resource_type,
+                   entry=entry_from_dict(resource_type, payload["entry"]),
+                   lie_view=payload["lie_view"],
+                   truth_view=payload["truth_view"],
+                   noise_reason=payload.get("noise_reason"))
+
+
+def report_from_dict(document: Dict) -> DetectionReport:
+    """Rebuild a report from :func:`report_to_dict` output.
+
+    The round-trip is what lets a delta sweep serve an unchanged
+    machine's verdict from its stored baseline without re-scanning —
+    findings, per-layer confidence and durations all survive.
+    """
+    return DetectionReport(
+        machine_name=document["machine"],
+        mode=document["mode"],
+        findings=[finding_from_dict(finding)
+                  for finding in document.get("findings", ())],
+        durations=dict(document.get("durations", {})),
+        confidence={layer: ScanConfidence(value) for layer, value
+                    in document.get("confidence", {}).items()},
+        layer_errors=dict(document.get("layer_errors", {})),
+        rounds=document.get("rounds", 1),
+    )
 
 
 def load_report_dict(text: str) -> Dict:

@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.baseline import BaselineStore
 from repro.core.diff import DetectionReport
 from repro.core.ghostbuster import GhostBuster
 from repro.core.noise import NoiseFilter
@@ -57,6 +58,12 @@ NETWORK_BOOT_SECONDS = 75.0   # PXE + loader download: faster than a CD
 _RETRYABLE_KINDS = frozenset({"TransientIoError", "RetryExhausted",
                               "MachineUnavailable"})
 
+# Incremental-scan counters whose sweep-level deltas become the delta
+# sweep's provenance: how much work the journal/bin repair actually saved.
+_DELTA_COUNTERS = ("journal.records_patched", "journal.patch_fallback",
+                   "journal.overflow", "hive.delta.bins_reparsed",
+                   "hive.delta.bins_reused", "hive.delta.fallback")
+
 
 @dataclass
 class RisSweepResult:
@@ -71,6 +78,13 @@ class RisSweepResult:
     taxonomy bucket the operator triages by), and ``retry_counts``
     records how many re-dispatches each flaky-but-recovered client
     needed.
+
+    Delta sweeps add provenance: ``mode`` (``"full"`` or ``"delta"``),
+    ``delta_skipped`` (machines served from their stored baseline
+    without a re-scan), ``baseline_ids`` (machine → the baseline the
+    verdict came from or was stored under), and ``delta_stats`` (the
+    sweep's deltas of the incremental-scan counters — MFT records
+    patched, hive bins reparsed vs reused, fallbacks to full reparse).
     """
 
     reports: Dict[str, DetectionReport] = field(default_factory=dict)
@@ -81,6 +95,10 @@ class RisSweepResult:
     simulated_seconds: float = 0.0
     worker_count: int = 1
     health: Optional[FleetHealth] = None
+    mode: str = "full"
+    delta_skipped: List[str] = field(default_factory=list)
+    baseline_ids: Dict[str, str] = field(default_factory=dict)
+    delta_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def infected_machines(self) -> List[str]:
@@ -98,6 +116,13 @@ class RisSweepResult:
         for name in sorted(self.quarantined):
             lines.append(f"  {name}: QUARANTINED — "
                          f"{self.quarantined[name]}")
+        if self.mode == "delta":
+            patched = int(self.delta_stats.get("journal.records_patched", 0))
+            reparsed = int(self.delta_stats.get("hive.delta.bins_reparsed",
+                                                0))
+            lines.append(f"  delta: {len(self.delta_skipped)} skipped via "
+                         f"baseline, {patched} MFT record(s) patched, "
+                         f"{reparsed} hive bin(s) reparsed")
         if self.wall_seconds:
             lines.append(
                 f"  ({self.worker_count} worker(s), "
@@ -233,7 +258,10 @@ class RisServer:
     def sweep(self, machines: Iterable[Machine],
               resources=("files", "registry"),
               max_workers: int = 1,
-              collect_telemetry: bool = False) -> RisSweepResult:
+              collect_telemetry: bool = False,
+              mode: str = "full",
+              baseline_store: Optional[BaselineStore] = None
+              ) -> RisSweepResult:
         """Scan a whole fleet, one network boot per client.
 
         With ``max_workers > 1`` the clients are scanned concurrently on
@@ -256,12 +284,31 @@ class RisServer:
         failing after the last retry — lands in ``result.errors`` *and*
         ``result.quarantined`` (keyed by error kind) with an empty error
         report, without aborting the rest of the fleet.
+
+        ``mode="delta"`` (requires a ``baseline_store``) is the periodic
+        re-sweep path: a machine whose disk generation still matches its
+        stored baseline is *skipped* — its verdict is rehydrated from
+        the store (``mode="ris-delta-skip"``, ``ris.delta.skipped``
+        metric) — and the rest are re-scanned (incrementally, via the
+        change-journal cache repair) with dispatch ordered
+        longest-scan-first from the store's historical timings, so the
+        slowest machines never tail the parallel sweep.  Any sweep given
+        a ``baseline_store`` records fresh baselines for the machines it
+        actually scanned, so a ``mode="full"`` sweep seeds the store the
+        first delta sweep draws on.
         """
+        if mode not in ("full", "delta"):
+            raise ValueError(f"unknown sweep mode {mode!r}")
+        if mode == "delta" and baseline_store is None:
+            raise ValueError("a delta sweep needs a baseline_store")
         fleet = list(machines)
         workers = max(1, min(max_workers, len(fleet) or 1))
-        result = RisSweepResult(worker_count=workers)
+        result = RisSweepResult(worker_count=workers, mode=mode)
         started = time.perf_counter()
         breaker = CircuitBreaker(failure_threshold=self.breaker_threshold)
+        registry = global_metrics()
+        counters_before = {name: registry.counter(name)
+                           for name in _DELTA_COUNTERS}
 
         def scan_one(machine: Machine):
             if not collect_telemetry:
@@ -276,7 +323,13 @@ class RisServer:
             return report, (telemetry, machine_wall)
 
         def dispatch(machine: Machine):
-            """Retry loop around one client: (outcome, error, retries)."""
+            """Retry loop: (outcome, error, retries, wall seconds)."""
+            dispatch_started = time.perf_counter()
+            outcome, error, retries = attempt_loop(machine)
+            return (outcome, error, retries,
+                    time.perf_counter() - dispatch_started)
+
+        def attempt_loop(machine: Machine):
             error = None
             for attempt in range(self.max_retries + 1):
                 try:
@@ -297,17 +350,60 @@ class RisServer:
                     return None, error, attempt
             return None, error, self.max_retries
 
+        # Delta pre-pass: serve unchanged machines from their baseline.
+        skipped: Dict[str, object] = {}
+        to_scan = fleet
+        if mode == "delta":
+            to_scan = []
+            for machine in fleet:
+                baseline = baseline_store.get(machine.name)
+                if (baseline is not None
+                        and machine.disk.generation
+                        == baseline.disk_generation):
+                    registry.incr("ris.delta.skipped")
+                    skipped[machine.name] = baseline
+                else:
+                    registry.incr("ris.delta.rescanned")
+                    to_scan.append(machine)
+
+        # Longest-scan-first dispatch (classic LPT list scheduling):
+        # historically slow machines go out first so they never tail the
+        # sweep; machines without a timing are unknown-cost and go
+        # first of all.  Ties keep input order (sorted is stable), so
+        # the schedule is deterministic.
+        dispatch_order = to_scan
+        if baseline_store is not None and len(to_scan) > 1:
+            def cost(machine: Machine) -> float:
+                seconds = baseline_store.scan_seconds(machine.name)
+                return float("inf") if seconds is None else seconds
+            dispatch_order = sorted(to_scan, key=cost, reverse=True)
+
         if workers == 1:
-            outcomes = [dispatch(machine) for machine in fleet]
+            outcomes = {machine.name: dispatch(machine)
+                        for machine in dispatch_order}
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(dispatch, machine)
-                           for machine in fleet]
-                outcomes = [future.result() for future in futures]
+                futures = {machine.name: pool.submit(dispatch, machine)
+                           for machine in dispatch_order}
+                outcomes = {name: future.result()
+                            for name, future in futures.items()}
 
         health = FleetHealth(worker_count=workers) \
             if collect_telemetry else None
-        for machine, (outcome, error, retries) in zip(fleet, outcomes):
+        for machine in fleet:
+            baseline = skipped.get(machine.name)
+            if baseline is not None:
+                report = baseline.rehydrate(mode="ris-delta-skip")
+                result.reports[machine.name] = report
+                result.delta_skipped.append(machine.name)
+                result.baseline_ids[machine.name] = baseline.baseline_id
+                if health is not None:
+                    health.add(MachineHealth(
+                        machine=machine.name,
+                        findings=len(report.findings),
+                        noise=len(report.noise())))
+                continue
+            outcome, error, retries, wall = outcomes[machine.name]
             report, extra = outcome if outcome else (None, None)
             if retries:
                 result.retry_counts[machine.name] = retries
@@ -316,6 +412,11 @@ class RisServer:
                 result.quarantined[machine.name] = \
                     error.split(":", 1)[0].strip() or "Error"
                 report = DetectionReport(machine.name, mode="ris-error")
+            elif baseline_store is not None:
+                stored = baseline_store.put(machine.name, report,
+                                            machine.disk.generation,
+                                            scan_seconds=wall)
+                result.baseline_ids[machine.name] = stored.baseline_id
             result.reports[machine.name] = report
             if health is not None:
                 health.add(self._machine_health(machine.name, report,
@@ -324,9 +425,19 @@ class RisServer:
         result.wall_seconds = time.perf_counter() - started
         result.simulated_seconds = sum(
             report.total_duration() for report in result.reports.values())
+        result.delta_stats = {
+            name: registry.counter(name) - counters_before[name]
+            for name in _DELTA_COUNTERS}
         if health is not None:
             health.wall_seconds = result.wall_seconds
             health.metrics_snapshot = global_metrics().snapshot()
+            if mode == "delta":
+                health.delta = {
+                    "mode": mode,
+                    "skipped": list(result.delta_skipped),
+                    "baseline_ids": dict(result.baseline_ids),
+                    "stats": dict(result.delta_stats),
+                }
             result.health = health
         return result
 

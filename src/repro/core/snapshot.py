@@ -102,22 +102,59 @@ class ScanSnapshot:
     taken_at: float = 0.0
     duration: float = 0.0
 
+    def __setattr__(self, name: str, value) -> None:
+        # Assigning a new entries list is the documented way to change a
+        # snapshot's contents; bump the version so the identity index
+        # rebuilds.  An `id(list)` fingerprint is NOT a substitute: a
+        # freed list's id can be reused by its same-length replacement,
+        # silently serving a stale index.
+        if name == "entries":
+            version = getattr(self, "_entries_version", 0) + 1
+            object.__setattr__(self, "_entries_version", version)
+        object.__setattr__(self, name, value)
+
     def identities(self) -> Dict[Hashable, object]:
         """``identity → entry`` for this view, built once per entry set.
 
-        The index is cached against a ``(list identity, length)``
-        fingerprint so replacing or growing ``entries`` invalidates it;
-        treat the returned mapping as read-only.  Same-length in-place
-        element swaps are not detected — replace the list instead (as
-        the scanners do).
+        The index is cached against an explicit mutation counter (bumped
+        whenever ``entries`` is assigned) plus the length, so both list
+        replacement and in-place growth invalidate it; treat the
+        returned mapping as read-only.  Same-length in-place element
+        swaps are not detected — replace the list instead (as the
+        scanners do).
         """
-        fingerprint = (id(self.entries), len(self.entries))
+        fingerprint = (self._entries_version, len(self.entries))
         cached = getattr(self, "_identity_cache", None)
         if cached is not None and cached[0] == fingerprint:
             return cached[1]
         index = {entry.identity: entry for entry in self.entries}
         self._identity_cache = (fingerprint, index)
         return index
+
+    def apply_delta(self, removed_identities: Sequence[Hashable],
+                    upserted_entries: Sequence) -> "ScanSnapshot":
+        """A new snapshot with the given changes applied incrementally.
+
+        This is the snapshot leg of the incremental scan pipeline: the
+        returned snapshot's identity index is *patched* from this one's
+        — O(changes) dict work — instead of rebuilt entry-by-entry, so
+        delta rescans never pay an O(n) re-index for a handful of
+        touched identities.  The receiver is left untouched (snapshots,
+        like parsed namespaces, may be shared between consumers).
+        """
+        index = dict(self.identities())
+        for identity in removed_identities:
+            index.pop(identity, None)
+        for entry in upserted_entries:
+            index[entry.identity] = entry
+        patched = ScanSnapshot(resource_type=self.resource_type,
+                               view=self.view,
+                               entries=list(index.values()),
+                               taken_at=self.taken_at,
+                               duration=self.duration)
+        patched._identity_cache = (
+            (patched._entries_version, len(patched.entries)), index)
+        return patched
 
     def __len__(self) -> int:
         return len(self.entries)

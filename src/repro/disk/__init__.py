@@ -7,5 +7,6 @@ reads it directly, below every hookable software layer.
 
 from repro.disk.geometry import DiskGeometry
 from repro.disk.disk import Disk
+from repro.disk.journal import ChangeJournal, JournalRecord
 
-__all__ = ["DiskGeometry", "Disk"]
+__all__ = ["DiskGeometry", "Disk", "ChangeJournal", "JournalRecord"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Tuple
 
 from repro.disk.geometry import DiskGeometry
+from repro.disk.journal import ChangeJournal
 from repro.errors import DiskError
 
 
@@ -28,6 +29,11 @@ class Disk:
     underlying bytes change.  ``raw_cache`` is the host for such derived
     views; consumers store ``(generation, payload)`` entries under their
     own key and must revalidate the generation on every lookup.
+
+    ``journal`` records *which sectors* each generation bump touched, so
+    a consumer holding a stale cached view can repair just the derived
+    state those sectors back — or learn that the journal wrapped and a
+    full rebuild is owed (see :mod:`repro.disk.journal`).
     """
 
     def __init__(self, geometry: DiskGeometry):
@@ -35,6 +41,7 @@ class Disk:
         self._sectors: Dict[int, bytes] = {}
         self.generation: int = 0
         self.raw_cache: Dict[str, tuple] = {}
+        self.journal = ChangeJournal()
         # Chaos hook: when a fault plan attaches an injector here, every
         # byte-level read flows through it (transient errors, torn
         # sectors, slow reads).  None — the default — costs one check.
@@ -56,6 +63,7 @@ class Disk:
                 f"bytes, got {len(data)}")
         self._sectors[index] = bytes(data)
         self.generation += 1
+        self.journal.record(self.generation, index, 1, "sector")
 
     # -- byte-level interface ---------------------------------------------
 
@@ -100,6 +108,7 @@ class Disk:
             self._sectors[index] = bytes(
                 blob[pos * sector_size:(pos + 1) * sector_size])
         self.generation += 1
+        self.journal.record(self.generation, first, last - first + 1, "bytes")
 
     # -- maintenance --------------------------------------------------------
 
@@ -124,6 +133,7 @@ class Disk:
         copy._sectors = dict(self._sectors)
         copy.generation = self.generation
         copy.raw_cache = dict(self.raw_cache)
+        copy.journal = self.journal.clone()
         # A fault injector is bound to one machine's scope; clones get
         # their own (or none) via FaultPlan.attach.
         copy.fault_injector = None

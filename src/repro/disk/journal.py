@@ -1,0 +1,120 @@
+"""USN-style change journal: a bounded log of disk writes.
+
+Real NTFS keeps an *update sequence number* journal — a ring buffer of
+change records that incremental consumers (indexers, backup agents,
+scanners) read instead of re-walking the volume.  When a consumer falls
+so far behind that the ring has wrapped past its bookmark, the journal
+answers with ``ERROR_JOURNAL_ENTRY_DELETED`` and the consumer must fall
+back to a full rescan.  :class:`ChangeJournal` reproduces exactly that
+contract on top of the virtual :class:`~repro.disk.Disk`:
+
+* every ``write_sector`` / ``write_bytes`` call appends one
+  :class:`JournalRecord` ``(generation, first_sector, sector_count,
+  kind)``;
+* the ring is bounded — once ``capacity`` records are retained the
+  oldest is dropped and the coverage floor advances past it;
+* :meth:`records_since` either returns the complete, gap-free list of
+  writes in ``(from_generation, to_generation]`` or ``None``, meaning
+  "journal wrapped / cannot prove coverage — do a full reparse".
+
+The gap rule is what makes the journal safe under chaos: the fault
+injector invalidates possibly-poisoned caches by bumping the disk
+generation *without* writing anything, so the next journal record
+arrives non-contiguous.  The journal then refuses to vouch for anything
+before the gap, and every delta consumer degrades to a cold parse.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional
+
+from repro.telemetry.metrics import global_metrics
+
+DEFAULT_CAPACITY = 4096
+
+
+class JournalRecord(NamedTuple):
+    """One write, as the journal saw it."""
+
+    generation: int     # disk generation *after* the write
+    first_sector: int
+    sector_count: int
+    kind: str           # "sector" | "bytes"
+
+
+class ChangeJournal:
+    """Bounded ring buffer of write records with wrap/gap semantics."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 start_generation: int = 0):
+        if capacity < 1:
+            raise ValueError("journal capacity must be positive")
+        self.capacity = capacity
+        self._records: Deque[JournalRecord] = deque()
+        # Nothing at or before the floor generation is reconstructible.
+        self._floor = start_generation
+        self._last = start_generation
+        self.overflowed = False
+        self._overflow_counter = global_metrics().counter_handle(
+            "journal.overflow")
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def last_generation(self) -> int:
+        """Generation of the newest recorded write."""
+        return self._last
+
+    def record(self, generation: int, first_sector: int,
+               sector_count: int, kind: str) -> None:
+        """Append one write record (called by the disk on every write)."""
+        if generation != self._last + 1:
+            # The generation advanced outside the write path — e.g. a
+            # fault injector invalidating caches after a torn read.  No
+            # record exists for those bumps, so nothing at or before
+            # them can ever be proven covered.
+            self._floor = generation - 1
+        if len(self._records) >= self.capacity:
+            dropped = self._records.popleft()
+            if dropped.generation > self._floor:
+                self._floor = dropped.generation
+            self.overflowed = True
+        self._records.append(
+            JournalRecord(generation, first_sector, sector_count, kind))
+        self._last = generation
+
+    def records_since(self, from_generation: int,
+                      to_generation: int) -> Optional[List[JournalRecord]]:
+        """Complete write list in ``(from, to]``, or None if unprovable.
+
+        ``None`` is the USN-wrap answer: the ring dropped records the
+        caller would need (overflow), or generations advanced without a
+        record (gap), or the bookmark itself is inconsistent.  The
+        caller must treat it as "fall back to full reparse"; the
+        ``journal.overflow`` counter tallies every such refusal.
+        """
+        if to_generation == from_generation:
+            return []
+        if (to_generation < from_generation
+                or from_generation < self._floor
+                or to_generation != self._last):
+            self._overflow_counter.add()
+            return None
+        return [record for record in self._records
+                if record.generation > from_generation]
+
+    def clone(self) -> "ChangeJournal":
+        """Copy the journal alongside its disk (golden-image cloning).
+
+        The clone inherits the retained records, floor and overflow
+        state, so a machine imaged from a golden disk can still patch
+        the golden parse it inherited through ``raw_cache``.
+        """
+        copy = ChangeJournal(capacity=self.capacity,
+                             start_generation=self._floor)
+        copy._records = deque(self._records)
+        copy._last = self._last
+        copy.overflowed = self.overflowed
+        return copy

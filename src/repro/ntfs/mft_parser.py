@@ -29,6 +29,19 @@ the supplied ``read_bytes`` callable, and a port with *any* read filter
 installed never consults or populates the shared disk cache (its
 filtered view is memoized only within the parser instance, keyed on the
 filter set, so installing/removing a filter also forces a re-parse).
+
+**Incremental repair**: when the cached namespace is merely *stale*
+(the disk generation advanced), the parser consults the disk's
+:class:`~repro.disk.journal.ChangeJournal` before reparsing.  If the
+journal proves complete coverage of the generation span, the dirty
+sectors are mapped to MFT record slots and only those slots are
+re-read; the patched namespace is rebuilt copy-on-write (cloned
+machines share cached namespaces, so the stale object is never
+mutated).  Journal overflow, a generation gap (the fault injector's
+cache-poison bump), a touched boot sector / record 0, any read or
+parse error mid-patch, or an installed read filter all fall back to
+the cold full parse — incremental results are identity-identical to
+cold ones by construction, never best-effort.
 """
 
 from __future__ import annotations
@@ -60,11 +73,21 @@ _PARSE_ATTEMPTS = 3
 
 @dataclass
 class _ParsedNamespace:
-    """One full raw parse, indexed for O(1) lookups."""
+    """One full raw parse, indexed for O(1) lookups.
+
+    ``by_record`` and ``children`` exist for the delta-patch path:
+    ``by_record`` lets a patch replace exactly the entries whose record
+    slots were rewritten, and ``children`` (parent record → child record
+    numbers, keyed by the raw $FILE_NAME parent reference) lets a
+    directory rename cascade its new path to every descendant without
+    re-parsing any of their records.
+    """
 
     records: Dict[int, MftRecord]
     entries: List["ParsedFile"]
     by_key: Dict[str, "ParsedFile"]      # normalize_key(path) → entry
+    by_record: Dict[int, "ParsedFile"]   # record_no → entry
+    children: Dict[int, set]             # parent record_no → {record_no}
 
 
 @dataclass(frozen=True)
@@ -99,6 +122,7 @@ class MftParser:
         registry = global_metrics()
         self._hits = registry.counter_handle("mft.parse.cache_hit")
         self._misses = registry.counter_handle("mft.parse.cache_miss")
+        self._patched = registry.counter_handle("journal.records_patched")
         # Records silently skipped during the last namespace build because
         # their bytes were corrupt; the self-healing parse loop rebuilds
         # while a fault plan is active and this is non-zero.
@@ -236,19 +260,191 @@ class MftParser:
         # The shared per-disk cache only ever holds the unfiltered view.
         shareable = (self._disk_source is not None and token is not None
                      and token[1] == ())
+        cache_entry = None
         if shareable:
-            entry = self._disk_source.raw_cache.get(_NAMESPACE_CACHE_KEY)
-            if entry is not None and entry[0] == token[0]:
-                self._namespace, self._namespace_token = entry[1], token
+            cache_entry = self._disk_source.raw_cache.get(_NAMESPACE_CACHE_KEY)
+            if cache_entry is not None and cache_entry[0] == token[0]:
+                self._namespace, self._namespace_token = cache_entry[1], token
                 self._hits.add()
-                return entry[1]
+                return cache_entry[1]
         self._misses.add()
-        namespace = self._parse_with_retry(token)
+        namespace = None
+        if shareable:
+            namespace = self._patched_from_stale(cache_entry, token[0])
+        if namespace is None:
+            namespace = self._parse_with_retry(token)
         self._namespace, self._namespace_token = namespace, token
         if shareable:
             self._disk_source.raw_cache[_NAMESPACE_CACHE_KEY] = (
                 token[0], namespace)
         return namespace
+
+    # -- incremental repair ---------------------------------------------------
+
+    def _patched_from_stale(self, cache_entry,
+                            target_generation: int
+                            ) -> Optional[_ParsedNamespace]:
+        """Pick the freshest stale unfiltered namespace and try to patch it."""
+        stale_generation, stale = (cache_entry if cache_entry is not None
+                                   else (None, None))
+        own = self._namespace_token
+        if (self._namespace is not None and own is not None
+                and own[1] == () and isinstance(own[0], int)
+                and (stale_generation is None or own[0] > stale_generation)):
+            stale_generation, stale = own[0], self._namespace
+        if stale is None or stale_generation >= target_generation:
+            return None
+        return self._try_patch(stale, stale_generation, target_generation)
+
+    def _try_patch(self, cached: _ParsedNamespace, cached_generation: int,
+                   target_generation: int) -> Optional[_ParsedNamespace]:
+        """Patch a stale namespace via the change journal; None → reparse.
+
+        Every refusal path increments ``journal.patch_fallback`` except
+        the journal's own coverage refusal, which already counted
+        ``journal.overflow``.
+        """
+        journal = getattr(self._disk_source, "journal", None)
+        if journal is None:
+            return None
+        writes = journal.records_since(cached_generation, target_generation)
+        if writes is None:
+            return None
+        dirty = self._dirty_record_numbers(writes)
+        if dirty is None:
+            global_metrics().incr("journal.patch_fallback")
+            return None
+        if not dirty:
+            # Writes never touched the boot sector or MFT region; the
+            # namespace derives from nothing else.
+            return cached
+        try:
+            with telemetry_context.current_tracer().span(
+                    "mft.delta_patch", dirty=len(dirty),
+                    generations=target_generation - cached_generation):
+                namespace = self._patch_namespace(cached, dirty)
+        except (DiskError, CorruptRecord, TransientIoError):
+            global_metrics().incr("journal.patch_fallback")
+            return None
+        if self._disk_source.generation != target_generation:
+            # A fault injector bumped the generation mid-patch: every
+            # byte we just read is suspect.  Reparse cold instead.
+            global_metrics().incr("journal.patch_fallback")
+            return None
+        self._patched.add(len(dirty))
+        return namespace
+
+    def _dirty_record_numbers(self, writes) -> Optional[set]:
+        """Map journaled sector writes to MFT record slots.
+
+        ``None`` means not patchable: a write touched the boot sector
+        (geometry may have changed) or record 0 (the $MFT itself — its
+        $DATA size defines capacity).  Writes entirely outside the MFT
+        region are data-cluster writes; the namespace caches no cluster
+        content (non-resident reads always hit the disk), so they are
+        ignored.
+        """
+        sector_size = self._disk_source.geometry.sector_size
+        mft_start = self._mft_offset
+        mft_end = mft_start + self._capacity * c.MFT_RECORD_SIZE
+        dirty: set = set()
+        for write in writes:
+            if write.first_sector == 0:
+                return None
+            byte_start = write.first_sector * sector_size
+            byte_end = byte_start + write.sector_count * sector_size
+            low = max(byte_start, mft_start)
+            high = min(byte_end, mft_end)
+            if low >= high:
+                continue
+            first = (low - mft_start) // c.MFT_RECORD_SIZE
+            last = (high - 1 - mft_start) // c.MFT_RECORD_SIZE
+            dirty.update(range(first, last + 1))
+        if c.RECORD_MFT in dirty:
+            return None
+        return dirty
+
+    def _read_record_strict(self, record_no: int) -> Optional[MftRecord]:
+        """Like :meth:`read_record`, but raises instead of skipping.
+
+        The delta patch must not absorb corruption: a slot that fails
+        to parse aborts the whole patch, and the cold path — which owns
+        the best-effort / self-healing semantics — decides what the
+        namespace really looks like.
+        """
+        blob = self._read(self._mft_offset + record_no * c.MFT_RECORD_SIZE,
+                          c.MFT_RECORD_SIZE)
+        if blob[0:4] != c.RECORD_MAGIC:
+            if any(blob[0:4]):
+                raise CorruptRecord(
+                    f"patched slot {record_no} is not a FILE record")
+            return None
+        record = MftRecord.from_bytes(blob)
+        return record if record.in_use else None
+
+    def _patch_namespace(self, cached: _ParsedNamespace,
+                         dirty: set) -> _ParsedNamespace:
+        """Re-read only the dirty slots and splice them into a new index.
+
+        Copy-on-write by contract: cloned machines share cached
+        namespaces through ``raw_cache``, so the stale object is never
+        mutated — untouched records, entries and paths are reused by
+        reference in a freshly built namespace.
+        """
+        new_records = dict(cached.records)
+        children = {parent: set(kids)
+                    for parent, kids in cached.children.items()}
+        for record_no in sorted(dirty):
+            old = cached.records.get(record_no)
+            if old is not None and old.file_name is not None:
+                parent_no, __ = c.split_file_reference(
+                    old.file_name.parent_reference)
+                kids = children.get(parent_no)
+                if kids is not None:
+                    kids.discard(record_no)
+            record = self._read_record_strict(record_no)
+            if record is None:
+                new_records.pop(record_no, None)
+                continue
+            new_records[record_no] = record
+            if record.file_name is not None:
+                parent_no, __ = c.split_file_reference(
+                    record.file_name.parent_reference)
+                children.setdefault(parent_no, set()).add(record_no)
+        # Affected = dirty slots plus every transitive child: a renamed
+        # directory changes the paths of records that were never
+        # rewritten.  Moved/new children are dirty in their own right
+        # (their $FILE_NAME parent reference lives in their own record).
+        affected: set = set()
+        stack = list(dirty)
+        while stack:
+            record_no = stack.pop()
+            if record_no in affected:
+                continue
+            affected.add(record_no)
+            stack.extend(children.get(record_no, ()))
+        paths: Dict[int, str] = {c.RECORD_ROOT: "\\"}
+        for record_no, entry in cached.by_record.items():
+            if record_no not in affected:
+                paths[record_no] = entry.path
+        path_of = self._path_resolver(new_records, paths)
+        by_record = dict(cached.by_record)
+        for record_no in affected:
+            by_record.pop(record_no, None)
+        for record_no in sorted(affected):
+            record = new_records.get(record_no)
+            if record is None:
+                continue
+            entry = self._make_entry(record_no, record, path_of)
+            if entry is not None:
+                by_record[record_no] = entry
+        entries = [by_record[record_no] for record_no in sorted(by_record)]
+        by_key: Dict[str, ParsedFile] = {}
+        for entry in entries:
+            by_key.setdefault(normalize_key(entry.path), entry)
+        return _ParsedNamespace(records=new_records, entries=entries,
+                                by_key=by_key, by_record=by_record,
+                                children=children)
 
     def _parse_with_retry(self, token: Optional[Tuple]) -> _ParsedNamespace:
         """Build the namespace, healing injected faults by re-parsing.
@@ -299,11 +495,14 @@ class MftParser:
         """
         return list(self._ensure_namespace().entries)
 
-    def _build_namespace(self) -> _ParsedNamespace:
-        self.corrupt_skipped = 0
-        records: Dict[int, MftRecord] = {
-            r.record_no: r for r in self.iter_records()}
-        paths: Dict[int, str] = {c.RECORD_ROOT: "\\"}
+    @staticmethod
+    def _path_resolver(records: Dict[int, MftRecord],
+                       paths: Dict[int, str]) -> Callable[[int], str]:
+        """Build a path-of closure over ``records``, memoizing in ``paths``.
+
+        Shared by the cold build (seeded with just the root) and the
+        delta patch (seeded with every unaffected entry's known path).
+        """
 
         def path_of(record_no: int) -> str:
             """Resolve by walking the parent chain iteratively.
@@ -339,34 +538,67 @@ class MftParser:
                 paths[pending] = f"{base}\\{record.file_name.name}"
             return paths[record_no]
 
-        out: List[ParsedFile] = []
-        by_key: Dict[str, ParsedFile] = {}
-        for record_no, record in sorted(records.items()):
-            if record_no in (c.RECORD_MFT, c.RECORD_ROOT):
-                continue
+        return path_of
+
+    @staticmethod
+    def _make_entry(record_no: int, record: MftRecord,
+                    path_of: Callable[[int], str]) -> Optional[ParsedFile]:
+        """Turn one in-use record into a namespace entry (None if not one)."""
+        if record_no in (c.RECORD_MFT, c.RECORD_ROOT):
+            return None
+        if record.file_name is None:
+            return None
+        parent_no, __ = c.split_file_reference(
+            record.file_name.parent_reference)
+        info = record.std_info
+        return ParsedFile(
+            path=path_of(record_no),
+            name=record.file_name.name,
+            is_directory=record.is_directory,
+            size=record.data.real_size if record.data else 0,
+            record_no=record_no,
+            parent_record=parent_no,
+            namespace=record.file_name.namespace,
+            dos_flags=info.dos_flags,
+            created=info.created_us / 1_000_000,
+            modified=info.modified_us / 1_000_000,
+            accessed=info.accessed_us / 1_000_000,
+            stream_names=tuple(sorted(record.streams)),
+        )
+
+    @staticmethod
+    def _children_index(records: Dict[int, MftRecord]) -> Dict[int, set]:
+        """Parent record number → child record numbers, from $FILE_NAME."""
+        children: Dict[int, set] = {}
+        for record_no, record in records.items():
             if record.file_name is None:
                 continue
             parent_no, __ = c.split_file_reference(
                 record.file_name.parent_reference)
-            info = record.std_info
-            entry = ParsedFile(
-                path=path_of(record_no),
-                name=record.file_name.name,
-                is_directory=record.is_directory,
-                size=record.data.real_size if record.data else 0,
-                record_no=record_no,
-                parent_record=parent_no,
-                namespace=record.file_name.namespace,
-                dos_flags=info.dos_flags,
-                created=info.created_us / 1_000_000,
-                modified=info.modified_us / 1_000_000,
-                accessed=info.accessed_us / 1_000_000,
-                stream_names=tuple(sorted(record.streams)),
-            )
+            children.setdefault(parent_no, set()).add(record_no)
+        return children
+
+    def _build_namespace(self) -> _ParsedNamespace:
+        self.corrupt_skipped = 0
+        records: Dict[int, MftRecord] = {
+            r.record_no: r for r in self.iter_records()}
+        paths: Dict[int, str] = {c.RECORD_ROOT: "\\"}
+        path_of = self._path_resolver(records, paths)
+
+        out: List[ParsedFile] = []
+        by_key: Dict[str, ParsedFile] = {}
+        by_record: Dict[int, ParsedFile] = {}
+        for record_no, record in sorted(records.items()):
+            entry = self._make_entry(record_no, record, path_of)
+            if entry is None:
+                continue
             out.append(entry)
+            by_record[record_no] = entry
             # First record in slot order wins, like the linear scan did.
             by_key.setdefault(normalize_key(entry.path), entry)
-        return _ParsedNamespace(records=records, entries=out, by_key=by_key)
+        return _ParsedNamespace(records=records, entries=out, by_key=by_key,
+                                by_record=by_record,
+                                children=self._children_index(records))
 
     def find_by_path(self, path: str) -> ParsedFile:
         """Locate one entry by full path (case-insensitive, O(1))."""

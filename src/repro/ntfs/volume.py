@@ -235,6 +235,57 @@ class NtfsVolume:
                     self.delete_file(child_path)
         self._unlink(record_no)
 
+    def rename(self, old_path: str, new_path: str,
+               native: bool = False) -> None:
+        """Rename or move one file/directory.
+
+        The on-disk footprint is exactly one MFT record flush — the
+        $FILE_NAME attribute carries both the name and the parent
+        reference.  That makes renames the sharpest test of journal-
+        driven cache repair: a directory rename changes every
+        descendant's *path* without touching any descendant record.
+        """
+        record_no = self._resolve(old_path)
+        if record_no is None:
+            raise FileNotFound(old_path)
+        if record_no == c.RECORD_ROOT:
+            raise VolumeError("cannot rename the root directory")
+        new_parent_path, new_name = naming.parent_and_name(new_path)
+        if not naming.is_valid_native_component(new_name):
+            raise VolumeError(
+                f"name illegal even for the native API: {new_name!r}")
+        if not native:
+            naming.validate_win32_component(new_name)
+        new_parent_no = self._resolve(new_parent_path)
+        if new_parent_no is None:
+            raise FileNotFound(f"parent of {new_path}: {new_parent_path}")
+        new_parent = self._records[new_parent_no]
+        if not new_parent.is_directory:
+            raise NotADirectory(new_parent_path)
+        if new_name in self._children[new_parent_no]:
+            raise FileExists(new_path)
+        record = self._records[record_no]
+        if record.is_directory:
+            cursor = new_parent_no
+            while cursor != c.RECORD_ROOT:
+                if cursor == record_no:
+                    raise VolumeError(
+                        f"cannot move {old_path} into its own subtree")
+                cursor = self._parents.get(cursor, c.RECORD_ROOT)
+        old_parent_no = self._parents[record_no]
+        assert record.file_name is not None
+        self._children[old_parent_no].remove(record.file_name.name)
+        namespace = (c.NAMESPACE_WIN32
+                     if naming.is_valid_win32_component(new_name)
+                     else c.NAMESPACE_POSIX)
+        record.file_name = FileName(parent_reference=new_parent.reference,
+                                    name=new_name, namespace=namespace)
+        if record.std_info is not None:
+            record.std_info.modified_us = self._now_us()
+        self._children[new_parent_no].add(new_name, record_no)
+        self._parents[record_no] = new_parent_no
+        self._flush(record)
+
     def stat(self, path: str) -> FileStat:
         record_no = self._resolve(path)
         if record_no is None:
@@ -428,21 +479,55 @@ class NtfsVolume:
                 self._free_clusters.extend(range(start, start + count))
 
     def _allocate_clusters(self, count: int) -> List:
-        """Prefer a contiguous tail allocation; reuse freed clusters last."""
+        """Allocate ``count`` clusters, keeping files in one run if possible.
+
+        Contiguity is load-bearing, not cosmetic: the registry
+        write-back loop frees and reallocates its hive files on every
+        mutation, and raw readers deliver a file run-by-run — a hive
+        split across runs reaches read filters (and scan heuristics
+        keyed on whole-file reads) in fragments.  A freed contiguous
+        run of the right size is reused first, then the untouched tail;
+        only when both fail is the file assembled from fragments.
+        """
         from repro.ntfs.runlist import coalesce
+        run = self._take_free_run(count)
+        if run is not None:
+            return [run]
+        limit = self.disk.geometry.size_bytes // self.cluster_size
+        end_cluster = self._next_cluster + count
+        if end_cluster <= limit:
+            start = self._next_cluster
+            self._next_cluster = end_cluster
+            return [(start, count)]
+        # Tail exhausted: scavenge whatever free fragments remain.
         clusters: List[int] = []
         while count and self._free_clusters:
             clusters.append(self._free_clusters.pop())
             count -= 1
         if count:
             end_cluster = self._next_cluster + count
-            limit = self.disk.geometry.size_bytes // self.cluster_size
             if end_cluster > limit:
                 raise VolumeError("volume out of space")
             clusters.extend(range(self._next_cluster, end_cluster))
             self._next_cluster = end_cluster
         clusters.sort()
         return coalesce([(cluster, 1) for cluster in clusters])
+
+    def _take_free_run(self, count: int) -> Optional[tuple]:
+        """Carve one contiguous ``count``-cluster run out of the free list."""
+        if len(self._free_clusters) < count:
+            return None
+        self._free_clusters.sort()
+        free = self._free_clusters
+        run_start = 0
+        for index in range(1, len(free) + 1):
+            if index == len(free) or free[index] != free[index - 1] + 1:
+                if index - run_start >= count:
+                    start = free[run_start]
+                    del free[run_start:run_start + count]
+                    return (start, count)
+                run_start = index
+        return None
 
     def _allocate_record_no(self) -> int:
         if self._free_records:

@@ -58,6 +58,13 @@ DB_MAGIC = b"db"
 # Value data at or below this size is stored inline in the vk cell.
 INLINE_DATA_LIMIT = 16
 
+# Top-level subtrees ("bins") start on this boundary, like regf's 4 KiB
+# hbin blocks.  Alignment is what makes bins *stable*: an edit inside one
+# bin cannot shift the bytes — or the embedded absolute offsets — of any
+# other bin, so unchanged bins digest identically and the incremental
+# hive parser can reuse their parsed subtrees (see hive_parser).
+BIN_ALIGNMENT = 4096
+
 
 def pack_header(root_offset: int, total_length: int, name: str) -> bytes:
     """Build the 512-byte regf header."""
@@ -98,6 +105,19 @@ class CellWriter:
         self._chunks.append(cell)
         self._cursor += padded
         return offset
+
+    def pad_to(self, alignment: int) -> None:
+        """Advance the cursor to the next ``alignment`` boundary with zeros.
+
+        Gap bytes are never referenced by any offset list, and the reader
+        only ever dereferences explicit offsets, so padding is invisible
+        to parsing — it exists purely to pin subsequent cells in place.
+        """
+        remainder = self._cursor % alignment
+        if remainder:
+            fill = alignment - remainder
+            self._chunks.append(b"\x00" * fill)
+            self._cursor += fill
 
     def finish(self, root_offset: int, name: str) -> bytes:
         body = b"".join(self._chunks)

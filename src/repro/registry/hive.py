@@ -212,9 +212,37 @@ class Hive:
     # -- serialization ----------------------------------------------------------
 
     def serialize(self) -> bytes:
-        """Flush the whole tree to regf-style bytes (single-pass writer)."""
+        """Flush the whole tree to regf-style bytes (single-pass writer).
+
+        Each of the root's direct subtrees is written as its own *bin*,
+        starting on a :data:`~repro.registry.cells.BIN_ALIGNMENT`
+        boundary.  Because a subtree's cells (and the absolute offsets
+        embedded in them) depend only on the subtree's own content and
+        its bin's start, editing one bin leaves every other bin
+        byte-identical — which is exactly what the incremental hive
+        parser's content-addressed bin cache needs.  A bin that outgrows
+        its padded slot shifts its successors by whole bin increments;
+        they re-digest once and are stable again.
+        """
         writer = cells.CellWriter()
-        root_offset = self._write_key(writer, self.root, parent_offset=0)
+        subkey_offsets = []
+        for child in self.root.subkeys():
+            writer.pad_to(cells.BIN_ALIGNMENT)
+            subkey_offsets.append(self._write_key(writer, child, 0))
+        # The root's own cells start a fresh bin too, so growth there
+        # cannot disturb the child bins (it only ever follows them).
+        writer.pad_to(cells.BIN_ALIGNMENT)
+        value_offsets = [self._write_value(writer, value)
+                         for value in self.root.values()]
+        subkey_list = writer.append(
+            cells.pack_offset_list(cells.LF_MAGIC, subkey_offsets)) \
+            if subkey_offsets else 0
+        value_list = writer.append(
+            cells.pack_offset_list(cells.VL_MAGIC, value_offsets)) \
+            if value_offsets else 0
+        root_offset = writer.append(cells.pack_nk(
+            self.root.name, 0, len(subkey_offsets), subkey_list,
+            len(value_offsets), value_list, self.root.timestamp_us))
         return writer.finish(root_offset, self.name)
 
     def _write_key(self, writer: cells.CellWriter, key: HiveKey,

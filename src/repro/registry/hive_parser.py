@@ -34,11 +34,26 @@ _HIVE_CACHE_MAX = 64
 _hive_cache: "OrderedDict[bytes, ParsedHive]" = OrderedDict()
 _hive_cache_lock = threading.Lock()
 
+# Bin memo: digest of one top-level subtree's byte span → its ParsedKey.
+# The serializer pins each root-child subtree to its own aligned bin
+# (see Hive.serialize), so editing one bin leaves the others
+# byte-identical and their parsed subtrees reusable.  Content-addressed
+# like the whole-blob memo — and equally safe to share across cloned
+# fleet machines — because the span bytes include every absolute offset
+# the subtree's cells embed: a shifted or edited subtree can never
+# collide with a stale digest.  Subtrees are shared between parses, so
+# consumers must keep treating parsed trees as read-only.
+_BIN_CACHE_MAX = 2048
+_bin_cache: "OrderedDict[bytes, ParsedKey]" = OrderedDict()
+_bin_cache_lock = threading.Lock()
+
 
 def clear_hive_cache() -> None:
     """Drop every memoized hive parse (benchmarks measure cold paths)."""
     with _hive_cache_lock:
         _hive_cache.clear()
+    with _bin_cache_lock:
+        _bin_cache.clear()
 
 
 @dataclass
@@ -91,20 +106,50 @@ class HiveParser:
             raise HiveFormatError(
                 f"hive header claims {self.total_length} bytes but the file "
                 f"has {len(blob)}")
+        # Touched-byte bounds of the most recent (sub)parse, used by
+        # parse_subtree to prove a subtree stayed inside its bin span.
+        self._low = len(blob)
+        self._high = 0
 
     def parse(self) -> ParsedHive:
         root = self._parse_key(self.root_offset, depth=0)
         return ParsedHive(self.hive_name, root)
 
+    def parse_subtree(self, offset: int, span_start: int,
+                      span_end: int) -> ParsedKey:
+        """Parse one subtree and verify it never read outside its span.
+
+        The bin cache is only sound if the digested byte span really
+        contains everything the subtree's parse depends on; a cell that
+        points outside its bin (legal for the format, never produced by
+        our serializer) must abort to the cold whole-blob parse.
+        """
+        self._low, self._high = len(self._blob), 0
+        key = self._parse_key(offset, depth=1)
+        if self._low < span_start or self._high > span_end:
+            raise HiveFormatError(
+                f"subtree at {offset} escapes its bin "
+                f"[{span_start}, {span_end})")
+        return key
+
+    def _cell(self, offset: int) -> bytes:
+        payload = cells.read_cell(self._blob, offset)
+        if offset < self._low:
+            self._low = offset
+        end = offset + 4 + len(payload)
+        if end > self._high:
+            self._high = end
+        return payload
+
     def _parse_key(self, offset: int, depth: int) -> ParsedKey:
         if depth > _MAX_DEPTH:
             raise HiveFormatError("key tree deeper than the format allows")
-        nk = cells.unpack_nk(cells.read_cell(self._blob, offset))
+        nk = cells.unpack_nk(self._cell(offset))
         key = ParsedKey(name=nk["name"], timestamp_us=nk["timestamp_us"])
 
         if nk["value_count"]:
             value_offsets = cells.unpack_offset_list(
-                cells.read_cell(self._blob, nk["value_list"]), cells.VL_MAGIC)
+                self._cell(nk["value_list"]), cells.VL_MAGIC)
             if len(value_offsets) != nk["value_count"]:
                 raise HiveFormatError("value list count mismatch")
             for value_offset in value_offsets:
@@ -112,7 +157,7 @@ class HiveParser:
 
         if nk["subkey_count"]:
             subkey_offsets = cells.unpack_offset_list(
-                cells.read_cell(self._blob, nk["subkey_list"]), cells.LF_MAGIC)
+                self._cell(nk["subkey_list"]), cells.LF_MAGIC)
             if len(subkey_offsets) != nk["subkey_count"]:
                 raise HiveFormatError("subkey list count mismatch")
             for subkey_offset in subkey_offsets:
@@ -120,22 +165,97 @@ class HiveParser:
         return key
 
     def _parse_value(self, offset: int) -> ParsedValue:
-        vk = cells.unpack_vk(cells.read_cell(self._blob, offset))
+        vk = cells.unpack_vk(self._cell(offset))
         if vk["data"] is not None:
             raw = vk["data"]
         else:
-            raw = cells.unpack_db(cells.read_cell(self._blob,
-                                                  vk["data_cell"]))
+            raw = cells.unpack_db(self._cell(vk["data_cell"]))
             if len(raw) != vk["data_length"]:
                 raise HiveFormatError("vk data length mismatch")
         return ParsedValue(name=vk["name"], reg_type=vk["type"], raw_data=raw)
 
 
+def _bin_spans(blob: bytes, nk_offsets: List[int]):
+    """Byte span of each top-level subtree bin, or None if unrecognizable.
+
+    Our serializer writes the root's children in subkey-list order, each
+    subtree contiguous and ending at its own nk cell, each starting on a
+    :data:`~repro.registry.cells.BIN_ALIGNMENT` boundary.  Spans that do
+    not advance monotonically mean the blob came from some other writer
+    — the caller cold-parses instead.
+    """
+    spans = []
+    cursor = cells.HEADER_SIZE
+    for offset in nk_offsets:
+        start = -(-cursor // cells.BIN_ALIGNMENT) * cells.BIN_ALIGNMENT
+        if offset < start:
+            return None
+        payload = cells.read_cell(blob, offset)
+        end = offset + 4 + len(payload)
+        spans.append((start, end))
+        cursor = end
+    return spans
+
+
+def _parse_blob_incremental(blob: bytes) -> ParsedHive:
+    """Parse, reusing cached subtrees for byte-identical bins.
+
+    Any structural surprise — foreign writer layout, a subtree escaping
+    its bin, a malformed cell — falls back to the plain cold parse so
+    error behaviour (and the resulting tree) is identical to an
+    uncached :class:`HiveParser` run.
+    """
+    try:
+        parser = HiveParser(blob)
+        root_nk = cells.unpack_nk(cells.read_cell(blob, parser.root_offset))
+        if not root_nk["subkey_count"]:
+            return parser.parse()
+        offsets = cells.unpack_offset_list(
+            cells.read_cell(blob, root_nk["subkey_list"]), cells.LF_MAGIC)
+        if len(offsets) != root_nk["subkey_count"]:
+            raise HiveFormatError("subkey list count mismatch")
+        spans = _bin_spans(blob, offsets)
+        if spans is None:
+            return parser.parse()
+        root = ParsedKey(name=root_nk["name"],
+                         timestamp_us=root_nk["timestamp_us"])
+        for (start, end), offset in zip(spans, offsets):
+            bin_digest = hashlib.sha256(blob[start:end]).digest()
+            with _bin_cache_lock:
+                subtree = _bin_cache.get(bin_digest)
+                if subtree is not None:
+                    _bin_cache.move_to_end(bin_digest)
+            if subtree is not None:
+                global_metrics().incr("hive.delta.bins_reused")
+            else:
+                global_metrics().incr("hive.delta.bins_reparsed")
+                subtree = parser.parse_subtree(offset, start, end)
+                with _bin_cache_lock:
+                    _bin_cache[bin_digest] = subtree
+                    while len(_bin_cache) > _BIN_CACHE_MAX:
+                        _bin_cache.popitem(last=False)
+            root.subkeys.append(subtree)
+        if root_nk["value_count"]:
+            value_offsets = cells.unpack_offset_list(
+                cells.read_cell(blob, root_nk["value_list"]), cells.VL_MAGIC)
+            if len(value_offsets) != root_nk["value_count"]:
+                raise HiveFormatError("value list count mismatch")
+            for value_offset in value_offsets:
+                root.values.append(parser._parse_value(value_offset))
+        return ParsedHive(parser.hive_name, root)
+    except HiveFormatError:
+        global_metrics().incr("hive.delta.fallback")
+        return HiveParser(blob).parse()
+
+
 def parse_hive(blob: bytes) -> ParsedHive:
     """Parse hive bytes into a tree, memoized on the blob's digest.
 
-    Malformed blobs are never cached (the parser raises before any entry
-    is stored), so error behaviour is identical to an uncached parse.
+    A whole-blob digest hit returns the prior tree outright; a miss
+    re-parses only the top-level bins whose bytes actually changed (see
+    :func:`_parse_blob_incremental`).  Malformed blobs are never cached
+    (the parser raises before any entry is stored), so error behaviour
+    is identical to an uncached parse.
     """
     digest = hashlib.sha256(blob).digest()
     with _hive_cache_lock:
@@ -154,7 +274,7 @@ def parse_hive(blob: bytes) -> ParsedHive:
             faults_context.maybe_inject(SITE_HIVE_PARSE)
             with telemetry_context.current_tracer().span(
                     "hive.parse", bytes=len(blob)):
-                parsed = HiveParser(blob).parse()
+                parsed = _parse_blob_incremental(blob)
             break
         except TransientIoError as exc:
             last = exc

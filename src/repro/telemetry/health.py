@@ -89,6 +89,10 @@ class FleetHealth:
     wall_seconds: float = 0.0
     worker_count: int = 1
     metrics_snapshot: dict = field(default_factory=dict)
+    # Delta-sweep provenance (empty for full sweeps): which machines were
+    # served from their baseline, which baseline ids verdicts came from,
+    # and how much incremental-repair work the rescans did.
+    delta: dict = field(default_factory=dict)
 
     def add(self, health: MachineHealth) -> None:
         self.machines.append(health)
@@ -170,6 +174,9 @@ class FleetHealth:
                 lines.append(json.dumps(
                     {"type": "audit", "machine": health.machine, **event},
                     sort_keys=True))
+        if self.delta:
+            lines.append(json.dumps({"type": "delta", **self.delta},
+                                    sort_keys=True))
         if self.metrics_snapshot:
             lines.append(json.dumps(
                 {"type": "metrics", **self.metrics_snapshot},

@@ -15,9 +15,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core import GhostBuster, RisServer
+from repro.core.baseline import BaselineStore
 from repro.core.diff import ScanConfidence
 from repro.errors import ReproError
-from repro.faults.plan import (FaultPlan, FaultSpec, SITE_RIS_TRANSPORT)
+from repro.faults.plan import (FaultPlan, FaultSpec, SITE_DISK_READ,
+                               SITE_MFT_PARSE, SITE_RIS_TRANSPORT)
 from repro.ghostware import (Aphex, HackerDefender, ProBotSE, Urbin,
                              Vanquish)
 from repro.machine import Machine
@@ -95,6 +97,69 @@ class TestChaosSweep:
         assert not result.errors
         assert result.retry_counts.get("victim-00") == 1
         assert "victim-00" in result.infected_machines
+
+
+class TestChaosDeltaInterplay:
+    """Faults landing mid-delta-patch must degrade to a full reparse,
+    never to a wrong (or missing) verdict."""
+
+    def _seeded_delta(self, tmp_path, label, fault_plan=None,
+                      max_workers=1):
+        """Seed baselines fault-free, mutate two machines, delta-sweep."""
+        fleet = _fleet()
+        store = BaselineStore(str(tmp_path / label))
+        RisServer().sweep(fleet, mode="full", baseline_store=store)
+        fleet[0].volume.create_file("\\Temp\\delta-drop.bin", b"payload")
+        fleet[3].volume.create_file("\\Temp\\delta-drop.bin", b"payload")
+        server = RisServer(fault_plan=fault_plan)
+        return server.sweep(fleet, mode="delta", baseline_store=store,
+                            max_workers=max_workers)
+
+    def test_delta_sweep_under_5pct_faults_matches_fault_free(
+            self, tmp_path):
+        reference = self._seeded_delta(tmp_path, "reference")
+        plan = FaultPlan.default(seed=2027, rate=0.05)
+        chaotic = self._seeded_delta(tmp_path, "chaotic",
+                                     fault_plan=plan, max_workers=2)
+
+        assert not chaotic.errors
+        assert chaotic.infected_machines == reference.infected_machines
+        assert sorted(chaotic.delta_skipped) == \
+            sorted(reference.delta_skipped)
+        for name in reference.reports:
+            assert _identities(chaotic.reports[name]) == \
+                _identities(reference.reports[name])
+        assert plan.fired_count() > 0
+
+    def test_torn_read_mid_patch_degrades_to_full_reparse(self,
+                                                          tmp_path):
+        # A torn read on the one re-scanned machine bumps the disk
+        # generation outside the write path; the journal refuses
+        # coverage across the gap and the rescan must cold-parse — with
+        # the verdict identical to the fault-free rescan.
+        reference = self._seeded_delta(tmp_path, "ref-torn")
+        plan = FaultPlan(seed=11, specs=(
+            FaultSpec(SITE_DISK_READ, mode="one_shot",
+                      kinds=("torn_read",), scopes=("victim-00",)),))
+        chaotic = self._seeded_delta(tmp_path, "torn", fault_plan=plan)
+
+        assert plan.fired_count() == 1
+        assert not chaotic.errors
+        assert chaotic.infected_machines == reference.infected_machines
+        assert _identities(chaotic.reports["victim-00"]) == \
+            _identities(reference.reports["victim-00"])
+
+    def test_parse_fault_mid_patch_self_heals(self, tmp_path):
+        reference = self._seeded_delta(tmp_path, "ref-parse")
+        plan = FaultPlan(seed=13, specs=(
+            FaultSpec(SITE_MFT_PARSE, mode="one_shot",
+                      kinds=("transient",), scopes=("victim-03",)),))
+        chaotic = self._seeded_delta(tmp_path, "parse", fault_plan=plan)
+
+        assert not chaotic.errors
+        assert chaotic.infected_machines == reference.infected_machines
+        assert _identities(chaotic.reports["victim-03"]) == \
+            _identities(reference.reports["victim-03"])
 
 
 class TestGracefulDegradation:

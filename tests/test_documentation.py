@@ -65,7 +65,8 @@ def test_repo_docs_exist():
     root = pathlib.Path(repro.__file__).resolve().parents[2]
     for document in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/ghostware_catalog.md",
-                     "docs/scanning_internals.md"):
+                     "docs/scanning_internals.md",
+                     "docs/incremental_scanning.md"):
         path = root / document
         assert path.exists(), f"{document} is part of the deliverables"
         assert path.stat().st_size > 500, f"{document} looks stubby"

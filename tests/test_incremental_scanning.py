@@ -1,0 +1,519 @@
+"""Incremental cross-view scanning: journal, cache repair, delta sweeps.
+
+The PR-4 pipeline in one file: the USN-style change journal on the
+disk, record-granular MFT namespace repair, hive bin-level delta
+parsing, snapshot identity-index patching, the persistent baseline
+store, and the delta fleet sweep built on all of them.  The recurring
+assertion everywhere is *identity*: whatever the incremental path
+produces must equal what a cold full parse/scan produces, and whenever
+that cannot be proven the code must fall back — never guess.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import BaselineStore, MachineBaseline
+from repro.core.reporting import report_from_dict, report_to_dict
+from repro.core.risboot import RisServer
+from repro.core.snapshot import FileEntry, ResourceType, ScanSnapshot
+from repro.disk import ChangeJournal, Disk, DiskGeometry
+from repro.errors import FileExists, FileNotFound, VolumeError
+from repro.ghostware import Aphex
+from repro.machine import Machine
+from repro.ntfs.mft_parser import MftParser
+from repro.registry import hive_parser
+from repro.registry.hive import Hive
+from repro.telemetry.metrics import global_metrics
+
+
+def _cold_parse(disk):
+    """A from-scratch namespace parse that bypasses every shared cache."""
+    parser = MftParser(lambda offset, length: disk.read_bytes(offset,
+                                                              length))
+    return sorted(parser.parse(), key=lambda e: e.record_no)
+
+
+def _warm_parse(disk):
+    parser = MftParser(disk.read_bytes)
+    return sorted(parser.parse(), key=lambda e: e.record_no)
+
+
+def _counter(name):
+    return global_metrics().counter(name)
+
+
+# -- change journal -----------------------------------------------------------
+
+class TestChangeJournal:
+    def test_records_every_disk_write(self):
+        disk = Disk(DiskGeometry.from_megabytes(1))
+        before = len(disk.journal)
+        disk.write_bytes(4096, b"first")
+        disk.write_bytes(8192, b"second")
+        assert len(disk.journal) == before + 2
+        newest = disk.journal._records[-1]
+        assert newest.generation == disk.generation
+        assert newest.kind == "bytes"
+
+    def test_records_since_covers_exact_window(self):
+        journal = ChangeJournal()
+        for generation in range(1, 6):
+            journal.record(generation, generation * 10, 1, "sector")
+        window = journal.records_since(2, 5)
+        assert [record.generation for record in window] == [3, 4, 5]
+        assert journal.records_since(5, 5) == []
+
+    def test_wrap_refuses_coverage(self):
+        journal = ChangeJournal(capacity=3)
+        for generation in range(1, 7):
+            journal.record(generation, generation, 1, "sector")
+        assert journal.overflowed
+        # Generations 1-3 fell off the ring: unprovable.
+        assert journal.records_since(1, 6) is None
+        # The retained tail is still answerable.
+        assert [r.generation
+                for r in journal.records_since(3, 6)] == [4, 5, 6]
+
+    def test_wrap_increments_overflow_counter(self):
+        journal = ChangeJournal(capacity=2)
+        for generation in range(1, 5):
+            journal.record(generation, generation, 1, "sector")
+        before = _counter("journal.overflow")
+        assert journal.records_since(0, 4) is None
+        assert _counter("journal.overflow") == before + 1
+
+    def test_generation_gap_poisons_earlier_coverage(self):
+        # A fault injector bumps disk.generation without writing; the
+        # next record arrives non-contiguous and the journal must refuse
+        # to vouch for anything at or before the gap.
+        journal = ChangeJournal()
+        journal.record(1, 10, 1, "sector")
+        journal.record(3, 30, 1, "sector")     # generation 2 is missing
+        assert journal.records_since(1, 3) is None
+        assert journal.records_since(2, 3) is not None
+
+    def test_stale_bookmark_refused(self):
+        journal = ChangeJournal()
+        journal.record(1, 0, 1, "sector")
+        # to_generation beyond the newest record → the caller's target
+        # state includes unrecorded changes.
+        assert journal.records_since(0, 2) is None
+        assert journal.records_since(2, 1) is None
+
+    def test_clone_is_independent(self):
+        journal = ChangeJournal(capacity=8)
+        journal.record(1, 0, 1, "sector")
+        copy = journal.clone()
+        journal.record(2, 1, 1, "sector")
+        assert journal.last_generation == 2
+        assert copy.last_generation == 1
+        copy.record(2, 99, 1, "sector")
+        assert journal._records[-1].first_sector == 1
+        assert copy._records[-1].first_sector == 99
+
+    def test_disk_clone_clones_journal(self):
+        disk = Disk(DiskGeometry.from_megabytes(1))
+        disk.write_bytes(4096, b"seed")
+        cloned = disk.clone()
+        disk.write_bytes(8192, b"after")
+        assert cloned.journal.last_generation < disk.journal.last_generation
+
+
+# -- record-granular MFT namespace repair -------------------------------------
+
+class TestMftDeltaPatch:
+    def _seed(self, volume):
+        volume.create_directories("\\data\\sub")
+        for index in range(20):
+            volume.create_file(f"\\data\\file-{index:02d}.bin",
+                               bytes([index]) * 64)
+        volume.create_file("\\data\\sub\\inner.bin", b"inner")
+
+    def test_patch_equals_cold_reparse(self, volume, disk):
+        self._seed(volume)
+        _warm_parse(disk)                       # warm the shared cache
+        volume.write_file("\\data\\file-03.bin", b"resized!" * 100)
+        volume.create_file("\\data\\new.bin", b"new")
+        volume.delete_file("\\data\\file-07.bin")
+        volume.rename("\\data\\file-05.bin", "\\data\\renamed.bin")
+        before = _counter("journal.records_patched")
+        assert _warm_parse(disk) == _cold_parse(disk)
+        assert _counter("journal.records_patched") > before
+
+    def test_directory_rename_cascades_paths(self, volume, disk):
+        self._seed(volume)
+        _warm_parse(disk)
+        volume.rename("\\data\\sub", "\\data\\moved")
+        entries = _warm_parse(disk)
+        paths = {entry.path for entry in entries}
+        assert "\\data\\moved\\inner.bin" in paths
+        assert not any(path.startswith("\\data\\sub") for path in paths)
+        assert entries == _cold_parse(disk)
+
+    def test_ads_change_patches(self, volume, disk):
+        self._seed(volume)
+        _warm_parse(disk)
+        volume.write_stream("\\data\\file-01.bin", "ads", b"hidden")
+        entries = _warm_parse(disk)
+        entry = next(e for e in entries if e.name == "file-01.bin")
+        assert entry.stream_names == ("ads",)
+        assert entries == _cold_parse(disk)
+
+    def test_journal_overflow_falls_back_to_full_reparse(self, volume,
+                                                         disk):
+        self._seed(volume)
+        _warm_parse(disk)
+        # A tiny journal starting at the warm generation: ten writes
+        # wrap it well past the warm bookmark.
+        disk.journal = ChangeJournal(capacity=4,
+                                     start_generation=disk.generation)
+        for index in range(10):
+            volume.write_file(f"\\data\\file-{index:02d}.bin", b"x" * 32)
+        overflow_before = _counter("journal.overflow")
+        patched_before = _counter("journal.records_patched")
+        assert _warm_parse(disk) == _cold_parse(disk)
+        assert _counter("journal.overflow") > overflow_before
+        assert _counter("journal.records_patched") == patched_before
+
+    def test_injected_generation_gap_falls_back(self, volume, disk):
+        self._seed(volume)
+        _warm_parse(disk)
+        volume.write_file("\\data\\file-02.bin", b"touched")
+        disk.generation += 1                    # injector-style bare bump
+        patched_before = _counter("journal.records_patched")
+        assert _warm_parse(disk) == _cold_parse(disk)
+        assert _counter("journal.records_patched") == patched_before
+
+
+# -- volume rename ------------------------------------------------------------
+
+class TestVolumeRename:
+    def test_rename_moves_between_directories(self, volume):
+        volume.create_directories("\\a")
+        volume.create_directories("\\b")
+        volume.create_file("\\a\\f.txt", b"payload")
+        volume.rename("\\a\\f.txt", "\\b\\g.txt")
+        assert volume.read_file("\\b\\g.txt") == b"payload"
+        assert not volume.exists("\\a\\f.txt")
+
+    def test_rename_rejects_collision(self, volume):
+        volume.create_file("\\one", b"")
+        volume.create_file("\\two", b"")
+        with pytest.raises(FileExists):
+            volume.rename("\\one", "\\two")
+
+    def test_rename_rejects_cycle(self, volume):
+        volume.create_directories("\\outer\\inner")
+        with pytest.raises(VolumeError):
+            volume.rename("\\outer", "\\outer\\inner\\outer")
+
+    def test_rename_missing_source(self, volume):
+        with pytest.raises(FileNotFound):
+            volume.rename("\\ghost", "\\real")
+
+    def test_rename_root_forbidden(self, volume):
+        with pytest.raises(VolumeError):
+            volume.rename("\\", "\\newroot")
+
+
+# -- hive bin-level delta parsing ---------------------------------------------
+
+class TestHiveBinDelta:
+    def _hive(self):
+        hive = Hive("SOFTWARE")
+        for top in ("Alpha", "Beta", "Gamma", "Delta"):
+            key = hive.create_key(f"{top}\\Nested\\Deep")
+            key.set_value("marker", f"{top}-value")
+        return hive
+
+    def test_single_bin_edit_reuses_other_bins(self):
+        hive_parser.clear_hive_cache()
+        hive = self._hive()
+        hive_parser.parse_hive(hive.serialize())
+        hive.open_key("Beta\\Nested\\Deep").set_value("marker", "edited")
+        blob = hive.serialize()
+        reused_before = _counter("hive.delta.bins_reused")
+        reparsed_before = _counter("hive.delta.bins_reparsed")
+        parsed = hive_parser.parse_hive(blob)
+        assert _counter("hive.delta.bins_reused") == reused_before + 3
+        assert _counter("hive.delta.bins_reparsed") == reparsed_before + 1
+        cold = hive_parser.HiveParser(blob).parse()
+        assert parsed == cold
+
+    def test_unaligned_layout_rejected(self):
+        # A compact (foreign-writer) layout puts the first top-level nk
+        # below its expected bin boundary; the span finder must refuse
+        # so the caller cold-parses.
+        from repro.registry import cells
+        blob = self._hive().serialize()
+        assert hive_parser._bin_spans(blob, [cells.HEADER_SIZE]) is None
+
+    def test_structural_surprise_falls_back(self, monkeypatch):
+        from repro.errors import HiveFormatError
+        hive_parser.clear_hive_cache()
+        blob = self._hive().serialize()
+
+        def foreign(blob_, offsets):
+            raise HiveFormatError("foreign writer")
+
+        monkeypatch.setattr(hive_parser, "_bin_spans", foreign)
+        before = _counter("hive.delta.fallback")
+        parsed = hive_parser._parse_blob_incremental(blob)
+        assert _counter("hive.delta.fallback") == before + 1
+        assert parsed == hive_parser.HiveParser(blob).parse()
+
+    def test_roundtrip_survives_bin_padding(self):
+        hive = self._hive()
+        blob = hive.serialize()
+        rebuilt = Hive.deserialize(blob)
+        assert rebuilt.open_key("Gamma\\Nested\\Deep").value(
+            "marker").win32_data() == "Gamma-value"
+
+
+# -- snapshot identity index --------------------------------------------------
+
+class TestSnapshotIdentities:
+    def _entry(self, path):
+        return FileEntry(path=path, name=path.rsplit("\\", 1)[-1],
+                         is_directory=False, size=1)
+
+    def test_list_replacement_invalidates_cache(self):
+        snapshot = ScanSnapshot(ResourceType.FILE, "win32-api",
+                                entries=[self._entry("\\a")])
+        assert "\\a" in snapshot.identities()
+        snapshot.entries = [self._entry("\\b")]
+        assert "\\b" in snapshot.identities()
+        assert "\\a" not in snapshot.identities()
+
+    def test_id_reuse_cannot_alias_the_cache(self):
+        # Regression: the old fingerprint was (id(entries), len(entries)).
+        # CPython frees the replaced list immediately, so a same-length
+        # replacement routinely reuses the exact id and the stale index
+        # was served.  The mutation counter makes every assignment a new
+        # fingerprint; loop to give the allocator every chance to reuse.
+        snapshot = ScanSnapshot(ResourceType.FILE, "raw-mft", entries=[])
+        for round_no in range(50):
+            snapshot.entries = [self._entry(f"\\round-{round_no}")]
+            index = snapshot.identities()
+            assert list(index) == [f"\\round-{round_no}"]
+
+    def test_version_counts_every_assignment(self):
+        snapshot = ScanSnapshot(ResourceType.FILE, "win32-api")
+        first = snapshot._entries_version
+        snapshot.entries = []
+        snapshot.entries = []
+        assert snapshot._entries_version == first + 2
+
+    def test_in_place_growth_still_invalidates(self):
+        snapshot = ScanSnapshot(ResourceType.FILE, "win32-api",
+                                entries=[self._entry("\\a")])
+        snapshot.identities()
+        snapshot.entries.append(self._entry("\\b"))
+        assert "\\b" in snapshot.identities()
+
+    def test_apply_delta_matches_rebuild(self):
+        entries = [self._entry(f"\\f{i}") for i in range(10)]
+        snapshot = ScanSnapshot(ResourceType.FILE, "raw-mft",
+                                entries=entries)
+        patched = snapshot.apply_delta(
+            removed_identities=["\\f3", "\\f7"],
+            upserted_entries=[self._entry("\\f5"), self._entry("\\new")])
+        expected = {e.identity for e in entries
+                    if e.identity not in ("\\f3", "\\f7")} | {"\\new"}
+        assert set(patched.identities()) == expected
+        # The receiver is untouched.
+        assert "\\f3" in snapshot.identities()
+        assert len(snapshot) == 10
+
+    def test_apply_delta_preseeds_index_cache(self):
+        snapshot = ScanSnapshot(ResourceType.FILE, "raw-mft",
+                                entries=[self._entry("\\a")])
+        patched = snapshot.apply_delta([], [self._entry("\\b")])
+        cached_fingerprint, cached_index = patched._identity_cache
+        assert patched.identities() is cached_index
+
+
+# -- report round-trip and baseline store -------------------------------------
+
+class TestBaselineStore:
+    def _report(self, name="pc-1"):
+        machine = Machine(name, disk_mb=64, max_records=4096)
+        machine.boot()
+        Aphex().install(machine)
+        return RisServer().network_boot_scan(machine), machine
+
+    def test_report_roundtrip_preserves_verdict(self):
+        report, _ = self._report()
+        document = report_to_dict(report)
+        rebuilt = report_from_dict(document)
+        assert report_to_dict(rebuilt) == document
+        assert rebuilt.is_clean == report.is_clean
+        assert len(rebuilt.findings) == len(report.findings)
+
+    def test_put_get_and_persistence(self, tmp_path):
+        report, machine = self._report()
+        store = BaselineStore(str(tmp_path))
+        stored = store.put("pc-1", report, machine.disk.generation,
+                           scan_seconds=1.25)
+        assert store.get("pc-1").baseline_id == stored.baseline_id
+        # A fresh store re-reads the JSONL file.
+        reloaded = BaselineStore(str(tmp_path))
+        baseline = reloaded.get("pc-1")
+        assert baseline.disk_generation == machine.disk.generation
+        assert baseline.scan_seconds == 1.25
+        rebuilt = baseline.rehydrate(mode="ris-delta-skip")
+        assert rebuilt.mode == "ris-delta-skip"
+        assert not rebuilt.is_clean
+
+    def test_latest_record_wins(self, tmp_path):
+        report, machine = self._report()
+        store = BaselineStore(str(tmp_path))
+        store.put("pc-1", report, 10)
+        store.put("pc-1", report, 20)
+        assert BaselineStore(str(tmp_path)).get("pc-1") \
+            .disk_generation == 20
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        report, machine = self._report()
+        store = BaselineStore(str(tmp_path))
+        store.put("pc-1", report, 5, scan_seconds=2.0)
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"machine": "pc-2", "trunc')
+        reloaded = BaselineStore(str(tmp_path))
+        assert reloaded.machines() == ["pc-1"]
+        assert reloaded.scan_seconds("pc-1") == 2.0
+        assert reloaded.scan_seconds("pc-2") is None
+
+
+# -- delta fleet sweeps -------------------------------------------------------
+
+def _fleet(count=5, infected=(2,)):
+    machines = []
+    for index in range(count):
+        machine = Machine(f"client-{index}", disk_mb=64, max_records=4096)
+        machine.boot()
+        machines.append(machine)
+    for index in infected:
+        Aphex().install(machines[index])
+    return machines
+
+
+class TestDeltaSweep:
+    def test_unchanged_fleet_fully_skipped(self, tmp_path):
+        machines = _fleet()
+        server = RisServer()
+        store = BaselineStore(str(tmp_path))
+        full = server.sweep(machines, mode="full", baseline_store=store)
+        delta = server.sweep(machines, mode="delta", baseline_store=store)
+        assert delta.mode == "delta"
+        assert sorted(delta.delta_skipped) == sorted(
+            machine.name for machine in machines)
+        assert delta.infected_machines == full.infected_machines
+        for name in delta.delta_skipped:
+            assert delta.reports[name].mode == "ris-delta-skip"
+            assert delta.baseline_ids[name] == \
+                store.get(name).baseline_id
+
+    def test_changed_machines_rescanned_incrementally(self, tmp_path):
+        machines = _fleet()
+        server = RisServer()
+        store = BaselineStore(str(tmp_path))
+        full = server.sweep(machines, mode="full", baseline_store=store)
+        machines[1].volume.create_file("\\Temp\\drop.txt", b"x")
+        machines[4].volume.create_file("\\Temp\\drop.txt", b"x")
+        delta = server.sweep(machines, mode="delta", baseline_store=store)
+        assert sorted(delta.delta_skipped) == \
+            ["client-0", "client-2", "client-3"]
+        assert delta.infected_machines == full.infected_machines
+        assert delta.delta_stats["journal.records_patched"] > 0
+        # The rescans advanced their baselines: a third sweep skips all.
+        third = server.sweep(machines, mode="delta", baseline_store=store)
+        assert len(third.delta_skipped) == len(machines)
+
+    def test_findings_identical_to_full_resweep(self, tmp_path):
+        machines = _fleet(count=4, infected=(1,))
+        server = RisServer()
+        store = BaselineStore(str(tmp_path))
+        server.sweep(machines, mode="full", baseline_store=store)
+        machines[3].volume.create_file("\\Temp\\evil.bin", b"z")
+        delta = server.sweep(machines, mode="delta", baseline_store=store)
+        full = server.sweep(machines, mode="full")
+        assert delta.infected_machines == full.infected_machines
+        for name, report in full.reports.items():
+            delta_ids = sorted(str(f.entry.identity)
+                               for f in delta.reports[name].findings)
+            full_ids = sorted(str(f.entry.identity)
+                              for f in report.findings)
+            assert delta_ids == full_ids
+
+    def test_dispatch_orders_longest_scan_first(self, tmp_path,
+                                                monkeypatch):
+        machines = _fleet(count=4, infected=())
+        store = BaselineStore(str(tmp_path))
+        server = RisServer()
+        server.sweep(machines, mode="full", baseline_store=store)
+        # Rewrite timings (at a stale generation, so everyone rescans)
+        # making client-2 historically slowest; client-0 loses its
+        # baseline entirely → unknown cost → dispatched first of all.
+        for name, seconds in (("client-1", 1.0), ("client-2", 9.0),
+                              ("client-3", 3.0)):
+            baseline = store.get(name)
+            store.put(name, baseline.rehydrate(), 0, scan_seconds=seconds)
+        store._baselines.pop("client-0")
+        order = []
+        original = RisServer.network_boot_scan
+
+        def recording(self, machine, **kwargs):
+            order.append(machine.name)
+            return original(self, machine, **kwargs)
+
+        monkeypatch.setattr(RisServer, "network_boot_scan", recording)
+        server.sweep(machines, mode="delta", baseline_store=store)
+        assert order == ["client-0", "client-2", "client-3", "client-1"]
+
+    def test_results_keep_input_order(self, tmp_path):
+        machines = _fleet(count=4, infected=())
+        store = BaselineStore(str(tmp_path))
+        server = RisServer()
+        result = server.sweep(machines, mode="delta", baseline_store=store)
+        assert list(result.reports) == [m.name for m in machines]
+
+    def test_error_machine_keeps_old_baseline(self, tmp_path):
+        from repro.faults.plan import (FaultPlan, FaultSpec,
+                                       SITE_RIS_TRANSPORT)
+        machines = _fleet(count=3, infected=())
+        store = BaselineStore(str(tmp_path))
+        RisServer().sweep(machines, mode="full", baseline_store=store)
+        old = store.get("client-1").baseline_id
+        machines[1].volume.create_file("\\Temp\\touch.txt", b"x")
+        plan = FaultPlan(seed=7, specs=(
+            FaultSpec(SITE_RIS_TRANSPORT, mode="always",
+                      kinds=("machine_death",), mean_delay_s=0.0,
+                      scopes=("client-1",)),))
+        result = RisServer(fault_plan=plan, max_retries=1).sweep(
+            machines, mode="delta", baseline_store=store)
+        assert "client-1" in result.quarantined
+        # The failed rescan must not overwrite the last good baseline.
+        assert store.get("client-1").baseline_id == old
+
+    def test_mode_validation(self, tmp_path):
+        machines = _fleet(count=1, infected=())
+        server = RisServer()
+        with pytest.raises(ValueError):
+            server.sweep(machines, mode="delta")
+        with pytest.raises(ValueError):
+            server.sweep(machines, mode="weekly")
+
+    def test_health_jsonl_carries_delta_provenance(self, tmp_path):
+        machines = _fleet(count=3, infected=(0,))
+        store = BaselineStore(str(tmp_path))
+        server = RisServer()
+        server.sweep(machines, mode="full", baseline_store=store)
+        machines[2].volume.create_file("\\Temp\\x.txt", b"x")
+        delta = server.sweep(machines, mode="delta", baseline_store=store,
+                             collect_telemetry=True)
+        jsonl = delta.health.to_jsonl()
+        assert '"type": "delta"' in jsonl
+        assert delta.health.delta["skipped"] == ["client-0", "client-1"]
+        assert "client-2" not in delta.health.delta["skipped"]

@@ -1,0 +1,166 @@
+"""Property tests: journal-patched indexes equal cold reparses.
+
+The incremental pipeline's one non-negotiable invariant, hammered with
+random mutation sequences: after ANY series of creates, writes,
+renames, deletes and ADS edits, a namespace repaired through the change
+journal must be element-identical to a from-scratch raw parse — and the
+same for hive trees rebuilt bin-by-bin.  The overflow variant runs the
+same sequences through a deliberately tiny journal so the wrap/fallback
+path gets the same hammering as the happy path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.disk import ChangeJournal, Disk, DiskGeometry
+from repro.errors import VolumeError
+from repro.ntfs import NtfsVolume
+from repro.ntfs.mft_parser import MftParser
+from repro.registry import hive_parser
+from repro.registry.hive import Hive
+
+_SLOTS = 8          # file name pool: ops address files by slot index
+_DIRS = ("\\docs", "\\docs\\deep", "\\logs")
+
+file_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(0, _SLOTS - 1),
+                  st.integers(0, 2)),              # (op, slot, dir index)
+        st.tuples(st.just("write"), st.integers(0, _SLOTS - 1),
+                  st.integers(1, 3000)),           # (op, slot, new size)
+        st.tuples(st.just("delete"), st.integers(0, _SLOTS - 1),
+                  st.just(0)),
+        st.tuples(st.just("rename"), st.integers(0, _SLOTS - 1),
+                  st.integers(0, 2)),              # move to dir index
+        st.tuples(st.just("ads"), st.integers(0, _SLOTS - 1),
+                  st.integers(1, 64)),             # (op, slot, ads size)
+        st.tuples(st.just("movedir"), st.integers(0, 1),
+                  st.just(0)),                     # rename \docs\deep
+    ),
+    min_size=1, max_size=12)
+
+
+def _fresh_volume():
+    disk = Disk(DiskGeometry.from_megabytes(16))
+    volume = NtfsVolume.format(disk, max_records=1024)
+    for directory in ("\\docs", "\\docs\\deep", "\\logs"):
+        volume.create_directories(directory)
+    for slot in range(0, _SLOTS, 2):               # half the pool exists
+        volume.create_file(f"\\docs\\slot-{slot}.bin", b"seed" * slot)
+    return disk, volume
+
+
+class _Mutator:
+    """Applies random ops, skipping ones the volume state disallows."""
+
+    def __init__(self, volume):
+        self.volume = volume
+        self.paths = {}
+        self.deep = "\\docs\\deep"
+        for slot in range(0, _SLOTS, 2):
+            self.paths[slot] = f"\\docs\\slot-{slot}.bin"
+
+    def _dir(self, index):
+        return [d if d != "\\docs\\deep" else self.deep
+                for d in _DIRS][index]
+
+    def apply(self, op, slot, arg):
+        if op == "create" and slot not in self.paths:
+            path = f"{self._dir(arg)}\\slot-{slot}.bin"
+            self.volume.create_file(path, b"fresh")
+            self.paths[slot] = path
+        elif op == "write" and slot in self.paths:
+            self.volume.write_file(self.paths[slot], b"w" * arg)
+        elif op == "delete" and slot in self.paths:
+            self.volume.delete_file(self.paths.pop(slot))
+        elif op == "rename" and slot in self.paths:
+            target = f"{self._dir(arg)}\\moved-{slot}.bin"
+            if target != self.paths[slot] \
+                    and not self.volume.exists(target):
+                self.volume.rename(self.paths[slot], target)
+                self.paths[slot] = target
+        elif op == "ads" and slot in self.paths:
+            self.volume.write_stream(self.paths[slot], "extra", b"a" * arg)
+        elif op == "movedir":
+            source = self.deep
+            target = "\\docs\\deep" if source != "\\docs\\deep" \
+                else "\\docs\\renamed"
+            try:
+                self.volume.rename(source, target)
+            except VolumeError:
+                return
+            self.deep = target
+            for slot, path in self.paths.items():
+                if path.startswith(source + "\\"):
+                    self.paths[slot] = target + path[len(source):]
+
+
+def _warm(disk):
+    return sorted(MftParser(disk.read_bytes).parse(),
+                  key=lambda e: e.record_no)
+
+
+def _cold(disk):
+    reader = lambda offset, length: disk.read_bytes(offset, length)
+    return sorted(MftParser(reader).parse(), key=lambda e: e.record_no)
+
+
+@settings(max_examples=30, deadline=None)
+@given(file_ops)
+def test_patched_namespace_equals_cold_reparse(ops):
+    disk, volume = _fresh_volume()
+    mutator = _Mutator(volume)
+    _warm(disk)                                   # seed the shared cache
+    for op, slot, arg in ops:
+        mutator.apply(op, slot, arg)
+        assert _warm(disk) == _cold(disk)
+
+
+@settings(max_examples=15, deadline=None)
+@given(file_ops)
+def test_overflowing_journal_still_correct(ops):
+    disk, volume = _fresh_volume()
+    mutator = _Mutator(volume)
+    _warm(disk)
+    # Two-record ring: almost every multi-write op wraps it, so the
+    # patch path must constantly take the full-reparse fallback.
+    disk.journal = ChangeJournal(capacity=2,
+                                 start_generation=disk.generation)
+    for op, slot, arg in ops:
+        mutator.apply(op, slot, arg)
+    assert _warm(disk) == _cold(disk)
+
+
+# -- hive bin-level delta ------------------------------------------------------
+
+hive_ops = st.lists(
+    st.tuples(st.integers(0, 3),                  # top-level key index
+              st.integers(0, 4),                  # value slot
+              st.one_of(st.text(min_size=0, max_size=20),
+                        st.integers(0, 2**31 - 1)),
+              st.booleans()),                     # True = delete instead
+    min_size=1, max_size=10)
+
+_TOPS = ("Alpha", "Beta", "Gamma", "Delta")
+
+
+@settings(max_examples=30, deadline=None)
+@given(hive_ops)
+def test_bin_patched_hive_equals_cold_parse(ops):
+    hive = Hive("SOFTWARE")
+    for top in _TOPS:
+        hive.create_key(f"{top}\\Sub").set_value("seed", top)
+    hive_parser.parse_hive(hive.serialize())      # warm the bin cache
+    for key_index, value_slot, data, delete in ops:
+        key = hive.open_key(f"{_TOPS[key_index]}\\Sub")
+        name = f"value-{value_slot}"
+        if delete:
+            if key.has_value(name):
+                key.delete_value(name)
+        else:
+            key.set_value(name, data)
+        blob = hive.serialize()
+        incremental = hive_parser._parse_blob_incremental(blob)
+        cold = hive_parser.HiveParser(blob).parse()
+        assert incremental == cold
