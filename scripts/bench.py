@@ -33,7 +33,20 @@ Measures nine hot paths and writes the timings to ``BENCH_PR4.json``:
 9. **delta fleet sweep** — the 50-machine fleet swept ``mode="delta"``
    against a seeded :class:`BaselineStore` with 3 machines changed,
    vs a full re-sweep — gated at >= 5x with identical
-   ``infected_machines``.
+   ``infected_machines``;
+10. **fleet epoch** — a checkpointed :mod:`repro.fleet` coordinator
+    epoch over the 50-machine fleet: the seed epoch scans everything,
+    the steady-state epoch rides the baselines — gated at >= 5x over a
+    naive serial full sweep;
+11. **fleet escalation** — a twelve-strain fleet (one corpus member per
+    machine plus clean controls) run through the inside→outside
+    escalation policy — gated at precision 1.0 (no clean machine ever
+    pays for a confirmation boot) with ``confirmed_by`` provenance on
+    every confirmed detection.
+
+``--fleet-soak`` ignores the benchmarks and instead runs the CI soak:
+N epochs over a fleet under a deterministic fault plan, gating that no
+machine is ever lost (every epoch yields a verdict for every machine).
 
 Every cached benchmark also reports the cache hit/miss counters the
 telemetry registry recorded while it ran, so the JSON shows *why* the
@@ -80,7 +93,7 @@ from repro.telemetry.metrics import (NullMetrics,           # noqa: E402
                                      set_global_metrics)
 from repro.workloads import populate_machine                # noqa: E402
 
-OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 
 
 def clear_caches(*disks) -> None:
@@ -530,6 +543,166 @@ def bench_delta_sweep(fleet_size: int, workers: int, client_wait: float,
     }
 
 
+def bench_fleet_epoch(fleet_size: int, file_count: int,
+                      workers: int) -> dict:
+    """Checkpointed fleet epochs vs a naive serial full sweep.
+
+    The naive arm scans every machine with a fresh
+    :class:`GhostBuster`, serially, every time — the cost an epoch
+    would pay with no baselines, no delta skips, no queue.  The
+    coordinator arm seeds its baselines in epoch 1 and then runs a
+    steady-state epoch 2 in which every unchanged machine rides its
+    stored verdict.  The steady-state epoch is the service's recurring
+    cost and must be >= 5x cheaper than the naive sweep.
+    """
+    from repro.fleet import FleetCoordinator
+
+    golden = golden_machine(file_count)
+    infected = tuple(range(0, fleet_size, max(1, fleet_size // 3)))[:3]
+
+    naive_fleet = cloned_fleet(golden, fleet_size, infected)
+
+    def naive_sweep():
+        for machine in naive_fleet:
+            GhostBuster(machine, advanced=True).inside_scan(
+                resources=("files", "registry"))
+
+    naive_s = timed(naive_sweep, repeat=1)
+
+    fleet = cloned_fleet(golden, fleet_size, infected)
+    with tempfile.TemporaryDirectory(prefix="gb-bench-fleet-") as tmp:
+        coordinator = FleetCoordinator(tmp, fleet, workers=workers,
+                                       compact_every=2)
+        started = time.perf_counter()
+        seeded = coordinator.run_epoch()
+        seed_s = time.perf_counter() - started
+        started = time.perf_counter()
+        steady = coordinator.run_epoch()
+        steady_s = time.perf_counter() - started
+
+    return {
+        "fleet_size": fleet_size,
+        "workers": workers,
+        "naive_serial_s": naive_s,
+        "seed_epoch_s": seed_s,
+        "steady_epoch_s": steady_s,
+        "speedup": naive_s / steady_s,
+        "seed_summary": seeded.summary.to_dict(),
+        "steady_summary": steady.summary.to_dict(),
+        "steady_all_skipped":
+            steady.summary.skipped == steady.summary.machines,
+        "verdicts_stable": ({v.machine: v.verdict for v in seeded.verdicts}
+                            == {v.machine: v.verdict
+                                for v in steady.verdicts}),
+    }
+
+
+def bench_fleet_escalation(file_count: int, clean_controls: int = 4,
+                           strains: int = 12) -> dict:
+    """Escalation precision over the twelve-strain corpus.
+
+    One corpus member per machine, plus ``clean_controls`` uninfected
+    machines.  Every machine whose inside scan finds something pays for
+    an outside-the-box confirmation; precision 1.0 means no clean
+    machine ever escalated (the paper's cost model only works if the
+    expensive tier is reserved for real suspects).
+    """
+    from repro.fleet import EscalationPolicy, FleetCoordinator
+    from repro.ghostware import (AdsGhost, Aphex, Berbew, CmCallbackGhost,
+                                 FuRootkit, Mersting, NamingExploitGhost,
+                                 ProBotSE, RegistryNamingGhost, Urbin,
+                                 Vanquish)
+
+    corpus = (HackerDefender, Urbin, Mersting, Vanquish, Aphex, ProBotSE,
+              Berbew, NamingExploitGhost, RegistryNamingGhost,
+              CmCallbackGhost, AdsGhost, FuRootkit)[:max(1, strains)]
+    golden = golden_machine(file_count)
+    fleet = cloned_fleet(golden, len(corpus) + clean_controls)
+    infected_names = []
+    for machine, ghost_cls in zip(fleet, corpus):
+        ghost = ghost_cls()
+        ghost.install(machine)
+        if isinstance(ghost, FuRootkit):
+            victim = machine.start_process("\\Windows\\explorer.exe",
+                                           name="dkom_victim.exe")
+            ghost.hide_process(machine, victim.pid)
+        infected_names.append(machine.name)
+
+    with tempfile.TemporaryDirectory(prefix="gb-bench-escal-") as tmp:
+        coordinator = FleetCoordinator(
+            tmp, fleet, workers=2,
+            policy=EscalationPolicy(confirm_with="winpe"),
+            resources=("files", "registry", "processes"))
+        aggregate = coordinator.run_epoch()
+
+    escalated = sorted(v.machine for v in aggregate.verdicts
+                       if v.escalated)
+    confirmed = sorted(v.machine for v in aggregate.verdicts
+                       if v.confirmed)
+    true_escalations = [name for name in escalated
+                        if name in infected_names]
+    precision = (len(true_escalations) / len(escalated)
+                 if escalated else 0.0)
+    provenance_ok = all(v.confirmed_by == "winpe"
+                        for v in aggregate.verdicts if v.confirmed)
+    return {
+        "strains": len(corpus),
+        "clean_controls": clean_controls,
+        "infected": infected_names,
+        "escalated": escalated,
+        "confirmed": confirmed,
+        "precision": precision,
+        "recall": len(true_escalations) / len(infected_names),
+        "confirmed_by_provenance_ok": provenance_ok,
+        "summary": aggregate.summary.to_dict(),
+    }
+
+
+def run_fleet_soak(epochs: int, fleet_size: int, rate: float,
+                   seed: int, file_count: int = 120) -> int:
+    """The CI soak: epochs under chaos, gated on zero lost machines."""
+    from repro.faults import context as faults_context
+    from repro.faults.plan import FaultPlan
+    from repro.fleet import FleetCoordinator
+
+    golden = golden_machine(file_count)
+    infected = tuple(range(0, fleet_size, max(1, fleet_size // 3)))[:3]
+    fleet = cloned_fleet(golden, fleet_size, infected)
+    plan = FaultPlan.default(seed=seed, rate=rate)
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="gb-fleet-soak-") as tmp:
+        coordinator = FleetCoordinator(tmp, fleet, workers=4,
+                                       fault_plan=plan, compact_every=2)
+        previous = faults_context.install_global_plan(plan)
+        try:
+            for __ in range(epochs):
+                aggregate = coordinator.run_epoch()
+                summary = aggregate.summary
+                print(f"soak epoch {summary.epoch}: "
+                      f"{summary.machines}/{fleet_size} machines "
+                      f"({summary.scanned} scanned, "
+                      f"{summary.skipped} skipped), "
+                      f"{summary.infected} infected, "
+                      f"{summary.errors} error(s)")
+                if summary.machines != fleet_size:
+                    failures.append(
+                        f"epoch {summary.epoch} lost machines: "
+                        f"{summary.machines}/{fleet_size}")
+        finally:
+            faults_context.install_global_plan(previous)
+    fired = plan.fired_count()
+    print(f"soak: {fired} fault(s) fired across "
+          f"{len({f.site for f in plan.fired()})} site(s)")
+    if fired == 0 and rate > 0:
+        failures.append("soak fired no faults (plan not wired?)")
+    for failure in failures:
+        print(f"  [FAIL] {failure}", file=sys.stderr)
+    if not failures:
+        print(f"  [PASS] zero lost machines across {epochs} epochs "
+              f"@ {rate:.0%} faults")
+    return 1 if failures else 0
+
+
 def write_telemetry_artifacts(directory: Path) -> None:
     """A tiny telemetry-collecting sweep for the CI artifact upload."""
     from repro.core.risboot import RisServer as _RisServer
@@ -559,21 +732,32 @@ def main() -> int:
     parser.add_argument("--telemetry-out", type=Path, default=None,
                         help="directory for sweep telemetry JSONL + "
                              "metrics snapshot (CI artifacts)")
+    parser.add_argument("--fleet-soak", action="store_true",
+                        help="run only the fleet soak (epochs under "
+                             "chaos, zero-lost-machines gate) and exit")
+    parser.add_argument("--soak-epochs", type=int, default=3)
+    parser.add_argument("--soak-fleet", type=int, default=50)
+    parser.add_argument("--soak-rate", type=float, default=0.05)
+    parser.add_argument("--soak-seed", type=int, default=2026)
     args = parser.parse_args()
+
+    if args.fleet_soak:
+        return run_fleet_soak(args.soak_epochs, args.soak_fleet,
+                              args.soak_rate, args.soak_seed)
 
     if args.smoke:
         profile = dict(files=120, reads=10, scans=3, fleet=6, workers=2,
                        client_wait=0.02, diff_entries=2_000,
                        overhead_reads=500, delta_mutations=4,
-                       delta_changed=3)
+                       delta_changed=3, strains=5)
     else:
         profile = dict(files=1000, reads=40, scans=5, fleet=50, workers=8,
                        client_wait=0.25, diff_entries=10_000,
                        overhead_reads=10_000, delta_mutations=10,
-                       delta_changed=3)
+                       delta_changed=3, strains=12)
 
     print(f"profile: {profile}")
-    results = {"pr": 4, "mode": "smoke" if args.smoke else "full",
+    results = {"pr": 5, "mode": "smoke" if args.smoke else "full",
                "profile": profile, "timings": {}}
     timings = results["timings"]
 
@@ -635,6 +819,28 @@ def main() -> int:
           f"({dsweep['speedup']:.1f}x), {dsweep['skipped']} skipped, "
           f"infected identical: {dsweep['infected_identical']}")
 
+    timings["fleet_epoch"] = bench_fleet_epoch(
+        profile["fleet"], file_count=min(profile["files"], 120),
+        workers=profile["workers"])
+    fleet_epoch = timings["fleet_epoch"]
+    print(f"fleet epoch ({fleet_epoch['fleet_size']} machines): "
+          f"naive serial {fleet_epoch['naive_serial_s']:.2f}s, "
+          f"seed epoch {fleet_epoch['seed_epoch_s']:.2f}s, "
+          f"steady epoch {fleet_epoch['steady_epoch_s']:.3f}s "
+          f"({fleet_epoch['speedup']:.1f}x), all skipped: "
+          f"{fleet_epoch['steady_all_skipped']}")
+
+    results["fleet_escalation"] = bench_fleet_escalation(
+        file_count=min(profile["files"], 120),
+        strains=profile["strains"])
+    escalation = results["fleet_escalation"]
+    print(f"fleet escalation ({escalation['strains']} strains + "
+          f"{escalation['clean_controls']} clean): "
+          f"{len(escalation['escalated'])} escalated, "
+          f"{len(escalation['confirmed'])} confirmed, "
+          f"precision {escalation['precision']:.2f}, "
+          f"recall {escalation['recall']:.2f}")
+
     results["chaos"] = bench_chaos_sweep(
         min(profile["fleet"], 12), profile["workers"],
         file_count=min(profile["files"], 120))
@@ -658,6 +864,13 @@ def main() -> int:
         ("delta sweep skipped every unchanged machine",
          dsweep["skipped"] == dsweep["fleet_size"]
          - len(dsweep["changed_machines"])),
+        ("fleet steady epoch all skipped",
+         fleet_epoch["steady_all_skipped"]),
+        ("fleet steady verdicts stable", fleet_epoch["verdicts_stable"]),
+        ("fleet escalation precision 1.0",
+         escalation["precision"] == 1.0 and escalation["escalated"]),
+        ("fleet escalation confirmed_by provenance",
+         escalation["confirmed_by_provenance_ok"]),
     )
     for label, passed in chaos_gates:
         print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
@@ -678,6 +891,8 @@ def main() -> int:
             ("RIS sweep findings identical", sweep["findings_identical"]),
             ("delta rescan speedup >= 10x", rescan["speedup"] >= 10),
             ("delta sweep speedup >= 5x", dsweep["speedup"] >= 5),
+            ("fleet steady epoch >= 5x naive serial",
+             fleet_epoch["speedup"] >= 5),
         )
         for label, passed in gates:
             print(f"  [{'PASS' if passed else 'FAIL'}] {label}")

@@ -16,6 +16,11 @@ line, ``type`` in {``sweep``, ``machine``, ``span``, ``audit``,
 ``delta``, ``metrics``}.  Delta sweeps add one ``delta`` record with
 the incremental provenance (baseline ids, skipped machines, repair
 counters); ``--demo --delta`` produces one.
+
+A ``repro.fleet`` epochs journal (``epochs.jsonl``: ``epoch-start``,
+``fleet-machine``, ``fleet-outbreak``, ``epoch-end`` records) is
+auto-detected and rendered as an epoch-by-epoch report with escalation
+provenance and outbreak alerts.
 """
 
 from __future__ import annotations
@@ -113,6 +118,62 @@ def render(records: dict) -> str:
     return "\n".join(lines)
 
 
+def render_fleet(records: dict) -> str:
+    """Render a fleet epochs journal (``repro.fleet`` coordinator)."""
+    lines = []
+    for start in records.get("epoch-start", []):
+        lines.append(f"epoch {start.get('epoch', '?')} opened over "
+                     f"{start.get('machines', '?')} machine(s) at "
+                     f"t={start.get('at', 0.0):.1f}s")
+    verdicts = records.get("fleet-machine", [])
+    if verdicts:
+        header = (f"{'machine':<14} {'ep':>3} {'verdict':<9} "
+                  f"{'mode':<8} {'findings':>8} {'sim(s)':>8} escalation")
+        lines += [header, "-" * len(header)]
+        for verdict in verdicts:
+            mode = "skip" if verdict.get("skipped") else "scan"
+            escalation = ""
+            if verdict.get("escalated"):
+                escalation = (f"confirmed by {verdict['confirmed_by']}"
+                              if verdict.get("confirmed")
+                              else "escalated, unconfirmed")
+            if verdict.get("error"):
+                escalation = verdict["error"]
+            lines.append(
+                f"{verdict.get('machine', '?'):<14} "
+                f"{verdict.get('epoch', 0):>3d} "
+                f"{verdict.get('verdict', '?'):<9} {mode:<8} "
+                f"{verdict.get('findings', 0):>8d} "
+                f"{verdict.get('scan_seconds', 0.0):>8.1f} {escalation}")
+    outbreaks = records.get("fleet-outbreak", [])
+    for outbreak in outbreaks:
+        lines.append(f"OUTBREAK epoch {outbreak.get('epoch', '?')}: "
+                     f"{outbreak.get('identity')!r} on "
+                     f"{len(outbreak.get('machines', []))} machine(s): "
+                     + ", ".join(outbreak.get("machines", [])))
+    ends = records.get("epoch-end", [])
+    if ends:
+        lines.append("epochs:")
+        for end in ends:
+            lines.append(
+                f"  epoch {end.get('epoch', '?')}: "
+                f"{end.get('machines', 0)} machine(s), "
+                f"{end.get('scanned', 0)} scanned / "
+                f"{end.get('skipped', 0)} skipped, "
+                f"{end.get('infected', 0)} infected, "
+                f"{end.get('escalated', 0)} escalated "
+                f"({end.get('confirmed', 0)} confirmed), "
+                f"{end.get('errors', 0)} error(s), "
+                f"{end.get('outbreaks', 0)} outbreak(s), "
+                f"{end.get('scan_seconds', 0.0):.1f}s of scanning")
+    return "\n".join(lines)
+
+
+def is_fleet_journal(records: dict) -> bool:
+    return bool(records.get("fleet-machine") or records.get("epoch-end")
+                or records.get("epoch-start"))
+
+
 def run_demo(out_path: Path, delta: bool = False) -> Path:
     import tempfile
 
@@ -164,7 +225,11 @@ def main(argv=None) -> int:
         path = Path(options.jsonl)
     else:
         parser.error("give a JSONL file or --demo")
-    print(render(load_jsonl(path)))
+    records = load_jsonl(path)
+    if is_fleet_journal(records):
+        print(render_fleet(records))
+    else:
+        print(render(records))
     return 0
 
 

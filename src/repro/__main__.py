@@ -2,10 +2,13 @@
 
 Commands
 --------
-demo      infect a machine with Hacker Defender, detect, disinfect
-matrix    print the Figure-2/5 technique × detection matrix
-sweep     RIS network-boot sweep over a small fleet
-unix      the Section-5 Unix rootkit experiments
+demo          infect a machine with Hacker Defender, detect, disinfect
+matrix        print the Figure-2/5 technique × detection matrix
+sweep         RIS network-boot sweep over a small fleet; with
+              ``--epochs``/``--continuous`` it becomes a checkpointed
+              fleet-service run with optional ``--escalate`` confirmation
+unix          the Section-5 Unix rootkit experiments
+fleet-status  inspect a ``--fleet-dir``: queue depth, leases, last epoch
 
 Output goes through :mod:`logging` (logger ``repro.cli``) so embedders
 can redirect or silence it; ``--json`` switches ``demo`` and ``sweep``
@@ -137,10 +140,56 @@ def cmd_matrix(options) -> int:
     return 0
 
 
+def _fleet_sweep(options) -> int:
+    """The ``--epochs``/``--continuous`` path: a checkpointed fleet
+    service run instead of a one-shot RIS sweep."""
+    from repro.fleet import EscalationPolicy, FleetCoordinator
+    from repro.ghostware import Aphex, HackerDefender
+    from repro.workloads.scenarios import build_fleet
+
+    log = logging.getLogger(LOGGER_NAME)
+    fleet_dir = options.fleet_dir or tempfile.mkdtemp(prefix="gb-fleet-")
+    size = max(2, options.fleet_size)
+    scenarios = build_fleet(size=size,
+                            compromised={1: HackerDefender,
+                                         size - 1: Aphex})
+    plan = _chaos_plan(options)
+    policy = EscalationPolicy(confirm_with=options.escalate or "winpe",
+                              escalate=options.escalate is not None,
+                              fault_plan=plan)
+    coordinator = FleetCoordinator(fleet_dir,
+                                   [s.machine for s in scenarios],
+                                   workers=2, policy=policy,
+                                   fault_plan=plan, compact_every=4)
+    epochs = max(1, options.epochs or (10 if options.continuous else 1))
+    summaries = []
+    for __ in range(epochs):
+        aggregate = coordinator.run_epoch()
+        summary = aggregate.summary
+        summaries.append(summary.to_dict())
+        if not options.json:
+            log.info("epoch %d: %d machines (%d scanned, %d skipped) "
+                     "infected=%d escalated=%d confirmed=%d outbreaks=%d",
+                     summary.epoch, summary.machines, summary.scanned,
+                     summary.skipped, summary.infected, summary.escalated,
+                     summary.confirmed, summary.outbreaks)
+        if options.continuous and summary.scanned == 0:
+            # Steady state: the whole fleet rode its baselines.
+            break
+    if options.json:
+        _emit_json({"fleet_dir": fleet_dir, "epochs": summaries})
+    else:
+        log.info("fleet state in %s", fleet_dir)
+    return 0
+
+
 def cmd_sweep(options) -> int:
     from repro.core import RisServer
     from repro.ghostware import Aphex
     from repro.machine import Machine
+
+    if options.epochs or options.continuous or options.fleet_dir:
+        return _fleet_sweep(options)
 
     log = logging.getLogger(LOGGER_NAME)
     machines = []
@@ -217,8 +266,44 @@ def cmd_unix(options) -> int:
     return 0
 
 
+def cmd_fleet_status(options) -> int:
+    from repro.fleet import fleet_status
+
+    log = logging.getLogger(LOGGER_NAME)
+    if not options.fleet_dir:
+        log.info("fleet-status needs --fleet-dir DIR")
+        return 2
+    status = fleet_status(options.fleet_dir)
+    if options.json:
+        _emit_json(status)
+        return 0
+    log.info("fleet directory: %s", status["fleet_dir"])
+    if status["open_epoch"] is not None:
+        log.info("open epoch %d: %d pending, %d leased, %d acked",
+                 status["open_epoch"], status["pending"],
+                 status["leased"], status["acked"])
+        for machine in status.get("leased_machines", []):
+            log.info("  leased: %s", machine)
+    else:
+        log.info("no epoch open")
+    log.info("epochs completed: %d", status["epochs_completed"])
+    last = status["last_summary"]
+    if last:
+        log.info("last epoch %d: %d machines (%d scanned, %d skipped) "
+                 "infected=%d escalated=%d confirmed=%d",
+                 last.get("epoch", 0), last.get("machines", 0),
+                 last.get("scanned", 0), last.get("skipped", 0),
+                 last.get("infected", 0), last.get("escalated", 0),
+                 last.get("confirmed", 0))
+    for outbreak in status["outbreaks"]:
+        log.info("OUTBREAK epoch %d: %s on %d machines",
+                 outbreak.get("epoch", 0), outbreak.get("identity"),
+                 len(outbreak.get("machines", [])))
+    return 0
+
+
 COMMANDS = {"demo": cmd_demo, "matrix": cmd_matrix, "sweep": cmd_sweep,
-            "unix": cmd_unix}
+            "unix": cmd_unix, "fleet-status": cmd_fleet_status}
 
 
 def main(argv=None) -> int:
@@ -257,6 +342,25 @@ def main(argv=None) -> int:
                         help="demo a delta sweep: seed baselines with a "
                              "full pass, change one client, then re-sweep "
                              "skipping the unchanged ones")
+    parser.add_argument("--epochs", type=int, default=0, metavar="N",
+                        help="run N checkpointed fleet epochs instead of "
+                             "a one-shot sweep (sweep)")
+    parser.add_argument("--continuous", action="store_true",
+                        help="keep running epochs (resuming any "
+                             "interrupted one) until the fleet reaches "
+                             "steady state or --epochs is exhausted")
+    parser.add_argument("--escalate", choices=("winpe", "vmscan"),
+                        default=None,
+                        help="confirm inside findings with an "
+                             "outside-the-box pass of this kind (sweep "
+                             "--epochs)")
+    parser.add_argument("--fleet-dir", default=None, metavar="DIR",
+                        help="durable fleet state directory (queue WAL, "
+                             "epochs journal, baselines); also the "
+                             "target of fleet-status")
+    parser.add_argument("--fleet-size", type=int, default=6, metavar="N",
+                        help="machines in the demo fleet for sweep "
+                             "--epochs (default 6)")
     options = parser.parse_args(argv)
     _configure_logging(options.verbose, to_stderr=options.json)
     return COMMANDS[options.command](options)

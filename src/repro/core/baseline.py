@@ -18,6 +18,13 @@ Storage is append-only JSONL — one record per baseline update, latest
 record per machine wins — so a torn write can lose at most the final
 line, and that loss degrades to one extra full scan, never to a wrong
 verdict.
+
+Under the continuous fleet service (:mod:`repro.fleet`) the file gains
+one line per machine per epoch forever; :meth:`BaselineStore.compact`
+rewrites it down to the newest record per machine.  Compaction is
+crash-safe: the survivors are written to a temp file, fsynced, and
+atomically renamed over the original, so a kill at any instant leaves
+either the old file or the new one, never a half of each.
 """
 
 from __future__ import annotations
@@ -27,11 +34,12 @@ import json
 import logging
 import os
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.diff import DetectionReport
 from repro.core.reporting import report_from_dict, report_to_dict
+from repro.telemetry.metrics import global_metrics
 
 logger = logging.getLogger(__name__)
 
@@ -47,6 +55,9 @@ class MachineBaseline:
     disk_generation: int
     scan_seconds: float
     report: Dict                    # report_to_dict() document
+    # Caller-owned rider (fleet escalation provenance and the like);
+    # round-trips through the JSONL but never affects the baseline id.
+    extra: Dict = field(default_factory=dict)
 
     def rehydrate(self, mode: Optional[str] = None) -> DetectionReport:
         """Rebuild the stored report; ``mode`` overrides provenance."""
@@ -89,6 +100,7 @@ class BaselineStore:
                         disk_generation=record["disk_generation"],
                         scan_seconds=record.get("scan_seconds", 0.0),
                         report=record["report"],
+                        extra=record.get("extra", {}),
                     )
                 except (ValueError, KeyError, TypeError) as exc:
                     # A torn tail line loses one update, not the store.
@@ -112,7 +124,8 @@ class BaselineStore:
 
     def put(self, machine: str, report: DetectionReport,
             disk_generation: int,
-            scan_seconds: float = 0.0) -> MachineBaseline:
+            scan_seconds: float = 0.0,
+            extra: Optional[Dict] = None) -> MachineBaseline:
         """Record a fresh verdict; appends one JSONL line and returns it."""
         document = report_to_dict(report)
         baseline = MachineBaseline(
@@ -121,17 +134,49 @@ class BaselineStore:
             disk_generation=disk_generation,
             scan_seconds=scan_seconds,
             report=document,
+            extra=dict(extra or {}),
         )
-        line = json.dumps({
+        with self._lock:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(self._record_line(baseline) + "\n")
+            self._baselines[machine] = baseline
+        return baseline
+
+    @staticmethod
+    def _record_line(baseline: MachineBaseline) -> str:
+        return json.dumps({
             "machine": baseline.machine,
             "baseline_id": baseline.baseline_id,
             "disk_generation": baseline.disk_generation,
             "scan_seconds": baseline.scan_seconds,
             "report": baseline.report,
+            "extra": baseline.extra,
         }, sort_keys=True)
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite the JSONL down to the newest record per machine.
+
+        Crash-safe: survivors go to ``<path>.tmp`` (fsynced), which is
+        then atomically renamed over the live file — a kill at any point
+        leaves either the complete old file or the complete new one.
+        Returns ``{"records_before": N, "records_after": M}``.
+        """
         with self._lock:
-            os.makedirs(self.directory, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-            self._baselines[machine] = baseline
-        return baseline
+            if not os.path.exists(self.path):
+                return {"records_before": 0, "records_after": 0}
+            with open(self.path, "r", encoding="utf-8") as handle:
+                before = sum(1 for line in handle if line.strip())
+            tmp_path = self.path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for machine in sorted(self._baselines):
+                    handle.write(
+                        self._record_line(self._baselines[machine]) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+            after = len(self._baselines)
+        global_metrics().incr("fleet.baseline.compactions")
+        global_metrics().incr("fleet.baseline.compacted_records",
+                              max(0, before - after))
+        return {"records_before": before, "records_after": after}

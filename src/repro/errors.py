@@ -150,5 +150,34 @@ class MachineUnavailable(ReproError):
     """
 
 
+class FleetError(ReproError):
+    """Raised by the fleet orchestration service (repro.fleet)."""
+
+
+class StaleLease(FleetError):
+    """A worker acted on a lease that expired or was superseded.
+
+    The queue re-leased the machine to another worker (or the epoch
+    moved on); honouring the stale ack would double-count the machine.
+    The late worker drops its result — the current lease holder's scan
+    is the one that lands.
+    """
+
+    def __init__(self, machine: str, token: int, reason: str):
+        super().__init__(
+            f"stale lease #{token} for {machine!r}: {reason}")
+        self.machine = machine
+        self.token = token
+
+
+class CoordinatorKilled(FleetError):
+    """Deterministic SIGKILL stand-in for checkpoint-soundness tests.
+
+    Raised by the coordinator at an ack boundary when a test asked for
+    ``kill_after_acks``; nothing is flushed beyond what the WAL already
+    made durable, exactly like a real kill -9.
+    """
+
+
 class UnixError(ReproError):
     """Raised by the Unix substrate (repro.unixsim)."""

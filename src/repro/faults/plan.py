@@ -38,6 +38,7 @@ SITE_WINAPI_ENUM = "winapi.enum"      # high-level enumeration walks
 SITE_RIS_TRANSPORT = "ris.transport"  # the RIS network-boot transport
 SITE_MFT_PARSE = "mft.parse"          # raw namespace build (self-healing)
 SITE_HIVE_PARSE = "hive.parse"        # raw hive parse (self-healing)
+SITE_FLEET_LEASE = "fleet.lease"      # work-queue lease acquisition
 
 MODES = ("rate", "burst", "one_shot", "always")
 
@@ -153,6 +154,8 @@ class FaultPlan:
             FaultSpec(SITE_RIS_TRANSPORT, rate=rate, scopes=scopes,
                       kinds=("drop", "timeout"),
                       mean_delay_s=mean_delay_s),
+            FaultSpec(SITE_FLEET_LEASE, rate=rate, scopes=scopes,
+                      kinds=("io_error",), mean_delay_s=0.0),
         ))
 
     @classmethod

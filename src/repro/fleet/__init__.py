@@ -1,0 +1,33 @@
+"""Continuous fleet scan orchestration (the paper's Section 5 service).
+
+The subsystem turns one-shot sweeps into a durable, resumable,
+policy-driven service: a WAL-backed work queue with leases
+(:mod:`repro.fleet.queue`), a staleness/risk/LPT scheduler
+(:mod:`repro.fleet.scheduler`), an epoch coordinator that checkpoints
+after every ack (:mod:`repro.fleet.coordinator`), a two-tier
+inside→outside escalation policy (:mod:`repro.fleet.policy`), and a
+streaming aggregator with outbreak detection
+(:mod:`repro.fleet.aggregator`).
+"""
+
+from repro.fleet.aggregator import (EpochSummary, FleetAggregator,
+                                    MachineVerdict, OutbreakAlert)
+from repro.fleet.coordinator import (EPOCHS_FILE, FleetCoordinator,
+                                     fleet_status)
+from repro.fleet.policy import (CONFIRM_METHODS, CONFIRM_VMSCAN,
+                                CONFIRM_WINPE, EscalationOutcome,
+                                EscalationPolicy)
+from repro.fleet.queue import QUEUE_FILE, Lease, WorkQueue
+from repro.fleet.scheduler import (FleetHistory, FleetScheduler,
+                                   ScheduledMachine, load_history,
+                                   stable_shard)
+
+__all__ = [
+    "EPOCHS_FILE", "QUEUE_FILE",
+    "CONFIRM_METHODS", "CONFIRM_VMSCAN", "CONFIRM_WINPE",
+    "EpochSummary", "EscalationOutcome", "EscalationPolicy",
+    "FleetAggregator", "FleetCoordinator", "FleetHistory",
+    "FleetScheduler", "Lease", "MachineVerdict", "OutbreakAlert",
+    "ScheduledMachine", "WorkQueue",
+    "fleet_status", "load_history", "stable_shard",
+]

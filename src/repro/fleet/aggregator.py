@@ -1,0 +1,176 @@
+"""Streaming fleet aggregation and outbreak detection.
+
+One :class:`FleetAggregator` per epoch.  The coordinator feeds it one
+:class:`MachineVerdict` per ack, so at any instant — including the
+instant the coordinator dies — the summary on disk reflects exactly the
+machines acked so far, and nothing has to re-walk the epoch to compute
+it.
+
+Outbreak detection lifts Section 5's per-machine mass-hiding anomaly to
+the fleet axis: a single HackerDefender install on one box is an
+incident, but the *same ghost identity* (``resource:identity`` finding
+fingerprint) surfacing on ``outbreak_threshold`` machines in one epoch
+is an outbreak — self-propagating ghostware or a compromised golden
+image — and is flagged as a fleet-level anomaly the moment the K-th
+machine acks, not at epoch end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import global_metrics
+
+DEFAULT_OUTBREAK_THRESHOLD = 3
+
+
+@dataclass(frozen=True)
+class MachineVerdict:
+    """One machine's outcome within one epoch — the unit of checkpoint."""
+
+    machine: str
+    epoch: int
+    verdict: str                    # "clean" | "infected" | "error"
+    findings: int = 0
+    noise: int = 0
+    scanned: bool = False           # False → baseline rehydration (skip)
+    skipped: bool = False
+    escalated: bool = False
+    confirmed: bool = False
+    confirmed_by: Optional[str] = None
+    baseline_id: Optional[str] = None
+    scan_seconds: float = 0.0
+    error: Optional[str] = None
+    finding_ids: List[str] = field(default_factory=list)
+    mass_hiding: bool = False
+
+    def to_dict(self) -> Dict:
+        record = asdict(self)
+        record["type"] = "fleet-machine"
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict) -> "MachineVerdict":
+        return cls(machine=record["machine"],
+                   epoch=int(record.get("epoch", 0)),
+                   verdict=record.get("verdict", "error"),
+                   findings=int(record.get("findings", 0)),
+                   noise=int(record.get("noise", 0)),
+                   scanned=bool(record.get("scanned")),
+                   skipped=bool(record.get("skipped")),
+                   escalated=bool(record.get("escalated")),
+                   confirmed=bool(record.get("confirmed")),
+                   confirmed_by=record.get("confirmed_by"),
+                   baseline_id=record.get("baseline_id"),
+                   scan_seconds=float(record.get("scan_seconds", 0.0)),
+                   error=record.get("error"),
+                   finding_ids=list(record.get("finding_ids", [])),
+                   mass_hiding=bool(record.get("mass_hiding")))
+
+
+@dataclass(frozen=True)
+class OutbreakAlert:
+    """The same ghost fingerprint on too many machines in one epoch."""
+
+    epoch: int
+    identity: str                   # "resource:identity" fingerprint
+    machines: List[str]
+    threshold: int
+
+    def describe(self) -> str:
+        return (f"OUTBREAK epoch {self.epoch}: {self.identity!r} on "
+                f"{len(self.machines)} machines "
+                f"(threshold {self.threshold}): "
+                + ", ".join(self.machines))
+
+    def to_dict(self) -> Dict:
+        return {"type": "fleet-outbreak", "epoch": self.epoch,
+                "identity": self.identity, "machines": self.machines,
+                "threshold": self.threshold}
+
+
+@dataclass
+class EpochSummary:
+    """Fleet-level rollup of one epoch, updated per ack."""
+
+    epoch: int
+    machines: int = 0
+    scanned: int = 0
+    skipped: int = 0
+    infected: int = 0
+    clean: int = 0
+    errors: int = 0
+    escalated: int = 0
+    confirmed: int = 0
+    mass_hiding: int = 0
+    outbreaks: int = 0
+    scan_seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        record = asdict(self)
+        record["type"] = "epoch-summary"
+        record["scan_seconds"] = round(record["scan_seconds"], 6)
+        return record
+
+
+class FleetAggregator:
+    """Folds per-machine verdicts into a live epoch summary."""
+
+    def __init__(self, epoch: int,
+                 outbreak_threshold: int = DEFAULT_OUTBREAK_THRESHOLD):
+        self.summary = EpochSummary(epoch=epoch)
+        self.outbreak_threshold = max(2, int(outbreak_threshold))
+        # identity → sorted machine set; alerts fire once per identity,
+        # the moment membership crosses the threshold.
+        self._sightings: Dict[str, List[str]] = {}
+        self._alerted: Dict[str, OutbreakAlert] = {}
+        self.verdicts: List[MachineVerdict] = []
+
+    def observe(self, verdict: MachineVerdict) -> List[OutbreakAlert]:
+        """Fold one verdict in; returns any outbreaks it just triggered."""
+        self.verdicts.append(verdict)
+        summary = self.summary
+        summary.machines += 1
+        summary.scan_seconds += verdict.scan_seconds
+        if verdict.scanned:
+            summary.scanned += 1
+        if verdict.skipped:
+            summary.skipped += 1
+        if verdict.verdict == "infected":
+            summary.infected += 1
+        elif verdict.verdict == "clean":
+            summary.clean += 1
+        else:
+            summary.errors += 1
+        if verdict.escalated:
+            summary.escalated += 1
+        if verdict.confirmed:
+            summary.confirmed += 1
+        if verdict.mass_hiding:
+            summary.mass_hiding += 1
+
+        fresh: List[OutbreakAlert] = []
+        for identity in verdict.finding_ids:
+            machines = self._sightings.setdefault(identity, [])
+            if verdict.machine not in machines:
+                machines.append(verdict.machine)
+            if (len(machines) >= self.outbreak_threshold
+                    and identity not in self._alerted):
+                alert = OutbreakAlert(epoch=verdict.epoch,
+                                      identity=identity,
+                                      machines=sorted(machines),
+                                      threshold=self.outbreak_threshold)
+                self._alerted[identity] = alert
+                summary.outbreaks += 1
+                global_metrics().incr("fleet.outbreaks")
+                fresh.append(alert)
+        return fresh
+
+    def outbreaks(self) -> List[OutbreakAlert]:
+        return [self._alerted[identity]
+                for identity in sorted(self._alerted)]
+
+    def infected_machines(self) -> List[str]:
+        return sorted(v.machine for v in self.verdicts
+                      if v.verdict == "infected")

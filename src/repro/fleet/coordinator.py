@@ -1,0 +1,406 @@
+r"""Epoch-based continuous fleet sweeps with checkpointed resume.
+
+The coordinator is the service loop the paper's Section 5 gestures at:
+keep the whole enterprise fleet under a standing GhostBuster watch,
+cheaply, forever.  One *epoch* = every machine in the roster produces a
+verdict exactly once.  The coordinator:
+
+1. plans the epoch (:class:`~repro.fleet.scheduler.FleetScheduler` —
+   staleness + risk + LPT), deals the roster into shards, and opens it
+   on the durable :class:`~repro.fleet.queue.WorkQueue`;
+2. drives logical workers through lease → scan → checkpoint → ack;
+3. escalates finding-bearing machines through the
+   :class:`~repro.fleet.policy.EscalationPolicy` (inside findings buy
+   an outside-the-box confirmation with ``confirmed_by`` provenance);
+4. streams every verdict into the
+   :class:`~repro.fleet.aggregator.FleetAggregator` (outbreak alarms
+   fire mid-epoch, not at the end);
+5. compacts the baseline store and queue WAL every ``compact_every``
+   epochs.
+
+**The checkpoint protocol.**  Per machine, the write order is fixed:
+
+====  ==========================================================
+ 1    ``BaselineStore.put`` — the durable verdict + generation
+ 2    ``epochs.jsonl`` ``fleet-machine`` record — the epoch's copy
+ 3    ``WorkQueue.ack`` — the machine leaves the epoch
+====  ==========================================================
+
+so any machine the queue says is acked has a durable verdict on disk.
+A coordinator killed between any two steps resumes by replaying the
+queue WAL: acked machines keep their recorded verdicts (never
+re-scanned), unacked machines are re-leased and re-scanned.  Because
+fault streams are seeded per ``(site, machine)`` — independent of
+scheduling order — the resumed epoch's verdicts are element-identical
+to an uninterrupted run's.
+
+``kill_after_acks`` is the deterministic stand-in for ``SIGKILL`` in
+tests: the coordinator raises :class:`~repro.errors.CoordinatorKilled`
+immediately *after* the N-th ack completes, i.e. exactly at a
+checkpoint boundary, which is the only place the synchronous loop can
+die anyway (every step in between is one atomic append).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.clock import SimClock
+from repro.core.anomaly import check_mass_hiding
+from repro.core.baseline import BaselineStore
+from repro.core.ghostbuster import GhostBuster
+from repro.core.noise import NoiseFilter
+from repro.errors import (CircuitOpen, CoordinatorKilled, FleetError,
+                          ReproError, StaleLease, TransientIoError)
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import CircuitBreaker
+from repro.fleet.aggregator import (DEFAULT_OUTBREAK_THRESHOLD,
+                                    FleetAggregator, MachineVerdict)
+from repro.fleet.policy import EscalationPolicy, finding_ids
+from repro.fleet.queue import WorkQueue
+from repro.fleet.scheduler import FleetScheduler, load_history
+from repro.machine import Machine
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
+
+logger = logging.getLogger(__name__)
+
+EPOCHS_FILE = "epochs.jsonl"
+
+
+class FleetCoordinator:
+    """Runs checkpointed epochs over a fleet of simulated machines."""
+
+    def __init__(self, fleet_dir: str, machines: Iterable[Machine],
+                 workers: int = 2,
+                 scheduler: Optional[FleetScheduler] = None,
+                 policy: Optional[EscalationPolicy] = None,
+                 clock: Optional[SimClock] = None,
+                 lease_seconds: float = 300.0,
+                 compact_every: int = 0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 noise_filter: Optional[NoiseFilter] = None,
+                 outbreak_threshold: int = DEFAULT_OUTBREAK_THRESHOLD,
+                 resources=("files", "registry"),
+                 breaker_threshold: int = 3):
+        self.fleet_dir = fleet_dir
+        self.machines: Dict[str, Machine] = {m.name: m for m in machines}
+        if not self.machines:
+            raise FleetError("a fleet needs at least one machine")
+        self.workers = max(1, int(workers))
+        self.policy = policy or EscalationPolicy(
+            noise_filter=noise_filter, fault_plan=fault_plan)
+        self.noise_filter = noise_filter or NoiseFilter()
+        self.resources = tuple(resources)
+        self.compact_every = max(0, int(compact_every))
+        self.fault_plan = fault_plan
+        self.outbreak_threshold = outbreak_threshold
+        self.epochs_path = os.path.join(fleet_dir, EPOCHS_FILE)
+        self.store = BaselineStore(fleet_dir)
+        self.queue = WorkQueue(fleet_dir, clock=clock,
+                               lease_seconds=lease_seconds)
+        self.clock = self.queue.clock
+        self.scheduler = scheduler or FleetScheduler(shards=self.workers)
+        self.breaker = CircuitBreaker(failure_threshold=breaker_threshold)
+        self._quarantined: List[str] = []   # errored last epoch → risk
+        self._epochs_run = 0
+
+    # -- journal -----------------------------------------------------------------
+
+    def _journal(self, record: Dict) -> None:
+        record = dict(record, at=round(self.clock.now(), 6))
+        os.makedirs(self.fleet_dir, exist_ok=True)
+        with open(self.epochs_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _journaled_verdicts(self, epoch: int) -> Dict[str, MachineVerdict]:
+        """This epoch's already-recorded verdicts (the resume path)."""
+        verdicts: Dict[str, MachineVerdict] = {}
+        if not os.path.exists(self.epochs_path):
+            return verdicts
+        with open(self.epochs_path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    logger.warning("skipping torn epochs line %d in %s: %s",
+                                   line_no, self.epochs_path, exc)
+                    continue
+                if (record.get("type") == "fleet-machine"
+                        and int(record.get("epoch", -1)) == epoch):
+                    verdict = MachineVerdict.from_dict(record)
+                    verdicts[verdict.machine] = verdict
+        return verdicts
+
+    # -- epoch lifecycle ---------------------------------------------------------
+
+    def next_epoch_number(self) -> int:
+        if self.queue.epoch is not None:
+            return self.queue.epoch
+        return load_history(self.epochs_path).last_epoch_no + 1
+
+    def run_epoch(self, kill_after_acks: Optional[int] = None
+                  ) -> FleetAggregator:
+        """Run (or resume) one epoch to completion; returns its aggregate.
+
+        ``kill_after_acks=N`` raises :class:`CoordinatorKilled` right
+        after the N-th ack of *this invocation* commits — the test
+        harness's deterministic power cord.
+        """
+        metrics = global_metrics()
+        resuming = self.queue.epoch is not None
+        epoch = self.next_epoch_number()
+        aggregator = FleetAggregator(
+            epoch, outbreak_threshold=self.outbreak_threshold)
+
+        if resuming:
+            recovered = self.queue.recover_leases()
+            if recovered:
+                logger.info("epoch %d resume: requeued %d orphaned "
+                            "lease(s)", epoch, len(recovered))
+            # Re-fold the verdicts the dead coordinator already
+            # checkpointed, so the final summary covers the whole
+            # roster and outbreak counting sees every sighting.
+            journaled = self._journaled_verdicts(epoch)
+            for machine in sorted(self.queue.acked_machines()):
+                verdict = journaled.get(machine)
+                if verdict is not None:
+                    aggregator.observe(verdict)
+            metrics.incr("fleet.epoch.resumed")
+        else:
+            history = load_history(self.epochs_path)
+            plan = self.scheduler.plan(
+                sorted(self.machines), epoch, history,
+                scan_seconds={name: seconds for name in self.machines
+                              if (seconds := self.store.scan_seconds(name))
+                              is not None},
+                quarantined=self._quarantined)
+            self.queue.open_epoch(epoch, self.scheduler.assignments(plan))
+            self._journal({"type": "epoch-start", "epoch": epoch,
+                           "machines": len(plan)})
+            metrics.incr("fleet.epoch.started")
+
+        with telemetry_context.current_tracer().span(
+                "fleet.epoch", clock=self.clock, epoch=epoch,
+                resumed=resuming):
+            self._drain_epoch(epoch, aggregator, kill_after_acks)
+
+        self._journal(dict(aggregator.summary.to_dict(), type="epoch-end"))
+        self.queue.close_epoch()
+        self._quarantined = sorted(
+            v.machine for v in aggregator.verdicts if v.error is not None)
+        metrics.incr("fleet.epoch.completed")
+        metrics.incr("fleet.epoch.machines", aggregator.summary.machines)
+        metrics.incr("fleet.epoch.scans", aggregator.summary.scanned)
+        metrics.incr("fleet.epoch.skipped", aggregator.summary.skipped)
+
+        self._epochs_run += 1
+        if self.compact_every and self._epochs_run % self.compact_every == 0:
+            self.store.compact()
+            self.queue.compact()
+        return aggregator
+
+    def run(self, epochs: int,
+            kill_after_acks: Optional[int] = None) -> List[FleetAggregator]:
+        """``epochs`` back-to-back epochs; the continuous-service loop."""
+        return [self.run_epoch(kill_after_acks=kill_after_acks)
+                for __ in range(int(epochs))]
+
+    def _drain_epoch(self, epoch: int, aggregator: FleetAggregator,
+                     kill_after_acks: Optional[int]) -> None:
+        metrics = global_metrics()
+        acks = 0
+        while not self.queue.epoch_drained():
+            progressed = False
+            for worker in range(self.workers):
+                if self.queue.epoch_drained():
+                    break
+                try:
+                    lease = self.queue.lease(worker)
+                except TransientIoError:
+                    # The fleet.lease chaos site fired: the exchange
+                    # failed, the machine is still pending, the next
+                    # pass retries it.
+                    metrics.incr("fleet.lease.faults")
+                    progressed = True
+                    continue
+                if lease is None:
+                    continue
+                verdict = self._scan_machine(epoch, lease.machine)
+                self._journal(verdict.to_dict())
+                try:
+                    self.queue.ack(lease, verdict=verdict.verdict,
+                                   scanned=verdict.scanned,
+                                   confirmed=verdict.confirmed)
+                except StaleLease:
+                    # The lease timed out under a pathologically slow
+                    # scan and someone else will redo the machine; the
+                    # journal keeps both records, last one wins.
+                    logger.warning("late ack for %s dropped", lease.machine)
+                    progressed = True
+                    continue
+                metrics.incr("fleet.epoch.checkpoints")
+                for alert in aggregator.observe(verdict):
+                    self._journal(alert.to_dict())
+                    logger.warning("%s", alert.describe())
+                progressed = True
+                acks += 1
+                if kill_after_acks is not None and acks >= kill_after_acks:
+                    raise CoordinatorKilled(
+                        f"killed after {acks} ack(s) in epoch {epoch}")
+            if not progressed and not self.queue.epoch_drained():
+                # Every pending shard is empty but leases are still out
+                # (e.g. a test leased directly and died): ride the clock
+                # to the earliest expiry and reap.
+                deadline = self.queue.next_expiry()
+                if deadline is None:
+                    raise FleetError(
+                        f"epoch {epoch} stalled with no pending work, "
+                        f"no leases, and machines unaccounted for")
+                self.clock.advance(max(0.0, deadline - self.clock.now()))
+                self.queue.expire_leases()
+
+    # -- per-machine scan --------------------------------------------------------
+
+    def _scan_machine(self, epoch: int, name: str) -> MachineVerdict:
+        machine = self.machines.get(name)
+        if machine is None:
+            return MachineVerdict(machine=name, epoch=epoch,
+                                  verdict="error",
+                                  error="machine not in roster")
+        baseline = self.store.get(name)
+        if (baseline is not None
+                and machine.disk.generation == baseline.disk_generation):
+            # Steady state: the disk has not changed since the stored
+            # verdict, so the verdict still holds — rehydrate it (and
+            # its escalation provenance) without touching the box.
+            report = baseline.rehydrate(mode="fleet-skip")
+            extra = baseline.extra
+            return MachineVerdict(
+                machine=name, epoch=epoch,
+                verdict="clean" if report.is_clean else "infected",
+                findings=sum(1 for f in report.findings if not f.is_noise),
+                noise=sum(1 for f in report.findings if f.is_noise),
+                scanned=False, skipped=True,
+                escalated=bool(extra.get("escalated")),
+                confirmed=bool(extra.get("confirmed")),
+                confirmed_by=extra.get("confirmed_by"),
+                baseline_id=baseline.baseline_id,
+                scan_seconds=0.0,
+                finding_ids=list(extra.get("finding_ids", [])),
+                mass_hiding=bool(extra.get("mass_hiding")))
+
+        try:
+            self.breaker.allow(name)
+        except CircuitOpen as exc:
+            global_metrics().incr("fleet.quarantined")
+            return MachineVerdict(machine=name, epoch=epoch,
+                                  verdict="error", error=str(exc))
+        try:
+            return self._scan_body(epoch, machine)
+        except ReproError as exc:
+            self.breaker.record_failure(name)
+            global_metrics().incr("fleet.scan.errors")
+            logger.warning("epoch %d scan of %s failed: %s",
+                           epoch, name, exc)
+            return MachineVerdict(machine=name, epoch=epoch,
+                                  verdict="error",
+                                  error=f"{type(exc).__name__}: {exc}")
+
+    def _scan_body(self, epoch: int, machine: Machine) -> MachineVerdict:
+        name = machine.name
+        if not machine.powered_on:
+            machine.boot()
+        # Scan costs are charged to the machine's own clock; the fleet
+        # clock (leases, checkpoints) mirrors the elapsed time when the
+        # two are distinct, so lease expiry sees scans take time.
+        stopwatch = machine.clock.stopwatch()
+        with telemetry_context.current_tracer().span(
+                "fleet.scan", clock=self.clock, machine=name, epoch=epoch):
+            report = GhostBuster(machine, advanced=True,
+                                 noise_filter=self.noise_filter,
+                                 fault_plan=self.fault_plan).inside_scan(
+                                     resources=self.resources)
+        inside_ids = finding_ids(report)
+        alert = check_mass_hiding(report)
+        escalated = confirmed = False
+        confirmed_by = None
+        if self.policy.should_escalate(report):
+            outcome = self.policy.confirm(machine, report)
+            escalated = True
+            confirmed = outcome.confirmed
+            confirmed_by = outcome.confirmed_by
+        # Generation is captured *after* the scans: escalation reboots
+        # the box (registry flush bumps the generation), so a confirmed
+        # machine never matches its stored generation and gets re-swept
+        # eagerly next epoch, while a clean machine skips.
+        scan_seconds = stopwatch.elapsed()
+        if machine.clock is not self.clock:
+            self.clock.advance(scan_seconds)
+        generation = machine.disk.generation
+        extra = {"escalated": escalated, "confirmed": confirmed,
+                 "confirmed_by": confirmed_by, "finding_ids": inside_ids,
+                 "mass_hiding": alert is not None, "epoch": epoch}
+        stored = self.store.put(name, report, disk_generation=generation,
+                                scan_seconds=scan_seconds, extra=extra)
+        self.breaker.record_success(name)
+        return MachineVerdict(
+            machine=name, epoch=epoch,
+            verdict="clean" if report.is_clean else "infected",
+            findings=sum(1 for f in report.findings if not f.is_noise),
+            noise=sum(1 for f in report.findings if f.is_noise),
+            scanned=True, skipped=False,
+            escalated=escalated, confirmed=confirmed,
+            confirmed_by=confirmed_by,
+            baseline_id=stored.baseline_id,
+            scan_seconds=scan_seconds,
+            finding_ids=inside_ids,
+            mass_hiding=alert is not None)
+
+
+# -- operator status -----------------------------------------------------------
+
+
+def fleet_status(fleet_dir: str) -> Dict:
+    """What the fleet directory says, from disk alone.
+
+    Safe to call with no coordinator running (and on a directory a
+    coordinator just died in): it replays the queue WAL and the epochs
+    journal without writing anything.
+    """
+    queue_path = os.path.join(fleet_dir, "queue.jsonl")
+    status: Dict = {"fleet_dir": fleet_dir,
+                    "open_epoch": None, "pending": 0, "leased": 0,
+                    "acked": 0, "epochs_completed": 0,
+                    "last_summary": None, "outbreaks": []}
+    if os.path.exists(queue_path):
+        queue = WorkQueue(fleet_dir)
+        status["open_epoch"] = queue.epoch
+        status["pending"] = queue.pending_count()
+        status["leased"] = len(queue.leased_machines())
+        status["acked"] = len(queue.acked_machines())
+        status["pending_machines"] = queue.pending_machines()
+        status["leased_machines"] = sorted(queue.leased_machines())
+    epochs_path = os.path.join(fleet_dir, EPOCHS_FILE)
+    if os.path.exists(epochs_path):
+        with open(epochs_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if record.get("type") == "epoch-end":
+                    status["epochs_completed"] += 1
+                    status["last_summary"] = record
+                elif record.get("type") == "fleet-outbreak":
+                    status["outbreaks"].append(record)
+    return status

@@ -1,0 +1,125 @@
+r"""Two-tier scan policy: cheap inside scans, escalated confirmation.
+
+Section 5's enterprise cost model in code.  The steady state is the
+cheapest scan that can possibly clear a machine: if its disk generation
+still matches the stored baseline the verdict is *rehydrated* without
+touching the box, and otherwise a (delta, cache-repaired) inside-the-box
+scan runs.  Only a machine whose inside scan shows findings pays for
+the expensive second tier — an outside-the-box confirmation pass, via
+the WinPE clean boot (``confirmed_by="winpe"``) or the powered-down
+virtual-disk scan (``confirmed_by="vmscan"``).  A clean machine never
+reboots, which is exactly the paper's "run the inside scan frequently,
+the outside scan on demand" deployment shape.
+
+The confirmation verdict carries provenance: the escalated report is
+stamped with ``confirmed_by`` so a fleet operator can distinguish
+"the inside scan said so" from "a clean boot agreed".  An escalation
+whose outside pass comes back clean is *unconfirmed* — the inside
+finding was noise, a race, or ghostware tampering with the raw scan
+path (itself diagnostic), and the machine stays flagged for the next
+epoch rather than silently cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.diff import DetectionReport
+from repro.core.ghostbuster import GhostBuster
+from repro.core.noise import NoiseFilter
+from repro.core.vmscan import vm_outside_scan
+from repro.errors import FleetError
+from repro.faults.plan import FaultPlan
+from repro.machine import Machine
+from repro.telemetry import context as telemetry_context
+from repro.telemetry.metrics import global_metrics
+
+CONFIRM_WINPE = "winpe"
+CONFIRM_VMSCAN = "vmscan"
+CONFIRM_METHODS = (CONFIRM_WINPE, CONFIRM_VMSCAN)
+
+
+@dataclass
+class EscalationOutcome:
+    """What the second tier said about one flagged machine."""
+
+    escalated: bool = False
+    confirmed: bool = False
+    confirmed_by: Optional[str] = None
+    outside_findings: int = 0
+    outside_report: Optional[DetectionReport] = None
+    finding_ids: List[str] = field(default_factory=list)
+
+
+def finding_ids(report: DetectionReport) -> List[str]:
+    """Canonical non-noise finding identities, sorted — the ghost's
+    fleet-wide fingerprint (what outbreak detection correlates on)."""
+    return sorted(f"{f.resource_type.value}:{f.entry.identity}"
+                  for f in report.findings if not f.is_noise)
+
+
+class EscalationPolicy:
+    """Decides when and how a machine pays for the outside-the-box tier."""
+
+    def __init__(self, confirm_with: str = CONFIRM_WINPE,
+                 escalate: bool = True,
+                 resources: Sequence[str] = ("files", "registry"),
+                 noise_filter: Optional[NoiseFilter] = None,
+                 advanced: bool = True,
+                 fault_plan: Optional[FaultPlan] = None):
+        if confirm_with not in CONFIRM_METHODS:
+            raise FleetError(
+                f"unknown confirmation method {confirm_with!r}; "
+                f"expected one of {CONFIRM_METHODS}")
+        self.confirm_with = confirm_with
+        self.escalate = escalate
+        # The confirmation pass sticks to the non-volatile resources:
+        # a process diff needs a crash dump written to the suspect disk,
+        # which would dirty the very generation the delta skip gates on.
+        self.resources = tuple(resources)
+        self.noise_filter = noise_filter or NoiseFilter()
+        self.advanced = advanced
+        self.fault_plan = fault_plan
+
+    def should_escalate(self, report: DetectionReport) -> bool:
+        """Any non-noise inside finding buys a confirmation boot."""
+        return self.escalate and not report.is_clean
+
+    def confirm(self, machine: Machine,
+                inside_report: DetectionReport) -> EscalationOutcome:
+        """Run the outside-the-box pass and stamp the provenance.
+
+        The outcome's ``confirmed_by`` is also attached to the outside
+        report (``report.confirmed_by``) so the verdict document itself
+        carries the provenance, not just the epoch record.
+        """
+        metrics = global_metrics()
+        metrics.incr("fleet.escalations")
+        with telemetry_context.current_tracer().span(
+                "fleet.escalate", clock=machine.clock,
+                machine=machine.name, method=self.confirm_with):
+            if self.confirm_with == CONFIRM_WINPE:
+                outside = GhostBuster(
+                    machine, advanced=self.advanced,
+                    noise_filter=self.noise_filter,
+                    fault_plan=self.fault_plan).outside_scan(
+                        resources=self.resources)
+            else:
+                outside = vm_outside_scan(machine,
+                                          resources=self.resources)
+                outside.findings = self.noise_filter.apply(
+                    outside.findings)
+        confirmed = not outside.is_clean
+        outside.confirmed_by = self.confirm_with
+        if confirmed:
+            metrics.incr("fleet.escalations.confirmed")
+        else:
+            metrics.incr("fleet.escalations.unconfirmed")
+        return EscalationOutcome(
+            escalated=True, confirmed=confirmed,
+            confirmed_by=self.confirm_with if confirmed else None,
+            outside_findings=sum(1 for f in outside.findings
+                                 if not f.is_noise),
+            outside_report=outside,
+            finding_ids=finding_ids(outside))

@@ -1,0 +1,344 @@
+"""Coordinator epochs: checkpointing, resume soundness, escalation.
+
+The chaos-interplay suite lives here too: killing a worker mid-lease,
+killing the coordinator mid-epoch (deterministically, at ack
+boundaries), and a Hypothesis sweep over every possible kill point —
+in all cases the resumed epoch's verdicts must be element-identical to
+an uninterrupted run's and no acked machine may be scanned twice.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CoordinatorKilled
+from repro.fleet import (EscalationPolicy, FleetCoordinator, WorkQueue,
+                         fleet_status)
+from repro.ghostware import Aphex, HackerDefender
+from repro.machine import Machine
+from repro.telemetry.metrics import global_metrics
+
+
+def build_fleet(size=3, infected=(1,), ghost_cls=HackerDefender):
+    machines = []
+    for index in range(size):
+        machine = Machine(f"m{index:02d}", disk_mb=256, max_records=8192)
+        machine.boot()
+        if index in infected:
+            ghost_cls().install(machine)
+        machines.append(machine)
+    return machines
+
+
+def verdict_key(aggregate):
+    return {v.machine: (v.verdict, v.findings, v.confirmed, v.confirmed_by)
+            for v in aggregate.verdicts}
+
+
+def machine_records(fleet_dir, epoch):
+    records = []
+    with open(f"{fleet_dir}/epochs.jsonl", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            if (record.get("type") == "fleet-machine"
+                    and record.get("epoch") == epoch):
+                records.append(record)
+    return records
+
+
+class TestEpochLifecycle:
+    def test_epoch_covers_fleet_and_detects(self, tmp_path):
+        machines = build_fleet(size=3, infected=(1,))
+        coordinator = FleetCoordinator(str(tmp_path), machines, workers=2)
+        aggregate = coordinator.run_epoch()
+        assert aggregate.summary.machines == 3
+        assert aggregate.summary.scanned == 3
+        assert aggregate.infected_machines() == ["m01"]
+        infected = next(v for v in aggregate.verdicts
+                        if v.machine == "m01")
+        assert infected.escalated and infected.confirmed
+        assert infected.confirmed_by == "winpe"
+        assert infected.finding_ids
+        assert coordinator.queue.epoch is None   # epoch closed
+
+    def test_steady_state_epoch_skips_unchanged(self, tmp_path):
+        machines = build_fleet(size=3, infected=(1,))
+        coordinator = FleetCoordinator(str(tmp_path), machines, workers=2)
+        first = coordinator.run_epoch()
+        second = coordinator.run_epoch()
+        assert second.summary.skipped == 3
+        assert second.summary.scanned == 0
+        assert verdict_key(first) == verdict_key(second)
+        # The rehydrated infected verdict keeps its provenance.
+        skipped = next(v for v in second.verdicts if v.machine == "m01")
+        assert skipped.skipped and skipped.confirmed_by == "winpe"
+
+    def test_changed_machine_is_rescanned(self, tmp_path):
+        machines = build_fleet(size=3, infected=())
+        coordinator = FleetCoordinator(str(tmp_path), machines)
+        coordinator.run_epoch()
+        machines[2].volume.create_file("\\Temp\\new.txt", b"payload")
+        second = coordinator.run_epoch()
+        rescanned = {v.machine for v in second.verdicts if v.scanned}
+        assert rescanned == {"m02"}
+        assert second.summary.skipped == 2
+
+    def test_vmscan_policy_provenance(self, tmp_path):
+        machines = build_fleet(size=2, infected=(0,), ghost_cls=Aphex)
+        coordinator = FleetCoordinator(
+            str(tmp_path), machines,
+            policy=EscalationPolicy(confirm_with="vmscan"))
+        aggregate = coordinator.run_epoch()
+        infected = next(v for v in aggregate.verdicts if v.confirmed)
+        assert infected.confirmed_by == "vmscan"
+
+    def test_no_escalation_when_policy_disabled(self, tmp_path):
+        machines = build_fleet(size=2, infected=(0,))
+        coordinator = FleetCoordinator(
+            str(tmp_path), machines,
+            policy=EscalationPolicy(escalate=False))
+        aggregate = coordinator.run_epoch()
+        assert aggregate.summary.infected == 1
+        assert aggregate.summary.escalated == 0
+
+    def test_outbreak_detection_across_machines(self, tmp_path):
+        machines = build_fleet(size=4, infected=(0, 1, 2))
+        coordinator = FleetCoordinator(str(tmp_path), machines,
+                                       outbreak_threshold=3)
+        aggregate = coordinator.run_epoch()
+        outbreaks = aggregate.outbreaks()
+        assert outbreaks, "same ghost on 3 machines must raise an alert"
+        assert all(len(alert.machines) >= 3 for alert in outbreaks)
+        # Outbreak records land in the journal for fleet-status.
+        status = fleet_status(str(tmp_path))
+        assert status["outbreaks"]
+
+    def test_compaction_shrinks_stores(self, tmp_path):
+        machines = build_fleet(size=2, infected=())
+        coordinator = FleetCoordinator(str(tmp_path), machines,
+                                       compact_every=2)
+        coordinator.run_epoch()
+        coordinator.run_epoch()
+        # After compaction the baseline file holds one record/machine
+        # and the queue WAL is empty (no epoch open).
+        with open(coordinator.store.path, encoding="utf-8") as handle:
+            assert sum(1 for line in handle if line.strip()) == 2
+        with open(coordinator.queue.path, encoding="utf-8") as handle:
+            assert handle.read() == ""
+
+    def test_fleet_status_reflects_open_epoch(self, tmp_path):
+        machines = build_fleet(size=3, infected=())
+        coordinator = FleetCoordinator(str(tmp_path), machines, workers=1)
+        with pytest.raises(CoordinatorKilled):
+            coordinator.run_epoch(kill_after_acks=1)
+        status = fleet_status(str(tmp_path))
+        assert status["open_epoch"] == 1
+        assert status["acked"] == 1
+        assert status["pending"] + status["leased"] == 2
+        assert status["epochs_completed"] == 0
+
+
+class TestResumeSoundness:
+    def test_kill_and_resume_is_element_identical(self, tmp_path):
+        reference = FleetCoordinator(
+            str(tmp_path / "ref"), build_fleet(size=4, infected=(1, 3)),
+            workers=2).run_epoch()
+
+        fleet_dir = str(tmp_path / "chaos")
+        machines = build_fleet(size=4, infected=(1, 3))
+        with pytest.raises(CoordinatorKilled):
+            FleetCoordinator(fleet_dir, machines,
+                             workers=2).run_epoch(kill_after_acks=2)
+        resumed = FleetCoordinator(fleet_dir, machines,
+                                   workers=2).run_epoch()
+        assert verdict_key(resumed) == verdict_key(reference)
+        records = machine_records(fleet_dir, epoch=1)
+        counts = {record["machine"]: 0 for record in records}
+        for record in records:
+            counts[record["machine"]] += 1
+        assert all(count == 1 for count in counts.values()), counts
+        assert len(counts) == 4
+
+    def test_double_kill_then_resume(self, tmp_path):
+        fleet_dir = str(tmp_path)
+        machines = build_fleet(size=4, infected=(2,))
+        for __ in range(2):
+            with pytest.raises(CoordinatorKilled):
+                FleetCoordinator(fleet_dir, machines,
+                                 workers=2).run_epoch(kill_after_acks=1)
+        aggregate = FleetCoordinator(fleet_dir, machines,
+                                     workers=2).run_epoch()
+        assert aggregate.summary.machines == 4
+        assert len(machine_records(fleet_dir, epoch=1)) == 4
+
+    def test_resume_does_not_rescan_acked_machines(self, tmp_path):
+        fleet_dir = str(tmp_path)
+        machines = build_fleet(size=3, infected=())
+        with pytest.raises(CoordinatorKilled):
+            FleetCoordinator(fleet_dir, machines,
+                             workers=1).run_epoch(kill_after_acks=2)
+        acked_before = set(WorkQueue(fleet_dir).acked_machines())
+        assert len(acked_before) == 2
+        generations = {name: machines_by_name(machines)[name]
+                       .disk.generation for name in acked_before}
+        FleetCoordinator(fleet_dir, machines, workers=1).run_epoch()
+        # An acked machine's disk was never touched again (a rescan of
+        # an infected machine would have rebooted it).
+        for name, generation in generations.items():
+            assert (machines_by_name(machines)[name].disk.generation
+                    == generation)
+
+    def test_worker_death_mid_lease_under_coordinator(self, tmp_path):
+        """A lease taken by a worker that dies is reaped by expiry and
+        the machine still completes within the same epoch."""
+        fleet_dir = str(tmp_path)
+        machines = build_fleet(size=2, infected=())
+        coordinator = FleetCoordinator(fleet_dir, machines, workers=1,
+                                       lease_seconds=50.0)
+        # Simulate a dead worker: open the epoch by hand, lease one
+        # machine, and never ack it.
+        history_epoch = coordinator.next_epoch_number()
+        plan = coordinator.scheduler.plan(
+            sorted(coordinator.machines), history_epoch,
+            __import__("repro.fleet.scheduler",
+                       fromlist=["FleetHistory"]).FleetHistory())
+        coordinator.queue.open_epoch(
+            history_epoch, coordinator.scheduler.assignments(plan))
+        orphan = coordinator.queue.lease(worker=9)
+        before = global_metrics().snapshot()["counters"].get(
+            "fleet.lease_expired", 0)
+        aggregate = coordinator.run_epoch()   # resumes the open epoch
+        assert aggregate.summary.machines == 2
+        assert orphan.machine in {v.machine for v in aggregate.verdicts}
+        # recover_leases() requeued the orphan at resume; no expiry wait.
+        after = global_metrics().snapshot()["counters"].get(
+            "fleet.lease_expired", 0)
+        assert after == before
+
+
+def machines_by_name(machines):
+    return {machine.name: machine for machine in machines}
+
+
+class TestCheckpointProperty:
+    """Hypothesis: any kill point yields an identical completed epoch."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(kill_after=st.integers(min_value=1, max_value=3),
+           infected=st.sets(st.integers(min_value=0, max_value=2),
+                            max_size=2))
+    def test_any_kill_point_resumes_identically(self, tmp_path_factory,
+                                                kill_after, infected):
+        tmp_path = tmp_path_factory.mktemp("fleet-prop")
+        reference = FleetCoordinator(
+            str(tmp_path / "ref"),
+            build_fleet(size=3, infected=tuple(infected)),
+            workers=2).run_epoch()
+
+        fleet_dir = str(tmp_path / "killed")
+        machines = build_fleet(size=3, infected=tuple(infected))
+        try:
+            FleetCoordinator(fleet_dir, machines,
+                             workers=2).run_epoch(
+                                 kill_after_acks=kill_after)
+            killed = False
+        except CoordinatorKilled:
+            killed = True
+        if killed:
+            resumed = FleetCoordinator(fleet_dir, machines,
+                                       workers=2).run_epoch()
+        else:
+            # kill_after exceeded the roster: the epoch just finished.
+            resumed = reference
+            fleet_dir = str(tmp_path / "ref")
+        assert verdict_key(resumed) == verdict_key(reference)
+        records = machine_records(fleet_dir, epoch=1)
+        assert len(records) == 3
+        assert len({record["machine"] for record in records}) == 3
+
+
+class TestChaosInterplay:
+    def test_epoch_completes_under_lease_faults(self, tmp_path):
+        from repro.faults import context as faults_context
+        from repro.faults.plan import (SITE_FLEET_LEASE, FaultPlan,
+                                       FaultSpec)
+
+        machines = build_fleet(size=3, infected=(1,))
+        coordinator = FleetCoordinator(str(tmp_path), machines, workers=2)
+        plan = FaultPlan(seed=99, specs=(
+            FaultSpec(SITE_FLEET_LEASE, rate=0.4, kinds=("io_error",)),))
+        with faults_context.scoped(plan, clock=coordinator.clock):
+            aggregate = coordinator.run_epoch()
+        assert aggregate.summary.machines == 3
+        assert aggregate.infected_machines() == ["m01"]
+        assert plan.fired_count(SITE_FLEET_LEASE) > 0
+
+    def test_chaos_kill_resume_matches_reference(self, tmp_path):
+        """The full interplay: scan-site faults active, coordinator
+        killed mid-epoch, resumed — verdicts still match the
+        uninterrupted chaos run (per-machine fault streams are
+        scheduling-independent)."""
+        from repro.faults.plan import FaultPlan
+
+        seed = 2026
+
+        def run(fleet_dir, kill_after=None):
+            machines = build_fleet(size=3, infected=(0, 2))
+            coordinator = FleetCoordinator(
+                fleet_dir, machines, workers=2,
+                fault_plan=FaultPlan.default(seed, rate=0.02))
+            return coordinator.run_epoch(kill_after_acks=kill_after)
+
+        reference = run(str(tmp_path / "ref"))
+        chaos_dir = str(tmp_path / "killed")
+        with pytest.raises(CoordinatorKilled):
+            run(chaos_dir, kill_after=1)
+        machines = build_fleet(size=3, infected=(0, 2))
+        resumed = FleetCoordinator(
+            chaos_dir, machines, workers=2,
+            fault_plan=FaultPlan.default(seed, rate=0.02)).run_epoch()
+        assert verdict_key(resumed) == verdict_key(reference)
+        records = machine_records(chaos_dir, epoch=1)
+        assert len(records) == 3
+
+
+class TestCliAndReport:
+    def test_sweep_epochs_and_fleet_status_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        fleet_dir = str(tmp_path / "fleet")
+        assert main(["sweep", "--epochs", "2", "--escalate", "winpe",
+                     "--fleet-dir", fleet_dir, "--fleet-size", "3",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["epochs"]) == 2
+        assert payload["epochs"][1]["skipped"] == 3
+
+        assert main(["fleet-status", "--fleet-dir", fleet_dir,
+                     "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["epochs_completed"] == 2
+        assert status["open_epoch"] is None
+
+    def test_scan_report_renders_fleet_journal(self, tmp_path, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        machines = build_fleet(size=3, infected=(1,))
+        FleetCoordinator(str(tmp_path), machines, workers=2).run_epoch()
+
+        spec = importlib.util.spec_from_file_location(
+            "scan_report", Path(__file__).resolve().parent.parent
+            / "scripts" / "scan_report.py")
+        scan_report = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(spec and scan_report)
+        assert scan_report.main([str(tmp_path / "epochs.jsonl")]) == 0
+        output = capsys.readouterr().out
+        assert "confirmed by winpe" in output
+        assert "epoch 1:" in output
+        assert "m01" in output
