@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Substrate hot-path benchmark: the trajectory future PRs must beat.
 
-Measures nine hot paths and writes the timings to ``BENCH_PR4.json``:
+Measures the hot paths and writes the timings to ``BENCH_PR6.json``:
 
 1. **raw MFT parse (cold)** — one full namespace parse of a 1000-file
    disk with every cache cleared;
@@ -42,7 +42,16 @@ Measures nine hot paths and writes the timings to ``BENCH_PR4.json``:
     machine plus clean controls) run through the inside→outside
     escalation policy — gated at precision 1.0 (no clean machine ever
     pays for a confirmation boot) with ``confirmed_by`` provenance on
-    every confirmed detection.
+    every confirmed detection;
+12. **cold zero-copy parse** — one cold MFT+hive truth derivation at
+    Machine-default scale (65536 MFT slots) through the flat backend's
+    batched ``memoryview`` walk, against the seed's per-record read
+    loop — gated at >= 5x with an identical parsed namespace and
+    byte-identical detection reports;
+13. **memory ceiling** — machines-per-GB of a copy-on-write fleet
+    (every clone sharing one sealed golden extent) vs deep-copied
+    clones — gated at >= 4x density with element-identical sweep
+    verdicts after clone-divergence writes.
 
 ``--fleet-soak`` ignores the benchmarks and instead runs the CI soak:
 N epochs over a fleet under a deterministic fault plan, gating that no
@@ -83,6 +92,7 @@ from repro.core.scanners.registry import low_level_asep_scan  # noqa: E402
 from repro.core.snapshot import (FileEntry, ResourceType,     # noqa: E402
                                  ScanSnapshot)
 from repro.disk import Disk, DiskGeometry                   # noqa: E402
+from repro.fleet import clone_fleet, fleet_storage_stats    # noqa: E402
 from repro.ghostware import HackerDefender                  # noqa: E402
 from repro.machine import HIVE_FILES, Machine               # noqa: E402
 from repro.ntfs import MftParser, NtfsVolume                # noqa: E402
@@ -93,7 +103,7 @@ from repro.telemetry.metrics import (NullMetrics,           # noqa: E402
                                      set_global_metrics)
 from repro.workloads import populate_machine                # noqa: E402
 
-OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 
 def clear_caches(*disks) -> None:
@@ -153,15 +163,10 @@ def golden_machine(file_count: int) -> Machine:
 
 
 def cloned_fleet(golden: Machine, count: int, infected=()):
-    fleet = []
-    for index in range(count):
-        machine = Machine(f"fleet-{index:02d}", disk=golden.disk.clone(),
-                          max_records=8192)
-        machine.boot()
-        if index in infected:
-            HackerDefender().install(machine)
-        fleet.append(machine)
-    return fleet
+    return clone_fleet(golden, count, infected=infected,
+                       infect=lambda machine:
+                       HackerDefender().install(machine),
+                       max_records=8192)
 
 
 # -- hot paths ----------------------------------------------------------------
@@ -658,6 +663,148 @@ def bench_fleet_escalation(file_count: int, clean_controls: int = 4,
     }
 
 
+def bench_cold_parse_zero_copy(file_count: int) -> dict:
+    """Batched zero-copy cold parse vs the seed's per-record read loop.
+
+    Two machines are built identically at Machine defaults — a 512 MB
+    disk whose MFT zone holds 65536 record slots — one on each backend.
+    The legacy arm parses through a bare read callable, which the parser
+    cannot resolve to a disk, so it issues one ``read_bytes`` round-trip
+    per record slot (the seed behaviour on the seed backend).  The
+    zero-copy arm parses the flat-backed twin through the disk itself:
+    one batched region view, ``struct.unpack_from`` all the way down.
+    Both arms finish with cold parses of every registry hive, so the
+    figure is the full truth re-derivation a cache miss pays.
+    """
+    def build(backend: str) -> Machine:
+        machine = Machine("zc-" + backend,
+                          disk=Disk(DiskGeometry.from_megabytes(512),
+                                    backend=backend))
+        populate_machine(machine, file_count=file_count,
+                         registry_scale=200, seed=7)
+        return machine
+
+    legacy_machine = build("sparse")
+    zero_machine = build("flat")
+    legacy_disk = legacy_machine.disk
+    zero_disk = zero_machine.disk
+
+    def cold_derivation(parser) -> None:
+        parser.parse()
+        for hive_file in HIVE_FILES.values():
+            hive_parser.parse_hive(parser.read_file_content(hive_file))
+
+    def legacy_cold():
+        clear_caches(legacy_disk)
+        cold_derivation(MftParser(
+            lambda offset, length: legacy_disk.read_bytes(offset, length)))
+
+    def zero_copy_cold():
+        clear_caches(zero_disk)
+        cold_derivation(MftParser(zero_disk.read_bytes))
+
+    # Best-of-7: the zero-copy arm is tens of milliseconds, so scheduler
+    # jitter dominates best-of-3 on a busy runner.
+    legacy_s = timed(legacy_cold, repeat=7)
+    zero_s = timed(zero_copy_cold, repeat=7)
+
+    by_record = (lambda item: item.record_no)
+    legacy_parsed = sorted(MftParser(
+        lambda offset, length: legacy_disk.read_bytes(offset, length)
+    ).parse(), key=by_record)
+    zero_parsed = sorted(MftParser(zero_disk.read_bytes).parse(),
+                         key=by_record)
+    namespace_identical = legacy_parsed == zero_parsed
+
+    for machine in (legacy_machine, zero_machine):
+        machine.boot()
+        HackerDefender().install(machine)
+    reports_identical = (
+        finding_identities(GhostBuster(legacy_machine).detect())
+        == finding_identities(GhostBuster(zero_machine).detect()))
+
+    return {
+        "file_count": file_count,
+        "mft_slots": zero_machine.volume.max_records,
+        "legacy_cold_s": legacy_s,
+        "zero_copy_cold_s": zero_s,
+        "speedup": legacy_s / zero_s,
+        "namespace_identical": namespace_identical,
+        "reports_identical": reports_identical,
+    }
+
+
+def bench_memory_ceiling(fleet_size: int, file_count: int) -> dict:
+    """Machines-per-GB: COW fleet vs deep-copied clones, same verdicts.
+
+    Both fleets are imaged from identically built goldens (one per
+    backend), infect the same indices, and diverge the same two clean
+    clones with private writes.  Physical cost is
+    :func:`fleet_storage_stats` — on the flat backend every clone
+    shares one sealed golden extent and pays only its divergence, on
+    the sparse backend every clone deep-copies the sector dict.  The
+    sweeps over the two fleets must convict the same machines on the
+    same evidence.
+    """
+    def build(backend: str) -> Machine:
+        machine = Machine("ceil-" + backend,
+                          disk=Disk(DiskGeometry.from_megabytes(512),
+                                    backend=backend),
+                          max_records=8192)
+        # A content-heavy golden image and modest hives: every clone's
+        # unavoidable divergence is its registry remount, so the density
+        # a COW fleet can reach is golden footprint over hive churn.
+        populate_machine(machine, file_count=file_count,
+                         registry_scale=20, seed=7)
+        for index in range(file_count):
+            machine.volume.create_file(
+                f"\\Program Files\\image{index:04d}.bin",
+                bytes([index % 251]) * 4096)
+        return machine
+
+    infected = tuple(range(0, fleet_size, max(1, fleet_size // 3)))[:3]
+
+    def provision(golden: Machine):
+        fleet = clone_fleet(golden, fleet_size, infected=infected,
+                            infect=lambda machine:
+                            HackerDefender().install(machine))
+        for machine in fleet[1:3]:
+            machine.volume.create_file(
+                f"\\Temp\\diverge-{machine.name}.bin", b"D" * 4096)
+        return fleet
+
+    cow_fleet = provision(build("flat"))
+    cow = fleet_storage_stats(cow_fleet)
+    deep_fleet = provision(build("sparse"))
+    deep = fleet_storage_stats(deep_fleet)
+
+    gb = float(1 << 30)
+    cow_per_gb = fleet_size / (cow["total_bytes"] / gb)
+    deep_per_gb = fleet_size / (deep["total_bytes"] / gb)
+
+    def verdict_key(result):
+        return (result.infected_machines,
+                sorted((name, finding_identities(report))
+                       for name, report in result.reports.items()))
+
+    server = RisServer()
+    cow_sweep = server.sweep(cow_fleet, max_workers=4)
+    deep_sweep = server.sweep(deep_fleet, max_workers=4)
+
+    return {
+        "fleet_size": fleet_size,
+        "file_count": file_count,
+        "cow_stats": cow,
+        "deep_copy_stats": deep,
+        "cow_machines_per_gb": cow_per_gb,
+        "deep_copy_machines_per_gb": deep_per_gb,
+        "density_ratio": cow_per_gb / deep_per_gb,
+        "infected_machines": cow_sweep.infected_machines,
+        "verdicts_identical": verdict_key(cow_sweep)
+        == verdict_key(deep_sweep),
+    }
+
+
 def run_fleet_soak(epochs: int, fleet_size: int, rate: float,
                    seed: int, file_count: int = 120) -> int:
     """The CI soak: epochs under chaos, gated on zero lost machines."""
@@ -727,7 +874,7 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny profiles, no perf gates (CI)")
     parser.add_argument("--out", type=Path, default=None,
-                        help="output JSON path (default: BENCH_PR4.json "
+                        help="output JSON path (default: BENCH_PR6.json "
                              "for full runs, none for --smoke)")
     parser.add_argument("--telemetry-out", type=Path, default=None,
                         help="directory for sweep telemetry JSONL + "
@@ -749,15 +896,17 @@ def main() -> int:
         profile = dict(files=120, reads=10, scans=3, fleet=6, workers=2,
                        client_wait=0.02, diff_entries=2_000,
                        overhead_reads=500, delta_mutations=4,
-                       delta_changed=3, strains=5)
+                       delta_changed=3, strains=5, zc_files=120,
+                       ceiling_fleet=6, ceiling_files=120)
     else:
         profile = dict(files=1000, reads=40, scans=5, fleet=50, workers=8,
                        client_wait=0.25, diff_entries=10_000,
                        overhead_reads=10_000, delta_mutations=10,
-                       delta_changed=3, strains=12)
+                       delta_changed=3, strains=12, zc_files=1000,
+                       ceiling_fleet=16, ceiling_files=200)
 
     print(f"profile: {profile}")
-    results = {"pr": 5, "mode": "smoke" if args.smoke else "full",
+    results = {"pr": 6, "mode": "smoke" if args.smoke else "full",
                "profile": profile, "timings": {}}
     timings = results["timings"]
 
@@ -841,6 +990,26 @@ def main() -> int:
           f"precision {escalation['precision']:.2f}, "
           f"recall {escalation['recall']:.2f}")
 
+    timings["cold_parse_zero_copy"] = bench_cold_parse_zero_copy(
+        profile["zc_files"])
+    zero_copy = timings["cold_parse_zero_copy"]
+    print(f"cold zero-copy parse ({zero_copy['mft_slots']} MFT slots, "
+          f"{zero_copy['file_count']} files): "
+          f"legacy {zero_copy['legacy_cold_s'] * 1000:.1f} ms, "
+          f"zero-copy {zero_copy['zero_copy_cold_s'] * 1000:.1f} ms "
+          f"({zero_copy['speedup']:.1f}x), namespace identical: "
+          f"{zero_copy['namespace_identical']}, reports identical: "
+          f"{zero_copy['reports_identical']}")
+
+    timings["memory_ceiling"] = bench_memory_ceiling(
+        profile["ceiling_fleet"], profile["ceiling_files"])
+    ceiling = timings["memory_ceiling"]
+    print(f"memory ceiling ({ceiling['fleet_size']} machines): "
+          f"COW {ceiling['cow_machines_per_gb']:.0f}/GB vs deep-copy "
+          f"{ceiling['deep_copy_machines_per_gb']:.0f}/GB "
+          f"({ceiling['density_ratio']:.1f}x), verdicts identical: "
+          f"{ceiling['verdicts_identical']}")
+
     results["chaos"] = bench_chaos_sweep(
         min(profile["fleet"], 12), profile["workers"],
         file_count=min(profile["files"], 120))
@@ -871,6 +1040,12 @@ def main() -> int:
          escalation["precision"] == 1.0 and escalation["escalated"]),
         ("fleet escalation confirmed_by provenance",
          escalation["confirmed_by_provenance_ok"]),
+        ("zero-copy parse namespace identical",
+         zero_copy["namespace_identical"]),
+        ("zero-copy parse reports identical",
+         zero_copy["reports_identical"]),
+        ("memory ceiling verdicts identical",
+         ceiling["verdicts_identical"]),
     )
     for label, passed in chaos_gates:
         print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
@@ -893,6 +1068,10 @@ def main() -> int:
             ("delta sweep speedup >= 5x", dsweep["speedup"] >= 5),
             ("fleet steady epoch >= 5x naive serial",
              fleet_epoch["speedup"] >= 5),
+            ("cold zero-copy parse >= 5x",
+             zero_copy["speedup"] >= 5),
+            ("memory ceiling >= 4x machines per GB",
+             ceiling["density_ratio"] >= 4),
         )
         for label, passed in gates:
             print(f"  [{'PASS' if passed else 'FAIL'}] {label}")

@@ -32,6 +32,13 @@ SCANNER_PROCESS_NAME = "ghostbuster.exe"
 
 _ENUM_ATTEMPTS = 3
 
+# disk.raw_cache key for derived FileEntry lists + identity indexes:
+# (generation, {flavor: (entries_tuple, identity_index)}).  Like the MFT
+# namespace cache, only the *unfiltered* view is ever stored — reads
+# intercepted by a port filter (A3) must never launder their lie into a
+# cache another consumer trusts.
+_ENTRIES_CACHE_KEY = "file-entries"
+
 
 def _retry_enumeration(operation: str, run, attempts: int = _ENUM_ATTEMPTS):
     """Re-run an idempotent enumeration walk when chaos interrupts it.
@@ -117,6 +124,44 @@ def _entries_from_parsed(parsed: List[ParsedFile],
     return entries
 
 
+def _cacheable_disk(disk):
+    """The disk, iff it can host shared derived-view cache entries."""
+    if disk is not None and hasattr(disk, "generation") \
+            and hasattr(disk, "raw_cache"):
+        return disk
+    return None
+
+
+def _snapshot_entries(disk, parsed: List[ParsedFile], win32_naming: bool,
+                      parse_generation):
+    """Entries + identity index, shared per (disk, generation, flavor).
+
+    A RIS sweep re-scans unchanged (often cloned) disks constantly; the
+    FileEntry list and its identity index derive purely from the parsed
+    namespace, so they are cached beside it in ``disk.raw_cache``.
+    ``disk`` is None when the read path is filtered or unbacked — then
+    nothing is consulted or stored.  A store only happens if the
+    generation did not move during the parse (a chaos fault bumping it
+    mid-read means the bytes behind ``parsed`` are suspect).
+    """
+    flavor = "win32" if win32_naming else "raw"
+    if disk is not None:
+        cached = disk.raw_cache.get(_ENTRIES_CACHE_KEY)
+        if cached is not None and cached[0] == disk.generation:
+            hit = cached[1].get(flavor)
+            if hit is not None:
+                return list(hit[0]), hit[1]
+    entries = _entries_from_parsed(parsed, win32_naming=win32_naming)
+    index = {entry.identity: entry for entry in entries}
+    if disk is not None and disk.generation == parse_generation:
+        cached = disk.raw_cache.get(_ENTRIES_CACHE_KEY)
+        if cached is None or cached[0] != parse_generation:
+            cached = (parse_generation, {})
+            disk.raw_cache[_ENTRIES_CACHE_KEY] = cached
+        cached[1][flavor] = (tuple(entries), index)
+    return entries, index
+
+
 def low_level_file_scan(machine: Machine) -> ScanSnapshot:
     """Raw MFT parse via the kernel's disk port (inside-the-box truth).
 
@@ -127,11 +172,17 @@ def low_level_file_scan(machine: Machine) -> ScanSnapshot:
     with telemetry_context.current_tracer().span(
             "scan.files.low-level", clock=machine.clock,
             machine=machine.name, view="raw-mft") as span:
+        port = machine.kernel.disk_port
+        cache_disk = None if port.read_filters \
+            else _cacheable_disk(getattr(port, "disk", None))
+        parse_generation = getattr(cache_disk, "generation", None)
         parser = construct_with_retry(
-            "mft.bootstrap", lambda: MftParser(
-                machine.kernel.disk_port.read_bytes),
+            "mft.bootstrap", lambda: MftParser(port.read_bytes),
             clock=machine.clock)
         parsed = parser.parse()
+        entries, index = _snapshot_entries(cache_disk, parsed,
+                                           win32_naming=False,
+                                           parse_generation=parse_generation)
         # Disk cost follows the in-use MFT footprint (free record slots
         # on a real volume are proportionally rare; our reserved region
         # is not).
@@ -139,9 +190,11 @@ def low_level_file_scan(machine: Machine) -> ScanSnapshot:
             machine, len(parsed), len(parsed) * MFT_RECORD_SIZE)
         span.set(entries=len(parsed))
     global_metrics().incr("scan.files.enumerated", len(parsed))
-    return ScanSnapshot(ResourceType.FILE, view="raw-mft",
-                        entries=_entries_from_parsed(parsed),
-                        taken_at=start, duration=duration)
+    snapshot = ScanSnapshot(ResourceType.FILE, view="raw-mft",
+                            entries=entries, taken_at=start,
+                            duration=duration)
+    snapshot.adopt_index(index)
+    return snapshot
 
 
 def outside_file_scan(disk, clock=None, win32_naming: bool = True,
@@ -156,11 +209,17 @@ def outside_file_scan(disk, clock=None, win32_naming: bool = True,
     start = clock.now() if clock else 0.0
     with telemetry_context.current_tracer().span(
             "scan.files.outside", clock=clock, view=view) as span:
+        cache_disk = _cacheable_disk(disk)
+        parse_generation = getattr(cache_disk, "generation", None)
         parser = construct_with_retry(
             "mft.bootstrap", lambda: MftParser(disk.read_bytes), clock=clock)
         parsed = parser.parse()
-        entries = _entries_from_parsed(parsed, win32_naming=win32_naming)
+        entries, index = _snapshot_entries(cache_disk, parsed,
+                                           win32_naming=win32_naming,
+                                           parse_generation=parse_generation)
         span.set(entries=len(entries))
     global_metrics().incr("scan.files.enumerated", len(entries))
-    return ScanSnapshot(ResourceType.FILE, view=view, entries=entries,
-                        taken_at=start, duration=0.0)
+    snapshot = ScanSnapshot(ResourceType.FILE, view=view, entries=entries,
+                            taken_at=start, duration=0.0)
+    snapshot.adopt_index(index)
+    return snapshot

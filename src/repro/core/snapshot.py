@@ -131,6 +131,18 @@ class ScanSnapshot:
         self._identity_cache = (fingerprint, index)
         return index
 
+    def adopt_index(self, index: Dict[Hashable, object]) -> None:
+        """Install a pre-built identity index for the *current* entries.
+
+        The caller asserts ``index`` maps exactly the identities of the
+        entry list as it stands now — e.g. an index computed alongside a
+        cached parse.  Seeding it here lets consumers skip the O(n)
+        first-access build; a later ``entries`` assignment invalidates
+        it like any cached index.
+        """
+        self._identity_cache = (
+            (self._entries_version, len(self.entries)), index)
+
     def apply_delta(self, removed_identities: Sequence[Hashable],
                     upserted_entries: Sequence) -> "ScanSnapshot":
         """A new snapshot with the given changes applied incrementally.
@@ -152,8 +164,7 @@ class ScanSnapshot:
                                entries=list(index.values()),
                                taken_at=self.taken_at,
                                duration=self.duration)
-        patched._identity_cache = (
-            (patched._entries_version, len(patched.entries)), index)
+        patched.adopt_index(index)
         return patched
 
     def __len__(self) -> int:

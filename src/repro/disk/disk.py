@@ -1,27 +1,29 @@
-"""Sparse virtual disk with byte- and sector-level access.
+"""Virtual disk with byte- and sector-level access.
 
 Unwritten space reads back as zeros.  The disk keeps no notion of
 filesystems or partitions — that is the NTFS layer's job — and it has no
 hook points: code holding a :class:`Disk` reference reads ground truth.
 Interceptable *raw device* access inside a potentially infected OS is
 modelled one layer up, by :class:`repro.kernel.kernel.DiskPort`.
+
+Byte storage itself is pluggable (see :mod:`repro.disk.backends`): the
+sparse dict-of-sectors backend suits tiny fixtures with huge nominal
+geometries; the flat extent backend serves contiguous zero-copy
+``memoryview`` reads and copy-on-write clones for fleet imaging.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Tuple, Union
 
+from repro.disk.backends import StorageStats, make_backend
 from repro.disk.geometry import DiskGeometry
 from repro.disk.journal import ChangeJournal
 from repro.errors import DiskError
 
 
 class Disk:
-    """A sparse array of sectors.
-
-    Storage is a dict keyed by sector index; absent sectors are all-zero.
-    This lets experiments declare multi-gigabyte nominal geometries while
-    only paying for the sectors actually written.
+    """A sector-addressable virtual disk.
 
     ``generation`` is a monotonic write counter: every mutation bumps it,
     so any derived view of the disk (a parsed MFT namespace, for example)
@@ -34,11 +36,18 @@ class Disk:
     a consumer holding a stale cached view can repair just the derived
     state those sectors back — or learn that the journal wrapped and a
     full rebuild is owed (see :mod:`repro.disk.journal`).
+
+    ``backend`` selects the storage implementation by name (``"sparse"``
+    or ``"flat"``), by instance, or — when ``None`` — from the
+    ``REPRO_DISK_BACKEND`` environment variable (default ``"flat"``).
     """
 
-    def __init__(self, geometry: DiskGeometry):
+    def __init__(self, geometry: DiskGeometry,
+                 backend: Union[str, None, object] = None):
         self.geometry = geometry
-        self._sectors: Dict[int, bytes] = {}
+        if backend is None or isinstance(backend, str):
+            backend = make_backend(backend, geometry)
+        self._backend = backend
         self.generation: int = 0
         self.raw_cache: Dict[str, tuple] = {}
         self.journal = ChangeJournal()
@@ -47,12 +56,16 @@ class Disk:
         # sectors, slow reads).  None — the default — costs one check.
         self.fault_injector = None
 
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
     # -- sector-level interface -------------------------------------------
 
     def read_sector(self, index: int) -> bytes:
         """Return one sector; zeros if never written."""
         self._check_sector(index)
-        return self._sectors.get(index, b"\x00" * self.geometry.sector_size)
+        return self._backend.read_sector(index)
 
     def write_sector(self, index: int, data: bytes) -> None:
         """Write exactly one sector."""
@@ -61,32 +74,46 @@ class Disk:
             raise DiskError(
                 f"sector write must be exactly {self.geometry.sector_size} "
                 f"bytes, got {len(data)}")
-        self._sectors[index] = bytes(data)
+        self._backend.write_sector(index, data)
         self.generation += 1
         self.journal.record(self.generation, index, 1, "sector")
 
     # -- byte-level interface ---------------------------------------------
 
-    def read_bytes(self, offset: int, length: int) -> bytes:
-        """Read an arbitrary byte range, crossing sector boundaries."""
+    def _check_read(self, offset: int, length: int) -> None:
         if length < 0:
             raise DiskError("negative read length")
         if offset < 0 or offset + length > self.geometry.size_bytes:
             raise DiskError(
                 f"read [{offset}, {offset + length}) outside disk of "
                 f"{self.geometry.size_bytes} bytes")
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        """Read an arbitrary byte range, crossing sector boundaries."""
+        self._check_read(offset, length)
         if length == 0:
             return b""
-        sector_size = self.geometry.sector_size
-        first = offset // sector_size
-        last = (offset + length - 1) // sector_size
-        chunks = [self.read_sector(i) for i in range(first, last + 1)]
-        blob = b"".join(chunks)
-        start = offset - first * sector_size
-        data = blob[start:start + length]
+        data = self._backend.read_range(offset, length)
         if self.fault_injector is not None:
             return self.fault_injector.filter_read(offset, length, data)
         return data
+
+    def read_view(self, offset: int, length: int) -> memoryview:
+        """Read a byte range as a memoryview — zero-copy where possible.
+
+        The view reflects disk content *as of this call* and is only
+        guaranteed current until the next write; backends never mutate a
+        buffer under an exported view, so stale views stay readable.
+        With a fault injector attached the read is routed through
+        :meth:`read_bytes` so injected damage is byte-identical on both
+        paths.
+        """
+        self._check_read(offset, length)
+        if length == 0:
+            return memoryview(b"")
+        if self.fault_injector is not None:
+            return memoryview(self.read_bytes(offset, length))
+        return self._backend.read_view(offset, length)
 
     def write_bytes(self, offset: int, data: bytes) -> None:
         """Write an arbitrary byte range with read-modify-write at the edges."""
@@ -100,13 +127,7 @@ class Disk:
         sector_size = self.geometry.sector_size
         first = offset // sector_size
         last = (offset + length - 1) // sector_size
-        blob = bytearray(b"".join(self.read_sector(i)
-                                  for i in range(first, last + 1)))
-        start = offset - first * sector_size
-        blob[start:start + length] = data
-        for pos, index in enumerate(range(first, last + 1)):
-            self._sectors[index] = bytes(
-                blob[pos * sector_size:(pos + 1) * sector_size])
+        self._backend.write_range(offset, data)
         self.generation += 1
         self.journal.record(self.generation, first, last - first + 1, "bytes")
 
@@ -114,23 +135,35 @@ class Disk:
 
     def written_sectors(self) -> Iterator[Tuple[int, bytes]]:
         """Iterate (index, data) over sectors that were ever written."""
-        for index in sorted(self._sectors):
-            yield index, self._sectors[index]
+        return self._backend.written_sectors()
+
+    def storage_stats(self) -> StorageStats:
+        """Materialized storage split into shared-base vs private bytes."""
+        return self._backend.storage_stats()
 
     def used_bytes(self) -> int:
-        """Bytes of physically materialized storage (for cost accounting)."""
-        return len(self._sectors) * self.geometry.sector_size
+        """Bytes of physically materialized storage (for cost accounting).
+
+        Under copy-on-write clones this is shared + private — callers
+        accounting for a whole fleet should use :meth:`storage_stats`
+        and count each shared base once (see
+        :func:`repro.fleet.provision.fleet_storage_stats`).
+        """
+        stats = self._backend.storage_stats()
+        return stats.shared_bytes + stats.private_bytes
 
     def clone(self) -> "Disk":
-        """Deep-copy the disk (used to snapshot a VM's virtual drive).
+        """Copy the disk (used to snapshot a VM's virtual drive).
 
-        The clone inherits the generation counter and the current cache
-        entries: a fleet of machines imaged from one golden disk shares
-        the golden parse until any clone diverges (its own writes bump
-        its own generation, which invalidates its inherited entries).
+        On the flat backend this is copy-on-write: the clone and the
+        original share one sealed base extent and each pays only for the
+        sectors it rewrites.  The clone inherits the generation counter
+        and the current cache entries: a fleet of machines imaged from
+        one golden disk shares the golden parse until any clone diverges
+        (its own writes bump its own generation, which invalidates its
+        inherited entries).
         """
-        copy = Disk(self.geometry)
-        copy._sectors = dict(self._sectors)
+        copy = Disk(self.geometry, backend=self._backend.clone())
         copy.generation = self.generation
         copy.raw_cache = dict(self.raw_cache)
         copy.journal = self.journal.clone()

@@ -17,6 +17,7 @@ from repro.fleet.coordinator import (EPOCHS_FILE, FleetCoordinator,
 from repro.fleet.policy import (CONFIRM_METHODS, CONFIRM_VMSCAN,
                                 CONFIRM_WINPE, EscalationOutcome,
                                 EscalationPolicy)
+from repro.fleet.provision import clone_fleet, fleet_storage_stats
 from repro.fleet.queue import QUEUE_FILE, Lease, WorkQueue
 from repro.fleet.scheduler import (FleetHistory, FleetScheduler,
                                    ScheduledMachine, load_history,
@@ -29,5 +30,6 @@ __all__ = [
     "FleetAggregator", "FleetCoordinator", "FleetHistory",
     "FleetScheduler", "Lease", "MachineVerdict", "OutbreakAlert",
     "ScheduledMachine", "WorkQueue",
-    "fleet_status", "load_history", "stable_shard",
+    "clone_fleet", "fleet_status", "fleet_storage_stats", "load_history",
+    "stable_shard",
 ]

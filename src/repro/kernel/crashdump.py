@@ -16,7 +16,8 @@ models exactly that attack for the ablation experiments.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Tuple
+from bisect import bisect_right
+from typing import List, Tuple
 
 from repro.errors import CorruptRecord, KernelError
 
@@ -56,7 +57,14 @@ def write_dump(kernel) -> bytes:
 
 
 class CrashDump:
-    """MemoryReader over a dump blob."""
+    """MemoryReader over a dump blob.
+
+    Regions are kept as zero-copy memoryviews into the single dump
+    buffer — the blob is walked flat, never re-sliced per region — and
+    reads locate their region by bisection over the sorted base
+    addresses instead of a linear scan (a pointer chase over a large
+    dump issues thousands of small reads).
+    """
 
     def __init__(self, blob: bytes):
         if len(blob) < _HEADER.size:
@@ -68,31 +76,35 @@ class CrashDump:
         self.active_process_head = process_head
         self.thread_table_address = thread_table
         self.driver_list_head = driver_head
-        self._regions: Dict[int, bytes] = {}
+        whole = memoryview(blob)
+        # Dict first so a duplicate base address keeps the last region,
+        # exactly as the previous dict-backed store did.
+        regions = {}
         cursor = _HEADER.size
         for __ in range(region_count):
             if cursor + _REGION.size > len(blob):
                 raise CorruptRecord("dump truncated in region table")
             address, length = _REGION.unpack_from(blob, cursor)
             cursor += _REGION.size
-            contents = blob[cursor:cursor + length]
-            if len(contents) != length:
+            if cursor + length > len(blob):
                 raise CorruptRecord("dump truncated in region contents")
-            self._regions[address] = contents
+            regions[address] = whole[cursor:cursor + length]
             cursor += length
-        self._bases = sorted(self._regions)
+        self._bases = sorted(regions)
+        self._views = [regions[address] for address in self._bases]
 
     def read(self, address: int, size: int) -> bytes:
         """Service a pointer-chase read from the dumped regions."""
-        for base in self._bases:
-            contents = self._regions[base]
-            if base <= address < base + len(contents):
-                offset = address - base
+        position = bisect_right(self._bases, address) - 1
+        if position >= 0:
+            contents = self._views[position]
+            offset = address - self._bases[position]
+            if offset < len(contents):
                 if offset + size > len(contents):
                     raise KernelError(
                         f"dump read [{address:#x}, +{size}) crosses region")
-                return contents[offset:offset + size]
+                return bytes(contents[offset:offset + size])
         raise KernelError(f"address {address:#x} not present in dump")
 
     def region_count(self) -> int:
-        return len(self._regions)
+        return len(self._bases)

@@ -61,6 +61,77 @@ class KernelProcess:
     allocations: List[int] = field(default_factory=list)
 
 
+class FilterStack(list):
+    """A filter list whose members carry monotonic registration tokens.
+
+    Cache keys derived from the installed filters must survive object
+    churn: ``id()`` of a garbage-collected filter can be reused by a new,
+    different filter, silently revalidating a stale cache entry.  Every
+    mutation here assigns fresh tokens from a monotonic counter, so two
+    distinct registrations never share a token even if the interpreter
+    reuses the object identity.  ``tokens()`` is the cache-key view.
+    """
+
+    def __init__(self, iterable=()):
+        super().__init__(iterable)
+        self._next = 0
+        self._tokens = [self._issue() for __ in range(len(self))]
+
+    def _issue(self) -> int:
+        token = self._next
+        self._next = token + 1
+        return token
+
+    def tokens(self) -> tuple:
+        return tuple(self._tokens)
+
+    # -- every mutator keeps the token list in lockstep --------------------
+
+    def append(self, item):
+        super().append(item)
+        self._tokens.append(self._issue())
+
+    def extend(self, iterable):
+        items = list(iterable)
+        super().extend(items)
+        self._tokens.extend(self._issue() for __ in items)
+
+    def insert(self, index, item):
+        # list.insert clamps out-of-range indices identically on both
+        # same-length lists, so the token stays aligned with its filter.
+        super().insert(index, item)
+        self._tokens.insert(index, self._issue())
+
+    def remove(self, item):
+        index = self.index(item)
+        del self[index]
+
+    def pop(self, index=-1):
+        item = super().pop(index)
+        self._tokens.pop(index)
+        return item
+
+    def clear(self):
+        super().clear()
+        self._tokens.clear()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        del self._tokens[index]
+
+    def __setitem__(self, index, item):
+        super().__setitem__(index, item)
+        if isinstance(index, slice):
+            # May resize; conservatively reissue everything.
+            self._tokens = [self._issue() for __ in range(len(self))]
+        else:
+            self._tokens[index] = self._issue()
+
+    def __iadd__(self, iterable):
+        self.extend(iterable)
+        return self
+
+
 class DiskPort:
     """The kernel's raw-device read path.
 
@@ -73,7 +144,7 @@ class DiskPort:
 
     def __init__(self, disk):
         self._disk = disk
-        self.read_filters: List[RawReadFilter] = []
+        self.read_filters: List[RawReadFilter] = FilterStack()
 
     @property
     def disk(self):

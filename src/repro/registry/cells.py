@@ -84,7 +84,8 @@ def unpack_header(blob: bytes) -> Tuple[int, int, str]:
         raise HiveFormatError("not a registry hive (bad regf magic)")
     root_offset = struct.unpack_from("<I", blob, HEADER_ROOT_OFFSET)[0]
     total_length = struct.unpack_from("<I", blob, HEADER_LENGTH_OFFSET)[0]
-    raw_name = blob[HEADER_NAME_OFFSET:HEADER_NAME_OFFSET + 64]
+    # bytes() so a memoryview-backed hive blob decodes too.
+    raw_name = bytes(blob[HEADER_NAME_OFFSET:HEADER_NAME_OFFSET + 64])
     name = raw_name.decode("utf-16-le").rstrip("\x00")
     return root_offset, total_length, name
 

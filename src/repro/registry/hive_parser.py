@@ -9,6 +9,7 @@ embedded NULs, over-long names, or API interception all appear here.
 from __future__ import annotations
 
 import hashlib
+import struct
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -18,11 +19,23 @@ from repro.errors import HiveFormatError, RetryExhausted, TransientIoError
 from repro.faults import context as faults_context
 from repro.faults.plan import SITE_HIVE_PARSE
 from repro.registry import cells
+from repro.registry.cells import _guarded
 from repro.telemetry import context as telemetry_context
 from repro.telemetry.metrics import global_metrics
 
 _MAX_DEPTH = 512
 _PARSE_ATTEMPTS = 3
+
+# Precompiled cell structs for the absolute-offset walk: the parser
+# unpacks fields straight out of the whole hive blob (bytes or one
+# memoryview) instead of materializing a payload slice per cell.
+_CELL = struct.Struct("<i")
+_NK = struct.Struct("<HQIIIIIH")
+_VK = struct.Struct("<IIBBH")
+_CNT = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_NK_FIXED = 2 + _NK.size
+_VK_FIXED = 2 + _VK.size
 
 # parse_hive memo: blob digest → ParsedHive.  Hive files are re-read and
 # re-parsed constantly (once per scan per hive, across every machine of a
@@ -56,7 +69,7 @@ def clear_hive_cache() -> None:
         _bin_cache.clear()
 
 
-@dataclass
+@dataclass(slots=True)
 class ParsedValue:
     """A value as the raw parse sees it: counted name + raw bytes."""
 
@@ -65,7 +78,7 @@ class ParsedValue:
     raw_data: bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class ParsedKey:
     """A key as the raw parse sees it."""
 
@@ -111,10 +124,12 @@ class HiveParser:
         self._low = len(blob)
         self._high = 0
 
+    @_guarded
     def parse(self) -> ParsedHive:
         root = self._parse_key(self.root_offset, depth=0)
         return ParsedHive(self.hive_name, root)
 
+    @_guarded
     def parse_subtree(self, offset: int, span_start: int,
                       span_end: int) -> ParsedKey:
         """Parse one subtree and verify it never read outside its span.
@@ -132,47 +147,99 @@ class HiveParser:
                 f"[{span_start}, {span_end})")
         return key
 
-    def _cell(self, offset: int) -> bytes:
-        payload = cells.read_cell(self._blob, offset)
+    def _cell_bounds(self, offset: int):
+        """Bounds-check one cell; return its payload's absolute span.
+
+        Same checks and messages as :func:`repro.registry.cells.read_cell`
+        but no payload slice is materialized — the walkers unpack fields
+        at absolute offsets into the whole blob.
+        """
+        blob = self._blob
+        if offset < cells.HEADER_SIZE or offset + 4 > len(blob):
+            raise HiveFormatError(f"cell offset {offset} out of range")
+        size = _CELL.unpack_from(blob, offset)[0]
+        if size >= 0:
+            raise HiveFormatError(f"cell at {offset} is not allocated")
+        end = offset - size
+        if end > len(blob):
+            raise HiveFormatError(f"cell at {offset} overruns the hive")
         if offset < self._low:
             self._low = offset
-        end = offset + 4 + len(payload)
         if end > self._high:
             self._high = end
-        return payload
+        return offset + 4, end
+
+    def _offset_list(self, offset: int, magic: bytes):
+        blob = self._blob
+        start, __ = self._cell_bounds(offset)
+        if blob[start:start + 2] != magic:
+            raise HiveFormatError(f"expected {magic!r} cell")
+        count = _CNT.unpack_from(blob, start + 2)[0]
+        return struct.unpack_from(f"<{count}I", blob, start + 4)
 
     def _parse_key(self, offset: int, depth: int) -> ParsedKey:
         if depth > _MAX_DEPTH:
             raise HiveFormatError("key tree deeper than the format allows")
-        nk = cells.unpack_nk(self._cell(offset))
-        key = ParsedKey(name=nk["name"], timestamp_us=nk["timestamp_us"])
+        blob = self._blob
+        start, end = self._cell_bounds(offset)
+        if blob[start:start + 2] != cells.NK_MAGIC:
+            raise HiveFormatError("expected nk cell")
+        (__, timestamp_us, __, subkey_count, subkey_list, value_count,
+         value_list, name_chars) = _NK.unpack_from(blob, start + 2)
+        name_start = start + _NK_FIXED
+        name_end = name_start + name_chars * 2
+        if name_end > end:
+            raise HiveFormatError("nk name truncated")
+        key = ParsedKey(
+            name=bytes(blob[name_start:name_end]).decode("utf-16-le"),
+            timestamp_us=timestamp_us)
 
-        if nk["value_count"]:
-            value_offsets = cells.unpack_offset_list(
-                self._cell(nk["value_list"]), cells.VL_MAGIC)
-            if len(value_offsets) != nk["value_count"]:
+        if value_count:
+            value_offsets = self._offset_list(value_list, cells.VL_MAGIC)
+            if len(value_offsets) != value_count:
                 raise HiveFormatError("value list count mismatch")
+            values = key.values
             for value_offset in value_offsets:
-                key.values.append(self._parse_value(value_offset))
+                values.append(self._parse_value(value_offset))
 
-        if nk["subkey_count"]:
-            subkey_offsets = cells.unpack_offset_list(
-                self._cell(nk["subkey_list"]), cells.LF_MAGIC)
-            if len(subkey_offsets) != nk["subkey_count"]:
+        if subkey_count:
+            subkey_offsets = self._offset_list(subkey_list, cells.LF_MAGIC)
+            if len(subkey_offsets) != subkey_count:
                 raise HiveFormatError("subkey list count mismatch")
+            subkeys = key.subkeys
             for subkey_offset in subkey_offsets:
-                key.subkeys.append(self._parse_key(subkey_offset, depth + 1))
+                subkeys.append(self._parse_key(subkey_offset, depth + 1))
         return key
 
+    @_guarded
     def _parse_value(self, offset: int) -> ParsedValue:
-        vk = cells.unpack_vk(self._cell(offset))
-        if vk["data"] is not None:
-            raw = vk["data"]
+        blob = self._blob
+        start, end = self._cell_bounds(offset)
+        if blob[start:start + 2] != cells.VK_MAGIC:
+            raise HiveFormatError("expected vk cell")
+        reg_type, data_length, inline, __, name_chars = _VK.unpack_from(
+            blob, start + 2)
+        name_start = start + _VK_FIXED
+        name_end = name_start + name_chars * 2
+        if name_end > end:
+            raise HiveFormatError("vk name truncated")
+        name = bytes(blob[name_start:name_end]).decode("utf-16-le")
+        if inline:
+            if name_end + data_length > end:
+                raise HiveFormatError("vk inline data truncated")
+            raw = bytes(blob[name_end:name_end + data_length])
         else:
-            raw = cells.unpack_db(self._cell(vk["data_cell"]))
-            if len(raw) != vk["data_length"]:
+            data_cell = _U32.unpack_from(blob, name_end)[0]
+            data_start, data_end = self._cell_bounds(data_cell)
+            if blob[data_start:data_start + 2] != cells.DB_MAGIC:
+                raise HiveFormatError("expected db cell")
+            length = _U32.unpack_from(blob, data_start + 2)[0]
+            if data_start + 6 + length > data_end:
+                raise HiveFormatError("db data truncated")
+            if length != data_length:
                 raise HiveFormatError("vk data length mismatch")
-        return ParsedValue(name=vk["name"], reg_type=vk["type"], raw_data=raw)
+            raw = bytes(blob[data_start + 6:data_start + 6 + length])
+        return ParsedValue(name=name, reg_type=reg_type, raw_data=raw)
 
 
 def _bin_spans(blob: bytes, nk_offsets: List[int]):

@@ -1,0 +1,370 @@
+"""Storage-backend equivalence, COW cloning, and filter-token tests.
+
+The flat extent backend must be observably identical to the sparse dict
+backend through the whole ``Disk`` contract — reads, views, generations,
+journal records, written-sector enumeration — including across clones
+and under chaos.  The property test drives both backends with the same
+randomized operation sequence and compares everything the API exposes.
+"""
+
+import gc
+import mmap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GhostBuster
+from repro.core.scanners.files import low_level_file_scan
+from repro.disk import Disk, DiskGeometry, FlatExtentBackend
+from repro.errors import DiskError
+from repro.faults.injectors import DiskFaultInjector
+from repro.faults.plan import SITE_DISK_READ, FaultPlan, FaultSpec
+from repro.fleet import clone_fleet, fleet_storage_stats
+from repro.ghostware import HackerDefender
+from repro.kernel.kernel import FilterStack
+from repro.machine import Machine
+from repro.ntfs.mft_parser import MftParser
+from repro.workloads import populate_machine
+
+_GEOM = DiskGeometry.from_megabytes(1)
+_MAX = _GEOM.size_bytes
+
+_op_write = st.tuples(st.just("write"), st.integers(0, _MAX - 2049),
+                      st.binary(min_size=1, max_size=2048))
+_op_sector = st.tuples(st.just("sector"),
+                       st.integers(0, _GEOM.sector_count - 1),
+                       st.integers(0, 255))
+_op_read = st.tuples(st.just("read"), st.integers(0, _MAX - 4097),
+                     st.integers(0, 4096))
+_op_view = st.tuples(st.just("view"), st.integers(0, _MAX - 4097),
+                     st.integers(0, 4096))
+_op_clone = st.tuples(st.just("clone"))
+
+_op_sequences = st.lists(
+    st.one_of(_op_write, _op_sector, _op_read, _op_view, _op_clone),
+    max_size=40)
+
+
+class TestBackendEquivalence:
+    """Same op sequence on both backends ⇒ same observable behaviour."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(_op_sequences)
+    def test_op_sequences_equivalent(self, ops):
+        lineages = [[Disk(_GEOM, backend="sparse")],
+                    [Disk(_GEOM, backend="flat")]]
+        for op in ops:
+            kind = op[0]
+            if kind == "clone":
+                # COW lineage: every clone must stay pairwise equivalent
+                # while later ops keep mutating ancestors AND clones.
+                if len(lineages[0]) < 3:
+                    for lineage in lineages:
+                        lineage.append(lineage[-1].clone())
+                continue
+            for sparse, flat in zip(*lineages):
+                if kind == "write":
+                    sparse.write_bytes(op[1], op[2])
+                    flat.write_bytes(op[1], op[2])
+                elif kind == "sector":
+                    data = bytes([op[2]]) * _GEOM.sector_size
+                    sparse.write_sector(op[1], data)
+                    flat.write_sector(op[1], data)
+                elif kind == "read":
+                    assert sparse.read_bytes(op[1], op[2]) \
+                        == flat.read_bytes(op[1], op[2])
+                else:
+                    assert bytes(sparse.read_view(op[1], op[2])) \
+                        == bytes(flat.read_view(op[1], op[2]))
+        for sparse, flat in zip(*lineages):
+            assert sparse.generation == flat.generation
+            assert list(sparse.written_sectors()) \
+                == list(flat.written_sectors())
+            window = (0, sparse.generation)
+            assert sparse.journal.records_since(*window) \
+                == flat.journal.records_since(*window)
+            assert sparse.read_bytes(0, _MAX) == flat.read_bytes(0, _MAX)
+
+    @pytest.mark.parametrize("backend", ["sparse", "flat"])
+    def test_bounds_errors_identical(self, backend):
+        disk = Disk(_GEOM, backend=backend)
+        with pytest.raises(DiskError, match="negative read length"):
+            disk.read_bytes(0, -1)
+        with pytest.raises(DiskError, match="outside disk"):
+            disk.read_bytes(_MAX - 10, 11)
+        with pytest.raises(DiskError, match="outside disk"):
+            disk.read_view(_MAX, 1)
+        assert disk.read_bytes(10, 0) == b""
+        assert bytes(disk.read_view(10, 0)) == b""
+
+    def test_view_reflects_content_at_call_time(self):
+        disk = Disk(_GEOM, backend="flat")
+        disk.write_bytes(0, b"A" * 1024)
+        view = disk.read_view(0, 1024)
+        assert bytes(view) == b"A" * 1024
+        # A later write may or may not show through a stale view (the
+        # documented lifetime rule) — but the view must stay readable
+        # and a fresh read must see the new content.
+        disk.write_bytes(_MAX - 4096, b"B" * 4096)
+        bytes(view)  # must not raise
+        assert disk.read_bytes(_MAX - 4096, 4096) == b"B" * 4096
+
+    def test_detection_reports_identical_across_backends(self):
+        identities = {}
+        for backend in ("sparse", "flat"):
+            machine = Machine("det-" + backend,
+                              disk=Disk(DiskGeometry.from_megabytes(64),
+                                        backend=backend),
+                              max_records=2048)
+            machine.boot()
+            populate_machine(machine, file_count=40, registry_scale=30,
+                             seed=9)
+            HackerDefender().install(machine)
+            report = GhostBuster(machine).detect()
+            identities[backend] = sorted(
+                (f.resource_type.value, str(f.entry.identity))
+                for f in report.findings if not f.is_noise)
+        assert identities["sparse"] == identities["flat"]
+        assert identities["flat"]   # the infection was actually found
+
+
+class TestChaosInterplay:
+    """Injected damage is byte-identical on both backends & read paths."""
+
+    @staticmethod
+    def _chaos_disk(backend):
+        disk = Disk(_GEOM, backend=backend)
+        disk.write_bytes(0, bytes(range(256)) * 256)
+        plan = FaultPlan(13, (FaultSpec(SITE_DISK_READ, mode="rate",
+                                        rate=0.5,
+                                        kinds=("torn_read", "bit_flip")),))
+        disk.fault_injector = DiskFaultInjector(plan, disk)
+        return disk
+
+    def test_same_seed_damage_identical(self):
+        outcomes = []
+        for backend, use_view in (("sparse", False), ("flat", True)):
+            disk = self._chaos_disk(backend)
+            reads = []
+            for step in range(48):
+                offset = (step * 331) % (60 * 1024)
+                if use_view:
+                    reads.append(bytes(disk.read_view(offset, 160)))
+                else:
+                    reads.append(disk.read_bytes(offset, 160))
+            outcomes.append((reads, disk.generation))
+            # Damage was injected into the returned bytes only; the
+            # stored image underneath is pristine.
+            disk.fault_injector = None
+            assert disk.read_bytes(0, 65536) == bytes(range(256)) * 256
+        assert outcomes[0] == outcomes[1]
+
+    def test_view_path_draws_match_bytes_path(self):
+        # On ONE backend, the same plan seed must damage read_view
+        # exactly like read_bytes: the injector routes both through the
+        # same filter, one draw per call.
+        traces = []
+        for use_view in (False, True):
+            disk = self._chaos_disk("flat")
+            read = ((lambda o, n: bytes(disk.read_view(o, n))) if use_view
+                    else disk.read_bytes)
+            traces.append([read(step * 613 % 50000, 96)
+                           for step in range(32)])
+        assert traces[0] == traces[1]
+
+
+class TestFlatBackendStorage:
+    def test_spills_to_mmap_and_preserves_content(self):
+        geometry = DiskGeometry.from_megabytes(2)
+        backend = FlatExtentBackend(geometry, spill_bytes=128 * 1024)
+        disk = Disk(geometry, backend=backend)
+        head = bytes(range(256)) * 16
+        disk.write_bytes(0, head)
+        assert isinstance(backend._buf, bytearray)
+        pinned = disk.read_view(0, len(head))
+        tail = b"\xab\x51" * 2048
+        disk.write_bytes(512 * 1024, tail)    # grows past the threshold
+        assert isinstance(backend._buf, mmap.mmap)
+        assert disk.read_bytes(0, len(head)) == head
+        assert disk.read_bytes(512 * 1024, len(tail)) == tail
+        assert disk.read_bytes(100 * 1024, 64) == b"\x00" * 64
+        assert bytes(pinned) == head          # stale heap view survives
+        # Grow the mmap again with a view exported over it.
+        pinned2 = disk.read_view(512 * 1024, 64)
+        disk.write_bytes(geometry.size_bytes - 4096, b"z" * 4096)
+        assert disk.read_bytes(geometry.size_bytes - 4096, 4096) \
+            == b"z" * 4096
+        bytes(pinned2)                        # must not raise
+        # And COW sealing works over an mmap-backed extent too.
+        clone = disk.clone()
+        clone.write_bytes(0, b"Q" * 512)
+        assert disk.read_bytes(0, 512) == head[:512]
+        assert clone.read_bytes(0, 512) == b"Q" * 512
+
+    def test_cow_accounting_and_fleet_stats(self):
+        golden = Machine("golden",
+                         disk=Disk(DiskGeometry.from_megabytes(64),
+                                   backend="flat"),
+                         max_records=2048)
+        golden.boot()
+        populate_machine(golden, file_count=30, registry_scale=20, seed=5)
+        fleet = clone_fleet(golden, 4)
+        base = golden.disk.storage_stats()
+        assert base.base_id is not None
+        assert base.shared_bytes > 0
+        assert {m.disk.storage_stats().base_id for m in fleet} \
+            == {base.base_id}
+        for machine in fleet:
+            stats = machine.disk.storage_stats()
+            assert machine.disk.used_bytes() \
+                == stats.shared_bytes + stats.private_bytes
+            assert stats.total_bytes == machine.disk.used_bytes()
+        totals = fleet_storage_stats([golden] + fleet)
+        assert totals["shared_bases"] == 1
+        assert totals["machines"] == 5
+        naive = sum(m.disk.used_bytes() for m in [golden] + fleet)
+        # The shared base is counted once, not once per machine.
+        assert totals["total_bytes"] == naive - 4 * base.shared_bytes
+        # Divergence is private: one clone's write moves nobody else's
+        # accounting and nobody else's bytes.
+        sibling_private = fleet[1].disk.storage_stats().private_bytes
+        golden_private = golden.disk.storage_stats().private_bytes
+        probe = golden.disk.read_bytes(0, 4096)
+        fleet[0].volume.create_file("\\diverge.bin", b"D" * 4096)
+        assert fleet[0].disk.storage_stats().private_bytes > 0
+        assert fleet[1].disk.storage_stats().private_bytes \
+            == sibling_private
+        assert golden.disk.storage_stats().private_bytes == golden_private
+        assert golden.disk.read_bytes(0, 4096) == probe
+
+    def test_fleet_stats_without_cow_count_everything_private(self):
+        golden = Machine("golden-s",
+                         disk=Disk(DiskGeometry.from_megabytes(64),
+                                   backend="sparse"),
+                         max_records=1024)
+        golden.boot()
+        fleet = clone_fleet(golden, 2)
+        totals = fleet_storage_stats(fleet)
+        assert totals["shared_bases"] == 0
+        assert totals["shared_bytes"] == 0
+        assert totals["total_bytes"] \
+            == sum(m.disk.used_bytes() for m in fleet)
+
+    def test_clone_fleet_requires_infect_callable(self):
+        golden = Machine("g", disk_mb=64, max_records=512)
+        with pytest.raises(ValueError, match="infect callable"):
+            clone_fleet(golden, 2, infected=(0,))
+
+
+class _NameFilter:
+    """Raw-read filter that zeroes FILE records containing ``pattern``.
+
+    ``pattern=None`` is a pass-through.  One class for both roles on
+    purpose: freeing one instance and allocating another reliably reuses
+    the object identity in CPython, which is exactly the aliasing the
+    token-based cache key must survive.
+    """
+
+    audit_owner = "test-ghost"
+
+    def __init__(self, pattern=None):
+        self.pattern = pattern
+
+    def __call__(self, offset, length, data):
+        if self.pattern and data[:4] == b"FILE" and self.pattern in data:
+            return b"\x00" * length
+        return data
+
+
+class TestFilterTokens:
+    def test_filter_stack_tokens_never_reused(self):
+        stack = FilterStack()
+        seen = set()
+
+        def check_fresh(expected_new):
+            tokens = stack.tokens()
+            assert len(tokens) == len(stack)
+            assert len(set(tokens)) == len(tokens)
+            new = set(tokens) - seen
+            assert len(new) == expected_new
+            seen.update(new)
+
+        a, b, c = object(), object(), object()
+        stack.append(a)
+        check_fresh(1)
+        stack.extend([b, c])
+        check_fresh(2)
+        stack.remove(b)
+        check_fresh(0)
+        stack.insert(0, b)
+        check_fresh(1)
+        stack.pop()
+        check_fresh(0)
+        stack[0] = c                 # replacement gets a fresh token
+        check_fresh(1)
+        stack[0:2] = [a]             # slice assignment reissues
+        check_fresh(1)
+        stack += [b]
+        check_fresh(1)
+        del stack[0]
+        check_fresh(0)
+        stack.clear()
+        assert stack.tokens() == ()
+
+    def test_cache_token_survives_filter_id_reuse(self):
+        machine = Machine("idreuse", disk_mb=64, max_records=1024)
+        machine.boot()
+        machine.volume.create_file("\\canary.txt", b"x")
+        port = machine.kernel.disk_port
+        parser = MftParser(port.read_bytes)
+        benign = _NameFilter()
+        port.read_filters.append(benign)
+        assert "canary.txt" in {item.name for item in parser.parse()}
+        token_before = parser._cache_token()
+
+        canary = "canary.txt".encode("utf-16-le")
+        old_id = id(benign)
+        port.read_filters.remove(benign)
+        # Free the filter and immediately allocate its replacement:
+        # CPython's allocator hands the freed block straight back, so
+        # id(hider) == id(benign) — the exact aliasing an id()-derived
+        # cache key cannot distinguish.  (gc.collect() only as fallback;
+        # interleaving allocations would steal the slot.)
+        del benign
+        hider = _NameFilter(canary)
+        keep_alive = []
+        while id(hider) != old_id and len(keep_alive) < 256:
+            keep_alive.append(hider)
+            gc.collect()
+            hider = _NameFilter(canary)
+        assert id(hider) == old_id   # the aliasing scenario really occurred
+
+        port.read_filters.append(hider)
+        # Under the old id()-derived key this token would compare equal
+        # to token_before and the memoized namespace (with the canary)
+        # would be served for a filter that hides it.
+        assert parser._cache_token() != token_before
+        assert "canary.txt" not in {item.name for item in parser.parse()}
+
+    def test_filtered_port_never_populates_entries_cache(self):
+        machine = Machine("a3cache", disk_mb=64, max_records=1024)
+        machine.boot()
+        machine.volume.create_file("\\seen.txt", b"x")
+        machine.disk.raw_cache.clear()
+        machine.kernel.disk_port.read_filters.append(_NameFilter())
+        low_level_file_scan(machine)
+        assert "file-entries" not in machine.disk.raw_cache
+
+    def test_unfiltered_scan_caches_and_reuses_entries(self):
+        machine = Machine("cachehit", disk_mb=64, max_records=1024)
+        machine.boot()
+        machine.volume.create_file("\\seen.txt", b"x")
+        machine.disk.raw_cache.clear()
+        first = low_level_file_scan(machine)
+        cached = machine.disk.raw_cache.get("file-entries")
+        assert cached is not None and cached[0] == machine.disk.generation
+        second = low_level_file_scan(machine)
+        assert [e.identity for e in first.entries] \
+            == [e.identity for e in second.entries]
+        assert second.identities() is not None
