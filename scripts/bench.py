@@ -51,7 +51,16 @@ Measures the hot paths and writes the timings to ``BENCH_PR6.json``:
 13. **memory ceiling** — machines-per-GB of a copy-on-write fleet
     (every clone sharing one sealed golden extent) vs deep-copied
     clones — gated at >= 4x density with element-identical sweep
-    verdicts after clone-divergence writes.
+    verdicts after clone-divergence writes;
+14. **console query** — per-machine point lookups against a
+    50-machine x 20-epoch journal, answered through the console's
+    sidecar :class:`~repro.console.index.JournalIndex` (p50/p95) vs a
+    full journal replay per lookup — gated at >= 10x on the median
+    with record-identical answers and an index ``fleet_status`` that
+    matches the replayed one;
+15. **index overhead** — the steady-state fleet epoch re-run with the
+    coordinator's write-time index hooks enabled vs disabled — gated
+    at <= 5% added wall clock (the console must be free to leave on).
 
 ``--fleet-soak`` ignores the benchmarks and instead runs the CI soak:
 N epochs over a fleet under a deterministic fault plan, gating that no
@@ -103,7 +112,7 @@ from repro.telemetry.metrics import (NullMetrics,           # noqa: E402
                                      set_global_metrics)
 from repro.workloads import populate_machine                # noqa: E402
 
-OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 
 
 def clear_caches(*disks) -> None:
@@ -805,6 +814,168 @@ def bench_memory_ceiling(fleet_size: int, file_count: int) -> dict:
     }
 
 
+def bench_console_query(fleet_size: int, epochs: int,
+                        lookups: int) -> dict:
+    """Console point lookups: sidecar index vs full journal replay.
+
+    A synthetic coordinator-shaped journal (``fleet_size`` machines x
+    ``epochs`` epochs of verdicts, summaries, and a few outbreaks) is
+    queried for "machine X's latest full verdict record".  The indexed
+    arm pays one no-op :meth:`JournalIndex.update` (the O(changes)
+    staleness check a live console pays per request) plus an in-memory
+    map hit plus one ``seek`` for the record bytes; the replay arm
+    re-reads the whole journal per lookup, which is what
+    ``fleet_status`` and every pre-console reader did.  Both arms must
+    return byte-identical records, and the indexed ``fleet_status``
+    document must equal the replayed one.
+    """
+    from repro.console import JournalIndex, fleet_status_from_index
+    from repro.fleet import fleet_status
+    from repro.telemetry.journal_io import append_journal, iter_journal
+
+    def percentile(samples, fraction):
+        ranked = sorted(samples)
+        return ranked[min(len(ranked) - 1,
+                          int(fraction * (len(ranked) - 1)))]
+
+    machines = [f"cq-{index:03d}" for index in range(fleet_size)]
+    with tempfile.TemporaryDirectory(prefix="gb-bench-console-") as tmp:
+        epochs_path = str(Path(tmp) / "epochs.jsonl")
+        clock = 0.0
+        for epoch in range(1, epochs + 1):
+            clock += 1.0
+            append_journal(epochs_path, {
+                "type": "epoch-start", "epoch": epoch, "at": clock,
+                "machines": machines})
+            for number, name in enumerate(machines):
+                clock += 0.01
+                infected = (number + epoch) % 7 == 0
+                append_journal(epochs_path, {
+                    "type": "fleet-machine", "epoch": epoch,
+                    "machine": name,
+                    "verdict": "infected" if infected else "clean",
+                    "findings": 2 if infected else 0,
+                    "scanned": True, "skipped": False,
+                    "escalated": infected,
+                    "finding_ids": (["file:hxdef100.exe"]
+                                    if infected else []),
+                    "scan_seconds": 0.25, "at": clock})
+            if epoch % 5 == 0:
+                append_journal(epochs_path, {
+                    "type": "fleet-outbreak", "epoch": epoch,
+                    "identity": "file:hxdef100.exe",
+                    "machines": machines[:3], "threshold": 3,
+                    "at": clock})
+            append_journal(epochs_path, {
+                "type": "epoch-end", "epoch": epoch, "at": clock,
+                "machines": fleet_size, "infected": fleet_size // 7})
+
+        journal_bytes = Path(epochs_path).stat().st_size
+        index = JournalIndex(tmp)
+        started = time.perf_counter()
+        index.update()
+        build_s = time.perf_counter() - started
+
+        def indexed_lookup(name):
+            index.update()   # the per-request staleness check, no-op
+            history = index.machine_history(name)
+            return index.machine_record(history[-1])
+
+        def replay_lookup(name):
+            latest = None
+            for line in iter_journal(epochs_path):
+                if (line.record.get("type") == "fleet-machine"
+                        and line.record.get("machine") == name):
+                    latest = line.record
+            return latest
+
+        targets = [machines[i % fleet_size] for i in range(lookups)]
+        identical = True
+        indexed_samples, replay_samples = [], []
+        for name in targets:
+            started = time.perf_counter()
+            indexed = indexed_lookup(name)
+            indexed_samples.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            replayed = replay_lookup(name)
+            replay_samples.append(time.perf_counter() - started)
+            identical = identical and indexed == replayed
+
+        status_identical = (fleet_status_from_index(tmp, index=index)
+                            == fleet_status(tmp))
+
+    indexed_p50 = percentile(indexed_samples, 0.50)
+    replay_p50 = percentile(replay_samples, 0.50)
+    return {
+        "fleet_size": fleet_size,
+        "epochs": epochs,
+        "lookups": lookups,
+        "journal_bytes": journal_bytes,
+        "index_build_s": build_s,
+        "indexed_p50_us": indexed_p50 * 1e6,
+        "indexed_p95_us": percentile(indexed_samples, 0.95) * 1e6,
+        "replay_p50_us": replay_p50 * 1e6,
+        "replay_p95_us": percentile(replay_samples, 0.95) * 1e6,
+        "speedup": replay_p50 / indexed_p50,
+        "answers_identical": identical,
+        "status_identical": status_identical,
+    }
+
+
+def bench_index_overhead(fleet_size: int, file_count: int,
+                         workers: int) -> dict:
+    """Write-time index maintenance cost on the steady fleet epoch.
+
+    Two identical fleets run a seed epoch each (hooks on / hooks off),
+    then their steady-state epochs — the service's recurring cost — are
+    sampled in *paired interleaved rounds* (off then on, repeatedly)
+    and the overhead is the **median of the per-round ratios**: pairing
+    cancels machine-wide drift (page cache, CPU frequency, growing
+    journals slow both arms alike), and the median resists the rare
+    epochs where the index flushes its batched sidecar lines.  The
+    hooks fold one in-memory entry per journal record, which must stay
+    within 5% of the epoch's wall clock or the console stops being
+    free to leave enabled.
+    """
+    from repro.fleet import FleetCoordinator
+
+    golden = golden_machine(file_count)
+    infected = tuple(range(0, fleet_size, max(1, fleet_size // 3)))[:3]
+
+    def steady_epoch_s(coordinator) -> float:
+        started = time.perf_counter()
+        coordinator.run_epoch()
+        return time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="gb-bench-idx-off-") as off_dir, \
+            tempfile.TemporaryDirectory(prefix="gb-bench-idx-on-") as on_dir:
+        off = FleetCoordinator(off_dir,
+                               cloned_fleet(golden, fleet_size, infected),
+                               workers=workers, console_index=False)
+        on = FleetCoordinator(on_dir,
+                              cloned_fleet(golden, fleet_size, infected),
+                              workers=workers, console_index=True)
+        for __ in range(2):       # seed epoch, then one warm-up each
+            off.run_epoch()
+            on.run_epoch()
+        without_samples, with_samples, ratios = [], [], []
+        for __ in range(11):
+            without_s = steady_epoch_s(off)
+            with_s = steady_epoch_s(on)
+            without_samples.append(without_s)
+            with_samples.append(with_s)
+            ratios.append(with_s / without_s)
+
+    median_ratio = sorted(ratios)[len(ratios) // 2]
+    return {
+        "fleet_size": fleet_size,
+        "rounds": len(ratios),
+        "steady_without_index_s": min(without_samples),
+        "steady_with_index_s": min(with_samples),
+        "overhead_pct": round((median_ratio - 1.0) * 100.0, 2),
+    }
+
+
 def run_fleet_soak(epochs: int, fleet_size: int, rate: float,
                    seed: int, file_count: int = 120) -> int:
     """The CI soak: epochs under chaos, gated on zero lost machines."""
@@ -897,16 +1068,20 @@ def main() -> int:
                        client_wait=0.02, diff_entries=2_000,
                        overhead_reads=500, delta_mutations=4,
                        delta_changed=3, strains=5, zc_files=120,
-                       ceiling_fleet=6, ceiling_files=120)
+                       ceiling_fleet=6, ceiling_files=120,
+                       console_fleet=10, console_epochs=5,
+                       console_lookups=40)
     else:
         profile = dict(files=1000, reads=40, scans=5, fleet=50, workers=8,
                        client_wait=0.25, diff_entries=10_000,
                        overhead_reads=10_000, delta_mutations=10,
                        delta_changed=3, strains=12, zc_files=1000,
-                       ceiling_fleet=16, ceiling_files=200)
+                       ceiling_fleet=16, ceiling_files=200,
+                       console_fleet=50, console_epochs=20,
+                       console_lookups=200)
 
     print(f"profile: {profile}")
-    results = {"pr": 6, "mode": "smoke" if args.smoke else "full",
+    results = {"pr": 7, "mode": "smoke" if args.smoke else "full",
                "profile": profile, "timings": {}}
     timings = results["timings"]
 
@@ -1010,6 +1185,26 @@ def main() -> int:
           f"({ceiling['density_ratio']:.1f}x), verdicts identical: "
           f"{ceiling['verdicts_identical']}")
 
+    timings["console_query"] = bench_console_query(
+        profile["console_fleet"], profile["console_epochs"],
+        profile["console_lookups"])
+    console = timings["console_query"]
+    print(f"console query ({console['fleet_size']} machines x "
+          f"{console['epochs']} epochs, {console['lookups']} lookups): "
+          f"indexed p50 {console['indexed_p50_us']:.0f} us / "
+          f"p95 {console['indexed_p95_us']:.0f} us, replay p50 "
+          f"{console['replay_p50_us']:.0f} us ({console['speedup']:.1f}x), "
+          f"answers identical: {console['answers_identical']}")
+
+    timings["index_overhead"] = bench_index_overhead(
+        profile["console_fleet"], file_count=min(profile["files"], 120),
+        workers=profile["workers"])
+    index_overhead = timings["index_overhead"]
+    print(f"index overhead ({index_overhead['fleet_size']} machines): "
+          f"steady epoch {index_overhead['steady_without_index_s']:.3f}s "
+          f"off vs {index_overhead['steady_with_index_s']:.3f}s on "
+          f"({index_overhead['overhead_pct']:+.1f}%)")
+
     results["chaos"] = bench_chaos_sweep(
         min(profile["fleet"], 12), profile["workers"],
         file_count=min(profile["files"], 120))
@@ -1046,6 +1241,10 @@ def main() -> int:
          zero_copy["reports_identical"]),
         ("memory ceiling verdicts identical",
          ceiling["verdicts_identical"]),
+        ("console query answers identical",
+         console["answers_identical"]),
+        ("console fleet_status matches replay",
+         console["status_identical"]),
     )
     for label, passed in chaos_gates:
         print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
@@ -1072,6 +1271,10 @@ def main() -> int:
              zero_copy["speedup"] >= 5),
             ("memory ceiling >= 4x machines per GB",
              ceiling["density_ratio"] >= 4),
+            ("console query p50 >= 10x replay",
+             console["speedup"] >= 10),
+            ("index maintenance overhead <= 5%",
+             index_overhead["overhead_pct"] <= 5.0),
         )
         for label, passed in gates:
             print(f"  [{'PASS' if passed else 'FAIL'}] {label}")

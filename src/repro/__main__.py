@@ -9,6 +9,10 @@ sweep         RIS network-boot sweep over a small fleet; with
               fleet-service run with optional ``--escalate`` confirmation
 unix          the Section-5 Unix rootkit experiments
 fleet-status  inspect a ``--fleet-dir``: queue depth, leases, last epoch
+              (answered from the console index; ``--json`` also reports
+              index-vs-replay agreement)
+serve         operator console: HTTP dashboard + query API over a
+              ``--fleet-dir`` (token auth; see docs/operator_console.md)
 
 Output goes through :mod:`logging` (logger ``repro.cli``) so embedders
 can redirect or silence it; ``--json`` switches ``demo`` and ``sweep``
@@ -267,16 +271,29 @@ def cmd_unix(options) -> int:
 
 
 def cmd_fleet_status(options) -> int:
-    from repro.fleet import fleet_status
+    from repro.console import fleet_status_from_index
 
     log = logging.getLogger(LOGGER_NAME)
     if not options.fleet_dir:
         log.info("fleet-status needs --fleet-dir DIR")
         return 2
-    status = fleet_status(options.fleet_dir)
+    status = fleet_status_from_index(options.fleet_dir)
     if options.json:
+        # Cross-check the O(changes) index answer against the full
+        # journal replay; disagreement means the index (a cache) is
+        # wrong and should be rebuilt — surface it, don't hide it.
+        from repro.fleet import fleet_status
+
+        replayed = fleet_status(options.fleet_dir)
+        disagreements = sorted(
+            key for key in set(status) | set(replayed)
+            if status.get(key) != replayed.get(key))
+        status["index_replay_agreement"] = {
+            "agree": not disagreements,
+            "disagreements": disagreements,
+        }
         _emit_json(status)
-        return 0
+        return 0 if not disagreements else 1
     log.info("fleet directory: %s", status["fleet_dir"])
     if status["open_epoch"] is not None:
         log.info("open epoch %d: %d pending, %d leased, %d acked",
@@ -302,8 +319,33 @@ def cmd_fleet_status(options) -> int:
     return 0
 
 
-COMMANDS = {"demo": cmd_demo, "matrix": cmd_matrix, "sweep": cmd_sweep,
-            "unix": cmd_unix, "fleet-status": cmd_fleet_status}
+def cmd_serve(options) -> int:
+    from repro.console import ConsoleServer
+
+    log = logging.getLogger(LOGGER_NAME)
+    if not options.fleet_dir:
+        log.info("serve needs --fleet-dir DIR")
+        return 2
+    server = ConsoleServer(options.fleet_dir, token=options.token,
+                           host=options.host, port=options.port)
+    log.info("console at %s (fleet %s)", server.url, options.fleet_dir)
+    if options.token is None:
+        # Print the generated token exactly once; it is never logged
+        # again and never written to disk.
+        log.info("token: %s", server.token)
+    log.info("dashboard: %s/?token=%s", server.url, server.token)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        log.info("console stopped")
+    finally:
+        server.stop()
+    return 0
+
+
+COMMANDS = {"demo": cmd_demo, "matrix": cmd_matrix, "serve": cmd_serve,
+            "sweep": cmd_sweep, "unix": cmd_unix,
+            "fleet-status": cmd_fleet_status}
 
 
 def main(argv=None) -> int:
@@ -361,6 +403,15 @@ def main(argv=None) -> int:
     parser.add_argument("--fleet-size", type=int, default=6, metavar="N",
                         help="machines in the demo fleet for sweep "
                              "--epochs (default 6)")
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                        help="console bind address for serve "
+                             "(default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8337, metavar="N",
+                        help="console port for serve (default 8337; "
+                             "0 picks an ephemeral port)")
+    parser.add_argument("--token", default=None, metavar="TOKEN",
+                        help="console bearer token for serve "
+                             "(default: generate and print one)")
     options = parser.parse_args(argv)
     _configure_logging(options.verbose, to_stderr=options.json)
     return COMMANDS[options.command](options)

@@ -1,0 +1,30 @@
+"""Operator console: indexed journal store + fleet dashboard/query API.
+
+The fleet's durable state is three append-only JSONL journals —
+``epochs.jsonl`` (verdicts, summaries, outbreaks), ``queue.jsonl``
+(the work-queue WAL), ``baselines.jsonl`` (stored reports) — all
+write-optimized: until this subsystem, every read replayed the world.
+The console adds the read path:
+
+* :class:`~repro.console.index.JournalIndex` — append-only sidecar
+  indexes (per-machine offset maps, epoch extents, event log, queue
+  state snapshot) maintained incrementally, with torn-tail tolerance, a
+  ``rebuild()`` path, and a retention/compaction policy, so point
+  lookups are O(changes) instead of O(history);
+* :class:`~repro.console.server.ConsoleServer` — a zero-dependency
+  read-only HTTP service (stdlib ``http.server``, token auth) serving
+  live epoch progress, per-machine drill-down, outbreak timelines, a
+  ``/metrics`` snapshot, and a JSON query API;
+* :mod:`~repro.console.dashboard` — the HTML view, rendered
+  server-side from the same index queries.
+"""
+
+from repro.console.index import (INDEX_DIR, JournalIndex,
+                                 fleet_status_from_index)
+from repro.console.server import (ConsoleAuthError, ConsoleServer,
+                                  generate_token)
+
+__all__ = [
+    "INDEX_DIR", "ConsoleAuthError", "ConsoleServer", "JournalIndex",
+    "fleet_status_from_index", "generate_token",
+]

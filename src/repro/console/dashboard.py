@@ -1,0 +1,158 @@
+"""Server-side HTML for the operator console.
+
+Deliberately boring: no JavaScript framework, no build step, no CDN —
+the pages are rendered from the same :class:`~repro.console.index
+.JournalIndex` queries the JSON API answers from, so anything visible
+here is scriptable via ``/api/*`` and vice versa.  A ``<meta
+refresh>`` keeps the fleet overview live without a client.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2em; background: #101418; color: #d6dce3; }
+h1, h2 { font-weight: 600; color: #e8eef5; }
+a { color: #6fb3ff; text-decoration: none; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #2a3340; padding: 0.3em 0.8em;
+         text-align: left; }
+th { background: #1a212a; }
+.clean { color: #7ed491; }
+.infected { color: #ff7d7d; font-weight: 700; }
+.skipped, .error { color: #f0c66a; }
+.muted { color: #7d8896; }
+.badge { background: #1a212a; border: 1px solid #2a3340;
+         border-radius: 4px; padding: 0.1em 0.5em; margin-right: 0.4em; }
+"""
+
+
+def _page(title: str, body: str, refresh: Optional[int] = 5) -> str:
+    meta = ('<meta http-equiv="refresh" content="%d">' % refresh
+            if refresh else "")
+    return ("<!doctype html><html><head><meta charset=\"utf-8\">"
+            "<title>%s</title>%s<style>%s</style></head>"
+            "<body>%s</body></html>"
+            % (html.escape(title), meta, _STYLE, body))
+
+
+def _verdict_cell(verdict: Optional[str]) -> str:
+    label = verdict or "?"
+    return '<td class="%s">%s</td>' % (html.escape(label),
+                                       html.escape(label))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return '<span class="muted">—</span>'
+    return html.escape(str(value))
+
+
+def render_dashboard(index) -> str:
+    """The fleet overview: live status, roster, outbreak timeline."""
+    status = index.status()
+    rows: List[str] = []
+    latest = index.latest_verdicts()
+    for machine in index.machine_names():
+        entry = latest.get(machine, {})
+        rows.append(
+            "<tr><td><a href=\"/machine/%s\">%s</a></td>%s"
+            "<td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>"
+            % (html.escape(machine), html.escape(machine),
+               _verdict_cell(entry.get("verdict")),
+               _fmt(entry.get("epoch")), _fmt(entry.get("findings")),
+               _fmt("yes" if entry.get("escalated") else ""),
+               _fmt(entry.get("scan_seconds"))))
+    outbreak_rows = [
+        "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>"
+        % (_fmt(event.get("epoch")), _fmt(event.get("identity")),
+           html.escape(", ".join(event.get("machines", []))),
+           _fmt(event.get("threshold")))
+        for event in index.outbreaks()]
+    summary = status.get("last_summary") or {}
+    body = (
+        "<h1>fleet console</h1>"
+        "<p><span class=\"badge\">open epoch %s</span>"
+        "<span class=\"badge\">pending %s</span>"
+        "<span class=\"badge\">leased %s</span>"
+        "<span class=\"badge\">acked %s</span>"
+        "<span class=\"badge\">epochs completed %s</span></p>"
+        % (_fmt(status.get("open_epoch")), _fmt(status.get("pending")),
+           _fmt(status.get("leased")), _fmt(status.get("acked")),
+           _fmt(status.get("epochs_completed"))))
+    if summary:
+        body += ("<p class=\"muted\">last epoch %s: %s infected / %s "
+                 "machines, %s escalated, %s errors</p>"
+                 % (_fmt(summary.get("epoch")),
+                    _fmt(summary.get("infected")),
+                    _fmt(summary.get("machines")),
+                    _fmt(summary.get("escalated")),
+                    _fmt(summary.get("errors"))))
+    body += ("<h2>machines</h2><table><tr><th>machine</th><th>verdict"
+             "</th><th>epoch</th><th>findings</th><th>escalated</th>"
+             "<th>scan s</th></tr>%s</table>" % "".join(rows))
+    body += "<h2>outbreaks</h2>"
+    if outbreak_rows:
+        body += ("<table><tr><th>epoch</th><th>identity</th>"
+                 "<th>machines</th><th>threshold</th></tr>%s</table>"
+                 % "".join(outbreak_rows))
+    else:
+        body += '<p class="muted">none recorded</p>'
+    body += ('<p class="muted">JSON: <a href="/api/status">/api/status'
+             '</a> · <a href="/api/query">/api/query</a> · '
+             '<a href="/api/metrics">/api/metrics</a></p>')
+    return _page("fleet console", body)
+
+
+def render_machine(index, machine: str,
+                   detail: Optional[Dict]) -> str:
+    """One machine's drill-down page."""
+    title = "console: %s" % machine
+    if detail is None:
+        return _page(title, "<h1>%s</h1><p>unknown machine</p>"
+                     % html.escape(machine), refresh=None)
+    rows = [
+        "<tr><td>%s</td>%s<td>%s</td><td>%s</td><td>%s</td>"
+        "<td>%s</td></tr>"
+        % (_fmt(entry.get("epoch")), _verdict_cell(entry.get("verdict")),
+           _fmt(entry.get("findings")),
+           _fmt("yes" if entry.get("escalated") else ""),
+           _fmt(entry.get("confirmed")), _fmt(entry.get("error")))
+        for entry in detail.get("history", [])]
+    body = "<h1>%s</h1>" % html.escape(machine)
+    baseline = detail.get("baseline")
+    if baseline:
+        degraded = baseline.get("degraded_layers") or []
+        provenance = baseline.get("provenance") or {}
+        body += (
+            "<p><span class=\"badge\">baseline %s</span>"
+            "<span class=\"badge\">generation %s</span>"
+            "<span class=\"badge\">verdict %s</span></p>"
+            % (_fmt((baseline.get("baseline_id") or "")[:12]),
+               _fmt(baseline.get("disk_generation")),
+               _fmt(baseline.get("verdict"))))
+        if degraded:
+            body += ("<p class=\"error\">degraded layers: %s</p>"
+                     % html.escape(", ".join(degraded)))
+        errors = baseline.get("layer_errors") or {}
+        if errors:
+            body += "<ul>%s</ul>" % "".join(
+                "<li class=\"error\">%s: %s</li>"
+                % (html.escape(layer), html.escape(str(err)))
+                for layer, err in sorted(errors.items()))
+        if provenance:
+            body += "<h2>provenance</h2><ul>%s</ul>" % "".join(
+                "<li>%s: %s</li>" % (html.escape(str(key)),
+                                     html.escape(str(value)))
+                for key, value in sorted(provenance.items()))
+    body += ("<h2>verdict history</h2><table><tr><th>epoch</th>"
+             "<th>verdict</th><th>findings</th><th>escalated</th>"
+             "<th>confirmed</th><th>error</th></tr>%s</table>"
+             % "".join(rows))
+    body += ('<p class="muted"><a href="/">&larr; fleet</a> · JSON: '
+             '<a href="/api/machines/%s">/api/machines/%s</a></p>'
+             % (html.escape(machine), html.escape(machine)))
+    return _page(title, body)

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional
 
 from repro.core.diff import DetectionReport
 from repro.core.reporting import report_from_dict, report_to_dict
+from repro.telemetry.journal_io import iter_journal
 from repro.telemetry.metrics import global_metrics
 
 logger = logging.getLogger(__name__)
@@ -85,29 +86,25 @@ class BaselineStore:
         self._load()
 
     def _load(self) -> None:
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    baseline = MachineBaseline(
-                        machine=record["machine"],
-                        baseline_id=record["baseline_id"],
-                        disk_generation=record["disk_generation"],
-                        scan_seconds=record.get("scan_seconds", 0.0),
-                        report=record["report"],
-                        extra=record.get("extra", {}),
-                    )
-                except (ValueError, KeyError, TypeError) as exc:
-                    # A torn tail line loses one update, not the store.
-                    logger.warning("skipping torn baseline line %d in %s: %s",
-                                   line_no, self.path, exc)
-                    continue
-                self._baselines[baseline.machine] = baseline
+        for line in iter_journal(self.path, on_torn=self._warn_torn):
+            try:
+                baseline = MachineBaseline(
+                    machine=line.record["machine"],
+                    baseline_id=line.record["baseline_id"],
+                    disk_generation=line.record["disk_generation"],
+                    scan_seconds=line.record.get("scan_seconds", 0.0),
+                    report=line.record["report"],
+                    extra=line.record.get("extra", {}),
+                )
+            except (KeyError, TypeError) as exc:
+                # A torn tail line loses one update, not the store.
+                self._warn_torn(line.line_no, str(exc))
+                continue
+            self._baselines[baseline.machine] = baseline
+
+    def _warn_torn(self, line_no: int, reason: str) -> None:
+        logger.warning("skipping torn baseline line %d in %s: %s",
+                       line_no, self.path, reason)
 
     def get(self, machine: str) -> Optional[MachineBaseline]:
         with self._lock:

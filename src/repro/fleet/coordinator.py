@@ -43,7 +43,6 @@ die anyway (every step in between is one atomic append).
 
 from __future__ import annotations
 
-import json
 import logging
 import os
 from typing import Dict, Iterable, List, Optional
@@ -64,6 +63,7 @@ from repro.fleet.queue import WorkQueue
 from repro.fleet.scheduler import FleetScheduler, load_history
 from repro.machine import Machine
 from repro.telemetry import context as telemetry_context
+from repro.telemetry.journal_io import append_journal, iter_journal
 from repro.telemetry.metrics import global_metrics
 
 logger = logging.getLogger(__name__)
@@ -85,7 +85,9 @@ class FleetCoordinator:
                  noise_filter: Optional[NoiseFilter] = None,
                  outbreak_threshold: int = DEFAULT_OUTBREAK_THRESHOLD,
                  resources=("files", "registry"),
-                 breaker_threshold: int = 3):
+                 breaker_threshold: int = 3,
+                 console_index: bool = True,
+                 retain_epochs: int = 0):
         self.fleet_dir = fleet_dir
         self.machines: Dict[str, Machine] = {m.name: m for m in machines}
         if not self.machines:
@@ -107,35 +109,33 @@ class FleetCoordinator:
         self.breaker = CircuitBreaker(failure_threshold=breaker_threshold)
         self._quarantined: List[str] = []   # errored last epoch → risk
         self._epochs_run = 0
+        self.retain_epochs = max(0, int(retain_epochs))
+        # The operator console's sidecar index, fed at journal-write
+        # time so point lookups never replay this journal.  Optional:
+        # the journals alone remain the system of record, and a console
+        # can always rebuild() from them.
+        self.index = None
+        if console_index:
+            from repro.console.index import JournalIndex
+            self.index = JournalIndex(fleet_dir)
 
     # -- journal -----------------------------------------------------------------
 
     def _journal(self, record: Dict) -> None:
         record = dict(record, at=round(self.clock.now(), 6))
-        os.makedirs(self.fleet_dir, exist_ok=True)
-        with open(self.epochs_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        start, end = append_journal(self.epochs_path, record)
+        if self.index is not None:
+            self.index.note_epoch_record(record, start, end)
 
     def _journaled_verdicts(self, epoch: int) -> Dict[str, MachineVerdict]:
         """This epoch's already-recorded verdicts (the resume path)."""
         verdicts: Dict[str, MachineVerdict] = {}
-        if not os.path.exists(self.epochs_path):
-            return verdicts
-        with open(self.epochs_path, "r", encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError as exc:
-                    logger.warning("skipping torn epochs line %d in %s: %s",
-                                   line_no, self.epochs_path, exc)
-                    continue
-                if (record.get("type") == "fleet-machine"
-                        and int(record.get("epoch", -1)) == epoch):
-                    verdict = MachineVerdict.from_dict(record)
-                    verdicts[verdict.machine] = verdict
+        for line in iter_journal(self.epochs_path):
+            record = line.record
+            if (record.get("type") == "fleet-machine"
+                    and int(record.get("epoch", -1)) == epoch):
+                verdict = MachineVerdict.from_dict(record)
+                verdicts[verdict.machine] = verdict
         return verdicts
 
     # -- epoch lifecycle ---------------------------------------------------------
@@ -204,6 +204,16 @@ class FleetCoordinator:
         if self.compact_every and self._epochs_run % self.compact_every == 0:
             self.store.compact()
             self.queue.compact()
+            if self.index is not None:
+                if self.retain_epochs:
+                    # Retention rewrites the epochs journal and rebuilds
+                    # the whole index (which also re-reads the freshly
+                    # compacted store and WAL).
+                    self.index.compact(self.retain_epochs)
+                else:
+                    # The store/WAL rewrites changed those journals'
+                    # heads; the next update() notices and rebuilds.
+                    self.index.update()
         return aggregator
 
     def run(self, epochs: int,
@@ -388,19 +398,11 @@ def fleet_status(fleet_dir: str) -> Dict:
         status["pending_machines"] = queue.pending_machines()
         status["leased_machines"] = sorted(queue.leased_machines())
     epochs_path = os.path.join(fleet_dir, EPOCHS_FILE)
-    if os.path.exists(epochs_path):
-        with open(epochs_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue
-                if record.get("type") == "epoch-end":
-                    status["epochs_completed"] += 1
-                    status["last_summary"] = record
-                elif record.get("type") == "fleet-outbreak":
-                    status["outbreaks"].append(record)
+    for line in iter_journal(epochs_path, on_torn=lambda *_: None):
+        record = line.record
+        if record.get("type") == "epoch-end":
+            status["epochs_completed"] += 1
+            status["last_summary"] = record
+        elif record.get("type") == "fleet-outbreak":
+            status["outbreaks"].append(record)
     return status

@@ -43,6 +43,7 @@ from repro.clock import SimClock
 from repro.errors import FleetError, StaleLease
 from repro.faults import context as faults_context
 from repro.faults.plan import SITE_FLEET_LEASE
+from repro.telemetry.journal_io import iter_journal
 from repro.telemetry.metrics import global_metrics
 
 logger = logging.getLogger(__name__)
@@ -105,22 +106,18 @@ class WorkQueue:
         self._recorded_at = max(self._recorded_at, record["at"])
 
     def _replay(self) -> None:
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line_no, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    self._apply(record)
-                except (ValueError, KeyError, TypeError) as exc:
-                    # The torn tail of a killed writer: one lost
-                    # transition, re-done by the resumed epoch.
-                    logger.warning("skipping torn queue line %d in %s: %s",
-                                   line_no, self.path, exc)
-                    continue
+        for line in iter_journal(self.path, on_torn=self._warn_torn):
+            try:
+                self._apply(line.record)
+            except (ValueError, KeyError, TypeError) as exc:
+                # The torn tail of a killed writer: one lost
+                # transition, re-done by the resumed epoch.
+                self._warn_torn(line.line_no, str(exc))
+                continue
+
+    def _warn_torn(self, line_no: int, reason: str) -> None:
+        logger.warning("skipping torn queue line %d in %s: %s",
+                       line_no, self.path, reason)
 
     def _apply(self, record: dict) -> None:
         """One WAL record onto the in-memory state (replay path)."""

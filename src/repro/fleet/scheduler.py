@@ -28,9 +28,7 @@ drains (implemented by :class:`~repro.fleet.queue.WorkQueue`).
 from __future__ import annotations
 
 import hashlib
-import json
 import logging
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -158,28 +156,19 @@ def load_history(path: str) -> FleetHistory:
     other JSONL reader in the system — history is advisory, and losing
     one line costs at most one slightly-misranked machine.
     """
+    from repro.telemetry.journal_io import iter_journal
+
     history = FleetHistory()
-    if not os.path.exists(path):
-        return history
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError as exc:
-                logger.warning("skipping torn epochs line %d in %s: %s",
-                               line_no, path, exc)
-                continue
-            if record.get("type") == "fleet-machine":
-                history.note_verdict(
-                    epoch=int(record.get("epoch", 0)),
-                    machine=record.get("machine", "?"),
-                    infected=record.get("verdict") == "infected",
-                    confirmed=bool(record.get("confirmed")),
-                    errored=record.get("error") is not None)
-            elif record.get("type") == "epoch-end":
-                history.last_epoch_no = max(history.last_epoch_no,
-                                            int(record.get("epoch", 0)))
+    for line in iter_journal(path):
+        record = line.record
+        if record.get("type") == "fleet-machine":
+            history.note_verdict(
+                epoch=int(record.get("epoch", 0)),
+                machine=record.get("machine", "?"),
+                infected=record.get("verdict") == "infected",
+                confirmed=bool(record.get("confirmed")),
+                errored=record.get("error") is not None)
+        elif record.get("type") == "epoch-end":
+            history.last_epoch_no = max(history.last_epoch_no,
+                                        int(record.get("epoch", 0)))
     return history

@@ -193,21 +193,14 @@ def load_jsonl(path) -> Dict[str, List[dict]]:
 
     A malformed line — typically the torn tail of a file whose writer
     died mid-record — is skipped with a warning rather than aborting the
-    whole report: the operator still sees every intact record.
+    whole report: the operator still sees every intact record.  The
+    defensive loop itself lives in :mod:`repro.telemetry.journal_io`,
+    shared with every other journal reader in the system.
     """
-    grouped: Dict[str, List[dict]] = {}
-    with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                warnings.warn(
-                    f"{path}:{number}: skipping malformed telemetry "
-                    f"record ({exc})", stacklevel=2)
-                continue
-            grouped.setdefault(record.get("type", "unknown"),
-                               []).append(record)
-    return grouped
+    from repro.telemetry.journal_io import read_grouped
+
+    def warn(line_no: int, reason: str) -> None:
+        warnings.warn(f"{path}:{line_no}: skipping malformed telemetry "
+                      f"record ({reason})", stacklevel=2)
+
+    return read_grouped(path, on_torn=warn)

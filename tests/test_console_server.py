@@ -1,0 +1,241 @@
+"""The console HTTP service: auth, drill-down, query API, dashboard.
+
+Most tests drive :meth:`ConsoleServer.handle_request` directly — the
+dispatch is pure with respect to the HTTP layer — plus one real-socket
+round trip to prove the stdlib server end of things actually binds,
+serves, and honours the Authorization header.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.console import ConsoleServer, generate_token
+from repro.console.server import machine_drilldown
+from repro.fleet import EscalationPolicy, FleetCoordinator
+from repro.ghostware import HackerDefender
+from repro.machine import Machine
+
+
+def build_fleet(size=3, infected=(1,)):
+    machines = []
+    for index in range(size):
+        machine = Machine(f"m{index:02d}", disk_mb=256, max_records=8192)
+        machine.boot()
+        if index in infected:
+            HackerDefender().install(machine)
+        machines.append(machine)
+    return machines
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory):
+    """One escalating 2-epoch fleet, shared read-only by every test."""
+    directory = str(tmp_path_factory.mktemp("console-fleet"))
+    coordinator = FleetCoordinator(
+        directory, build_fleet(size=3, infected=(1,)), workers=2,
+        policy=EscalationPolicy(confirm_with="winpe", escalate=True))
+    coordinator.run_epoch()
+    coordinator.run_epoch()
+    return directory
+
+
+@pytest.fixture()
+def server(fleet_dir):
+    srv = ConsoleServer(fleet_dir, token="t0ken")
+    yield srv
+    srv.httpd.server_close()
+
+
+def get(server, path, token="t0ken"):
+    if token is not None:
+        path += ("&" if "?" in path else "?") + "token=" + token
+    status, content_type, body = server.handle_request(path)
+    if content_type.startswith("application/json"):
+        return status, json.loads(body)
+    return status, body
+
+
+class TestAuth:
+    def test_missing_token_is_401(self, server):
+        status, payload = get(server, "/api/status", token=None)
+        assert status == 401
+        assert payload == {"error": "missing token"}
+
+    def test_bad_token_is_401(self, server):
+        status, payload = get(server, "/api/status", token="wrong")
+        assert status == 401
+        assert payload == {"error": "bad token"}
+
+    def test_bad_bearer_header_is_401(self, server):
+        status, _, body = server.handle_request(
+            "/api/status", authorization="Bearer nope")
+        assert status == 401
+
+    def test_good_bearer_header_is_200(self, server):
+        status, _, body = server.handle_request(
+            "/api/status", authorization="Bearer t0ken")
+        assert status == 200
+
+    def test_healthz_needs_no_token(self, server):
+        status, payload = get(server, "/healthz", token=None)
+        assert status == 200
+        assert payload["ok"] is True
+
+    def test_generate_token_is_fresh(self):
+        assert generate_token() != generate_token()
+        assert len(generate_token()) == 32
+
+
+class TestRoutes:
+    def test_status(self, server):
+        status, payload = get(server, "/api/status")
+        assert status == 200
+        assert payload["epochs_completed"] == 2
+        assert payload["open_epoch"] is None
+
+    def test_machines_listing(self, server):
+        status, payload = get(server, "/api/machines")
+        assert status == 200
+        assert payload["machines"] == ["m00", "m01", "m02"]
+        assert payload["latest"]["m01"]["verdict"] == "infected"
+
+    def test_unknown_machine_404(self, server):
+        status, payload = get(server, "/api/machines/nope")
+        assert status == 404
+        assert payload["machine"] == "nope"
+
+    def test_unknown_route_404(self, server):
+        status, payload = get(server, "/api/nope")
+        assert status == 404
+
+    def test_epochs_and_outbreaks(self, server):
+        status, payload = get(server, "/api/epochs")
+        assert status == 200
+        assert [extent["epoch"] for extent in payload["epochs"]] == [1, 2]
+        assert all(extent.get("summary") for extent in payload["epochs"])
+        status, payload = get(server, "/api/outbreaks")
+        assert status == 200
+        assert isinstance(payload["outbreaks"], list)
+
+    def test_metrics_json_and_prometheus(self, server):
+        status, payload = get(server, "/api/metrics")
+        assert status == 200
+        assert isinstance(payload, dict) and payload
+        status, body = get(server, "/metrics")
+        assert status == 200
+        assert "fleet" in body
+
+    def test_index_stats(self, server):
+        status, payload = get(server, "/api/index")
+        assert status == 200
+        assert payload["machines"] == 3
+        assert payload["verdict_entries"] == 6
+
+
+class TestDrilldown:
+    def test_infected_machine_detail(self, server):
+        status, payload = get(server, "/api/machines/m01")
+        assert status == 200
+        history = payload["history"]
+        assert [entry["epoch"] for entry in history] == [1, 2]
+        assert history[0]["verdict"] == "infected"
+        # Escalation provenance: the winpe confirmation is visible.
+        assert history[0]["escalated"] is True
+        assert history[0]["confirmed_by"] == "winpe"
+        latest = payload["latest"]
+        assert latest["type"] == "fleet-machine"
+        assert latest["machine"] == "m01"
+        baseline = payload["baseline"]
+        assert baseline["verdict"] == "infected"
+        assert baseline["confidence"]  # per-layer confidence present
+        assert baseline["degraded_layers"] == []
+        assert isinstance(baseline["provenance"], dict)
+
+    def test_clean_machine_detail(self, server):
+        status, payload = get(server, "/api/machines/m00")
+        assert status == 200
+        assert all(entry["verdict"] == "clean"
+                   for entry in payload["history"])
+        assert payload["baseline"]["verdict"] == "clean"
+
+    def test_drilldown_helper_unknown_machine(self, server):
+        assert machine_drilldown(server.index, "ghost-box") is None
+
+
+class TestQueryApi:
+    def test_filter_by_verdict(self, server):
+        status, payload = get(server, "/api/query?verdict=infected")
+        assert status == 200
+        assert payload["count"] == 2
+        assert {row["machine"] for row in payload["results"]} == {"m01"}
+
+    def test_filter_by_machine_and_epoch_range(self, server):
+        status, payload = get(
+            server, "/api/query?machine=m02&epoch_min=2&epoch_max=2")
+        assert status == 200
+        assert [row["epoch"] for row in payload["results"]] == [2]
+        assert payload["results"][0]["machine"] == "m02"
+
+    def test_filter_by_identity(self, server):
+        status, payload = get(server, "/api/machines/m01")
+        identity = payload["history"][0]["finding_ids"][0]
+        status, payload = get(server, "/api/query?identity=" + identity)
+        assert status == 200
+        assert payload["count"] >= 1
+        assert all(identity in row["finding_ids"]
+                   for row in payload["results"])
+
+    def test_filter_by_escalated_and_limit(self, server):
+        status, payload = get(
+            server, "/api/query?escalated=true&limit=1")
+        assert status == 200
+        assert payload["count"] == 1
+        assert payload["results"][0]["escalated"] is True
+
+    def test_bad_parameter_is_500_not_crash(self, server):
+        status, payload = get(server, "/api/query?limit=banana")
+        assert status == 500
+        assert "banana" in payload["error"]
+
+
+class TestDashboardHtml:
+    def test_fleet_page_renders(self, server):
+        status, body = get(server, "/")
+        assert status == 200
+        assert "<title>fleet console</title>" in body
+        for name in ("m00", "m01", "m02"):
+            assert '/machine/%s"' % name in body
+
+    def test_machine_page_renders(self, server):
+        status, body = get(server, "/machine/m01")
+        assert status == 200
+        assert "m01" in body and "infected" in body
+
+    def test_unknown_machine_page(self, server):
+        status, body = get(server, "/machine/nope")
+        assert status == 200
+        assert "unknown machine" in body
+
+
+class TestOverHttp:
+    def test_real_socket_round_trip(self, fleet_dir):
+        server = ConsoleServer(fleet_dir, token="s3cret").start()
+        try:
+            request = urllib.request.Request(
+                server.url + "/api/status",
+                headers={"Authorization": "Bearer s3cret"})
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 200
+                payload = json.loads(response.read().decode("utf-8"))
+            assert payload["epochs_completed"] == 2
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/api/status",
+                                       timeout=10)
+            assert excinfo.value.code == 401
+        finally:
+            server.stop()
