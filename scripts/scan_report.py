@@ -151,10 +151,25 @@ def render_fleet(records: dict) -> str:
                      f"{outbreak.get('identity')!r} on "
                      f"{len(outbreak.get('machines', []))} machine(s): "
                      + ", ".join(outbreak.get("machines", [])))
+    agents = {}
+    for record in records.get("fleet-agent", []):
+        agents[record.get("agent", "?")] = record
+    if agents:
+        lines.append("agents (distributed mode, last state):")
+        for name in sorted(agents):
+            agent = agents[name]
+            lines.append(
+                f"  {name:<14} {agent.get('state', '?'):<9} "
+                f"acks={agent.get('acks', 0)} "
+                f"reconnects={agent.get('reconnects', 0)} "
+                f"last={agent.get('event', '?')}"
+                + (f" reclaimed={','.join(agent['reclaimed'])}"
+                   if agent.get("reclaimed") else ""))
     ends = records.get("epoch-end", [])
     if ends:
         lines.append("epochs:")
         for end in ends:
+            late = end.get("late_acks", 0)
             lines.append(
                 f"  epoch {end.get('epoch', '?')}: "
                 f"{end.get('machines', 0)} machine(s), "
@@ -165,7 +180,8 @@ def render_fleet(records: dict) -> str:
                 f"({end.get('confirmed', 0)} confirmed), "
                 f"{end.get('errors', 0)} error(s), "
                 f"{end.get('outbreaks', 0)} outbreak(s), "
-                f"{end.get('scan_seconds', 0.0):.1f}s of scanning")
+                f"{end.get('scan_seconds', 0.0):.1f}s of scanning"
+                + (f", {late} late ack(s) dropped" if late else ""))
     return "\n".join(lines)
 
 

@@ -149,24 +149,63 @@ def _fleet_sweep(options) -> int:
     service run instead of a one-shot RIS sweep."""
     from repro.fleet import EscalationPolicy, FleetCoordinator
     from repro.ghostware import Aphex, HackerDefender
-    from repro.workloads.scenarios import build_fleet
+    from repro.workloads.scenarios import build_fleet, build_home_pc
 
     log = logging.getLogger(LOGGER_NAME)
     fleet_dir = options.fleet_dir or tempfile.mkdtemp(prefix="gb-fleet-")
     size = max(2, options.fleet_size)
-    scenarios = build_fleet(size=size,
-                            compromised={1: HackerDefender,
-                                         size - 1: Aphex})
+    agents = max(0, options.agents)
     plan = _chaos_plan(options)
     policy = EscalationPolicy(confirm_with=options.escalate or "winpe",
                               escalate=options.escalate is not None,
                               fault_plan=plan)
+    epochs = max(1, options.epochs or (10 if options.continuous else 1))
+    compromised = {1: HackerDefender, size - 1: Aphex}
+    summaries = []
+
+    if agents:
+        # Distributed mode: the roster travels by name; each forked
+        # agent builds (the same) machines from this factory, so the
+        # parse-heavy scans run outside this process's GIL.
+        def machine_factory(name):
+            index = int(name.rsplit("-", 1)[1])
+            ghost_cls = compromised.get(index)
+            return build_home_pc(name,
+                                 ghost_cls() if ghost_cls else None,
+                                 files=80, seed=3 + index,
+                                 with_services=False).machine
+
+        roster = [f"client-{index:02d}" for index in range(size)]
+        coordinator = FleetCoordinator(fleet_dir, roster, workers=agents,
+                                       policy=policy, compact_every=4)
+        aggregates = coordinator.run_distributed(
+            epochs, machine_factory, agents=agents,
+            fault_seed=options.chaos_seed,
+            fault_rate=options.chaos_rate)
+        for aggregate in aggregates:
+            summary = aggregate.summary
+            summaries.append(summary.to_dict())
+            if not options.json:
+                log.info("epoch %d: %d machines (%d scanned, %d skipped)"
+                         " infected=%d escalated=%d confirmed=%d "
+                         "outbreaks=%d",
+                         summary.epoch, summary.machines, summary.scanned,
+                         summary.skipped, summary.infected,
+                         summary.escalated, summary.confirmed,
+                         summary.outbreaks)
+        if options.json:
+            _emit_json({"fleet_dir": fleet_dir, "agents": agents,
+                        "epochs": summaries})
+        else:
+            log.info("fleet state in %s (%d agent processes)",
+                     fleet_dir, agents)
+        return 0
+
+    scenarios = build_fleet(size=size, compromised=compromised)
     coordinator = FleetCoordinator(fleet_dir,
                                    [s.machine for s in scenarios],
                                    workers=2, policy=policy,
                                    fault_plan=plan, compact_every=4)
-    epochs = max(1, options.epochs or (10 if options.continuous else 1))
-    summaries = []
     for __ in range(epochs):
         aggregate = coordinator.run_epoch()
         summary = aggregate.summary
@@ -400,6 +439,11 @@ def main(argv=None) -> int:
                         help="durable fleet state directory (queue WAL, "
                              "epochs journal, baselines); also the "
                              "target of fleet-status")
+    parser.add_argument("--agents", type=int, default=0, metavar="N",
+                        help="run the fleet sweep distributed: a scan "
+                             "controller in this process plus N forked "
+                             "scan-agent processes (sweep with "
+                             "--epochs/--continuous)")
     parser.add_argument("--fleet-size", type=int, default=6, metavar="N",
                         help="machines in the demo fleet for sweep "
                              "--epochs (default 6)")

@@ -419,6 +419,22 @@ class JournalIndex:
                      "start": start, "end": end}
             if self._fold_event_entry(entry):
                 self._append_sidecar(self.events_path, entry)
+        elif kind == "fleet-agent":
+            # Agent liveness transitions (hello/reconnect/dead/bye from
+            # the scan controller) ride the events sidecar; status()
+            # folds them latest-per-agent, exactly like fleet_status.
+            entry = {"kind": "agent",
+                     "agent": record.get("agent"),
+                     "event": record.get("event"),
+                     "state": record.get("state"),
+                     "worker": record.get("worker", 0),
+                     "reconnects": record.get("reconnects", 0),
+                     "leases_held": record.get("leases_held", 0),
+                     "acks": record.get("acks", 0),
+                     "at": record.get("at"),
+                     "start": start, "end": end}
+            if self._fold_event_entry(entry):
+                self._append_sidecar(self.events_path, entry)
         # Unknown record types cost nothing but the cursor advance.
         # Fold-before-append keeps re-reads idempotent: a record whose
         # sidecar entry already exists (cursor behind a flushed sidecar)
@@ -621,6 +637,13 @@ class JournalIndex:
         return [dict(event) for event in self._events
                 if event.get("kind") == "outbreak"]
 
+    def agents(self) -> Dict[str, dict]:
+        """agent → latest liveness, same fold as ``fleet_status``."""
+        from repro.fleet.controller import fold_agent_records
+        return fold_agent_records(
+            dict(event, type="fleet-agent")
+            for event in self._events if event.get("kind") == "agent")
+
     def query(self, verdict: Optional[str] = None,
               machine: Optional[str] = None,
               identity: Optional[str] = None,
@@ -674,6 +697,7 @@ class JournalIndex:
             "outbreaks": [self.machine_outbreak_record(event)
                           for event in self._events
                           if event.get("kind") == "outbreak"],
+            "agents": self.agents(),
         }
         if os.path.exists(self.source_queue):
             status["pending_machines"] = queue.pending_machines()

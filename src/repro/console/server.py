@@ -24,6 +24,8 @@ Routes::
                              and quarantine provenance
     /api/epochs              epoch extents + embedded summaries
     /api/outbreaks           the outbreak timeline
+    /api/agents              distributed-mode agent liveness (latest
+                             state per scan agent)
     /api/query               filtered verdicts (verdict, machine,
                              identity, epoch_min/max, scanned,
                              escalated, limit)
@@ -217,6 +219,8 @@ class ConsoleServer:
             if route == "/api/outbreaks":
                 return self._json(200, {"outbreaks":
                                         self.index.outbreaks()})
+            if route == "/api/agents":
+                return self._json(200, {"agents": self.index.agents()})
             if route == "/api/query":
                 return self._json(200, self._query(params))
             if route == "/api/index":

@@ -170,6 +170,34 @@ class StaleLease(FleetError):
         self.token = token
 
 
+class TransportError(FleetError):
+    """A fleet wire-protocol exchange failed mid-flight.
+
+    Covers the whole family a real network shows the agent loop: the
+    peer closed the connection, a frame arrived torn, or an injected
+    ``fleet.transport.*`` fault dropped the exchange.  Always retryable
+    at the connection level — the agent's reconnect loop re-dials and
+    replays its last unacked work (acks are idempotent server-side).
+    """
+
+
+class TransportTimeout(TransportError):
+    """A framed receive hit its deadline with the peer still connected.
+
+    Distinct from :class:`TransportError` proper so a server loop can
+    treat it as "poll again" rather than "the connection died".
+    """
+
+
+class AgentAuthError(TransportError):
+    """The controller rejected an agent's HMAC hello.
+
+    Not retryable with the same credentials: the agent's shared secret
+    does not match the controller's, so backing off and re-dialling
+    would only produce the same rejection.
+    """
+
+
 class CoordinatorKilled(FleetError):
     """Deterministic SIGKILL stand-in for checkpoint-soundness tests.
 

@@ -39,11 +39,13 @@ SITE_RIS_TRANSPORT = "ris.transport"  # the RIS network-boot transport
 SITE_MFT_PARSE = "mft.parse"          # raw namespace build (self-healing)
 SITE_HIVE_PARSE = "hive.parse"        # raw hive parse (self-healing)
 SITE_FLEET_LEASE = "fleet.lease"      # work-queue lease acquisition
+SITE_FLEET_SEND = "fleet.transport.send"  # controller/agent frame send
+SITE_FLEET_RECV = "fleet.transport.recv"  # controller/agent frame receive
 
 MODES = ("rate", "burst", "one_shot", "always")
 
 # Kinds whose fault carries a simulated-time delay.
-_DELAY_KINDS = frozenset({"slow_read", "hang", "timeout"})
+_DELAY_KINDS = frozenset({"slow_read", "hang", "timeout", "delay"})
 
 _FAULT_OWNER = "fault-plan"
 
@@ -156,6 +158,16 @@ class FaultPlan:
                       mean_delay_s=mean_delay_s),
             FaultSpec(SITE_FLEET_LEASE, rate=rate, scopes=scopes,
                       kinds=("io_error",), mean_delay_s=0.0),
+            # The fleet wire: partitions, latency, replayed and torn
+            # frames.  Only the distributed agent/controller path draws
+            # here, and its streams are keyed by agent id, so adding
+            # these specs never perturbs the per-machine scan streams.
+            FaultSpec(SITE_FLEET_SEND, rate=rate, scopes=scopes,
+                      kinds=("drop", "delay", "duplicate", "torn_frame"),
+                      mean_delay_s=mean_delay_s),
+            FaultSpec(SITE_FLEET_RECV, rate=rate, scopes=scopes,
+                      kinds=("drop", "delay", "torn_frame"),
+                      mean_delay_s=mean_delay_s),
         ))
 
     @classmethod

@@ -106,6 +106,11 @@ class EpochSummary:
     mass_hiding: int = 0
     outbreaks: int = 0
     scan_seconds: float = 0.0
+    # Acks that arrived after their lease expired or was superseded.
+    # Each one means a machine was scanned more than once this epoch —
+    # wasted work worth alarming on, even though the verdict that
+    # landed is still correct (last valid lease wins).
+    late_acks: int = 0
 
     def to_dict(self) -> Dict:
         record = asdict(self)

@@ -45,12 +45,11 @@ from __future__ import annotations
 
 import logging
 import os
-from typing import Dict, Iterable, List, Optional
+import time
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.clock import SimClock
-from repro.core.anomaly import check_mass_hiding
 from repro.core.baseline import BaselineStore
-from repro.core.ghostbuster import GhostBuster
 from repro.core.noise import NoiseFilter
 from repro.errors import (CircuitOpen, CoordinatorKilled, FleetError,
                           ReproError, StaleLease, TransientIoError)
@@ -58,9 +57,12 @@ from repro.faults.plan import FaultPlan
 from repro.faults.retry import CircuitBreaker
 from repro.fleet.aggregator import (DEFAULT_OUTBREAK_THRESHOLD,
                                     FleetAggregator, MachineVerdict)
-from repro.fleet.policy import EscalationPolicy, finding_ids
+from repro.fleet.controller import ScanController, fold_agent_records
+from repro.fleet.policy import EscalationPolicy
 from repro.fleet.queue import WorkQueue
+from repro.fleet.scanwork import perform_machine_scan, skip_verdict
 from repro.fleet.scheduler import FleetScheduler, load_history
+from repro.fleet import transport
 from repro.machine import Machine
 from repro.telemetry import context as telemetry_context
 from repro.telemetry.journal_io import append_journal, iter_journal
@@ -74,7 +76,8 @@ EPOCHS_FILE = "epochs.jsonl"
 class FleetCoordinator:
     """Runs checkpointed epochs over a fleet of simulated machines."""
 
-    def __init__(self, fleet_dir: str, machines: Iterable[Machine],
+    def __init__(self, fleet_dir: str,
+                 machines: Iterable[Union[Machine, str]],
                  workers: int = 2,
                  scheduler: Optional[FleetScheduler] = None,
                  policy: Optional[EscalationPolicy] = None,
@@ -87,9 +90,17 @@ class FleetCoordinator:
                  resources=("files", "registry"),
                  breaker_threshold: int = 3,
                  console_index: bool = True,
-                 retain_epochs: int = 0):
+                 retain_epochs: int = 0,
+                 queue_durable: bool = False):
         self.fleet_dir = fleet_dir
-        self.machines: Dict[str, Machine] = {m.name: m for m in machines}
+        # Distributed mode rosters by *name* (the machines themselves
+        # live inside agent processes), so bare strings are accepted;
+        # a single-process run of a name-only entry yields the usual
+        # "machine not in roster" error verdict.
+        self.machines: Dict[str, Optional[Machine]] = {
+            (m if isinstance(m, str) else m.name):
+            (None if isinstance(m, str) else m)
+            for m in machines}
         if not self.machines:
             raise FleetError("a fleet needs at least one machine")
         self.workers = max(1, int(workers))
@@ -103,7 +114,8 @@ class FleetCoordinator:
         self.epochs_path = os.path.join(fleet_dir, EPOCHS_FILE)
         self.store = BaselineStore(fleet_dir)
         self.queue = WorkQueue(fleet_dir, clock=clock,
-                               lease_seconds=lease_seconds)
+                               lease_seconds=lease_seconds,
+                               durable=queue_durable)
         self.clock = self.queue.clock
         self.scheduler = scheduler or FleetScheduler(shards=self.workers)
         self.breaker = CircuitBreaker(failure_threshold=breaker_threshold)
@@ -153,12 +165,24 @@ class FleetCoordinator:
         after the N-th ack of *this invocation* commits — the test
         harness's deterministic power cord.
         """
-        metrics = global_metrics()
-        resuming = self.queue.epoch is not None
         epoch = self.next_epoch_number()
         aggregator = FleetAggregator(
             epoch, outbreak_threshold=self.outbreak_threshold)
+        resuming = self._open_or_resume(epoch, aggregator)
 
+        with telemetry_context.current_tracer().span(
+                "fleet.epoch", clock=self.clock, epoch=epoch,
+                resumed=resuming):
+            self._drain_epoch(epoch, aggregator, kill_after_acks)
+
+        self._finish_epoch(aggregator)
+        return aggregator
+
+    def _open_or_resume(self, epoch: int,
+                        aggregator: FleetAggregator) -> bool:
+        """Open a fresh epoch or resume the one the WAL says is open."""
+        metrics = global_metrics()
+        resuming = self.queue.epoch is not None
         if resuming:
             recovered = self.queue.recover_leases()
             if recovered:
@@ -185,12 +209,11 @@ class FleetCoordinator:
             self._journal({"type": "epoch-start", "epoch": epoch,
                            "machines": len(plan)})
             metrics.incr("fleet.epoch.started")
+        return resuming
 
-        with telemetry_context.current_tracer().span(
-                "fleet.epoch", clock=self.clock, epoch=epoch,
-                resumed=resuming):
-            self._drain_epoch(epoch, aggregator, kill_after_acks)
-
+    def _finish_epoch(self, aggregator: FleetAggregator) -> None:
+        """Seal a drained epoch: journal the summary, close, compact."""
+        metrics = global_metrics()
         self._journal(dict(aggregator.summary.to_dict(), type="epoch-end"))
         self.queue.close_epoch()
         self._quarantined = sorted(
@@ -214,7 +237,6 @@ class FleetCoordinator:
                     # The store/WAL rewrites changed those journals'
                     # heads; the next update() notices and rebuilds.
                     self.index.update()
-        return aggregator
 
     def run(self, epochs: int,
             kill_after_acks: Optional[int] = None) -> List[FleetAggregator]:
@@ -251,7 +273,13 @@ class FleetCoordinator:
                 except StaleLease:
                     # The lease timed out under a pathologically slow
                     # scan and someone else will redo the machine; the
-                    # journal keeps both records, last one wins.
+                    # journal keeps both records, last one wins.  Each
+                    # drop is a whole scan's work wasted, so it is
+                    # counted — in the metrics registry (surfaces via
+                    # the FleetHealth metrics snapshot) and on the
+                    # epoch summary the journal and scan_report render.
+                    metrics.incr("fleet.ack.late")
+                    aggregator.summary.late_acks += 1
                     logger.warning("late ack for %s dropped", lease.machine)
                     progressed = True
                     continue
@@ -290,21 +318,7 @@ class FleetCoordinator:
             # Steady state: the disk has not changed since the stored
             # verdict, so the verdict still holds — rehydrate it (and
             # its escalation provenance) without touching the box.
-            report = baseline.rehydrate(mode="fleet-skip")
-            extra = baseline.extra
-            return MachineVerdict(
-                machine=name, epoch=epoch,
-                verdict="clean" if report.is_clean else "infected",
-                findings=sum(1 for f in report.findings if not f.is_noise),
-                noise=sum(1 for f in report.findings if f.is_noise),
-                scanned=False, skipped=True,
-                escalated=bool(extra.get("escalated")),
-                confirmed=bool(extra.get("confirmed")),
-                confirmed_by=extra.get("confirmed_by"),
-                baseline_id=baseline.baseline_id,
-                scan_seconds=0.0,
-                finding_ids=list(extra.get("finding_ids", [])),
-                mass_hiding=bool(extra.get("mass_hiding")))
+            return skip_verdict(baseline, epoch)
 
         try:
             self.breaker.allow(name)
@@ -325,53 +339,181 @@ class FleetCoordinator:
 
     def _scan_body(self, epoch: int, machine: Machine) -> MachineVerdict:
         name = machine.name
-        if not machine.powered_on:
-            machine.boot()
-        # Scan costs are charged to the machine's own clock; the fleet
-        # clock (leases, checkpoints) mirrors the elapsed time when the
-        # two are distinct, so lease expiry sees scans take time.
-        stopwatch = machine.clock.stopwatch()
-        with telemetry_context.current_tracer().span(
-                "fleet.scan", clock=self.clock, machine=name, epoch=epoch):
-            report = GhostBuster(machine, advanced=True,
-                                 noise_filter=self.noise_filter,
-                                 fault_plan=self.fault_plan).inside_scan(
-                                     resources=self.resources)
-        inside_ids = finding_ids(report)
-        alert = check_mass_hiding(report)
-        escalated = confirmed = False
-        confirmed_by = None
-        if self.policy.should_escalate(report):
-            outcome = self.policy.confirm(machine, report)
-            escalated = True
-            confirmed = outcome.confirmed
-            confirmed_by = outcome.confirmed_by
-        # Generation is captured *after* the scans: escalation reboots
-        # the box (registry flush bumps the generation), so a confirmed
-        # machine never matches its stored generation and gets re-swept
-        # eagerly next epoch, while a clean machine skips.
-        scan_seconds = stopwatch.elapsed()
+        # The scan body itself is shared with the distributed agents
+        # (repro.fleet.scanwork); scan costs are charged to the
+        # machine's own clock and the fleet clock (leases, checkpoints)
+        # mirrors the elapsed time when the two are distinct, so lease
+        # expiry sees scans take time.
+        outcome = perform_machine_scan(machine, epoch, self.policy,
+                                       self.noise_filter, self.resources,
+                                       self.fault_plan,
+                                       span_clock=self.clock)
         if machine.clock is not self.clock:
-            self.clock.advance(scan_seconds)
-        generation = machine.disk.generation
-        extra = {"escalated": escalated, "confirmed": confirmed,
-                 "confirmed_by": confirmed_by, "finding_ids": inside_ids,
-                 "mass_hiding": alert is not None, "epoch": epoch}
-        stored = self.store.put(name, report, disk_generation=generation,
-                                scan_seconds=scan_seconds, extra=extra)
+            self.clock.advance(outcome.scan_seconds)
+        stored = self.store.put(name, outcome.report,
+                                disk_generation=outcome.disk_generation,
+                                scan_seconds=outcome.scan_seconds,
+                                extra=outcome.extra(epoch))
         self.breaker.record_success(name)
-        return MachineVerdict(
-            machine=name, epoch=epoch,
-            verdict="clean" if report.is_clean else "infected",
-            findings=sum(1 for f in report.findings if not f.is_noise),
-            noise=sum(1 for f in report.findings if f.is_noise),
-            scanned=True, skipped=False,
-            escalated=escalated, confirmed=confirmed,
-            confirmed_by=confirmed_by,
-            baseline_id=stored.baseline_id,
-            scan_seconds=scan_seconds,
-            finding_ids=inside_ids,
-            mass_hiding=alert is not None)
+        return outcome.verdict(name, epoch, baseline_id=stored.baseline_id)
+
+    # -- distributed mode --------------------------------------------------------
+
+    def spawn_agents(self, count: int, address, secret: str,
+                     machine_factory,
+                     fault_seed: Optional[int] = None,
+                     fault_rate: float = 0.0,
+                     transport_seed: Optional[int] = None,
+                     transport_rate: float = 0.0,
+                     heartbeat_seconds: float = 0.25,
+                     kill_after_leases: Optional[Dict[int, int]] = None,
+                     mp_context: str = "fork",
+                     first_index: int = 0) -> List:
+        """Fork ``count`` agent processes against a running controller.
+
+        The ``fork`` context matters twice over: the ``machine_factory``
+        closure is inherited rather than pickled, and an expensive
+        golden image built before the fork is shared copy-on-write by
+        every agent.  Fault plans travel as *seeds* and are rebuilt
+        inside each child (see :func:`repro.fleet.agent.
+        run_agent_process`) so a respawned process's per-machine fault
+        streams start at draw zero, same as the reference run.
+        """
+        import multiprocessing
+
+        from repro.fleet.agent import run_agent_process
+
+        ctx = multiprocessing.get_context(mp_context)
+        kills = kill_after_leases or {}
+        processes = []
+        for offset in range(count):
+            index = first_index + offset
+            process = ctx.Process(
+                target=run_agent_process,
+                kwargs=dict(
+                    address=tuple(address), secret=secret,
+                    agent_id=f"agent-{index}", worker=index,
+                    machine_factory=machine_factory,
+                    fault_seed=fault_seed, fault_rate=fault_rate,
+                    transport_seed=transport_seed,
+                    transport_rate=transport_rate,
+                    heartbeat_seconds=heartbeat_seconds,
+                    kill_after_leases=kills.get(index),
+                    policy_config={
+                        "confirm_with": self.policy.confirm_with,
+                        "escalate": self.policy.escalate,
+                        "resources": list(self.policy.resources)},
+                    resources=self.resources),
+                name=f"fleet-agent-{index}", daemon=True)
+            process.start()
+            processes.append(process)
+        return processes
+
+    def run_distributed(self, epochs: int, machine_factory,
+                        agents: int = 2, *,
+                        secret: Optional[str] = None,
+                        host: str = "127.0.0.1", port: int = 0,
+                        heartbeat_seconds: float = 0.25,
+                        agent_timeout_seconds: float = 2.0,
+                        fault_seed: Optional[int] = None,
+                        fault_rate: float = 0.0,
+                        transport_seed: Optional[int] = None,
+                        transport_rate: float = 0.0,
+                        kill_after_leases: Optional[Dict[int, int]] = None,
+                        mp_context: str = "fork",
+                        respawn: bool = True,
+                        stall_timeout_s: float = 60.0
+                        ) -> List[FleetAggregator]:
+        """Run epochs with the scan fan-out in separate agent processes.
+
+        The coordinator process keeps custody of every durable write (it
+        hosts the :class:`~repro.fleet.controller.ScanController`); the
+        ``agents`` forked children do the GIL-heavy parsing and talk the
+        wire protocol.  Crash tolerance is the controller's liveness
+        reaper plus (when ``respawn``) fresh agents forked whenever the
+        whole pool has died with work still pending — ``kill -9`` of any
+        agent mid-lease costs wall time, never a machine or a verdict.
+        """
+        secret = secret or transport.new_secret()
+        controller = ScanController(
+            self, secret, host=host, port=port,
+            heartbeat_seconds=heartbeat_seconds,
+            agent_timeout_seconds=agent_timeout_seconds)
+        controller.start()
+        self.controller = controller
+        processes = self.spawn_agents(
+            agents, controller.address, secret, machine_factory,
+            fault_seed=fault_seed, fault_rate=fault_rate,
+            transport_seed=transport_seed, transport_rate=transport_rate,
+            heartbeat_seconds=heartbeat_seconds,
+            kill_after_leases=kill_after_leases, mp_context=mp_context)
+        agent_seq = agents
+        aggregates: List[FleetAggregator] = []
+        try:
+            for __ in range(int(epochs)):
+                epoch = self.next_epoch_number()
+                aggregator = FleetAggregator(
+                    epoch, outbreak_threshold=self.outbreak_threshold)
+                with controller.lock:
+                    resuming = self._open_or_resume(epoch, aggregator)
+                    controller.begin_epoch(epoch, aggregator)
+                with telemetry_context.current_tracer().span(
+                        "fleet.epoch", clock=self.clock, epoch=epoch,
+                        resumed=resuming, distributed=True):
+                    last_acked = -1
+                    last_progress = time.monotonic()
+                    while True:
+                        with controller.lock:
+                            if self.queue.epoch_drained():
+                                break
+                            acked = len(self.queue.acked_machines())
+                        controller.reap()
+                        if not any(p.is_alive() for p in processes):
+                            if not respawn:
+                                raise FleetError(
+                                    f"epoch {epoch}: every agent died "
+                                    f"with work pending")
+                            # Respawn a whole fresh pool under new agent
+                            # ids (and without the deterministic kill
+                            # switch); the dead agents' leases come back
+                            # via the reaper.
+                            processes = self.spawn_agents(
+                                agents, controller.address, secret,
+                                machine_factory,
+                                fault_seed=fault_seed,
+                                fault_rate=fault_rate,
+                                transport_seed=transport_seed,
+                                transport_rate=transport_rate,
+                                heartbeat_seconds=heartbeat_seconds,
+                                mp_context=mp_context,
+                                first_index=agent_seq)
+                            agent_seq += agents
+                            global_metrics().incr("fleet.agent.respawns",
+                                                  agents)
+                        if acked != last_acked:
+                            last_acked = acked
+                            last_progress = time.monotonic()
+                        elif (time.monotonic() - last_progress
+                                > stall_timeout_s):
+                            raise FleetError(
+                                f"epoch {epoch} stalled: no ack for "
+                                f"{stall_timeout_s:.0f}s with "
+                                f"{self.queue.pending_count()} pending")
+                        time.sleep(0.02)
+                with controller.lock:
+                    controller.end_epoch()
+                    self._finish_epoch(aggregator)
+                aggregates.append(aggregator)
+        finally:
+            controller.begin_shutdown()
+            for process in processes:
+                process.join(timeout=5.0)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+            controller.stop()
+        return aggregates
 
 
 # -- operator status -----------------------------------------------------------
@@ -398,6 +540,7 @@ def fleet_status(fleet_dir: str) -> Dict:
         status["pending_machines"] = queue.pending_machines()
         status["leased_machines"] = sorted(queue.leased_machines())
     epochs_path = os.path.join(fleet_dir, EPOCHS_FILE)
+    agent_records: List[Dict] = []
     for line in iter_journal(epochs_path, on_torn=lambda *_: None):
         record = line.record
         if record.get("type") == "epoch-end":
@@ -405,4 +548,9 @@ def fleet_status(fleet_dir: str) -> Dict:
             status["last_summary"] = record
         elif record.get("type") == "fleet-outbreak":
             status["outbreaks"].append(record)
+        elif record.get("type") == "fleet-agent":
+            agent_records.append(record)
+    # Same fold the console index uses, so `repro fleet-status --json`
+    # and `/api/status` agree structurally on agent liveness.
+    status["agents"] = fold_agent_records(agent_records)
     return status

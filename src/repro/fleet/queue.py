@@ -74,12 +74,13 @@ class WorkQueue:
     """
 
     def __init__(self, directory: str, clock: Optional[SimClock] = None,
-                 lease_seconds: float = 300.0):
+                 lease_seconds: float = 300.0, durable: bool = False):
         if lease_seconds <= 0:
             raise FleetError("lease_seconds must be positive")
         self.directory = directory
         self.path = os.path.join(directory, QUEUE_FILE)
         self.lease_seconds = lease_seconds
+        self.durable = bool(durable)
         self._lock = threading.RLock()
         self.epoch: Optional[int] = None        # currently open epoch
         self._machines: List[str] = []          # epoch roster, queue order
@@ -98,11 +99,20 @@ class WorkQueue:
 
     # -- WAL ---------------------------------------------------------------------
 
+    # Epoch boundaries are always forced to stable storage: the console
+    # index pins its cursors against the WAL prefix, and a host crash
+    # that tore an epoch-open/epoch-close out from under those pins
+    # would invalidate every byte offset the index recorded after it.
+    _FSYNC_OPS = frozenset({"epoch-open", "epoch-close"})
+
     def _append(self, record: dict) -> None:
         record = dict(record, at=round(self.clock.now(), 6))
         os.makedirs(self.directory, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if self.durable or record.get("op") in self._FSYNC_OPS:
+                handle.flush()
+                os.fsync(handle.fileno())
         self._recorded_at = max(self._recorded_at, record["at"])
 
     def _replay(self) -> None:
@@ -237,6 +247,30 @@ class WorkQueue:
                 global_metrics().incr("fleet.queue.recovered",
                                       len(recovered))
             return recovered
+
+    def requeue(self, machines) -> List[str]:
+        """Return specific leased machines to their shards.
+
+        The controller's liveness reaper calls this when an agent's
+        heartbeats stop: only *that agent's* leases go back to pending,
+        while every other agent's work stays leased.  Machines that are
+        not currently leased (already acked, already requeued) are
+        skipped.  Returns the machines actually requeued.
+        """
+        with self._lock:
+            requeued = []
+            for machine in sorted(machines):
+                if machine not in self._leases:
+                    continue
+                record = {"op": "requeue", "machine": machine,
+                          "epoch": self.epoch}
+                self._append(record)
+                self._apply(record)
+                requeued.append(machine)
+            if requeued:
+                global_metrics().incr("fleet.queue.reclaimed",
+                                      len(requeued))
+            return requeued
 
     # -- lease / ack / renew -----------------------------------------------------
 

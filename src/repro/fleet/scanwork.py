@@ -1,0 +1,138 @@
+"""The per-machine scan body, shared by coordinator workers and agents.
+
+One epoch's unit of work is the same whether it runs on a thread inside
+the coordinator process or inside a remote scan agent: boot if needed,
+run the cross-view inside scan, escalate finding-bearing machines
+through the :class:`~repro.fleet.policy.EscalationPolicy`, and capture
+the disk generation *after* the scans (escalation reboots the box, so a
+confirmed machine never matches its stored generation and is re-swept
+eagerly next epoch).
+
+Extracting the body here is what makes the distributed mode's
+element-identical-verdicts guarantee checkable: the agent executes
+byte-for-byte the same scan sequence the in-process worker would, and
+because fault streams are seeded per ``(site, machine)`` — independent
+of which process draws them — a machine scanned by agent 3 after a
+kill -9 produces the same verdict the uninterrupted single-process
+sweep records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.anomaly import check_mass_hiding
+from repro.core.baseline import MachineBaseline
+from repro.core.diff import DetectionReport
+from repro.core.ghostbuster import GhostBuster
+from repro.core.noise import NoiseFilter
+from repro.faults.plan import FaultPlan
+from repro.fleet.aggregator import MachineVerdict
+from repro.fleet.policy import EscalationPolicy, finding_ids
+from repro.machine import Machine
+from repro.telemetry import context as telemetry_context
+
+
+@dataclass
+class ScanOutcome:
+    """Everything one fresh scan produced, before the checkpoint.
+
+    The caller owns the checkpoint: the coordinator's worker loop does
+    ``BaselineStore.put`` locally, while an agent ships the outcome
+    over the wire and the controller does the put — either way the
+    write order (put → journal → ack) is enforced in exactly one
+    process.
+    """
+
+    report: DetectionReport
+    scan_seconds: float
+    disk_generation: int
+    escalated: bool
+    confirmed: bool
+    confirmed_by: Optional[str]
+    finding_ids: List[str] = field(default_factory=list)
+    mass_hiding: bool = False
+
+    def extra(self, epoch: int) -> Dict:
+        """The baseline rider that lets a later skip rehydrate verdicts."""
+        return {"escalated": self.escalated, "confirmed": self.confirmed,
+                "confirmed_by": self.confirmed_by,
+                "finding_ids": list(self.finding_ids),
+                "mass_hiding": self.mass_hiding, "epoch": epoch}
+
+    def verdict(self, machine: str, epoch: int,
+                baseline_id: Optional[str]) -> MachineVerdict:
+        report = self.report
+        return MachineVerdict(
+            machine=machine, epoch=epoch,
+            verdict="clean" if report.is_clean else "infected",
+            findings=sum(1 for f in report.findings if not f.is_noise),
+            noise=sum(1 for f in report.findings if f.is_noise),
+            scanned=True, skipped=False,
+            escalated=self.escalated, confirmed=self.confirmed,
+            confirmed_by=self.confirmed_by,
+            baseline_id=baseline_id,
+            scan_seconds=self.scan_seconds,
+            finding_ids=list(self.finding_ids),
+            mass_hiding=self.mass_hiding)
+
+
+def perform_machine_scan(machine: Machine, epoch: int,
+                         policy: EscalationPolicy,
+                         noise_filter: NoiseFilter,
+                         resources: Sequence[str],
+                         fault_plan: Optional[FaultPlan],
+                         span_clock=None) -> ScanOutcome:
+    """Boot-if-needed, inside scan, optional escalation; no writes.
+
+    ``span_clock`` picks which clock the telemetry span charges (the
+    coordinator passes the fleet clock; an agent has only the
+    machine's own).
+    """
+    if not machine.powered_on:
+        machine.boot()
+    stopwatch = machine.clock.stopwatch()
+    with telemetry_context.current_tracer().span(
+            "fleet.scan", clock=span_clock or machine.clock,
+            machine=machine.name, epoch=epoch):
+        report = GhostBuster(machine, advanced=True,
+                             noise_filter=noise_filter,
+                             fault_plan=fault_plan).inside_scan(
+                                 resources=tuple(resources))
+    inside_ids = finding_ids(report)
+    alert = check_mass_hiding(report)
+    escalated = confirmed = False
+    confirmed_by = None
+    if policy.should_escalate(report):
+        outcome = policy.confirm(machine, report)
+        escalated = True
+        confirmed = outcome.confirmed
+        confirmed_by = outcome.confirmed_by
+    # Generation is captured *after* the scans; see module docstring.
+    scan_seconds = stopwatch.elapsed()
+    return ScanOutcome(report=report, scan_seconds=scan_seconds,
+                       disk_generation=machine.disk.generation,
+                       escalated=escalated, confirmed=confirmed,
+                       confirmed_by=confirmed_by,
+                       finding_ids=inside_ids,
+                       mass_hiding=alert is not None)
+
+
+def skip_verdict(baseline: MachineBaseline, epoch: int) -> MachineVerdict:
+    """Rehydrate a stored verdict for a generation-matched machine."""
+    report = baseline.rehydrate(mode="fleet-skip")
+    extra = baseline.extra
+    return MachineVerdict(
+        machine=baseline.machine, epoch=epoch,
+        verdict="clean" if report.is_clean else "infected",
+        findings=sum(1 for f in report.findings if not f.is_noise),
+        noise=sum(1 for f in report.findings if f.is_noise),
+        scanned=False, skipped=True,
+        escalated=bool(extra.get("escalated")),
+        confirmed=bool(extra.get("confirmed")),
+        confirmed_by=extra.get("confirmed_by"),
+        baseline_id=baseline.baseline_id,
+        scan_seconds=0.0,
+        finding_ids=list(extra.get("finding_ids", [])),
+        mass_hiding=bool(extra.get("mass_hiding")))

@@ -10,12 +10,14 @@ an uninterrupted run's and no acked machine may be scanned twice.
 from __future__ import annotations
 
 import json
+from collections import Counter
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.errors import CoordinatorKilled
+from repro.clock import SimClock
+from repro.errors import CoordinatorKilled, StaleLease
 from repro.fleet import (EscalationPolicy, FleetCoordinator, WorkQueue,
                          fleet_status)
 from repro.ghostware import Aphex, HackerDefender
@@ -231,9 +233,14 @@ class TestCheckpointProperty:
               suppress_health_check=[HealthCheck.too_slow])
     @given(kill_after=st.integers(min_value=1, max_value=3),
            infected=st.sets(st.integers(min_value=0, max_value=2),
-                            max_size=2))
+                            max_size=2),
+           kill_in_gap=st.booleans())
     def test_any_kill_point_resumes_identically(self, tmp_path_factory,
-                                                kill_after, infected):
+                                                kill_after, infected,
+                                                kill_in_gap):
+        """Die at the N-th ack boundary — or, with ``kill_in_gap``,
+        *inside* the checkpoint: after the baseline put and the journal
+        record but before the queue ack commits."""
         tmp_path = tmp_path_factory.mktemp("fleet-prop")
         reference = FleetCoordinator(
             str(tmp_path / "ref"),
@@ -242,10 +249,21 @@ class TestCheckpointProperty:
 
         fleet_dir = str(tmp_path / "killed")
         machines = build_fleet(size=3, infected=tuple(infected))
+        coordinator = FleetCoordinator(fleet_dir, machines, workers=2)
+        if kill_in_gap:
+            real_ack = coordinator.queue.ack
+            calls = {"n": 0}
+
+            def gap_ack(lease, **payload):
+                calls["n"] += 1
+                if calls["n"] == kill_after:
+                    raise CoordinatorKilled("died in the journal→ack gap")
+                return real_ack(lease, **payload)
+
+            coordinator.queue.ack = gap_ack
         try:
-            FleetCoordinator(fleet_dir, machines,
-                             workers=2).run_epoch(
-                                 kill_after_acks=kill_after)
+            coordinator.run_epoch(
+                kill_after_acks=None if kill_in_gap else kill_after)
             killed = False
         except CoordinatorKilled:
             killed = True
@@ -258,8 +276,13 @@ class TestCheckpointProperty:
             fleet_dir = str(tmp_path / "ref")
         assert verdict_key(resumed) == verdict_key(reference)
         records = machine_records(fleet_dir, epoch=1)
-        assert len(records) == 3
         assert len({record["machine"] for record in records}) == 3
+        # A gap kill leaves the dying machine journaled twice (the
+        # resume re-records it; last wins); every other machine exactly
+        # once.
+        counts = Counter(record["machine"] for record in records)
+        assert sorted(counts.values()) == (
+            [1, 1, 2] if killed and kill_in_gap else [1, 1, 1])
 
 
 class TestChaosInterplay:
@@ -305,6 +328,150 @@ class TestChaosInterplay:
         assert verdict_key(resumed) == verdict_key(reference)
         records = machine_records(chaos_dir, epoch=1)
         assert len(records) == 3
+
+
+class TestLeaseRecoveryEdgeCases:
+    """The queue/checkpoint edge cases distributed mode leans on."""
+
+    def test_ack_after_timeout_is_stale_and_does_not_requeue(
+            self, tmp_path):
+        clock = SimClock()
+        queue = WorkQueue(str(tmp_path), clock=clock, lease_seconds=10.0)
+        queue.open_epoch(1, {"m00": 0})
+        lease = queue.lease(0)
+        clock.advance(10.0)
+        with pytest.raises(StaleLease):
+            queue.ack(lease, verdict="clean")
+        # The refusal has no side effects: not acked, and requeueing is
+        # expire_leases()'s job, not the failed ack's.
+        assert queue.acked_machines() == {}
+        assert queue.pending_machines() == []
+        assert queue.expire_leases() == ["m00"]
+        assert queue.pending_machines() == ["m00"]
+
+    def test_reclaimed_lease_token_cannot_ack(self, tmp_path):
+        clock = SimClock()
+        queue = WorkQueue(str(tmp_path), clock=clock, lease_seconds=10.0)
+        queue.open_epoch(1, {"m00": 0})
+        stale = queue.lease(0)
+        clock.advance(11.0)
+        assert queue.expire_leases() == ["m00"]
+        fresh = queue.lease(1)
+        assert fresh.token != stale.token
+        with pytest.raises(StaleLease):
+            queue.ack(stale, verdict="clean")
+        assert queue.acked_machines() == {}
+        queue.ack(fresh, verdict="clean")
+        assert queue.epoch_drained()
+
+    def test_slow_scan_late_ack_is_surfaced_everywhere(
+            self, tmp_path, capsys):
+        """A lease shorter than the scan: every fresh verdict goes late,
+        the machines complete via the durable-baseline skip path, and
+        the waste is visible in the summary, the journal, the metrics,
+        and the operator report."""
+        reference = FleetCoordinator(
+            str(tmp_path / "ref"), build_fleet(size=3, infected=(1,)),
+            workers=1).run_epoch()
+
+        fleet_dir = str(tmp_path / "slow")
+        before = global_metrics().counter("fleet.ack.late")
+        aggregate = FleetCoordinator(
+            fleet_dir, build_fleet(size=3, infected=(1,)), workers=1,
+            lease_seconds=0.01).run_epoch()
+        # Scans landed durably (store.put precedes the ack), so the
+        # expiry → requeue → re-lease cycle rides each machine's
+        # baseline instead of re-scanning; verdicts are unchanged.
+        assert verdict_key(aggregate) == verdict_key(reference)
+        assert aggregate.summary.machines == 3
+        assert aggregate.summary.skipped == 3
+        assert aggregate.summary.late_acks == 3
+        assert global_metrics().counter("fleet.ack.late") == before + 3
+        # The epoch-end journal record carries the count...
+        with open(f"{fleet_dir}/epochs.jsonl", encoding="utf-8") as handle:
+            ends = [json.loads(line) for line in handle
+                    if '"epoch-end"' in line]
+        assert ends[-1]["late_acks"] == 3
+        # ...and scan_report renders it for the operator.
+        import importlib.util
+        from pathlib import Path
+        spec = importlib.util.spec_from_file_location(
+            "scan_report_late", Path(__file__).resolve().parent.parent
+            / "scripts" / "scan_report.py")
+        scan_report = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(scan_report)
+        assert scan_report.main([f"{fleet_dir}/epochs.jsonl"]) == 0
+        assert "3 late ack(s) dropped" in capsys.readouterr().out
+
+    def test_kill_between_journal_and_ack_resumes_identically(
+            self, tmp_path):
+        """The narrowest crash window: baseline stored, verdict
+        journaled, queue ack never committed."""
+        reference = FleetCoordinator(
+            str(tmp_path / "ref"), build_fleet(size=3, infected=(1,)),
+            workers=1).run_epoch()
+
+        fleet_dir = str(tmp_path / "gap")
+        machines = build_fleet(size=3, infected=(1,))
+        coordinator = FleetCoordinator(fleet_dir, machines, workers=1)
+        real_ack = coordinator.queue.ack
+        state = {"killed": False}
+
+        def gap_ack(lease, **payload):
+            if not state["killed"]:
+                state["killed"] = True
+                raise CoordinatorKilled("died after journal, before ack")
+            return real_ack(lease, **payload)
+
+        coordinator.queue.ack = gap_ack
+        with pytest.raises(CoordinatorKilled):
+            coordinator.run_epoch()
+        resumed = FleetCoordinator(fleet_dir, machines,
+                                   workers=1).run_epoch()
+        assert verdict_key(resumed) == verdict_key(reference)
+        counts = Counter(record["machine"]
+                         for record in machine_records(fleet_dir, epoch=1))
+        assert sorted(counts.values()) == [1, 1, 2]
+
+    def test_durable_knob_fsyncs_every_append(self, tmp_path,
+                                              monkeypatch):
+        import os
+
+        import repro.fleet.queue as queue_mod
+
+        counts = {"n": 0}
+        real_fsync = os.fsync
+
+        def counting_fsync(fd):
+            counts["n"] += 1
+            return real_fsync(fd)
+
+        monkeypatch.setattr(queue_mod.os, "fsync", counting_fsync)
+
+        def run_epoch_ops(queue):
+            queue.open_epoch(1, {"m00": 0})
+            queue.ack(queue.lease(0), verdict="clean")
+            queue.close_epoch()
+
+        lazy = WorkQueue(str(tmp_path / "lazy"))
+        run_epoch_ops(lazy)
+        # Only the epoch boundary records are fsynced by default (the
+        # console index pins cursors against the WAL prefix).
+        assert counts["n"] == 2
+
+        counts["n"] = 0
+        durable = WorkQueue(str(tmp_path / "durable"), durable=True)
+        run_epoch_ops(durable)
+        assert counts["n"] > 2       # every append hits the platter
+        per_op = counts["n"]
+
+        # The knob threads through the coordinator too.
+        counts["n"] = 0
+        coordinator = FleetCoordinator(
+            str(tmp_path / "coord"), build_fleet(size=1, infected=()),
+            workers=1, queue_durable=True)
+        coordinator.run_epoch()
+        assert counts["n"] >= per_op
 
 
 class TestCliAndReport:
