@@ -72,6 +72,19 @@ Measures the hot paths and writes the timings to ``BENCH_PR6.json``:
     wire frames dropped/delayed/duplicated/torn) that must lose zero
     machines and change zero verdicts.
 
+17. **sampled sweep** — a 200-machine profiled fleet under a seeded
+    HackerDefender infection wave, swept in full and then with the
+    stratified :class:`~repro.workloads.sampling.SamplingPolicy` at
+    three file-sampling rates; steady-state (post-cold-start)
+    simulated scan-seconds and measured recall against the planted
+    ground truth form the recall-vs-cost curve — gated at an
+    operating point with >= 5x reduction at recall >= 0.95 (the ASEP
+    stratum is never sampled, which is the paper's persistence
+    argument doing the recall work);
+18. **trace replay** — a recorded 20-machine sweep trace replayed on
+    both disk backends — gated on element-identical verdicts and
+    byte-identical ``epochs.jsonl`` journals across the backends.
+
 ``--fleet-soak`` ignores the benchmarks and instead runs the CI soak:
 N epochs over a fleet under a deterministic fault plan, gating that no
 machine is ever lost (every epoch yields a verdict for every machine).
@@ -91,6 +104,13 @@ Run:  PYTHONPATH=src python scripts/bench.py [--smoke] [--out FILE]
 ``--telemetry-out DIR`` additionally runs a tiny telemetry-collecting
 sweep and writes ``sweep_telemetry.jsonl`` + ``metrics_snapshot.json``
 there (CI uploads them as artifacts).
+
+``--workload-replay`` runs only the CI workload-replay smoke: record a
+2-epoch x 20-machine trace, replay it twice, and gate element-identical
+verdicts plus identical trace and journal digests.  ``--trace FILE``
+records that reference workload's trace to FILE and exits;
+``--replay FILE`` replays an existing trace and prints its digests and
+verdict summary.
 
 ``--smoke`` shrinks every profile for CI (no speedup gates, no default
 output file); the full run enforces the PR-1 acceptance floors and
@@ -127,7 +147,7 @@ from repro.telemetry.metrics import (NullMetrics,           # noqa: E402
                                      set_global_metrics)
 from repro.workloads import populate_machine                # noqa: E402
 
-OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
 
 
 def clear_caches(*disks) -> None:
@@ -1198,6 +1218,232 @@ def run_fleet_soak(epochs: int, fleet_size: int, rate: float,
     return 1 if failures else 0
 
 
+def _sweep_profile(fleet_size: int, epochs: int):
+    """The recall-vs-cost fleet: file-heavy machines, ASEP-hooking wave.
+
+    File costs dominate registry costs here (small hives, many virtual
+    files), so the sampled pass's floor — the always-full registry
+    stratum — stays cheap relative to the full file scan it avoids.
+    The wave is HackerDefender: a persistent ghost that must hook ASEPs
+    to survive reboot, which is exactly the stratum sampling never
+    skips — the paper's persistence argument is what holds recall up
+    while the file-sampling rate drops.
+    """
+    from repro.workloads import FleetProfile, InfectionWave
+
+    return FleetProfile(
+        name="swp", size=fleet_size, seed=97,
+        file_count=(240, 340), virtual_files=(80_000, 200_000),
+        registry_kb=(6, 12), churn_files=(2, 5), churn_registry=(0, 1),
+        disk_mb=64, max_records=2048,
+        waves=(InfectionWave("hackerdefender", onset_epoch=2,
+                             initial=2, spread=0.4),))
+
+
+def _sweep_run(profile, epochs: int, sampling, workers: int = 4) -> dict:
+    """Run one sweep arm (full or sampled) and account it honestly."""
+    from repro.fleet import FleetCoordinator
+    from repro.workloads import FleetWorkload
+
+    workload = FleetWorkload(profile)
+    summaries = []
+    reported = set()
+    with tempfile.TemporaryDirectory(prefix="gb-bench-sweep-") as tmp:
+        coordinator = FleetCoordinator(tmp, workload.machines.values(),
+                                       workers=workers, sampling=sampling,
+                                       console_index=False,
+                                       lease_seconds=1e6)
+        for epoch in range(1, epochs + 1):
+            workload.apply_epoch(epoch)
+            aggregate = coordinator.run_epoch()
+            summaries.append(aggregate.summary)
+            reported.update(v.machine for v in aggregate.verdicts
+                            if v.verdict == "infected")
+    truth = workload.infected_machines(epochs)
+    recall = (len(reported & truth) / len(truth)) if truth else 1.0
+    return {
+        "per_epoch_scan_s": [round(s.scan_seconds, 3) for s in summaries],
+        # Epoch 1 is the cold start: never-scanned staleness forces a
+        # full scan in BOTH arms, so the comparison is steady state.
+        "steady_scan_s": round(sum(s.scan_seconds
+                                   for s in summaries[1:]), 3),
+        "recall": recall,
+        "truth": sorted(truth),
+        "false_positives": sorted(reported - truth),
+        "sampled_scans": sum(s.sampled for s in summaries),
+        "sampling_escalations": sum(s.sampling_escalations
+                                    for s in summaries),
+        "estimated_recall_last": summaries[-1].estimated_recall,
+    }
+
+
+def bench_sampled_sweep(fleet_size: int, epochs: int,
+                        rates=(0.05, 0.15, 0.35),
+                        workers: int = 4) -> dict:
+    """The recall-vs-cost curve: full sweep vs sampled at several rates."""
+    from repro.workloads import SamplingPolicy
+
+    profile = _sweep_profile(fleet_size, epochs)
+    full = _sweep_run(profile, epochs, None, workers=workers)
+    curve = []
+    for rate in rates:
+        sampling = SamplingPolicy(seed=5, file_rate=rate, full_every=64)
+        point = _sweep_run(profile, epochs, sampling, workers=workers)
+        point["file_rate"] = rate
+        point["reduction"] = (full["steady_scan_s"]
+                              / max(point["steady_scan_s"], 1e-9))
+        curve.append(point)
+    eligible = [point for point in curve if point["recall"] >= 0.95]
+    operating = (max(eligible, key=lambda point: point["reduction"])
+                 if eligible else None)
+    return {
+        "fleet_size": fleet_size, "epochs": epochs,
+        "full": full, "curve": curve,
+        "full_recall": full["recall"],
+        "operating_rate": operating["file_rate"] if operating else None,
+        "operating_reduction": (operating["reduction"]
+                                if operating else 0.0),
+        "operating_recall": operating["recall"] if operating else 0.0,
+        "false_positive_free": not any(point["false_positives"]
+                                       for point in curve),
+    }
+
+
+def _trace_profile(fleet_size: int):
+    from repro.workloads import FleetProfile, InfectionWave
+
+    return FleetProfile(
+        name="trb", size=fleet_size, seed=53,
+        file_count=(40, 80), virtual_files=(5_000, 20_000),
+        registry_kb=(20, 40), churn_files=(1, 4), churn_registry=(0, 2),
+        disk_mb=64, max_records=2048,
+        waves=(InfectionWave("hackerdefender", onset_epoch=2,
+                             initial=1, spread=0.0),))
+
+
+def _traced_sweep(action) -> object:
+    """Run a record/replay under a scratch fleet dir."""
+    with tempfile.TemporaryDirectory(prefix="gb-bench-trace-") as tmp:
+        return action(tmp)
+
+
+def bench_trace_replay(fleet_size: int, epochs: int) -> dict:
+    """Record a sweep trace, replay it on both disk backends, compare."""
+    import os
+
+    from repro.workloads import (SamplingPolicy, record_sweep,
+                                 replay_sweep)
+
+    profile = _trace_profile(fleet_size)
+    sampling = SamplingPolicy(seed=3, file_rate=0.25, full_every=4)
+    with tempfile.TemporaryDirectory(prefix="gb-bench-tracedir-") as tdir:
+        trace_path = str(Path(tdir) / "sweep.trace.jsonl")
+        recorded = _traced_sweep(
+            lambda tmp: record_sweep(trace_path, profile, tmp, epochs,
+                                     sampling=sampling, workers=2))
+        replays = {}
+        saved = os.environ.get("REPRO_DISK_BACKEND")
+        try:
+            for backend in ("flat", "sparse"):
+                os.environ["REPRO_DISK_BACKEND"] = backend
+                replays[backend] = _traced_sweep(
+                    lambda tmp: replay_sweep(trace_path, tmp))
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_DISK_BACKEND", None)
+            else:
+                os.environ["REPRO_DISK_BACKEND"] = saved
+    flat, sparse = replays["flat"], replays["sparse"]
+    return {
+        "fleet_size": fleet_size, "epochs": epochs,
+        "trace_digest": recorded.trace_digest,
+        "trace_digests_identical": (
+            recorded.trace_digest == flat.trace_digest
+            == sparse.trace_digest),
+        "verdicts_identical": (
+            recorded.verdicts == flat.verdicts == sparse.verdicts),
+        "journal_digests_identical": (
+            recorded.journal_digest == flat.journal_digest
+            == sparse.journal_digest),
+        "infected": recorded.infected,
+        "infected_identical": (
+            recorded.infected == flat.infected == sparse.infected),
+    }
+
+
+def run_workload_replay(fleet_size: int = 20, epochs: int = 2) -> int:
+    """The CI workload-replay smoke: record once, replay twice, compare."""
+    from repro.workloads import SamplingPolicy, record_sweep, replay_sweep
+
+    profile = _trace_profile(fleet_size)
+    sampling = SamplingPolicy(seed=3, file_rate=0.25, full_every=4)
+    with tempfile.TemporaryDirectory(prefix="gb-replay-") as tdir:
+        trace_path = str(Path(tdir) / "sweep.trace.jsonl")
+        recorded = _traced_sweep(
+            lambda tmp: record_sweep(trace_path, profile, tmp, epochs,
+                                     sampling=sampling, workers=2))
+        first = _traced_sweep(lambda tmp: replay_sweep(trace_path, tmp))
+        second = _traced_sweep(lambda tmp: replay_sweep(trace_path, tmp))
+    print(f"workload replay: {fleet_size} machines x {epochs} epochs, "
+          f"trace digest {recorded.trace_digest[:16]}..., "
+          f"{len(recorded.infected)} machine(s) infected by trace")
+    checks = (
+        ("recorded and replayed verdicts element-identical",
+         recorded.verdicts == first.verdicts == second.verdicts),
+        ("trace digests identical across replays",
+         recorded.trace_digest == first.trace_digest
+         == second.trace_digest),
+        ("replay journals byte-identical",
+         first.journal_digest == second.journal_digest),
+        ("trace detected its planted infection",
+         any(machine in epoch_verdicts
+             and epoch_verdicts[machine][0] == "infected"
+             for machine in recorded.infected
+             for epoch_verdicts in recorded.verdicts)),
+    )
+    failures = [label for label, passed in checks if not passed]
+    for label, passed in checks:
+        print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+    return 1 if failures else 0
+
+
+def run_trace_record(trace_path: Path, fleet_size: int,
+                     epochs: int) -> int:
+    """``--trace FILE``: record the reference workload's trace to FILE."""
+    from repro.workloads import SamplingPolicy, record_sweep
+
+    profile = _trace_profile(fleet_size)
+    sampling = SamplingPolicy(seed=3, file_rate=0.25, full_every=4)
+    recorded = _traced_sweep(
+        lambda tmp: record_sweep(str(trace_path), profile, tmp, epochs,
+                                 sampling=sampling, workers=2))
+    print(f"recorded {epochs} epoch(s) x {fleet_size} machine(s) "
+          f"to {trace_path}")
+    print(f"  trace digest   {recorded.trace_digest}")
+    print(f"  journal digest {recorded.journal_digest}")
+    print(f"  infected       {', '.join(recorded.infected) or '(none)'}")
+    return 0
+
+
+def run_trace_replay(trace_path: Path) -> int:
+    """``--replay FILE``: replay an existing trace and report digests."""
+    from repro.workloads import replay_sweep
+
+    replayed = _traced_sweep(
+        lambda tmp: replay_sweep(str(trace_path), tmp))
+    print(f"replayed {trace_path}")
+    print(f"  trace digest   {replayed.trace_digest}")
+    print(f"  journal digest {replayed.journal_digest}")
+    for index, epoch_verdicts in enumerate(replayed.verdicts, start=1):
+        infected = sorted(machine
+                          for machine, key in epoch_verdicts.items()
+                          if key[0] == "infected")
+        print(f"  epoch {index}: {len(epoch_verdicts)} verdict(s), "
+              f"{len(infected)} infected"
+              + (f" ({', '.join(infected)})" if infected else ""))
+    return 0
+
+
 def write_telemetry_artifacts(directory: Path) -> None:
     """A tiny telemetry-collecting sweep for the CI artifact upload."""
     from repro.core.risboot import RisServer as _RisServer
@@ -1234,6 +1480,18 @@ def main() -> int:
                         help="run only the distributed soak (forked "
                              "agents, kill -9 mid-lease, element-"
                              "identical gate) and exit")
+    parser.add_argument("--workload-replay", action="store_true",
+                        help="run only the workload-replay smoke "
+                             "(record a trace, replay twice, element-"
+                             "identical gate) and exit")
+    parser.add_argument("--trace", type=Path, default=None,
+                        metavar="FILE",
+                        help="record the reference workload's sweep "
+                             "trace to FILE and exit")
+    parser.add_argument("--replay", type=Path, default=None,
+                        metavar="FILE",
+                        help="replay an existing sweep trace and print "
+                             "its digests and verdicts, then exit")
     parser.add_argument("--soak-epochs", type=int, default=3)
     parser.add_argument("--soak-fleet", type=int, default=50)
     parser.add_argument("--soak-rate", type=float, default=0.05)
@@ -1249,6 +1507,15 @@ def main() -> int:
         return run_distributed_soak(args.soak_epochs, args.soak_fleet,
                                     args.soak_agents)
 
+    if args.workload_replay:
+        return run_workload_replay()
+
+    if args.trace is not None:
+        return run_trace_record(args.trace, fleet_size=20, epochs=2)
+
+    if args.replay is not None:
+        return run_trace_replay(args.replay)
+
     if args.smoke:
         profile = dict(files=120, reads=10, scans=3, fleet=6, workers=2,
                        client_wait=0.02, diff_entries=2_000,
@@ -1256,7 +1523,10 @@ def main() -> int:
                        delta_changed=3, strains=5, zc_files=120,
                        ceiling_fleet=6, ceiling_files=120,
                        console_fleet=10, console_epochs=5,
-                       console_lookups=40, dist_fleet=4, dist_agents=2)
+                       console_lookups=40, dist_fleet=4, dist_agents=2,
+                       sweep_fleet=20, sweep_epochs=3,
+                       sweep_rates=(0.05, 0.35),
+                       trace_fleet=8, trace_epochs=2)
     else:
         profile = dict(files=1000, reads=40, scans=5, fleet=50, workers=8,
                        client_wait=0.25, diff_entries=10_000,
@@ -1264,10 +1534,13 @@ def main() -> int:
                        delta_changed=3, strains=12, zc_files=1000,
                        ceiling_fleet=16, ceiling_files=200,
                        console_fleet=50, console_epochs=20,
-                       console_lookups=200, dist_fleet=8, dist_agents=4)
+                       console_lookups=200, dist_fleet=8, dist_agents=4,
+                       sweep_fleet=200, sweep_epochs=4,
+                       sweep_rates=(0.05, 0.15, 0.35),
+                       trace_fleet=20, trace_epochs=2)
 
     print(f"profile: {profile}")
-    results = {"pr": 8, "mode": "smoke" if args.smoke else "full",
+    results = {"pr": 9, "mode": "smoke" if args.smoke else "full",
                "profile": profile, "timings": {}}
     timings = results["timings"]
 
@@ -1404,6 +1677,37 @@ def main() -> int:
           f"{dist['chaos_zero_lost']}, identical "
           f"{dist['chaos_verdicts_identical']}")
 
+    timings["sampled_sweep"] = bench_sampled_sweep(
+        profile["sweep_fleet"], profile["sweep_epochs"],
+        rates=profile["sweep_rates"], workers=profile["workers"])
+    sampled = timings["sampled_sweep"]
+    print(f"sampled sweep ({sampled['fleet_size']} machines x "
+          f"{sampled['epochs']} epochs): full steady "
+          f"{sampled['full']['steady_scan_s']:.0f} sim-s, "
+          f"recall {sampled['full_recall']:.2f}")
+    for point in sampled["curve"]:
+        print(f"  rate {point['file_rate']:.2f}: "
+              f"{point['steady_scan_s']:.0f} sim-s "
+              f"({point['reduction']:.1f}x less), "
+              f"recall {point['recall']:.2f}, "
+              f"est. recall {point['estimated_recall_last']:.2f}, "
+              f"{point['sampling_escalations']} escalated by sampling")
+    if sampled["operating_rate"] is not None:
+        print(f"  operating point: rate "
+              f"{sampled['operating_rate']:.2f} -> "
+              f"{sampled['operating_reduction']:.1f}x reduction @ "
+              f"recall {sampled['operating_recall']:.2f}")
+
+    timings["trace_replay"] = bench_trace_replay(
+        profile["trace_fleet"], profile["trace_epochs"])
+    trace = timings["trace_replay"]
+    print(f"trace replay ({trace['fleet_size']} machines x "
+          f"{trace['epochs']} epochs, flat + sparse backends): "
+          f"verdicts identical: {trace['verdicts_identical']}, "
+          f"journals identical: {trace['journal_digests_identical']}, "
+          f"trace digests identical: "
+          f"{trace['trace_digests_identical']}")
+
     results["chaos"] = bench_chaos_sweep(
         min(profile["fleet"], 12), profile["workers"],
         file_count=min(profile["files"], 120))
@@ -1450,6 +1754,19 @@ def main() -> int:
          dist["chaos_zero_lost"]),
         ("distributed chaos verdicts identical",
          dist["chaos_verdicts_identical"]),
+        ("sampled sweep full recall 1.0", sampled["full_recall"] == 1.0),
+        ("sampled sweep no false positives",
+         sampled["false_positive_free"]),
+        ("sampled sweep actually sampled",
+         all(point["sampled_scans"] > 0
+             for point in sampled["curve"])),
+        ("trace replay verdicts element-identical",
+         trace["verdicts_identical"]),
+        ("trace replay journals byte-identical across backends",
+         trace["journal_digests_identical"]),
+        ("trace replay digests identical", trace["trace_digests_identical"]),
+        ("trace replay infection detected and identical",
+         trace["infected_identical"] and trace["infected"]),
     )
     for label, passed in chaos_gates:
         print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
@@ -1488,6 +1805,9 @@ def main() -> int:
              "distributed sweep overhead <= 3x (single-core host)",
              dist["speedup"] >= 2 if dist["cpu_count"] >= 4
              else dist["distributed_s"] <= 3 * dist["single_process_s"]),
+            ("sampled sweep >= 5x reduction at recall >= 0.95",
+             sampled["operating_reduction"] >= 5
+             and sampled["operating_recall"] >= 0.95),
         )
         for label, passed in gates:
             print(f"  [{'PASS' if passed else 'FAIL'}] {label}")

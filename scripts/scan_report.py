@@ -131,7 +131,15 @@ def render_fleet(records: dict) -> str:
                   f"{'mode':<8} {'findings':>8} {'sim(s)':>8} escalation")
         lines += [header, "-" * len(header)]
         for verdict in verdicts:
-            mode = "skip" if verdict.get("skipped") else "scan"
+            if verdict.get("skipped"):
+                mode = "skip"
+            elif verdict.get("sampling_escalated"):
+                mode = "sam>full"
+            elif verdict.get("sampled"):
+                coverage = verdict.get("coverage", 1.0)
+                mode = f"samp{round(coverage * 100):>3d}%"
+            else:
+                mode = "scan"
             escalation = ""
             if verdict.get("escalated"):
                 escalation = (f"confirmed by {verdict['confirmed_by']}"
@@ -170,6 +178,14 @@ def render_fleet(records: dict) -> str:
         lines.append("epochs:")
         for end in ends:
             late = end.get("late_acks", 0)
+            sampled = end.get("sampled", 0)
+            sampling = ""
+            if sampled:
+                recall = end.get("estimated_recall", 1.0)
+                sampling = (f", {sampled} sampled "
+                            f"({end.get('sampling_escalations', 0)} "
+                            f"escalated by sampling, "
+                            f"est. recall {recall * 100:.1f}%)")
             lines.append(
                 f"  epoch {end.get('epoch', '?')}: "
                 f"{end.get('machines', 0)} machine(s), "
@@ -181,6 +197,7 @@ def render_fleet(records: dict) -> str:
                 f"{end.get('errors', 0)} error(s), "
                 f"{end.get('outbreaks', 0)} outbreak(s), "
                 f"{end.get('scan_seconds', 0.0):.1f}s of scanning"
+                + sampling
                 + (f", {late} late ack(s) dropped" if late else ""))
     return "\n".join(lines)
 

@@ -351,6 +351,12 @@ def cmd_fleet_status(options) -> int:
                  last.get("scanned", 0), last.get("skipped", 0),
                  last.get("infected", 0), last.get("escalated", 0),
                  last.get("confirmed", 0))
+        if last.get("sampled"):
+            log.info("sampling: %d sampled scan(s), %d escalated by "
+                     "sampling, estimated recall %.1f%%",
+                     last.get("sampled", 0),
+                     last.get("sampling_escalations", 0),
+                     last.get("estimated_recall", 1.0) * 100)
     for outbreak in status["outbreaks"]:
         log.info("OUTBREAK epoch %d: %s on %d machines",
                  outbreak.get("epoch", 0), outbreak.get("identity"),

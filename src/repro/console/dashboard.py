@@ -51,6 +51,20 @@ def _fmt(value) -> str:
     return html.escape(str(value))
 
 
+def _scan_mode(entry: Dict) -> str:
+    """How the verdict was obtained: full, sampled (with coverage), skip."""
+    if entry.get("sampling_escalated"):
+        return "sampled→full"
+    if entry.get("sampled"):
+        coverage = entry.get("coverage")
+        if isinstance(coverage, (int, float)):
+            return "sampled %d%%" % round(coverage * 100)
+        return "sampled"
+    if entry.get("skipped"):
+        return "skip"
+    return "full"
+
+
 def render_dashboard(index) -> str:
     """The fleet overview: live status, roster, outbreak timeline."""
     status = index.status()
@@ -60,10 +74,11 @@ def render_dashboard(index) -> str:
         entry = latest.get(machine, {})
         rows.append(
             "<tr><td><a href=\"/machine/%s\">%s</a></td>%s"
-            "<td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>"
+            "<td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>"
             % (html.escape(machine), html.escape(machine),
                _verdict_cell(entry.get("verdict")),
                _fmt(entry.get("epoch")), _fmt(entry.get("findings")),
+               _fmt(_scan_mode(entry)),
                _fmt("yes" if entry.get("escalated") else ""),
                _fmt(entry.get("scan_seconds"))))
     outbreak_rows = [
@@ -91,8 +106,18 @@ def render_dashboard(index) -> str:
                     _fmt(summary.get("machines")),
                     _fmt(summary.get("escalated")),
                     _fmt(summary.get("errors"))))
+        if summary.get("sampled"):
+            recall = summary.get("estimated_recall")
+            body += ("<p class=\"muted\">sampling: %s sampled scans, "
+                     "%s escalations, estimated recall %s</p>"
+                     % (_fmt(summary.get("sampled")),
+                        _fmt(summary.get("sampling_escalations")),
+                        _fmt("%.1f%%" % (recall * 100)
+                             if isinstance(recall, (int, float))
+                             else recall)))
     body += ("<h2>machines</h2><table><tr><th>machine</th><th>verdict"
-             "</th><th>epoch</th><th>findings</th><th>escalated</th>"
+             "</th><th>epoch</th><th>findings</th><th>mode</th>"
+             "<th>escalated</th>"
              "<th>scan s</th></tr>%s</table>" % "".join(rows))
     body += "<h2>outbreaks</h2>"
     if outbreak_rows:
@@ -115,10 +140,10 @@ def render_machine(index, machine: str,
         return _page(title, "<h1>%s</h1><p>unknown machine</p>"
                      % html.escape(machine), refresh=None)
     rows = [
-        "<tr><td>%s</td>%s<td>%s</td><td>%s</td><td>%s</td>"
+        "<tr><td>%s</td>%s<td>%s</td><td>%s</td><td>%s</td><td>%s</td>"
         "<td>%s</td></tr>"
         % (_fmt(entry.get("epoch")), _verdict_cell(entry.get("verdict")),
-           _fmt(entry.get("findings")),
+           _fmt(entry.get("findings")), _fmt(_scan_mode(entry)),
            _fmt("yes" if entry.get("escalated") else ""),
            _fmt(entry.get("confirmed")), _fmt(entry.get("error")))
         for entry in detail.get("history", [])]
@@ -149,7 +174,8 @@ def render_machine(index, machine: str,
                                      html.escape(str(value)))
                 for key, value in sorted(provenance.items()))
     body += ("<h2>verdict history</h2><table><tr><th>epoch</th>"
-             "<th>verdict</th><th>findings</th><th>escalated</th>"
+             "<th>verdict</th><th>findings</th><th>mode</th>"
+             "<th>escalated</th>"
              "<th>confirmed</th><th>error</th></tr>%s</table>"
              % "".join(rows))
     body += ('<p class="muted"><a href="/">&larr; fleet</a> · JSON: '

@@ -84,7 +84,8 @@ _STATE_SAVE_BYTES = 262144
 _MACHINE_FIELDS = ("machine", "epoch", "verdict", "findings", "noise",
                    "scanned", "skipped", "escalated", "confirmed",
                    "confirmed_by", "error", "mass_hiding",
-                   "scan_seconds", "baseline_id", "finding_ids", "at")
+                   "scan_seconds", "baseline_id", "finding_ids", "at",
+                   "sampled", "coverage", "sampling_escalated")
 
 
 class _QueueState:

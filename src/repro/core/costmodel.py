@@ -102,3 +102,52 @@ def charge_crash_dump(machine, dump_bytes: int) -> float:
     seconds = CRASH_DUMP_BASE_SECONDS + ram_mb / rate
     machine.charge(seconds)
     return seconds
+
+
+# Nominal ASEP hook count for a-priori estimates: the catalog-driven
+# enumerators surface a few dozen hooks on any populated machine, and
+# the term is dwarfed by hive parsing anyway.
+_ESTIMATE_ASEP_HOOKS = 64
+
+
+def estimate_scan_seconds(machine, resources=("files", "registry"),
+                          include_boot: bool = True) -> float:
+    """A-priori cost of one full inside scan, from entity counts alone.
+
+    Mirrors the ``charge_*`` formulas without advancing any clock, so
+    the fleet scheduler can dispatch *never-scanned* machines
+    longest-first on their first epoch instead of falling back to
+    alphabetical order (every cold machine ties on staleness, and with
+    no stored ``scan_seconds`` there was nothing to break the tie
+    with).  The estimate only has to rank machines correctly relative
+    to each other; absolute error against the measured scan is fine.
+    """
+    from repro.machine import BOOT_SECONDS, HIVE_FILES
+    from repro.ntfs.constants import MFT_RECORD_SIZE
+
+    perf = machine.perf
+    seconds = 0.0
+    if include_boot and not machine.powered_on:
+        seconds += BOOT_SECONDS / perf.cpu_scale
+    if "files" in resources:
+        count = machine.volume.file_count()
+        scaled = count * perf.entity_scale
+        seconds += scaled * (HIGH_FILE_API_COST + LOW_FILE_RECORD_COST
+                             + FILE_DIFF_COST) / perf.cpu_scale
+        seconds += (count * MFT_RECORD_SIZE * perf.entity_scale
+                    / (perf.disk_mbps * 1024 * 1024))
+    if "registry" in resources:
+        hive_bytes = 0
+        for hive_file in HIVE_FILES.values():
+            try:
+                hive_bytes += machine.volume.stat(hive_file).size
+            except Exception:
+                continue   # hive not flushed yet: estimate from the rest
+        seconds += (2 * _ESTIMATE_ASEP_HOOKS * perf.entity_scale
+                    * REGISTRY_ENTRY_COST / perf.cpu_scale)
+        seconds += (hive_bytes * perf.entity_scale * HIVE_PARSE_BYTE_COST
+                    / perf.cpu_scale)
+    if "processes" in resources:
+        seconds += (2 * len(getattr(machine, "processes", {}) or {})
+                    * PROCESS_ENTRY_COST / perf.cpu_scale)
+    return seconds

@@ -44,6 +44,13 @@ class MachineVerdict:
     error: Optional[str] = None
     finding_ids: List[str] = field(default_factory=list)
     mass_hiding: bool = False
+    # Sampled scanning (repro.workloads.sampling): whether this verdict
+    # came from the cheap stratified pass, what share of the machine's
+    # entities it actually cross-view checked, and whether a sampled
+    # discrepancy is what bought the machine its full scan.
+    sampled: bool = False
+    coverage: float = 1.0
+    sampling_escalated: bool = False
 
     def to_dict(self) -> Dict:
         record = asdict(self)
@@ -66,7 +73,11 @@ class MachineVerdict:
                    scan_seconds=float(record.get("scan_seconds", 0.0)),
                    error=record.get("error"),
                    finding_ids=list(record.get("finding_ids", [])),
-                   mass_hiding=bool(record.get("mass_hiding")))
+                   mass_hiding=bool(record.get("mass_hiding")),
+                   sampled=bool(record.get("sampled")),
+                   coverage=float(record.get("coverage", 1.0)),
+                   sampling_escalated=bool(
+                       record.get("sampling_escalated")))
 
 
 @dataclass(frozen=True)
@@ -111,6 +122,13 @@ class EpochSummary:
     # wasted work worth alarming on, even though the verdict that
     # landed is still correct (last valid lease wins).
     late_acks: int = 0
+    # Sampled scanning: how many verdicts came from the cheap pass, how
+    # many machines a sampled discrepancy escalated to a full scan, and
+    # the coverage-weighted recall estimate (mean share of entities
+    # cross-view checked per machine; error verdicts count as 0).
+    sampled: int = 0
+    sampling_escalations: int = 0
+    estimated_recall: float = 1.0
 
     def to_dict(self) -> Dict:
         record = asdict(self)
@@ -131,6 +149,7 @@ class FleetAggregator:
         self._sightings: Dict[str, List[str]] = {}
         self._alerted: Dict[str, OutbreakAlert] = {}
         self.verdicts: List[MachineVerdict] = []
+        self._coverage_sum = 0.0
 
     def observe(self, verdict: MachineVerdict) -> List[OutbreakAlert]:
         """Fold one verdict in; returns any outbreaks it just triggered."""
@@ -154,6 +173,17 @@ class FleetAggregator:
             summary.confirmed += 1
         if verdict.mass_hiding:
             summary.mass_hiding += 1
+        if verdict.sampled:
+            summary.sampled += 1
+        if verdict.sampling_escalated:
+            summary.sampling_escalations += 1
+        # An errored machine contributed no evidence at all, so it
+        # drags the epoch's estimated recall down rather than hiding
+        # behind its default coverage of 1.0.
+        self._coverage_sum += (0.0 if verdict.verdict == "error"
+                               else verdict.coverage)
+        summary.estimated_recall = round(
+            self._coverage_sum / summary.machines, 6)
 
         fresh: List[OutbreakAlert] = []
         for identity in verdict.finding_ids:

@@ -50,6 +50,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro.clock import SimClock
 from repro.core.baseline import BaselineStore
+from repro.core.costmodel import estimate_scan_seconds
 from repro.core.noise import NoiseFilter
 from repro.errors import (CircuitOpen, CoordinatorKilled, FleetError,
                           ReproError, StaleLease, TransientIoError)
@@ -60,7 +61,8 @@ from repro.fleet.aggregator import (DEFAULT_OUTBREAK_THRESHOLD,
 from repro.fleet.controller import ScanController, fold_agent_records
 from repro.fleet.policy import EscalationPolicy
 from repro.fleet.queue import WorkQueue
-from repro.fleet.scanwork import perform_machine_scan, skip_verdict
+from repro.fleet.scanwork import (perform_machine_scan,
+                                  perform_sampled_machine_scan, skip_verdict)
 from repro.fleet.scheduler import FleetScheduler, load_history
 from repro.fleet import transport
 from repro.machine import Machine
@@ -91,7 +93,8 @@ class FleetCoordinator:
                  breaker_threshold: int = 3,
                  console_index: bool = True,
                  retain_epochs: int = 0,
-                 queue_durable: bool = False):
+                 queue_durable: bool = False,
+                 sampling=None):
         self.fleet_dir = fleet_dir
         # Distributed mode rosters by *name* (the machines themselves
         # live inside agent processes), so bare strings are accepted;
@@ -121,6 +124,14 @@ class FleetCoordinator:
         self.breaker = CircuitBreaker(failure_threshold=breaker_threshold)
         self._quarantined: List[str] = []   # errored last epoch → risk
         self._epochs_run = 0
+        # Optional SamplingPolicy (repro.workloads.sampling): machines
+        # in the epoch's sample tier get the cheap stratified pass
+        # instead of the full scan body.  The tier split is journaled
+        # in the epoch-start record so a resumed coordinator replays
+        # the dead one's assignment instead of recomputing it against
+        # drifted history.
+        self.sampling = sampling
+        self._sampled_tier: set = set()
         self.retain_epochs = max(0, int(retain_epochs))
         # The operator console's sidecar index, fed at journal-write
         # time so point lookups never replay this journal.  Optional:
@@ -196,20 +207,48 @@ class FleetCoordinator:
                 verdict = journaled.get(machine)
                 if verdict is not None:
                     aggregator.observe(verdict)
+            self._sampled_tier = self._journaled_sampled(epoch)
             metrics.incr("fleet.epoch.resumed")
         else:
             history = load_history(self.epochs_path)
+            timings: Dict[str, float] = {}
+            for name, machine in self.machines.items():
+                stored = self.store.scan_seconds(name)
+                if stored is not None:
+                    timings[name] = stored
+                elif machine is not None:
+                    # Cold-start LPT: with no stored timing, every
+                    # never-scanned machine used to tie at infinite
+                    # cost and dispatch alphabetically; an a-priori
+                    # estimate from its entity counts restores real
+                    # longest-first order on first contact.
+                    timings[name] = estimate_scan_seconds(
+                        machine, self.resources)
             plan = self.scheduler.plan(
                 sorted(self.machines), epoch, history,
-                scan_seconds={name: seconds for name in self.machines
-                              if (seconds := self.store.scan_seconds(name))
-                              is not None},
+                scan_seconds=timings,
                 quarantined=self._quarantined)
             self.queue.open_epoch(epoch, self.scheduler.assignments(plan))
-            self._journal({"type": "epoch-start", "epoch": epoch,
-                           "machines": len(plan)})
+            start_record = {"type": "epoch-start", "epoch": epoch,
+                            "machines": len(plan)}
+            self._sampled_tier = set()
+            if self.sampling is not None:
+                tiers = self.sampling.assign(plan, epoch)
+                self._sampled_tier = {name for name, tier in tiers.items()
+                                      if tier == "sample"}
+                start_record["sampled"] = sorted(self._sampled_tier)
+            self._journal(start_record)
             metrics.incr("fleet.epoch.started")
         return resuming
+
+    def _journaled_sampled(self, epoch: int) -> set:
+        """The resumed epoch's journaled sample tier (fixed at open)."""
+        for line in iter_journal(self.epochs_path):
+            record = line.record
+            if (record.get("type") == "epoch-start"
+                    and int(record.get("epoch", -1)) == epoch):
+                return set(record.get("sampled", []))
+        return set()
 
     def _finish_epoch(self, aggregator: FleetAggregator) -> None:
         """Seal a drained epoch: journal the summary, close, compact."""
@@ -314,10 +353,16 @@ class FleetCoordinator:
                                   error="machine not in roster")
         baseline = self.store.get(name)
         if (baseline is not None
-                and machine.disk.generation == baseline.disk_generation):
+                and machine.disk.generation == baseline.disk_generation
+                and (not baseline.extra.get("sampled")
+                     or name in self._sampled_tier)):
             # Steady state: the disk has not changed since the stored
             # verdict, so the verdict still holds — rehydrate it (and
-            # its escalation provenance) without touching the box.
+            # its escalation provenance) without touching the box.  A
+            # *sampled* baseline only holds at its recorded coverage,
+            # so it never satisfies a full-tier epoch: the rotation's
+            # whole point is to periodically re-verify the strata the
+            # cheap pass skipped, churn or no churn.
             return skip_verdict(baseline, epoch)
 
         try:
@@ -344,10 +389,17 @@ class FleetCoordinator:
         # machine's own clock and the fleet clock (leases, checkpoints)
         # mirrors the elapsed time when the two are distinct, so lease
         # expiry sees scans take time.
-        outcome = perform_machine_scan(machine, epoch, self.policy,
-                                       self.noise_filter, self.resources,
-                                       self.fault_plan,
-                                       span_clock=self.clock)
+        if self.sampling is not None and name in self._sampled_tier:
+            outcome = perform_sampled_machine_scan(
+                machine, epoch, self.sampling, self.policy,
+                self.noise_filter, self.resources, self.fault_plan,
+                span_clock=self.clock)
+        else:
+            outcome = perform_machine_scan(machine, epoch, self.policy,
+                                           self.noise_filter,
+                                           self.resources,
+                                           self.fault_plan,
+                                           span_clock=self.clock)
         if machine.clock is not self.clock:
             self.clock.advance(outcome.scan_seconds)
         stored = self.store.put(name, outcome.report,
@@ -356,6 +408,27 @@ class FleetCoordinator:
                                 extra=outcome.extra(epoch))
         self.breaker.record_success(name)
         return outcome.verdict(name, epoch, baseline_id=stored.baseline_id)
+
+    # -- trace record / replay ---------------------------------------------------
+
+    @classmethod
+    def record_trace(cls, trace_path: str, profile, fleet_dir: str,
+                     epochs: int, **kwargs):
+        """Run a generated workload and record it as a replayable trace.
+
+        Thin delegation to :func:`repro.workloads.traces.record_sweep`
+        (lazy import: the workloads layer drives this class, so the
+        dependency must point that way).
+        """
+        from repro.workloads.traces import record_sweep
+        return record_sweep(trace_path, profile, fleet_dir, epochs,
+                            **kwargs)
+
+    @classmethod
+    def replay_trace(cls, trace_path: str, fleet_dir: str, **kwargs):
+        """Re-run a recorded trace's exact workload against a fresh fleet."""
+        from repro.workloads.traces import replay_sweep
+        return replay_sweep(trace_path, fleet_dir, **kwargs)
 
     # -- distributed mode --------------------------------------------------------
 

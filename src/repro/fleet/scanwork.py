@@ -19,7 +19,7 @@ sweep records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.anomaly import check_mass_hiding
@@ -53,13 +53,18 @@ class ScanOutcome:
     confirmed_by: Optional[str]
     finding_ids: List[str] = field(default_factory=list)
     mass_hiding: bool = False
+    sampled: bool = False
+    coverage: float = 1.0
+    sampling_escalated: bool = False
 
     def extra(self, epoch: int) -> Dict:
         """The baseline rider that lets a later skip rehydrate verdicts."""
         return {"escalated": self.escalated, "confirmed": self.confirmed,
                 "confirmed_by": self.confirmed_by,
                 "finding_ids": list(self.finding_ids),
-                "mass_hiding": self.mass_hiding, "epoch": epoch}
+                "mass_hiding": self.mass_hiding, "epoch": epoch,
+                "sampled": self.sampled, "coverage": self.coverage,
+                "sampling_escalated": self.sampling_escalated}
 
     def verdict(self, machine: str, epoch: int,
                 baseline_id: Optional[str]) -> MachineVerdict:
@@ -75,7 +80,9 @@ class ScanOutcome:
             baseline_id=baseline_id,
             scan_seconds=self.scan_seconds,
             finding_ids=list(self.finding_ids),
-            mass_hiding=self.mass_hiding)
+            mass_hiding=self.mass_hiding,
+            sampled=self.sampled, coverage=self.coverage,
+            sampling_escalated=self.sampling_escalated)
 
 
 def perform_machine_scan(machine: Machine, epoch: int,
@@ -119,6 +126,47 @@ def perform_machine_scan(machine: Machine, epoch: int,
                        mass_hiding=alert is not None)
 
 
+def perform_sampled_machine_scan(machine: Machine, epoch: int,
+                                 sampling,
+                                 policy: EscalationPolicy,
+                                 noise_filter: NoiseFilter,
+                                 resources: Sequence[str],
+                                 fault_plan: Optional[FaultPlan],
+                                 span_clock=None) -> ScanOutcome:
+    """The cheap stratified pass, escalating discrepancies to a full scan.
+
+    A clean sampled pass yields a sampled verdict carrying its honest
+    coverage; any non-noise discrepancy buys the machine the exact same
+    full scan body the full tier runs (plus the
+    :class:`EscalationPolicy`), with the sampled pass's scan-seconds
+    added on top — escalation is never cheaper than having scanned
+    fully in the first place.
+    """
+    # Lazy: repro.workloads imports repro.fleet (traces drive the
+    # coordinator), so the fleet layer must never import workloads at
+    # module scope.
+    from repro.workloads.sampling import perform_sampled_scan
+
+    sampled = perform_sampled_scan(machine, epoch, sampling,
+                                   noise_filter=noise_filter,
+                                   resources=resources,
+                                   fault_plan=fault_plan,
+                                   span_clock=span_clock)
+    if sampled.escalate:
+        full = perform_machine_scan(machine, epoch, policy, noise_filter,
+                                    resources, fault_plan,
+                                    span_clock=span_clock)
+        return replace(full,
+                       scan_seconds=full.scan_seconds + sampled.scan_seconds,
+                       sampling_escalated=True)
+    return ScanOutcome(report=sampled.report,
+                       scan_seconds=sampled.scan_seconds,
+                       disk_generation=machine.disk.generation,
+                       escalated=False, confirmed=False, confirmed_by=None,
+                       finding_ids=[], mass_hiding=False,
+                       sampled=True, coverage=sampled.coverage)
+
+
 def skip_verdict(baseline: MachineBaseline, epoch: int) -> MachineVerdict:
     """Rehydrate a stored verdict for a generation-matched machine."""
     report = baseline.rehydrate(mode="fleet-skip")
@@ -135,4 +183,7 @@ def skip_verdict(baseline: MachineBaseline, epoch: int) -> MachineVerdict:
         baseline_id=baseline.baseline_id,
         scan_seconds=0.0,
         finding_ids=list(extra.get("finding_ids", [])),
-        mass_hiding=bool(extra.get("mass_hiding")))
+        mass_hiding=bool(extra.get("mass_hiding")),
+        sampled=bool(extra.get("sampled")),
+        coverage=float(extra.get("coverage", 1.0)),
+        sampling_escalated=bool(extra.get("sampling_escalated")))

@@ -17,6 +17,15 @@ from repro.workloads.background import (AntiVirusRealtimeService,
 from repro.workloads.signatures import SignatureScanner, KNOWN_SIGNATURES
 from repro.workloads.scenarios import (Scenario, build_fleet, build_home_pc,
                                        build_kitchen_sink, infect)
+from repro.workloads.fleetgen import (FleetProfile, FleetWorkload,
+                                      InfectionWave, STRAINS,
+                                      apply_infections, apply_ops,
+                                      build_profiled_machine)
+from repro.workloads.sampling import (SampledScan, SamplingPolicy,
+                                      perform_sampled_scan)
+from repro.workloads.traces import (TraceResult, journal_digest, load_trace,
+                                    record_sweep, replay_sweep, trace_digest,
+                                    verdict_key)
 
 __all__ = [
     "MachineProfile", "PAPER_MACHINES", "build_machine",
@@ -27,4 +36,9 @@ __all__ = [
     "SignatureScanner", "KNOWN_SIGNATURES",
     "Scenario", "build_home_pc", "build_kitchen_sink", "build_fleet",
     "infect",
+    "FleetProfile", "FleetWorkload", "InfectionWave", "STRAINS",
+    "apply_ops", "apply_infections", "build_profiled_machine",
+    "SamplingPolicy", "SampledScan", "perform_sampled_scan",
+    "TraceResult", "record_sweep", "replay_sweep", "load_trace",
+    "trace_digest", "journal_digest", "verdict_key",
 ]
