@@ -147,7 +147,7 @@ from repro.telemetry.metrics import (NullMetrics,           # noqa: E402
                                      set_global_metrics)
 from repro.workloads import populate_machine                # noqa: E402
 
-OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+OUT_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 
 
 def clear_caches(*disks) -> None:
@@ -1371,6 +1371,237 @@ def bench_trace_replay(fleet_size: int, epochs: int) -> dict:
     }
 
 
+# -- adversary engine: leveled stealth campaigns ------------------------------
+
+
+STEALTH_LEVELS = ("off", "low", "medium", "high", "maximum")
+
+
+def _stealth_profile(fleet_size: int, level: str):
+    """The campaign fleet: two fully-capable strains at one stealth level.
+
+    Urbin (AppInit IAT hooks) spreads from epoch 1, HackerDefender
+    (NtDll detours) joins at epoch 2 — both declare the full capability
+    set, so every level of the ladder actually changes behavior.
+    """
+    from repro.workloads import FleetProfile, InfectionWave
+
+    return FleetProfile(
+        name="adv", size=fleet_size, seed=31,
+        file_count=(24, 48), virtual_files=(4_000, 12_000),
+        registry_kb=(20, 40), churn_files=(1, 3), churn_registry=(0, 1),
+        disk_mb=64, max_records=2048,
+        waves=(InfectionWave("urbin", onset_epoch=1,
+                             initial=max(2, fleet_size // 12),
+                             spread=0.5, level=level),
+               InfectionWave("hackerdefender", onset_epoch=2,
+                             initial=max(1, fleet_size // 25),
+                             spread=0.4, level=level, conceal_budget=2)))
+
+
+def _campaign_run(profile, epochs: int, defended: bool,
+                  workers: int = 4) -> dict:
+    """One campaign arm: naive single-pass or the defended configuration.
+
+    The defended arm is scan-until-stable + flag-unstable + scan-order
+    jitter with the default inside→outside escalation; the naive arm is
+    a single inside pass with escalation disabled — the seed-era
+    scanner the adversary engine exists to defeat.
+    """
+    from repro.fleet import FleetCoordinator
+    from repro.fleet.coordinator import fleet_status
+    from repro.fleet.policy import EscalationPolicy
+    from repro.fleet.scheduler import recent_write_probe
+    from repro.workloads import FleetWorkload, verdict_key
+
+    workload = FleetWorkload(profile)
+    kwargs = (dict(stabilize_rounds=2, flag_unstable=True,
+                   scan_order_jitter=11) if defended
+              else dict(policy=EscalationPolicy(escalate=False)))
+    probe_hits = probe_total = 0
+    reported = set()
+    verdict_maps = []
+    with tempfile.TemporaryDirectory(prefix="gb-bench-adv-") as tmp:
+        coordinator = FleetCoordinator(tmp, workload.machines.values(),
+                                       workers=workers,
+                                       outbreak_threshold=3,
+                                       console_index=False,
+                                       lease_seconds=1e6, **kwargs)
+        horizon = 60.0
+        previous = set()
+        for epoch in range(1, epochs + 1):
+            workload.apply_epoch(epoch)
+            truth_now = workload.infected_machines(epoch)
+            # Triage probe, measured at infection time: a machine only
+            # counts once its own clock has moved well past the horizon
+            # (epoch 1 machines are wholly "fresh" and prove nothing).
+            for name in sorted(truth_now - previous):
+                machine = workload.machines[name]
+                if machine.clock.now() <= 2 * horizon:
+                    continue
+                probe_total += 1
+                probe_hits += bool(recent_write_probe(
+                    machine, horizon_seconds=horizon))
+            previous = truth_now
+            aggregate = coordinator.run_epoch()
+            verdict_maps.append({v.machine: verdict_key(v)
+                                 for v in aggregate.verdicts})
+            reported.update(v.machine for v in aggregate.verdicts
+                            if v.verdict == "infected")
+        status = fleet_status(tmp)
+    truth = workload.infected_machines(epochs)
+    recall = (len(reported & truth) / len(truth)) if truth else 1.0
+    precision = (len(reported & truth) / len(reported)) if reported else 1.0
+    campaign_fps = [record["fingerprint"]
+                    for record in status["campaigns"]]
+    return {
+        "recall": round(recall, 4),
+        "precision": round(precision, 4),
+        "truth_count": len(truth),
+        "reported_count": len(reported),
+        "false_positives": sorted(reported - truth),
+        "outbreak_alerts": len(status["outbreaks"]),
+        "campaign_alerts": len(campaign_fps),
+        "campaign_fingerprints_unique":
+            len(campaign_fps) == len(set(campaign_fps)),
+        "probe_hit_rate": (round(probe_hits / probe_total, 4)
+                           if probe_total else None),
+        "verdict_maps": verdict_maps,
+    }
+
+
+def bench_stealth_campaign(fleet_size: int, epochs: int,
+                           workers: int = 4,
+                           levels=STEALTH_LEVELS) -> dict:
+    """The headline curve: precision/recall per stealth level, two arms.
+
+    Also re-runs the defended ``high`` arm twice and once on the other
+    disk backend to gate campaign determinism.
+    """
+    import os
+
+    curve = []
+    for level in levels:
+        profile = _stealth_profile(fleet_size, level)
+        naive = _campaign_run(profile, epochs, defended=False,
+                              workers=workers)
+        defended = _campaign_run(profile, epochs, defended=True,
+                                 workers=workers)
+        point = {"level": level, "naive": naive, "defended": defended}
+        curve.append(point)
+    by_level = {point["level"]: point for point in curve}
+
+    high = _stealth_profile(fleet_size, "high")
+    rerun = _campaign_run(high, epochs, defended=True, workers=workers)
+    saved = os.environ.get("REPRO_DISK_BACKEND")
+    other = "sparse" if (saved or "flat") == "flat" else "flat"
+    try:
+        os.environ["REPRO_DISK_BACKEND"] = other
+        cross = _campaign_run(high, epochs, defended=True,
+                              workers=workers)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_DISK_BACKEND", None)
+        else:
+            os.environ["REPRO_DISK_BACKEND"] = saved
+    reference = by_level["high"]["defended"]["verdict_maps"]
+    determinism = {
+        "runs_identical": reference == rerun["verdict_maps"],
+        "backends_identical": reference == cross["verdict_maps"],
+        "other_backend": other,
+    }
+    for point in curve:   # the maps did their job; keep the JSON small
+        for arm in ("naive", "defended"):
+            point[arm].pop("verdict_maps", None)
+
+    aware_levels = ("medium", "high", "maximum")
+    rotate_levels = ("high", "maximum")
+    return {
+        "fleet_size": fleet_size, "epochs": epochs, "curve": curve,
+        "defended_precision_all_1": all(
+            point["defended"]["precision"] == 1.0 for point in curve),
+        "defended_recall_min_through_high": min(
+            by_level[level]["defended"]["recall"]
+            for level in ("off", "low", "medium", "high")),
+        "naive_recall_max_when_aware": max(
+            by_level[level]["naive"]["recall"]
+            for level in aware_levels),
+        "evasion_gap_at_high": round(
+            by_level["high"]["defended"]["recall"]
+            - by_level["high"]["naive"]["recall"], 4),
+        "campaign_alerts_deduped": all(
+            by_level[level]["defended"]["campaign_fingerprints_unique"]
+            and by_level[level]["defended"]["campaign_alerts"] >= 1
+            for level in rotate_levels),
+        "probe_hit_rate_off": by_level["off"]["defended"][
+            "probe_hit_rate"],
+        "probe_hit_rate_cloaked": by_level["high"]["defended"][
+            "probe_hit_rate"],
+        "determinism": determinism,
+    }
+
+
+def print_stealth_campaign(stealth: dict) -> None:
+    """Render the per-level curve the way the other benches print."""
+    print(f"stealth campaign ({stealth['fleet_size']} machines x "
+          f"{stealth['epochs']} epochs, naive vs defended):")
+    for point in stealth["curve"]:
+        naive, defended = point["naive"], point["defended"]
+        probe = defended["probe_hit_rate"]
+        print(f"  {point['level']:>8}: naive P {naive['precision']:.2f} "
+              f"R {naive['recall']:.2f} | defended "
+              f"P {defended['precision']:.2f} R {defended['recall']:.2f} "
+              f"| outbreaks {defended['outbreak_alerts']}, "
+              f"campaigns {defended['campaign_alerts']}, "
+              f"probe {'n/a' if probe is None else f'{probe:.2f}'}")
+    determinism = stealth["determinism"]
+    print(f"  determinism: reruns identical "
+          f"{determinism['runs_identical']}, "
+          f"{determinism['other_backend']} backend identical "
+          f"{determinism['backends_identical']}")
+
+
+def stealth_campaign_gates(stealth: dict):
+    """The ISSUE's acceptance gates for the per-level curve."""
+    return (
+        ("stealth defended precision 1.0 at every level",
+         stealth["defended_precision_all_1"]),
+        ("stealth defended recall >= 0.95 through high",
+         stealth["defended_recall_min_through_high"] >= 0.95),
+        ("stealth naive recall measurably degraded when aware",
+         stealth["naive_recall_max_when_aware"]
+         <= stealth["defended_recall_min_through_high"] - 0.5),
+        ("stealth campaign alerts deduped across rotated identities",
+         stealth["campaign_alerts_deduped"]),
+        ("stealth campaigns deterministic across runs",
+         stealth["determinism"]["runs_identical"]),
+        ("stealth campaigns deterministic across disk backends",
+         stealth["determinism"]["backends_identical"]),
+    )
+
+
+def run_stealth_campaign(out, fleet_size: int = 50,
+                         epochs: int = 3) -> int:
+    """``--stealth-campaign``: the CI job — curve, gates, artifact."""
+    stealth = bench_stealth_campaign(fleet_size, epochs, workers=4)
+    print_stealth_campaign(stealth)
+    failures = []
+    for label, passed in stealth_campaign_gates(stealth):
+        print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
+        if not passed:
+            failures.append(label)
+    if out is not None:
+        payload = {"pr": 10, "mode": "stealth-campaign",
+                   "stealth_campaign": stealth}
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    if failures:
+        print(f"FAILED gates: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_workload_replay(fleet_size: int = 20, epochs: int = 2) -> int:
     """The CI workload-replay smoke: record once, replay twice, compare."""
     from repro.workloads import SamplingPolicy, record_sweep, replay_sweep
@@ -1480,6 +1711,13 @@ def main() -> int:
                         help="run only the distributed soak (forked "
                              "agents, kill -9 mid-lease, element-"
                              "identical gate) and exit")
+    parser.add_argument("--stealth-campaign", action="store_true",
+                        help="run only the stealth-campaign curve "
+                             "(50 machines x 3 epochs per level, naive "
+                             "vs defended, precision/recall gates) and "
+                             "exit")
+    parser.add_argument("--stealth-fleet", type=int, default=50)
+    parser.add_argument("--stealth-epochs", type=int, default=3)
     parser.add_argument("--workload-replay", action="store_true",
                         help="run only the workload-replay smoke "
                              "(record a trace, replay twice, element-"
@@ -1507,6 +1745,11 @@ def main() -> int:
         return run_distributed_soak(args.soak_epochs, args.soak_fleet,
                                     args.soak_agents)
 
+    if args.stealth_campaign:
+        return run_stealth_campaign(args.out or OUT_DEFAULT,
+                                    fleet_size=args.stealth_fleet,
+                                    epochs=args.stealth_epochs)
+
     if args.workload_replay:
         return run_workload_replay()
 
@@ -1526,7 +1769,8 @@ def main() -> int:
                        console_lookups=40, dist_fleet=4, dist_agents=2,
                        sweep_fleet=20, sweep_epochs=3,
                        sweep_rates=(0.05, 0.35),
-                       trace_fleet=8, trace_epochs=2)
+                       trace_fleet=8, trace_epochs=2,
+                       stealth_fleet=12, stealth_epochs=3)
     else:
         profile = dict(files=1000, reads=40, scans=5, fleet=50, workers=8,
                        client_wait=0.25, diff_entries=10_000,
@@ -1537,10 +1781,11 @@ def main() -> int:
                        console_lookups=200, dist_fleet=8, dist_agents=4,
                        sweep_fleet=200, sweep_epochs=4,
                        sweep_rates=(0.05, 0.15, 0.35),
-                       trace_fleet=20, trace_epochs=2)
+                       trace_fleet=20, trace_epochs=2,
+                       stealth_fleet=50, stealth_epochs=3)
 
     print(f"profile: {profile}")
-    results = {"pr": 9, "mode": "smoke" if args.smoke else "full",
+    results = {"pr": 10, "mode": "smoke" if args.smoke else "full",
                "profile": profile, "timings": {}}
     timings = results["timings"]
 
@@ -1708,6 +1953,11 @@ def main() -> int:
           f"trace digests identical: "
           f"{trace['trace_digests_identical']}")
 
+    results["stealth_campaign"] = bench_stealth_campaign(
+        profile["stealth_fleet"], profile["stealth_epochs"],
+        workers=profile["workers"])
+    print_stealth_campaign(results["stealth_campaign"])
+
     results["chaos"] = bench_chaos_sweep(
         min(profile["fleet"], 12), profile["workers"],
         file_count=min(profile["files"], 120))
@@ -1767,7 +2017,7 @@ def main() -> int:
         ("trace replay digests identical", trace["trace_digests_identical"]),
         ("trace replay infection detected and identical",
          trace["infected_identical"] and trace["infected"]),
-    )
+    ) + stealth_campaign_gates(results["stealth_campaign"])
     for label, passed in chaos_gates:
         print(f"  [{'PASS' if passed else 'FAIL'}] {label}")
         if not passed:

@@ -18,9 +18,12 @@ the incremental provenance (baseline ids, skipped machines, repair
 counters); ``--demo --delta`` produces one.
 
 A ``repro.fleet`` epochs journal (``epochs.jsonl``: ``epoch-start``,
-``fleet-machine``, ``fleet-outbreak``, ``epoch-end`` records) is
-auto-detected and rendered as an epoch-by-epoch report with escalation
-provenance and outbreak alerts.
+``fleet-machine``, ``fleet-outbreak``, ``fleet-campaign``,
+``epoch-end`` records) is auto-detected and rendered as an
+epoch-by-epoch report with escalation provenance, outbreak alerts, and
+the cross-epoch campaign timeline.  A ``BENCH_PR10.json`` (full bench
+or ``--stealth-campaign`` artifact) is also accepted and rendered as
+the per-stealth-level detection columns (docs/adversary.md).
 """
 
 from __future__ import annotations
@@ -159,6 +162,16 @@ def render_fleet(records: dict) -> str:
                      f"{outbreak.get('identity')!r} on "
                      f"{len(outbreak.get('machines', []))} machine(s): "
                      + ", ".join(outbreak.get("machines", [])))
+    # Campaign timeline: cross-epoch correlation over rotation-tolerant
+    # fuzzy fingerprints — one line per underlying campaign, however
+    # many exact identities it rotated through (docs/adversary.md).
+    for campaign in records.get("fleet-campaign", []):
+        lines.append(
+            f"CAMPAIGN {campaign.get('fingerprint')!r}: "
+            f"{len(campaign.get('machines', []))} machine(s) since "
+            f"epoch {campaign.get('first_epoch', '?')}, "
+            f"{len(campaign.get('identities', []))} rotated "
+            f"identity(ies): " + ", ".join(campaign.get("machines", [])))
     agents = {}
     for record in records.get("fleet-agent", []):
         agents[record.get("agent", "?")] = record
@@ -205,6 +218,44 @@ def render_fleet(records: dict) -> str:
 def is_fleet_journal(records: dict) -> bool:
     return bool(records.get("fleet-machine") or records.get("epoch-end")
                 or records.get("epoch-start"))
+
+
+def render_stealth_curve(payload: dict) -> str:
+    """Per-stealth-level detection columns from a ``BENCH_PR10.json``.
+
+    Accepts either a full bench result or a ``--stealth-campaign``
+    artifact; both carry the curve under ``stealth_campaign``.
+    """
+    stealth = payload.get("stealth_campaign") or payload.get(
+        "timings", {}).get("stealth_campaign")
+    if not stealth:
+        return "no stealth_campaign section in this bench file"
+    lines = [f"stealth campaign curve ({stealth.get('fleet_size', '?')} "
+             f"machines x {stealth.get('epochs', '?')} epochs)"]
+    header = (f"{'level':<9} {'naive P':>8} {'naive R':>8} "
+              f"{'def P':>6} {'def R':>6} {'outbreaks':>9} "
+              f"{'campaigns':>9} {'probe':>6}")
+    lines += [header, "-" * len(header)]
+    for point in stealth.get("curve", []):
+        naive, defended = point.get("naive", {}), point.get("defended", {})
+        probe = defended.get("probe_hit_rate")
+        lines.append(
+            f"{point.get('level', '?'):<9} "
+            f"{naive.get('precision', 0.0):>8.2f} "
+            f"{naive.get('recall', 0.0):>8.2f} "
+            f"{defended.get('precision', 0.0):>6.2f} "
+            f"{defended.get('recall', 0.0):>6.2f} "
+            f"{defended.get('outbreak_alerts', 0):>9d} "
+            f"{defended.get('campaign_alerts', 0):>9d} "
+            + (f"{probe:>6.2f}" if probe is not None else f"{'n/a':>6}"))
+    determinism = stealth.get("determinism", {})
+    if determinism:
+        lines.append(
+            f"determinism: reruns identical "
+            f"{determinism.get('runs_identical')}, "
+            f"{determinism.get('other_backend', 'other')} backend "
+            f"identical {determinism.get('backends_identical')}")
+    return "\n".join(lines)
 
 
 def run_demo(out_path: Path, delta: bool = False) -> Path:
@@ -258,6 +309,13 @@ def main(argv=None) -> int:
         path = Path(options.jsonl)
     else:
         parser.error("give a JSONL file or --demo")
+    text = path.read_text()
+    if text.lstrip().startswith("{") and "\n{" not in text:
+        # A bench JSON artifact, not a journal: render the per-level
+        # stealth detection columns (docs/adversary.md).
+        import json
+        print(render_stealth_curve(json.loads(text)))
+        return 0
     records = load_jsonl(path)
     if is_fleet_journal(records):
         print(render_fleet(records))

@@ -126,6 +126,26 @@ def render_dashboard(index) -> str:
                  % "".join(outbreak_rows))
     else:
         body += '<p class="muted">none recorded</p>'
+    # Campaign timeline: one row per underlying campaign, however many
+    # rotated identities it burned through (the cross-epoch correlation
+    # the per-epoch outbreak table cannot show).
+    campaign_rows = [
+        "<tr><td>%s</td><td>%s&ndash;%s</td><td>%s</td><td>%s</td>"
+        "<td>%s</td></tr>"
+        % (_fmt(event.get("fingerprint")), _fmt(event.get("first_epoch")),
+           _fmt(event.get("epoch")),
+           html.escape(", ".join(event.get("machines", []))),
+           _fmt(len(event.get("identities", []))),
+           _fmt(event.get("threshold")))
+        for event in index.campaigns()]
+    body += "<h2>campaigns</h2>"
+    if campaign_rows:
+        body += ("<table><tr><th>fingerprint</th><th>epochs</th>"
+                 "<th>machines</th><th>rotated identities</th>"
+                 "<th>threshold</th></tr>%s</table>"
+                 % "".join(campaign_rows))
+    else:
+        body += '<p class="muted">none recorded</p>'
     body += ('<p class="muted">JSON: <a href="/api/status">/api/status'
              '</a> · <a href="/api/query">/api/query</a> · '
              '<a href="/api/metrics">/api/metrics</a></p>')

@@ -420,6 +420,18 @@ class JournalIndex:
                      "start": start, "end": end}
             if self._fold_event_entry(entry):
                 self._append_sidecar(self.events_path, entry)
+        elif kind == "fleet-campaign":
+            entry = {"kind": "campaign",
+                     "fingerprint": record.get("fingerprint"),
+                     "first_epoch": int(record.get("first_epoch", 0)),
+                     "epoch": int(record.get("epoch", 0)),
+                     "machines": list(record.get("machines", [])),
+                     "identities": list(record.get("identities", [])),
+                     "threshold": record.get("threshold"),
+                     "at": record.get("at"),
+                     "start": start, "end": end}
+            if self._fold_event_entry(entry):
+                self._append_sidecar(self.events_path, entry)
         elif kind == "fleet-agent":
             # Agent liveness transitions (hello/reconnect/dead/bye from
             # the scan controller) ride the events sidecar; status()
@@ -638,6 +650,11 @@ class JournalIndex:
         return [dict(event) for event in self._events
                 if event.get("kind") == "outbreak"]
 
+    def campaigns(self) -> List[dict]:
+        """Cross-epoch campaign alerts (rotation-tolerant), arrival order."""
+        return [dict(event) for event in self._events
+                if event.get("kind") == "campaign"]
+
     def agents(self) -> Dict[str, dict]:
         """agent → latest liveness, same fold as ``fleet_status``."""
         from repro.fleet.controller import fold_agent_records
@@ -698,6 +715,9 @@ class JournalIndex:
             "outbreaks": [self.machine_outbreak_record(event)
                           for event in self._events
                           if event.get("kind") == "outbreak"],
+            "campaigns": [self.campaign_record(event)
+                          for event in self._events
+                          if event.get("kind") == "campaign"],
             "agents": self.agents(),
         }
         if os.path.exists(self.source_queue):
@@ -711,6 +731,18 @@ class JournalIndex:
         return {"type": "fleet-outbreak", "epoch": event.get("epoch"),
                 "identity": event.get("identity"),
                 "machines": list(event.get("machines", [])),
+                "threshold": event.get("threshold"),
+                "at": event.get("at")}
+
+    @staticmethod
+    def campaign_record(event: dict) -> dict:
+        """Reshape a campaign index entry as its journal record."""
+        return {"type": "fleet-campaign",
+                "fingerprint": event.get("fingerprint"),
+                "first_epoch": event.get("first_epoch"),
+                "epoch": event.get("epoch"),
+                "machines": list(event.get("machines", [])),
+                "identities": list(event.get("identities", [])),
                 "threshold": event.get("threshold"),
                 "at": event.get("at")}
 

@@ -24,6 +24,8 @@ Routes::
                              and quarantine provenance
     /api/epochs              epoch extents + embedded summaries
     /api/outbreaks           the outbreak timeline
+    /api/campaigns           cross-epoch campaign alerts (rotation-
+                             tolerant fuzzy fingerprints)
     /api/agents              distributed-mode agent liveness (latest
                              state per scan agent)
     /api/query               filtered verdicts (verdict, machine,
@@ -219,6 +221,9 @@ class ConsoleServer:
             if route == "/api/outbreaks":
                 return self._json(200, {"outbreaks":
                                         self.index.outbreaks()})
+            if route == "/api/campaigns":
+                return self._json(200, {"campaigns":
+                                        self.index.campaigns()})
             if route == "/api/agents":
                 return self._json(200, {"agents": self.index.agents()})
             if route == "/api/query":

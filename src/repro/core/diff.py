@@ -44,6 +44,10 @@ class Finding:
     lie_view: str
     truth_view: str
     noise_reason: Optional[str] = None   # set by the noise filter
+    # Seen in some stable-scan rounds but not all: the signature of a
+    # scan-aware hider toggling its lie mid-scan (set by the
+    # flag-unstable merge in repro.core.ghostbuster).
+    unstable: bool = False
 
     @property
     def is_noise(self) -> bool:
@@ -51,6 +55,8 @@ class Finding:
 
     def describe(self) -> str:
         tag = f" [noise: {self.noise_reason}]" if self.is_noise else ""
+        if self.unstable:
+            tag += " [unstable across rounds]"
         return (f"{self.resource_type.value}: {self.entry.describe()} — "
                 f"in {self.truth_view}, missing from {self.lie_view}{tag}")
 

@@ -18,7 +18,9 @@ DKOM-hidden processes (FU), at both the inside and outside levels.
 
 from __future__ import annotations
 
+import random
 from contextlib import contextmanager
+from dataclasses import replace as dc_replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core import costmodel
@@ -63,7 +65,9 @@ class GhostBuster:
                  telemetry: Optional[Telemetry] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  max_retries: int = 2,
-                 stabilize_rounds: int = 1):
+                 stabilize_rounds: int = 1,
+                 flag_unstable: bool = False,
+                 scan_order_jitter: Optional[int] = None):
         self.machine = machine
         self.advanced = advanced
         self.noise_filter = noise_filter or NoiseFilter()
@@ -80,6 +84,13 @@ class GhostBuster:
         self.fault_plan = fault_plan
         self.max_retries = max(0, int(max_retries))
         self.stabilize_rounds = max(1, int(stabilize_rounds))
+        # Counter-moves against scan-aware adversaries: surface the
+        # union of disagreeing stable rounds as UNSTABLE findings, and
+        # randomize directory visit order so an evasion episode cannot
+        # be tuned to a fixed walk.
+        self.flag_unstable = bool(flag_unstable)
+        self.scan_order_jitter = scan_order_jitter
+        self._file_walks = 0
 
     # -- resilience plumbing ------------------------------------------------------
 
@@ -211,12 +222,37 @@ class GhostBuster:
                         if f.resource_type is resource and not f.is_noise)
             dropped += total - sum(1 for f in keep if not f.is_noise)
             merged.add_findings(keep)
-            if (len(good) < len(rounds)
+            unstable_added = 0
+            if self.flag_unstable:
+                # A scan-aware hider unhides for one round and hides for
+                # the rest: its artifacts appear in *some* rounds only.
+                # The intersection above would silently drop them, so
+                # surface the union-minus-intersection of FULL rounds as
+                # explicitly UNSTABLE findings (phantoms from degraded
+                # rounds stay excluded — PR3's guarantees stand).
+                candidates = {}
+                for r in good:
+                    if r.confidence.get(layer) is not ScanConfidence.FULL:
+                        continue
+                    for f in r.findings:
+                        if f.resource_type is resource and not f.is_noise                                 and f.entry.identity not in common:
+                            candidates[f.entry.identity] = f
+                if candidates:
+                    merged.add_findings(
+                        [dc_replace(f, unstable=True)
+                         for __, f in sorted(candidates.items())])
+                    unstable_added = len(candidates)
+                    global_metrics().incr("scan.stabilize.unstable",
+                                          unstable_added)
+            if (len(good) < len(rounds) or unstable_added
                     or any(r.confidence.get(layer) is ScanConfidence.DEGRADED
                            for r in good)):
                 merged.confidence[layer] = ScanConfidence.DEGRADED
                 merged.layer_errors.setdefault(
-                    layer, f"stable across {len(good)}/{len(rounds)} rounds")
+                    layer,
+                    (f"{unstable_added} finding(s) unstable across rounds"
+                     if unstable_added else
+                     f"stable across {len(good)}/{len(rounds)} rounds"))
             else:
                 merged.confidence[layer] = ScanConfidence.FULL
         for r in rounds:
@@ -263,8 +299,15 @@ class GhostBuster:
         report.add_findings(findings)
 
     def _inside_files(self, report: DetectionReport) -> None:
+        order_rng = None
+        if self.scan_order_jitter is not None:
+            self._file_walks += 1
+            order_rng = random.Random(
+                f"{self.scan_order_jitter}:{self.machine.name}"
+                f":{self._file_walks}")
         lie = file_scans.high_level_file_scan(self.machine,
-                                              self._scanner_process)
+                                              self._scanner_process,
+                                              order_rng=order_rng)
         if self.interleave_gap > 0:
             self.machine.run_background(self.interleave_gap)
         truth = file_scans.low_level_file_scan(self.machine)

@@ -35,13 +35,17 @@ def _entry_to_dict(entry) -> Dict:
 
 def finding_to_dict(finding: Finding) -> Dict:
     """One finding as a JSON-ready dict."""
-    return {
+    out = {
         "resource_type": finding.resource_type.value,
         "lie_view": finding.lie_view,
         "truth_view": finding.truth_view,
         "noise_reason": finding.noise_reason,
         "entry": _entry_to_dict(finding.entry),
     }
+    if finding.unstable:
+        # Only-when-true keeps pre-stealth report digests byte-stable.
+        out["unstable"] = True
+    return out
 
 
 def report_to_dict(report: DetectionReport) -> Dict:
@@ -100,7 +104,8 @@ def finding_from_dict(payload: Dict) -> Finding:
                    entry=entry_from_dict(resource_type, payload["entry"]),
                    lie_view=payload["lie_view"],
                    truth_view=payload["truth_view"],
-                   noise_reason=payload.get("noise_reason"))
+                   noise_reason=payload.get("noise_reason"),
+                   unstable=bool(payload.get("unstable", False)))
 
 
 def report_from_dict(document: Dict) -> DetectionReport:

@@ -76,8 +76,17 @@ def ensure_scanner_process(machine: Machine,
 
 def high_level_file_scan(machine: Machine,
                          process: Optional[Process] = None,
-                         root: str = "\\") -> ScanSnapshot:
-    """Recursive Win32 enumeration through the full (hookable) API chain."""
+                         root: str = "\\",
+                         order_rng=None) -> ScanSnapshot:
+    """Recursive Win32 enumeration through the full (hookable) API chain.
+
+    ``order_rng`` (a ``random.Random``) shuffles the order subdirectories
+    are *descended into* — a defender counter-move that keeps a
+    scan-aware hider from tuning its unhide window to a fixed
+    alphabetical walk.  The entry set is order-independent, so findings
+    are unchanged; ``None`` preserves the exact historical interleaved
+    recursion (and its call sequence).
+    """
     scanner = ensure_scanner_process(machine, process)
     entries: List[FileEntry] = []
 
@@ -85,13 +94,26 @@ def high_level_file_scan(machine: Machine,
         faults_context.maybe_inject(SITE_WINAPI_ENUM, clock=machine.clock,
                                     scope=machine.name)
         handle, stat = scanner.call("kernel32", "FindFirstFile", directory)
+        if order_rng is None:
+            while stat is not None:
+                entries.append(FileEntry(stat.path, stat.name,
+                                         stat.is_directory, stat.size))
+                if stat.is_directory:
+                    walk(stat.path)
+                stat = scanner.call("kernel32", "FindNextFile", handle)
+            scanner.call("kernel32", "FindClose", handle)
+            return
+        subdirs: List[str] = []
         while stat is not None:
             entries.append(FileEntry(stat.path, stat.name,
                                      stat.is_directory, stat.size))
             if stat.is_directory:
-                walk(stat.path)
+                subdirs.append(stat.path)
             stat = scanner.call("kernel32", "FindNextFile", handle)
         scanner.call("kernel32", "FindClose", handle)
+        order_rng.shuffle(subdirs)
+        for path in subdirs:
+            walk(path)
 
     def run() -> None:
         # The walk is idempotent, so recovery re-runs it whole rather

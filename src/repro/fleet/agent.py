@@ -74,7 +74,8 @@ class ScanAgent:
                  max_reconnects: int = 60,
                  poll_seconds: float = 0.02,
                  kill_after_leases: Optional[int] = None,
-                 heartbeats: bool = True):
+                 heartbeats: bool = True,
+                 scan_config: Optional[Dict] = None):
         self.address = tuple(address)
         self.secret = secret
         self.agent_id = agent_id
@@ -93,6 +94,10 @@ class ScanAgent:
         self.poll_seconds = poll_seconds
         self.kill_after_leases = kill_after_leases
         self.heartbeats = heartbeats
+        # Stealth counter-move knobs, mirroring the coordinator's
+        # single-process scan body (stabilize_rounds / flag_unstable /
+        # scan_order_jitter).
+        self.scan_config = dict(scan_config or {})
         self._machines: Dict[str, Machine] = {}
         self._channel: Optional[transport.FrameChannel] = None
         self._pending_ack: Optional[Dict] = None
@@ -258,7 +263,12 @@ class ScanAgent:
         try:
             outcome = perform_machine_scan(
                 machine, epoch, self.policy, self.noise_filter,
-                self.resources, self.fault_plan)
+                self.resources, self.fault_plan,
+                stabilize_rounds=int(
+                    self.scan_config.get("stabilize_rounds", 1)),
+                flag_unstable=bool(
+                    self.scan_config.get("flag_unstable", False)),
+                scan_order_jitter=self.scan_config.get("scan_order_jitter"))
         except ReproError as exc:
             self.stats["errors"] += 1
             logger.warning("agent %s scan of %s failed: %s",
@@ -328,6 +338,7 @@ def run_agent_process(address, secret: str, agent_id: str, worker: int,
                       heartbeat_seconds: float = 0.25,
                       kill_after_leases: Optional[int] = None,
                       policy_config: Optional[Dict] = None,
+                      scan_config: Optional[Dict] = None,
                       resources: Sequence[str] = ("files", "registry"),
                       poll_seconds: float = 0.02) -> Dict:
     """Top-level multiprocessing entry point for one agent.
@@ -353,5 +364,6 @@ def run_agent_process(address, secret: str, agent_id: str, worker: int,
                       fault_plan=plan, transport_plan=wire_plan,
                       policy=policy, resources=resources,
                       poll_seconds=poll_seconds,
-                      kill_after_leases=kill_after_leases)
+                      kill_after_leases=kill_after_leases,
+                      scan_config=scan_config)
     return agent.run()

@@ -51,6 +51,11 @@ class MachineVerdict:
     sampled: bool = False
     coverage: float = 1.0
     sampling_escalated: bool = False
+    # Fuzzy technique+layer fingerprints (repro.fleet.policy
+    # .campaign_fingerprints): stable when an adversary rotates exact
+    # identities across epochs, so cross-epoch campaign correlation
+    # keys on these instead of finding_ids.
+    campaign_fingerprints: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         record = asdict(self)
@@ -77,7 +82,9 @@ class MachineVerdict:
                    sampled=bool(record.get("sampled")),
                    coverage=float(record.get("coverage", 1.0)),
                    sampling_escalated=bool(
-                       record.get("sampling_escalated")))
+                       record.get("sampling_escalated")),
+                   campaign_fingerprints=list(
+                       record.get("campaign_fingerprints", [])))
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,96 @@ class OutbreakAlert:
         return {"type": "fleet-outbreak", "epoch": self.epoch,
                 "identity": self.identity, "machines": self.machines,
                 "threshold": self.threshold}
+
+
+@dataclass(frozen=True)
+class CampaignAlert:
+    """One underlying campaign tracked across epochs and rotations.
+
+    The satellite fix for exact-identity outbreak alerting: an adversary
+    that renames its artifacts every epoch presents a fresh
+    ``finding_ids`` set each time, so per-identity alerts would fire
+    once per rotation.  Campaign alerts key on the fuzzy fingerprint and
+    fire exactly once per campaign, with the rotated identities listed
+    as evidence.
+    """
+
+    fingerprint: str
+    first_epoch: int
+    epoch: int                      # epoch the threshold was crossed
+    machines: List[str]
+    identities: List[str]           # exact rotated identities subsumed
+    threshold: int
+
+    def describe(self) -> str:
+        return (f"CAMPAIGN {self.fingerprint!r}: "
+                f"{len(self.machines)} machines since epoch "
+                f"{self.first_epoch} ({len(self.identities)} rotated "
+                f"identities, threshold {self.threshold}): "
+                + ", ".join(self.machines))
+
+    def to_dict(self) -> Dict:
+        return {"type": "fleet-campaign", "fingerprint": self.fingerprint,
+                "first_epoch": self.first_epoch, "epoch": self.epoch,
+                "machines": self.machines, "identities": self.identities,
+                "threshold": self.threshold}
+
+
+class CampaignTracker:
+    """Cross-epoch, rotation-tolerant campaign correlation.
+
+    Unlike the per-epoch :class:`FleetAggregator` this object lives for
+    the coordinator's lifetime; on resume it is rebuilt by re-folding
+    the journal (verdicts first, then already-journaled campaign records
+    to suppress duplicate alerts).
+    """
+
+    def __init__(self, threshold: int = DEFAULT_OUTBREAK_THRESHOLD):
+        self.threshold = max(2, int(threshold))
+        self._machines: Dict[str, List[str]] = {}    # fp → machines
+        self._identities: Dict[str, List[str]] = {}  # fp → exact ids
+        self._first_epoch: Dict[str, int] = {}
+        self._alerted: Dict[str, CampaignAlert] = {}
+
+    def mark_alerted(self, record: Dict) -> None:
+        """Re-fold a journaled fleet-campaign record (resume path)."""
+        fingerprint = record["fingerprint"]
+        self._alerted.setdefault(fingerprint, CampaignAlert(
+            fingerprint=fingerprint,
+            first_epoch=int(record.get("first_epoch", 0)),
+            epoch=int(record.get("epoch", 0)),
+            machines=list(record.get("machines", [])),
+            identities=list(record.get("identities", [])),
+            threshold=int(record.get("threshold", self.threshold))))
+
+    def observe(self, verdict: MachineVerdict) -> List["CampaignAlert"]:
+        """Fold one verdict; returns campaigns it just pushed over K."""
+        fresh: List[CampaignAlert] = []
+        for fingerprint in verdict.campaign_fingerprints:
+            machines = self._machines.setdefault(fingerprint, [])
+            if verdict.machine not in machines:
+                machines.append(verdict.machine)
+            identities = self._identities.setdefault(fingerprint, [])
+            for identity in verdict.finding_ids:
+                if identity not in identities:
+                    identities.append(identity)
+            self._first_epoch.setdefault(fingerprint, verdict.epoch)
+            if (len(machines) >= self.threshold
+                    and fingerprint not in self._alerted):
+                alert = CampaignAlert(
+                    fingerprint=fingerprint,
+                    first_epoch=self._first_epoch[fingerprint],
+                    epoch=verdict.epoch,
+                    machines=sorted(machines),
+                    identities=sorted(identities),
+                    threshold=self.threshold)
+                self._alerted[fingerprint] = alert
+                global_metrics().incr("fleet.campaigns")
+                fresh.append(alert)
+        return fresh
+
+    def campaigns(self) -> List[CampaignAlert]:
+        return [self._alerted[fp] for fp in sorted(self._alerted)]
 
 
 @dataclass

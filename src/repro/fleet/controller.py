@@ -496,6 +496,9 @@ class ScanController:
             for alert in self._aggregator.observe(verdict):
                 coordinator._journal(alert.to_dict())
                 logger.warning("%s", alert.describe())
+        for alert in coordinator.campaigns.observe(verdict):
+            coordinator._journal(alert.to_dict())
+            logger.warning("%s", alert.describe())
 
     def _late_ack(self, session: AgentSession, machine: str) -> Dict:
         global_metrics().incr("fleet.ack.late")

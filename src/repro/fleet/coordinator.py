@@ -57,7 +57,8 @@ from repro.errors import (CircuitOpen, CoordinatorKilled, FleetError,
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import CircuitBreaker
 from repro.fleet.aggregator import (DEFAULT_OUTBREAK_THRESHOLD,
-                                    FleetAggregator, MachineVerdict)
+                                    CampaignTracker, FleetAggregator,
+                                    MachineVerdict)
 from repro.fleet.controller import ScanController, fold_agent_records
 from repro.fleet.policy import EscalationPolicy
 from repro.fleet.queue import WorkQueue
@@ -94,7 +95,10 @@ class FleetCoordinator:
                  console_index: bool = True,
                  retain_epochs: int = 0,
                  queue_durable: bool = False,
-                 sampling=None):
+                 sampling=None,
+                 stabilize_rounds: int = 1,
+                 flag_unstable: bool = False,
+                 scan_order_jitter: Optional[int] = None):
         self.fleet_dir = fleet_dir
         # Distributed mode rosters by *name* (the machines themselves
         # live inside agent processes), so bare strings are accepted;
@@ -137,10 +141,34 @@ class FleetCoordinator:
         # time so point lookups never replay this journal.  Optional:
         # the journals alone remain the system of record, and a console
         # can always rebuild() from them.
+        # Scan-until-stable + stealth counter-moves, threaded into every
+        # scan body (single-process workers and forked agents alike).
+        self.stabilize_rounds = max(1, int(stabilize_rounds))
+        self.flag_unstable = bool(flag_unstable)
+        self.scan_order_jitter = scan_order_jitter
         self.index = None
         if console_index:
             from repro.console.index import JournalIndex
             self.index = JournalIndex(fleet_dir)
+        # Cross-epoch campaign correlation (fuzzy fingerprints survive
+        # per-epoch identity rotation).  Tracker state spans epochs, so
+        # a restarted coordinator rebuilds it from the journal: alerts
+        # first (duplicate suppression), then every recorded verdict.
+        self.campaigns = CampaignTracker(threshold=outbreak_threshold)
+        if os.path.exists(self.epochs_path):
+            records = [line.record for line in
+                       iter_journal(self.epochs_path,
+                                    on_torn=lambda *_: None)]
+            for record in records:
+                if record.get("type") == "fleet-campaign":
+                    self.campaigns.mark_alerted(record)
+            for record in records:
+                if record.get("type") == "fleet-machine":
+                    for alert in self.campaigns.observe(
+                            MachineVerdict.from_dict(record)):
+                        # Crash window: the threshold crossed but the
+                        # alert never landed; journal it now.
+                        self._journal(alert.to_dict())
 
     # -- journal -----------------------------------------------------------------
 
@@ -326,6 +354,9 @@ class FleetCoordinator:
                 for alert in aggregator.observe(verdict):
                     self._journal(alert.to_dict())
                     logger.warning("%s", alert.describe())
+                for alert in self.campaigns.observe(verdict):
+                    self._journal(alert.to_dict())
+                    logger.warning("%s", alert.describe())
                 progressed = True
                 acks += 1
                 if kill_after_acks is not None and acks >= kill_after_acks:
@@ -393,13 +424,17 @@ class FleetCoordinator:
             outcome = perform_sampled_machine_scan(
                 machine, epoch, self.sampling, self.policy,
                 self.noise_filter, self.resources, self.fault_plan,
-                span_clock=self.clock)
+                span_clock=self.clock,
+                stabilize_rounds=self.stabilize_rounds,
+                flag_unstable=self.flag_unstable,
+                scan_order_jitter=self.scan_order_jitter)
         else:
-            outcome = perform_machine_scan(machine, epoch, self.policy,
-                                           self.noise_filter,
-                                           self.resources,
-                                           self.fault_plan,
-                                           span_clock=self.clock)
+            outcome = perform_machine_scan(
+                machine, epoch, self.policy, self.noise_filter,
+                self.resources, self.fault_plan, span_clock=self.clock,
+                stabilize_rounds=self.stabilize_rounds,
+                flag_unstable=self.flag_unstable,
+                scan_order_jitter=self.scan_order_jitter)
         if machine.clock is not self.clock:
             self.clock.advance(outcome.scan_seconds)
         stored = self.store.put(name, outcome.report,
@@ -476,6 +511,10 @@ class FleetCoordinator:
                         "confirm_with": self.policy.confirm_with,
                         "escalate": self.policy.escalate,
                         "resources": list(self.policy.resources)},
+                    scan_config={
+                        "stabilize_rounds": self.stabilize_rounds,
+                        "flag_unstable": self.flag_unstable,
+                        "scan_order_jitter": self.scan_order_jitter},
                     resources=self.resources),
                 name=f"fleet-agent-{index}", daemon=True)
             process.start()
@@ -603,7 +642,8 @@ def fleet_status(fleet_dir: str) -> Dict:
     status: Dict = {"fleet_dir": fleet_dir,
                     "open_epoch": None, "pending": 0, "leased": 0,
                     "acked": 0, "epochs_completed": 0,
-                    "last_summary": None, "outbreaks": []}
+                    "last_summary": None, "outbreaks": [],
+                    "campaigns": []}
     if os.path.exists(queue_path):
         queue = WorkQueue(fleet_dir)
         status["open_epoch"] = queue.epoch
@@ -621,6 +661,8 @@ def fleet_status(fleet_dir: str) -> Dict:
             status["last_summary"] = record
         elif record.get("type") == "fleet-outbreak":
             status["outbreaks"].append(record)
+        elif record.get("type") == "fleet-campaign":
+            status["campaigns"].append(record)
         elif record.get("type") == "fleet-agent":
             agent_records.append(record)
     # Same fold the console index uses, so `repro fleet-status --json`

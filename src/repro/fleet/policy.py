@@ -59,6 +59,47 @@ def finding_ids(report: DetectionReport) -> List[str]:
                   for f in report.findings if not f.is_noise)
 
 
+def campaign_fingerprint(finding) -> Optional[str]:
+    """Fuzzy technique+layer fingerprint, stable under identity rotation.
+
+    Exact identities break the moment an adversary renames its artifacts
+    each epoch; what rotation *cannot* cheaply change is where in the
+    namespace the technique plants things.  Files collapse to
+    parent-directory + extension, registry hooks to their ASEP location
+    (masking the rotating final segment under ``Services``), processes
+    to their name, modules to their file name.  Collisions between
+    same-directory strains are acceptable — this keys cross-epoch
+    *campaign* correlation, not per-epoch exact outbreak counting.
+    """
+    from repro.core.snapshot import ResourceType
+    entry = finding.entry
+    if finding.resource_type is ResourceType.FILE:
+        parent, __, name = entry.path.rpartition("\\")
+        ext = name.rsplit(".", 1)[-1] if "." in name else ""
+        return f"file:{parent.casefold()}\\*.{ext.casefold()}"
+    if finding.resource_type is ResourceType.REGISTRY:
+        location, key_path = entry.location, str(entry.key_path)
+        folded = key_path.casefold()
+        if folded.endswith("\\services") or "\\services\\" in folded:
+            head = folded.split("\\services")[0]
+            return f"registry:{location}:{head}\\services\\*"
+        return f"registry:{location}:{folded}"
+    if finding.resource_type is ResourceType.PROCESS:
+        return f"process:{entry.name.casefold()}"
+    if finding.resource_type is ResourceType.MODULE:
+        path = getattr(entry, "module_path", getattr(entry, "path", ""))
+        return f"module:{str(path).rsplit(chr(92), 1)[-1].casefold()}"
+    return None
+
+
+def campaign_fingerprints(report: DetectionReport) -> List[str]:
+    """Sorted unique fuzzy fingerprints of a report's non-noise findings."""
+    prints = {campaign_fingerprint(f)
+              for f in report.findings if not f.is_noise}
+    prints.discard(None)
+    return sorted(prints)
+
+
 class EscalationPolicy:
     """Decides when and how a machine pays for the outside-the-box tier."""
 

@@ -29,7 +29,8 @@ from repro.core.ghostbuster import GhostBuster
 from repro.core.noise import NoiseFilter
 from repro.faults.plan import FaultPlan
 from repro.fleet.aggregator import MachineVerdict
-from repro.fleet.policy import EscalationPolicy, finding_ids
+from repro.fleet.policy import (EscalationPolicy, campaign_fingerprints,
+                                finding_ids)
 from repro.machine import Machine
 from repro.telemetry import context as telemetry_context
 
@@ -56,6 +57,9 @@ class ScanOutcome:
     sampled: bool = False
     coverage: float = 1.0
     sampling_escalated: bool = False
+    # Fuzzy technique+layer fingerprints (rotation-stable); derived from
+    # the report, so baseline riders need not store them.
+    campaign_fingerprints: List[str] = field(default_factory=list)
 
     def extra(self, epoch: int) -> Dict:
         """The baseline rider that lets a later skip rehydrate verdicts."""
@@ -82,7 +86,8 @@ class ScanOutcome:
             finding_ids=list(self.finding_ids),
             mass_hiding=self.mass_hiding,
             sampled=self.sampled, coverage=self.coverage,
-            sampling_escalated=self.sampling_escalated)
+            sampling_escalated=self.sampling_escalated,
+            campaign_fingerprints=list(self.campaign_fingerprints))
 
 
 def perform_machine_scan(machine: Machine, epoch: int,
@@ -90,12 +95,18 @@ def perform_machine_scan(machine: Machine, epoch: int,
                          noise_filter: NoiseFilter,
                          resources: Sequence[str],
                          fault_plan: Optional[FaultPlan],
-                         span_clock=None) -> ScanOutcome:
+                         span_clock=None,
+                         stabilize_rounds: int = 1,
+                         flag_unstable: bool = False,
+                         scan_order_jitter: Optional[int] = None
+                         ) -> ScanOutcome:
     """Boot-if-needed, inside scan, optional escalation; no writes.
 
     ``span_clock`` picks which clock the telemetry span charges (the
     coordinator passes the fleet clock; an agent has only the
-    machine's own).
+    machine's own).  ``stabilize_rounds`` / ``flag_unstable`` /
+    ``scan_order_jitter`` are the stealth counter-moves threaded down
+    from the coordinator (see docs/adversary.md).
     """
     if not machine.powered_on:
         machine.boot()
@@ -105,8 +116,11 @@ def perform_machine_scan(machine: Machine, epoch: int,
             machine=machine.name, epoch=epoch):
         report = GhostBuster(machine, advanced=True,
                              noise_filter=noise_filter,
-                             fault_plan=fault_plan).inside_scan(
-                                 resources=tuple(resources))
+                             fault_plan=fault_plan,
+                             stabilize_rounds=stabilize_rounds,
+                             flag_unstable=flag_unstable,
+                             scan_order_jitter=scan_order_jitter
+                             ).inside_scan(resources=tuple(resources))
     inside_ids = finding_ids(report)
     alert = check_mass_hiding(report)
     escalated = confirmed = False
@@ -123,7 +137,8 @@ def perform_machine_scan(machine: Machine, epoch: int,
                        escalated=escalated, confirmed=confirmed,
                        confirmed_by=confirmed_by,
                        finding_ids=inside_ids,
-                       mass_hiding=alert is not None)
+                       mass_hiding=alert is not None,
+                       campaign_fingerprints=campaign_fingerprints(report))
 
 
 def perform_sampled_machine_scan(machine: Machine, epoch: int,
@@ -132,7 +147,11 @@ def perform_sampled_machine_scan(machine: Machine, epoch: int,
                                  noise_filter: NoiseFilter,
                                  resources: Sequence[str],
                                  fault_plan: Optional[FaultPlan],
-                                 span_clock=None) -> ScanOutcome:
+                                 span_clock=None,
+                                 stabilize_rounds: int = 1,
+                                 flag_unstable: bool = False,
+                                 scan_order_jitter: Optional[int] = None
+                                 ) -> ScanOutcome:
     """The cheap stratified pass, escalating discrepancies to a full scan.
 
     A clean sampled pass yields a sampled verdict carrying its honest
@@ -155,7 +174,10 @@ def perform_sampled_machine_scan(machine: Machine, epoch: int,
     if sampled.escalate:
         full = perform_machine_scan(machine, epoch, policy, noise_filter,
                                     resources, fault_plan,
-                                    span_clock=span_clock)
+                                    span_clock=span_clock,
+                                    stabilize_rounds=stabilize_rounds,
+                                    flag_unstable=flag_unstable,
+                                    scan_order_jitter=scan_order_jitter)
         return replace(full,
                        scan_seconds=full.scan_seconds + sampled.scan_seconds,
                        sampling_escalated=True)
@@ -186,4 +208,5 @@ def skip_verdict(baseline: MachineBaseline, epoch: int) -> MachineVerdict:
         mass_hiding=bool(extra.get("mass_hiding")),
         sampled=bool(extra.get("sampled")),
         coverage=float(extra.get("coverage", 1.0)),
-        sampling_escalated=bool(extra.get("sampling_escalated")))
+        sampling_escalated=bool(extra.get("sampling_escalated")),
+        campaign_fingerprints=campaign_fingerprints(report))

@@ -75,6 +75,40 @@ class FleetHistory:
             self.failures[machine] = self.failures.get(machine, 0) + 1
 
 
+def recent_write_probe(machine, horizon_seconds: float = 3600.0,
+                       roots: Sequence[str] = ("\\Windows",),
+                       skip: Sequence[str] = (
+                           "\\Windows\\Temp",
+                           "\\Windows\\System32\\config")) -> bool:
+    """Cheap triage: has anything under the system roots changed lately?
+
+    A raw-volume mtime sweep — no process, no API chain, so no ghostware
+    hook can filter it.  Fresh writes under ``\\Windows`` are how an
+    infection *lands*; a machine that trips the probe is worth a boosted
+    scheduler rank.  The flip side is the adversary counter-move this
+    probe exists to measure: a timestamp cloak that backdates its
+    artifacts drops the machine right back below the horizon, so the
+    probe is a triage signal, never a verdict.  ``skip`` prunes known
+    churn directories whose legitimate writes would drown the signal —
+    ``Temp`` and the registry hives, which the OS flushes constantly.
+    """
+    now = machine.clock.now()
+    volume = machine.volume
+    skip_folded = tuple(prefix.casefold() for prefix in skip)
+    for root in roots:
+        if not volume.exists(root):
+            continue
+        for stat in volume.walk(root):
+            if stat.is_directory:
+                continue
+            folded = stat.path.casefold()
+            if any(folded.startswith(prefix) for prefix in skip_folded):
+                continue
+            if now - stat.modified <= horizon_seconds:
+                return True
+    return False
+
+
 @dataclass(frozen=True)
 class ScheduledMachine:
     """One roster entry with its computed priority components."""
@@ -103,13 +137,15 @@ class FleetScheduler:
     def priority(self, machine: str, epoch: int,
                  history: FleetHistory,
                  scan_seconds: Optional[float] = None,
-                 quarantined: bool = False) -> ScheduledMachine:
+                 quarantined: bool = False,
+                 risk_boost: float = 0.0) -> ScheduledMachine:
         last = history.last_epoch.get(machine)
         staleness = (self.never_scanned_staleness if last is None
                      else float(epoch - last))
         risk = (history.detections.get(machine, 0)
                 + 2.0 * history.confirmations.get(machine, 0)
-                + history.failures.get(machine, 0))
+                + history.failures.get(machine, 0)
+                + float(risk_boost))
         if quarantined:
             # The breaker gave up on this machine recently; whatever
             # was wrong deserves priority attention now that it gets
@@ -125,18 +161,24 @@ class FleetScheduler:
     def plan(self, machines: Sequence[str], epoch: int,
              history: FleetHistory,
              scan_seconds: Optional[Dict[str, float]] = None,
-             quarantined: Sequence[str] = ()) -> List[ScheduledMachine]:
+             quarantined: Sequence[str] = (),
+             risk_boost: Optional[Dict[str, float]] = None
+             ) -> List[ScheduledMachine]:
         """The epoch's dispatch order: score desc, then LPT, then name.
 
         ``sorted`` is stable and every key component is deterministic,
         so two coordinators planning the same inputs emit the same
         order — which the queue then persists as the epoch roster.
+        ``risk_boost`` carries per-machine triage signals (e.g.
+        :func:`recent_write_probe` hits) into the risk term.
         """
         timings = scan_seconds or {}
         quarantine_set = set(quarantined)
+        boosts = risk_boost or {}
         ranked = [self.priority(machine, epoch, history,
                                 scan_seconds=timings.get(machine),
-                                quarantined=machine in quarantine_set)
+                                quarantined=machine in quarantine_set,
+                                risk_boost=boosts.get(machine, 0.0))
                   for machine in machines]
         ranked.sort(key=lambda entry: (-entry.score,
                                        -entry.cost,

@@ -26,6 +26,8 @@ class Aphex(Ghostware):
 
     name = "Aphex"
     technique = "inline jmp detour in Kernel32 + IAT hook in NtDll"
+    stealth_capabilities = frozenset(
+        {"cloak", "aware", "rotate", "coordinate"})
 
     def __init__(self, prefix: str = "~", run_value_name: str = "backdoor"):
         super().__init__()
@@ -34,9 +36,25 @@ class Aphex(Ghostware):
         self.exe_path = f"\\Windows\\System32\\{prefix}aphex.exe"
 
     def _hide(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         name = text.rsplit("\\", 1)[-1]
         return name.startswith(self.prefix) or \
             name.casefold() == self.run_value_name.casefold()
+
+    def rotate_identity(self, machine: Machine, token: str) -> None:
+        """New exe stem + Run value name; the running process keeps its
+        original (still prefix-hidden) name."""
+        new_path = f"\\Windows\\System32\\{self.prefix}{token}.exe"
+        machine.volume.rename(self.exe_path, new_path)
+        machine.registry.delete_value(RUN_KEY, self.run_value_name)
+        machine.registry.set_value(RUN_KEY, token, new_path)
+        self.exe_path = new_path
+        self.run_value_name = token
+        machine.register_program(self.exe_path, self._main)
+        self.report.hidden_files = [self.exe_path]
+        self.report.hidden_asep_hooks = [
+            f"{RUN_KEY}\\{self.run_value_name} → {self.exe_path}"]
 
     def _install_persistent(self, machine: Machine) -> None:
         machine.volume.create_file(self.exe_path, b"MZaphex")

@@ -20,13 +20,33 @@ class AppInitTrojan(Ghostware):
 
     dll_name = "trojan.dll"
     technique = "IAT hook of file/registry enumeration (via AppInit_DLLs)"
+    stealth_capabilities = frozenset(
+        {"cloak", "aware", "rotate", "coordinate"})
 
     @property
     def dll_path(self) -> str:
         return f"\\Windows\\System32\\{self.dll_name}"
 
     def _hide(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         return self.dll_name.casefold() in text.casefold()
+
+    def rotate_identity(self, machine: Machine, token: str) -> None:
+        """New DLL name: rename the file, rewrite the AppInit hook."""
+        old_name, old_path = self.dll_name, self.dll_path
+        new_name = f"{token}.dll"
+        self.dll_name = new_name
+        machine.volume.rename(old_path, self.dll_path)
+        appinit = machine.registry.get_value(APPINIT_KEY, "AppInit_DLLs")
+        parts = [new_name if p.casefold() == old_name.casefold() else p
+                 for p in str(appinit.win32_data()).split()]
+        machine.registry.set_value(APPINIT_KEY, "AppInit_DLLs",
+                                   " ".join(parts))
+        machine.register_program(self.dll_path, self._dll_main)
+        self.report.hidden_files = [self.dll_path]
+        self.report.hidden_asep_hooks = [
+            f"{APPINIT_KEY}\\AppInit_DLLs → {self.dll_name}"]
 
     def _install_persistent(self, machine: Machine) -> None:
         machine.volume.create_file(self.dll_path,

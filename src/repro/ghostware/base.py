@@ -57,8 +57,31 @@ class Ghostware:
     name = "ghostware"
     technique = "unspecified"
 
+    #: Which :mod:`repro.stealth` behaviors this strain can run
+    #: ("cloak", "aware", "rotate", "coordinate").  The seed-era strains
+    #: hide statically; a :class:`~repro.stealth.manager.StealthManager`
+    #: attached as ``self.stealth`` composes leveled counter-detection
+    #: on top, clamped to this set.
+    stealth_capabilities: frozenset = frozenset()
+
     def __init__(self) -> None:
         self.report = GhostwareReport(self.name)
+        self.stealth = None
+
+    def concealed(self) -> bool:
+        """Gate consulted by hiding predicates on every enumeration call.
+
+        ``True`` (filter normally) for unmanaged ghosts; a scan-aware
+        stealth manager returns ``False`` mid-episode so the hooks tell
+        the truth while a scan is looking.
+        """
+        stealth = getattr(self, "stealth", None)
+        return stealth is None or stealth.concealing()
+
+    def rotate_identity(self, machine: Machine, token: str) -> None:
+        """Re-randomize on-disk/ASEP identity (rotate-capable strains)."""
+        raise NotImplementedError(
+            f"{self.name} does not support identity rotation")
 
     # -- lifecycle --------------------------------------------------------------
 

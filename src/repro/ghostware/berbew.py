@@ -23,6 +23,7 @@ class Berbew(Ghostware):
 
     name = "Berbew"
     technique = "inline jmp detour in NtDll!NtQuerySystemInformation"
+    stealth_capabilities = frozenset({"cloak", "aware", "coordinate"})
 
     def __init__(self, seed: int = 20040719):
         super().__init__()
@@ -32,6 +33,8 @@ class Berbew(Ghostware):
         self.exe_path = f"\\Windows\\System32\\{self.exe_name}"
 
     def _hide(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         return text.casefold() == self.exe_name.casefold()
 
     def _install_persistent(self, machine: Machine) -> None:

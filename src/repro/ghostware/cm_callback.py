@@ -26,8 +26,11 @@ class CmCallbackGhost(Ghostware):
 
     name = "CmCallbackGhost"
     technique = "kernel registry callback filtering"
+    stealth_capabilities = frozenset({"cloak", "aware", "coordinate"})
 
     def _hide(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         return "cmghost" in text.casefold()
 
     def _install_persistent(self, machine: Machine) -> None:

@@ -31,6 +31,7 @@ class CommercialFileHider(Ghostware):
     driver_file = "hider.sys"
     deny_open = False
     technique = "file-system filter driver"
+    stealth_capabilities = frozenset({"cloak"})
 
     def __init__(self, hidden_paths: Optional[List[str]] = None):
         super().__init__()

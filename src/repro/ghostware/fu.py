@@ -33,6 +33,7 @@ class FuRootkit(Ghostware):
 
     name = "FU"
     technique = "Direct Kernel Object Manipulation (process-list unlink)"
+    stealth_capabilities = frozenset({"cloak"})
 
     def __init__(self) -> None:
         super().__init__()

@@ -68,19 +68,30 @@ class HackerDefender(Ghostware):
 
     name = "Hacker Defender 1.0"
     technique = "inline jmp detour in NtDll (files, registry, processes)"
+    stealth_capabilities = frozenset(
+        {"cloak", "aware", "rotate", "coordinate"})
 
     def __init__(self, extra_patterns: List[str] = ()):
         super().__init__()
         self.extra_patterns = list(extra_patterns)
         self._patterns: List[str] = []
         self._reg_patterns: List[str] = []
+        self.exe_path = EXE_PATH
+        self.driver_path = DRIVER_PATH
+        self.ini_path = INI_PATH
+        self.service_name = "HackerDefender100"
+        self.driver_service = "HackerDefenderDrv100"
 
     def _hide(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         name = text.rsplit("\\", 1)[-1].casefold()
         return any(fnmatch.fnmatch(name, pattern.casefold())
                    for pattern in self._patterns)
 
     def _hide_reg(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         name = text.rsplit("\\", 1)[-1].casefold()
         return self._hide(text) or any(
             fnmatch.fnmatch(name, pattern.casefold())
@@ -91,40 +102,99 @@ class HackerDefender(Ghostware):
         for pattern in self.extra_patterns:
             head, sep, tail = ini_text.partition("[Hidden Processes]")
             ini_text = head + pattern + "\n" + sep + tail
-        machine.volume.create_file(EXE_PATH, b"MZhxdef")
-        machine.volume.create_file(DRIVER_PATH, b"MZhxdefdrv")
-        machine.volume.create_file(INI_PATH, ini_text.encode())
+        machine.volume.create_file(self.exe_path, b"MZhxdef")
+        machine.volume.create_file(self.driver_path, b"MZhxdefdrv")
+        machine.volume.create_file(self.ini_path, ini_text.encode())
 
         services = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
         for service, image, kind in (
-                ("HackerDefender100", EXE_PATH, TYPE_SERVICE),
-                ("HackerDefenderDrv100", DRIVER_PATH, TYPE_DRIVER)):
+                (self.service_name, self.exe_path, TYPE_SERVICE),
+                (self.driver_service, self.driver_path, TYPE_DRIVER)):
             key = f"{services}\\{service}"
             machine.registry.create_key(key)
             machine.registry.set_value(key, "ImagePath", image)
             machine.registry.set_value(key, "Type", kind)
             machine.registry.set_value(key, "Start", 2)
-        machine.register_program(EXE_PATH, self._service_main)
+        machine.register_program(self.exe_path, self._service_main)
 
-        self.report.hidden_files = [EXE_PATH, DRIVER_PATH, INI_PATH]
+        self.report.hidden_files = [self.exe_path, self.driver_path,
+                                    self.ini_path]
         self.report.hidden_asep_hooks = [
             f"{services}\\HackerDefender100 → hxdef100.exe",
             f"{services}\\HackerDefenderDrv100 → hxdefdrv.sys"]
         self.report.hidden_processes = ["hxdef100.exe"]
-        self.report.visible_files = [DRIVER_PATH]  # driver list stays honest
+        # driver list stays honest
+        self.report.visible_files = [self.driver_path]
 
     def activate(self, machine: Machine) -> None:
         machine.kernel.load_driver("hxdefdrv.sys")
-        machine.start_process(EXE_PATH)
+        machine.start_process(self.exe_path)
 
     def _service_main(self, machine: Machine, process: Process) -> None:
         """hxdef100.exe: load patterns from the INI, hook everything."""
-        ini = parse_ini(machine.volume.read_file(INI_PATH).decode())
+        ini = parse_ini(machine.volume.read_file(self.ini_path).decode())
         self._patterns = (ini.get("Hidden Table", [])
                           + ini.get("Hidden Processes", []))
         self._reg_patterns = [line.split("=")[0] for line
                               in ini.get("Hidden RegKeys", [])]
         self.infect_everywhere(machine)
+
+    def rotate_identity(self, machine: Machine, token: str) -> None:
+        """New stem for files, patterns and both service ASEP hooks.
+
+        The already-running ``hxdef100.exe`` process keeps its old name,
+        which the new patterns no longer match — after rotation it is
+        equally visible in both views (and drops off the ground-truth
+        hidden-process list).
+        """
+        stem = token.casefold()
+        services = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+        for service in (self.service_name, self.driver_service):
+            machine.registry.delete_key(f"{services}\\{service}")
+
+        renames = {"exe_path": f"\\Windows\\{stem}100.exe",
+                   "driver_path": f"\\Windows\\{stem}drv.sys",
+                   "ini_path": f"\\Windows\\{stem}100.ini"}
+        for attr, new_path in renames.items():
+            machine.volume.rename(getattr(self, attr), new_path)
+            setattr(self, attr, new_path)
+        self.service_name = f"{stem.capitalize()}100"
+        self.driver_service = f"{stem.capitalize()}Drv100"
+
+        ini_text = "\n".join(
+            ["[Hidden Table]", f"{stem}*", "[Hidden Processes]", f"{stem}*",
+             *self.extra_patterns,
+             "[Hidden RegKeys]", self.service_name, self.driver_service,
+             "[Settings]", f"ServiceName={self.service_name}",
+             f"DriverName={self.driver_service}", ""])
+        machine.volume.write_file(self.ini_path, ini_text.encode())
+
+        for service, image, kind in (
+                (self.service_name, self.exe_path, TYPE_SERVICE),
+                (self.driver_service, self.driver_path, TYPE_DRIVER)):
+            key = f"{services}\\{service}"
+            machine.registry.create_key(key)
+            machine.registry.set_value(key, "ImagePath", image)
+            machine.registry.set_value(key, "Type", kind)
+            machine.registry.set_value(key, "Start", 2)
+        machine.register_program(self.exe_path, self._service_main)
+
+        # Live hooks read these lists on every call: retarget in place.
+        ini = parse_ini(ini_text)
+        self._patterns = (ini.get("Hidden Table", [])
+                          + ini.get("Hidden Processes", []))
+        self._reg_patterns = [line.split("=")[0] for line
+                              in ini.get("Hidden RegKeys", [])]
+
+        exe_name = self.exe_path.rsplit("\\", 1)[-1]
+        drv_name = self.driver_path.rsplit("\\", 1)[-1]
+        self.report.hidden_files = [self.exe_path, self.driver_path,
+                                    self.ini_path]
+        self.report.hidden_asep_hooks = [
+            f"{services}\\{self.service_name} → {exe_name}",
+            f"{services}\\{self.driver_service} → {drv_name}"]
+        self.report.hidden_processes = []
+        self.report.visible_files = [self.driver_path]
 
     def infect_process(self, machine: Machine, process: Process) -> None:
         patch_file_enum_ntdll(process, self._hide, self.name)

@@ -36,6 +36,8 @@ class ProBotSE(Ghostware):
 
     name = "ProBot SE"
     technique = "Service Dispatch Table entry modification"
+    stealth_capabilities = frozenset(
+        {"cloak", "aware", "rotate", "coordinate"})
 
     def __init__(self, seed: int = 20050621):
         super().__init__()
@@ -55,6 +57,8 @@ class ProBotSE(Ghostware):
                 self.kbd_driver_path]
 
     def _hide(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         folded = text.casefold()
         names = [path.rsplit("\\", 1)[-1].casefold()
                  for path in self._artifacts()]
@@ -79,6 +83,63 @@ class ProBotSE(Ghostware):
         machine.register_program(self.exe_path, self._logger_main)
 
         self.report.hidden_files = list(self._artifacts())
+        self.report.hidden_asep_hooks = [
+            f"{services}\\{self.driver_path.rsplit(chr(92), 1)[-1][:-4]}"
+            f" → {self.driver_path}",
+            f"{services}\\{self.kbd_driver_path.rsplit(chr(92), 1)[-1][:-4]}"
+            f" → {self.kbd_driver_path}",
+            f"{RUN_KEY}\\{self.run_value} → {self.exe_path}"]
+
+    def rotate_identity(self, machine: Machine, token: str) -> None:
+        """Re-draw all four artifact names from a token-seeded RNG."""
+        rng = random.Random(f"probot:{token}")
+        taken = {p.rsplit("\\", 1)[-1].split(".", 1)[0]
+                 for p in self._artifacts()}
+
+        def fresh_name() -> str:
+            while True:
+                name = _random_name(rng)
+                if name not in taken:
+                    taken.add(name)
+                    return name
+
+        services = "HKLM\\SYSTEM\\CurrentControlSet\\Services"
+        for path in (self.driver_path, self.kbd_driver_path):
+            machine.registry.delete_key(
+                f"{services}\\{path.rsplit(chr(92), 1)[-1][:-4]}")
+        machine.registry.delete_value(RUN_KEY, self.run_value)
+
+        base = fresh_name()
+        renames = {
+            "exe_path": f"\\Windows\\System32\\{base}.exe",
+            "dll_path": f"\\Windows\\System32\\{fresh_name()}.dll",
+            "driver_path":
+                f"\\Windows\\System32\\drivers\\{fresh_name()}.sys",
+            "kbd_driver_path":
+                f"\\Windows\\System32\\drivers\\{fresh_name()}.sys",
+            "log_path": f"\\Windows\\System32\\{base}.log",
+        }
+        for attr, new_path in renames.items():
+            old_path = getattr(self, attr)
+            if machine.volume.exists(old_path):
+                machine.volume.rename(old_path, new_path)
+            setattr(self, attr, new_path)
+        self.run_value = base
+
+        for path in (self.driver_path, self.kbd_driver_path):
+            driver_name = path.rsplit("\\", 1)[-1].rsplit(".", 1)[0]
+            key = f"{services}\\{driver_name}"
+            machine.registry.create_key(key)
+            machine.registry.set_value(key, "ImagePath", path)
+            machine.registry.set_value(key, "Type", TYPE_DRIVER)
+            machine.registry.set_value(key, "Start", 2)
+        machine.registry.set_value(RUN_KEY, self.run_value, self.exe_path)
+        machine.register_program(self.driver_path, self._driver_entry)
+        machine.register_program(self.exe_path, self._logger_main)
+
+        self.report.hidden_files = list(self._artifacts())
+        if machine.volume.exists(self.log_path):
+            self.report.hidden_files.append(self.log_path)
         self.report.hidden_asep_hooks = [
             f"{services}\\{self.driver_path.rsplit(chr(92), 1)[-1][:-4]}"
             f" → {self.driver_path}",

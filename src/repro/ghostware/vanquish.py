@@ -32,9 +32,11 @@ class Vanquish(Ghostware):
 
     name = "Vanquish"
     technique = "in-memory API code modification (call-through)"
+    stealth_capabilities = frozenset({"cloak", "aware", "coordinate"})
 
-    @staticmethod
-    def _hide(text: str) -> bool:
+    def _hide(self, text: str) -> bool:
+        if not self.concealed():
+            return False
         return "vanquish" in text.casefold()
 
     def _install_persistent(self, machine: Machine) -> None:

@@ -292,6 +292,30 @@ class NtfsVolume:
             raise FileNotFound(path)
         return self._stat_of(self._records[record_no], path)
 
+    def set_times(self, path: str, created_us: Optional[int] = None,
+                  modified_us: Optional[int] = None,
+                  accessed_us: Optional[int] = None) -> None:
+        """Rewrite $STANDARD_INFORMATION timestamps (SetFileTime).
+
+        The legitimate API every timestomping tool rides on: any field
+        left ``None`` is preserved.  One record flush, like
+        :meth:`rename` — the change journal still sees it, so delta
+        scans stay coherent even against a cloaked adversary.
+        """
+        record_no = self._resolve(path)
+        if record_no is None:
+            raise FileNotFound(path)
+        record = self._records[record_no]
+        if record.std_info is None:
+            raise VolumeError(f"no standard information on {path}")
+        if created_us is not None:
+            record.std_info.created_us = int(created_us)
+        if modified_us is not None:
+            record.std_info.modified_us = int(modified_us)
+        if accessed_us is not None:
+            record.std_info.accessed_us = int(accessed_us)
+        self._flush(record)
+
     def list_directory(self, path: str) -> List[FileStat]:
         """Entries of one directory, in collation order."""
         record_no = self._resolve(path)

@@ -1,0 +1,76 @@
+"""Stealth levels and the behaviors they unlock.
+
+The adversary engine grades counter-detection effort on a five-step
+scale (``off → low → medium → high → maximum``), mirroring the leveled
+stealth managers shipped by real evasive toolkits (Herzog et al. 2020;
+Mazurczyk & Caviglione 2015).  Each level is a *set of behaviors*; a
+strain only ever runs the intersection of the level's behaviors with its
+own :attr:`~repro.ghostware.base.Ghostware.stealth_capabilities`, so a
+process-only hider never pretends to rotate files it does not have.
+
+Behaviors
+---------
+
+``cloak``
+    Timestamp / file-system cloak: artifact mtimes (and their parent
+    directories') are backdated to blend with the OS install, defeating
+    recent-write triage heuristics (:func:`repro.fleet.scheduler.recent_write_probe`).
+``aware``
+    Detection awareness: a :class:`~repro.stealth.sensor.ScanActivitySensor`
+    taps the WinAPI layers the scanner enumerates through and temporarily
+    *unhides* while a scan pass is sweeping the sensitive region —
+    a naive single-pass diff sees the truth twice and reports nothing.
+``rotate``
+    Identity rotation: files / ASEP value names are re-randomized across
+    epochs so exact-identity tracking never sees the same ghost twice.
+``coordinate``
+    Cross-machine coordination: a campaign controller staggers hiding so
+    at most ``conceal_budget`` machines per strain lie in any one epoch,
+    staying under the fleet's outbreak threshold K.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+CLOAK = "cloak"
+AWARE = "aware"
+ROTATE = "rotate"
+COORDINATE = "coordinate"
+
+ALL_BEHAVIORS: FrozenSet[str] = frozenset((CLOAK, AWARE, ROTATE, COORDINATE))
+
+#: Canonical level order, least to most evasive.
+LEVELS: Tuple[str, ...] = ("off", "low", "medium", "high", "maximum")
+
+LEVEL_BEHAVIORS = {
+    "off": frozenset(),
+    "low": frozenset({CLOAK}),
+    "medium": frozenset({CLOAK, AWARE}),
+    "high": frozenset({CLOAK, AWARE, ROTATE}),
+    "maximum": frozenset({CLOAK, AWARE, ROTATE, COORDINATE}),
+}
+
+
+def parse_level(level: str) -> str:
+    """Validate and canonicalize a stealth level name."""
+    name = str(level).strip().casefold()
+    if name not in LEVEL_BEHAVIORS:
+        raise ValueError(f"unknown stealth level {level!r}; "
+                         f"expected one of {', '.join(LEVELS)}")
+    return name
+
+
+def level_index(level: str) -> int:
+    """A level's position on the canonical scale (``off`` = 0)."""
+    return LEVELS.index(parse_level(level))
+
+
+def behaviors_for(level: str, capabilities: FrozenSet[str]) -> FrozenSet[str]:
+    """The behaviors a strain actually runs at ``level``.
+
+    Clamped to the strain's capability set so levels degrade gracefully:
+    asking a non-rotatable strain for ``high`` yields ``medium``-grade
+    behavior without error.
+    """
+    return LEVEL_BEHAVIORS[parse_level(level)] & frozenset(capabilities)

@@ -1,0 +1,161 @@
+"""The per-ghost stealth manager: levels composed onto a strain.
+
+:class:`StealthManager` wraps one installed
+:class:`~repro.ghostware.base.Ghostware` instance with the behaviors its
+stealth level unlocks (clamped to the strain's capabilities).  The
+coupling to the strain is deliberately thin — the manager is attached as
+``ghost.stealth`` and the strain's hiding predicates consult
+``ghost.concealed()`` on every enumeration call, so awareness gates the
+*existing* hooks rather than installing parallel ones.  Attaching after
+``install`` works because every hook captured a bound method whose
+instance attributes are read at call time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, Optional
+
+from repro.machine import Machine
+from repro.stealth.levels import (AWARE, CLOAK, COORDINATE, ROTATE,
+                                  behaviors_for, parse_level)
+from repro.stealth.sensor import (ScanActivitySensor, SensorConfig,
+                                  ensure_scan_sensor_taps)
+
+#: Artifact timestamps are backdated to this OS-install-era file.
+CLOAK_REFERENCE = "\\Windows\\explorer.exe"
+
+
+class StealthManager:
+    """Composable counter-detection behaviors for one ghost."""
+
+    def __init__(self, ghost, level: str, seed: str = "0",
+                 sensor_config: Optional[SensorConfig] = None):
+        self.ghost = ghost
+        self.level = parse_level(level)
+        self.seed = str(seed)
+        self.behaviors: FrozenSet[str] = behaviors_for(
+            self.level, type(ghost).stealth_capabilities)
+        self.sensor: Optional[ScanActivitySensor] = None
+        if AWARE in self.behaviors:
+            if sensor_config is None:
+                rng = random.Random(f"{self.seed}:sensor")
+                sensor_config = SensorConfig(trigger_delay=rng.randint(0, 2))
+            self.sensor = ScanActivitySensor(sensor_config)
+        self._forced_exposed = False
+        self.rotations = 0
+
+    # -- the gate the strain predicates consult -------------------------
+
+    def concealing(self) -> bool:
+        """Should the ghost's hooks filter right now?"""
+        if self._forced_exposed:
+            return False
+        if self.sensor is not None and self.sensor.any_exposed():
+            return False
+        return True
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self, machine: Machine) -> "StealthManager":
+        """Bind to the (already installed) ghost on ``machine``."""
+        self.ghost.stealth = self
+        if self.sensor is not None:
+            ensure_scan_sensor_taps(machine, self.sensor,
+                                    f"stealth:{self.ghost.name}")
+        if CLOAK in self.behaviors:
+            self.apply_cloak(machine)
+        return self
+
+    def rearm(self, machine: Machine) -> None:
+        """New-epoch reset: re-arm the sensor, re-ensure volatile taps."""
+        if self.sensor is not None:
+            self.sensor.rearm()
+            ensure_scan_sensor_taps(machine, self.sensor,
+                                    f"stealth:{self.ghost.name}")
+
+    def rotate(self, machine: Machine, token: str) -> None:
+        """Rotate the ghost's on-disk/ASEP identity, re-cloaking after."""
+        if ROTATE not in self.behaviors:
+            return
+        self.ghost.rotate_identity(machine, token)
+        self.rotations += 1
+        if CLOAK in self.behaviors:
+            self.apply_cloak(machine)
+
+    def conceal(self) -> None:
+        """Campaign order: hide this epoch (normal operation)."""
+        self._forced_exposed = False
+
+    def expose(self) -> None:
+        """Campaign order: tell the truth this epoch (stay under K)."""
+        if COORDINATE in self.behaviors:
+            self._forced_exposed = True
+
+    # -- FS cloak --------------------------------------------------------
+
+    def artifact_paths(self) -> Iterable[str]:
+        report = self.ghost.report
+        return list(report.hidden_files) + list(report.visible_files)
+
+    def apply_cloak(self, machine: Machine) -> None:
+        """Backdate artifact (and parent-dir) timestamps to install era.
+
+        Defeats recent-write triage
+        (:func:`repro.fleet.scheduler.recent_write_probe`) and the
+        cross-time MODIFIED signal; the artifacts' *presence* in the raw
+        MFT is untouched, which is all the cross-view diff needs.
+        """
+        if CLOAK not in self.behaviors:
+            return
+        volume = machine.volume
+        try:
+            ref = volume.stat(CLOAK_REFERENCE)
+        except Exception:
+            return
+        created = int(round(ref.created * 1e6))
+        modified = int(round(ref.modified * 1e6))
+        accessed = int(round(ref.accessed * 1e6))
+        targets = []
+        for path in self.artifact_paths():
+            targets.append(path)
+            parent = path.rpartition("\\")[0]
+            while parent:
+                targets.append(parent)
+                parent = parent.rpartition("\\")[0]
+        for path in dict.fromkeys(targets):
+            try:
+                volume.set_times(path, created_us=created,
+                                 modified_us=modified, accessed_us=accessed)
+            except Exception:
+                continue
+
+    # -- introspection ---------------------------------------------------
+
+    def describe(self) -> dict:
+        out = {"level": self.level,
+               "behaviors": sorted(self.behaviors),
+               "rotations": self.rotations,
+               "exposed_by_order": self._forced_exposed}
+        if self.sensor is not None:
+            out["sensor"] = self.sensor.stats()
+        return out
+
+
+def attach_stealth(ghost, machine: Machine, level: str, seed: str = "0",
+                   sensor_config: Optional[SensorConfig] = None
+                   ) -> Optional[StealthManager]:
+    """Attach a leveled stealth manager to an installed ghost.
+
+    Returns ``None`` when the level (clamped to the strain's
+    capabilities) unlocks nothing — the ghost then behaves exactly as
+    the static seed-era strain.
+    """
+    level = parse_level(level)
+    if level == "off":
+        return None
+    manager = StealthManager(ghost, level, seed=seed,
+                             sensor_config=sensor_config)
+    if not manager.behaviors:
+        return None
+    return manager.attach(machine)

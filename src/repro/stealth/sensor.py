@@ -1,0 +1,227 @@
+"""Scan-activity sensing: the "detection awareness" behavior.
+
+A scan-aware ghost does not hold its lie unconditionally.  It taps the
+same WinAPI entry points GhostBuster's high-level scan enumerates
+through (``FindFirstFile``/``FindNextFile``, the ``advapi32`` registry
+readers, ``NtQuerySystemInformation``) and — when it senses a scan
+sweeping the *sensitive region* where its artifacts live — temporarily
+stops filtering.  The high-level "lie" view then equals the truth, the
+cross-view diff is empty, and a naive single-pass scan reports a clean
+machine.
+
+The sensor keeps one independent *channel* per API family, because the
+scanner enumerates one layer at a time (files, then registry, then
+processes): a single shared unhide budget would expire before the
+registry pass even started.  Each channel is a tiny state machine::
+
+    ARMED --(trigger call)--> EXPOSED --(leave region / budget)--> SPENT
+
+* ``files`` triggers on a ``FindFirstFile`` whose directory argument is
+  under :attr:`SensorConfig.sensitive_prefix` (artifacts live under
+  ``\\Windows``), and ends as soon as the walk leaves the subtree — the
+  next ``FindFirstFile`` outside the prefix, or any registry call.
+* ``registry`` triggers on the first registry read and ends when file
+  enumeration resumes (the *next* scan round's walk).
+* ``processes`` triggers on ``NtQuerySystemInformation`` and covers a
+  single snapshot call.
+
+An episode therefore covers exactly one pass over the sensitive region
+and is *spent* afterwards: a second scan round sees the ghost hiding
+again.  That asymmetry is what scan-until-stable exploits — the two
+rounds disagree, the scan is flagged unstable, and the union of rounds
+resurfaces the artifacts (see :mod:`repro.core.ghostbuster`).  The taps
+live in process IAT entries, so they do not survive a reboot; an
+explicit ``rearm`` stealth event resets the channels between epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.machine import Machine
+from repro.usermode.process import Process
+
+FAMILY_FILES = "files"
+FAMILY_REGISTRY = "registry"
+FAMILY_PROCESSES = "processes"
+
+FAMILIES: Tuple[str, ...] = (FAMILY_FILES, FAMILY_REGISTRY, FAMILY_PROCESSES)
+
+# Signals fed to a channel by the taps.
+_SENSITIVE = "sensitive"   # a call that can trigger / sustain an episode
+_NEUTRAL = "neutral"       # sustains an episode but never triggers one
+_PLAIN = "plain"           # a call outside the sensitive region: ends it
+
+_ARMED = "armed"
+_EXPOSED = "exposed"
+_SPENT = "spent"
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Tuning knobs for one ghost's scan sensor.
+
+    ``trigger_delay`` sensitive calls are ignored before an episode
+    starts (an adversary hedging against honeypot probes); the budgets
+    are fail-safes bounding an episode in calls.  Detection by the
+    defended configuration is invariant to all of these — see the
+    Hypothesis property in ``tests/test_stealth.py``.
+    """
+
+    sensitive_prefix: str = "\\windows"
+    trigger_delay: int = 0
+    file_budget: int = 4096
+    registry_budget: int = 4096
+    process_budget: int = 1
+
+    def budget(self, family: str) -> int:
+        return {FAMILY_FILES: self.file_budget,
+                FAMILY_REGISTRY: self.registry_budget,
+                FAMILY_PROCESSES: self.process_budget}[family]
+
+
+@dataclass
+class _Channel:
+    status: str = _ARMED
+    seen: int = 0
+    delay_left: int = 0
+    episodes: int = 0
+
+
+class ScanActivitySensor:
+    """Per-ghost scan-activity state machine (one channel per family)."""
+
+    def __init__(self, config: SensorConfig = None):
+        self.config = config or SensorConfig()
+        self._channels: Dict[str, _Channel] = {}
+        self.calls_sensed = 0
+        self.rearm()
+
+    # -- state ---------------------------------------------------------
+
+    def rearm(self) -> None:
+        """Reset every channel to ARMED (a new epoch's worth of evasion)."""
+        episodes = {f: self._channels[f].episodes for f in self._channels}
+        self._channels = {
+            family: _Channel(delay_left=self.config.trigger_delay,
+                             episodes=episodes.get(family, 0))
+            for family in FAMILIES
+        }
+
+    def exposed(self, family: str) -> bool:
+        return self._channels[family].status == _EXPOSED
+
+    def any_exposed(self) -> bool:
+        return any(c.status == _EXPOSED for c in self._channels.values())
+
+    def stats(self) -> Dict[str, int]:
+        out = {"calls_sensed": self.calls_sensed}
+        for family, channel in self._channels.items():
+            out[f"{family}_episodes"] = channel.episodes
+        return out
+
+    # -- sensing -------------------------------------------------------
+
+    def sense(self, family: str, signal: str) -> None:
+        """Feed one API call into the sensor (called from the IAT taps).
+
+        Runs *before* the call's own enumeration filters consult
+        :meth:`any_exposed`, so the triggering call itself is already
+        inside the episode.
+        """
+        self.calls_sensed += 1
+        # A call on one layer means the scanner has moved on: any other
+        # family's in-flight episode is over.
+        for other, channel in self._channels.items():
+            if other != family and channel.status == _EXPOSED:
+                channel.status = _SPENT
+        channel = self._channels[family]
+        if channel.status == _ARMED and signal == _SENSITIVE:
+            if channel.delay_left > 0:
+                channel.delay_left -= 1
+                return
+            channel.status = _EXPOSED
+            channel.episodes += 1
+            channel.seen = 1
+            return
+        if channel.status == _EXPOSED:
+            if signal == _PLAIN:
+                channel.status = _SPENT
+                return
+            channel.seen += 1
+            if channel.seen >= self.config.budget(family):
+                channel.status = _SPENT
+
+
+# -- taps ---------------------------------------------------------------
+
+#: (module, function, family, classifier) — classifier maps the call's
+#: positional args to a channel signal.
+def _classify_find_first(sensor: ScanActivitySensor, args) -> str:
+    directory = str(args[0]) if args else ""
+    prefix = sensor.config.sensitive_prefix.casefold()
+    return _SENSITIVE if directory.casefold().startswith(prefix) else _PLAIN
+
+
+_SENSED_APIS: Tuple[Tuple[str, str, str, Callable], ...] = (
+    ("kernel32", "FindFirstFile", FAMILY_FILES, _classify_find_first),
+    ("kernel32", "FindNextFile", FAMILY_FILES, lambda sensor, args: _NEUTRAL),
+    ("advapi32", "RegEnumKey", FAMILY_REGISTRY,
+     lambda sensor, args: _SENSITIVE),
+    ("advapi32", "RegEnumValue", FAMILY_REGISTRY,
+     lambda sensor, args: _SENSITIVE),
+    ("advapi32", "RegQueryValue", FAMILY_REGISTRY,
+     lambda sensor, args: _SENSITIVE),
+    ("advapi32", "RegKeyExists", FAMILY_REGISTRY,
+     lambda sensor, args: _SENSITIVE),
+    ("ntdll", "NtQuerySystemInformation", FAMILY_PROCESSES,
+     lambda sensor, args: _SENSITIVE),
+)
+
+
+def tap_process(process: Process, sensor: ScanActivitySensor,
+                owner: str) -> None:
+    """Install pass-through IAT taps for the sensed APIs in one process.
+
+    Idempotent per (process, owner): a marker attribute prevents
+    double-tapping when taps are re-ensured across epochs.
+    """
+    from repro.ghostware.base import _current_target
+
+    marker = f"_stealth_tap__{owner}"
+    if getattr(process, marker, False):
+        return
+    setattr(process, marker, True)
+    for module, function, family, classify in _SENSED_APIS:
+        inner = _current_target(process, module, function)
+
+        def tap(proc, *args, _inner=inner, _family=family,
+                _classify=classify):
+            sensor.sense(_family, _classify(sensor, args))
+            return _inner(proc, *args)
+
+        process.hook_iat(module, function, tap, owner)
+
+
+def ensure_scan_sensor_taps(machine: Machine, sensor: ScanActivitySensor,
+                            owner: str):
+    """Tap the sensed APIs in every current and future process.
+
+    Pass-through hooks: they observe, never filter.  Like any IAT hook
+    they are volatile — a reboot sheds them (and the start hook) until
+    the next ``rearm`` stealth event calls this again.  Returns the
+    start hook so callers can keep re-ensuring idempotently.
+    """
+    for process in machine.user_processes():
+        tap_process(process, sensor, owner)
+
+    def on_start(mach: Machine, process: Process) -> None:
+        tap_process(process, sensor, owner)
+
+    hook_marker = f"_stealth_sensor_hook__{owner}"
+    hooks = machine.process_start_hooks
+    if not any(getattr(h, hook_marker, False) for h in hooks):
+        setattr(on_start, hook_marker, True)
+        hooks.append(on_start)
+    return on_start

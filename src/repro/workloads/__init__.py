@@ -20,6 +20,7 @@ from repro.workloads.scenarios import (Scenario, build_fleet, build_home_pc,
 from repro.workloads.fleetgen import (FleetProfile, FleetWorkload,
                                       InfectionWave, STRAINS,
                                       apply_infections, apply_ops,
+                                      apply_stealth,
                                       build_profiled_machine)
 from repro.workloads.sampling import (SampledScan, SamplingPolicy,
                                       perform_sampled_scan)
@@ -37,7 +38,8 @@ __all__ = [
     "Scenario", "build_home_pc", "build_kitchen_sink", "build_fleet",
     "infect",
     "FleetProfile", "FleetWorkload", "InfectionWave", "STRAINS",
-    "apply_ops", "apply_infections", "build_profiled_machine",
+    "apply_ops", "apply_infections", "apply_stealth",
+    "build_profiled_machine",
     "SamplingPolicy", "SampledScan", "perform_sampled_scan",
     "TraceResult", "record_sweep", "replay_sweep", "load_trace",
     "trace_digest", "journal_digest", "verdict_key",

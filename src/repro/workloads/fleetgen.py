@@ -27,6 +27,7 @@ from repro.ghostware import (Aphex, Berbew, CmCallbackGhost, HackerDefender,
                              RegistryNamingGhost, Urbin, Vanquish)
 from repro.ghostware.base import Ghostware
 from repro.machine import Machine, PerfModel
+from repro.stealth import StealthCampaign, apply_stealth_event, attach_stealth
 from repro.workloads.population import _word, populate_machine
 
 # Strain registry: trace records carry strain *names*, never pickled
@@ -58,23 +59,38 @@ class InfectionWave:
     epoch infects ``round(spread * currently_infected)`` additional
     machines (chosen seeded, from the not-yet-infected remainder) until
     the fleet is saturated or the run ends.
+
+    ``level`` (see :mod:`repro.stealth.levels`) arms the wave's strain
+    with counter-detection behaviors, clamped to what the strain can
+    actually do; ``conceal_budget`` caps how many members hide per
+    epoch under cross-machine coordination (``maximum`` only).
     """
 
     strain: str
     onset_epoch: int = 1
     initial: int = 1
     spread: float = 0.0
+    level: str = "off"
+    conceal_budget: int = 2
 
     def to_dict(self) -> Dict:
-        return {"strain": self.strain, "onset_epoch": self.onset_epoch,
-                "initial": self.initial, "spread": self.spread}
+        record = {"strain": self.strain, "onset_epoch": self.onset_epoch,
+                  "initial": self.initial, "spread": self.spread}
+        if self.level != "off":
+            # Emitted only when armed: pre-stealth profile digests (and
+            # their recorded traces) stay byte-stable.
+            record["level"] = self.level
+            record["conceal_budget"] = self.conceal_budget
+        return record
 
     @classmethod
     def from_dict(cls, record: Dict) -> "InfectionWave":
         return cls(strain=record["strain"],
                    onset_epoch=int(record.get("onset_epoch", 1)),
                    initial=int(record.get("initial", 1)),
-                   spread=float(record.get("spread", 0.0)))
+                   spread=float(record.get("spread", 0.0)),
+                   level=str(record.get("level", "off")),
+                   conceal_budget=int(record.get("conceal_budget", 2)))
 
 
 @dataclass(frozen=True)
@@ -196,6 +212,13 @@ class FleetWorkload:
         self._infected: Dict[str, Set[str]] = {
             wave.strain: set() for wave in profile.waves}
         self._generated_to = 0
+        # The adversary controller for leveled waves, plus the live
+        # ghost registry stealth events are applied against.
+        self._campaign = StealthCampaign(
+            f"{profile.seed}:stealth",
+            {name: cls.stealth_capabilities
+             for name, cls in STRAINS.items()})
+        self._ghosts: Dict[Tuple[str, str], Ghostware] = {}
 
     # -- schedule generation -----------------------------------------------------
 
@@ -203,10 +226,13 @@ class FleetWorkload:
         """The epoch's churn ops and infection events, generated once."""
         while self._generated_to < epoch:
             self._generated_to += 1
+            infections = self._generate_infections(self._generated_to)
             self._epochs[self._generated_to] = {
                 "epoch": self._generated_to,
                 "ops": self._generate_churn(self._generated_to),
-                "infections": self._generate_infections(self._generated_to),
+                "infections": infections,
+                "stealth": self._generate_stealth(self._generated_to,
+                                                  infections),
             }
         return self._epochs[epoch]
 
@@ -260,10 +286,28 @@ class FleetWorkload:
             rng = _stream(self.profile, "wave", wave.strain, epoch)
             pool = sorted(set(self.machines) - already - infected)
             for name in rng.sample(pool, min(count, len(pool))):
-                events.append({"machine": name, "strain": wave.strain})
+                event = {"machine": name, "strain": wave.strain}
+                if wave.level != "off":
+                    # Carried on the event (and thus the trace) so a
+                    # replay attaches byte-identical stealth managers.
+                    event["level"] = wave.level
+                    event["stealth_seed"] = \
+                        f"{self.profile.seed}:stealth:{name}"
+                events.append(event)
                 infected.add(name)
                 already.add(name)
         return events
+
+    def _generate_stealth(self, epoch: int,
+                          infections: Sequence[Dict]) -> List[Dict]:
+        """The epoch's adversary moves against cumulative membership."""
+        fresh: Dict[str, Set[str]] = {}
+        for event in infections:
+            fresh.setdefault(event["strain"], set()).add(event["machine"])
+        members = {strain: set(crew)
+                   for strain, crew in self._infected.items()}
+        return self._campaign.epoch_events(epoch, self.profile.waves,
+                                           members, fresh)
 
     # -- application -------------------------------------------------------------
 
@@ -271,7 +315,10 @@ class FleetWorkload:
         """Generate and apply one epoch's events; returns the event dict."""
         events = self.epoch_events(epoch)
         apply_ops(self.machines, events["ops"])
-        apply_infections(self.machines, events["infections"])
+        apply_infections(self.machines, events["infections"],
+                         ghosts=self._ghosts)
+        apply_stealth(self.machines, events.get("stealth", ()),
+                      self._ghosts)
         return events
 
     # -- ground truth ------------------------------------------------------------
@@ -322,8 +369,17 @@ def apply_ops(machines: Dict[str, Machine], ops: Sequence[Dict]) -> int:
 
 
 def apply_infections(machines: Dict[str, Machine],
-                     events: Sequence[Dict]) -> List[Ghostware]:
-    """Install recorded infection events; returns the installed ghosts."""
+                     events: Sequence[Dict],
+                     ghosts: Optional[Dict[Tuple[str, str],
+                                           Ghostware]] = None
+                     ) -> List[Ghostware]:
+    """Install recorded infection events; returns the installed ghosts.
+
+    An event carrying a ``level`` gets a stealth manager attached right
+    after install (seeded by the event's ``stealth_seed``); ``ghosts``
+    — keyed ``(strain, machine)`` — collects the live instances so
+    later stealth events can find their targets.
+    """
     installed: List[Ghostware] = []
     for event in events:
         machine = machines.get(event.get("machine", ""))
@@ -334,5 +390,31 @@ def apply_infections(machines: Dict[str, Machine],
             machine.boot()
         ghost = strain()
         ghost.install(machine)
+        level = event.get("level", "off")
+        if level != "off":
+            attach_stealth(ghost, machine, level,
+                           seed=event.get("stealth_seed", "0"))
+        if ghosts is not None:
+            ghosts[(event.get("strain", ""),
+                    event.get("machine", ""))] = ghost
         installed.append(ghost)
     return installed
+
+
+def apply_stealth(machines: Dict[str, Machine], events: Sequence[Dict],
+                  ghosts: Dict[Tuple[str, str], Ghostware]) -> int:
+    """Apply recorded stealth events to installed ghosts; count applied.
+
+    Events whose ghost or machine is missing are skipped — same
+    degrade-don't-crash contract as :func:`apply_ops`.
+    """
+    applied = 0
+    for event in events:
+        machine = machines.get(event.get("machine", ""))
+        ghost = ghosts.get((event.get("strain", ""),
+                            event.get("machine", "")))
+        if machine is None or ghost is None:
+            continue
+        apply_stealth_event(ghost, machine, event)
+        applied += 1
+    return applied

@@ -41,7 +41,8 @@ from repro.fleet.aggregator import FleetAggregator, MachineVerdict
 from repro.fleet.coordinator import FleetCoordinator
 from repro.telemetry.journal_io import append_journal, iter_journal
 from repro.workloads.fleetgen import (FleetProfile, FleetWorkload,
-                                      apply_infections, apply_ops)
+                                      apply_infections, apply_ops,
+                                      apply_stealth)
 from repro.workloads.sampling import SamplingPolicy
 
 TRACE_VERSION = 1
@@ -139,6 +140,10 @@ def record_sweep(trace_path: str, profile: FleetProfile, fleet_dir: str,
         record = {"type": "trace-epoch", "epoch": epoch,
                   "ops": events["ops"],
                   "infections": events["infections"]}
+        if events.get("stealth"):
+            # Only when the adversary moved: stealth-free traces keep
+            # their pre-stealth digests.
+            record["stealth"] = events["stealth"]
         append_journal(trace_path, record)
         body.append(record)
         infected.update(event["machine"] for event in events["infections"])
@@ -210,9 +215,12 @@ def replay_sweep(trace_path: str, fleet_dir: str,
     result = TraceResult(trace_path=trace_path, trace_digest=digest,
                          journal_digest="")
     infected = set()
+    ghosts: Dict = {}
     for record in epoch_records:
         apply_ops(workload.machines, record.get("ops", []))
-        apply_infections(workload.machines, record.get("infections", []))
+        apply_infections(workload.machines, record.get("infections", []),
+                         ghosts=ghosts)
+        apply_stealth(workload.machines, record.get("stealth", []), ghosts)
         infected.update(event["machine"]
                         for event in record.get("infections", []))
         aggregate = coordinator.run_epoch()
